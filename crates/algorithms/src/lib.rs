@@ -1,0 +1,13 @@
+//! The paper's six benchmark algorithms, three ways:
+//!
+//! * [`sources`] — the Green-Marl programs (Fig. 2, Fig. 4, Appendix B),
+//!   compiled by `gm-core` and executed by `gm-interp`;
+//! * [`manual`] — hand-written Pregel implementations of the five
+//!   algorithms the paper also coded natively for GPS (Betweenness
+//!   Centrality deliberately has none: the paper's point is that a manual
+//!   Pregel BC is prohibitively difficult);
+//! * [`reference`] — sequential oracles used by the differential tests.
+
+pub mod manual;
+pub mod reference;
+pub mod sources;

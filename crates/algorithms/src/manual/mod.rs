@@ -1,0 +1,34 @@
+//! Hand-written Pregel implementations of the five algorithms the paper
+//! also coded natively for GPS.
+//!
+//! These are the Figure-6 baselines. They are written the way the paper's
+//! programmers wrote theirs — the same phase discipline the translation
+//! rules produce ("all the translation and transformation rules that our
+//! compiler applies ... are what programmers typically do when implementing
+//! algorithms manually", §5.2) — so supersteps and network I/O match the
+//! compiler-generated programs *exactly*, and the wall-clock comparison
+//! isolates the execution-style difference (typed Rust here vs interpreted
+//! state machine there).
+//!
+//! Message byte accounting uses the same wire model as the generated code:
+//! a 4-byte destination envelope, the payload, and a type byte when the
+//! program uses several message kinds (the paper's own manual example,
+//! Fig. 3, tags its messages the same way).
+//!
+//! There is deliberately **no manual Betweenness Centrality**: the paper's
+//! point (§5.1) is that writing one by hand is prohibitively difficult.
+
+mod avg_teen;
+mod bipartite;
+mod conductance;
+mod pagerank;
+mod sssp;
+
+pub use avg_teen::{run_avg_teen, AvgTeenOutcome};
+pub use bipartite::{run_bipartite_matching, MatchingOutcome};
+pub use conductance::{run_conductance, ConductanceOutcome};
+pub use pagerank::{run_pagerank, PagerankOutcome};
+pub use sssp::{run_sssp, SsspOutcome};
+
+/// Envelope size shared with the generated-code accounting.
+pub(crate) const ENVELOPE: u64 = gm_core::pir::ENVELOPE_BYTES;

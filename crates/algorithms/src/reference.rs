@@ -1,0 +1,386 @@
+//! Sequential reference implementations — the correctness oracles.
+//!
+//! Floating-point accumulation orders deliberately mirror the BSP
+//! execution (ascending sender id), so differential tests against the
+//! compiled and manual Pregel runs can demand exact equality.
+
+use gm_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Average Teenage Followers: per-vertex teenage in-neighbor counts plus
+/// the average over vertices with `age > k`.
+pub fn avg_teen(graph: &Graph, age: &[i64], k: i64) -> (Vec<i64>, f64) {
+    let mut teen_cnt = vec![0i64; graph.num_nodes() as usize];
+    for v in graph.nodes() {
+        teen_cnt[v.index()] = graph
+            .in_neighbors(v)
+            .filter(|(s, _)| (13..20).contains(&age[s.index()]))
+            .count() as i64;
+    }
+    let mut s = 0.0f64;
+    let mut c = 0i64;
+    for v in graph.nodes() {
+        if age[v.index()] > k {
+            s += teen_cnt[v.index()] as f64;
+            c += 1;
+        }
+    }
+    let avg = if c == 0 { 0.0 } else { s / c as f64 };
+    (teen_cnt, avg)
+}
+
+/// PageRank with the paper's update rule and stopping condition
+/// (`L1 delta ≤ e` or `max_iter` rounds). Returns `(pr, iterations)`.
+pub fn pagerank(graph: &Graph, e: f64, d: f64, max_iter: i64) -> (Vec<f64>, i64) {
+    let n = graph.num_nodes() as usize;
+    let nn = n as f64;
+    let mut pr = vec![1.0 / nn; n];
+    let mut cnt = 0i64;
+    loop {
+        let mut diff = 0.0f64;
+        let mut next = vec![0.0f64; n];
+        for v in graph.nodes() {
+            // Ascending in-neighbor (sender) order, matching message order.
+            let mut sum = 0.0f64;
+            for (w, _) in graph.in_neighbors(v) {
+                sum += pr[w.index()] / graph.out_degree(w) as f64;
+            }
+            let val = (1.0 - d) / nn + d * sum;
+            diff += (val - pr[v.index()]).abs();
+            next[v.index()] = val;
+        }
+        pr = next;
+        cnt += 1;
+        if !(diff > e && cnt < max_iter) {
+            break;
+        }
+    }
+    (pr, cnt)
+}
+
+/// Conductance of the `member` set: `cross / min(din, dout)` with the
+/// degenerate cases of the paper.
+pub fn conductance(graph: &Graph, member: &[bool]) -> f64 {
+    let mut din = 0i64;
+    let mut dout = 0i64;
+    let mut cross = 0i64;
+    for v in graph.nodes() {
+        let deg = graph.out_degree(v) as i64;
+        if member[v.index()] {
+            din += deg;
+            cross += graph
+                .out_neighbors(v)
+                .filter(|(t, _)| !member[t.index()])
+                .count() as i64;
+        } else {
+            dout += deg;
+        }
+    }
+    let m = din.min(dout) as f64;
+    if m == 0.0 {
+        if cross == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        cross as f64 / m
+    }
+}
+
+/// Dijkstra shortest paths; `i64::MAX` marks unreachable vertices.
+///
+/// # Panics
+///
+/// Panics on negative weights.
+pub fn dijkstra(graph: &Graph, root: NodeId, weights: &[i64]) -> Vec<i64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    assert!(weights.iter().all(|&w| w >= 0), "negative edge weight");
+    let n = graph.num_nodes() as usize;
+    let mut dist = vec![i64::MAX; n];
+    dist[root.index()] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0i64, root.0)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (t, e) in graph.out_neighbors(NodeId(u)) {
+            let nd = d + weights[e.index()];
+            if nd < dist[t.index()] {
+                dist[t.index()] = nd;
+                heap.push(Reverse((nd, t.0)));
+            }
+        }
+    }
+    dist
+}
+
+/// BFS levels from `root` over out-edges; `u32::MAX` marks unreachable.
+pub fn bfs_levels(graph: &Graph, root: NodeId) -> Vec<u32> {
+    let n = graph.num_nodes() as usize;
+    let mut lev = vec![u32::MAX; n];
+    lev[root.index()] = 0;
+    let mut frontier = vec![root.0];
+    let mut depth = 0;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for (t, _) in graph.out_neighbors(NodeId(u)) {
+                if lev[t.index()] == u32::MAX {
+                    lev[t.index()] = depth + 1;
+                    next.push(t.0);
+                }
+            }
+        }
+        next.sort_unstable();
+        frontier = next;
+        depth += 1;
+    }
+    lev
+}
+
+/// Approximate Betweenness Centrality: `k` rounds of Brandes-style
+/// forward/backward accumulation from roots drawn with the same seeded RNG
+/// sequence the compiled program's `G.PickRandom()` uses. Returns the
+/// per-vertex scores and their sum.
+pub fn bc_approx(graph: &Graph, k: i64, seed: u64) -> (Vec<f64>, f64) {
+    let n = graph.num_nodes() as usize;
+    let mut bc = vec![0.0f64; n];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..k {
+        let s = NodeId(rng.gen_range(0..graph.num_nodes()));
+        accumulate_bc(graph, s, &mut bc);
+    }
+    let sum = bc.iter().sum();
+    (bc, sum)
+}
+
+/// One Brandes round from `s`, with level-synchronous sigma/delta and
+/// ascending-neighbor float accumulation (matching the BSP order).
+fn accumulate_bc(graph: &Graph, s: NodeId, bc: &mut [f64]) {
+    let lev = bfs_levels(graph, s);
+    let n = graph.num_nodes() as usize;
+    let mut sigma = vec![0.0f64; n];
+    sigma[s.index()] = 1.0;
+    let max_lev = lev.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); max_lev as usize + 1];
+    for v in graph.nodes() {
+        if lev[v.index()] != u32::MAX {
+            by_level[lev[v.index()] as usize].push(v.0);
+        }
+    }
+    // Forward: sigma sums over parents, ascending parent id (per edge).
+    for level in 1..=max_lev as usize {
+        for &v in &by_level[level] {
+            let mut parents: Vec<u32> = graph
+                .in_neighbors(NodeId(v))
+                .filter(|(w, _)| lev[w.index()] == level as u32 - 1)
+                .map(|(w, _)| w.0)
+                .collect();
+            parents.sort_unstable();
+            for w in parents {
+                sigma[v as usize] += sigma[w as usize];
+            }
+        }
+    }
+    // Backward: delta sums over children, ascending child id (per edge).
+    let mut delta = vec![0.0f64; n];
+    for level in (0..=max_lev as usize).rev() {
+        for &v in &by_level[level] {
+            let mut kids: Vec<u32> = graph
+                .out_neighbors(NodeId(v))
+                .filter(|(w, _)| lev[w.index()] == level as u32 + 1)
+                .map(|(w, _)| w.0)
+                .collect();
+            kids.sort_unstable();
+            let mut acc = 0.0f64;
+            for w in kids {
+                acc += (sigma[v as usize] / sigma[w as usize]) * (1.0 + delta[w as usize]);
+            }
+            delta[v as usize] = acc;
+            if NodeId(v) != s {
+                bc[v as usize] += delta[v as usize];
+            }
+        }
+    }
+}
+
+/// Validity/maximality report for a bipartite matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Number of matched pairs.
+    pub pairs: u32,
+    /// Every match is mutual and along an edge.
+    pub valid: bool,
+    /// No unmatched boy has an unmatched girl neighbor.
+    pub maximal: bool,
+}
+
+/// Checks a matching produced over a bipartite graph (`is_boy` marks the
+/// proposing side; `matching[v]` is the partner id or `u32::MAX`).
+pub fn check_matching(graph: &Graph, is_boy: &[bool], matching: &[u32]) -> MatchStats {
+    const NIL: u32 = u32::MAX;
+    let mut pairs = 0;
+    let mut valid = true;
+    for v in graph.nodes() {
+        let m = matching[v.index()];
+        if m == NIL {
+            continue;
+        }
+        if is_boy[v.index()] {
+            pairs += 1;
+            // Mutual?
+            if matching[m as usize] != v.0 {
+                valid = false;
+            }
+            // Along an edge?
+            if !graph.out_neighbors(v).any(|(t, _)| t.0 == m) {
+                valid = false;
+            }
+        }
+    }
+    let mut maximal = true;
+    for v in graph.nodes() {
+        if is_boy[v.index()] && matching[v.index()] == NIL {
+            for (g, _) in graph.out_neighbors(v) {
+                if matching[g.index()] == NIL {
+                    maximal = false;
+                }
+            }
+        }
+    }
+    MatchStats {
+        pairs,
+        valid,
+        maximal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_graph::gen;
+
+    #[test]
+    fn avg_teen_star() {
+        // Spokes 1..=4 follow nothing; hub 0 followed by nobody. Flip:
+        // edges 0→spokes, so spokes' followers = {0}.
+        let g = gen::star(4);
+        let age = vec![15, 30, 40, 50, 12];
+        let (cnt, avg) = avg_teen(&g, &age, 20);
+        // Vertex 0 is a teen; it follows (points at) 1..4, so each spoke
+        // has one teenage follower.
+        assert_eq!(cnt, vec![0, 1, 1, 1, 1]);
+        // Over-20 vertices: 1,2,3 (ages 30,40,50) → avg = 1.
+        assert!((avg - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let g = gen::cycle(10);
+        let (pr, _) = pagerank(&g, 1e-12, 0.85, 100);
+        for v in &pr {
+            assert!((v - 0.1).abs() < 1e-9, "{pr:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_without_sinks() {
+        let g = gen::cycle(50);
+        let (pr, iters) = pagerank(&g, 1e-10, 0.85, 200);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn conductance_extremes() {
+        let g = gen::complete(6);
+        let all = vec![true; 6];
+        assert_eq!(conductance(&g, &all), 0.0); // dout = 0, cross = 0 → 0
+        let none = vec![false; 6];
+        assert_eq!(conductance(&g, &none), 0.0);
+        let half = vec![true, true, true, false, false, false];
+        let c = conductance(&g, &half);
+        // din = 15, dout = 15, cross = 9 → 0.6
+        assert!((c - 0.6).abs() < 1e-12, "{c}");
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let g = gen::path(4);
+        let w = vec![2, 3, 4];
+        let d = dijkstra(&g, NodeId(0), &w);
+        assert_eq!(d, vec![0, 2, 5, 9]);
+        let d1 = dijkstra(&g, NodeId(1), &w);
+        assert_eq!(d1[0], i64::MAX); // unreachable backwards
+    }
+
+    #[test]
+    fn bfs_levels_diamond() {
+        let mut b = gm_graph::GraphBuilder::new(5);
+        b.extend([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let g = b.build();
+        assert_eq!(bfs_levels(&g, NodeId(0)), vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bc_exact_on_path_middle_vertex() {
+        // Undirected path via bidirectional edges: centrality of the middle
+        // vertex of a 3-path from every source = known values.
+        let g = gen::grid(1, 3); // 0 ↔ 1 ↔ 2
+        let mut bc = vec![0.0; 3];
+        for s in 0..3 {
+            accumulate_bc(&g, NodeId(s), &mut bc);
+        }
+        // Vertex 1 lies on the unique 0↔2 shortest paths: 2 (once per
+        // direction); endpoints get 0.
+        assert_eq!(bc, vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn bc_approx_is_seed_deterministic() {
+        let g = gen::rmat(64, 256, 3);
+        let (a, sa) = bc_approx(&g, 4, 9);
+        let (b, sb) = bc_approx(&g, 4, 9);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn matching_checker() {
+        // 2 boys (0,1), 2 girls (2,3); edges 0→2, 0→3, 1→2.
+        let mut b = gm_graph::GraphBuilder::new(4);
+        b.extend([(0, 2), (0, 3), (1, 2)]);
+        let g = b.build();
+        let is_boy = vec![true, true, false, false];
+        const NIL: u32 = u32::MAX;
+        // Perfect-ish matching: 0-3, 1-2.
+        let m = vec![3, 2, 1, 0];
+        let stats = check_matching(&g, &is_boy, &m);
+        assert_eq!(
+            stats,
+            MatchStats {
+                pairs: 2,
+                valid: true,
+                maximal: true
+            }
+        );
+        // 0-2 only: leaves girl 3 free but boy 1 blocked (only knows 2) —
+        // still maximal. Boy 0 matched.
+        let m2 = vec![2, NIL, 0, NIL];
+        let s2 = check_matching(&g, &is_boy, &m2);
+        assert!(s2.valid);
+        assert!(s2.maximal);
+        assert_eq!(s2.pairs, 1);
+        // Non-mutual match is invalid.
+        let m3 = vec![2, NIL, NIL, NIL];
+        assert!(!check_matching(&g, &is_boy, &m3).valid);
+        // Non-maximal: everyone free though edges exist.
+        let m4 = vec![NIL, NIL, NIL, NIL];
+        assert!(!check_matching(&g, &is_boy, &m4).maximal);
+    }
+}

@@ -1,0 +1,168 @@
+//! Differential tests: every Green-Marl source, compiled to Pregel and
+//! executed on the BSP runtime, must match the sequential reference
+//! implementation exactly (floats included — accumulation orders are
+//! aligned by construction).
+
+use gm_algorithms::{reference, sources};
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::{Value, NIL_NODE};
+use gm_core::{compile, CompileOptions, Compiled};
+use gm_graph::{gen, Graph, NodeId};
+use gm_interp::{run_compiled, CompiledOutcome};
+use gm_pregel::PregelConfig;
+use std::collections::HashMap;
+
+fn compiled(src: &str) -> Compiled {
+    compile(src, &CompileOptions::default()).unwrap_or_else(|e| {
+        panic!("compilation failed:\n{}", e.render(src));
+    })
+}
+
+fn run(
+    g: &Graph,
+    c: &Compiled,
+    args: &HashMap<String, ArgValue>,
+    seed: u64,
+) -> CompiledOutcome {
+    run_compiled(g, c, args, seed, &PregelConfig::sequential()).expect("runs")
+}
+
+fn int_prop(out: &CompiledOutcome, name: &str) -> Vec<i64> {
+    out.node_props[name].iter().map(|v| v.as_int()).collect()
+}
+
+fn f64_prop(out: &CompiledOutcome, name: &str) -> Vec<f64> {
+    out.node_props[name].iter().map(|v| v.as_f64()).collect()
+}
+
+#[test]
+fn avg_teen_matches_reference() {
+    let g = gen::rmat(200, 1200, 17);
+    let ages: Vec<i64> = (0..200).map(|i| (i * 37) % 80).collect();
+    let c = compiled(sources::AVG_TEEN);
+    let args = HashMap::from([
+        (
+            "age".to_owned(),
+            ArgValue::NodeProp(ages.iter().map(|&a| Value::Int(a)).collect()),
+        ),
+        ("K".to_owned(), ArgValue::Scalar(Value::Int(25))),
+    ]);
+    let out = run(&g, &c, &args, 0);
+    let (ref_cnt, ref_avg) = reference::avg_teen(&g, &ages, 25);
+    assert_eq!(int_prop(&out, "teen_cnt"), ref_cnt);
+    assert_eq!(out.ret, Some(Value::Double(ref_avg)));
+}
+
+#[test]
+fn pagerank_matches_reference_exactly() {
+    let g = gen::rmat(150, 900, 23);
+    let c = compiled(sources::PAGERANK);
+    let args = HashMap::from([
+        ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-8))),
+        ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+        ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(30))),
+    ]);
+    let out = run(&g, &c, &args, 0);
+    let (ref_pr, _iters) = reference::pagerank(&g, 1e-8, 0.85, 30);
+    let pr = f64_prop(&out, "pr");
+    for (i, (a, b)) in pr.iter().zip(&ref_pr).enumerate() {
+        assert_eq!(a, b, "vertex {i}: compiled {a} vs reference {b}");
+    }
+}
+
+#[test]
+fn conductance_matches_reference() {
+    let g = gen::rmat(120, 700, 31);
+    let member: Vec<bool> = (0..120).map(|i| i % 3 == 0).collect();
+    let c = compiled(sources::CONDUCTANCE);
+    let args = HashMap::from([(
+        "member".to_owned(),
+        ArgValue::NodeProp(member.iter().map(|&b| Value::Bool(b)).collect()),
+    )]);
+    let out = run(&g, &c, &args, 0);
+    let expected = reference::conductance(&g, &member);
+    assert_eq!(out.ret, Some(Value::Double(expected)));
+}
+
+#[test]
+fn sssp_matches_dijkstra() {
+    let g = gen::rmat(180, 1000, 41);
+    let weights: Vec<i64> = (0..1000).map(|i| 1 + (i * 7) % 20).collect();
+    let c = compiled(sources::SSSP);
+    let args = HashMap::from([
+        ("root".to_owned(), ArgValue::Scalar(Value::Node(3))),
+        (
+            "len".to_owned(),
+            ArgValue::EdgeProp(weights.iter().map(|&w| Value::Int(w)).collect()),
+        ),
+    ]);
+    let out = run(&g, &c, &args, 0);
+    let expected = reference::dijkstra(&g, NodeId(3), &weights);
+    assert_eq!(int_prop(&out, "dist"), expected);
+}
+
+#[test]
+fn bipartite_matching_is_valid_and_maximal() {
+    let g = gen::bipartite(60, 70, 350, 13);
+    let is_boy: Vec<bool> = (0..130).map(|i| i < 60).collect();
+    let c = compiled(sources::BIPARTITE_MATCHING);
+    let args = HashMap::from([(
+        "is_boy".to_owned(),
+        ArgValue::NodeProp(is_boy.iter().map(|&b| Value::Bool(b)).collect()),
+    )]);
+    let out = run(&g, &c, &args, 0);
+    let matching: Vec<u32> = out.node_props["match"]
+        .iter()
+        .map(|v| v.as_node())
+        .collect();
+    let stats = reference::check_matching(&g, &is_boy, &matching);
+    assert!(stats.valid, "matching must be valid");
+    assert!(stats.maximal, "matching must be maximal");
+    assert_eq!(out.ret, Some(Value::Int(stats.pairs as i64)));
+    // NIL round-trips as the sentinel.
+    assert!(matching.iter().any(|&m| m == NIL_NODE) || stats.pairs == 60);
+}
+
+#[test]
+fn bc_matches_brandes_reference() {
+    let g = gen::rmat(100, 500, 29);
+    let c = compiled(sources::BC_APPROX);
+    let seed = 77;
+    let k = 6;
+    let args = HashMap::from([("K".to_owned(), ArgValue::Scalar(Value::Int(k)))]);
+    let out = run(&g, &c, &args, seed);
+    let (ref_bc, ref_sum) = reference::bc_approx(&g, k, seed);
+    let bc = f64_prop(&out, "bc");
+    for (i, (a, b)) in bc.iter().zip(&ref_bc).enumerate() {
+        assert_eq!(a, b, "vertex {i}: compiled {a} vs reference {b}");
+    }
+    assert_eq!(out.ret, Some(Value::Double(ref_sum)));
+}
+
+#[test]
+fn bc_compiles_to_multiple_kernels_and_message_types() {
+    // §5.1: the generated BC program is highly nontrivial.
+    let c = compiled(sources::BC_APPROX);
+    assert!(
+        c.program.num_vertex_kernels() >= 6,
+        "expected a complex state machine, got {} kernels",
+        c.program.num_vertex_kernels()
+    );
+    assert!(
+        c.program.num_message_types() >= 3,
+        "expected several message types, got {}",
+        c.program.num_message_types()
+    );
+    assert!(c.program.uses_in_nbrs);
+}
+
+#[test]
+fn all_six_compile_with_and_without_optimizations() {
+    for (name, src) in sources::ALL {
+        for opts in [CompileOptions::default(), CompileOptions::unoptimized()] {
+            compile(src, &opts).unwrap_or_else(|e| {
+                panic!("{name} failed to compile: {}", e.render(src));
+            });
+        }
+    }
+}

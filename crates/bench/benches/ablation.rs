@@ -1,0 +1,43 @@
+//! Criterion bench for the §4.2 optimization ablation: PageRank and SSSP
+//! compiled with no optimizations, State Merging only, and both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_algorithms::sources;
+use gm_bench::args_for;
+use gm_core::CompileOptions;
+use gm_graph::gen;
+use gm_interp::run_compiled;
+use gm_pregel::PregelConfig;
+
+fn ablation(c: &mut Criterion) {
+    let g = gen::rmat(3000, 3000 * 16, 55);
+    let variants: [(&str, CompileOptions); 4] = [
+        ("none", CompileOptions::unoptimized()),
+        (
+            "merge",
+            CompileOptions {
+                state_merging: true,
+                intra_loop_merging: false,
+                combiners: false,
+            },
+        ),
+        ("merge+intra", CompileOptions::default()),
+        ("merge+intra+comb", CompileOptions::with_combiners()),
+    ];
+    for (alg, src) in [("pagerank", sources::PAGERANK), ("sssp", sources::SSSP)] {
+        let args = args_for(alg, &g);
+        let cfg = PregelConfig::sequential();
+        let mut grp = c.benchmark_group(format!("ablation/{alg}"));
+        grp.sample_size(10);
+        for (name, opts) in variants {
+            let compiled = gm_bench::compile_source(src, &opts);
+            grp.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+                b.iter(|| run_compiled(g, &compiled, &args, 7, &cfg).expect("run"))
+            });
+        }
+        grp.finish();
+    }
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

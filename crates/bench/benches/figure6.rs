@@ -1,0 +1,98 @@
+//! Criterion bench behind **Figure 6**: wall time of each compiler-
+//! generated Pregel program against its manual counterpart, per input
+//! graph. Uses reduced graph sizes so `cargo bench` stays quick; the
+//! `figure6` binary runs the full-scale sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_algorithms::{manual, sources};
+use gm_bench::{args_for, boy_marks, sssp_root, weights};
+use gm_core::CompileOptions;
+use gm_graph::{gen, Graph};
+use gm_interp::run_compiled;
+use gm_pregel::PregelConfig;
+
+fn small_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("twitter", gen::rmat(3000, 3000 * 36, 1001)),
+        ("sk-2005", gen::web_copying(3600, 37, 0.5, 1003)),
+    ]
+}
+
+fn bench_pair(
+    c: &mut Criterion,
+    group: &str,
+    graph_name: &str,
+    g: &Graph,
+    alg: &str,
+    src: &str,
+    manual_run: impl Fn(&Graph, &PregelConfig),
+) {
+    let compiled = gm_bench::compile_source(src, &CompileOptions::default());
+    let args = args_for(alg, g);
+    let cfg = PregelConfig::sequential();
+    let mut grp = c.benchmark_group(group);
+    grp.sample_size(10);
+    grp.bench_with_input(BenchmarkId::new("generated", graph_name), g, |b, g| {
+        b.iter(|| run_compiled(g, &compiled, &args, 7, &cfg).expect("generated run"))
+    });
+    grp.bench_with_input(BenchmarkId::new("manual", graph_name), g, |b, g| {
+        b.iter(|| manual_run(g, &cfg))
+    });
+    grp.finish();
+}
+
+fn figure6(c: &mut Criterion) {
+    for (name, g) in small_graphs() {
+        let ages = gm_bench::ages(&g);
+        bench_pair(c, "avg_teen", name, &g, "avg_teen", sources::AVG_TEEN, |g, cfg| {
+            manual::run_avg_teen(g, &ages, 25, cfg).expect("manual run");
+        });
+        bench_pair(c, "pagerank", name, &g, "pagerank", sources::PAGERANK, |g, cfg| {
+            manual::run_pagerank(g, 1e-9, 0.85, 10, cfg).expect("manual run");
+        });
+        let member = gm_bench::membership(&g);
+        bench_pair(
+            c,
+            "conductance",
+            name,
+            &g,
+            "conductance",
+            sources::CONDUCTANCE,
+            |g, cfg| {
+                manual::run_conductance(g, &member, cfg).expect("manual run");
+            },
+        );
+        let ws = weights(&g);
+        bench_pair(c, "sssp", name, &g, "sssp", sources::SSSP, |g, cfg| {
+            manual::run_sssp(g, sssp_root(g), &ws, cfg).expect("manual run");
+        });
+    }
+    // Bipartite matching on its own bipartite input.
+    let g = gen::bipartite(2500, 2500, 2500 * 20, 1002);
+    let marks = boy_marks(&g);
+    bench_pair(
+        c,
+        "bipartite",
+        "bipartite",
+        &g,
+        "bipartite",
+        sources::BIPARTITE_MATCHING,
+        |g, cfg| {
+            manual::run_bipartite_matching(g, &marks, cfg).expect("manual run");
+        },
+    );
+    // BC has no manual baseline (the paper's point) — bench generated only.
+    let g = gen::rmat(2000, 2000 * 16, 77);
+    let compiled = gm_bench::compile_source(sources::BC_APPROX, &CompileOptions::default());
+    let args = args_for("bc", &g);
+    let cfg = PregelConfig::sequential();
+    let mut grp = c.benchmark_group("bc");
+    grp.sample_size(10);
+    grp.bench_function("generated/twitter", |b| {
+        b.iter(|| run_compiled(&g, &compiled, &args, 7, &cfg).expect("bc run"))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, figure6);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Shared harness pieces for the table/figure reproduction binaries and
+//! the Criterion benches.
+//!
+//! The paper's input graphs (Table 1) are proprietary billion-edge data
+//! sets; the harness substitutes seeded synthetic graphs with the same
+//! *shapes* and edge:vertex ratios, scaled to laptop memory (see
+//! DESIGN.md). Set `GM_SCALE` (default `1.0`) to grow or shrink every
+//! workload proportionally.
+
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions, Compiled};
+use gm_graph::{gen, Graph};
+use gm_pregel::{Metrics, PregelConfig};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A Table 1 input graph, scaled.
+pub struct Workload {
+    /// Short name used in tables.
+    pub name: &'static str,
+    /// What the paper used.
+    pub paper_desc: &'static str,
+    /// The generated stand-in.
+    pub graph: Graph,
+}
+
+/// Baseline scale factor (vertices of the twitter-like graph at scale 1).
+const BASE_TWITTER_N: f64 = 30_000.0;
+
+fn scale() -> f64 {
+    std::env::var("GM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Builds the three Table 1 stand-ins at the configured scale.
+///
+/// | name | paper graph | shape | edge:vertex |
+/// |---|---|---|---|
+/// | twitter | Twitter follower network (42M/1.5B) | R-MAT power law | 36:1 |
+/// | bipartite | synthetic uniform random (75M/1.5B) | uniform bipartite | 20:1 |
+/// | sk-2005 | .sk web crawl (51M/1.9B) | copying model | 37:1 |
+pub fn table1_graphs() -> Vec<Workload> {
+    let s = scale();
+    let tw_n = (BASE_TWITTER_N * s) as u32;
+    let bi_n = (53_000.0 * s) as u32; // 75/42 of the twitter scale
+    let sk_n = (36_000.0 * s) as u32; // 51/42 of the twitter scale
+    vec![
+        Workload {
+            name: "twitter",
+            paper_desc: "Twitter follower network (42M nodes, 1.5B edges)",
+            graph: gen::rmat(tw_n, tw_n as usize * 36, 1001),
+        },
+        Workload {
+            name: "bipartite",
+            paper_desc: "Synthetic uniform random bipartite (75M, 1.5B)",
+            graph: gen::bipartite(bi_n / 2, bi_n - bi_n / 2, bi_n as usize * 20, 1002),
+        },
+        Workload {
+            name: "sk-2005",
+            paper_desc: "Web graph of the .sk domain (51M, 1.9B)",
+            graph: gen::web_copying(sk_n, 37, 0.5, 1003),
+        },
+    ]
+}
+
+/// Deterministic per-vertex ages for AvgTeen.
+pub fn ages(g: &Graph) -> Vec<i64> {
+    (0..g.num_nodes() as i64).map(|i| (i * 37) % 85).collect()
+}
+
+/// Deterministic membership marks for Conductance.
+pub fn membership(g: &Graph) -> Vec<bool> {
+    (0..g.num_nodes()).map(|i| i % 3 == 0).collect()
+}
+
+/// Deterministic edge weights for SSSP.
+pub fn weights(g: &Graph) -> Vec<i64> {
+    (0..g.num_edges() as i64).map(|i| 1 + (i * 13) % 31).collect()
+}
+
+/// SSSP root with good forward reachability: the vertex with the largest
+/// out-degree (vertex 0 of the copying-model web graph reaches almost
+/// nothing, and high-id R-MAT vertices are often isolated).
+pub fn sssp_root(g: &Graph) -> gm_graph::NodeId {
+    g.nodes()
+        .max_by_key(|&n| g.out_degree(n))
+        .unwrap_or(gm_graph::NodeId(0))
+}
+
+/// Side marks for bipartite matching (only valid on the bipartite graph).
+pub fn boy_marks(g: &Graph) -> Vec<bool> {
+    // gen::bipartite puts the left side first and all edges point left→right;
+    // vertices with out-edges are the proposing side.
+    g.nodes().map(|n| g.out_degree(n) > 0).collect()
+}
+
+/// Compiles one of the six embedded sources with the given options.
+///
+/// # Panics
+///
+/// Panics if the source does not compile — the sources are tested.
+pub fn compile_source(src: &str, options: &CompileOptions) -> Compiled {
+    compile(src, options).expect("embedded source compiles")
+}
+
+/// Argument map for a compiled algorithm on graph `g`.
+pub fn args_for(alg: &str, g: &Graph) -> HashMap<String, ArgValue> {
+    match alg {
+        "avg_teen" => HashMap::from([
+            (
+                "age".to_owned(),
+                ArgValue::NodeProp(ages(g).into_iter().map(Value::Int).collect()),
+            ),
+            ("K".to_owned(), ArgValue::Scalar(Value::Int(25))),
+        ]),
+        "pagerank" => HashMap::from([
+            ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-9))),
+            ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+            ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(10))),
+        ]),
+        "conductance" => HashMap::from([(
+            "member".to_owned(),
+            ArgValue::NodeProp(membership(g).into_iter().map(Value::Bool).collect()),
+        )]),
+        "sssp" => HashMap::from([
+            (
+                "root".to_owned(),
+                ArgValue::Scalar(Value::Node(sssp_root(g).0)),
+            ),
+            (
+                "len".to_owned(),
+                ArgValue::EdgeProp(weights(g).into_iter().map(Value::Int).collect()),
+            ),
+        ]),
+        "bipartite" => HashMap::from([(
+            "is_boy".to_owned(),
+            ArgValue::NodeProp(boy_marks(g).into_iter().map(Value::Bool).collect()),
+        )]),
+        "bc" => HashMap::from([("K".to_owned(), ArgValue::Scalar(Value::Int(4)))]),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// Wall-clock of `f`, minimum over `reps` runs (the usual benchmarking
+/// guard against scheduler noise), plus the metrics of the last run.
+pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> (T, Metrics)) -> (Duration, Metrics) {
+    let mut best = Duration::MAX;
+    let mut metrics = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let (_, m) = f();
+        best = best.min(start.elapsed());
+        metrics = Some(m);
+    }
+    (best, metrics.expect("at least one rep"))
+}
+
+/// The default Pregel configuration for benchmarking (multi-threaded).
+pub fn bench_config() -> PregelConfig {
+    PregelConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_paper_ratios() {
+        let ws = table1_graphs();
+        assert_eq!(ws.len(), 3);
+        let tw = &ws[0];
+        let ratio = tw.graph.num_edges() as f64 / tw.graph.num_nodes() as f64;
+        assert!((ratio - 36.0).abs() < 1.0, "twitter ratio {ratio}");
+        let bi = &ws[1];
+        let ratio = bi.graph.num_edges() as f64 / bi.graph.num_nodes() as f64;
+        assert!((ratio - 20.0).abs() < 1.0, "bipartite ratio {ratio}");
+        let sk = &ws[2];
+        let ratio = sk.graph.num_edges() as f64 / sk.graph.num_nodes() as f64;
+        assert!((ratio - 37.0).abs() < 1.5, "sk ratio {ratio}");
+    }
+
+    #[test]
+    fn args_cover_all_algorithms() {
+        let g = gen::rmat(100, 600, 1);
+        for alg in ["avg_teen", "pagerank", "conductance", "sssp", "bc"] {
+            assert!(!args_for(alg, &g).is_empty() || alg == "bc");
+        }
+        let b = gen::bipartite(20, 20, 80, 1);
+        assert!(args_for("bipartite", &b).len() == 1);
+    }
+
+    #[test]
+    fn boy_marks_follow_out_edges() {
+        let b = gen::bipartite(10, 12, 50, 3);
+        let marks = boy_marks(&b);
+        for (i, m) in marks.iter().enumerate() {
+            if *m {
+                assert!(i < 10, "girls never have out-edges");
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The end-to-end compilation pipeline (Fig. 1 of the paper).
+
+use crate::ast::Program;
+use crate::canonical::check_canonical;
+use crate::diag::Diagnostics;
+use crate::normalize::desugar_bulk;
+use crate::parser::parse;
+use crate::pir::PregelProgram;
+use crate::pretty::procedure_to_string;
+use crate::report::TransformReport;
+use crate::sema::ProcInfo;
+use crate::transform::canonicalize;
+use crate::translate::translate;
+
+/// Compilation switches (the ablation benches flip these).
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// §4.2 State Merging.
+    pub state_merging: bool,
+    /// §4.2 Intra-Loop State Merging.
+    pub intra_loop_merging: bool,
+    /// Extension beyond the paper: mark single-reduction message tags as
+    /// combinable so the runtime can fold them sender-side (off by
+    /// default, like the paper's compiler).
+    pub combiners: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            state_merging: true,
+            intra_loop_merging: true,
+            combiners: false,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Disables both optimizations (the naive translation).
+    pub fn unoptimized() -> Self {
+        CompileOptions {
+            state_merging: false,
+            intra_loop_merging: false,
+            combiners: false,
+        }
+    }
+
+    /// Everything on, including the combiner extension.
+    pub fn with_combiners() -> Self {
+        CompileOptions {
+            combiners: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The result of compiling one procedure.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The executable Pregel state machine.
+    pub program: PregelProgram,
+    /// Which transformation/translation steps fired (Table 3).
+    pub report: TransformReport,
+    /// The Pregel-canonical Green-Marl the transformations produced.
+    pub canonical_source: String,
+    /// Final symbol table.
+    pub info: ProcInfo,
+    /// The canonical AST (used by differential tests).
+    pub ast: crate::ast::Procedure,
+}
+
+/// Compiles the first procedure of `src` into a Pregel program.
+///
+/// Pipeline: parse → bulk-assignment desugar → type check → §4.1
+/// transformations → §3.2 canonical check → §3.1 translation → §4.2
+/// optimization.
+///
+/// # Errors
+///
+/// Returns every diagnostic produced by the failing phase.
+pub fn compile(src: &str, options: &CompileOptions) -> Result<Compiled, Diagnostics> {
+    let mut program: Program = parse(src)?;
+    desugar_bulk(&mut program);
+    if program.procedures.is_empty() {
+        let mut d = Diagnostics::new();
+        d.error(crate::diag::Span::synthetic(), "no procedure to compile");
+        return Err(d);
+    }
+    let mut proc = program.procedures.remove(0);
+
+    let mut report = TransformReport::new();
+    let info = canonicalize(&mut proc, &mut report)?;
+    check_canonical(&proc, &info)?;
+    let canonical_source = procedure_to_string(&proc);
+
+    let mut pregel = translate(&proc, &info, &mut report)?;
+    crate::optimize::optimize(
+        &mut pregel,
+        options.state_merging,
+        options.intra_loop_merging,
+        &mut report,
+    );
+    if options.combiners {
+        crate::optimize::mark_combiners(&mut pregel);
+    }
+
+    Ok(Compiled {
+        program: pregel,
+        report,
+        canonical_source,
+        info,
+        ast: proc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Step;
+
+    #[test]
+    fn compile_avg_teen_like_program() {
+        let src = "Procedure avg_teen(G: Graph, age, teen_cnt: N_P<Int>, K: Int) : Double {
+            Foreach (n: G.Nodes) {
+                n.teen_cnt = Count(t: n.InNbrs)(t.age >= 13 && t.age < 20);
+            }
+            Double avg = Avg(n: G.Nodes)[n.age > K]{n.teen_cnt};
+            Return avg;
+        }";
+        let compiled = compile(src, &CompileOptions::default()).expect("compiles");
+        assert!(compiled.report.applied(Step::StateMachine));
+        assert!(compiled.report.applied(Step::FlippingEdge));
+        assert!(compiled.report.applied(Step::DissectingLoops));
+        assert!(compiled.program.num_vertex_kernels() >= 2);
+        assert!(compiled.canonical_source.contains("Foreach"));
+        assert!(!compiled.canonical_source.contains("Count("));
+    }
+
+    #[test]
+    fn compile_reports_canonicality_errors() {
+        // A random read in sequential phase cannot be transformed away.
+        let src = "Procedure f(G: Graph, s: Node, x: N_P<Int>) : Int {
+            Int v = s.x;
+            Return v;
+        }";
+        let err = compile(src, &CompileOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("random reading"), "{err}");
+    }
+
+    #[test]
+    fn optimization_flags_change_state_count() {
+        let src = "Procedure f(G: Graph, x: N_P<Int>, x2: N_P<Int>) {
+            Int k = 0;
+            While (k < 3) {
+                Foreach (n: G.Nodes) {
+                    Foreach (t: n.Nbrs) {
+                        t.x2 += n.x;
+                    }
+                }
+                Foreach (n: G.Nodes) {
+                    n.x = n.x2;
+                    n.x2 = 0;
+                }
+                k += 1;
+            }
+        }";
+        let unopt = compile(src, &CompileOptions::unoptimized()).unwrap();
+        let opt = compile(src, &CompileOptions::default()).unwrap();
+        assert!(opt.program.states.len() <= unopt.program.states.len());
+        assert!(opt.report.applied(Step::IntraLoopMerge));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(compile("Procedure f(", &CompileOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Source locations and diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// First byte.
+    pub start: u32,
+    /// One past the last byte.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// A zero-width span used by compiler-synthesized nodes.
+    pub fn synthetic() -> Span {
+        Span::default()
+    }
+}
+
+/// A single compiler diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diag {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description, lowercase, no trailing period.
+    pub message: String,
+}
+
+impl Diag {
+    /// Creates a diagnostic.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diag {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with 1-based line/column computed from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = line_col(src, self.span.start);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+/// A batch of diagnostics, used as the error type of compiler phases.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    /// Individual errors in source order.
+    pub errors: Vec<Diag>,
+}
+
+impl Diagnostics {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one error.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.errors.push(Diag::new(span, message));
+    }
+
+    /// Whether any error was recorded.
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    /// Renders all diagnostics against the source text, one per line.
+    pub fn render(&self, src: &str) -> String {
+        self.errors
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diagnostics {}
+
+/// Computes the 1-based `(line, column)` of byte `pos` within `src`.
+fn line_col(src: &str, pos: u32) -> (usize, usize) {
+    let pos = (pos as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in src.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 10);
+        assert_eq!(a.merge(b), Span::new(3, 10));
+        assert_eq!(b.merge(a), Span::new(3, 10));
+    }
+
+    #[test]
+    fn render_line_col() {
+        let src = "abc\ndef\nghi";
+        let d = Diag::new(Span::new(5, 6), "bad thing");
+        assert_eq!(d.render(src), "2:2: bad thing");
+    }
+
+    #[test]
+    fn render_position_past_end_is_clamped() {
+        let d = Diag::new(Span::new(100, 101), "eof issue");
+        assert_eq!(d.render("ab"), "1:3: eof issue");
+    }
+
+    #[test]
+    fn diagnostics_batch() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.error(Span::new(0, 1), "first");
+        ds.error(Span::new(2, 3), "second");
+        assert!(ds.has_errors());
+        let rendered = ds.render("abcd");
+        assert!(rendered.contains("first") && rendered.contains("second"));
+        assert!(ds.to_string().contains("first"));
+    }
+}

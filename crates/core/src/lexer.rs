@@ -1,0 +1,444 @@
+//! Tokenizer for the Green-Marl subset.
+
+use crate::diag::{Diag, Span};
+use std::fmt;
+
+/// Token kinds. Keywords are case-sensitive, matching the Green-Marl papers
+/// (`Procedure`, `Foreach`, `InBFS`, ...).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier (also carries would-be keywords like `min` used as names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+
+    // Keywords.
+    Procedure,
+    If,
+    Else,
+    While,
+    Do,
+    Foreach,
+    For,
+    InBfs,
+    InReverse,
+    From,
+    Return,
+    True,
+    False,
+    Inf,
+    Nil,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Question,
+    At,
+    Pipe,
+
+    // Operators.
+    Assign,     // =
+    PlusAssign, // +=
+    MinusAssign,
+    StarAssign,
+    AndAssign, // &&=
+    OrAssign,  // ||=
+    PlusPlus,  // ++
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le, // also the deferred-assignment operator, disambiguated by the parser
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s: &str = match self {
+            Tok::Ident(name) => return write!(f, "identifier `{name}`"),
+            Tok::Int(v) => return write!(f, "integer `{v}`"),
+            Tok::Float(v) => return write!(f, "float `{v}`"),
+            Tok::Procedure => "Procedure",
+            Tok::If => "If",
+            Tok::Else => "Else",
+            Tok::While => "While",
+            Tok::Do => "Do",
+            Tok::Foreach => "Foreach",
+            Tok::For => "For",
+            Tok::InBfs => "InBFS",
+            Tok::InReverse => "InReverse",
+            Tok::From => "From",
+            Tok::Return => "Return",
+            Tok::True => "True",
+            Tok::False => "False",
+            Tok::Inf => "INF",
+            Tok::Nil => "NIL",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Comma => ",",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::Dot => ".",
+            Tok::Question => "?",
+            Tok::At => "@",
+            Tok::Pipe => "|",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::AndAssign => "&&=",
+            Tok::OrAssign => "||=",
+            Tok::PlusPlus => "++",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Not => "!",
+            Tok::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Location in the source text.
+    pub span: Span,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`Diag`] at the first unrecognized character or malformed
+/// numeric literal / unterminated block comment.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diag> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    macro_rules! push {
+        ($tok:expr, $start:expr, $end:expr) => {
+            tokens.push(Token {
+                tok: $tok,
+                span: Span::new($start as u32, $end as u32),
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Diag::new(
+                            Span::new(start as u32, src.len() as u32),
+                            "unterminated block comment",
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let span = Span::new(start as u32, i as u32);
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| Diag::new(span, format!("malformed float literal {text:?}")))?;
+                    push!(Tok::Float(v), start, i);
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| Diag::new(span, format!("integer literal {text:?} out of range")))?;
+                    push!(Tok::Int(v), start, i);
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "Procedure" => Tok::Procedure,
+                    "If" => Tok::If,
+                    "Else" => Tok::Else,
+                    "While" => Tok::While,
+                    "Do" => Tok::Do,
+                    "Foreach" => Tok::Foreach,
+                    "For" => Tok::For,
+                    "InBFS" => Tok::InBfs,
+                    "InReverse" => Tok::InReverse,
+                    "From" => Tok::From,
+                    "Return" => Tok::Return,
+                    "True" => Tok::True,
+                    "False" => Tok::False,
+                    "INF" => Tok::Inf,
+                    "NIL" => Tok::Nil,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                push!(tok, start, i);
+            }
+            _ => {
+                // Multi-char operators first, longest match.
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let three = if i + 2 < bytes.len() { &src[i..i + 3] } else { "" };
+                let (tok, len) = match three {
+                    "&&=" => (Tok::AndAssign, 3),
+                    "||=" => (Tok::OrAssign, 3),
+                    _ => match two {
+                        "+=" => (Tok::PlusAssign, 2),
+                        "-=" => (Tok::MinusAssign, 2),
+                        "*=" => (Tok::StarAssign, 2),
+                        "++" => (Tok::PlusPlus, 2),
+                        "==" => (Tok::EqEq, 2),
+                        "!=" => (Tok::NotEq, 2),
+                        "<=" => (Tok::Le, 2),
+                        ">=" => (Tok::Ge, 2),
+                        "&&" => (Tok::AndAnd, 2),
+                        "||" => (Tok::OrOr, 2),
+                        _ => match c {
+                            b'(' => (Tok::LParen, 1),
+                            b')' => (Tok::RParen, 1),
+                            b'{' => (Tok::LBrace, 1),
+                            b'}' => (Tok::RBrace, 1),
+                            b'[' => (Tok::LBracket, 1),
+                            b']' => (Tok::RBracket, 1),
+                            b',' => (Tok::Comma, 1),
+                            b';' => (Tok::Semi, 1),
+                            b':' => (Tok::Colon, 1),
+                            b'.' => (Tok::Dot, 1),
+                            b'?' => (Tok::Question, 1),
+                            b'@' => (Tok::At, 1),
+                            b'|' => (Tok::Pipe, 1),
+                            b'=' => (Tok::Assign, 1),
+                            b'+' => (Tok::Plus, 1),
+                            b'-' => (Tok::Minus, 1),
+                            b'*' => (Tok::Star, 1),
+                            b'/' => (Tok::Slash, 1),
+                            b'%' => (Tok::Percent, 1),
+                            b'<' => (Tok::Lt, 1),
+                            b'>' => (Tok::Gt, 1),
+                            b'!' => (Tok::Not, 1),
+                            other => {
+                                return Err(Diag::new(
+                                    Span::new(i as u32, i as u32 + 1),
+                                    format!("unrecognized character {:?}", other as char),
+                                ))
+                            }
+                        },
+                    },
+                };
+                push!(tok, i, i + len);
+                i += len;
+            }
+        }
+    }
+    push!(Tok::Eof, i, i);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("Procedure foo InBFS InReverse From"),
+            vec![
+                Tok::Procedure,
+                Tok::Ident("foo".into()),
+                Tok::InBfs,
+                Tok::InReverse,
+                Tok::From,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 7.25e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.0725),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_followed_by_dot_method() {
+        // `G.Nodes` after an int must not absorb the dot: `0..` case.
+        assert_eq!(
+            kinds("1.x"),
+            vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            kinds("a+=1; b&&=c; d<=e; f<g; h++;"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Ident("b".into()),
+                Tok::AndAssign,
+                Tok::Ident("c".into()),
+                Tok::Semi,
+                Tok::Ident("d".into()),
+                Tok::Le,
+                Tok::Ident("e".into()),
+                Tok::Semi,
+                Tok::Ident("f".into()),
+                Tok::Lt,
+                Tok::Ident("g".into()),
+                Tok::Semi,
+                Tok::Ident("h".into()),
+                Tok::PlusPlus,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n/* block\n still */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains("unrecognized"));
+        assert_eq!(err.span.start, 2);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn inf_and_nil() {
+        assert_eq!(kinds("INF NIL"), vec![Tok::Inf, Tok::Nil, Tok::Eof]);
+    }
+
+    #[test]
+    fn min_max_are_plain_identifiers() {
+        // `min=` / `max=` reduction assignments are an ident + `=` pair;
+        // the parser recombines them.
+        assert_eq!(
+            kinds("x min= y"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Ident("min".into()),
+                Tok::Assign,
+                Tok::Ident("y".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

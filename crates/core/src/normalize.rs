@@ -1,0 +1,194 @@
+//! Syntactic normalization, run before semantic analysis.
+//!
+//! The single pre-sema rewrite is **bulk-assignment desugaring**: the
+//! Green-Marl shorthand `G.prop = expr` (assigning every vertex, as in the
+//! paper's SSSP `G.dist = (G == root) ? 0 : INF;`) becomes an explicit
+//! parallel loop. References to the graph variable inside the right-hand
+//! side denote the implicit iterator and are substituted.
+
+use crate::ast::*;
+use crate::astutil::{subst_var_expr, NameGen};
+use crate::types::Ty;
+
+/// Desugars bulk assignments in every procedure of `program`.
+pub fn desugar_bulk(program: &mut Program) {
+    for proc in &mut program.procedures {
+        let graph = match proc.params.iter().find(|p| p.ty == Ty::Graph) {
+            Some(p) => p.name.clone(),
+            None => continue,
+        };
+        let mut names = NameGen::for_procedure(proc);
+        desugar_block(&mut proc.body, &graph, &mut names);
+    }
+}
+
+fn desugar_block(block: &mut Block, graph: &str, names: &mut NameGen) {
+    let stmts = std::mem::take(&mut block.stmts);
+    for mut stmt in stmts {
+        // Recurse first so nested bulk assignments are handled too.
+        match &mut stmt.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                desugar_block(then_branch, graph, names);
+                if let Some(eb) = else_branch {
+                    desugar_block(eb, graph, names);
+                }
+            }
+            StmtKind::While { body, .. } => desugar_block(body, graph, names),
+            StmtKind::Foreach(f) => desugar_block(&mut f.body, graph, names),
+            StmtKind::InBfs(b) => {
+                desugar_block(&mut b.body, graph, names);
+                if let Some(rb) = &mut b.reverse_body {
+                    desugar_block(rb, graph, names);
+                }
+            }
+            StmtKind::Block(b) => desugar_block(b, graph, names),
+            _ => {}
+        }
+
+        let is_bulk = matches!(
+            &stmt.kind,
+            StmtKind::Assign {
+                target: Target::Prop { obj, .. },
+                ..
+            } if obj == graph
+        );
+        if is_bulk {
+            let (prop, op, mut value) = match stmt.kind {
+                StmtKind::Assign {
+                    target: Target::Prop { prop, .. },
+                    op,
+                    value,
+                } => (prop, op, value),
+                _ => unreachable!("checked above"),
+            };
+            let iter = names.fresh("_bk");
+            subst_var_expr(&mut value, graph, &iter);
+            let assign = Stmt::synth(StmtKind::Assign {
+                target: Target::Prop {
+                    obj: iter.clone(),
+                    prop,
+                },
+                op,
+                value,
+            });
+            block.stmts.push(Stmt::synth(StmtKind::Foreach(Box::new(
+                ForeachStmt {
+                    iter,
+                    source: IterSource::Nodes {
+                        graph: graph.to_owned(),
+                    },
+                    filter: None,
+                    body: Block::of(vec![assign]),
+                    parallel: true,
+                },
+            ))));
+        } else {
+            block.stmts.push(stmt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::pretty::program_to_string;
+
+    fn normalized(src: &str) -> String {
+        let mut p = parse(src).unwrap();
+        desugar_bulk(&mut p);
+        program_to_string(&p)
+    }
+
+    #[test]
+    fn bulk_assignment_becomes_foreach() {
+        let out = normalized(
+            "Procedure f(G: Graph, dist: N_P<Int>) {
+                G.dist = 0;
+            }",
+        );
+        assert!(out.contains("Foreach (_bk1: G.Nodes)"), "{out}");
+        assert!(out.contains("_bk1.dist = 0;"), "{out}");
+    }
+
+    #[test]
+    fn graph_references_in_rhs_become_iterator() {
+        let out = normalized(
+            "Procedure f(G: Graph, root: Node, dist: N_P<Int>) {
+                G.dist = (G == root) ? 0 : INF;
+            }",
+        );
+        assert!(out.contains("(_bk1 == root)"), "{out}");
+        assert!(!out.contains("(G == root)"), "{out}");
+    }
+
+    #[test]
+    fn bulk_prop_copy() {
+        let out = normalized(
+            "Procedure f(G: Graph, a: N_P<Int>, b: N_P<Int>) {
+                G.a = G.b;
+            }",
+        );
+        assert!(out.contains("_bk1.a = _bk1.b;"), "{out}");
+    }
+
+    #[test]
+    fn bulk_inside_while_and_reduction_ops() {
+        let out = normalized(
+            "Procedure f(G: Graph, u: N_P<Bool>) {
+                While (True) {
+                    G.u &&= False;
+                }
+            }",
+        );
+        assert!(out.contains("_bk1.u &&= False;"), "{out}");
+    }
+
+    #[test]
+    fn semantics_are_preserved() {
+        use crate::seqinterp::{run_procedure, ArgValue};
+        use crate::value::Value;
+        use std::collections::HashMap;
+
+        let g = gm_graph::gen::path(4);
+        let src = "Procedure f(G: Graph, root: Node, dist: N_P<Int>) {
+            G.dist = (G == root) ? 0 : INF;
+        }";
+        let mut p = parse(src).unwrap();
+        desugar_bulk(&mut p);
+        let infos = crate::sema::check(&mut p).unwrap();
+        let out = run_procedure(
+            &g,
+            &p.procedures[0],
+            &infos[0],
+            &HashMap::from([("root".to_owned(), ArgValue::Scalar(Value::Node(2)))]),
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            out.node_props["dist"],
+            vec![
+                Value::Int(i64::MAX),
+                Value::Int(i64::MAX),
+                Value::Int(0),
+                Value::Int(i64::MAX)
+            ]
+        );
+    }
+
+    #[test]
+    fn non_bulk_assignments_untouched() {
+        let out = normalized(
+            "Procedure f(G: Graph, x: N_P<Int>) {
+                Foreach (n: G.Nodes) {
+                    n.x = 1;
+                }
+            }",
+        );
+        assert!(!out.contains("_bk"), "{out}");
+    }
+}

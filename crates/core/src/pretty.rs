@@ -1,0 +1,413 @@
+//! Pretty-printer: AST → Green-Marl source text.
+//!
+//! Used to display the canonical form produced by the §4.1 transformations,
+//! to count Green-Marl lines of code for the Table 2 reproduction, and to
+//! round-trip-test the parser.
+
+use crate::ast::*;
+use crate::types::Ty;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, proc) in p.procedures.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        write_procedure(&mut out, proc);
+    }
+    out
+}
+
+/// Renders one procedure.
+pub fn procedure_to_string(p: &Procedure) -> String {
+    let mut out = String::new();
+    write_procedure(&mut out, p);
+    out
+}
+
+/// Renders one statement at indent level 0.
+pub fn stmt_to_string(s: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, s, 0);
+    out
+}
+
+/// Renders one expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_procedure(out: &mut String, p: &Procedure) {
+    out.push_str("Procedure ");
+    out.push_str(&p.name);
+    out.push('(');
+    for (i, param) in p.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", param.name, ty_to_src(&param.ty));
+    }
+    out.push(')');
+    if let Some(ret) = &p.ret {
+        let _ = write!(out, " : {}", ty_to_src(ret));
+    }
+    out.push(' ');
+    write_block(out, &p.body, 0);
+    out.push('\n');
+}
+
+fn ty_to_src(ty: &Ty) -> String {
+    ty.to_string()
+}
+
+fn write_block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        write_stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match &s.kind {
+        StmtKind::VarDecl { ty, name, init } => {
+            let _ = write!(out, "{} {}", ty_to_src(ty), name);
+            if let Some(e) = init {
+                out.push_str(" = ");
+                write_expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Assign { target, op, value } => {
+            match target {
+                Target::Scalar(name) => out.push_str(name),
+                Target::Prop { obj, prop } => {
+                    let _ = write!(out, "{obj}.{prop}");
+                }
+            }
+            let op_str = match op {
+                AssignOp::Assign => " = ",
+                AssignOp::Defer => " <= ",
+                AssignOp::Add => " += ",
+                AssignOp::Sub => " -= ",
+                AssignOp::Mul => " *= ",
+                AssignOp::Min => " min= ",
+                AssignOp::Max => " max= ",
+                AssignOp::And => " &&= ",
+                AssignOp::Or => " ||= ",
+            };
+            out.push_str(op_str);
+            write_expr(out, value);
+            out.push_str(";\n");
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            out.push_str("If (");
+            write_expr(out, cond);
+            out.push_str(") ");
+            write_block(out, then_branch, level);
+            if let Some(eb) = else_branch {
+                out.push_str(" Else ");
+                write_block(out, eb, level);
+            }
+            out.push('\n');
+        }
+        StmtKind::While {
+            cond,
+            body,
+            do_while,
+        } => {
+            if *do_while {
+                out.push_str("Do ");
+                write_block(out, body, level);
+                out.push_str(" While (");
+                write_expr(out, cond);
+                out.push_str(");\n");
+            } else {
+                out.push_str("While (");
+                write_expr(out, cond);
+                out.push_str(") ");
+                write_block(out, body, level);
+                out.push('\n');
+            }
+        }
+        StmtKind::Foreach(f) => {
+            let kw = if f.parallel { "Foreach" } else { "For" };
+            let _ = write!(out, "{kw} ({}: {}) ", f.iter, source_to_src(&f.source));
+            if let Some(filter) = &f.filter {
+                out.push('(');
+                write_expr(out, filter);
+                out.push_str(") ");
+            }
+            write_block(out, &f.body, level);
+            out.push('\n');
+        }
+        StmtKind::InBfs(b) => {
+            let _ = write!(out, "InBFS ({}: {}.Nodes From ", b.iter, b.graph);
+            write_expr(out, &b.root);
+            out.push_str(") ");
+            write_block(out, &b.body, level);
+            if let Some(rb) = &b.reverse_body {
+                out.push_str(" InReverse ");
+                write_block(out, rb, level);
+            }
+            out.push('\n');
+        }
+        StmtKind::Return(value) => {
+            out.push_str("Return");
+            if let Some(e) = value {
+                out.push(' ');
+                write_expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Block(b) => {
+            write_block(out, b, level);
+            out.push('\n');
+        }
+    }
+}
+
+fn source_to_src(s: &IterSource) -> String {
+    match s {
+        IterSource::Nodes { graph } => format!("{graph}.Nodes"),
+        IterSource::OutNbrs { of } => format!("{of}.Nbrs"),
+        IterSource::InNbrs { of } => format!("{of}.InNbrs"),
+        IterSource::UpNbrs { of } => format!("{of}.UpNbrs"),
+        IterSource::DownNbrs { of } => format!("{of}.DownNbrs"),
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        // Negative literals print parenthesized so that reparsing (which
+        // produces a unary negation) reprints identically — the printer is
+        // a fixed point under parse ∘ print.
+        ExprKind::IntLit(v) if *v < 0 => {
+            let _ = write!(out, "(-{})", v.unsigned_abs());
+        }
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::FloatLit(v) => {
+            let (sign, mag) = if *v < 0.0 { ("(-", v.abs()) } else { ("", *v) };
+            if mag.fract() == 0.0 && mag.is_finite() && mag < 1e15 {
+                let _ = write!(out, "{sign}{mag:.1}");
+            } else {
+                let _ = write!(out, "{sign}{mag}");
+            }
+            if !sign.is_empty() {
+                out.push(')');
+            }
+        }
+        ExprKind::BoolLit(v) => out.push_str(if *v { "True" } else { "False" }),
+        ExprKind::Inf { negative } => {
+            if *negative {
+                out.push('-');
+            }
+            out.push_str("INF");
+        }
+        ExprKind::Nil => out.push_str("NIL"),
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Prop { obj, prop } => {
+            let _ = write!(out, "{obj}.{prop}");
+        }
+        ExprKind::Unary { op, expr } => match op {
+            UnOp::Neg => {
+                out.push_str("(-");
+                write_expr(out, expr);
+                out.push(')');
+            }
+            UnOp::Not => {
+                out.push_str("(!");
+                write_expr(out, expr);
+                out.push(')');
+            }
+            UnOp::Abs => {
+                // A directly nested `|…|` would print as `||…||`, which
+                // lexes as the `||` operator — parenthesize the operand.
+                let nested_abs =
+                    matches!(&expr.kind, ExprKind::Unary { op: UnOp::Abs, .. });
+                out.push('|');
+                if nested_abs {
+                    out.push('(');
+                }
+                write_expr(out, expr);
+                if nested_abs {
+                    out.push(')');
+                }
+                out.push('|');
+            }
+        },
+        ExprKind::Binary { op, lhs, rhs } => {
+            let op_str = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            out.push('(');
+            write_expr(out, lhs);
+            let _ = write!(out, " {op_str} ");
+            write_expr(out, rhs);
+            out.push(')');
+        }
+        ExprKind::Ternary {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            out.push('(');
+            write_expr(out, cond);
+            out.push_str(" ? ");
+            write_expr(out, then_val);
+            out.push_str(" : ");
+            write_expr(out, else_val);
+            out.push(')');
+        }
+        ExprKind::Agg(a) => {
+            let _ = write!(out, "{}({}: {})", a.kind.name(), a.iter, source_to_src(&a.source));
+            if let Some(f) = &a.filter {
+                out.push('[');
+                write_expr(out, f);
+                out.push(']');
+            }
+            if let Some(b) = &a.body {
+                out.push('{');
+                write_expr(out, b);
+                out.push('}');
+            }
+        }
+        ExprKind::Call { obj, method, args } => {
+            let _ = write!(out, "{obj}.{method}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    /// Parse → print → parse must reach a fixed point (the second parse
+    /// yields the same AST as the first, ignoring spans).
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let printed = program_to_string(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| {
+            panic!("reparse failed:\n{}\nsource:\n{printed}", e.render(&printed))
+        });
+        let printed2 = program_to_string(&p2);
+        assert_eq!(printed, printed2, "pretty-print not a fixed point");
+    }
+
+    #[test]
+    fn roundtrip_teen_count() {
+        roundtrip(
+            "Procedure avg_teen_cnt(G: Graph, age, teen_cnt: N_P<Int>, K: Int) : Float {
+                Int S = 0, C = 0;
+                Foreach (n: G.Nodes) {
+                    n.teen_cnt = Count(t: n.InNbrs)(t.age >= 13 && t.age < 20);
+                }
+                Foreach (n: G.Nodes)(n.age > K) {
+                    S += n.teen_cnt;
+                    C += 1;
+                }
+                Float avg = (C == 0) ? 0.0 : S / C;
+                Return avg;
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_bfs() {
+        roundtrip(
+            "Procedure bc(G: Graph, s: Node, sigma: N_P<Double>) {
+                InBFS (v: G.Nodes From s) {
+                    v.sigma = Sum(w: v.UpNbrs){w.sigma};
+                }
+                InReverse {
+                    v.sigma += 1.0;
+                }
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "Procedure f(G: Graph, p: N_P<Bool>) {
+                Bool fin = False;
+                While (!fin) {
+                    fin = True;
+                    If (G.NumNodes() > 10) {
+                        fin = False;
+                    } Else {
+                        fin = True;
+                    }
+                }
+                Do {
+                    fin = !fin;
+                } While (fin);
+            }",
+        );
+    }
+
+    #[test]
+    fn expr_forms() {
+        let cases = [
+            "((a + b) * 3)",
+            "|x - y|",
+            "(c ? 1 : 2)",
+            "Sum(u: G.Nodes)[u.m]{u.Degree()}",
+            "Exist(n: G.Nodes)[n.updated]",
+            "-INF",
+            "NIL",
+        ];
+        for c in cases {
+            let e = parse_expr(c).expect(c);
+            let printed = expr_to_string(&e);
+            let e2 = parse_expr(&printed).unwrap_or_else(|d| {
+                panic!("reparse of {printed:?} failed: {d:?}");
+            });
+            assert_eq!(expr_to_string(&e2), printed);
+        }
+    }
+
+    #[test]
+    fn float_literals_keep_a_decimal_point() {
+        let e = parse_expr("1.0").unwrap();
+        assert_eq!(expr_to_string(&e), "1.0");
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-compilation record of which transformation and translation steps
+//! fired — the data behind the paper's Table 3.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The thirteen compiler steps the paper lists in Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Step {
+    /// §3.1 State Machine Construction (applies to every program).
+    StateMachine,
+    /// §3.1 Global Object construction (broadcasts/reductions).
+    GlobalObject,
+    /// §3.1 Multiple Communication (message type tags).
+    MultipleComm,
+    /// §3.1 Random Writing (`sendToVertex` by id).
+    RandomWriting,
+    /// §3.1 Edge Properties (payload from source-side edge props).
+    EdgeProperty,
+    /// §4.1 Flipping Edges (pull → push).
+    FlippingEdge,
+    /// §4.1 Dissecting Nested Loops (scalar → temp property, loop split).
+    DissectingLoops,
+    /// §4.1 Random Access in Sequential Phase (extra parallel loop).
+    RandomAccessSeq,
+    /// §4.1 BFS-order Graph Traversal lowering.
+    BfsTraversal,
+    /// §4.2 State Merging.
+    StateMerging,
+    /// §4.2 Intra-Loop State Merging.
+    IntraLoopMerge,
+    /// §4.3 Incoming Neighbors (in-neighbor array construction).
+    IncomingNeighbors,
+    /// §4.3 Message Class Generation (always applied).
+    MessageClassGen,
+}
+
+impl Step {
+    /// All steps, in the paper's Table 3 row order.
+    pub const ALL: [Step; 13] = [
+        Step::StateMachine,
+        Step::GlobalObject,
+        Step::MultipleComm,
+        Step::RandomWriting,
+        Step::EdgeProperty,
+        Step::FlippingEdge,
+        Step::DissectingLoops,
+        Step::RandomAccessSeq,
+        Step::BfsTraversal,
+        Step::StateMerging,
+        Step::IntraLoopMerge,
+        Step::IncomingNeighbors,
+        Step::MessageClassGen,
+    ];
+
+    /// The row label used in Table 3.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Step::StateMachine => "State Machine Const.",
+            Step::GlobalObject => "Global Object",
+            Step::MultipleComm => "Multiple Comm.",
+            Step::RandomWriting => "Random Writing",
+            Step::EdgeProperty => "Edge Property",
+            Step::FlippingEdge => "Flipping Edge",
+            Step::DissectingLoops => "Dissecting Loops",
+            Step::RandomAccessSeq => "Random Access(Seq.)",
+            Step::BfsTraversal => "BFS Traversal",
+            Step::StateMerging => "State Merging",
+            Step::IntraLoopMerge => "Intra-Loop Merge",
+            Step::IncomingNeighbors => "Incoming Neighbors",
+            Step::MessageClassGen => "Message Class Gen",
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The set of steps applied while compiling one procedure.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    applied: BTreeSet<Step>,
+}
+
+impl TransformReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `step` fired.
+    pub fn record(&mut self, step: Step) {
+        self.applied.insert(step);
+    }
+
+    /// Whether `step` fired.
+    pub fn applied(&self, step: Step) -> bool {
+        self.applied.contains(&step)
+    }
+
+    /// All applied steps in Table 3 row order.
+    pub fn steps(&self) -> impl Iterator<Item = Step> + '_ {
+        Step::ALL.iter().copied().filter(|s| self.applied(*s))
+    }
+}
+
+impl fmt::Display for TransformReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut r = TransformReport::new();
+        assert!(!r.applied(Step::FlippingEdge));
+        r.record(Step::FlippingEdge);
+        r.record(Step::StateMachine);
+        assert!(r.applied(Step::FlippingEdge));
+        let steps: Vec<_> = r.steps().collect();
+        // Table 3 order: StateMachine before FlippingEdge.
+        assert_eq!(steps, vec![Step::StateMachine, Step::FlippingEdge]);
+        assert_eq!(r.to_string(), "State Machine Const., Flipping Edge");
+    }
+
+    #[test]
+    fn all_has_thirteen_rows() {
+        assert_eq!(Step::ALL.len(), 13);
+        // Labels are unique.
+        let labels: BTreeSet<_> = Step::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 13);
+    }
+}

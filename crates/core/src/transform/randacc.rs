@@ -1,0 +1,171 @@
+//! Random access in sequential phase (§4.1).
+//!
+//! Pregel has no way to touch a single vertex's state from the master, so a
+//! sequential-phase write through a `Node` variable,
+//!
+//! ```text
+//! s.dist = 0;            // s: Node
+//! ```
+//!
+//! becomes a guarded parallel loop,
+//!
+//! ```text
+//! Foreach (_r: G.Nodes)(_r == s) { _r.dist = 0; }
+//! ```
+//!
+//! Random *reads* in sequential phases are not supported, as in the paper
+//! (§3.2: "Random reading of a vertex property is not allowed").
+
+use crate::ast::*;
+use crate::astutil::NameGen;
+use crate::sema::ProcInfo;
+
+/// Lowers sequential-phase random writes. Returns whether any were found.
+pub fn lower_random_access(proc: &mut Procedure, info: &ProcInfo) -> bool {
+    let graph = info.graph.clone();
+    let mut names = NameGen::for_procedure(proc);
+    let mut changed = false;
+    process_block(&mut proc.body, &graph, &mut names, &mut changed);
+    changed
+}
+
+/// Walks sequential-context blocks only: parallel `Foreach` bodies are
+/// vertex phases where random writes are translated directly (§3.1 Random
+/// Writing), so they are left untouched.
+fn process_block(block: &mut Block, graph: &str, names: &mut NameGen, changed: &mut bool) {
+    let stmts = std::mem::take(&mut block.stmts);
+    for mut stmt in stmts {
+        match &mut stmt.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                process_block(then_branch, graph, names, changed);
+                if let Some(eb) = else_branch {
+                    process_block(eb, graph, names, changed);
+                }
+            }
+            StmtKind::While { body, .. } => process_block(body, graph, names, changed),
+            StmtKind::Block(b) => process_block(b, graph, names, changed),
+            _ => {}
+        }
+
+        let is_random_write = matches!(
+            &stmt.kind,
+            StmtKind::Assign {
+                target: Target::Prop { obj, .. },
+                ..
+            } if obj != graph
+        );
+        if is_random_write {
+            let (obj, prop, op, value) = match stmt.kind {
+                StmtKind::Assign {
+                    target: Target::Prop { obj, prop },
+                    op,
+                    value,
+                } => (obj, prop, op, value),
+                _ => unreachable!("checked above"),
+            };
+            *changed = true;
+            let iter = names.fresh("_r");
+            block.stmts.push(Stmt::synth(StmtKind::Foreach(Box::new(
+                ForeachStmt {
+                    iter: iter.clone(),
+                    source: IterSource::Nodes {
+                        graph: graph.to_owned(),
+                    },
+                    filter: Some(Expr::binary(
+                        BinOp::Eq,
+                        Expr::var(&iter),
+                        Expr::var(&obj),
+                    )),
+                    body: Block::of(vec![Stmt::synth(StmtKind::Assign {
+                        target: Target::Prop { obj: iter, prop },
+                        op,
+                        value,
+                    })]),
+                    parallel: true,
+                },
+            ))));
+        } else {
+            block.stmts.push(stmt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::pretty::program_to_string;
+    use crate::seqinterp::{run_procedure, ArgValue};
+    use crate::value::Value;
+    use std::collections::HashMap;
+
+    fn lowered(src: &str) -> (Program, String) {
+        let mut p = parse(src).unwrap();
+        let infos = crate::sema::check(&mut p).unwrap();
+        let changed = lower_random_access(&mut p.procedures[0], &infos[0]);
+        assert!(changed);
+        crate::sema::check(&mut p).unwrap();
+        let s = program_to_string(&p);
+        (p, s)
+    }
+
+    #[test]
+    fn sequential_write_becomes_guarded_loop() {
+        let (_, s) = lowered(
+            "Procedure f(G: Graph, s: Node, dist: N_P<Int>) {
+                s.dist = 0;
+            }",
+        );
+        assert!(s.contains("Foreach (_r1: G.Nodes) ((_r1 == s))"), "{s}");
+        assert!(s.contains("_r1.dist = 0;"), "{s}");
+    }
+
+    #[test]
+    fn write_inside_parallel_loop_untouched() {
+        let src = "Procedure f(G: Graph, m: N_P<Node>, x: N_P<Int>) {
+            Foreach (n: G.Nodes)(n.m != NIL) {
+                Node b = n.m;
+                b.x = 1;
+            }
+        }";
+        let mut p = parse(src).unwrap();
+        let infos = crate::sema::check(&mut p).unwrap();
+        assert!(!lower_random_access(&mut p.procedures[0], &infos[0]));
+    }
+
+    #[test]
+    fn write_inside_if_at_sequential_level() {
+        let (_, s) = lowered(
+            "Procedure f(G: Graph, s: Node, dist: N_P<Int>, k: Int) {
+                If (k > 0) {
+                    s.dist = k;
+                }
+            }",
+        );
+        assert!(s.contains("_r1 == s"), "{s}");
+    }
+
+    #[test]
+    fn semantics_preserved() {
+        let g = gm_graph::gen::path(4);
+        let src = "Procedure f(G: Graph, s: Node, dist: N_P<Int>) {
+            s.dist = 9;
+        }";
+        let (mut p, _) = lowered(src);
+        let infos = crate::sema::check(&mut p).unwrap();
+        let out = run_procedure(
+            &g,
+            &p.procedures[0],
+            &infos[0],
+            &HashMap::from([("s".to_owned(), ArgValue::Scalar(Value::Node(2)))]),
+            0,
+        )
+        .unwrap();
+        assert_eq!(out.node_props["dist"][2], Value::Int(9));
+        assert_eq!(out.node_props["dist"][0], Value::Int(0));
+    }
+}

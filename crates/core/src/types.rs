@@ -1,0 +1,193 @@
+//! The Green-Marl type system.
+
+use std::fmt;
+
+/// A Green-Marl type.
+///
+/// `Int`/`Long` evaluate as 64-bit integers and `Float`/`Double` as 64-bit
+/// floats in this implementation, but the width distinction is kept because
+/// message-payload byte accounting (the paper's network I/O metric) uses the
+/// declared width.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    Long,
+    /// 32-bit float.
+    Float,
+    /// 64-bit float.
+    Double,
+    /// Boolean.
+    Bool,
+    /// A vertex of the (single) input graph.
+    Node,
+    /// An edge of the input graph.
+    Edge,
+    /// The input graph itself.
+    Graph,
+    /// A per-vertex property of the inner type (`Node_Prop<T>` / `N_P<T>`).
+    NodeProp(Box<Ty>),
+    /// A per-edge property of the inner type (`Edge_Prop<T>` / `E_P<T>`).
+    EdgeProp(Box<Ty>),
+}
+
+impl Ty {
+    /// Whether this is a numeric scalar (`Int`, `Long`, `Float`, `Double`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Long | Ty::Float | Ty::Double)
+    }
+
+    /// Whether this is an integer scalar.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Long)
+    }
+
+    /// Whether this is a floating-point scalar.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::Float | Ty::Double)
+    }
+
+    /// Whether values of this type can live in vertex state / messages
+    /// (scalars and `Node`/`Edge` references).
+    pub fn is_value(&self) -> bool {
+        matches!(
+            self,
+            Ty::Int | Ty::Long | Ty::Float | Ty::Double | Ty::Bool | Ty::Node | Ty::Edge
+        )
+    }
+
+    /// Serialized width in bytes, as the generated Java serialization would
+    /// ship it — this drives the network-I/O metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-value types (`Graph`, properties).
+    pub fn byte_width(&self) -> u64 {
+        match self {
+            Ty::Int | Ty::Float => 4,
+            Ty::Long | Ty::Double => 8,
+            Ty::Bool => 1,
+            Ty::Node => 4,
+            Ty::Edge => 4,
+            other => panic!("type {other} has no serialized width"),
+        }
+    }
+
+    /// The inner type of a property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a property type.
+    pub fn prop_inner(&self) -> &Ty {
+        match self {
+            Ty::NodeProp(inner) | Ty::EdgeProp(inner) => inner,
+            other => panic!("type {other} is not a property"),
+        }
+    }
+
+    /// The result type of a binary arithmetic operation between `self` and
+    /// `other`, or `None` if the combination is ill-typed. Widening follows
+    /// the usual numeric lattice (`Int < Long < Float < Double`).
+    pub fn join_numeric(&self, other: &Ty) -> Option<Ty> {
+        if !self.is_numeric() || !other.is_numeric() {
+            return None;
+        }
+        fn rank(t: &Ty) -> u8 {
+            match t {
+                Ty::Int => 0,
+                Ty::Long => 1,
+                Ty::Float => 2,
+                Ty::Double => 3,
+                _ => unreachable!(),
+            }
+        }
+        Some(if rank(self) >= rank(other) {
+            self.clone()
+        } else {
+            other.clone()
+        })
+    }
+
+    /// Whether a value of type `from` can be assigned to a slot of type
+    /// `self` (identity or numeric widening; `Int`/`Long` and
+    /// `Float`/`Double` are mutually assignable since they share runtime
+    /// representations).
+    pub fn accepts(&self, from: &Ty) -> bool {
+        self == from || (self.is_numeric() && from.is_numeric())
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => f.write_str("Int"),
+            Ty::Long => f.write_str("Long"),
+            Ty::Float => f.write_str("Float"),
+            Ty::Double => f.write_str("Double"),
+            Ty::Bool => f.write_str("Bool"),
+            Ty::Node => f.write_str("Node"),
+            Ty::Edge => f.write_str("Edge"),
+            Ty::Graph => f.write_str("Graph"),
+            Ty::NodeProp(inner) => write!(f, "Node_Prop<{inner}>"),
+            Ty::EdgeProp(inner) => write!(f, "Edge_Prop<{inner}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Ty::Int.is_numeric() && Ty::Double.is_numeric());
+        assert!(!Ty::Bool.is_numeric());
+        assert!(Ty::Long.is_integer() && !Ty::Float.is_integer());
+        assert!(Ty::Float.is_float() && !Ty::Int.is_float());
+        assert!(Ty::Node.is_value());
+        assert!(!Ty::Graph.is_value());
+    }
+
+    #[test]
+    fn byte_widths_match_declared_types() {
+        assert_eq!(Ty::Int.byte_width(), 4);
+        assert_eq!(Ty::Long.byte_width(), 8);
+        assert_eq!(Ty::Float.byte_width(), 4);
+        assert_eq!(Ty::Double.byte_width(), 8);
+        assert_eq!(Ty::Bool.byte_width(), 1);
+        assert_eq!(Ty::Node.byte_width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no serialized width")]
+    fn graph_has_no_width() {
+        Ty::Graph.byte_width();
+    }
+
+    #[test]
+    fn numeric_join() {
+        assert_eq!(Ty::Int.join_numeric(&Ty::Double), Some(Ty::Double));
+        assert_eq!(Ty::Long.join_numeric(&Ty::Int), Some(Ty::Long));
+        assert_eq!(Ty::Bool.join_numeric(&Ty::Int), None);
+    }
+
+    #[test]
+    fn accepts_widening() {
+        assert!(Ty::Double.accepts(&Ty::Int));
+        assert!(Ty::Int.accepts(&Ty::Double)); // shared runtime repr
+        assert!(!Ty::Bool.accepts(&Ty::Int));
+        assert!(Ty::Node.accepts(&Ty::Node));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::NodeProp(Box::new(Ty::Int)).to_string(), "Node_Prop<Int>");
+        assert_eq!(Ty::EdgeProp(Box::new(Ty::Double)).to_string(), "Edge_Prop<Double>");
+    }
+
+    #[test]
+    fn prop_inner_access() {
+        assert_eq!(*Ty::NodeProp(Box::new(Ty::Bool)).prop_inner(), Ty::Bool);
+    }
+}

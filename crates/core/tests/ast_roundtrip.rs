@@ -1,0 +1,210 @@
+//! Structured parser/printer round-trip: generate random ASTs directly
+//! (deeper grammar coverage than string-level fuzzing), print them, parse
+//! the output, and require a pretty-print fixed point.
+
+use gm_core::ast::*;
+use gm_core::parser::parse;
+use gm_core::pretty::program_to_string;
+use gm_core::types::Ty;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords and type names.
+    "[a-z][a-z0-9_]{0,6}".prop_filter("reserved word", |s| {
+        !matches!(
+            s.as_str(),
+            "min" | "max" // recombine into reduction-assignment tokens
+        )
+    })
+}
+
+fn scalar_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![
+        Just(Ty::Int),
+        Just(Ty::Long),
+        Just(Ty::Float),
+        Just(Ty::Double),
+        Just(Ty::Bool),
+        Just(Ty::Node),
+    ]
+}
+
+fn literal() -> impl Strategy<Value = ExprKind> {
+    prop_oneof![
+        (-100i64..100).prop_map(ExprKind::IntLit),
+        (-100i64..100).prop_map(|v| ExprKind::FloatLit(v as f64 / 4.0)),
+        any::<bool>().prop_map(ExprKind::BoolLit),
+        Just(ExprKind::Nil),
+    ]
+}
+
+fn expr(vars: Vec<String>) -> impl Strategy<Value = Expr> {
+    let leaf = {
+        let vars = vars.clone();
+        prop_oneof![
+            literal().prop_map(Expr::synth),
+            (0..vars.len().max(1)).prop_map(move |i| {
+                if vars.is_empty() {
+                    Expr::int(1)
+                } else {
+                    Expr::var(&vars[i % vars.len()])
+                }
+            }),
+        ]
+    };
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), any::<u8>(), inner.clone()).prop_map(|(a, op, b)| {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Eq,
+                    BinOp::Lt,
+                    BinOp::Ge,
+                ];
+                Expr::binary(ops[op as usize % ops.len()], a, b)
+            }),
+            inner.clone().prop_map(|e| Expr::synth(ExprKind::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            })),
+            inner.clone().prop_map(|e| Expr::synth(ExprKind::Unary {
+                op: UnOp::Abs,
+                expr: Box::new(e),
+            })),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::synth(
+                ExprKind::Ternary {
+                    cond: Box::new(c),
+                    then_val: Box::new(a),
+                    else_val: Box::new(b),
+                }
+            )),
+        ]
+    })
+}
+
+fn stmt(vars: Vec<String>, depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = {
+        let vars = vars.clone();
+        (0..vars.len().max(1), expr(vars.clone()), any::<u8>()).prop_map(move |(i, e, op)| {
+            let ops = [
+                AssignOp::Assign,
+                AssignOp::Add,
+                AssignOp::Sub,
+                AssignOp::Min,
+                AssignOp::Max,
+            ];
+            let name = if vars.is_empty() {
+                "x".to_owned()
+            } else {
+                vars[i % vars.len()].clone()
+            };
+            Stmt::synth(StmtKind::Assign {
+                target: Target::Scalar(name),
+                op: ops[op as usize % ops.len()],
+                value: e,
+            })
+        })
+    };
+    if depth == 0 {
+        return assign.boxed();
+    }
+    let nested_if = {
+        let vars = vars.clone();
+        (
+            expr(vars.clone()),
+            prop::collection::vec(stmt(vars.clone(), depth - 1), 1..3),
+            prop::option::of(prop::collection::vec(stmt(vars, depth - 1), 1..3)),
+        )
+            .prop_map(|(cond, then_s, else_s)| {
+                Stmt::synth(StmtKind::If {
+                    cond,
+                    then_branch: Block::of(then_s),
+                    else_branch: else_s.map(Block::of),
+                })
+            })
+    };
+    let nested_while = {
+        let vars = vars.clone();
+        (
+            expr(vars.clone()),
+            prop::collection::vec(stmt(vars, depth - 1), 1..3),
+        )
+            .prop_map(|(cond, body)| {
+                Stmt::synth(StmtKind::While {
+                    cond,
+                    body: Block::of(body),
+                    do_while: false,
+                })
+            })
+    };
+    prop_oneof![3 => assign, 1 => nested_if, 1 => nested_while].boxed()
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec((ident(), scalar_ty()), 1..4),
+        prop::collection::vec(Just(()), 0..1),
+    )
+        .prop_flat_map(|(decls, _)| {
+            // Deduplicate declared names.
+            let mut names = Vec::new();
+            let mut unique = Vec::new();
+            for (n, t) in decls {
+                if !names.contains(&n) {
+                    names.push(n.clone());
+                    unique.push((n, t));
+                }
+            }
+            let vars: Vec<String> = unique.iter().map(|(n, _)| n.clone()).collect();
+            prop::collection::vec(stmt(vars, 2), 0..5).prop_map(move |stmts| {
+                let mut body = Vec::new();
+                for (n, t) in &unique {
+                    body.push(Stmt::synth(StmtKind::VarDecl {
+                        ty: t.clone(),
+                        name: n.clone(),
+                        init: Some(match t {
+                            Ty::Bool => Expr::bool(false),
+                            Ty::Node => Expr::synth(ExprKind::Nil),
+                            Ty::Float | Ty::Double => {
+                                Expr::synth(ExprKind::FloatLit(0.0))
+                            }
+                            _ => Expr::int(0),
+                        }),
+                    }));
+                }
+                body.extend(stmts);
+                Program {
+                    procedures: vec![Procedure {
+                        name: "generated".into(),
+                        params: vec![Param {
+                            name: "G".into(),
+                            ty: Ty::Graph,
+                            span: gm_core::Span::synthetic(),
+                        }],
+                        ret: None,
+                        body: Block::of(body),
+                        span: gm_core::Span::synthetic(),
+                    }],
+                }
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print(parse(print(ast))) == print(ast): the printer emits valid
+    /// Green-Marl and reaches a fixed point.
+    #[test]
+    fn pretty_print_parse_fixed_point(p in program()) {
+        let printed = program_to_string(&p);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!("printer emitted invalid source:\n{}\n---\n{printed}", e.render(&printed));
+        });
+        let printed2 = program_to_string(&reparsed);
+        prop_assert_eq!(printed, printed2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Plain-text edge-list reading and writing.
+//!
+//! The format is one `src dst` pair per line (whitespace separated), with
+//! optional `#`-prefixed comment lines — the same convention as SNAP data
+//! sets. An optional third column carries an integer edge weight, returned
+//! as an aligned weight vector.
+
+use crate::{Graph, GraphBuilder};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Error produced while parsing an edge list.
+#[derive(Debug)]
+pub enum ParseGraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a valid edge.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::Io(e) => write!(f, "i/o error reading edge list: {e}"),
+            ParseGraphError::Malformed { line, text } => {
+                write!(f, "malformed edge list line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseGraphError::Io(e) => Some(e),
+            ParseGraphError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseGraphError {
+    fn from(e: std::io::Error) -> Self {
+        ParseGraphError::Io(e)
+    }
+}
+
+/// Result of [`read_edge_list`]: the graph plus per-edge weights (all `1` if
+/// the input had no weight column). Weights are aligned with [`crate::EdgeId`]s.
+#[derive(Debug, Clone)]
+pub struct LoadedGraph {
+    /// The parsed graph.
+    pub graph: Graph,
+    /// Weight of each edge, in edge-id order.
+    pub weights: Vec<i64>,
+}
+
+/// Reads an edge list from `reader`. Vertex count is `1 + max id` seen.
+///
+/// A `reader` can be passed by mutable reference as well as by value.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError::Malformed`] for lines that are not blank,
+/// comments, or 2/3-column integer rows, and [`ParseGraphError::Io`] for
+/// underlying read failures.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseGraphError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<i64> = Vec::new();
+    let mut max_id: u32 = 0;
+    let mut any = false;
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let malformed = || ParseGraphError::Malformed {
+            line: i + 1,
+            text: trimmed.to_owned(),
+        };
+        let src: u32 = it.next().ok_or_else(malformed)?.parse().map_err(|_| malformed())?;
+        let dst: u32 = it.next().ok_or_else(malformed)?.parse().map_err(|_| malformed())?;
+        let w: i64 = match it.next() {
+            Some(tok) => tok.parse().map_err(|_| malformed())?,
+            None => 1,
+        };
+        if it.next().is_some() {
+            return Err(malformed());
+        }
+        any = true;
+        max_id = max_id.max(src).max(dst);
+        edges.push((src, dst));
+        weights.push(w);
+    }
+    let n = if any { max_id + 1 } else { 0 };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    // Weights must follow edges through the CSR permutation: build the graph,
+    // then map weights by matching insertion order per source (stable sort).
+    for &(s, d) in &edges {
+        b.add_edge(s, d);
+    }
+    let graph = b.build();
+    // Reconstruct edge-id order: counting sort mirrors GraphBuilder::build.
+    let mut offsets = vec![0u32; n as usize + 1];
+    for &(s, _) in &edges {
+        offsets[s as usize + 1] += 1;
+    }
+    for i in 0..n as usize {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets;
+    let mut sorted_weights = vec![0i64; edges.len()];
+    for (k, &(s, _)) in edges.iter().enumerate() {
+        let slot = cursor[s as usize] as usize;
+        sorted_weights[slot] = weights[k];
+        cursor[s as usize] += 1;
+    }
+    Ok(LoadedGraph {
+        graph,
+        weights: sorted_weights,
+    })
+}
+
+/// Reads an edge list from a file path. See [`read_edge_list`].
+///
+/// # Errors
+///
+/// Same conditions as [`read_edge_list`], plus file-open failures.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, ParseGraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f)
+}
+
+/// Writes `graph` as an edge list. If `weights` is provided it must be
+/// edge-id aligned and is emitted as a third column.
+///
+/// A `writer` can be passed by mutable reference as well as by value.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+///
+/// # Panics
+///
+/// Panics if `weights` is provided with the wrong length.
+pub fn write_edge_list<W: Write>(
+    graph: &Graph,
+    weights: Option<&[i64]>,
+    mut writer: W,
+) -> std::io::Result<()> {
+    if let Some(w) = weights {
+        assert_eq!(
+            w.len(),
+            graph.num_edges() as usize,
+            "weights must be edge-aligned"
+        );
+    }
+    for n in graph.nodes() {
+        for (t, e) in graph.out_neighbors(n) {
+            match weights {
+                Some(w) => writeln!(writer, "{} {} {}", n.0, t.0, w[e.index()])?,
+                None => writeln!(writer, "{} {}", n.0, t.0)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn parse_simple() {
+        let text = "# comment\n0 1\n1 2\n\n2 0\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.weights, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn parse_weights_follow_csr_permutation() {
+        // Insert out of src order so the counting sort actually permutes.
+        let text = "1 0 7\n0 2 5\n0 1 3\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        let g = &loaded.graph;
+        // Edge ids: vertex 0's edges first in insertion order: (0,2,w5)=e0,
+        // (0,1,w3)=e1, then (1,0,w7)=e2.
+        assert_eq!(g.edge_target(crate::EdgeId(0)), NodeId(2));
+        assert_eq!(loaded.weights, vec![5, 3, 7]);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn too_many_columns_is_malformed() {
+        let text = "0 1 2 3\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let loaded = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 0);
+    }
+
+    #[test]
+    fn roundtrip_with_weights() {
+        let text = "0 1 10\n0 2 20\n1 2 30\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&loaded.graph, Some(&loaded.weights), &mut out).unwrap();
+        let again = read_edge_list(&out[..]).unwrap();
+        assert_eq!(again.weights, loaded.weights);
+        let e1: Vec<_> = loaded.graph.edges().collect();
+        let e2: Vec<_> = again.graph.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let err = ParseGraphError::Malformed {
+            line: 3,
+            text: "x".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+    }
+}

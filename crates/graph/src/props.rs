@@ -1,0 +1,210 @@
+//! Dense property vectors aligned with node and edge ids.
+//!
+//! These are the shared-memory analogue of Green-Marl's `Node_Prop<T>` and
+//! `Edge_Prop<T>`: a value of type `T` for every vertex (edge), indexable by
+//! [`NodeId`] ([`EdgeId`]) without casting.
+
+use crate::{EdgeId, Graph, NodeId};
+use std::ops::{Index, IndexMut};
+
+/// A `T` per vertex, indexed by [`NodeId`].
+///
+/// # Example
+///
+/// ```
+/// use gm_graph::{gen, NodeProp, NodeId};
+///
+/// let g = gen::path(4);
+/// let mut dist = NodeProp::new(&g, i64::MAX);
+/// dist[NodeId(0)] = 0;
+/// assert_eq!(dist[NodeId(0)], 0);
+/// assert_eq!(dist[NodeId(3)], i64::MAX);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeProp<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> NodeProp<T> {
+    /// Creates a property initialized to `init` for every vertex of `g`.
+    pub fn new(g: &Graph, init: T) -> Self {
+        NodeProp {
+            values: vec![init; g.num_nodes() as usize],
+        }
+    }
+
+    /// Resets every vertex back to `value` (Green-Marl's `G.prop = value`).
+    pub fn fill(&mut self, value: T) {
+        for v in &mut self.values {
+            *v = value.clone();
+        }
+    }
+}
+
+impl<T> NodeProp<T> {
+    /// Wraps an existing vector; `values[i]` belongs to vertex `i`.
+    pub fn from_vec(values: Vec<T>) -> Self {
+        NodeProp { values }
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the graph had zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable view of the underlying storage, in vertex-id order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Consumes the property, yielding the underlying vector.
+    pub fn into_inner(self) -> Vec<T> {
+        self.values
+    }
+
+    /// Iterates `(NodeId, &T)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (NodeId(i as u32), v))
+    }
+}
+
+impl<T> Index<NodeId> for NodeProp<T> {
+    type Output = T;
+
+    fn index(&self, n: NodeId) -> &T {
+        &self.values[n.index()]
+    }
+}
+
+impl<T> IndexMut<NodeId> for NodeProp<T> {
+    fn index_mut(&mut self, n: NodeId) -> &mut T {
+        &mut self.values[n.index()]
+    }
+}
+
+/// A `T` per edge, indexed by [`EdgeId`].
+///
+/// # Example
+///
+/// ```
+/// use gm_graph::{gen, EdgeProp, EdgeId};
+///
+/// let g = gen::path(3);
+/// let len = EdgeProp::new(&g, 1i64);
+/// assert_eq!(len[EdgeId(0)], 1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeProp<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> EdgeProp<T> {
+    /// Creates a property initialized to `init` for every edge of `g`.
+    pub fn new(g: &Graph, init: T) -> Self {
+        EdgeProp {
+            values: vec![init; g.num_edges() as usize],
+        }
+    }
+
+    /// Resets every edge back to `value`.
+    pub fn fill(&mut self, value: T) {
+        for v in &mut self.values {
+            *v = value.clone();
+        }
+    }
+}
+
+impl<T> EdgeProp<T> {
+    /// Wraps an existing vector; `values[i]` belongs to edge `i`.
+    pub fn from_vec(values: Vec<T>) -> Self {
+        EdgeProp { values }
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the graph had zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable view of the underlying storage, in edge-id order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Consumes the property, yielding the underlying vector.
+    pub fn into_inner(self) -> Vec<T> {
+        self.values
+    }
+}
+
+impl<T> Index<EdgeId> for EdgeProp<T> {
+    type Output = T;
+
+    fn index(&self, e: EdgeId) -> &T {
+        &self.values[e.index()]
+    }
+}
+
+impl<T> IndexMut<EdgeId> for EdgeProp<T> {
+    fn index_mut(&mut self, e: EdgeId) -> &mut T {
+        &mut self.values[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn node_prop_basics() {
+        let g = gen::path(4);
+        let mut p = NodeProp::new(&g, 0i64);
+        p[NodeId(2)] = 9;
+        assert_eq!(p[NodeId(2)], 9);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        p.fill(5);
+        assert!(p.as_slice().iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn node_prop_iter_order() {
+        let g = gen::path(3);
+        let p = NodeProp::from_vec(vec![10, 20, 30]);
+        let _ = &g;
+        let collected: Vec<_> = p.iter().map(|(n, &v)| (n.0, v)).collect();
+        assert_eq!(collected, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn edge_prop_basics() {
+        let g = gen::cycle(5);
+        let mut w = EdgeProp::new(&g, 1.0f64);
+        w[EdgeId(3)] = 2.5;
+        assert_eq!(w[EdgeId(3)], 2.5);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.clone().into_inner().len(), 5);
+    }
+
+    #[test]
+    fn empty_props() {
+        let g = gen::path(0);
+        let p = NodeProp::new(&g, 0u8);
+        assert!(p.is_empty());
+        let e = EdgeProp::new(&g, 0u8);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests over the CSR construction and generators.
+
+use gm_graph::{gen, io, GraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small edge list over `n` vertices.
+fn edge_list() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (1u32..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..200);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_invariants_hold((n, edges) in edge_list()) {
+        let mut b = GraphBuilder::new(n);
+        for (s, d) in &edges {
+            b.add_edge(*s, *d);
+        }
+        let g = b.build();
+        prop_assert!(g.validate());
+        prop_assert_eq!(g.num_edges() as usize, edges.len());
+    }
+
+    #[test]
+    fn degree_sums_equal_edge_count((n, edges) in edge_list()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend(edges.iter().copied());
+        let g = b.build();
+        let out_sum: u32 = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_sum: u32 = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+    }
+
+    #[test]
+    fn edge_multiset_is_preserved((n, edges) in edge_list()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend(edges.iter().copied());
+        let g = b.build();
+        let mut expected: Vec<(u32, u32)> = edges;
+        expected.sort_unstable();
+        let mut actual: Vec<(u32, u32)> =
+            g.edges().map(|(s, d)| (s.0, d.0)).collect();
+        actual.sort_unstable();
+        prop_assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn in_neighbors_mirror_out_neighbors((n, edges) in edge_list()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend(edges.iter().copied());
+        let g = b.build();
+        let mut fwd: Vec<(u32, u32, u32)> = Vec::new();
+        for v in g.nodes() {
+            for (t, e) in g.out_neighbors(v) {
+                fwd.push((v.0, t.0, e.0));
+            }
+        }
+        let mut rev: Vec<(u32, u32, u32)> = Vec::new();
+        for v in g.nodes() {
+            for (s, e) in g.in_neighbors(v) {
+                rev.push((s.0, v.0, e.0));
+            }
+        }
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn edge_list_roundtrip((n, edges) in edge_list()) {
+        prop_assume!(!edges.is_empty());
+        let mut b = GraphBuilder::new(n);
+        b.extend(edges.iter().copied());
+        let g = b.build();
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, None, &mut buf).unwrap();
+        let loaded = io::read_edge_list(&buf[..]).unwrap();
+        let e1: Vec<_> = g.edges().map(|(s, d)| (s.0, d.0)).collect();
+        let e2: Vec<_> = loaded.graph.edges().map(|(s, d)| (s.0, d.0)).collect();
+        prop_assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn generators_validate(seed in 0u64..1000) {
+        prop_assert!(gen::uniform_random(64, 256, seed).validate());
+        prop_assert!(gen::rmat(64, 256, seed).validate());
+        prop_assert!(gen::bipartite(16, 16, 64, seed).validate());
+        prop_assert!(gen::gnp(16, 0.3, seed).validate());
+    }
+}

@@ -1,0 +1,247 @@
+//! `gmc` — the Green-Marl → Pregel compiler driver.
+//!
+//! ```text
+//! gmc compile <file.gm> [--emit java|canonical|states] [--no-opt]
+//! gmc run <file.gm> --graph <edges.txt> [--arg name=value]...
+//!         [--seed N] [--workers N] [--print prop]
+//! ```
+//!
+//! `--trace` prints the per-superstep execution of the generated state
+//! machine. `run` loads a whitespace edge list (`src dst [weight]`); if the
+//! procedure declares edge-property parameters, the first one is fed from
+//! the weight column. Scalar arguments are given as `--arg K=25`,
+//! `--arg d=0.85`, `--arg root=n:0`, `--arg flag=true`. Node properties
+//! not supplied start at their type's default.
+
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions};
+use gm_interp::run_compiled;
+use gm_pregel::PregelConfig;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        _ => {
+            eprintln!("usage: gmc compile <file.gm> [--emit java|canonical|states] [--no-opt]");
+            eprintln!("       gmc run <file.gm> --graph <edges.txt> [--arg name=value]...");
+            eprintln!("               [--seed N] [--workers N] [--print prop]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_and_compile(path: &str, optimize: bool) -> Result<gm_core::Compiled, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let options = if optimize {
+        CompileOptions::default()
+    } else {
+        CompileOptions::unoptimized()
+    };
+    compile(&src, &options).map_err(|d| format!("compilation failed:\n{}", d.render(&src)))
+}
+
+fn cmd_compile(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("gmc compile: missing input file");
+        return ExitCode::FAILURE;
+    };
+    let mut emit = "states";
+    let mut optimize = true;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--emit" => match it.next() {
+                Some(e) => emit = e,
+                None => {
+                    eprintln!("gmc compile: --emit needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--no-opt" => optimize = false,
+            other => {
+                eprintln!("gmc compile: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let compiled = match load_and_compile(path, optimize) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match emit {
+        "java" => print!("{}", gm_core::javagen::emit_java(&compiled.program)),
+        "canonical" => print!("{}", compiled.canonical_source),
+        "states" => {
+            print!("{}", compiled.program);
+            println!("transformations: {}", compiled.report);
+        }
+        other => {
+            eprintln!("gmc compile: unknown --emit kind {other} (java|canonical|states)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(node) = text.strip_prefix("n:") {
+        return node
+            .parse::<u32>()
+            .map(Value::Node)
+            .map_err(|e| format!("bad node id {text}: {e}"));
+    }
+    if text == "true" || text == "True" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" || text == "False" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(v) = text.parse::<i64>() {
+        return Ok(Value::Int(v));
+    }
+    if let Ok(v) = text.parse::<f64>() {
+        return Ok(Value::Double(v));
+    }
+    Err(format!("cannot parse value {text:?} (try 42, 0.5, true, n:3)"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("gmc run: missing input file");
+        return ExitCode::FAILURE;
+    };
+    let mut graph_path = None;
+    let mut scalar_args: Vec<(String, Value)> = Vec::new();
+    let mut seed = 0u64;
+    let mut workers = 0usize;
+    let mut print_prop: Option<String> = None;
+    let mut trace = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("gmc run: {flag} needs a value"))
+        };
+        let r: Result<(), String> = (|| {
+            match a.as_str() {
+                "--graph" => graph_path = Some(take("--graph")?),
+                "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+                "--workers" => {
+                    workers = take("--workers")?.parse().map_err(|e| format!("bad workers: {e}"))?
+                }
+                "--print" => print_prop = Some(take("--print")?),
+                "--trace" => trace = true,
+                "--arg" => {
+                    let kv = take("--arg")?;
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| format!("--arg expects name=value, got {kv:?}"))?;
+                    scalar_args.push((k.to_owned(), parse_value(v)?));
+                }
+                other => return Err(format!("gmc run: unknown flag {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(graph_path) = graph_path else {
+        eprintln!("gmc run: --graph is required");
+        return ExitCode::FAILURE;
+    };
+
+    let compiled = match load_and_compile(path, true) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let loaded = match gm_graph::io::read_edge_list_file(&graph_path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gmc run: cannot load graph {graph_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut arg_map: HashMap<String, ArgValue> = scalar_args
+        .into_iter()
+        .map(|(k, v)| (k, ArgValue::Scalar(v)))
+        .collect();
+    // Feed the weight column to the first edge-property parameter.
+    if let Some((name, _)) = compiled.program.edge_props.first() {
+        arg_map.entry(name.clone()).or_insert_with(|| {
+            ArgValue::EdgeProp(loaded.weights.iter().map(|&w| Value::Int(w)).collect())
+        });
+    }
+
+    let config = if workers == 0 {
+        PregelConfig::default()
+    } else {
+        PregelConfig::with_workers(workers)
+    };
+    let start = std::time::Instant::now();
+    let out = match run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gmc run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ran `{}` on {} vertices / {} edges in {:.2?}",
+        compiled.program.name,
+        loaded.graph.num_nodes(),
+        loaded.graph.num_edges(),
+        start.elapsed()
+    );
+    println!(
+        "supersteps: {}   messages: {} ({} bytes)",
+        out.metrics.supersteps, out.metrics.total_messages, out.metrics.total_message_bytes
+    );
+    if let Some(ret) = &out.ret {
+        println!("return value: {ret}");
+    }
+    if trace {
+        println!("{:>9} {:>6} {:>10} {:>10} {:>12}", "superstep", "state", "active", "messages", "bytes");
+        for (i, t) in out.trace.iter().enumerate() {
+            println!(
+                "{:>9} {:>6} {:>10} {:>10} {:>12}",
+                i, t.state, t.active_vertices, t.messages_sent, t.message_bytes
+            );
+        }
+    }
+    if let Some(prop) = print_prop {
+        match out.node_props.get(&prop) {
+            Some(values) => {
+                for (i, v) in values.iter().enumerate() {
+                    println!("{i}\t{v}");
+                }
+            }
+            None => {
+                eprintln!(
+                    "gmc run: no property `{prop}` (have: {})",
+                    out.node_props
+                        .keys()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,29 @@
+//! Facade crate: one `use greenmarl::prelude::*` away from compiling and
+//! running Green-Marl graph programs on the bundled Pregel runtime.
+//!
+//! This workspace reproduces *"Simplifying Scalable Graph Processing with a
+//! Domain-Specific Language"* (CGO 2014). See the individual crates:
+//!
+//! * [`gm_graph`] — graph substrate (CSR, generators, I/O);
+//! * [`gm_pregel`] — the BSP vertex-centric runtime (GPS-style);
+//! * [`gm_core`] — the Green-Marl → Pregel compiler (the paper's
+//!   contribution);
+//! * [`gm_interp`] — executes compiled state machines on the runtime;
+//! * [`gm_algorithms`] — the paper's six benchmark algorithms (sources,
+//!   manual baselines, sequential oracles).
+
+pub use gm_algorithms as algorithms;
+pub use gm_core as core;
+pub use gm_graph as graph;
+pub use gm_interp as interp;
+pub use gm_pregel as pregel;
+
+/// The most common imports for using the library.
+pub mod prelude {
+    pub use gm_core::seqinterp::ArgValue;
+    pub use gm_core::value::Value;
+    pub use gm_core::{compile, CompileOptions, Compiled};
+    pub use gm_graph::{gen, Graph, GraphBuilder, NodeId};
+    pub use gm_interp::{run_compiled, CompiledOutcome};
+    pub use gm_pregel::PregelConfig;
+}

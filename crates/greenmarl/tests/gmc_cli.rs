@@ -1,0 +1,124 @@
+//! Integration tests for the `gmc` CLI binary: drive the real executable
+//! end-to-end over a temp workspace.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn gmc() -> Command {
+    // Cargo exposes the binary path to integration tests of the same crate.
+    Command::new(env!("CARGO_BIN_EXE_gmc"))
+}
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gmc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+const SSSP: &str = r"
+Procedure sssp(G: Graph, root: Node, len: E_P<Int>, dist: N_P<Int>) {
+    Node_Prop<Int> dist_nxt;
+    Node_Prop<Bool> updated;
+    G.dist = (G == root) ? 0 : INF;
+    G.updated = (G == root) ? True : False;
+    G.dist_nxt = G.dist;
+    Bool fin = False;
+    While (!fin) {
+        Foreach (n: G.Nodes)(n.updated) {
+            Foreach (s: n.Nbrs) {
+                Edge e = s.ToEdge();
+                s.dist_nxt min= n.dist + e.len;
+            }
+        }
+        Foreach (n: G.Nodes) {
+            n.updated = n.dist_nxt < n.dist;
+            n.dist = n.dist_nxt;
+        }
+        fin = !Exist(n: G.Nodes)(n.updated);
+    }
+}
+";
+
+#[test]
+fn compile_emits_states_java_and_canonical() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+
+    let out = gmc().args(["compile", gm.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pregel program `sssp`"), "{text}");
+    assert!(text.contains("transformations:"), "{text}");
+
+    let out = gmc()
+        .args(["compile", gm.to_str().unwrap(), "--emit", "java"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("class GMVertex"), "{text}");
+
+    let out = gmc()
+        .args(["compile", gm.to_str().unwrap(), "--emit", "canonical"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Foreach"), "{text}");
+}
+
+#[test]
+fn run_executes_and_prints_property() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp2.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+    let edges = dir.join("edges.txt");
+    std::fs::write(&edges, "0 1 2\n1 2 3\n2 3 4\n0 3 10\n").unwrap();
+
+    let out = gmc()
+        .args([
+            "run",
+            gm.to_str().unwrap(),
+            "--graph",
+            edges.to_str().unwrap(),
+            "--arg",
+            "root=n:0",
+            "--print",
+            "dist",
+            "--workers",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("supersteps:"), "{text}");
+    // dist: 0, 2, 5, 9 via the weighted path.
+    assert!(text.contains("0\t0"), "{text}");
+    assert!(text.contains("1\t2"), "{text}");
+    assert!(text.contains("2\t5"), "{text}");
+    assert!(text.contains("3\t9"), "{text}");
+}
+
+#[test]
+fn bad_inputs_fail_with_diagnostics() {
+    let dir = temp_dir();
+    let gm = dir.join("bad.gm");
+    std::fs::write(&gm, "Procedure broken(").unwrap();
+    let out = gmc().args(["compile", gm.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("compilation failed"), "{err}");
+
+    // Missing --graph.
+    let out = gmc().args(["run", gm.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Unknown flag.
+    let out = gmc()
+        .args(["compile", gm.to_str().unwrap(), "--wat"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

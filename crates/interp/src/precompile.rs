@@ -1,0 +1,493 @@
+//! Precompilation of the PIR into a slot-resolved form.
+//!
+//! The PIR reuses named AST expressions; evaluating them directly costs a
+//! string hash per property/local/global read, per vertex, per superstep.
+//! This module resolves every name to an index once, folds `INF`/`NIL`
+//! literals into constants, and flattens the kernels into [`CInstr`]
+//! programs the executor can run allocation-free.
+
+use gm_core::ast::{AssignOp, BinOp, Expr, ExprKind, UnOp};
+use gm_core::pir::{
+    PregelProgram, RecvAction, VInstr, VertexKernel, EDGE, IN_NBRS_TAG, PAYLOAD_PREFIX, SELF,
+};
+use gm_core::types::Ty;
+use gm_core::value::{Value, NIL_NODE};
+use std::collections::HashMap;
+
+/// A name-free expression.
+#[derive(Clone, Debug)]
+pub enum CExpr {
+    /// Literal (including resolved `INF`/`NIL`).
+    Const(Value),
+    /// Own property by slot.
+    Prop(usize),
+    /// Property of the connecting edge, by edge-column slot.
+    EdgeProp(usize),
+    /// Message payload field by position.
+    Payload(usize),
+    /// Kernel local by slot.
+    Local(usize),
+    /// Broadcast global by per-kernel slot.
+    Global(usize),
+    /// The executing vertex's id.
+    SelfId,
+    /// `Degree()` of the executing vertex.
+    OutDegree,
+    /// `InDegree()` (length of the in-neighbor array).
+    InDegree,
+    /// `G.NumNodes()`.
+    NumNodes,
+    /// `G.NumEdges()`.
+    NumEdges,
+    /// Unary operation.
+    Un(UnOp, Box<CExpr>),
+    /// Binary operation (`&&`/`||` short-circuit).
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Conditional with optional result coercion.
+    Ternary {
+        /// Condition.
+        cond: Box<CExpr>,
+        /// True branch.
+        then_val: Box<CExpr>,
+        /// False branch.
+        else_val: Box<CExpr>,
+        /// Result type to coerce to (from the checker's annotation).
+        coerce: Option<Ty>,
+    },
+}
+
+/// A name-free vertex instruction.
+#[derive(Clone, Debug)]
+pub enum CInstr {
+    /// Local slot write.
+    Local {
+        /// Slot.
+        slot: usize,
+        /// Operator.
+        op: AssignOp,
+        /// Value.
+        value: CExpr,
+        /// Declared type (for coercion).
+        ty: Ty,
+    },
+    /// Own property write.
+    WriteOwn {
+        /// Property slot.
+        prop: usize,
+        /// Operator (`Defer` buffers to kernel end).
+        op: AssignOp,
+        /// Value.
+        value: CExpr,
+        /// Property type (for coercion).
+        ty: Ty,
+    },
+    /// Global reduction.
+    ReduceGlobal {
+        /// Global name (the aggregation map is string-keyed).
+        name: String,
+        /// Operator.
+        op: AssignOp,
+        /// Value.
+        value: CExpr,
+    },
+    /// Send to all out-neighbors.
+    SendToNbrs {
+        /// Message tag.
+        tag: u8,
+        /// Payload expressions.
+        payload: Vec<CExpr>,
+        /// Whether any payload expression reads the connecting edge
+        /// (otherwise the payload is evaluated once and shared).
+        edge_dependent: bool,
+    },
+    /// Send to the materialized in-neighbors.
+    SendToInNbrs {
+        /// Message tag.
+        tag: u8,
+        /// Payload expressions.
+        payload: Vec<CExpr>,
+    },
+    /// Send to one vertex.
+    SendTo {
+        /// Destination.
+        dst: CExpr,
+        /// Message tag.
+        tag: u8,
+        /// Payload expressions.
+        payload: Vec<CExpr>,
+    },
+    /// Preamble: ship the own id to out-neighbors.
+    SendIdToNbrs,
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: CExpr,
+        /// True branch.
+        then_branch: Vec<CInstr>,
+        /// False branch.
+        else_branch: Vec<CInstr>,
+    },
+}
+
+/// A receive step.
+#[derive(Clone, Debug)]
+pub struct CStep {
+    /// Optional guard.
+    pub guard: Option<CExpr>,
+    /// The action.
+    pub action: CAction,
+}
+
+/// Receive actions.
+#[derive(Clone, Debug)]
+pub enum CAction {
+    /// Own property write.
+    WriteOwn {
+        /// Property slot.
+        prop: usize,
+        /// Operator.
+        op: AssignOp,
+        /// Value.
+        value: CExpr,
+        /// Property type.
+        ty: Ty,
+    },
+    /// Global reduction.
+    ReduceGlobal {
+        /// Global name.
+        name: String,
+        /// Operator.
+        op: AssignOp,
+        /// Value.
+        value: CExpr,
+    },
+    /// Store the sender id into the in-neighbor array.
+    StoreInNbr,
+}
+
+/// A receive handler.
+#[derive(Clone, Debug)]
+pub struct CRecv {
+    /// Optional handler-level guard.
+    pub guard: Option<CExpr>,
+    /// Steps per message.
+    pub steps: Vec<CStep>,
+}
+
+/// A precompiled vertex kernel.
+#[derive(Clone, Debug)]
+pub struct CKernel {
+    /// Handler per tag (`None` = drop).
+    pub recv_by_tag: Vec<Option<CRecv>>,
+    /// Whether `IN_NBRS_TAG` messages are stored.
+    pub stores_in_nbrs: bool,
+    /// Body gate.
+    pub filter: Option<CExpr>,
+    /// Body program.
+    pub body: Vec<CInstr>,
+    /// Number of local slots.
+    pub num_locals: usize,
+    /// Broadcast globals read by this kernel, in slot order.
+    pub reads_globals: Vec<String>,
+    /// Whether the receive phase reads own properties (snapshot needed).
+    pub snapshot_needed: bool,
+}
+
+/// The whole program, precompiled.
+#[derive(Clone, Debug)]
+pub struct Precompiled {
+    /// Kernel per state (`None` for master-only states).
+    pub kernels: Vec<Option<CKernel>>,
+    /// Serialized size per tag.
+    pub msg_bytes: Vec<u64>,
+    /// Serialized size of preamble messages.
+    pub in_nbrs_bytes: u64,
+}
+
+/// Precompiles every kernel of `program` against the property/edge-column
+/// index maps.
+pub fn precompile(
+    program: &PregelProgram,
+    prop_idx: &HashMap<String, usize>,
+    edge_idx: &HashMap<String, usize>,
+) -> Precompiled {
+    let kernels = program
+        .states
+        .iter()
+        .map(|s| s.vertex.as_ref().map(|k| compile_kernel(program, k, prop_idx, edge_idx)))
+        .collect();
+    Precompiled {
+        kernels,
+        msg_bytes: (0..program.messages.len())
+            .map(|t| program.message_bytes(t as u8))
+            .collect(),
+        in_nbrs_bytes: program.in_nbrs_message_bytes(),
+    }
+}
+
+struct Cx<'a> {
+    prop_idx: &'a HashMap<String, usize>,
+    edge_idx: &'a HashMap<String, usize>,
+    global_slot: HashMap<String, usize>,
+    reads_globals: Vec<String>,
+    locals: HashMap<String, usize>,
+    /// Payload field name → position, for the current handler.
+    payload: HashMap<String, usize>,
+}
+
+impl Cx<'_> {
+    fn global(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.global_slot.get(name) {
+            return s;
+        }
+        let s = self.reads_globals.len();
+        self.global_slot.insert(name.to_owned(), s);
+        self.reads_globals.push(name.to_owned());
+        s
+    }
+
+    fn local(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.locals.get(name) {
+            return s;
+        }
+        let s = self.locals.len();
+        self.locals.insert(name.to_owned(), s);
+        s
+    }
+
+    fn expr(&mut self, e: &Expr) -> CExpr {
+        match &e.kind {
+            ExprKind::IntLit(v) => CExpr::Const(Value::Int(*v)),
+            ExprKind::FloatLit(v) => CExpr::Const(Value::Double(*v)),
+            ExprKind::BoolLit(v) => CExpr::Const(Value::Bool(*v)),
+            ExprKind::Inf { negative } => CExpr::Const(Value::inf_for(e.ty(), *negative)),
+            ExprKind::Nil => CExpr::Const(Value::Node(NIL_NODE)),
+            ExprKind::Var(name) if name == SELF => CExpr::SelfId,
+            ExprKind::Var(name) if name.starts_with(PAYLOAD_PREFIX) => {
+                let field = name.trim_start_matches(PAYLOAD_PREFIX);
+                CExpr::Payload(
+                    *self
+                        .payload
+                        .get(field)
+                        .unwrap_or_else(|| panic!("unknown payload field `{field}`")),
+                )
+            }
+            ExprKind::Var(name) => {
+                if let Some(&slot) = self.locals.get(name) {
+                    CExpr::Local(slot)
+                } else {
+                    CExpr::Global(self.global(name))
+                }
+            }
+            ExprKind::Prop { obj, prop } if obj == SELF => CExpr::Prop(
+                *self
+                    .prop_idx
+                    .get(prop)
+                    .unwrap_or_else(|| panic!("unknown property `{prop}`")),
+            ),
+            ExprKind::Prop { obj, prop } if obj == EDGE => CExpr::EdgeProp(
+                *self
+                    .edge_idx
+                    .get(prop)
+                    .unwrap_or_else(|| panic!("unknown edge property `{prop}`")),
+            ),
+            ExprKind::Prop { obj, .. } => panic!("unresolved property base `{obj}`"),
+            ExprKind::Unary { op, expr } => CExpr::Un(*op, Box::new(self.expr(expr))),
+            ExprKind::Binary { op, lhs, rhs } => {
+                CExpr::Bin(*op, Box::new(self.expr(lhs)), Box::new(self.expr(rhs)))
+            }
+            ExprKind::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => CExpr::Ternary {
+                cond: Box::new(self.expr(cond)),
+                then_val: Box::new(self.expr(then_val)),
+                else_val: Box::new(self.expr(else_val)),
+                coerce: e.ty.clone().filter(Ty::is_value),
+            },
+            ExprKind::Call { obj, method, .. } => match method.as_str() {
+                "NumNodes" => CExpr::NumNodes,
+                "NumEdges" => CExpr::NumEdges,
+                "Degree" | "OutDegree" | "NumNbrs" if obj == SELF => CExpr::OutDegree,
+                "InDegree" if obj == SELF => CExpr::InDegree,
+                other => panic!("vertex built-in `{obj}.{other}()` not supported"),
+            },
+            ExprKind::Agg(_) => panic!("aggregate reached precompilation"),
+        }
+    }
+
+    fn instr(&mut self, program: &PregelProgram, i: &VInstr) -> CInstr {
+        match i {
+            VInstr::Local { name, op, value, ty } => {
+                let value = self.expr(value);
+                CInstr::Local {
+                    slot: self.local(name),
+                    op: *op,
+                    value,
+                    ty: ty.clone(),
+                }
+            }
+            VInstr::WriteOwn { prop, op, value } => {
+                let slot = self.prop_idx[prop];
+                CInstr::WriteOwn {
+                    prop: slot,
+                    op: *op,
+                    value: self.expr(value),
+                    ty: prop_ty(program, prop),
+                }
+            }
+            VInstr::ReduceGlobal { name, op, value } => CInstr::ReduceGlobal {
+                name: name.clone(),
+                op: *op,
+                value: self.expr(value),
+            },
+            VInstr::SendToNbrs { tag, payload } => {
+                let payload: Vec<CExpr> = payload.iter().map(|p| self.expr(p)).collect();
+                let edge_dependent = payload.iter().any(reads_edge);
+                CInstr::SendToNbrs {
+                    tag: *tag,
+                    payload,
+                    edge_dependent,
+                }
+            }
+            VInstr::SendToInNbrs { tag, payload } => CInstr::SendToInNbrs {
+                tag: *tag,
+                payload: payload.iter().map(|p| self.expr(p)).collect(),
+            },
+            VInstr::SendTo { dst, tag, payload } => CInstr::SendTo {
+                dst: self.expr(dst),
+                tag: *tag,
+                payload: payload.iter().map(|p| self.expr(p)).collect(),
+            },
+            VInstr::SendIdToNbrs => CInstr::SendIdToNbrs,
+            VInstr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => CInstr::If {
+                cond: self.expr(cond),
+                then_branch: then_branch.iter().map(|x| self.instr(program, x)).collect(),
+                else_branch: else_branch.iter().map(|x| self.instr(program, x)).collect(),
+            },
+        }
+    }
+}
+
+fn prop_ty(program: &PregelProgram, prop: &str) -> Ty {
+    program
+        .node_props
+        .iter()
+        .find(|(n, _)| n == prop)
+        .map(|(_, t)| t.clone())
+        .unwrap_or_else(|| panic!("unknown property `{prop}`"))
+}
+
+fn reads_edge(e: &CExpr) -> bool {
+    match e {
+        CExpr::EdgeProp(_) => true,
+        CExpr::Un(_, inner) => reads_edge(inner),
+        CExpr::Bin(_, a, b) => reads_edge(a) || reads_edge(b),
+        CExpr::Ternary {
+            cond,
+            then_val,
+            else_val,
+            ..
+        } => reads_edge(cond) || reads_edge(then_val) || reads_edge(else_val),
+        _ => false,
+    }
+}
+
+fn reads_prop(e: &CExpr) -> bool {
+    match e {
+        CExpr::Prop(_) => true,
+        CExpr::Un(_, inner) => reads_prop(inner),
+        CExpr::Bin(_, a, b) => reads_prop(a) || reads_prop(b),
+        CExpr::Ternary {
+            cond,
+            then_val,
+            else_val,
+            ..
+        } => reads_prop(cond) || reads_prop(then_val) || reads_prop(else_val),
+        _ => false,
+    }
+}
+
+fn compile_kernel(
+    program: &PregelProgram,
+    k: &VertexKernel,
+    prop_idx: &HashMap<String, usize>,
+    edge_idx: &HashMap<String, usize>,
+) -> CKernel {
+    let mut cx = Cx {
+        prop_idx,
+        edge_idx,
+        global_slot: HashMap::new(),
+        reads_globals: Vec::new(),
+        locals: HashMap::new(),
+        payload: HashMap::new(),
+    };
+
+    let mut recv_by_tag: Vec<Option<CRecv>> = vec![None; program.messages.len()];
+    let mut stores_in_nbrs = false;
+    let mut snapshot_needed = false;
+    for r in &k.recvs {
+        if r.tag == IN_NBRS_TAG {
+            stores_in_nbrs = true;
+            continue;
+        }
+        cx.payload = program.messages[r.tag as usize]
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i))
+            .collect();
+        let guard = r.guard.as_ref().map(|g| cx.expr(g));
+        let steps: Vec<CStep> = r
+            .steps
+            .iter()
+            .map(|s| CStep {
+                guard: s.guard.as_ref().map(|g| cx.expr(g)),
+                action: match &s.action {
+                    RecvAction::WriteOwn { prop, op, value } => CAction::WriteOwn {
+                        prop: prop_idx[prop],
+                        op: *op,
+                        value: cx.expr(value),
+                        ty: prop_ty(program, prop),
+                    },
+                    RecvAction::ReduceGlobal { name, op, value } => CAction::ReduceGlobal {
+                        name: name.clone(),
+                        op: *op,
+                        value: cx.expr(value),
+                    },
+                    RecvAction::StoreInNbr => CAction::StoreInNbr,
+                },
+            })
+            .collect();
+        snapshot_needed |= guard.as_ref().is_some_and(reads_prop)
+            || steps.iter().any(|s| {
+                s.guard.as_ref().is_some_and(reads_prop)
+                    || match &s.action {
+                        CAction::WriteOwn { value, .. } | CAction::ReduceGlobal { value, .. } => {
+                            reads_prop(value)
+                        }
+                        CAction::StoreInNbr => false,
+                    }
+            });
+        recv_by_tag[r.tag as usize] = Some(CRecv { guard, steps });
+        cx.payload.clear();
+    }
+
+    let filter = k.filter.as_ref().map(|f| cx.expr(f));
+    let body: Vec<CInstr> = k.body.iter().map(|i| cx.instr(program, i)).collect();
+
+    CKernel {
+        recv_by_tag,
+        stores_in_nbrs,
+        filter,
+        body,
+        num_locals: cx.locals.len(),
+        reads_globals: cx.reads_globals,
+        snapshot_needed,
+    }
+}

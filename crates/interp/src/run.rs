@@ -1,0 +1,962 @@
+//! The state-machine driver: implements [`gm_pregel::VertexProgram`] for a
+//! compiled [`PregelProgram`].
+//!
+//! Kernels are precompiled into slot-resolved programs
+//! ([`crate::precompile`]) so the hot per-vertex path performs no string
+//! hashing and no map lookups; broadcast globals are materialized once per
+//! superstep by the master; message payloads are shared via `Arc` so a
+//! fan-out to ten thousand neighbors clones a pointer, not a vector.
+
+use crate::eval::MasterEnv;
+use crate::exec::{eval, EvalCx};
+use crate::precompile::{precompile, CAction, CInstr, Precompiled};
+use gm_core::ast::AssignOp;
+use gm_core::pir::{MInstr, PregelProgram, StateId, Transition, IN_NBRS_TAG};
+use gm_core::seqinterp::ArgValue;
+use gm_core::types::Ty;
+use gm_core::value::{apply_reduce, Value};
+use gm_core::Compiled;
+use gm_pregel::{
+    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError,
+    ReduceOp, VertexContext, VertexProgram,
+};
+use gm_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Per-vertex state: the property row plus the in-neighbor array.
+#[derive(Clone, Debug)]
+pub struct VertexData {
+    props: Vec<Value>,
+    in_nbrs: Vec<u32>,
+}
+
+/// A message: tag plus payload values in layout order (shared on fan-out).
+#[derive(Clone, Debug)]
+pub struct Msg {
+    tag: u8,
+    payload: Arc<[Value]>,
+}
+
+/// Errors from [`run_compiled`].
+#[derive(Debug)]
+pub enum RunError {
+    /// Bad or missing procedure argument.
+    BadArgument(String),
+    /// The BSP runtime failed (e.g. superstep limit).
+    Pregel(PregelError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::BadArgument(m) => write!(f, "bad argument: {m}"),
+            RunError::Pregel(e) => write!(f, "pregel runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<PregelError> for RunError {
+    fn from(e: PregelError) -> Self {
+        RunError::Pregel(e)
+    }
+}
+
+/// One executed superstep, for tracing/debugging generated programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Which state of the machine ran its vertex phase.
+    pub state: usize,
+    /// Vertices whose kernel executed.
+    pub active_vertices: u32,
+    /// Messages sent during the superstep.
+    pub messages_sent: u64,
+    /// Serialized bytes of those messages.
+    pub message_bytes: u64,
+}
+
+/// Result of executing a compiled program.
+#[derive(Debug, Clone)]
+pub struct CompiledOutcome {
+    /// The `Return` value, if any.
+    pub ret: Option<Value>,
+    /// Final node-property contents by (unique) name.
+    pub node_props: HashMap<String, Vec<Value>>,
+    /// Final master globals.
+    pub globals: HashMap<String, Value>,
+    /// Superstep/message/timing counters from the BSP runtime.
+    pub metrics: Metrics,
+    /// Which machine state each superstep executed (aligned with
+    /// [`Metrics::per_superstep`]) — the execution trace of the generated
+    /// state machine.
+    pub trace: Vec<TraceStep>,
+}
+
+/// Executes `compiled` on `graph` with the given arguments.
+///
+/// Arguments use the same convention as the sequential interpreter
+/// ([`gm_core::seqinterp::run_procedure`]), so differential tests can feed
+/// both sides identically. `seed` drives `G.PickRandom()` with the same
+/// draw sequence as the sequential interpreter.
+///
+/// # Errors
+///
+/// Returns [`RunError::BadArgument`] for malformed arguments and
+/// [`RunError::Pregel`] for runtime failures.
+pub fn run_compiled(
+    graph: &Graph,
+    compiled: &Compiled,
+    args: &HashMap<String, ArgValue>,
+    seed: u64,
+    config: &PregelConfig,
+) -> Result<CompiledOutcome, RunError> {
+    let program = &compiled.program;
+
+    // Property index maps and initial columns.
+    let mut prop_idx = HashMap::new();
+    let mut prop_tys = Vec::new();
+    let mut columns: Vec<Option<Vec<Value>>> = Vec::new();
+    for (i, (name, ty)) in program.node_props.iter().enumerate() {
+        prop_idx.insert(name.clone(), i);
+        prop_tys.push(ty.clone());
+        match args.get(name) {
+            Some(ArgValue::NodeProp(v)) => {
+                if v.len() != graph.num_nodes() as usize {
+                    return Err(RunError::BadArgument(format!(
+                        "node property `{name}` has wrong length"
+                    )));
+                }
+                columns.push(Some(v.clone()));
+            }
+            Some(_) => {
+                return Err(RunError::BadArgument(format!(
+                    "`{name}` must be a node property"
+                )))
+            }
+            None => columns.push(None),
+        }
+    }
+
+    let mut edge_idx = HashMap::new();
+    let mut edge_cols = Vec::new();
+    for (i, (name, ty)) in program.edge_props.iter().enumerate() {
+        edge_idx.insert(name.clone(), i);
+        let values = match args.get(name) {
+            Some(ArgValue::EdgeProp(v)) => {
+                if v.len() != graph.num_edges() as usize {
+                    return Err(RunError::BadArgument(format!(
+                        "edge property `{name}` has wrong length"
+                    )));
+                }
+                v.clone()
+            }
+            Some(_) => {
+                return Err(RunError::BadArgument(format!(
+                    "`{name}` must be an edge property"
+                )))
+            }
+            None => vec![Value::default_for(ty); graph.num_edges() as usize],
+        };
+        edge_cols.push(values);
+    }
+
+    // Master globals: params from args, locals at defaults.
+    let mut globals = HashMap::new();
+    let mut global_tys = HashMap::new();
+    for (name, ty) in &program.globals {
+        global_tys.insert(name.clone(), ty.clone());
+        globals.insert(name.clone(), Value::default_for(ty));
+    }
+    for (name, ty) in &program.scalar_params {
+        match args.get(name) {
+            Some(ArgValue::Scalar(v)) => {
+                globals.insert(name.clone(), v.coerce(ty));
+            }
+            Some(_) => {
+                return Err(RunError::BadArgument(format!("`{name}` must be a scalar")))
+            }
+            None => {
+                return Err(RunError::BadArgument(format!(
+                    "missing scalar argument `{name}`"
+                )))
+            }
+        }
+    }
+
+    let pre = precompile(program, &prop_idx, &edge_idx);
+
+    let defaults: Vec<Value> = prop_tys.iter().map(Value::default_for).collect();
+    let init = |n: NodeId| VertexData {
+        props: columns
+            .iter()
+            .enumerate()
+            .map(|(i, col)| match col {
+                Some(v) => v[n.index()],
+                None => defaults[i],
+            })
+            .collect(),
+        in_nbrs: Vec::new(),
+    };
+
+    let mut machine = Machine {
+        program,
+        pre,
+        global_tys: &global_tys,
+        edge_cols: &edge_cols,
+        graph,
+        globals,
+        rng: StdRng::seed_from_u64(seed),
+        prev_state: None,
+        cur_state: 0,
+        cur_globals: Vec::new(),
+        state_log: Vec::new(),
+        ret: None,
+        finished: false,
+    };
+
+    let result = run(graph, &mut machine, init, config)?;
+
+    let mut node_props: HashMap<String, Vec<Value>> = HashMap::new();
+    for (name, &i) in &prop_idx {
+        node_props.insert(
+            name.clone(),
+            result.values.iter().map(|v| v.props[i]).collect(),
+        );
+    }
+    let trace = machine
+        .state_log
+        .iter()
+        .zip(&result.metrics.per_superstep)
+        .map(|(&state, m)| TraceStep {
+            state,
+            active_vertices: m.active_vertices,
+            messages_sent: m.messages_sent,
+            message_bytes: m.message_bytes,
+        })
+        .collect();
+    Ok(CompiledOutcome {
+        ret: machine.ret,
+        node_props,
+        globals: machine.globals,
+        metrics: result.metrics,
+        trace,
+    })
+}
+
+struct Machine<'a> {
+    program: &'a PregelProgram,
+    pre: Precompiled,
+    global_tys: &'a HashMap<String, Ty>,
+    edge_cols: &'a [Vec<Value>],
+    graph: &'a Graph,
+    globals: HashMap<String, Value>,
+    rng: StdRng,
+    prev_state: Option<StateId>,
+    /// Set by the master before each vertex phase.
+    cur_state: StateId,
+    /// Broadcast values in the current kernel's slot order.
+    cur_globals: Vec<Value>,
+    /// States visited, one per vertex superstep (the execution trace).
+    state_log: Vec<StateId>,
+    ret: Option<Value>,
+    finished: bool,
+}
+
+impl Machine<'_> {
+    fn run_minstrs(&mut self, instrs: &[MInstr], agg: Option<&MasterContext<'_>>) {
+        for m in instrs {
+            if self.finished {
+                return;
+            }
+            match m {
+                MInstr::Assign { name, op, value } => {
+                    let v = {
+                        let mut env = MasterEnv {
+                            globals: &mut self.globals,
+                            graph: self.graph,
+                            rng: &mut self.rng,
+                        };
+                        env.eval(value)
+                    };
+                    let ty = self.global_tys[name].clone();
+                    let v = v.coerce(&ty);
+                    let cur = self.globals[name];
+                    self.globals.insert(name.clone(), apply_reduce(*op, cur, v));
+                }
+                MInstr::FoldAgg { name, op, agg_key } => {
+                    if let Some(ctx) = agg {
+                        if let Some(gv) = ctx.agg(agg_key) {
+                            let cur = self.globals[name];
+                            let v = from_g(gv);
+                            self.globals
+                                .insert(name.clone(), apply_reduce(*op, cur, v));
+                        }
+                    }
+                }
+                MInstr::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let c = {
+                        let mut env = MasterEnv {
+                            globals: &mut self.globals,
+                            graph: self.graph,
+                            rng: &mut self.rng,
+                        };
+                        env.eval(cond).as_bool()
+                    };
+                    if c {
+                        self.run_minstrs(then_branch, agg);
+                    } else {
+                        self.run_minstrs(else_branch, agg);
+                    }
+                }
+                MInstr::SetReturn(e) => {
+                    self.ret = e.as_ref().map(|e| {
+                        let mut env = MasterEnv {
+                            globals: &mut self.globals,
+                            graph: self.graph,
+                            rng: &mut self.rng,
+                        };
+                        let v = env.eval(e);
+                        match &self.program.ret {
+                            Some(t) => v.coerce(t),
+                            None => v,
+                        }
+                    });
+                    self.finished = true;
+                }
+            }
+        }
+    }
+
+    fn eval_transition(&mut self, t: &Transition) -> Option<StateId> {
+        match t {
+            Transition::Goto(id) => Some(*id),
+            Transition::Branch {
+                cond,
+                then_to,
+                else_to,
+            } => {
+                let mut env = MasterEnv {
+                    globals: &mut self.globals,
+                    graph: self.graph,
+                    rng: &mut self.rng,
+                };
+                if env.eval(cond).as_bool() {
+                    Some(*then_to)
+                } else {
+                    Some(*else_to)
+                }
+            }
+            Transition::Halt => None,
+        }
+    }
+}
+
+impl VertexProgram for Machine<'_> {
+    type VertexValue = VertexData;
+    type Message = Msg;
+
+    fn message_bytes(&self, m: &Msg) -> u64 {
+        if m.tag == IN_NBRS_TAG {
+            self.pre.in_nbrs_bytes
+        } else {
+            self.pre.msg_bytes[m.tag as usize]
+        }
+    }
+
+    fn has_combiner(&self) -> bool {
+        self.program.combinable.iter().any(Option::is_some)
+    }
+
+    fn combine(&self, a: &Msg, b: &Msg) -> Option<Msg> {
+        if a.tag != b.tag || a.tag == IN_NBRS_TAG {
+            return None;
+        }
+        let op = self.program.combinable.get(a.tag as usize).copied().flatten()?;
+        Some(Msg {
+            tag: a.tag,
+            payload: Arc::from(vec![apply_reduce(op, a.payload[0], b.payload[0])]),
+        })
+    }
+
+    fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+        if self.finished {
+            return MasterDecision::Halt;
+        }
+        let mut current = match self.prev_state {
+            None => 0,
+            Some(prev) => {
+                let post = self.program.states[prev].post.clone();
+                self.run_minstrs(&post, Some(ctx));
+                if self.finished {
+                    return MasterDecision::Halt;
+                }
+                match self.eval_transition(&self.program.states[prev].transition.clone()) {
+                    Some(id) => id,
+                    None => return MasterDecision::Halt,
+                }
+            }
+        };
+        // Master chain: run through master-only states within this call.
+        let mut steps: u64 = 0;
+        loop {
+            steps += 1;
+            assert!(
+                steps < 10_000_000,
+                "master state machine did not reach a vertex state"
+            );
+            let master = self.program.states[current].master.clone();
+            self.run_minstrs(&master, None);
+            if self.finished {
+                return MasterDecision::Halt;
+            }
+            if self.program.states[current].vertex.is_some() {
+                break;
+            }
+            let post = self.program.states[current].post.clone();
+            self.run_minstrs(&post, None);
+            match self.eval_transition(&self.program.states[current].transition.clone()) {
+                Some(next) => current = next,
+                None => return MasterDecision::Halt,
+            }
+        }
+        // Broadcast the state number (as GPS does) and materialize the
+        // globals the kernel reads, in slot order, for the vertex phase.
+        ctx.put_global("_state", GlobalValue::Int(current as i64));
+        let kernel = self.pre.kernels[current]
+            .as_ref()
+            .expect("loop exits on vertex states");
+        self.cur_globals = kernel
+            .reads_globals
+            .iter()
+            .map(|g| self.globals[g])
+            .collect();
+        for (name, v) in kernel.reads_globals.iter().zip(&self.cur_globals) {
+            ctx.put_global(name, to_g(*v));
+        }
+        self.cur_state = current;
+        self.prev_state = Some(current);
+        self.state_log.push(current);
+        MasterDecision::Continue
+    }
+
+    fn vertex_compute(
+        &self,
+        ctx: &mut VertexContext<'_, '_, Msg>,
+        value: &mut VertexData,
+        messages: &[Msg],
+    ) {
+        let Some(kernel) = self.pre.kernels[self.cur_state].as_ref() else {
+            return;
+        };
+        let self_id = ctx.id().0;
+        let out_degree = ctx.out_degree();
+
+        // ---- receive phase (messages from the previous superstep) ----
+        if !messages.is_empty() {
+            let snapshot: Option<Vec<Value>> =
+                kernel.snapshot_needed.then(|| value.props.clone());
+            for msg in messages {
+                if msg.tag == IN_NBRS_TAG {
+                    if kernel.stores_in_nbrs {
+                        value.in_nbrs.push(msg.payload[0].as_node());
+                    }
+                    continue;
+                }
+                let Some(handler) = kernel
+                    .recv_by_tag
+                    .get(msg.tag as usize)
+                    .and_then(|h| h.as_ref())
+                else {
+                    continue; // dangling message — dropped, as in the paper
+                };
+                let in_nbrs_len = value.in_nbrs.len();
+                let eval_recv = |props: &[Value], e: &crate::precompile::CExpr| -> Value {
+                    eval(
+                        e,
+                        &EvalCx {
+                            props,
+                            snapshot: snapshot.as_deref(),
+                            payload: &msg.payload,
+                            locals: &[],
+                            globals: &self.cur_globals,
+                            self_id,
+                            out_degree,
+                            in_nbrs_len,
+                            edge_cols: self.edge_cols,
+                            edge: 0,
+                            num_nodes: self.graph.num_nodes(),
+                            num_edges: self.graph.num_edges(),
+                        },
+                    )
+                };
+                if let Some(g) = &handler.guard {
+                    if !eval_recv(&value.props, g).as_bool() {
+                        continue;
+                    }
+                }
+                for step in &handler.steps {
+                    if let Some(g) = &step.guard {
+                        if !eval_recv(&value.props, g).as_bool() {
+                            continue;
+                        }
+                    }
+                    match &step.action {
+                        CAction::WriteOwn { prop, op, value: ve, ty } => {
+                            let v = eval_recv(&value.props, ve).coerce(ty);
+                            value.props[*prop] = apply_reduce(*op, value.props[*prop], v);
+                        }
+                        CAction::ReduceGlobal { name, op, value: ve } => {
+                            let v = eval_recv(&value.props, ve);
+                            ctx.reduce_global(name, to_reduce_op(*op), to_g(v));
+                        }
+                        CAction::StoreInNbr => {
+                            value.in_nbrs.push(msg.payload[0].as_node());
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- body phase ----
+        let VertexData { props, in_nbrs } = value;
+        let mut locals = vec![Value::Int(0); kernel.num_locals];
+        let mut deferred: Vec<(usize, Value)> = Vec::new();
+        let filter_ok = match &kernel.filter {
+            Some(f) => {
+                let cx = EvalCx {
+                    props,
+                    snapshot: None,
+                    payload: &[],
+                    locals: &locals,
+                    globals: &self.cur_globals,
+                    self_id,
+                    out_degree,
+                    in_nbrs_len: in_nbrs.len(),
+                    edge_cols: self.edge_cols,
+                    edge: 0,
+                    num_nodes: self.graph.num_nodes(),
+                    num_edges: self.graph.num_edges(),
+                };
+                eval(f, &cx).as_bool()
+            }
+            None => true,
+        };
+        if filter_ok {
+            self.exec_instrs(
+                ctx,
+                &kernel.body,
+                props,
+                in_nbrs,
+                &mut locals,
+                &mut deferred,
+                self_id,
+                out_degree,
+            );
+        }
+        for (idx, v) in deferred {
+            props[idx] = v;
+        }
+    }
+}
+
+impl Machine<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn exec_instrs(
+        &self,
+        ctx: &mut VertexContext<'_, '_, Msg>,
+        instrs: &[CInstr],
+        props: &mut Vec<Value>,
+        in_nbrs: &[u32],
+        locals: &mut Vec<Value>,
+        deferred: &mut Vec<(usize, Value)>,
+        self_id: u32,
+        out_degree: u32,
+    ) {
+        macro_rules! cx {
+            () => {
+                cx!(0)
+            };
+            ($edge:expr) => {
+                EvalCx {
+                    props,
+                    snapshot: None,
+                    payload: &[],
+                    locals,
+                    globals: &self.cur_globals,
+                    self_id,
+                    out_degree,
+                    in_nbrs_len: in_nbrs.len(),
+                    edge_cols: self.edge_cols,
+                    edge: $edge,
+                    num_nodes: self.graph.num_nodes(),
+                    num_edges: self.graph.num_edges(),
+                }
+            };
+        }
+        for instr in instrs {
+            match instr {
+                CInstr::Local { slot, op, value, ty } => {
+                    let v = eval(value, &cx!()).coerce(ty);
+                    locals[*slot] = match op {
+                        AssignOp::Assign => v,
+                        _ => apply_reduce(*op, locals[*slot], v),
+                    };
+                }
+                CInstr::WriteOwn { prop, op, value, ty } => {
+                    let v = eval(value, &cx!()).coerce(ty);
+                    if *op == AssignOp::Defer {
+                        deferred.push((*prop, v));
+                    } else {
+                        props[*prop] = apply_reduce(*op, props[*prop], v);
+                    }
+                }
+                CInstr::ReduceGlobal { name, op, value } => {
+                    let v = eval(value, &cx!());
+                    ctx.reduce_global(name, to_reduce_op(*op), to_g(v));
+                }
+                CInstr::SendToNbrs {
+                    tag,
+                    payload,
+                    edge_dependent,
+                } => {
+                    if *edge_dependent {
+                        for (t, e) in ctx.out_neighbors() {
+                            let values: Arc<[Value]> = payload
+                                .iter()
+                                .map(|p| eval(p, &cx!(e.index())))
+                                .collect();
+                            ctx.send(
+                                t,
+                                Msg {
+                                    tag: *tag,
+                                    payload: values,
+                                },
+                            );
+                        }
+                    } else {
+                        let values: Arc<[Value]> =
+                            payload.iter().map(|p| eval(p, &cx!())).collect();
+                        for (t, _) in ctx.out_neighbors() {
+                            ctx.send(
+                                t,
+                                Msg {
+                                    tag: *tag,
+                                    payload: Arc::clone(&values),
+                                },
+                            );
+                        }
+                    }
+                }
+                CInstr::SendToInNbrs { tag, payload } => {
+                    let values: Arc<[Value]> =
+                        payload.iter().map(|p| eval(p, &cx!())).collect();
+                    for &nbr in in_nbrs {
+                        ctx.send(
+                            NodeId(nbr),
+                            Msg {
+                                tag: *tag,
+                                payload: Arc::clone(&values),
+                            },
+                        );
+                    }
+                }
+                CInstr::SendTo { dst, tag, payload } => {
+                    let d = eval(dst, &cx!()).as_node();
+                    let values: Arc<[Value]> =
+                        payload.iter().map(|p| eval(p, &cx!())).collect();
+                    ctx.send(
+                        NodeId(d),
+                        Msg {
+                            tag: *tag,
+                            payload: values,
+                        },
+                    );
+                }
+                CInstr::SendIdToNbrs => {
+                    let payload: Arc<[Value]> = Arc::from(vec![Value::Node(self_id)]);
+                    for (t, _) in ctx.out_neighbors() {
+                        ctx.send(
+                            t,
+                            Msg {
+                                tag: IN_NBRS_TAG,
+                                payload: Arc::clone(&payload),
+                            },
+                        );
+                    }
+                }
+                CInstr::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let c = eval(cond, &cx!()).as_bool();
+                    let branch = if c { then_branch } else { else_branch };
+                    self.exec_instrs(
+                        ctx, branch, props, in_nbrs, locals, deferred, self_id, out_degree,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn to_g(v: Value) -> GlobalValue {
+    match v {
+        Value::Int(x) => GlobalValue::Int(x),
+        Value::Double(x) => GlobalValue::Double(x),
+        Value::Bool(x) => GlobalValue::Bool(x),
+        Value::Node(x) => GlobalValue::Node(x),
+        Value::Edge(x) => GlobalValue::Int(x as i64),
+    }
+}
+
+fn from_g(g: GlobalValue) -> Value {
+    match g {
+        GlobalValue::Int(x) => Value::Int(x),
+        GlobalValue::Double(x) => Value::Double(x),
+        GlobalValue::Bool(x) => Value::Bool(x),
+        GlobalValue::Node(x) => Value::Node(x),
+    }
+}
+
+fn to_reduce_op(op: AssignOp) -> ReduceOp {
+    match op {
+        AssignOp::Add => ReduceOp::Sum,
+        AssignOp::Min => ReduceOp::Min,
+        AssignOp::Max => ReduceOp::Max,
+        AssignOp::Or => ReduceOp::Or,
+        AssignOp::And => ReduceOp::And,
+        other => panic!("global reduction operator {other:?} not supported by the runtime"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_core::{compile, CompileOptions};
+
+    fn run_src(
+        graph: &Graph,
+        src: &str,
+        args: &HashMap<String, ArgValue>,
+    ) -> CompiledOutcome {
+        let compiled = compile(src, &CompileOptions::default()).expect("compiles");
+        run_compiled(graph, &compiled, args, 42, &PregelConfig::sequential()).expect("runs")
+    }
+
+    /// Also runs the sequential interpreter on the *original* source and
+    /// compares node-prop and return results.
+    fn differential(graph: &Graph, src: &str, args: &HashMap<String, ArgValue>) {
+        use gm_core::seqinterp::run_procedure;
+        let mut prog = gm_core::parser::parse(src).unwrap();
+        gm_core::normalize::desugar_bulk(&mut prog);
+        let infos = gm_core::sema::check(&mut prog).unwrap();
+        let seq = run_procedure(graph, &prog.procedures[0], &infos[0], args, 42).unwrap();
+
+        let out = run_src(graph, src, args);
+        assert_eq!(seq.ret, out.ret, "return values differ");
+        for (name, vals) in &out.node_props {
+            if let Some(seq_vals) = seq.node_props.get(name) {
+                assert_eq!(seq_vals, vals, "property `{name}` differs");
+            }
+        }
+    }
+
+    #[test]
+    fn push_count_matches_sequential() {
+        let g = gm_graph::gen::rmat(64, 256, 5);
+        differential(
+            &g,
+            "Procedure f(G: Graph, cnt: N_P<Int>) {
+                Foreach (n: G.Nodes) {
+                    Foreach (t: n.Nbrs) {
+                        t.cnt += 1;
+                    }
+                }
+            }",
+            &HashMap::new(),
+        );
+    }
+
+    #[test]
+    fn global_reduction_and_return() {
+        let g = gm_graph::gen::star(5);
+        differential(
+            &g,
+            "Procedure f(G: Graph) : Int {
+                Int s = 0;
+                Foreach (n: G.Nodes) {
+                    s += n.Degree();
+                }
+                Return s;
+            }",
+            &HashMap::new(),
+        );
+    }
+
+    #[test]
+    fn pull_program_flips_and_matches() {
+        let g = gm_graph::gen::rmat(48, 200, 9);
+        let bars: Vec<Value> = (0..48).map(|i| Value::Int((i * 13) % 31)).collect();
+        differential(
+            &g,
+            "Procedure f(G: Graph, foo: N_P<Int>, bar: N_P<Int>) {
+                Foreach (n: G.Nodes) {
+                    Foreach (t: n.InNbrs) {
+                        n.foo max= t.bar;
+                    }
+                }
+            }",
+            &HashMap::from([("bar".to_owned(), ArgValue::NodeProp(bars))]),
+        );
+    }
+
+    #[test]
+    fn while_loop_with_exist_condition() {
+        let g = gm_graph::gen::path(6);
+        differential(
+            &g,
+            "Procedure f(G: Graph, v: N_P<Bool>) : Int {
+                Int rounds = 0;
+                Foreach (n: G.Nodes)(n.InDegree() == 0) {
+                    n.v = True;
+                }
+                While (Exist(n: G.Nodes)(!n.v)) {
+                    Foreach (n: G.Nodes)(n.v) {
+                        Foreach (t: n.Nbrs) {
+                            t.v = True;
+                        }
+                    }
+                    rounds += 1;
+                }
+                Return rounds;
+            }",
+            &HashMap::new(),
+        );
+    }
+
+    #[test]
+    fn bulk_assignment_and_random_write() {
+        let g = gm_graph::gen::path(5);
+        differential(
+            &g,
+            "Procedure f(G: Graph, root: Node, dist: N_P<Int>) {
+                G.dist = (G == root) ? 0 : INF;
+            }",
+            &HashMap::from([("root".to_owned(), ArgValue::Scalar(Value::Node(2)))]),
+        );
+    }
+
+    #[test]
+    fn edge_properties_ship_in_payload() {
+        let g = gm_graph::gen::path(4);
+        let weights = vec![Value::Int(5), Value::Int(7), Value::Int(11)];
+        differential(
+            &g,
+            "Procedure f(G: Graph, len: E_P<Int>, d: N_P<Int>) {
+                Foreach (n: G.Nodes) {
+                    Foreach (s: n.Nbrs) {
+                        Edge e = s.ToEdge();
+                        s.d min= e.len;
+                    }
+                }
+            }",
+            &HashMap::from([("len".to_owned(), ArgValue::EdgeProp(weights))]),
+        );
+    }
+
+    #[test]
+    fn in_neighbor_preamble_counts_messages() {
+        let g = gm_graph::gen::star(4); // 0 → 1..4
+        let out = run_src(
+            &g,
+            "Procedure f(G: Graph, c: N_P<Int>, m: N_P<Bool>) {
+                Foreach (i: G.Nodes) {
+                    i.m = True;
+                }
+                Foreach (j: G.Nodes)(j.m) {
+                    Foreach (u: j.InNbrs) {
+                        u.c += 1;
+                    }
+                }
+            }",
+            &HashMap::new(),
+        );
+        // Hub has out-degree 4 → receives 4 "count" messages.
+        assert_eq!(out.node_props["c"][0], Value::Int(4));
+        // Preamble: 4 id messages + 4 in-neighbor messages.
+        assert_eq!(out.metrics.total_messages, 8);
+    }
+
+    #[test]
+    fn bfs_program_end_to_end() {
+        let mut b = gm_graph::GraphBuilder::new(6);
+        b.extend([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let g = b.build();
+        differential(
+            &g,
+            "Procedure f(G: Graph, root: Node, sigma: N_P<Double>) {
+                Foreach (i: G.Nodes) {
+                    i.sigma = 0.0;
+                }
+                root.sigma = 1.0;
+                InBFS (v: G.Nodes From root) {
+                    v.sigma += Sum(w: v.UpNbrs){w.sigma};
+                }
+            }",
+            &HashMap::from([("root".to_owned(), ArgValue::Scalar(Value::Node(0)))]),
+        );
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let g = gm_graph::gen::rmat(64, 256, 11);
+        let src = "Procedure f(G: Graph, cnt: N_P<Int>) {
+            Foreach (n: G.Nodes) {
+                Foreach (t: n.Nbrs) {
+                    t.cnt += 1;
+                }
+            }
+        }";
+        let compiled = compile(src, &CompileOptions::default()).unwrap();
+        let base = run_compiled(&g, &compiled, &HashMap::new(), 0, &PregelConfig::sequential())
+            .unwrap();
+        for w in [2, 4] {
+            let out = run_compiled(
+                &g,
+                &compiled,
+                &HashMap::new(),
+                0,
+                &PregelConfig::with_workers(w),
+            )
+            .unwrap();
+            assert_eq!(out.node_props["cnt"], base.node_props["cnt"]);
+            assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+            assert_eq!(out.metrics.total_message_bytes, base.metrics.total_message_bytes);
+        }
+    }
+
+    #[test]
+    fn missing_argument_is_reported() {
+        let g = gm_graph::gen::path(3);
+        let compiled = compile(
+            "Procedure f(G: Graph, k: Int) : Int { Return k; }",
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let err = run_compiled(&g, &compiled, &HashMap::new(), 0, &PregelConfig::sequential())
+            .unwrap_err();
+        assert!(matches!(err, RunError::BadArgument(_)));
+        assert!(err.to_string().contains("k"));
+    }
+}

@@ -1,0 +1,102 @@
+//! The execution trace: one entry per vertex superstep, aligned with the
+//! metrics, recording which machine state ran.
+
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions};
+use gm_graph::gen;
+use gm_interp::run_compiled;
+use gm_pregel::PregelConfig;
+use std::collections::HashMap;
+
+#[test]
+fn trace_follows_the_state_machine() {
+    let src = "Procedure waves(G: Graph, x: N_P<Int>, x2: N_P<Int>) {
+        Int k = 0;
+        While (k < 3) {
+            Foreach (n: G.Nodes) {
+                Foreach (t: n.Nbrs) {
+                    t.x2 += n.x;
+                }
+            }
+            Foreach (n: G.Nodes) {
+                n.x = n.x2;
+                n.x2 = 0;
+            }
+            k += 1;
+        }
+    }";
+    let compiled = compile(src, &CompileOptions::default()).unwrap();
+    let g = gen::cycle(6);
+    let args = HashMap::from([(
+        "x".to_owned(),
+        ArgValue::NodeProp((0..6).map(Value::Int).collect()),
+    )]);
+    let out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+
+    // One trace entry per vertex superstep (the final halt superstep has
+    // no vertex phase and no entry).
+    assert_eq!(out.trace.len() as u32 + 1, out.metrics.supersteps);
+    // The intra-loop-merged steady state repeats one self-looping state.
+    let steady = out.trace.last().unwrap().state;
+    let repeats = out
+        .trace
+        .iter()
+        .filter(|t| t.state == steady)
+        .count();
+    assert!(repeats >= 2, "steady state should repeat: {:?}", out.trace);
+    // Every entry's counters match the runtime's per-superstep metrics.
+    for (t, m) in out.trace.iter().zip(&out.metrics.per_superstep) {
+        assert_eq!(t.active_vertices, m.active_vertices);
+        assert_eq!(t.messages_sent, m.messages_sent);
+        assert_eq!(t.message_bytes, m.message_bytes);
+    }
+    // All vertices were active every superstep (no voteToHalt, as in the
+    // paper's generated code).
+    assert!(out.trace.iter().all(|t| t.active_vertices == 6));
+}
+
+const SSSP: &str = "Procedure sssp(G: Graph, root: Node, len: E_P<Int>, dist: N_P<Int>) {
+    Node_Prop<Int> dist_nxt;
+    Node_Prop<Bool> updated;
+    G.dist = (G == root) ? 0 : INF;
+    G.updated = (G == root) ? True : False;
+    G.dist_nxt = G.dist;
+    Bool fin = False;
+    While (!fin) {
+        Foreach (n: G.Nodes)(n.updated) {
+            Foreach (s: n.Nbrs) {
+                Edge e = s.ToEdge();
+                s.dist_nxt min= n.dist + e.len;
+            }
+        }
+        Foreach (n: G.Nodes) {
+            n.updated = n.dist_nxt < n.dist;
+            n.dist = n.dist_nxt;
+        }
+        fin = !Exist(n: G.Nodes)(n.updated);
+    }
+}";
+
+#[test]
+fn trace_shows_active_vertex_tail_for_sssp() {
+    // The paper's §5.2 observation: late SSSP supersteps have few updates
+    // but all vertices stay active (no voteToHalt in generated code).
+    let compiled = compile(SSSP, &CompileOptions::default()).unwrap();
+    let g = gen::path(12);
+    let args = HashMap::from([
+        ("root".to_owned(), ArgValue::Scalar(Value::Node(0))),
+        (
+            "len".to_owned(),
+            ArgValue::EdgeProp(vec![Value::Int(1); 11]),
+        ),
+    ]);
+    let out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+    // Each wave moves one hop: messages per superstep drop to 1 while all
+    // 12 vertices keep computing.
+    let tail = &out.trace[out.trace.len() - 3..];
+    for t in tail {
+        assert_eq!(t.active_vertices, 12);
+        assert!(t.messages_sent <= 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! An in-process BSP vertex-centric runtime in the style of Pregel/GPS.
+//!
+//! This crate is the execution substrate the paper runs on. It reproduces
+//! the programming model of GPS (Salihoglu & Widom), the open-source Pregel
+//! implementation used in the paper:
+//!
+//! * computation proceeds in synchronized **supersteps** (the paper calls
+//!   them timesteps);
+//! * each superstep first runs a sequential [`VertexProgram::master_compute`]
+//!   (GPS's `master.compute()` extension), then the vertex-parallel
+//!   [`VertexProgram::vertex_compute`] on every active vertex;
+//! * vertices communicate only by **messages**, delivered at the *next*
+//!   superstep;
+//! * a **global objects map** carries master → vertex broadcasts and
+//!   vertex → master reductions ([`Globals`], [`AggMap`]);
+//! * vertices may [`vote to halt`](VertexContext::vote_to_halt) and are
+//!   reactivated by incoming messages.
+//!
+//! The runtime is multi-threaded (vertices are partitioned into contiguous,
+//! edge-balanced worker ranges) yet **deterministic**: each vertex receives
+//! its messages ordered by sending vertex id regardless of the worker count,
+//! and aggregator merges use commutative-monoid operations.
+//!
+//! Because the paper's headline metrics are *structural* — number of
+//! timesteps and network I/O — the runtime meters every superstep:
+//! see [`Metrics`].
+//!
+//! # Example
+//!
+//! ```
+//! use gm_graph::gen;
+//! use gm_pregel::{
+//!     run, MasterContext, MasterDecision, PregelConfig, VertexContext, VertexProgram,
+//! };
+//!
+//! /// Each vertex computes the number of in-neighbors (via messages).
+//! struct CountIn;
+//!
+//! impl VertexProgram for CountIn {
+//!     type VertexValue = u32;
+//!     type Message = ();
+//!
+//!     fn message_bytes(&self, _m: &()) -> u64 {
+//!         0
+//!     }
+//!
+//!     fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+//!         if ctx.superstep() == 2 {
+//!             MasterDecision::Halt
+//!         } else {
+//!             MasterDecision::Continue
+//!         }
+//!     }
+//!
+//!     fn vertex_compute(
+//!         &self,
+//!         ctx: &mut VertexContext<'_, '_, ()>,
+//!         value: &mut u32,
+//!         messages: &[()],
+//!     ) {
+//!         if ctx.superstep() == 0 {
+//!             ctx.send_to_nbrs(());
+//!         } else {
+//!             *value = messages.len() as u32;
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), gm_pregel::PregelError> {
+//! let g = gen::star(4); // hub 0 points at 1..=4
+//! let result = run(&g, &mut CountIn, |_| 0u32, &PregelConfig::default())?;
+//! assert_eq!(result.values[1], 1);
+//! assert_eq!(result.metrics.total_messages, 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod globals;
+mod metrics;
+mod program;
+mod runtime;
+mod value;
+
+pub use globals::{AggMap, Globals};
+pub use metrics::{Metrics, SuperstepMetrics};
+pub use program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
+pub use runtime::{run, PregelConfig, PregelError, PregelResult};
+pub use value::{GlobalValue, ReduceOp};

@@ -1,0 +1,101 @@
+//! Per-run and per-superstep execution metrics.
+//!
+//! The paper's evaluation (§5.2) reports three quantities per experiment:
+//! run-time, network I/O due to messages, and the number of timesteps. The
+//! runtime meters all three, plus active-vertex counts (used to discuss the
+//! missing `voteToHalt` optimization: "less than 1.5% of the vertices were
+//! active in the last 30 timesteps" of SSSP on Twitter).
+
+use std::time::Duration;
+
+/// Counters for a single superstep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SuperstepMetrics {
+    /// Vertices whose `vertex_compute` ran this superstep.
+    pub active_vertices: u32,
+    /// Messages sent during this superstep.
+    pub messages_sent: u64,
+    /// Serialized bytes of those messages.
+    pub message_bytes: u64,
+    /// Messages whose destination lives on a different worker — the subset
+    /// that would cross the network in a distributed deployment.
+    pub remote_messages: u64,
+    /// Serialized bytes of remote messages.
+    pub remote_message_bytes: u64,
+}
+
+/// Aggregate counters for a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Number of supersteps executed, counting the final master-only
+    /// superstep in which the master halts the computation.
+    pub supersteps: u32,
+    /// Total messages sent.
+    pub total_messages: u64,
+    /// Total serialized message bytes — the "network I/O" column of the
+    /// paper, measured in a worker-count-independent way.
+    pub total_message_bytes: u64,
+    /// Messages that crossed a worker boundary.
+    pub remote_messages: u64,
+    /// Bytes that crossed a worker boundary (depends on worker count).
+    pub remote_message_bytes: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-superstep breakdown, indexed by superstep number.
+    pub per_superstep: Vec<SuperstepMetrics>,
+}
+
+impl Metrics {
+    /// Folds one superstep's counters into the totals.
+    pub(crate) fn record(&mut self, step: SuperstepMetrics) {
+        self.total_messages += step.messages_sent;
+        self.total_message_bytes += step.message_bytes;
+        self.remote_messages += step.remote_messages;
+        self.remote_message_bytes += step.remote_message_bytes;
+        self.per_superstep.push(step);
+    }
+
+    /// Largest number of active vertices in any superstep.
+    pub fn peak_active_vertices(&self) -> u32 {
+        self.per_superstep
+            .iter()
+            .map(|s| s.active_vertices)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = Metrics::default();
+        m.record(SuperstepMetrics {
+            active_vertices: 10,
+            messages_sent: 5,
+            message_bytes: 40,
+            remote_messages: 2,
+            remote_message_bytes: 16,
+        });
+        m.record(SuperstepMetrics {
+            active_vertices: 3,
+            messages_sent: 1,
+            message_bytes: 8,
+            remote_messages: 0,
+            remote_message_bytes: 0,
+        });
+        assert_eq!(m.total_messages, 6);
+        assert_eq!(m.total_message_bytes, 48);
+        assert_eq!(m.remote_messages, 2);
+        assert_eq!(m.remote_message_bytes, 16);
+        assert_eq!(m.per_superstep.len(), 2);
+        assert_eq!(m.peak_active_vertices(), 10);
+    }
+
+    #[test]
+    fn peak_of_empty_run_is_zero() {
+        assert_eq!(Metrics::default().peak_active_vertices(), 0);
+    }
+}

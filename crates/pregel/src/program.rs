@@ -1,0 +1,226 @@
+//! The vertex-program trait and the master/vertex execution contexts.
+
+use crate::globals::{AggMap, Globals};
+use crate::value::{GlobalValue, ReduceOp};
+use gm_graph::{Graph, NodeId, OutNeighbors};
+
+/// What the master tells the framework at the start of a superstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MasterDecision {
+    /// Run the vertex phase of this superstep and keep going.
+    Continue,
+    /// Stop the computation immediately; the vertex phase of this superstep
+    /// does not run (GPS's `haltComputation()`).
+    Halt,
+}
+
+/// A Pregel/GPS program: one sequential master kernel plus one
+/// vertex-parallel kernel, executed once per superstep each.
+///
+/// Implementations must be `Sync` if run with more than one worker: the
+/// runtime shares `&self` across worker threads during the vertex phase.
+/// Mutable master state lives in `self` and is only touched by
+/// [`master_compute`](VertexProgram::master_compute), which runs exclusively.
+pub trait VertexProgram {
+    /// Per-vertex state (the fields of GPS's vertex class).
+    type VertexValue: Clone + Send;
+    /// Message payload exchanged between vertices.
+    type Message: Clone + Send;
+
+    /// Serialized size of a message in bytes — what the paper's "network
+    /// I/O" metric counts. Return the wire size GPS's serialization would
+    /// produce for this payload.
+    fn message_bytes(&self, m: &Self::Message) -> u64;
+
+    /// Whether the runtime should attempt sender-side message combining
+    /// (Pregel's combiner API). When `true`, the runtime groups each
+    /// worker's outgoing messages by destination and folds pairs through
+    /// [`VertexProgram::combine`] before they are delivered (and before
+    /// they are metered).
+    fn has_combiner(&self) -> bool {
+        false
+    }
+
+    /// Combines two messages addressed to the same vertex, if possible.
+    /// Must be commutative and associative; return `None` to keep both.
+    fn combine(&self, a: &Self::Message, b: &Self::Message) -> Option<Self::Message> {
+        let _ = (a, b);
+        None
+    }
+
+    /// Sequential computation at the start of each superstep (GPS's
+    /// `master.compute()`). Sees the aggregates written by vertices in the
+    /// *previous* superstep, and broadcasts globals visible to vertices in
+    /// *this* superstep.
+    fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision;
+
+    /// Vertex-parallel computation (GPS's `vertex.compute()`), invoked once
+    /// per active vertex per superstep with the messages sent to this vertex
+    /// in the previous superstep.
+    fn vertex_compute(
+        &self,
+        ctx: &mut VertexContext<'_, '_, Self::Message>,
+        value: &mut Self::VertexValue,
+        messages: &[Self::Message],
+    );
+}
+
+/// Context handed to [`VertexProgram::master_compute`].
+#[derive(Debug)]
+pub struct MasterContext<'a> {
+    pub(crate) superstep: u32,
+    pub(crate) aggregates: &'a AggMap,
+    pub(crate) broadcast: &'a mut Globals,
+    pub(crate) num_nodes: u32,
+    pub(crate) active_vertices: u32,
+    pub(crate) pending_messages: u64,
+}
+
+impl MasterContext<'_> {
+    /// Current superstep number, starting at 0.
+    pub fn superstep(&self) -> u32 {
+        self.superstep
+    }
+
+    /// Number of vertices in the graph.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Vertices that will execute in this superstep's vertex phase
+    /// (not halted, or reactivated by a pending message).
+    pub fn active_vertices(&self) -> u32 {
+        self.active_vertices
+    }
+
+    /// Messages awaiting delivery in this superstep.
+    pub fn pending_messages(&self) -> u64 {
+        self.pending_messages
+    }
+
+    /// Reads an aggregate written by vertices in the previous superstep.
+    pub fn agg(&self, key: &str) -> Option<GlobalValue> {
+        self.aggregates.get(key)
+    }
+
+    /// Reads an aggregate with a fallback identity value.
+    pub fn agg_or(&self, key: &str, default: GlobalValue) -> GlobalValue {
+        self.aggregates.get_or(key, default)
+    }
+
+    /// Broadcasts `key = value` to every vertex for this superstep
+    /// (GPS's `Global.put` from the master).
+    pub fn put_global(&mut self, key: &str, value: GlobalValue) {
+        self.broadcast.put(key, value);
+    }
+
+    /// Reads back a broadcast set in this or an earlier superstep.
+    pub fn get_global(&self, key: &str) -> Option<GlobalValue> {
+        self.broadcast.get(key)
+    }
+}
+
+/// Context handed to [`VertexProgram::vertex_compute`].
+///
+/// Lifetime `'a` is the per-superstep borrow; `'g` is the graph borrow.
+#[derive(Debug)]
+pub struct VertexContext<'a, 'g, M> {
+    pub(crate) id: NodeId,
+    pub(crate) superstep: u32,
+    pub(crate) graph: &'g Graph,
+    pub(crate) broadcast: &'a Globals,
+    pub(crate) agg: &'a mut AggMap,
+    /// One bucket per destination worker.
+    pub(crate) outbox: &'a mut [Vec<(u32, M)>],
+    /// Worker range starts; worker `w` owns `starts[w]..starts[w+1]`.
+    pub(crate) range_starts: &'a [u32],
+    pub(crate) halted: &'a mut bool,
+}
+
+impl<'g, M: Clone> VertexContext<'_, 'g, M> {
+    /// This vertex's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current superstep number.
+    pub fn superstep(&self) -> u32 {
+        self.superstep
+    }
+
+    /// The graph being processed.
+    ///
+    /// Pregel vertices only know their own adjacency; programs should
+    /// restrict themselves to this vertex's neighborhood (the compiler-
+    /// generated programs do). The full reference is exposed for the
+    /// runtime-internal iterators below.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of vertices in the graph (GPS exposes this to vertices).
+    pub fn num_nodes(&self) -> u32 {
+        self.graph.num_nodes()
+    }
+
+    /// Out-degree of this vertex (`getNumNbrs()` / Green-Marl `Degree()`).
+    pub fn out_degree(&self) -> u32 {
+        self.graph.out_degree(self.id)
+    }
+
+    /// Out-neighbors of this vertex with edge ids (for edge properties,
+    /// which Pregel exposes only at the source vertex).
+    pub fn out_neighbors(&self) -> OutNeighbors<'g> {
+        self.graph.out_neighbors(self.id)
+    }
+
+    /// Sends `m` to every out-neighbor (GPS's `sendToNbrs`). One message is
+    /// accounted per out-edge, parallel edges included.
+    pub fn send_to_nbrs(&mut self, m: M) {
+        // Clone per edge; route each copy to its destination's worker.
+        let nbrs: OutNeighbors<'g> = self.graph.out_neighbors(self.id);
+        for (t, _) in nbrs {
+            self.send(t, m.clone());
+        }
+    }
+
+    /// Sends `m` to an arbitrary vertex by id (GPS's `sendToVertex`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub fn send(&mut self, dst: NodeId, m: M) {
+        assert!(
+            dst.0 < self.graph.num_nodes(),
+            "message destination {dst} out of range"
+        );
+        let w = self.range_starts.partition_point(|&s| s <= dst.0) - 1;
+        self.outbox[w].push((dst.0, m));
+    }
+
+    /// Reads a master broadcast for this superstep.
+    pub fn get_global(&self, key: &str) -> Option<GlobalValue> {
+        self.broadcast.get(key)
+    }
+
+    /// Reads a master broadcast, panicking with the key name if missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never broadcast.
+    pub fn expect_global(&self, key: &str) -> GlobalValue {
+        self.broadcast.expect(key)
+    }
+
+    /// Folds `value` into the named global with reduction `op`; the master
+    /// observes the aggregate at the start of the next superstep.
+    pub fn reduce_global(&mut self, key: &str, op: ReduceOp, value: GlobalValue) {
+        self.agg.reduce(key, op, value);
+    }
+
+    /// Deactivates this vertex. It will be skipped in subsequent supersteps
+    /// until a message arrives for it.
+    pub fn vote_to_halt(&mut self) {
+        *self.halted = true;
+    }
+}

@@ -1,0 +1,579 @@
+//! The BSP execution loop: partitioning, worker fan-out, message exchange.
+
+use crate::globals::{AggMap, Globals};
+use crate::metrics::{Metrics, SuperstepMetrics};
+use crate::program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
+use gm_graph::{Graph, NodeId};
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct PregelConfig {
+    /// Number of simulated workers (≥ 1). Vertices are split into this many
+    /// contiguous, edge-balanced ranges; with more than one worker the
+    /// vertex phase runs on real threads.
+    pub num_workers: usize,
+    /// Safety limit on supersteps; exceeding it returns
+    /// [`PregelError::SuperstepLimitExceeded`] instead of spinning forever.
+    pub max_supersteps: u32,
+}
+
+impl Default for PregelConfig {
+    fn default() -> Self {
+        PregelConfig {
+            num_workers: std::thread::available_parallelism()
+                .map(|p| p.get().min(4))
+                .unwrap_or(1),
+            max_supersteps: 100_000,
+        }
+    }
+}
+
+impl PregelConfig {
+    /// Single-threaded configuration, convenient for tests.
+    pub fn sequential() -> Self {
+        PregelConfig {
+            num_workers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration with an explicit worker count.
+    pub fn with_workers(num_workers: usize) -> Self {
+        PregelConfig {
+            num_workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors surfaced by [`run`].
+#[derive(Debug)]
+pub enum PregelError {
+    /// The master never halted within the configured superstep budget.
+    SuperstepLimitExceeded {
+        /// The configured limit.
+        limit: u32,
+    },
+    /// Invalid [`PregelConfig`] (e.g. zero workers).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PregelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PregelError::SuperstepLimitExceeded { limit } => {
+                write!(f, "superstep limit of {limit} exceeded without halting")
+            }
+            PregelError::InvalidConfig(msg) => write!(f, "invalid pregel config: {msg}"),
+        }
+    }
+}
+
+impl Error for PregelError {}
+
+/// Output of [`run`]: final vertex values in id order plus metrics.
+#[derive(Debug, Clone)]
+pub struct PregelResult<V> {
+    /// Final per-vertex state, indexed by vertex id.
+    pub values: Vec<V>,
+    /// Superstep, message and timing counters.
+    pub metrics: Metrics,
+}
+
+/// Executes `program` on `graph` until the master halts.
+///
+/// `init` produces the initial value for each vertex.
+///
+/// # Errors
+///
+/// Returns [`PregelError::InvalidConfig`] for a zero worker count and
+/// [`PregelError::SuperstepLimitExceeded`] if the program never halts.
+///
+/// # Determinism
+///
+/// For a fixed program, graph and seed the result is deterministic. Message
+/// delivery order at each vertex is ascending in sender id regardless of
+/// `num_workers`; integer and boolean aggregates are worker-count
+/// independent, while floating-point `Sum` aggregates may differ across
+/// worker counts by rounding (partial sums are merged in worker order).
+pub fn run<P: VertexProgram + Sync>(
+    graph: &Graph,
+    program: &mut P,
+    init: impl Fn(NodeId) -> P::VertexValue,
+    config: &PregelConfig,
+) -> Result<PregelResult<P::VertexValue>, PregelError> {
+    if config.num_workers == 0 {
+        return Err(PregelError::InvalidConfig("num_workers must be ≥ 1".into()));
+    }
+    let n = graph.num_nodes() as usize;
+    let num_workers = config.num_workers.min(n.max(1));
+    let starts = partition(graph, num_workers);
+
+    let mut values: Vec<P::VertexValue> = graph.nodes().map(init).collect();
+    let mut inbox: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
+    let mut halted = vec![false; n];
+    let mut globals = Globals::new();
+    let mut agg_prev = AggMap::new();
+    let mut metrics = Metrics::default();
+    let start = Instant::now();
+
+    let mut superstep: u32 = 0;
+    loop {
+        if superstep >= config.max_supersteps {
+            return Err(PregelError::SuperstepLimitExceeded {
+                limit: config.max_supersteps,
+            });
+        }
+
+        let pending_messages: u64 = inbox.iter().map(|m| m.len() as u64).sum();
+        let active_vertices = halted
+            .iter()
+            .zip(&inbox)
+            .filter(|(h, msgs)| !**h || !msgs.is_empty())
+            .count() as u32;
+
+        let mut mctx = MasterContext {
+            superstep,
+            aggregates: &agg_prev,
+            broadcast: &mut globals,
+            num_nodes: graph.num_nodes(),
+            active_vertices,
+            pending_messages,
+        };
+        let decision = program.master_compute(&mut mctx);
+        metrics.supersteps = superstep + 1;
+        if decision == MasterDecision::Halt {
+            break;
+        }
+        // Pregel's default termination: every vertex inactive, no messages.
+        if active_vertices == 0 && pending_messages == 0 {
+            break;
+        }
+
+        // ---- vertex phase ----
+        let worker_outputs = run_vertex_phase(
+            graph,
+            &*program,
+            &globals,
+            &starts,
+            superstep,
+            &mut values,
+            &mut inbox,
+            &mut halted,
+        );
+
+        // ---- barrier: merge aggregates, exchange messages, meter ----
+        let mut step = SuperstepMetrics::default();
+        agg_prev = AggMap::new();
+        let mut worker_outputs = worker_outputs;
+        for out in &worker_outputs {
+            agg_prev.merge(&out.agg);
+            step.active_vertices += out.computed;
+        }
+        // Sender-side combining (Pregel's combiner API): fold same-
+        // destination messages within each worker bucket before they hit
+        // the wire. A stable sort keeps the per-destination order of
+        // uncombinable messages intact.
+        if program.has_combiner() {
+            for out in &mut worker_outputs {
+                for bucket in &mut out.outbox {
+                    bucket.sort_by_key(|(dst, _)| *dst);
+                    let drained = std::mem::take(bucket);
+                    for (dst, m) in drained {
+                        match bucket.last_mut() {
+                            Some((prev_dst, prev)) if *prev_dst == dst => {
+                                match program.combine(prev, &m) {
+                                    Some(combined) => *prev = combined,
+                                    None => bucket.push((dst, m)),
+                                }
+                            }
+                            _ => bucket.push((dst, m)),
+                        }
+                    }
+                }
+            }
+        }
+        for (sender, out) in worker_outputs.iter().enumerate() {
+            for (dest_w, bucket) in out.outbox.iter().enumerate() {
+                for (dst, m) in bucket {
+                    step.messages_sent += 1;
+                    let bytes = program.message_bytes(m);
+                    step.message_bytes += bytes;
+                    if dest_w != sender {
+                        step.remote_messages += 1;
+                        step.remote_message_bytes += bytes;
+                    }
+                    inbox[*dst as usize].push(m.clone());
+                }
+            }
+        }
+        metrics.record(step);
+        superstep += 1;
+    }
+
+    metrics.elapsed = start.elapsed();
+    Ok(PregelResult { values, metrics })
+}
+
+/// Per-worker results of one vertex phase.
+struct WorkerOutput<M> {
+    outbox: Vec<Vec<(u32, M)>>,
+    agg: AggMap,
+    computed: u32,
+}
+
+/// Runs the vertex kernels, one worker per contiguous range, in parallel
+/// when there is more than one worker.
+#[allow(clippy::too_many_arguments)]
+fn run_vertex_phase<P: VertexProgram + Sync>(
+    graph: &Graph,
+    program: &P,
+    globals: &Globals,
+    starts: &[u32],
+    superstep: u32,
+    values: &mut [P::VertexValue],
+    inbox: &mut [Vec<P::Message>],
+    halted: &mut [bool],
+) -> Vec<WorkerOutput<P::Message>> {
+    let num_workers = starts.len() - 1;
+
+    // Split the per-vertex arrays into disjoint worker slices.
+    let mut value_slices = Vec::with_capacity(num_workers);
+    let mut inbox_slices = Vec::with_capacity(num_workers);
+    let mut halted_slices = Vec::with_capacity(num_workers);
+    {
+        let (mut vs, mut ibs, mut hs) = (values, inbox, halted);
+        for w in 0..num_workers {
+            let len = (starts[w + 1] - starts[w]) as usize;
+            let (v_head, v_tail) = vs.split_at_mut(len);
+            let (i_head, i_tail) = ibs.split_at_mut(len);
+            let (h_head, h_tail) = hs.split_at_mut(len);
+            value_slices.push(v_head);
+            inbox_slices.push(i_head);
+            halted_slices.push(h_head);
+            vs = v_tail;
+            ibs = i_tail;
+            hs = h_tail;
+        }
+    }
+
+    let worker_body = |w: usize,
+                       values: &mut [P::VertexValue],
+                       inbox: &mut [Vec<P::Message>],
+                       halted: &mut [bool]|
+     -> WorkerOutput<P::Message> {
+        let base = starts[w];
+        let mut outbox: Vec<Vec<(u32, P::Message)>> =
+            (0..num_workers).map(|_| Vec::new()).collect();
+        let mut agg = AggMap::new();
+        let mut computed = 0u32;
+        for local in 0..values.len() {
+            let msgs = std::mem::take(&mut inbox[local]);
+            if halted[local] && msgs.is_empty() {
+                continue;
+            }
+            halted[local] = false;
+            computed += 1;
+            let mut ctx = VertexContext {
+                id: NodeId(base + local as u32),
+                superstep,
+                graph,
+                broadcast: globals,
+                agg: &mut agg,
+                outbox: &mut outbox,
+                range_starts: starts,
+                halted: &mut halted[local],
+            };
+            program.vertex_compute(&mut ctx, &mut values[local], &msgs);
+        }
+        WorkerOutput {
+            outbox,
+            agg,
+            computed,
+        }
+    };
+
+    if num_workers == 1 {
+        vec![worker_body(0, value_slices.remove(0), inbox_slices.remove(0), halted_slices.remove(0))]
+    } else {
+        let mut outputs: Vec<Option<WorkerOutput<P::Message>>> =
+            (0..num_workers).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_workers);
+            for (w, ((vs, ibs), hs)) in value_slices
+                .into_iter()
+                .zip(inbox_slices)
+                .zip(halted_slices)
+                .enumerate()
+            {
+                let body = &worker_body;
+                handles.push(scope.spawn(move |_| (w, body(w, vs, ibs, hs))));
+            }
+            for h in handles {
+                let (w, out) = h.join().expect("pregel worker panicked");
+                outputs[w] = Some(out);
+            }
+        })
+        .expect("pregel worker scope panicked");
+        outputs.into_iter().map(|o| o.expect("worker output missing")).collect()
+    }
+}
+
+/// Splits vertices into `num_workers` contiguous ranges balanced by
+/// `1 + out_degree` weight. Returns `num_workers + 1` range starts.
+fn partition(graph: &Graph, num_workers: usize) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let total: u64 = n as u64 + graph.num_edges() as u64;
+    let mut starts = Vec::with_capacity(num_workers + 1);
+    starts.push(0u32);
+    let mut acc: u64 = 0;
+    let mut next_cut = 1;
+    for v in 0..n {
+        acc += 1 + graph.out_degree(NodeId(v)) as u64;
+        while next_cut < num_workers && acc >= next_cut as u64 * total / num_workers as u64 {
+            starts.push(v + 1);
+            next_cut += 1;
+        }
+    }
+    while starts.len() < num_workers {
+        starts.push(n);
+    }
+    starts.push(n);
+    debug_assert_eq!(starts.len(), num_workers + 1);
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{GlobalValue, ReduceOp};
+    use gm_graph::gen;
+
+    /// Sums all vertex ids into a global via aggregation, checks the master
+    /// sees it next superstep.
+    struct SumIds {
+        observed: Option<i64>,
+    }
+
+    impl VertexProgram for SumIds {
+        type VertexValue = ();
+        type Message = ();
+
+        fn message_bytes(&self, _m: &()) -> u64 {
+            0
+        }
+
+        fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+            if ctx.superstep() == 1 {
+                self.observed = Some(ctx.agg_or("S", GlobalValue::Int(0)).as_int());
+                MasterDecision::Halt
+            } else {
+                MasterDecision::Continue
+            }
+        }
+
+        fn vertex_compute(
+            &self,
+            ctx: &mut VertexContext<'_, '_, ()>,
+            _value: &mut (),
+            _messages: &[()],
+        ) {
+            let id = ctx.id().0 as i64;
+            ctx.reduce_global("S", ReduceOp::Sum, GlobalValue::Int(id));
+        }
+    }
+
+    #[test]
+    fn aggregates_reach_master_next_superstep() {
+        let g = gen::path(10);
+        for workers in [1, 2, 3, 4] {
+            let mut p = SumIds { observed: None };
+            let cfg = PregelConfig {
+                num_workers: workers,
+                max_supersteps: 10,
+            };
+            let r = run(&g, &mut p, |_| (), &cfg).unwrap();
+            assert_eq!(p.observed, Some(45), "workers = {workers}");
+            assert_eq!(r.metrics.supersteps, 2);
+        }
+    }
+
+    /// Forwards a token along a path; vertex i receives it at superstep i.
+    struct Token;
+
+    impl VertexProgram for Token {
+        type VertexValue = u32; // superstep at which the token arrived
+        type Message = u64;
+
+        fn message_bytes(&self, _m: &u64) -> u64 {
+            8
+        }
+
+        fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+            // Run until nothing is active (everything votes to halt).
+            let _ = ctx;
+            MasterDecision::Continue
+        }
+
+        fn vertex_compute(
+            &self,
+            ctx: &mut VertexContext<'_, '_, u64>,
+            value: &mut u32,
+            messages: &[u64],
+        ) {
+            let has_token = (ctx.superstep() == 0 && ctx.id().0 == 0) || !messages.is_empty();
+            if has_token {
+                *value = ctx.superstep();
+                ctx.send_to_nbrs(ctx.superstep() as u64 + 1);
+            }
+            ctx.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn message_delivery_and_vote_to_halt() {
+        let g = gen::path(6);
+        let r = run(&g, &mut Token, |_| 0, &PregelConfig::sequential()).unwrap();
+        for v in 0..6u32 {
+            assert_eq!(r.values[v as usize], v);
+        }
+        // 5 messages of 8 bytes each.
+        assert_eq!(r.metrics.total_messages, 5);
+        assert_eq!(r.metrics.total_message_bytes, 40);
+        // Natural halt once everything is quiet.
+        assert!(r.metrics.supersteps >= 6);
+    }
+
+    /// Each vertex collects sender ids; checks delivery order is ascending
+    /// by sender regardless of worker count.
+    struct Collect;
+
+    impl VertexProgram for Collect {
+        type VertexValue = Vec<u32>;
+        type Message = u32;
+
+        fn message_bytes(&self, _m: &u32) -> u64 {
+            4
+        }
+
+        fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+            if ctx.superstep() == 2 {
+                MasterDecision::Halt
+            } else {
+                MasterDecision::Continue
+            }
+        }
+
+        fn vertex_compute(
+            &self,
+            ctx: &mut VertexContext<'_, '_, u32>,
+            value: &mut Vec<u32>,
+            messages: &[u32],
+        ) {
+            if ctx.superstep() == 0 {
+                let id = ctx.id().0;
+                ctx.send_to_nbrs(id);
+            } else {
+                value.extend_from_slice(messages);
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_order_is_sender_ascending_for_any_worker_count() {
+        let g = gen::rmat(128, 512, 99);
+        let baseline = run(&g, &mut Collect, |_| Vec::new(), &PregelConfig::sequential())
+            .unwrap()
+            .values;
+        for v in &baseline {
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "not sorted: {v:?}");
+        }
+        for workers in [2, 3, 5, 8] {
+            let cfg = PregelConfig {
+                num_workers: workers,
+                max_supersteps: 10,
+            };
+            let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
+            assert_eq!(r.values, baseline, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn superstep_limit_is_enforced() {
+        struct Forever;
+        impl VertexProgram for Forever {
+            type VertexValue = ();
+            type Message = ();
+            fn message_bytes(&self, _m: &()) -> u64 {
+                0
+            }
+            fn master_compute(&mut self, _ctx: &mut MasterContext<'_>) -> MasterDecision {
+                MasterDecision::Continue
+            }
+            fn vertex_compute(
+                &self,
+                _ctx: &mut VertexContext<'_, '_, ()>,
+                _value: &mut (),
+                _messages: &[()],
+            ) {
+            }
+        }
+        let g = gen::path(3);
+        let cfg = PregelConfig {
+            num_workers: 1,
+            max_supersteps: 5,
+        };
+        let err = run(&g, &mut Forever, |_| (), &cfg).unwrap_err();
+        assert!(matches!(err, PregelError::SuperstepLimitExceeded { limit: 5 }));
+        assert!(err.to_string().contains("superstep limit"));
+    }
+
+    #[test]
+    fn zero_workers_is_invalid() {
+        let g = gen::path(3);
+        let cfg = PregelConfig {
+            num_workers: 0,
+            max_supersteps: 5,
+        };
+        let err = run(&g, &mut Token, |_| 0, &cfg).unwrap_err();
+        assert!(matches!(err, PregelError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let g = gen::path(0);
+        let r = run(&g, &mut Token, |_| 0, &PregelConfig::default()).unwrap();
+        assert!(r.values.is_empty());
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let g = gen::rmat(100, 1000, 5);
+        for w in 1..10 {
+            let starts = partition(&g, w);
+            assert_eq!(starts.len(), w + 1);
+            assert_eq!(starts[0], 0);
+            assert_eq!(*starts.last().unwrap(), 100);
+            assert!(starts.windows(2).all(|s| s[0] <= s[1]));
+        }
+    }
+
+    #[test]
+    fn remote_messages_depend_on_partition() {
+        let g = gen::cycle(16);
+        let r1 = run(&g, &mut Collect, |_| Vec::new(), &PregelConfig::sequential()).unwrap();
+        assert_eq!(r1.metrics.remote_messages, 0);
+        let cfg = PregelConfig {
+            num_workers: 4,
+            max_supersteps: 10,
+        };
+        let r4 = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
+        assert!(r4.metrics.remote_messages > 0);
+        // Total counts are worker-independent.
+        assert_eq!(r1.metrics.total_messages, r4.metrics.total_messages);
+        assert_eq!(r1.metrics.total_message_bytes, r4.metrics.total_message_bytes);
+    }
+}

@@ -1,0 +1,273 @@
+//! Compiler fuzzing: generate random (but well-typed) Green-Marl programs
+//! with proptest, then check that
+//!
+//! 1. the full pipeline compiles them (or rejects them with a diagnostic —
+//!    never panics),
+//! 2. the compiled Pregel execution matches the sequential interpreter
+//!    bit-for-bit,
+//! 3. the §4.2 optimizations never change results.
+//!
+//! The generator stays inside the Pregel-compatible subset on purpose:
+//! vertex loops with neighborhood reads/writes (both push and pull forms,
+//! exercising edge flipping and loop dissection), global reductions,
+//! filters, and while loops with aggregate conditions.
+
+use gm_core::seqinterp::{run_procedure, ArgValue};
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions};
+use gm_graph::gen;
+use gm_interp::run_compiled;
+use gm_pregel::PregelConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Integer vertex properties available to generated programs.
+const PROPS: [&str; 3] = ["pa", "pb", "pc"];
+
+/// A random pure expression over integer scalars, rendered as source.
+/// `iters` lists node variables whose properties may be read; `props`
+/// restricts which properties (pulls must not read what they write —
+/// that is a data race in Green-Marl; real programs double-buffer).
+fn expr_strategy(iters: Vec<String>, props: Vec<usize>) -> impl Strategy<Value = String> {
+    let leaf = {
+        let iters = iters.clone();
+        prop_oneof![
+            (0i64..20).prop_map(|v| v.to_string()),
+            (0..props.len(), 0..iters.len().max(1)).prop_map(move |(p, i)| {
+                if iters.is_empty() {
+                    "1".to_owned()
+                } else {
+                    format!("{}.{}", iters[i % iters.len()], PROPS[props[p]])
+                }
+            }),
+        ]
+    };
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], inner)
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+/// A filter over one node variable (always boolean), reading only the
+/// given properties.
+fn filter_strategy(var: String, props: Vec<usize>) -> impl Strategy<Value = String> {
+    (0..props.len(), 0i64..10, prop_oneof![Just(">"), Just("<"), Just("==")]).prop_map(
+        move |(p, k, cmp)| format!("({}.{} % 7) {cmp} {k}", var, PROPS[props[p]]),
+    )
+}
+
+/// One vertex-parallel statement group.
+#[derive(Debug, Clone)]
+enum Piece {
+    /// `Foreach (n)(f?) { n.prop op= expr(n); }`
+    Local {
+        prop: usize,
+        filter: Option<String>,
+        expr: String,
+        reduce: bool,
+    },
+    /// Push: `Foreach (n) { Foreach (t: n.Nbrs)(f?) { t.prop += expr(n,t-own-reads-not-allowed→expr(n)); } }`
+    Push {
+        prop: usize,
+        out_edges: bool,
+        filter: Option<String>,
+        expr: String,
+    },
+    /// Pull: `Foreach (n) { n.prop = Sum(t: n.InNbrs)(f?){expr(t)}; }`
+    Pull {
+        prop: usize,
+        in_edges: bool,
+        filter: Option<String>,
+        expr: String,
+    },
+    /// Global reduction: `S += expr(n)` under a filter.
+    Reduce {
+        filter: Option<String>,
+        expr: String,
+    },
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        (
+            0..PROPS.len(),
+            prop::option::of(filter_strategy("n".into(), vec![0, 1, 2])),
+            expr_strategy(vec!["n".into()], vec![0, 1, 2]),
+            any::<bool>()
+        )
+            .prop_map(|(prop, filter, expr, reduce)| Piece::Local {
+                prop,
+                filter,
+                expr,
+                reduce
+            }),
+        (
+            0..PROPS.len(),
+            any::<bool>(),
+            prop::option::of(filter_strategy("t".into(), vec![0, 1, 2])),
+            expr_strategy(vec!["n".into()], vec![0, 1, 2])
+        )
+            .prop_map(|(prop, out_edges, filter, expr)| Piece::Push {
+                prop,
+                out_edges,
+                filter,
+                expr
+            }),
+        // Pulls write PROPS[prop] but read (in body AND filter) only the
+        // other two properties — reading what the region writes is a data
+        // race in Green-Marl (real programs double-buffer, cf. SSSP).
+        (0..PROPS.len(), any::<bool>())
+            .prop_flat_map(|(prop, in_edges)| {
+                let readable: Vec<usize> = (0..PROPS.len()).filter(|&p| p != prop).collect();
+                (
+                    prop::option::of(filter_strategy("t".into(), readable.clone())),
+                    expr_strategy(vec!["t".into()], readable),
+                )
+                    .prop_map(move |(filter, expr)| (prop, in_edges, filter, expr))
+            })
+            .prop_map(|(prop, in_edges, filter, expr)| Piece::Pull {
+                prop,
+                in_edges,
+                filter,
+                expr
+            }),
+        (
+            prop::option::of(filter_strategy("n".into(), vec![0, 1, 2])),
+            expr_strategy(vec!["n".into()], vec![0, 1, 2])
+        )
+            .prop_map(|(filter, expr)| Piece::Reduce { filter, expr }),
+    ]
+}
+
+/// Renders a whole program from the pieces, optionally wrapping the middle
+/// section in a bounded While loop.
+fn render(pieces: &[Piece], loop_rounds: Option<u8>) -> String {
+    let mut body = String::new();
+    let mut k = 0usize;
+    for piece in pieces {
+        k += 1;
+        let f = |filt: &Option<String>, from: &str, to: String| {
+            filt.as_ref()
+                .map(|flt| format!("({})", flt.replace(from, &to)))
+                .unwrap_or_default()
+        };
+        match piece {
+            Piece::Local {
+                prop,
+                filter,
+                expr,
+                reduce,
+            } => {
+                let op = if *reduce { "+=" } else { "=" };
+                body.push_str(&format!(
+                    "    Foreach (n{k}: G.Nodes){} {{ n{k}.{} {op} {}; }}\n",
+                    f(filter, "n.", format!("n{k}.")),
+                    PROPS[*prop],
+                    expr.replace("n.", &format!("n{k}.")),
+                ));
+            }
+            Piece::Push {
+                prop,
+                out_edges,
+                filter,
+                expr,
+            } => {
+                let dir = if *out_edges { "Nbrs" } else { "InNbrs" };
+                body.push_str(&format!(
+                    "    Foreach (n{k}: G.Nodes) {{\n        Foreach (t{k}: n{k}.{dir}){} {{ t{k}.{} += {}; }}\n    }}\n",
+                    f(filter, "t.", format!("t{k}.")),
+                    PROPS[*prop],
+                    expr.replace("n.", &format!("n{k}.")),
+                ));
+            }
+            Piece::Pull {
+                prop,
+                in_edges,
+                filter,
+                expr,
+            } => {
+                let dir = if *in_edges { "InNbrs" } else { "Nbrs" };
+                let filter_group = filter
+                    .as_ref()
+                    .map(|flt| format!("[{}]", flt.replace("t.", &format!("t{k}."))))
+                    .unwrap_or_default();
+                body.push_str(&format!(
+                    "    Foreach (n{k}: G.Nodes) {{ n{k}.{} = Sum(t{k}: n{k}.{dir}){filter_group}{{{}}}; }}\n",
+                    PROPS[*prop],
+                    expr.replace("t.", &format!("t{k}.")),
+                ));
+            }
+            Piece::Reduce { filter, expr } => {
+                body.push_str(&format!(
+                    "    Foreach (n{k}: G.Nodes){} {{ S += {}; }}\n",
+                    f(filter, "n.", format!("n{k}.")),
+                    expr.replace("n.", &format!("n{k}.")),
+                ));
+            }
+        }
+    }
+    let body = match loop_rounds {
+        Some(r) => format!(
+            "    Int rounds = 0;\n    While (rounds < {r}) {{\n{body}        rounds += 1;\n    }}\n"
+        ),
+        None => body,
+    };
+    format!(
+        "Procedure fuzz(G: Graph, pa, pb, pc: N_P<Int>) : Int {{\n    Int S = 0;\n{body}    Return S + Sum(z: G.Nodes){{z.pa + z.pb * 3 + z.pc * 7}};\n}}"
+    )
+}
+
+fn initial_props(n: u32, salt: i64) -> HashMap<String, ArgValue> {
+    let col = |mult: i64| -> ArgValue {
+        ArgValue::NodeProp(
+            (0..n as i64)
+                .map(|i| Value::Int((i * mult + salt) % 23))
+                .collect(),
+        )
+    };
+    HashMap::from([
+        ("pa".to_owned(), col(3)),
+        ("pb".to_owned(), col(5)),
+        ("pc".to_owned(), col(11)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_programs_agree_with_the_oracle(
+        pieces in prop::collection::vec(piece_strategy(), 1..5),
+        rounds in prop::option::of(1u8..4),
+        n in 2u32..40,
+        m_per_n in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let src = render(&pieces, rounds);
+        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+        let args = initial_props(n, seed as i64);
+
+        // Sequential oracle.
+        let mut prog = gm_core::parser::parse(&src)
+            .unwrap_or_else(|e| panic!("generated program fails to parse:\n{}\n{src}", e.render(&src)));
+        gm_core::normalize::desugar_bulk(&mut prog);
+        let infos = gm_core::sema::check(&mut prog)
+            .unwrap_or_else(|e| panic!("generated program fails sema:\n{}\n{src}", e.render(&src)));
+        let seq = run_procedure(&g, &prog.procedures[0], &infos[0], &args, 0)
+            .expect("sequential run");
+
+        for opts in [CompileOptions::default(), CompileOptions::unoptimized()] {
+            let compiled = compile(&src, &opts)
+                .unwrap_or_else(|e| panic!("compile failed:\n{}\n{src}", e.render(&src)));
+            let out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential())
+                .expect("pregel run");
+            prop_assert_eq!(seq.ret.clone(), out.ret.clone(), "return differs\n{}", src);
+            for p in PROPS {
+                prop_assert_eq!(
+                    &seq.node_props[p], &out.node_props[p],
+                    "property {} differs\n{}", p, src
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based differential testing across the whole pipeline: for
+//! random graphs and inputs, the sequential Green-Marl interpreter (the
+//! reference semantics) and the compiled Pregel execution must agree —
+//! exactly, floats included.
+
+use gm_algorithms::sources;
+use gm_core::seqinterp::{run_procedure, ArgValue, ExecOutcome};
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions, Compiled};
+use gm_graph::{gen, Graph};
+use gm_interp::{run_compiled, CompiledOutcome};
+use gm_pregel::PregelConfig;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn seq_run(g: &Graph, src: &str, args: &HashMap<String, ArgValue>, seed: u64) -> ExecOutcome {
+    let mut prog = gm_core::parser::parse(src).expect("parse");
+    gm_core::normalize::desugar_bulk(&mut prog);
+    let infos = gm_core::sema::check(&mut prog).expect("sema");
+    run_procedure(g, &prog.procedures[0], &infos[0], args, seed).expect("seq run")
+}
+
+fn pregel_run(
+    g: &Graph,
+    compiled: &Compiled,
+    args: &HashMap<String, ArgValue>,
+    seed: u64,
+    workers: usize,
+) -> CompiledOutcome {
+    run_compiled(g, compiled, args, seed, &PregelConfig::with_workers(workers))
+        .expect("pregel run")
+}
+
+/// Compares the return value and all node properties the two sides share.
+fn assert_agree(seq: &ExecOutcome, gen: &CompiledOutcome, tag: &str) {
+    assert_eq!(seq.ret, gen.ret, "{tag}: return values differ");
+    for (name, gen_vals) in &gen.node_props {
+        if let Some(seq_vals) = seq.node_props.get(name) {
+            assert_eq!(seq_vals, gen_vals, "{tag}: property `{name}` differs");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn avg_teen_differential(n in 2u32..80, m_per_n in 1usize..8, seed in 0u64..500) {
+        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+        let ages: Vec<Value> = (0..n as i64).map(|i| Value::Int((i * 7 + seed as i64) % 60)).collect();
+        let args = HashMap::from([
+            ("age".to_owned(), ArgValue::NodeProp(ages)),
+            ("K".to_owned(), ArgValue::Scalar(Value::Int(20))),
+        ]);
+        let compiled = compile(sources::AVG_TEEN, &CompileOptions::default()).unwrap();
+        let seq = seq_run(&g, sources::AVG_TEEN, &args, 0);
+        let gen_out = pregel_run(&g, &compiled, &args, 0, 1 + (seed % 3) as usize);
+        assert_agree(&seq, &gen_out, "avg_teen");
+    }
+
+    #[test]
+    fn sssp_differential(n in 2u32..80, m_per_n in 1usize..8, seed in 0u64..500) {
+        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+        let weights: Vec<Value> =
+            (0..g.num_edges() as i64).map(|i| Value::Int(1 + (i * 3 + seed as i64) % 17)).collect();
+        let args = HashMap::from([
+            ("root".to_owned(), ArgValue::Scalar(Value::Node(seed as u32 % n))),
+            ("len".to_owned(), ArgValue::EdgeProp(weights)),
+        ]);
+        let compiled = compile(sources::SSSP, &CompileOptions::default()).unwrap();
+        let seq = seq_run(&g, sources::SSSP, &args, 0);
+        let gen_out = pregel_run(&g, &compiled, &args, 0, 1 + (seed % 3) as usize);
+        assert_agree(&seq, &gen_out, "sssp");
+    }
+
+    #[test]
+    fn pagerank_differential(n in 2u32..60, m_per_n in 1usize..6, seed in 0u64..500) {
+        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+        let args = HashMap::from([
+            ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-4))),
+            ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+            ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(8))),
+        ]);
+        let compiled = compile(sources::PAGERANK, &CompileOptions::default()).unwrap();
+        let seq = seq_run(&g, sources::PAGERANK, &args, 0);
+        // Single worker: float global reductions are order-sensitive and
+        // the sequential oracle accumulates in vertex order.
+        let gen_out = pregel_run(&g, &compiled, &args, 0, 1);
+        assert_agree(&seq, &gen_out, "pagerank");
+    }
+
+    #[test]
+    fn conductance_differential(n in 2u32..80, m_per_n in 1usize..8, seed in 0u64..500) {
+        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+        let member: Vec<Value> = (0..n as u64).map(|i| Value::Bool((i + seed) % 3 == 0)).collect();
+        let args = HashMap::from([("member".to_owned(), ArgValue::NodeProp(member))]);
+        let compiled = compile(sources::CONDUCTANCE, &CompileOptions::default()).unwrap();
+        let seq = seq_run(&g, sources::CONDUCTANCE, &args, 0);
+        let gen_out = pregel_run(&g, &compiled, &args, 0, 1 + (seed % 3) as usize);
+        assert_agree(&seq, &gen_out, "conductance");
+    }
+
+    #[test]
+    fn bipartite_differential(left in 1u32..30, right in 1u32..30, m in 0usize..150, seed in 0u64..500) {
+        let m = m.min(left as usize * right as usize * 2);
+        let g = gen::bipartite(left, right, m, seed);
+        let is_boy: Vec<Value> = (0..left + right).map(|i| Value::Bool(i < left)).collect();
+        let args = HashMap::from([("is_boy".to_owned(), ArgValue::NodeProp(is_boy))]);
+        let compiled = compile(sources::BIPARTITE_MATCHING, &CompileOptions::default()).unwrap();
+        let seq = seq_run(&g, sources::BIPARTITE_MATCHING, &args, 0);
+        let gen_out = pregel_run(&g, &compiled, &args, 0, 1 + (seed % 3) as usize);
+        assert_agree(&seq, &gen_out, "bipartite");
+    }
+
+    #[test]
+    fn bc_differential(n in 2u32..50, m_per_n in 1usize..6, seed in 0u64..300) {
+        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+        let args = HashMap::from([("K".to_owned(), ArgValue::Scalar(Value::Int(3)))]);
+        let compiled = compile(sources::BC_APPROX, &CompileOptions::default()).unwrap();
+        let seq = seq_run(&g, sources::BC_APPROX, &args, seed);
+        // Single worker for the exact comparison: the procedure *returns* a
+        // floating-point global sum, whose partial-sum order depends on the
+        // worker partition (documented in gm_pregel::run).
+        let gen_out = pregel_run(&g, &compiled, &args, seed, 1);
+        assert_agree(&seq, &gen_out, "bc");
+        // Multi-worker runs still match all per-vertex properties exactly;
+        // only the returned float aggregate may differ by rounding.
+        let multi = pregel_run(&g, &compiled, &args, seed, 3);
+        for (name, vals) in &multi.node_props {
+            // Compiler-introduced temporaries (_lev, _tp, ...) exist only
+            // on the compiled side.
+            if let Some(seq_vals) = seq.node_props.get(name) {
+                prop_assert_eq!(seq_vals, vals, "bc prop {} (3 workers)", name);
+            }
+        }
+        let (a, b) = (
+            seq.ret.clone().unwrap().as_f64(),
+            multi.ret.clone().unwrap().as_f64(),
+        );
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{} vs {}", a, b);
+    }
+
+    /// The optimizations must never change results — only timesteps.
+    #[test]
+    fn optimizations_preserve_semantics(n in 2u32..50, m_per_n in 1usize..6, seed in 0u64..300) {
+        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+        let weights: Vec<Value> =
+            (0..g.num_edges() as i64).map(|i| Value::Int(1 + i % 9)).collect();
+        let args = HashMap::from([
+            ("root".to_owned(), ArgValue::Scalar(Value::Node(0))),
+            ("len".to_owned(), ArgValue::EdgeProp(weights)),
+        ]);
+        let opt = compile(sources::SSSP, &CompileOptions::default()).unwrap();
+        let unopt = compile(sources::SSSP, &CompileOptions::unoptimized()).unwrap();
+        let a = pregel_run(&g, &opt, &args, 0, 1);
+        let b = pregel_run(&g, &unopt, &args, 0, 1);
+        prop_assert_eq!(&a.node_props["dist"], &b.node_props["dist"]);
+        // And the optimized machine is never slower in timesteps.
+        prop_assert!(a.metrics.supersteps <= b.metrics.supersteps);
+    }
+}

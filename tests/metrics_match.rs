@@ -1,0 +1,159 @@
+//! Reproduction of the paper's §5.2 structural claim:
+//!
+//! > "The compiler-generated programs took the exact same number of
+//! > timesteps and incurred the exact same network I/O as the manually
+//! > coded Pregel programs."
+//!
+//! For every (algorithm × graph) pair of Figure 6 the generated and manual
+//! executions must agree on supersteps, message counts, message bytes —
+//! and, since the substrate is deterministic, on results bit-for-bit.
+
+use gm_algorithms::{manual, sources};
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions};
+use gm_graph::{gen, Graph, NodeId};
+use gm_interp::run_compiled;
+use gm_pregel::{Metrics, PregelConfig};
+use std::collections::HashMap;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("twitter-like", gen::rmat(600, 4000, 42)),
+        ("uniform", gen::uniform_random(600, 4000, 42)),
+        ("web-like", gen::web_copying(600, 7, 0.5, 42)),
+    ]
+}
+
+fn assert_metrics_match(tag: &str, generated: &Metrics, manual: &Metrics) {
+    assert_eq!(
+        generated.supersteps, manual.supersteps,
+        "{tag}: supersteps differ"
+    );
+    assert_eq!(
+        generated.total_messages, manual.total_messages,
+        "{tag}: message counts differ"
+    );
+    assert_eq!(
+        generated.total_message_bytes, manual.total_message_bytes,
+        "{tag}: network I/O differs"
+    );
+}
+
+#[test]
+fn avg_teen_parity() {
+    let compiled = compile(sources::AVG_TEEN, &CompileOptions::default()).unwrap();
+    for (name, g) in graphs() {
+        let n = g.num_nodes();
+        let ages: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 85).collect();
+        let args = HashMap::from([
+            (
+                "age".to_owned(),
+                ArgValue::NodeProp(ages.iter().map(|&a| Value::Int(a)).collect()),
+            ),
+            ("K".to_owned(), ArgValue::Scalar(Value::Int(25))),
+        ]);
+        let gen_out =
+            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let man_out = manual::run_avg_teen(&g, &ages, 25, &PregelConfig::sequential()).unwrap();
+        assert_metrics_match(&format!("avg_teen/{name}"), &gen_out.metrics, &man_out.metrics);
+        let gen_cnt: Vec<i64> = gen_out.node_props["teen_cnt"]
+            .iter()
+            .map(|v| v.as_int())
+            .collect();
+        assert_eq!(gen_cnt, man_out.teen_cnt, "{name}: counts differ");
+        assert_eq!(gen_out.ret, Some(Value::Double(man_out.avg)), "{name}: avg differs");
+    }
+}
+
+#[test]
+fn pagerank_parity() {
+    let compiled = compile(sources::PAGERANK, &CompileOptions::default()).unwrap();
+    for (name, g) in graphs() {
+        let args = HashMap::from([
+            ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-6))),
+            ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+            ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(15))),
+        ]);
+        let gen_out =
+            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let man_out =
+            manual::run_pagerank(&g, 1e-6, 0.85, 15, &PregelConfig::sequential()).unwrap();
+        assert_metrics_match(&format!("pagerank/{name}"), &gen_out.metrics, &man_out.metrics);
+        let gen_pr: Vec<f64> = gen_out.node_props["pr"].iter().map(|v| v.as_f64()).collect();
+        assert_eq!(gen_pr, man_out.pr, "{name}: pr differs");
+    }
+}
+
+#[test]
+fn conductance_parity() {
+    let compiled = compile(sources::CONDUCTANCE, &CompileOptions::default()).unwrap();
+    for (name, g) in graphs() {
+        let n = g.num_nodes();
+        let member: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let args = HashMap::from([(
+            "member".to_owned(),
+            ArgValue::NodeProp(member.iter().map(|&b| Value::Bool(b)).collect()),
+        )]);
+        let gen_out =
+            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let man_out = manual::run_conductance(&g, &member, &PregelConfig::sequential()).unwrap();
+        assert_metrics_match(
+            &format!("conductance/{name}"),
+            &gen_out.metrics,
+            &man_out.metrics,
+        );
+        assert_eq!(
+            gen_out.ret,
+            Some(Value::Double(man_out.conductance)),
+            "{name}: conductance differs"
+        );
+    }
+}
+
+#[test]
+fn sssp_parity() {
+    let compiled = compile(sources::SSSP, &CompileOptions::default()).unwrap();
+    for (name, g) in graphs() {
+        let m = g.num_edges();
+        let weights: Vec<i64> = (0..m as i64).map(|i| 1 + (i * 13) % 31).collect();
+        let args = HashMap::from([
+            ("root".to_owned(), ArgValue::Scalar(Value::Node(1))),
+            (
+                "len".to_owned(),
+                ArgValue::EdgeProp(weights.iter().map(|&w| Value::Int(w)).collect()),
+            ),
+        ]);
+        let gen_out =
+            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let man_out =
+            manual::run_sssp(&g, NodeId(1), &weights, &PregelConfig::sequential()).unwrap();
+        assert_metrics_match(&format!("sssp/{name}"), &gen_out.metrics, &man_out.metrics);
+        let gen_dist: Vec<i64> = gen_out.node_props["dist"]
+            .iter()
+            .map(|v| v.as_int())
+            .collect();
+        assert_eq!(gen_dist, man_out.dist, "{name}: distances differ");
+    }
+}
+
+#[test]
+fn bipartite_parity() {
+    let compiled = compile(sources::BIPARTITE_MATCHING, &CompileOptions::default()).unwrap();
+    let g = gen::bipartite(300, 300, 2400, 42);
+    let is_boy: Vec<bool> = (0..600).map(|i| i < 300).collect();
+    let args = HashMap::from([(
+        "is_boy".to_owned(),
+        ArgValue::NodeProp(is_boy.iter().map(|&b| Value::Bool(b)).collect()),
+    )]);
+    let gen_out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+    let man_out =
+        manual::run_bipartite_matching(&g, &is_boy, &PregelConfig::sequential()).unwrap();
+    assert_metrics_match("bipartite", &gen_out.metrics, &man_out.metrics);
+    let gen_match: Vec<u32> = gen_out.node_props["match"]
+        .iter()
+        .map(|v| v.as_node())
+        .collect();
+    assert_eq!(gen_match, man_out.matching, "matchings differ");
+    assert_eq!(gen_out.ret, Some(Value::Int(man_out.pairs)));
+}
