@@ -9,8 +9,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError,
-    ReduceOp, VertexContext, VertexProgram,
+    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
+    VertexContext, VertexProgram,
 };
 
 /// Per-vertex state.
@@ -45,12 +45,7 @@ impl VertexProgram for AvgTeen {
         }
     }
 
-    fn vertex_compute(
-        &self,
-        ctx: &mut VertexContext<'_, '_, ()>,
-        value: &mut V,
-        messages: &[()],
-    ) {
+    fn vertex_compute(&self, ctx: &mut VertexContext<'_, '_, ()>, value: &mut V, messages: &[()]) {
         match ctx.superstep() {
             0 => {
                 if (13..20).contains(&value.age) {
@@ -94,7 +89,11 @@ pub fn run_avg_teen(
     k: i64,
     config: &PregelConfig,
 ) -> Result<AvgTeenOutcome, PregelError> {
-    assert_eq!(ages.len(), graph.num_nodes() as usize, "ages must be per-vertex");
+    assert_eq!(
+        ages.len(),
+        graph.num_nodes() as usize,
+        "ages must be per-vertex"
+    );
     let mut program = AvgTeen { k, avg: 0.0 };
     let init = |n: NodeId| V {
         age: ages[n.index()],

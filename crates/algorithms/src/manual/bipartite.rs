@@ -15,8 +15,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError,
-    ReduceOp, VertexContext, VertexProgram,
+    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
+    VertexContext, VertexProgram,
 };
 
 const NIL: u32 = u32::MAX;

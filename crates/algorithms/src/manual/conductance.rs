@@ -9,8 +9,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError,
-    ReduceOp, VertexContext, VertexProgram,
+    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
+    VertexContext, VertexProgram,
 };
 
 /// Messages: the id announcement of the preamble, or a crossing-edge mark.
@@ -109,10 +109,8 @@ impl VertexProgram for Conductance {
             }
             _ => {
                 if value.member {
-                    let crossing = messages
-                        .iter()
-                        .filter(|m| matches!(m, Msg::Mark))
-                        .count() as i64;
+                    let crossing =
+                        messages.iter().filter(|m| matches!(m, Msg::Mark)).count() as i64;
                     ctx.reduce_global("cross", ReduceOp::Sum, GlobalValue::Int(crossing));
                 }
             }

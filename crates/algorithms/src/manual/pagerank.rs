@@ -6,8 +6,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError,
-    ReduceOp, VertexContext, VertexProgram,
+    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
+    VertexContext, VertexProgram,
 };
 
 struct Pagerank {
@@ -58,7 +58,11 @@ impl VertexProgram for Pagerank {
                     sum += *m;
                 }
                 let val = (1.0 - self.d) / self.n + self.d * sum;
-                ctx.reduce_global("diff", ReduceOp::Sum, GlobalValue::Double((val - *value).abs()));
+                ctx.reduce_global(
+                    "diff",
+                    ReduceOp::Sum,
+                    GlobalValue::Double((val - *value).abs()),
+                );
                 *value = val;
                 // Speculative send for the next iteration (dangles on the
                 // last one, exactly like the merged generated loop).

@@ -165,7 +165,12 @@ fn accumulate_bc(graph: &Graph, s: NodeId, bc: &mut [f64]) {
     let n = graph.num_nodes() as usize;
     let mut sigma = vec![0.0f64; n];
     sigma[s.index()] = 1.0;
-    let max_lev = lev.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(0);
+    let max_lev = lev
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
     let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); max_lev as usize + 1];
     for v in graph.nodes() {
         if lev[v.index()] != u32::MAX {

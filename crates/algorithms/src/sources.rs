@@ -42,7 +42,10 @@ mod tests {
         for (name, src) in ALL {
             let n = loc(src);
             assert!(n > 5, "{name} suspiciously short: {n}");
-            assert!(n < 60, "{name} suspiciously long: {n} — DSL should be terse");
+            assert!(
+                n < 60,
+                "{name} suspiciously long: {n} — DSL should be terse"
+            );
         }
     }
 

@@ -8,7 +8,11 @@ use gm_core::seqinterp::{run_procedure, ArgValue};
 use gm_core::value::Value;
 use std::collections::HashMap;
 
-const OPTS: gm_core::CompileOptions = gm_core::CompileOptions { state_merging: true, intra_loop_merging: true, combiners: false };
+const OPTS: gm_core::CompileOptions = gm_core::CompileOptions {
+    state_merging: true,
+    intra_loop_merging: true,
+    combiners: false,
+};
 
 #[test]
 fn bc_seqinterp_matches_reference_small() {
@@ -44,8 +48,7 @@ fn bc_compiled_matches_seqinterp_small() {
     let args = HashMap::from([("K".to_owned(), ArgValue::Scalar(Value::Int(k)))]);
     let seq = run_procedure(&g, &prog.procedures[0], &infos[0], &args, seed).unwrap();
 
-    let compiled = gm_core::compile(sources::BC_APPROX, &OPTS)
-        .unwrap();
+    let compiled = gm_core::compile(sources::BC_APPROX, &OPTS).unwrap();
     let out = gm_interp::run_compiled(
         &g,
         &compiled,

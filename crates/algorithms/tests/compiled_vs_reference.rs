@@ -18,12 +18,7 @@ fn compiled(src: &str) -> Compiled {
     })
 }
 
-fn run(
-    g: &Graph,
-    c: &Compiled,
-    args: &HashMap<String, ArgValue>,
-    seed: u64,
-) -> CompiledOutcome {
+fn run(g: &Graph, c: &Compiled, args: &HashMap<String, ArgValue>, seed: u64) -> CompiledOutcome {
     run_compiled(g, c, args, seed, &PregelConfig::sequential()).expect("runs")
 }
 

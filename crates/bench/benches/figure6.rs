@@ -44,12 +44,28 @@ fn bench_pair(
 fn figure6(c: &mut Criterion) {
     for (name, g) in small_graphs() {
         let ages = gm_bench::ages(&g);
-        bench_pair(c, "avg_teen", name, &g, "avg_teen", sources::AVG_TEEN, |g, cfg| {
-            manual::run_avg_teen(g, &ages, 25, cfg).expect("manual run");
-        });
-        bench_pair(c, "pagerank", name, &g, "pagerank", sources::PAGERANK, |g, cfg| {
-            manual::run_pagerank(g, 1e-9, 0.85, 10, cfg).expect("manual run");
-        });
+        bench_pair(
+            c,
+            "avg_teen",
+            name,
+            &g,
+            "avg_teen",
+            sources::AVG_TEEN,
+            |g, cfg| {
+                manual::run_avg_teen(g, &ages, 25, cfg).expect("manual run");
+            },
+        );
+        bench_pair(
+            c,
+            "pagerank",
+            name,
+            &g,
+            "pagerank",
+            sources::PAGERANK,
+            |g, cfg| {
+                manual::run_pagerank(g, 1e-9, 0.85, 10, cfg).expect("manual run");
+            },
+        );
         let member = gm_bench::membership(&g);
         bench_pair(
             c,

@@ -1,0 +1,90 @@
+//! Criterion bench for the parallel message exchange: a PageRank-style
+//! flood (every vertex messages every out-neighbor each superstep) on an
+//! R-MAT graph, swept over worker counts. Throughput is reported in
+//! messages per second; baseline numbers live in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gm_graph::gen;
+use gm_pregel::{run, MasterContext, MasterDecision, PregelConfig, VertexContext, VertexProgram};
+
+struct PageRank {
+    n: f64,
+    rounds: u32,
+}
+
+impl VertexProgram for PageRank {
+    type VertexValue = f64;
+    type Message = f64;
+
+    fn message_bytes(&self, _m: &f64) -> u64 {
+        8
+    }
+
+    fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+        if ctx.superstep() > self.rounds {
+            MasterDecision::Halt
+        } else {
+            MasterDecision::Continue
+        }
+    }
+
+    fn vertex_compute(
+        &self,
+        ctx: &mut VertexContext<'_, '_, f64>,
+        value: &mut f64,
+        messages: &[f64],
+    ) {
+        if ctx.superstep() == 0 {
+            *value = 1.0 / self.n;
+        } else {
+            let mut sum = 0.0;
+            for m in messages {
+                sum += *m;
+            }
+            *value = 0.15 / self.n + 0.85 * sum;
+        }
+        if ctx.out_degree() > 0 {
+            ctx.send_to_nbrs(*value / ctx.out_degree() as f64);
+        }
+    }
+}
+
+fn message_exchange(c: &mut Criterion) {
+    let g = gen::rmat(10_000, 360_000, 1001);
+    let rounds = 10;
+    // One probe run to size the throughput counter.
+    let probe = run(
+        &g,
+        &mut PageRank {
+            n: g.num_nodes() as f64,
+            rounds,
+        },
+        |_| 0.0,
+        &PregelConfig::sequential(),
+    )
+    .expect("probe run");
+    let total_messages = probe.metrics.total_messages;
+
+    let mut grp = c.benchmark_group("message_exchange/pagerank");
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(total_messages));
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = PregelConfig {
+            num_workers: workers,
+            max_supersteps: 1_000,
+        };
+        grp.bench_with_input(BenchmarkId::from_parameter(workers), &g, |b, g| {
+            b.iter(|| {
+                let mut p = PageRank {
+                    n: g.num_nodes() as f64,
+                    rounds,
+                };
+                run(g, &mut p, |_| 0.0, &cfg).expect("run")
+            })
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, message_exchange);
+criterion_main!(benches);

@@ -18,9 +18,15 @@ fn main() {
     // distinct message kind, which is how the paper's four types add up.
     let wire_types = p.num_message_types() + usize::from(p.uses_in_nbrs);
     println!("Approximate Betweenness Centrality — compiled structure");
-    println!("  Green-Marl LoC:        {}", gm_algorithms::sources::loc(sources::BC_APPROX));
+    println!(
+        "  Green-Marl LoC:        {}",
+        gm_algorithms::sources::loc(sources::BC_APPROX)
+    );
     println!("  generated Java LoC:    {}", count_loc(&emit_java(p)));
-    println!("  vertex-centric kernels: {} (paper: 9)", p.num_vertex_kernels());
+    println!(
+        "  vertex-centric kernels: {} (paper: 9)",
+        p.num_vertex_kernels()
+    );
     println!(
         "  message types:          {} (+{} preamble) = {} wire formats (paper: 4)",
         p.num_message_types(),
@@ -45,12 +51,20 @@ fn main() {
         let got = out.ret.expect("bc returns a sum").as_f64();
         println!(
             "  {:<10} K={k}: supersteps={:<5} messages={:<9} bytes={:<10} time={:.1?}",
-            w.name, out.metrics.supersteps, out.metrics.total_messages,
-            out.metrics.total_message_bytes, elapsed
+            w.name,
+            out.metrics.supersteps,
+            out.metrics.total_messages,
+            out.metrics.total_message_bytes,
+            elapsed
         );
         println!(
             "  {:<10} sum(bc)={got:.6}  sequential Brandes oracle={ref_sum:.6}  match={}",
-            "", if (got - ref_sum).abs() < 1e-9 * ref_sum.abs().max(1.0) { "yes" } else { "NO" }
+            "",
+            if (got - ref_sum).abs() < 1e-9 * ref_sum.abs().max(1.0) {
+                "yes"
+            } else {
+                "NO"
+            }
         );
         assert!(
             (got - ref_sum).abs() < 1e-9 * ref_sum.abs().max(1.0),

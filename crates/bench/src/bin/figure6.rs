@@ -25,8 +25,8 @@ struct Row {
     graph: &'static str,
     generated_ms: f64,
     manual_ms: f64,
-    supersteps: (u32, u32),
-    bytes: (u64, u64),
+    generated: Metrics,
+    manual: Metrics,
 }
 
 fn run_generated(alg: &'static str, src: &str, g: &Graph) -> (f64, Metrics) {
@@ -61,8 +61,8 @@ fn main() {
                 graph: w.name,
                 generated_ms: gen_ms,
                 manual_ms: man_t.as_secs_f64() * 1e3,
-                supersteps: (gen_m.supersteps, man_m.supersteps),
-                bytes: (gen_m.total_message_bytes, man_m.total_message_bytes),
+                generated: gen_m,
+                manual: man_m,
             });
             continue;
         }
@@ -78,8 +78,8 @@ fn main() {
             graph: w.name,
             generated_ms: gen_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
-            supersteps: (gen_m.supersteps, man_m.supersteps),
-            bytes: (gen_m.total_message_bytes, man_m.total_message_bytes),
+            generated: gen_m,
+            manual: man_m,
         });
 
         let (gen_ms, gen_m) = run_generated("pagerank", sources::PAGERANK, g);
@@ -92,8 +92,8 @@ fn main() {
             graph: w.name,
             generated_ms: gen_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
-            supersteps: (gen_m.supersteps, man_m.supersteps),
-            bytes: (gen_m.total_message_bytes, man_m.total_message_bytes),
+            generated: gen_m,
+            manual: man_m,
         });
 
         let member = gm_bench::membership(g);
@@ -107,8 +107,8 @@ fn main() {
             graph: w.name,
             generated_ms: gen_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
-            supersteps: (gen_m.supersteps, man_m.supersteps),
-            bytes: (gen_m.total_message_bytes, man_m.total_message_bytes),
+            generated: gen_m,
+            manual: man_m,
         });
 
         let ws = weights(g);
@@ -122,8 +122,8 @@ fn main() {
             graph: w.name,
             generated_ms: gen_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
-            supersteps: (gen_m.supersteps, man_m.supersteps),
-            bytes: (gen_m.total_message_bytes, man_m.total_message_bytes),
+            generated: gen_m,
+            manual: man_m,
         });
     }
 
@@ -134,8 +134,8 @@ fn main() {
     );
     let mut all_structural_match = true;
     for r in &rows {
-        let steps_match = r.supersteps.0 == r.supersteps.1;
-        let bytes_match = r.bytes.0 == r.bytes.1;
+        let steps_match = r.generated.supersteps == r.manual.supersteps;
+        let bytes_match = r.generated.total_message_bytes == r.manual.total_message_bytes;
         all_structural_match &= steps_match && bytes_match;
         println!(
             "{:<10} {:<10} {:>10.1} {:>10.1} {:>8.2} {:>5}={:<5} {:>9}={:<9}",
@@ -144,18 +144,40 @@ fn main() {
             r.generated_ms,
             r.manual_ms,
             r.generated_ms / r.manual_ms,
-            r.supersteps.0,
-            r.supersteps.1,
-            r.bytes.0,
-            r.bytes.1,
+            r.generated.supersteps,
+            r.manual.supersteps,
+            r.generated.total_message_bytes,
+            r.manual.total_message_bytes,
         );
         assert!(steps_match, "{}/{}: timesteps differ", r.algorithm, r.graph);
-        assert!(bytes_match, "{}/{}: network I/O differs", r.algorithm, r.graph);
+        assert!(
+            bytes_match,
+            "{}/{}: network I/O differs",
+            r.algorithm, r.graph
+        );
+    }
+    println!();
+    println!("Per-phase wall-clock, milliseconds (gen / man, last rep):");
+    println!(
+        "{:<10} {:<10} {:>15} {:>15} {:>15} {:>15}",
+        "Algorithm", "Graph", "compute", "combine", "exchange", "master"
+    );
+    for r in &rows {
+        let g = gm_bench::phase_ms(&r.generated);
+        let m = gm_bench::phase_ms(&r.manual);
+        println!(
+            "{:<10} {:<10} {:>7.1} /{:>6.1} {:>7.1} /{:>6.1} {:>7.1} /{:>6.1} {:>7.1} /{:>6.1}",
+            r.algorithm, r.graph, g[0], m[0], g[1], m[1], g[2], m[2], g[3], m[3],
+        );
     }
     println!();
     println!(
         "structural parity (paper: 'exact same number of timesteps … exact same network I/O'): {}",
-        if all_structural_match { "EXACT" } else { "VIOLATED" }
+        if all_structural_match {
+            "EXACT"
+        } else {
+            "VIOLATED"
+        }
     );
     println!("note: paper ratios were 0.92–1.35 (generated Java vs manual Java on a JVM);");
     println!("here the generated side is an interpreted state machine while the manual");

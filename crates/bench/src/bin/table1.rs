@@ -8,9 +8,14 @@ use gm_bench::table1_graphs;
 use gm_graph::NodeId;
 
 fn main() {
-    println!("Table 1: input graphs (synthetic stand-ins, GM_SCALE={})",
-        std::env::var("GM_SCALE").unwrap_or_else(|_| "1.0".into()));
-    println!("{:<12} {:>10} {:>12} {:>8}  {}", "Name", "Nodes", "Edges", "m/n", "Stands in for");
+    println!(
+        "Table 1: input graphs (synthetic stand-ins, GM_SCALE={})",
+        std::env::var("GM_SCALE").unwrap_or_else(|_| "1.0".into())
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>8}  {}",
+        "Name", "Nodes", "Edges", "m/n", "Stands in for"
+    );
     for w in table1_graphs() {
         let n = w.graph.num_nodes();
         let m = w.graph.num_edges();
@@ -23,8 +28,18 @@ fn main() {
             w.paper_desc
         );
         // Shape summary: max degree vs mean (power-law graphs are skewed).
-        let max_out = w.graph.nodes().map(|v| w.graph.out_degree(v)).max().unwrap_or(0);
-        let max_in = w.graph.nodes().map(|v| w.graph.in_degree(v)).max().unwrap_or(0);
+        let max_out = w
+            .graph
+            .nodes()
+            .map(|v| w.graph.out_degree(v))
+            .max()
+            .unwrap_or(0);
+        let max_in = w
+            .graph
+            .nodes()
+            .map(|v| w.graph.in_degree(v))
+            .max()
+            .unwrap_or(0);
         let _ = NodeId(0);
         println!(
             "{:<12} {:>10} {:>12} (max out-degree {max_out}, max in-degree {max_in})",

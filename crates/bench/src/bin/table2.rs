@@ -28,8 +28,8 @@ fn main() {
     );
     for ((name, src), (plabel, p_gm, p_gps)) in sources::ALL.iter().zip(PAPER) {
         assert_eq!(*name, plabel, "row order must match the paper");
-        let compiled = gm_core::compile(src, &CompileOptions::default())
-            .expect("embedded source compiles");
+        let compiled =
+            gm_core::compile(src, &CompileOptions::default()).expect("embedded source compiles");
         let java = emit_java(&compiled.program);
         let gps_loc = count_loc(&java);
         println!(

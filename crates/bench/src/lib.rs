@@ -78,7 +78,9 @@ pub fn membership(g: &Graph) -> Vec<bool> {
 
 /// Deterministic edge weights for SSSP.
 pub fn weights(g: &Graph) -> Vec<i64> {
-    (0..g.num_edges() as i64).map(|i| 1 + (i * 13) % 31).collect()
+    (0..g.num_edges() as i64)
+        .map(|i| 1 + (i * 13) % 31)
+        .collect()
 }
 
 /// SSSP root with good forward reachability: the vertex with the largest
@@ -161,6 +163,18 @@ pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> (T, Metrics)) -> (Duratio
 /// The default Pregel configuration for benchmarking (multi-threaded).
 pub fn bench_config() -> PregelConfig {
     PregelConfig::default()
+}
+
+/// Per-phase wall-clock of a run in milliseconds, in reporting order:
+/// `[compute, combine, exchange, master]`.
+pub fn phase_ms(m: &Metrics) -> [f64; 4] {
+    [
+        m.compute_time,
+        m.combine_time,
+        m.exchange_time,
+        m.master_time,
+    ]
+    .map(|d| d.as_secs_f64() * 1e3)
 }
 
 #[cfg(test)]

@@ -47,9 +47,7 @@ struct Check<'a> {
 
 impl Check<'_> {
     fn is_node_var(&self, name: &str) -> bool {
-        self.info
-            .symbol(name)
-            .is_some_and(|s| s.ty == Ty::Node)
+        self.info.symbol(name).is_some_and(|s| s.ty == Ty::Node)
     }
 
     // ---- sequential context ----
@@ -110,10 +108,8 @@ impl Check<'_> {
                     return;
                 }
                 if !matches!(f.source, IterSource::Nodes { .. }) {
-                    self.diags.error(
-                        span,
-                        "a vertex-parallel phase must iterate over G.Nodes",
-                    );
+                    self.diags
+                        .error(span, "a vertex-parallel phase must iterate over G.Nodes");
                     return;
                 }
                 if let Some(filter) = &f.filter {
@@ -122,10 +118,8 @@ impl Check<'_> {
                 self.vertex_block(&f.body, &f.iter);
             }
             StmtKind::InBfs(_) => {
-                self.diags.error(
-                    span,
-                    "InBFS remains after lowering (unsupported nesting)",
-                );
+                self.diags
+                    .error(span, "InBFS remains after lowering (unsupported nesting)");
             }
             StmtKind::Return(e) => {
                 if let Some(e) = e {
@@ -155,9 +149,7 @@ impl Check<'_> {
                 if !graph_methods.contains(&method.as_str()) {
                     self.diags.error(
                         e.span,
-                        format!(
-                            "`{obj}.{method}()` is not available in a sequential phase"
-                        ),
+                        format!("`{obj}.{method}()` is not available in a sequential phase"),
                     );
                 }
             }
@@ -207,9 +199,7 @@ impl Check<'_> {
                         let _ = is_local;
                         // Scalar writes: vertex locals are fine; globals
                         // need a commutative reduction.
-                        if self.is_global_scalar(name, outer)
-                            && !op.is_reduction()
-                        {
+                        if self.is_global_scalar(name, outer) && !op.is_reduction() {
                             self.diags.error(
                                 span,
                                 format!(
@@ -390,8 +380,7 @@ impl Check<'_> {
     fn vertex_expr(&mut self, e: &Expr, outer: &str, inner: Option<&str>, span: crate::diag::Span) {
         match &e.kind {
             ExprKind::Agg(_) => {
-                self.diags
-                    .error(e.span, "aggregate remains after lowering");
+                self.diags.error(e.span, "aggregate remains after lowering");
             }
             ExprKind::Prop { obj, .. } => {
                 let known = obj == outer

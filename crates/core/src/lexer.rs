@@ -221,22 +221,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Diag> {
                 let text = &src[start..i];
                 let span = Span::new(start as u32, i as u32);
                 if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| Diag::new(span, format!("malformed float literal {text:?}")))?;
+                    let v: f64 = text.parse().map_err(|_| {
+                        Diag::new(span, format!("malformed float literal {text:?}"))
+                    })?;
                     push!(Tok::Float(v), start, i);
                 } else {
-                    let v: i64 = text
-                        .parse()
-                        .map_err(|_| Diag::new(span, format!("integer literal {text:?} out of range")))?;
+                    let v: i64 = text.parse().map_err(|_| {
+                        Diag::new(span, format!("integer literal {text:?} out of range"))
+                    })?;
                     push!(Tok::Int(v), start, i);
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -262,8 +260,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Diag> {
             }
             _ => {
                 // Multi-char operators first, longest match.
-                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
-                let three = if i + 2 < bytes.len() { &src[i..i + 3] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let three = if i + 2 < bytes.len() {
+                    &src[i..i + 3]
+                } else {
+                    ""
+                };
                 let (tok, len) = match three {
                     "&&=" => (Tok::AndAssign, 3),
                     "||=" => (Tok::OrAssign, 3),

@@ -75,8 +75,9 @@ fn desugar_block(block: &mut Block, graph: &str, names: &mut NameGen) {
                 op,
                 value,
             });
-            block.stmts.push(Stmt::synth(StmtKind::Foreach(Box::new(
-                ForeachStmt {
+            block
+                .stmts
+                .push(Stmt::synth(StmtKind::Foreach(Box::new(ForeachStmt {
                     iter,
                     source: IterSource::Nodes {
                         graph: graph.to_owned(),
@@ -84,8 +85,7 @@ fn desugar_block(block: &mut Block, graph: &str, names: &mut NameGen) {
                     filter: None,
                     body: Block::of(vec![assign]),
                     parallel: true,
-                },
-            ))));
+                }))));
         } else {
             block.stmts.push(stmt);
         }

@@ -4,8 +4,8 @@
 //! barrier per timestep, so fewer states means less overhead.
 
 use crate::ast::Expr;
-use crate::pir::*;
 use crate::pir::RecvAction;
+use crate::pir::*;
 use crate::report::{Step, TransformReport};
 use std::collections::HashSet;
 
@@ -52,9 +52,7 @@ pub fn mark_combiners(program: &mut PregelProgram) {
                     continue;
                 }
                 seen = true;
-                let single = r.guard.is_none()
-                    && r.steps.len() == 1
-                    && r.steps[0].guard.is_none();
+                let single = r.guard.is_none() && r.steps.len() == 1 && r.steps[0].guard.is_none();
                 if !single {
                     ok = false;
                     continue;
@@ -318,8 +316,7 @@ fn try_merge_loop(program: &mut PregelProgram, head: StateId) -> bool {
     // the reset lands before the vertex phase and the fold lands after,
     // with the same constant every iteration.
     let const_reset = |g: &String| -> bool {
-        vn_fold_targets.contains(g)
-            && writes_are_const_assign(&program.states[b1].master, g)
+        vn_fold_targets.contains(g) && writes_are_const_assign(&program.states[b1].master, g)
     };
     if seq0_writes
         .iter()
@@ -776,9 +773,9 @@ mod tests {
         let opt = compiled(LOOP_SRC, true, true);
         // Before: send state + recv/update state per iteration. After: the
         // steady-state loop is a single self-looping state.
-        let self_loop = opt.states.iter().enumerate().any(|(i, s)| {
-            matches!(s.transition, Transition::Branch { then_to, .. } if then_to == i)
-        });
+        let self_loop = opt.states.iter().enumerate().any(
+            |(i, s)| matches!(s.transition, Transition::Branch { then_to, .. } if then_to == i),
+        );
         assert!(self_loop, "expected a self-looping merged state:\n{opt}");
         assert!(opt.num_vertex_kernels() <= unopt.num_vertex_kernels());
     }

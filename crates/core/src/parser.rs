@@ -225,7 +225,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while self.peek() != &Tok::RBrace {
             if self.peek() == &Tok::Eof {
-                return Err(Diag::new(self.span(), "unexpected end of input inside block"));
+                return Err(Diag::new(
+                    self.span(),
+                    "unexpected end of input inside block",
+                ));
             }
             if self.eat(&Tok::Semi) {
                 continue; // empty statement
@@ -381,7 +384,9 @@ impl Parser {
                     span: sp,
                 });
             }
-            Tok::Ident(name) if (name == "min" || name == "max") && self.peek2() == &Tok::Assign => {
+            Tok::Ident(name)
+                if (name == "min" || name == "max") && self.peek2() == &Tok::Assign =>
+            {
                 self.bump();
                 self.bump();
                 if name == "min" {
@@ -964,9 +969,7 @@ mod tests {
 
     #[test]
     fn property_types() {
-        let p = parse_ok(
-            "Procedure f(G: Graph, d: Node_Prop<Int>(G), l: E_P<Double>) { }",
-        );
+        let p = parse_ok("Procedure f(G: Graph, d: Node_Prop<Int>(G), l: E_P<Double>) { }");
         let f = &p.procedures[0];
         assert_eq!(f.params[1].ty, Ty::NodeProp(Box::new(Ty::Int)));
         assert_eq!(f.params[2].ty, Ty::EdgeProp(Box::new(Ty::Double)));
@@ -1033,10 +1036,7 @@ mod tests {
     #[test]
     fn le_in_expression_context_is_comparison() {
         let e = parse_expr("a <= b").unwrap();
-        assert!(matches!(
-            e.kind,
-            ExprKind::Binary { op: BinOp::Le, .. }
-        ));
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Le, .. }));
     }
 
     #[test]
@@ -1056,11 +1056,12 @@ mod tests {
         let e = parse_expr("(c == 0) ? 0 : |s| / 2").unwrap();
         match e.kind {
             ExprKind::Ternary { else_val, .. } => match else_val.kind {
-                ExprKind::Binary { op: BinOp::Div, lhs, .. } => {
-                    assert!(matches!(
-                        lhs.kind,
-                        ExprKind::Unary { op: UnOp::Abs, .. }
-                    ));
+                ExprKind::Binary {
+                    op: BinOp::Div,
+                    lhs,
+                    ..
+                } => {
+                    assert!(matches!(lhs.kind, ExprKind::Unary { op: UnOp::Abs, .. }));
                 }
                 other => panic!("unexpected {other:?}"),
             },

@@ -342,7 +342,11 @@ impl fmt::Display for PregelProgram {
             }
         )?;
         for (i, s) in self.states.iter().enumerate() {
-            let kind = if s.vertex.is_some() { "vertex" } else { "master" };
+            let kind = if s.vertex.is_some() {
+                "vertex"
+            } else {
+                "master"
+            };
             let trans = match &s.transition {
                 Transition::Goto(t) => format!("goto {t}"),
                 Transition::Branch {
@@ -421,6 +425,9 @@ mod tests {
         assert_eq!(p.num_vertex_kernels(), 1);
         assert_eq!(p.num_message_types(), 2);
         let display = p.to_string();
-        assert!(display.contains("1 vertex kernels") || display.contains("(1 vertex"), "{display}");
+        assert!(
+            display.contains("1 vertex kernels") || display.contains("(1 vertex"),
+            "{display}"
+        );
     }
 }

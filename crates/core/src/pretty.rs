@@ -241,8 +241,7 @@ fn write_expr(out: &mut String, e: &Expr) {
             UnOp::Abs => {
                 // A directly nested `|…|` would print as `||…||`, which
                 // lexes as the `||` operator — parenthesize the operand.
-                let nested_abs =
-                    matches!(&expr.kind, ExprKind::Unary { op: UnOp::Abs, .. });
+                let nested_abs = matches!(&expr.kind, ExprKind::Unary { op: UnOp::Abs, .. });
                 out.push('|');
                 if nested_abs {
                     out.push('(');
@@ -290,7 +289,13 @@ fn write_expr(out: &mut String, e: &Expr) {
             out.push(')');
         }
         ExprKind::Agg(a) => {
-            let _ = write!(out, "{}({}: {})", a.kind.name(), a.iter, source_to_src(&a.source));
+            let _ = write!(
+                out,
+                "{}({}: {})",
+                a.kind.name(),
+                a.iter,
+                source_to_src(&a.source)
+            );
             if let Some(f) = &a.filter {
                 out.push('[');
                 write_expr(out, f);
@@ -326,7 +331,10 @@ mod tests {
         let p1 = parse(src).expect("first parse");
         let printed = program_to_string(&p1);
         let p2 = parse(&printed).unwrap_or_else(|e| {
-            panic!("reparse failed:\n{}\nsource:\n{printed}", e.render(&printed))
+            panic!(
+                "reparse failed:\n{}\nsource:\n{printed}",
+                e.render(&printed)
+            )
         });
         let printed2 = program_to_string(&p2);
         assert_eq!(printed, printed2, "pretty-print not a fixed point");

@@ -224,7 +224,8 @@ impl Checker {
         match &mut stmt.kind {
             StmtKind::VarDecl { ty, name, init } => {
                 if matches!(ty, Ty::Graph) {
-                    self.diags.error(span, "local Graph variables are not supported");
+                    self.diags
+                        .error(span, "local Graph variables are not supported");
                 }
                 if let Some(init) = init {
                     if matches!(ty, Ty::NodeProp(_) | Ty::EdgeProp(_)) {
@@ -389,8 +390,7 @@ impl Checker {
             IterSource::Nodes { graph } => {
                 if let Some((unique, info)) = self.resolve(&graph.clone(), span) {
                     if info.ty != Ty::Graph {
-                        self.diags
-                            .error(span, format!("`{graph}` is not a Graph"));
+                        self.diags.error(span, format!("`{graph}` is not a Graph"));
                     }
                     *graph = unique;
                 }
@@ -398,8 +398,7 @@ impl Checker {
             IterSource::OutNbrs { of } | IterSource::InNbrs { of } => {
                 if let Some((unique, info)) = self.resolve(&of.clone(), span) {
                     if info.ty != Ty::Node {
-                        self.diags
-                            .error(span, format!("`{of}` is not a Node"));
+                        self.diags.error(span, format!("`{of}` is not a Node"));
                     }
                     *of = unique;
                 }
@@ -410,10 +409,8 @@ impl Checker {
                         self.diags.error(span, format!("`{of}` is not a Node"));
                     }
                     if info.kind != SymKind::BfsIter || !self.bfs_iters.contains(&unique) {
-                        self.diags.error(
-                            span,
-                            "UpNbrs/DownNbrs require the enclosing InBFS iterator",
-                        );
+                        self.diags
+                            .error(span, "UpNbrs/DownNbrs require the enclosing InBFS iterator");
                     }
                     *of = unique;
                 }
@@ -524,7 +521,9 @@ impl Checker {
                             None => {
                                 self.diags.error(
                                     span,
-                                    format!("arithmetic requires numeric operands, found {lt} and {rt}"),
+                                    format!(
+                                        "arithmetic requires numeric operands, found {lt} and {rt}"
+                                    ),
                                 );
                                 None
                             }
@@ -534,8 +533,7 @@ impl Checker {
                         if lt.is_integer() && rt.is_integer() {
                             Some(lt)
                         } else {
-                            self.diags
-                                .error(span, "% requires integer operands");
+                            self.diags.error(span, "% requires integer operands");
                             None
                         }
                     }
@@ -543,10 +541,8 @@ impl Checker {
                         let compatible = lt.join_numeric(&rt).is_some()
                             || (lt == rt && matches!(lt, Ty::Bool | Ty::Node | Ty::Edge));
                         if !compatible {
-                            self.diags.error(
-                                span,
-                                format!("cannot compare {lt} with {rt}"),
-                            );
+                            self.diags
+                                .error(span, format!("cannot compare {lt} with {rt}"));
                         }
                         Some(Ty::Bool)
                     }
@@ -561,7 +557,8 @@ impl Checker {
                     }
                     BinOp::And | BinOp::Or => {
                         if lt != Ty::Bool || rt != Ty::Bool {
-                            self.diags.error(span, "logical operators require Bool operands");
+                            self.diags
+                                .error(span, "logical operators require Bool operands");
                         }
                         Some(Ty::Bool)
                     }
@@ -615,14 +612,10 @@ impl Checker {
                         // The condition may live in the body slot.
                         if let Some(Some(t)) = &body_ty {
                             if *t != Ty::Bool {
-                                self.diags.error(
-                                    span,
-                                    "Exist/All condition must be Bool",
-                                );
+                                self.diags.error(span, "Exist/All condition must be Bool");
                             }
                         } else if agg.filter.is_none() {
-                            self.diags
-                                .error(span, "Exist/All require a condition");
+                            self.diags.error(span, "Exist/All require a condition");
                         }
                         Some(Ty::Bool)
                     }
@@ -633,7 +626,10 @@ impl Checker {
                             Some(Some(t)) => {
                                 self.diags.error(
                                     span,
-                                    format!("{} requires a numeric body, found {t}", agg.kind.name()),
+                                    format!(
+                                        "{} requires a numeric body, found {t}",
+                                        agg.kind.name()
+                                    ),
                                 );
                                 None
                             }
@@ -648,10 +644,8 @@ impl Checker {
                     self.check_expr(a, None);
                 }
                 if !args.is_empty() {
-                    self.diags.error(
-                        span,
-                        format!("built-in `{method_name}` takes no arguments"),
-                    );
+                    self.diags
+                        .error(span, format!("built-in `{method_name}` takes no arguments"));
                 }
                 let resolved = self.resolve(&obj.clone(), span);
                 match resolved {
@@ -747,8 +741,10 @@ mod tests {
         )
         .unwrap();
         // The two loop iterators got distinct names.
-        let (a, b) = match (&p.procedures[0].body.stmts[0].kind, &p.procedures[0].body.stmts[1].kind)
-        {
+        let (a, b) = match (
+            &p.procedures[0].body.stmts[0].kind,
+            &p.procedures[0].body.stmts[1].kind,
+        ) {
             (StmtKind::Foreach(a), StmtKind::Foreach(b)) => (a.iter.clone(), b.iter.clone()),
             other => panic!("unexpected {other:?}"),
         };

@@ -402,7 +402,9 @@ impl Interp<'_> {
     fn exec_bfs(&mut self, b: &BfsStmt) -> Result<Flow, EvalError> {
         let root = self.eval(&b.root)?.as_node();
         if root == NIL_NODE || root >= self.graph.num_nodes() {
-            return Err(EvalError::Runtime("InBFS root is NIL or out of range".into()));
+            return Err(EvalError::Runtime(
+                "InBFS root is NIL or out of range".into(),
+            ));
         }
         // Level computation over out-edges.
         let n = self.graph.num_nodes() as usize;
@@ -557,9 +559,9 @@ impl Interp<'_> {
     }
 
     fn levels_for(&self, var: &str) -> Result<&Vec<u32>, EvalError> {
-        self.bfs_levels.get(var).ok_or_else(|| {
-            EvalError::Runtime(format!("`{var}` is not a live BFS iterator"))
-        })
+        self.bfs_levels
+            .get(var)
+            .ok_or_else(|| EvalError::Runtime(format!("`{var}` is not a live BFS iterator")))
     }
 
     fn assign(
@@ -591,9 +593,10 @@ impl Interp<'_> {
             Target::Prop { obj, prop } => {
                 let declared = self.info.ty(prop).prop_inner().clone();
                 let value = value.coerce(&declared);
-                let obj_val = *self.scalars.get(obj).ok_or_else(|| {
-                    EvalError::Runtime(format!("`{obj}` not bound"))
-                })?;
+                let obj_val = *self
+                    .scalars
+                    .get(obj)
+                    .ok_or_else(|| EvalError::Runtime(format!("`{obj}` not bound")))?;
                 // Cross-vertex (and all deferred) writes buffer until the
                 // region ends; writes through the region's own iterator
                 // apply immediately.
@@ -610,9 +613,11 @@ impl Interp<'_> {
                             return Err(EvalError::Runtime(format!("unknown property `{prop}`")));
                         }
                         if buffered {
-                            self.region.as_mut().expect("region checked").writes.push(
-                                RegionWrite::NodeProp(prop.clone(), idx, op, value),
-                            );
+                            self.region
+                                .as_mut()
+                                .expect("region checked")
+                                .writes
+                                .push(RegionWrite::NodeProp(prop.clone(), idx, op, value));
                         } else {
                             let slot =
                                 &mut self.node_props.get_mut(prop).expect("checked")[idx as usize];
@@ -625,9 +630,11 @@ impl Interp<'_> {
                             return Err(EvalError::Runtime(format!("unknown property `{prop}`")));
                         }
                         if buffered {
-                            self.region.as_mut().expect("region checked").writes.push(
-                                RegionWrite::EdgeProp(prop.clone(), idx, op, value),
-                            );
+                            self.region
+                                .as_mut()
+                                .expect("region checked")
+                                .writes
+                                .push(RegionWrite::EdgeProp(prop.clone(), idx, op, value));
                         } else {
                             let slot =
                                 &mut self.edge_props.get_mut(prop).expect("checked")[idx as usize];
@@ -650,28 +657,29 @@ impl Interp<'_> {
             ExprKind::BoolLit(v) => Value::Bool(*v),
             ExprKind::Inf { negative } => Value::inf_for(e.ty(), *negative),
             ExprKind::Nil => Value::Node(NIL_NODE),
-            ExprKind::Var(name) => *self.scalars.get(name).ok_or_else(|| {
-                EvalError::Runtime(format!("variable `{name}` not initialized"))
-            })?,
+            ExprKind::Var(name) => *self
+                .scalars
+                .get(name)
+                .ok_or_else(|| EvalError::Runtime(format!("variable `{name}` not initialized")))?,
             ExprKind::Prop { obj, prop } => {
-                let obj_val = *self.scalars.get(obj).ok_or_else(|| {
-                    EvalError::Runtime(format!("`{obj}` not bound"))
-                })?;
+                let obj_val = *self
+                    .scalars
+                    .get(obj)
+                    .ok_or_else(|| EvalError::Runtime(format!("`{obj}` not bound")))?;
                 match obj_val {
                     Value::Node(idx) => {
                         if idx == NIL_NODE {
                             return Err(EvalError::Runtime("property read through NIL".into()));
                         }
-                        self.node_props
-                            .get(prop)
-                            .ok_or_else(|| EvalError::Runtime(format!("unknown property `{prop}`")))?
-                            [idx as usize]
+                        self.node_props.get(prop).ok_or_else(|| {
+                            EvalError::Runtime(format!("unknown property `{prop}`"))
+                        })?[idx as usize]
                     }
-                    Value::Edge(idx) => self
-                        .edge_props
-                        .get(prop)
-                        .ok_or_else(|| EvalError::Runtime(format!("unknown property `{prop}`")))?
-                        [idx as usize],
+                    Value::Edge(idx) => {
+                        self.edge_props.get(prop).ok_or_else(|| {
+                            EvalError::Runtime(format!("unknown property `{prop}`"))
+                        })?[idx as usize]
+                    }
                     other => {
                         return Err(EvalError::Runtime(format!(
                             "property read through non-node `{obj}` = {other}"
@@ -715,38 +723,34 @@ impl Interp<'_> {
                 }
             }
             ExprKind::Agg(agg) => self.eval_agg(agg, e.ty.as_ref())?,
-            ExprKind::Call { obj, method, .. } => {
-                match method.as_str() {
-                    "NumNodes" => Value::Int(self.graph.num_nodes() as i64),
-                    "NumEdges" => Value::Int(self.graph.num_edges() as i64),
-                    "PickRandom" => {
-                        let n = self.graph.num_nodes();
-                        if n == 0 {
-                            return Err(EvalError::Runtime("PickRandom on empty graph".into()));
-                        }
-                        Value::Node(self.rng.gen_range(0..n))
+            ExprKind::Call { obj, method, .. } => match method.as_str() {
+                "NumNodes" => Value::Int(self.graph.num_nodes() as i64),
+                "NumEdges" => Value::Int(self.graph.num_edges() as i64),
+                "PickRandom" => {
+                    let n = self.graph.num_nodes();
+                    if n == 0 {
+                        return Err(EvalError::Runtime("PickRandom on empty graph".into()));
                     }
-                    "Degree" | "OutDegree" | "NumNbrs" => {
-                        let v = self.node_of(obj)?;
-                        Value::Int(self.graph.out_degree(NodeId(v)) as i64)
-                    }
-                    "InDegree" => {
-                        let v = self.node_of(obj)?;
-                        Value::Int(self.graph.in_degree(NodeId(v)) as i64)
-                    }
-                    "ToEdge" => {
-                        let e = self.iter_edges.get(obj).ok_or_else(|| {
-                            EvalError::Runtime(format!(
-                                "`{obj}` has no connecting edge (not a live neighborhood iterator)"
-                            ))
-                        })?;
-                        Value::Edge(e.0)
-                    }
-                    other => {
-                        return Err(EvalError::Runtime(format!("unknown built-in `{other}`")))
-                    }
+                    Value::Node(self.rng.gen_range(0..n))
                 }
-            }
+                "Degree" | "OutDegree" | "NumNbrs" => {
+                    let v = self.node_of(obj)?;
+                    Value::Int(self.graph.out_degree(NodeId(v)) as i64)
+                }
+                "InDegree" => {
+                    let v = self.node_of(obj)?;
+                    Value::Int(self.graph.in_degree(NodeId(v)) as i64)
+                }
+                "ToEdge" => {
+                    let e = self.iter_edges.get(obj).ok_or_else(|| {
+                        EvalError::Runtime(format!(
+                            "`{obj}` has no connecting edge (not a live neighborhood iterator)"
+                        ))
+                    })?;
+                    Value::Edge(e.0)
+                }
+                other => return Err(EvalError::Runtime(format!("unknown built-in `{other}`"))),
+            },
         })
     }
 
@@ -811,7 +815,11 @@ impl Interp<'_> {
             AggKind::Count => Value::Int(count),
             AggKind::Exist => Value::Bool(exist),
             AggKind::All => Value::Bool(all),
-            AggKind::Avg => Value::Double(if count == 0 { 0.0 } else { sum_f / count as f64 }),
+            AggKind::Avg => Value::Double(if count == 0 {
+                0.0
+            } else {
+                sum_f / count as f64
+            }),
             AggKind::Sum | AggKind::Product => acc.unwrap_or_else(|| {
                 let ty = body_ty.unwrap_or(Ty::Int);
                 match agg.kind {
@@ -819,9 +827,9 @@ impl Interp<'_> {
                     _ => Value::Int(1).coerce(&ty),
                 }
             }),
-            AggKind::Max => acc.unwrap_or_else(|| {
-                Value::inf_for(&body_ty.clone().unwrap_or(Ty::Int), true)
-            }),
+            AggKind::Max => {
+                acc.unwrap_or_else(|| Value::inf_for(&body_ty.clone().unwrap_or(Ty::Int), true))
+            }
             AggKind::Min => {
                 acc.unwrap_or_else(|| Value::inf_for(&body_ty.clone().unwrap_or(Ty::Int), false))
             }
@@ -836,11 +844,7 @@ mod tests {
     use crate::sema;
     use gm_graph::gen;
 
-    fn run_src(
-        graph: &Graph,
-        src: &str,
-        args: &HashMap<String, ArgValue>,
-    ) -> ExecOutcome {
+    fn run_src(graph: &Graph, src: &str, args: &HashMap<String, ArgValue>) -> ExecOutcome {
         let mut prog = parse(src).expect("parse");
         let infos = sema::check(&mut prog).expect("sema");
         run_procedure(graph, &prog.procedures[0], &infos[0], args, 42).expect("run")

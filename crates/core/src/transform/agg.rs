@@ -195,7 +195,9 @@ fn lower_agg(
                 name: acc.clone(),
                 init: Some(identity),
             }));
-            out.push(accumulate_loop(&agg.iter, agg.source, agg.filter, &acc, op, body));
+            out.push(accumulate_loop(
+                &agg.iter, agg.source, agg.filter, &acc, op, body,
+            ));
             Expr::typed(ExprKind::Var(acc), acc_ty)
         }
         AggKind::Count => {
@@ -226,8 +228,14 @@ fn lower_agg(
             let cond = agg
                 .body
                 .unwrap_or_else(|| Expr::typed(ExprKind::BoolLit(true), Ty::Bool));
-            let op = if is_exist { AssignOp::Or } else { AssignOp::And };
-            out.push(accumulate_loop(&agg.iter, agg.source, agg.filter, &acc, op, cond));
+            let op = if is_exist {
+                AssignOp::Or
+            } else {
+                AssignOp::And
+            };
+            out.push(accumulate_loop(
+                &agg.iter, agg.source, agg.filter, &acc, op, cond,
+            ));
             Expr::typed(ExprKind::Var(acc), Ty::Bool)
         }
         AggKind::Avg => {
@@ -345,7 +353,10 @@ mod tests {
         assert!(changed);
         crate::sema::check(&mut p).unwrap();
         let s = program_to_string(&p);
-        assert!(!s.contains("Sum(") && !s.contains("Count(") && !s.contains("Exist("), "{s}");
+        assert!(
+            !s.contains("Sum(") && !s.contains("Count(") && !s.contains("Exist("),
+            "{s}"
+        );
         (p, s)
     }
 

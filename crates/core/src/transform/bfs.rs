@@ -270,9 +270,7 @@ fn rewrite_updown_stmt(stmt: &mut Stmt, lev: &str, cur: &str) {
             rewrite_updown_block(body, lev, cur);
         }
         StmtKind::Foreach(f) => {
-            if let Some((new_source, level_filter)) =
-                rewrite_source(&f.source, &f.iter, lev, cur)
-            {
+            if let Some((new_source, level_filter)) = rewrite_source(&f.source, &f.iter, lev, cur) {
                 f.source = new_source;
                 f.filter = Some(match f.filter.take() {
                     Some(existing) => Expr::binary(BinOp::And, level_filter, existing),
@@ -316,8 +314,7 @@ fn rewrite_updown_expr(e: &mut Expr, lev: &str, cur: &str) {
             rewrite_updown_expr(else_val, lev, cur);
         }
         ExprKind::Agg(a) => {
-            if let Some((new_source, level_filter)) = rewrite_source(&a.source, &a.iter, lev, cur)
-            {
+            if let Some((new_source, level_filter)) = rewrite_source(&a.source, &a.iter, lev, cur) {
                 a.source = new_source;
                 a.filter = Some(match a.filter.take() {
                     Some(existing) => Expr::binary(BinOp::And, level_filter, existing),
@@ -390,7 +387,8 @@ mod tests {
         (p, s)
     }
 
-    const SIGMA_SRC: &str = "Procedure f(G: Graph, root: Node, sigma: N_P<Double>, acc: N_P<Double>) {
+    const SIGMA_SRC: &str =
+        "Procedure f(G: Graph, root: Node, sigma: N_P<Double>, acc: N_P<Double>) {
         Foreach (i: G.Nodes) {
             i.sigma = 0.0;
         }

@@ -126,11 +126,8 @@ fn dissect_outer_loop(
     }
 
     // ---- rewrite 2: split so pull loops stand alone ----
-    let needs_split = f.body.stmts.len() > 1
-        && f.body
-            .stmts
-            .iter()
-            .any(|s| is_pull_loop(s, &f.iter));
+    let needs_split =
+        f.body.stmts.len() > 1 && f.body.stmts.iter().any(|s| is_pull_loop(s, &f.iter));
     if !needs_split {
         out.push(Stmt::synth(StmtKind::Foreach(Box::new(f))));
         return;
@@ -170,11 +167,9 @@ fn dissect_outer_loop(
 /// (i.e. would require message pulling if translated in place).
 fn is_pull_loop(s: &Stmt, outer_iter: &str) -> bool {
     match &s.kind {
-        StmtKind::Foreach(inner) if inner.source.is_neighborhood() => {
-            writes_in_block(&inner.body).iter().any(|(p, _)| {
-                matches!(p, Place::Prop { obj, .. } if obj == outer_iter)
-            })
-        }
+        StmtKind::Foreach(inner) if inner.source.is_neighborhood() => writes_in_block(&inner.body)
+            .iter()
+            .any(|(p, _)| matches!(p, Place::Prop { obj, .. } if obj == outer_iter)),
         _ => false,
     }
 }
@@ -321,7 +316,6 @@ fn rewrite_expr(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
         _ => {}
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -69,25 +69,21 @@ fn process_block(block: &mut Block, graph: &str, names: &mut NameGen, changed: &
             };
             *changed = true;
             let iter = names.fresh("_r");
-            block.stmts.push(Stmt::synth(StmtKind::Foreach(Box::new(
-                ForeachStmt {
+            block
+                .stmts
+                .push(Stmt::synth(StmtKind::Foreach(Box::new(ForeachStmt {
                     iter: iter.clone(),
                     source: IterSource::Nodes {
                         graph: graph.to_owned(),
                     },
-                    filter: Some(Expr::binary(
-                        BinOp::Eq,
-                        Expr::var(&iter),
-                        Expr::var(&obj),
-                    )),
+                    filter: Some(Expr::binary(BinOp::Eq, Expr::var(&iter), Expr::var(&obj))),
                     body: Block::of(vec![Stmt::synth(StmtKind::Assign {
                         target: Target::Prop { obj: iter, prop },
                         op,
                         value,
                     })]),
                     parallel: true,
-                },
-            ))));
+                }))));
         } else {
             block.stmts.push(stmt);
         }

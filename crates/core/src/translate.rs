@@ -162,9 +162,7 @@ fn program_calls_in_degree(program: &PregelProgram) -> bool {
             VInstr::SendToNbrs { payload, .. } | VInstr::SendToInNbrs { payload, .. } => {
                 payload.iter().any(expr_has)
             }
-            VInstr::SendTo { dst, payload, .. } => {
-                expr_has(dst) || payload.iter().any(expr_has)
-            }
+            VInstr::SendTo { dst, payload, .. } => expr_has(dst) || payload.iter().any(expr_has),
             VInstr::SendIdToNbrs => false,
             VInstr::If {
                 cond,
@@ -173,21 +171,25 @@ fn program_calls_in_degree(program: &PregelProgram) -> bool {
             } => expr_has(cond) || instrs_have(then_branch) || instrs_have(else_branch),
         })
     }
-    program.states.iter().flat_map(|s| s.vertex.iter()).any(|k| {
-        k.filter.as_ref().is_some_and(expr_has)
-            || instrs_have(&k.body)
-            || k.recvs.iter().any(|r| {
-                r.guard.as_ref().is_some_and(expr_has)
-                    || r.steps.iter().any(|s| {
-                        s.guard.as_ref().is_some_and(expr_has)
-                            || match &s.action {
-                                RecvAction::WriteOwn { value, .. }
-                                | RecvAction::ReduceGlobal { value, .. } => expr_has(value),
-                                RecvAction::StoreInNbr => false,
-                            }
-                    })
-            })
-    })
+    program
+        .states
+        .iter()
+        .flat_map(|s| s.vertex.iter())
+        .any(|k| {
+            k.filter.as_ref().is_some_and(expr_has)
+                || instrs_have(&k.body)
+                || k.recvs.iter().any(|r| {
+                    r.guard.as_ref().is_some_and(expr_has)
+                        || r.steps.iter().any(|s| {
+                            s.guard.as_ref().is_some_and(expr_has)
+                                || match &s.action {
+                                    RecvAction::WriteOwn { value, .. }
+                                    | RecvAction::ReduceGlobal { value, .. } => expr_has(value),
+                                    RecvAction::StoreInNbr => false,
+                                }
+                        })
+                })
+        })
 }
 
 /// Whether any send payload reads the connecting edge's properties.
@@ -388,14 +390,8 @@ impl Tx<'_> {
             let t = &mut self.states[state].transition;
             match (slot, t) {
                 (Slot::Goto, t) => *t = Transition::Goto(id),
-                (
-                    Slot::BranchThen,
-                    Transition::Branch { then_to, .. },
-                ) => *then_to = id,
-                (
-                    Slot::BranchElse,
-                    Transition::Branch { else_to, .. },
-                ) => *else_to = id,
+                (Slot::BranchThen, Transition::Branch { then_to, .. }) => *then_to = id,
+                (Slot::BranchElse, Transition::Branch { else_to, .. }) => *else_to = id,
                 (slot, t) => unreachable!("bad slot {slot:?} for {t:?}"),
             }
         }
@@ -489,9 +485,7 @@ impl Tx<'_> {
                     if self.global_set.insert(name.clone()) {
                         self.globals.push((name.clone(), scalar.clone()));
                     }
-                    let value = init
-                        .clone()
-                        .unwrap_or_else(|| default_expr_for(scalar));
+                    let value = init.clone().unwrap_or_else(|| default_expr_for(scalar));
                     self.pending_master.push(MInstr::Assign {
                         name: name.clone(),
                         op: AssignOp::Assign,
@@ -516,9 +510,7 @@ impl Tx<'_> {
                 then_branch,
                 else_branch,
             } => {
-                if is_pure_master(then_branch)
-                    && else_branch.as_ref().is_none_or(is_pure_master)
-                {
+                if is_pure_master(then_branch) && else_branch.as_ref().is_none_or(is_pure_master) {
                     let then_instrs = self.master_block(then_branch);
                     let else_instrs = else_branch
                         .as_ref()
@@ -904,21 +896,18 @@ impl Tx<'_> {
                             pc.sender_locals.insert(name.clone(), e.clone());
                         }
                         None => {
-                            pc.sender_locals
-                                .insert(name.clone(), default_expr_for(ty));
+                            pc.sender_locals.insert(name.clone(), default_expr_for(ty));
                         }
                     }
                 }
                 StmtKind::Assign { target, op, value } => {
                     let value = pc.rewrite(value);
                     let action = match target {
-                        Target::Prop { obj, prop } if *obj == pc.inner => {
-                            RecvAction::WriteOwn {
-                                prop: prop.clone(),
-                                op: *op,
-                                value,
-                            }
-                        }
+                        Target::Prop { obj, prop } if *obj == pc.inner => RecvAction::WriteOwn {
+                            prop: prop.clone(),
+                            op: *op,
+                            value,
+                        },
                         Target::Scalar(name) if self.global_set.contains(name) => {
                             if !op.is_reduction() {
                                 self.error(
@@ -933,10 +922,7 @@ impl Tx<'_> {
                             }
                         }
                         other => {
-                            self.error(
-                                stmt.span,
-                                format!("non-canonical inner write {other:?}"),
-                            );
+                            self.error(stmt.span, format!("non-canonical inner write {other:?}"));
                             continue;
                         }
                     };
@@ -998,17 +984,13 @@ impl Tx<'_> {
         if let Some(f) = &kernel.filter {
             push(f);
         }
-        fn walk_instrs(
-            instrs: &[VInstr],
-            push: &mut impl FnMut(&Expr),
-        ) {
+        fn walk_instrs(instrs: &[VInstr], push: &mut impl FnMut(&Expr)) {
             for i in instrs {
                 match i {
                     VInstr::Local { value, .. }
                     | VInstr::WriteOwn { value, .. }
                     | VInstr::ReduceGlobal { value, .. } => push(value),
-                    VInstr::SendToNbrs { payload, .. }
-                    | VInstr::SendToInNbrs { payload, .. } => {
+                    VInstr::SendToNbrs { payload, .. } | VInstr::SendToInNbrs { payload, .. } => {
                         for p in payload {
                             push(p);
                         }
@@ -1042,8 +1024,9 @@ impl Tx<'_> {
                     push(g);
                 }
                 match &s.action {
-                    RecvAction::WriteOwn { value, .. }
-                    | RecvAction::ReduceGlobal { value, .. } => push(value),
+                    RecvAction::WriteOwn { value, .. } | RecvAction::ReduceGlobal { value, .. } => {
+                        push(value)
+                    }
                     RecvAction::StoreInNbr => {}
                 }
             }
@@ -1135,9 +1118,7 @@ impl PayloadCx {
     /// Returns `(uses_inner, uses_sender)`.
     fn scopes(&self, e: &Expr) -> (bool, bool) {
         match &e.kind {
-            ExprKind::Prop { obj, .. } | ExprKind::Call { obj, .. }
-                if *obj == self.inner =>
-            {
+            ExprKind::Prop { obj, .. } | ExprKind::Call { obj, .. } if *obj == self.inner => {
                 (true, false)
             }
             ExprKind::Var(n) if *n == self.inner => (true, false),
@@ -1274,11 +1255,7 @@ impl PayloadCx {
                 for ev in self.edge_vars.clone() {
                     crate::astutil::subst_var_expr(&mut sender_expr, &ev, EDGE);
                 }
-                self.field(
-                    name.clone(),
-                    ty.clone().unwrap_or(Ty::Int),
-                    sender_expr,
-                )
+                self.field(name.clone(), ty.clone().unwrap_or(Ty::Int), sender_expr)
             }
             ExprKind::Var(name) => {
                 // Vertex local of the outer body (sender-scoped value).
@@ -1393,10 +1370,7 @@ fn is_pure_master(block: &Block) -> bool {
             then_branch,
             else_branch,
             ..
-        } => {
-            is_pure_master(then_branch)
-                && else_branch.as_ref().is_none_or(is_pure_master)
-        }
+        } => is_pure_master(then_branch) && else_branch.as_ref().is_none_or(is_pure_master),
         StmtKind::Block(b) => is_pure_master(b),
         StmtKind::Assign {
             target: Target::Prop { .. },
@@ -1619,7 +1593,10 @@ mod tests {
         let prog = translate(&p.procedures[0], &infos[0], &mut report).unwrap();
         assert!(report.applied(Step::RandomWriting));
         let kernel = prog.states[0].vertex.as_ref().unwrap();
-        assert!(kernel.body.iter().any(|i| matches!(i, VInstr::SendTo { .. })));
+        assert!(kernel
+            .body
+            .iter()
+            .any(|i| matches!(i, VInstr::SendTo { .. })));
     }
 
     #[test]
@@ -1684,7 +1661,9 @@ mod tests {
             }",
         );
         let has_ret = prog.states.iter().any(|s| {
-            s.master.iter().any(|m| matches!(m, MInstr::SetReturn(_) | MInstr::If { .. }))
+            s.master
+                .iter()
+                .any(|m| matches!(m, MInstr::SetReturn(_) | MInstr::If { .. }))
         });
         assert!(has_ret, "{prog}");
     }

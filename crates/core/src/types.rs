@@ -182,8 +182,14 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Ty::NodeProp(Box::new(Ty::Int)).to_string(), "Node_Prop<Int>");
-        assert_eq!(Ty::EdgeProp(Box::new(Ty::Double)).to_string(), "Edge_Prop<Double>");
+        assert_eq!(
+            Ty::NodeProp(Box::new(Ty::Int)).to_string(),
+            "Node_Prop<Int>"
+        );
+        assert_eq!(
+            Ty::EdgeProp(Box::new(Ty::Double)).to_string(),
+            "Edge_Prop<Double>"
+        );
     }
 
     #[test]

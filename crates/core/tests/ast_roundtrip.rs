@@ -168,9 +168,7 @@ fn program() -> impl Strategy<Value = Program> {
                         init: Some(match t {
                             Ty::Bool => Expr::bool(false),
                             Ty::Node => Expr::synth(ExprKind::Nil),
-                            Ty::Float | Ty::Double => {
-                                Expr::synth(ExprKind::FloatLit(0.0))
-                            }
+                            Ty::Float | Ty::Double => Expr::synth(ExprKind::FloatLit(0.0)),
                             _ => Expr::int(0),
                         }),
                     }));

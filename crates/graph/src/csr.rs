@@ -102,9 +102,8 @@ impl Graph {
 
     /// All edges as `(source, target)` pairs in [`EdgeId`] order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |n| {
-            self.out_neighbors(n).map(move |(t, _)| (n, t))
-        })
+        self.nodes()
+            .flat_map(move |n| self.out_neighbors(n).map(move |(t, _)| (n, t)))
     }
 
     /// Checks internal CSR invariants; used by tests and debug assertions.

@@ -65,7 +65,10 @@ pub fn rmat_with_params(
     c: f64,
     seed: u64,
 ) -> Graph {
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT parameters");
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+        "invalid R-MAT parameters"
+    );
     assert!(
         num_nodes > 0 || num_edges == 0,
         "cannot place edges in an empty graph"
@@ -308,7 +311,10 @@ mod tests {
         assert!(g.validate());
         // Copying concentrates in-links: some page should be far above mean.
         let max_in = g.nodes().map(|n| g.in_degree(n)).max().unwrap();
-        assert!(max_in > 30, "copying model should produce hubs, max in-degree {max_in}");
+        assert!(
+            max_in > 30,
+            "copying model should produce hubs, max in-degree {max_in}"
+        );
     }
 
     #[test]
@@ -319,7 +325,9 @@ mod tests {
 
         let c = cycle(5);
         assert_eq!(c.num_edges(), 5);
-        assert!(c.nodes().all(|n| c.out_degree(n) == 1 && c.in_degree(n) == 1));
+        assert!(c
+            .nodes()
+            .all(|n| c.out_degree(n) == 1 && c.in_degree(n) == 1));
 
         let s = star(4);
         assert_eq!(s.out_degree(NodeId(0)), 4);

@@ -87,8 +87,16 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseGraphError
             line: i + 1,
             text: trimmed.to_owned(),
         };
-        let src: u32 = it.next().ok_or_else(malformed)?.parse().map_err(|_| malformed())?;
-        let dst: u32 = it.next().ok_or_else(malformed)?.parse().map_err(|_| malformed())?;
+        let src: u32 = it
+            .next()
+            .ok_or_else(malformed)?
+            .parse()
+            .map_err(|_| malformed())?;
+        let dst: u32 = it
+            .next()
+            .ok_or_else(malformed)?
+            .parse()
+            .map_err(|_| malformed())?;
         let w: i64 = match it.next() {
             Some(tok) => tok.parse().map_err(|_| malformed())?,
             None => 1,

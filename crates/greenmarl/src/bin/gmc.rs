@@ -110,7 +110,9 @@ fn parse_value(text: &str) -> Result<Value, String> {
     if let Ok(v) = text.parse::<f64>() {
         return Ok(Value::Double(v));
     }
-    Err(format!("cannot parse value {text:?} (try 42, 0.5, true, n:3)"))
+    Err(format!(
+        "cannot parse value {text:?} (try 42, 0.5, true, n:3)"
+    ))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -134,9 +136,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
         let r: Result<(), String> = (|| {
             match a.as_str() {
                 "--graph" => graph_path = Some(take("--graph")?),
-                "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+                "--seed" => {
+                    seed = take("--seed")?
+                        .parse()
+                        .map_err(|e| format!("bad seed: {e}"))?
+                }
                 "--workers" => {
-                    workers = take("--workers")?.parse().map_err(|e| format!("bad workers: {e}"))?
+                    workers = take("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad workers: {e}"))?
                 }
                 "--print" => print_prop = Some(take("--print")?),
                 "--trace" => trace = true,
@@ -215,7 +223,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
         println!("return value: {ret}");
     }
     if trace {
-        println!("{:>9} {:>6} {:>10} {:>10} {:>12}", "superstep", "state", "active", "messages", "bytes");
+        println!(
+            "{:>9} {:>6} {:>10} {:>10} {:>12}",
+            "superstep", "state", "active", "messages", "bytes"
+        );
         for (i, t) in out.trace.iter().enumerate() {
             println!(
                 "{:>9} {:>6} {:>10} {:>10} {:>12}",

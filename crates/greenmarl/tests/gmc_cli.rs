@@ -45,8 +45,15 @@ fn compile_emits_states_java_and_canonical() {
     let gm = dir.join("sssp.gm");
     std::fs::write(&gm, SSSP).unwrap();
 
-    let out = gmc().args(["compile", gm.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = gmc()
+        .args(["compile", gm.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("pregel program `sssp`"), "{text}");
     assert!(text.contains("transformations:"), "{text}");
@@ -91,7 +98,11 @@ fn run_executes_and_prints_property() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("supersteps:"), "{text}");
     // dist: 0, 2, 5, 9 via the weighted path.
@@ -106,7 +117,10 @@ fn bad_inputs_fail_with_diagnostics() {
     let dir = temp_dir();
     let gm = dir.join("bad.gm");
     std::fs::write(&gm, "Procedure broken(").unwrap();
-    let out = gmc().args(["compile", gm.to_str().unwrap()]).output().unwrap();
+    let out = gmc()
+        .args(["compile", gm.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("compilation failed"), "{err}");

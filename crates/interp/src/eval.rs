@@ -143,5 +143,4 @@ mod tests {
         };
         assert_eq!(pick(7), pick(7));
     }
-
 }

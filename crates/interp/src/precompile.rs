@@ -214,7 +214,11 @@ pub fn precompile(
     let kernels = program
         .states
         .iter()
-        .map(|s| s.vertex.as_ref().map(|k| compile_kernel(program, k, prop_idx, edge_idx)))
+        .map(|s| {
+            s.vertex
+                .as_ref()
+                .map(|k| compile_kernel(program, k, prop_idx, edge_idx))
+        })
         .collect();
     Precompiled {
         kernels,
@@ -319,7 +323,12 @@ impl Cx<'_> {
 
     fn instr(&mut self, program: &PregelProgram, i: &VInstr) -> CInstr {
         match i {
-            VInstr::Local { name, op, value, ty } => {
+            VInstr::Local {
+                name,
+                op,
+                value,
+                ty,
+            } => {
                 let value = self.expr(value);
                 CInstr::Local {
                     slot: self.local(name),

@@ -16,11 +16,11 @@ use gm_core::seqinterp::ArgValue;
 use gm_core::types::Ty;
 use gm_core::value::{apply_reduce, Value};
 use gm_core::Compiled;
-use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError,
-    ReduceOp, VertexContext, VertexProgram,
-};
 use gm_graph::{Graph, NodeId};
+use gm_pregel::{
+    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
+    VertexContext, VertexProgram,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -178,9 +178,7 @@ pub fn run_compiled(
             Some(ArgValue::Scalar(v)) => {
                 globals.insert(name.clone(), v.coerce(ty));
             }
-            Some(_) => {
-                return Err(RunError::BadArgument(format!("`{name}` must be a scalar")))
-            }
+            Some(_) => return Err(RunError::BadArgument(format!("`{name}` must be a scalar"))),
             None => {
                 return Err(RunError::BadArgument(format!(
                     "missing scalar argument `{name}`"
@@ -294,8 +292,7 @@ impl Machine<'_> {
                         if let Some(gv) = ctx.agg(agg_key) {
                             let cur = self.globals[name];
                             let v = from_g(gv);
-                            self.globals
-                                .insert(name.clone(), apply_reduce(*op, cur, v));
+                            self.globals.insert(name.clone(), apply_reduce(*op, cur, v));
                         }
                     }
                 }
@@ -381,7 +378,12 @@ impl VertexProgram for Machine<'_> {
         if a.tag != b.tag || a.tag == IN_NBRS_TAG {
             return None;
         }
-        let op = self.program.combinable.get(a.tag as usize).copied().flatten()?;
+        let op = self
+            .program
+            .combinable
+            .get(a.tag as usize)
+            .copied()
+            .flatten()?;
         Some(Msg {
             tag: a.tag,
             payload: Arc::from(vec![apply_reduce(op, a.payload[0], b.payload[0])]),
@@ -463,8 +465,7 @@ impl VertexProgram for Machine<'_> {
 
         // ---- receive phase (messages from the previous superstep) ----
         if !messages.is_empty() {
-            let snapshot: Option<Vec<Value>> =
-                kernel.snapshot_needed.then(|| value.props.clone());
+            let snapshot: Option<Vec<Value>> = kernel.snapshot_needed.then(|| value.props.clone());
             for msg in messages {
                 if msg.tag == IN_NBRS_TAG {
                     if kernel.stores_in_nbrs {
@@ -511,11 +512,20 @@ impl VertexProgram for Machine<'_> {
                         }
                     }
                     match &step.action {
-                        CAction::WriteOwn { prop, op, value: ve, ty } => {
+                        CAction::WriteOwn {
+                            prop,
+                            op,
+                            value: ve,
+                            ty,
+                        } => {
                             let v = eval_recv(&value.props, ve).coerce(ty);
                             value.props[*prop] = apply_reduce(*op, value.props[*prop], v);
                         }
-                        CAction::ReduceGlobal { name, op, value: ve } => {
+                        CAction::ReduceGlobal {
+                            name,
+                            op,
+                            value: ve,
+                        } => {
                             let v = eval_recv(&value.props, ve);
                             ctx.reduce_global(name, to_reduce_op(*op), to_g(v));
                         }
@@ -605,14 +615,24 @@ impl Machine<'_> {
         }
         for instr in instrs {
             match instr {
-                CInstr::Local { slot, op, value, ty } => {
+                CInstr::Local {
+                    slot,
+                    op,
+                    value,
+                    ty,
+                } => {
                     let v = eval(value, &cx!()).coerce(ty);
                     locals[*slot] = match op {
                         AssignOp::Assign => v,
                         _ => apply_reduce(*op, locals[*slot], v),
                     };
                 }
-                CInstr::WriteOwn { prop, op, value, ty } => {
+                CInstr::WriteOwn {
+                    prop,
+                    op,
+                    value,
+                    ty,
+                } => {
                     let v = eval(value, &cx!()).coerce(ty);
                     if *op == AssignOp::Defer {
                         deferred.push((*prop, v));
@@ -631,10 +651,8 @@ impl Machine<'_> {
                 } => {
                     if *edge_dependent {
                         for (t, e) in ctx.out_neighbors() {
-                            let values: Arc<[Value]> = payload
-                                .iter()
-                                .map(|p| eval(p, &cx!(e.index())))
-                                .collect();
+                            let values: Arc<[Value]> =
+                                payload.iter().map(|p| eval(p, &cx!(e.index()))).collect();
                             ctx.send(
                                 t,
                                 Msg {
@@ -658,8 +676,7 @@ impl Machine<'_> {
                     }
                 }
                 CInstr::SendToInNbrs { tag, payload } => {
-                    let values: Arc<[Value]> =
-                        payload.iter().map(|p| eval(p, &cx!())).collect();
+                    let values: Arc<[Value]> = payload.iter().map(|p| eval(p, &cx!())).collect();
                     for &nbr in in_nbrs {
                         ctx.send(
                             NodeId(nbr),
@@ -672,8 +689,7 @@ impl Machine<'_> {
                 }
                 CInstr::SendTo { dst, tag, payload } => {
                     let d = eval(dst, &cx!()).as_node();
-                    let values: Arc<[Value]> =
-                        payload.iter().map(|p| eval(p, &cx!())).collect();
+                    let values: Arc<[Value]> = payload.iter().map(|p| eval(p, &cx!())).collect();
                     ctx.send(
                         NodeId(d),
                         Msg {
@@ -745,11 +761,7 @@ mod tests {
     use super::*;
     use gm_core::{compile, CompileOptions};
 
-    fn run_src(
-        graph: &Graph,
-        src: &str,
-        args: &HashMap<String, ArgValue>,
-    ) -> CompiledOutcome {
+    fn run_src(graph: &Graph, src: &str, args: &HashMap<String, ArgValue>) -> CompiledOutcome {
         let compiled = compile(src, &CompileOptions::default()).expect("compiles");
         run_compiled(graph, &compiled, args, 42, &PregelConfig::sequential()).expect("runs")
     }
@@ -929,8 +941,14 @@ mod tests {
             }
         }";
         let compiled = compile(src, &CompileOptions::default()).unwrap();
-        let base = run_compiled(&g, &compiled, &HashMap::new(), 0, &PregelConfig::sequential())
-            .unwrap();
+        let base = run_compiled(
+            &g,
+            &compiled,
+            &HashMap::new(),
+            0,
+            &PregelConfig::sequential(),
+        )
+        .unwrap();
         for w in [2, 4] {
             let out = run_compiled(
                 &g,
@@ -942,7 +960,10 @@ mod tests {
             .unwrap();
             assert_eq!(out.node_props["cnt"], base.node_props["cnt"]);
             assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
-            assert_eq!(out.metrics.total_message_bytes, base.metrics.total_message_bytes);
+            assert_eq!(
+                out.metrics.total_message_bytes,
+                base.metrics.total_message_bytes
+            );
         }
     }
 
@@ -954,8 +975,14 @@ mod tests {
             &CompileOptions::default(),
         )
         .unwrap();
-        let err = run_compiled(&g, &compiled, &HashMap::new(), 0, &PregelConfig::sequential())
-            .unwrap_err();
+        let err = run_compiled(
+            &g,
+            &compiled,
+            &HashMap::new(),
+            0,
+            &PregelConfig::sequential(),
+        )
+        .unwrap_err();
         assert!(matches!(err, RunError::BadArgument(_)));
         assert!(err.to_string().contains("k"));
     }

@@ -39,11 +39,7 @@ fn trace_follows_the_state_machine() {
     assert_eq!(out.trace.len() as u32 + 1, out.metrics.supersteps);
     // The intra-loop-merged steady state repeats one self-looping state.
     let steady = out.trace.last().unwrap().state;
-    let repeats = out
-        .trace
-        .iter()
-        .filter(|t| t.state == steady)
-        .count();
+    let repeats = out.trace.iter().filter(|t| t.state == steady).count();
     assert!(repeats >= 2, "steady state should repeat: {:?}", out.trace);
     // Every entry's counters match the runtime's per-superstep metrics.
     for (t, m) in out.trace.iter().zip(&out.metrics.per_superstep) {

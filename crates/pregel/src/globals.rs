@@ -112,6 +112,18 @@ impl AggMap {
 
     /// Merges another worker's map into this one (barrier-time merge).
     ///
+    /// # Merge-order guarantee
+    ///
+    /// The runtime merges per-worker partial aggregates in **ascending
+    /// worker order**, and each worker folds its vertices' writes in
+    /// **vertex order**. Integer, boolean, min/max and node-valued
+    /// aggregates are order-insensitive, so they are identical for every
+    /// worker count. Floating-point `Sum` aggregates are order-sensitive
+    /// under rounding; the fixed fold order makes them **bit-reproducible
+    /// for a fixed worker count** (and graph/partition), though the rounded
+    /// result may differ across *different* worker counts. A test in the
+    /// runtime pins this order.
+    ///
     /// # Panics
     ///
     /// Panics on operator or type conflicts, as in [`AggMap::reduce`].
@@ -184,7 +196,10 @@ mod tests {
         a.reduce("S", ReduceOp::Sum, GlobalValue::Int(2));
         a.reduce("S", ReduceOp::Sum, GlobalValue::Int(5));
         assert_eq!(a.get("S"), Some(GlobalValue::Int(7)));
-        assert_eq!(a.get_or("missing", GlobalValue::Int(0)), GlobalValue::Int(0));
+        assert_eq!(
+            a.get_or("missing", GlobalValue::Int(0)),
+            GlobalValue::Int(0)
+        );
     }
 
     #[test]

@@ -16,13 +16,20 @@
 //! * vertices may [`vote to halt`](VertexContext::vote_to_halt) and are
 //!   reactivated by incoming messages.
 //!
-//! The runtime is multi-threaded (vertices are partitioned into contiguous,
-//! edge-balanced worker ranges) yet **deterministic**: each vertex receives
-//! its messages ordered by sending vertex id regardless of the worker count,
-//! and aggregator merges use commutative-monoid operations.
+//! The runtime is multi-threaded — vertices are partitioned into contiguous,
+//! edge-balanced ranges, each owned by a worker on a **persistent thread
+//! pool** (threads live for the whole run and park between phases). Messages
+//! cross workers through a **zero-copy exchange**: senders bucket messages
+//! by destination worker, buckets are routed at the barrier as whole `Vec`s,
+//! and destination workers *move* each message into double-buffered inboxes.
+//! Execution stays **deterministic**: each vertex receives its messages
+//! ordered by sending vertex id regardless of the worker count, and
+//! aggregator merges happen in ascending worker order (see
+//! [`AggMap::merge`]).
 //!
 //! Because the paper's headline metrics are *structural* — number of
-//! timesteps and network I/O — the runtime meters every superstep:
+//! timesteps and network I/O — the runtime meters every superstep,
+//! including per-phase wall-clock (master / compute / combine / exchange):
 //! see [`Metrics`].
 //!
 //! # Example

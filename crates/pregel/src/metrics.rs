@@ -5,6 +5,23 @@
 //! runtime meters all three, plus active-vertex counts (used to discuss the
 //! missing `voteToHalt` optimization: "less than 1.5% of the vertices were
 //! active in the last 30 timesteps" of SSSP on Twitter).
+//!
+//! Since the parallel-exchange rework the runtime also meters *where* each
+//! superstep's wall-clock goes, split into the four BSP phases:
+//!
+//! * **master** — the sequential [`master_compute`] kernel;
+//! * **compute** — the vertex kernels (slowest worker's kernel loop);
+//! * **combine** — sender-side combining plus message metering, run inside
+//!   worker threads (slowest worker);
+//! * **exchange** — routing the per-destination-worker buckets and the
+//!   parallel zero-copy delivery into the destination inboxes.
+//!
+//! Compute and combine are per-worker measurements folded with `max` (the
+//! barrier waits for the slowest worker, so the max is the wall-clock
+//! contribution); exchange and master are measured by the coordinating
+//! thread directly.
+//!
+//! [`master_compute`]: crate::VertexProgram::master_compute
 
 use std::time::Duration;
 
@@ -22,6 +39,22 @@ pub struct SuperstepMetrics {
     pub remote_messages: u64,
     /// Serialized bytes of remote messages.
     pub remote_message_bytes: u64,
+    /// Wall-clock of the slowest worker's vertex kernel loop.
+    pub compute_time: Duration,
+    /// Wall-clock of the slowest worker's combining + metering pass.
+    pub combine_time: Duration,
+    /// Wall-clock of the message exchange: bucket routing plus parallel
+    /// delivery into the destination workers' inboxes.
+    pub exchange_time: Duration,
+    /// Wall-clock of the sequential master kernel that opened this superstep.
+    pub master_time: Duration,
+}
+
+impl SuperstepMetrics {
+    /// Sum of the four phase times — the metered portion of this superstep.
+    pub fn phase_total(&self) -> Duration {
+        self.compute_time + self.combine_time + self.exchange_time + self.master_time
+    }
 }
 
 /// Aggregate counters for a whole run.
@@ -41,6 +74,16 @@ pub struct Metrics {
     pub remote_message_bytes: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Total vertex-kernel time (sum over supersteps of the slowest
+    /// worker's kernel loop).
+    pub compute_time: Duration,
+    /// Total combining + metering time (sum of slowest-worker times).
+    pub combine_time: Duration,
+    /// Total message-exchange time (routing + parallel delivery).
+    pub exchange_time: Duration,
+    /// Total sequential master time, including the final master-only
+    /// superstep in which the computation halts.
+    pub master_time: Duration,
     /// Per-superstep breakdown, indexed by superstep number.
     pub per_superstep: Vec<SuperstepMetrics>,
 }
@@ -52,6 +95,10 @@ impl Metrics {
         self.total_message_bytes += step.message_bytes;
         self.remote_messages += step.remote_messages;
         self.remote_message_bytes += step.remote_message_bytes;
+        self.compute_time += step.compute_time;
+        self.combine_time += step.combine_time;
+        self.exchange_time += step.exchange_time;
+        self.master_time += step.master_time;
         self.per_superstep.push(step);
     }
 
@@ -78,6 +125,10 @@ mod tests {
             message_bytes: 40,
             remote_messages: 2,
             remote_message_bytes: 16,
+            compute_time: Duration::from_millis(3),
+            combine_time: Duration::from_millis(1),
+            exchange_time: Duration::from_millis(2),
+            master_time: Duration::from_millis(1),
         });
         m.record(SuperstepMetrics {
             active_vertices: 3,
@@ -85,6 +136,8 @@ mod tests {
             message_bytes: 8,
             remote_messages: 0,
             remote_message_bytes: 0,
+            compute_time: Duration::from_millis(2),
+            ..Default::default()
         });
         assert_eq!(m.total_messages, 6);
         assert_eq!(m.total_message_bytes, 48);
@@ -92,6 +145,11 @@ mod tests {
         assert_eq!(m.remote_message_bytes, 16);
         assert_eq!(m.per_superstep.len(), 2);
         assert_eq!(m.peak_active_vertices(), 10);
+        assert_eq!(m.compute_time, Duration::from_millis(5));
+        assert_eq!(m.combine_time, Duration::from_millis(1));
+        assert_eq!(m.exchange_time, Duration::from_millis(2));
+        assert_eq!(m.master_time, Duration::from_millis(1));
+        assert_eq!(m.per_superstep[0].phase_total(), Duration::from_millis(7));
     }
 
     #[test]

@@ -17,10 +17,12 @@ pub enum MasterDecision {
 /// A Pregel/GPS program: one sequential master kernel plus one
 /// vertex-parallel kernel, executed once per superstep each.
 ///
-/// Implementations must be `Sync` if run with more than one worker: the
-/// runtime shares `&self` across worker threads during the vertex phase.
-/// Mutable master state lives in `self` and is only touched by
-/// [`master_compute`](VertexProgram::master_compute), which runs exclusively.
+/// Implementations must be `Send + Sync` to run: the runtime's persistent
+/// worker pool shares `&self` across worker threads during the vertex phase
+/// (and the coordinator's `&mut self` borrow is itself sent into the pool's
+/// scope). Mutable master state lives in `self` and is only touched by
+/// [`master_compute`](VertexProgram::master_compute), which runs exclusively
+/// between phases.
 pub trait VertexProgram {
     /// Per-vertex state (the fields of GPS's vertex class).
     type VertexValue: Clone + Send;

@@ -1,4 +1,31 @@
-//! The BSP execution loop: partitioning, worker fan-out, message exchange.
+//! The BSP execution loop: partitioning, a persistent worker pool, and a
+//! parallel zero-copy message exchange.
+//!
+//! # Execution architecture
+//!
+//! A run owns one [`WorkerState`] per worker: the worker's contiguous vertex
+//! range (values, halted flags) plus a **double-buffered inbox**
+//! (`inbox_in` / `inbox_out`). Each superstep proceeds in three phases:
+//!
+//! 1. **master** — the sequential master kernel runs on the coordinating
+//!    thread with the previous superstep's merged aggregates.
+//! 2. **compute + combine** — every worker runs its vertex kernels against
+//!    `inbox_in`, routing outgoing messages into per-destination-worker
+//!    buckets, then combines and meters those buckets locally. Each inbox
+//!    slot is cleared (capacity retained) as it is consumed.
+//! 3. **exchange** — each sender's buckets are routed to their destination
+//!    workers (a worker-count-squared pointer move, no message is copied),
+//!    and every destination worker *moves* the incoming messages into its
+//!    `inbox_out` in ascending sender-worker order. The buffers are then
+//!    swapped, so the next superstep's compute drains what was just
+//!    delivered while delivery never aliases the inbox being read.
+//!
+//! With more than one worker, phases 2 and 3 run on a pool of threads that
+//! persists for the whole run (workers park between phases on their job
+//! channel); nothing is spawned per superstep. Aggregates and metrics are
+//! produced per worker and merged at the barrier in ascending worker order,
+//! which keeps every metric and floating-point aggregate identical to the
+//! single-threaded execution order documented in [`run`].
 
 use crate::globals::{AggMap, Globals};
 use crate::metrics::{Metrics, SuperstepMetrics};
@@ -6,14 +33,17 @@ use crate::program::{MasterContext, MasterDecision, VertexContext, VertexProgram
 use gm_graph::{Graph, NodeId};
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct PregelConfig {
-    /// Number of simulated workers (≥ 1). Vertices are split into this many
+    /// Number of workers (≥ 1). Vertices are split into this many
     /// contiguous, edge-balanced ranges; with more than one worker the
-    /// vertex phase runs on real threads.
+    /// vertex and exchange phases run on a persistent pool of threads.
     pub num_workers: usize,
     /// Safety limit on supersteps; exceeding it returns
     /// [`PregelError::SuperstepLimitExceeded`] instead of spinning forever.
@@ -23,8 +53,10 @@ pub struct PregelConfig {
 impl Default for PregelConfig {
     fn default() -> Self {
         PregelConfig {
+            // One worker per available core. Use `with_workers` to pin an
+            // explicit count (e.g. the old behaviour of capping at 4).
             num_workers: std::thread::available_parallelism()
-                .map(|p| p.get().min(4))
+                .map(|p| p.get())
                 .unwrap_or(1),
             max_supersteps: 100_000,
         }
@@ -79,9 +111,16 @@ impl Error for PregelError {}
 pub struct PregelResult<V> {
     /// Final per-vertex state, indexed by vertex id.
     pub values: Vec<V>,
-    /// Superstep, message and timing counters.
+    /// Superstep, message, phase-timing and byte counters.
     pub metrics: Metrics,
 }
+
+/// One worker's outgoing messages, bucketed by destination worker.
+type RoutedOutbox<M> = Vec<Vec<(u32, M)>>;
+
+/// One worker's incoming messages, one bucket per sender worker in
+/// ascending sender order.
+type IncomingBuckets<M> = Vec<Vec<(u32, M)>>;
 
 /// Executes `program` on `graph` until the master halts.
 ///
@@ -97,9 +136,12 @@ pub struct PregelResult<V> {
 /// For a fixed program, graph and seed the result is deterministic. Message
 /// delivery order at each vertex is ascending in sender id regardless of
 /// `num_workers`; integer and boolean aggregates are worker-count
-/// independent, while floating-point `Sum` aggregates may differ across
-/// worker counts by rounding (partial sums are merged in worker order).
-pub fn run<P: VertexProgram + Sync>(
+/// independent. Floating-point `Sum` aggregates are reduced in vertex order
+/// inside each worker and the per-worker partial sums are merged in
+/// ascending worker order, so they are bit-reproducible for a fixed worker
+/// count but may differ across worker counts by rounding (see
+/// [`AggMap::merge`]).
+pub fn run<P: VertexProgram + Send + Sync>(
     graph: &Graph,
     program: &mut P,
     init: impl Fn(NodeId) -> P::VertexValue,
@@ -112,13 +154,156 @@ pub fn run<P: VertexProgram + Sync>(
     let num_workers = config.num_workers.min(n.max(1));
     let starts = partition(graph, num_workers);
 
-    let mut values: Vec<P::VertexValue> = graph.nodes().map(init).collect();
-    let mut inbox: Vec<Vec<P::Message>> = (0..n).map(|_| Vec::new()).collect();
-    let mut halted = vec![false; n];
-    let mut globals = Globals::new();
+    let mut states: Vec<WorkerState<P>> = (0..num_workers)
+        .map(|w| WorkerState::new(w, &starts, &init))
+        .collect();
+    let shared = Shared {
+        graph,
+        program: RwLock::new(program),
+        globals: RwLock::new(Globals::new()),
+    };
+
+    if num_workers == 1 {
+        // Inline execution on the calling thread; same phase structure,
+        // no pool.
+        let mut state = states.pop().expect("one worker state");
+        let metrics = drive(&shared, &starts, config, |job| match job {
+            PhaseJob::Compute {
+                superstep,
+                mut spares,
+            } => {
+                let program = read_lock(&shared.program);
+                let globals = read_lock(&shared.globals);
+                let spare = spares.pop().unwrap_or_default();
+                PhaseResult::Computed(vec![
+                    state.compute_phase(graph, &**program, &globals, &starts, superstep, spare)
+                ])
+            }
+            PhaseJob::Deliver(mut incoming) => {
+                let buckets = incoming.pop().expect("single worker bucket set");
+                PhaseResult::Delivered(vec![state.deliver_phase(buckets)])
+            }
+        })?;
+        return Ok(PregelResult {
+            values: state.values,
+            metrics,
+        });
+    }
+
+    // Persistent worker pool: one thread per worker for the whole run,
+    // parked on its job channel between phases.
+    std::thread::scope(|scope| {
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply<P::Message>>();
+        let mut job_txs: Vec<mpsc::Sender<Job<P::Message>>> = Vec::with_capacity(num_workers);
+        let mut handles = Vec::with_capacity(num_workers);
+        let shared_ref = &shared;
+        let starts_ref: &[u32] = &starts;
+        for (w, state) in states.into_iter().enumerate() {
+            let (job_tx, job_rx) = mpsc::channel::<Job<P::Message>>();
+            let worker_reply_tx = reply_tx.clone();
+            job_txs.push(job_tx);
+            handles.push(scope.spawn(move || {
+                worker_loop(w, state, shared_ref, starts_ref, job_rx, worker_reply_tx)
+            }));
+        }
+        drop(reply_tx);
+
+        let metrics = drive(&shared, &starts, config, |job| match job {
+            PhaseJob::Compute { superstep, spares } => {
+                let mut spares = spares.into_iter();
+                for tx in &job_txs {
+                    let spare = spares.next().unwrap_or_default();
+                    tx.send(Job::Compute { superstep, spare })
+                        .expect("pregel worker pool disconnected");
+                }
+                PhaseResult::Computed(collect_compute_replies(&reply_rx, num_workers))
+            }
+            PhaseJob::Deliver(incoming) => {
+                for (tx, buckets) in job_txs.iter().zip(incoming) {
+                    tx.send(Job::Deliver { incoming: buckets })
+                        .expect("pregel worker pool disconnected");
+                }
+                PhaseResult::Delivered(collect_deliver_replies(&reply_rx, num_workers))
+            }
+        })?;
+
+        for tx in &job_txs {
+            let _ = tx.send(Job::Finish);
+        }
+        let mut values = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(state) => values.extend(state.values),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        Ok(PregelResult { values, metrics })
+    })
+}
+
+/// Read-only state shared with the worker pool. The program sits behind a
+/// lock because the master kernel needs `&mut P` between phases while the
+/// workers read `&P` during them; the lock is only ever contended across
+/// phase boundaries, never within one.
+struct Shared<'a, P> {
+    graph: &'a Graph,
+    program: RwLock<&'a mut P>,
+    globals: RwLock<Globals>,
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A phase dispatched by the BSP driver to its executor (inline or pool).
+enum PhaseJob<M> {
+    /// Run vertex kernels + combining for this superstep. `spares[w]` is
+    /// worker `w`'s recycled outbox (empty buckets whose capacity was grown
+    /// by earlier supersteps).
+    Compute {
+        superstep: u32,
+        spares: Vec<RoutedOutbox<M>>,
+    },
+    /// Deliver routed buckets; `incoming[d]` is destination worker `d`'s
+    /// bucket list in ascending sender order.
+    Deliver(Vec<IncomingBuckets<M>>),
+}
+
+/// Executor response, worker-ordered.
+enum PhaseResult<M> {
+    Computed(Vec<ComputeOut<M>>),
+    Delivered(Vec<DeliverOut<M>>),
+}
+
+/// The BSP superstep loop, common to the inline and pooled executors.
+/// `phase` runs one phase across all workers and returns their outputs in
+/// ascending worker order.
+fn drive<P, F>(
+    shared: &Shared<'_, P>,
+    starts: &[u32],
+    config: &PregelConfig,
+    mut phase: F,
+) -> Result<Metrics, PregelError>
+where
+    P: VertexProgram,
+    F: FnMut(PhaseJob<P::Message>) -> PhaseResult<P::Message>,
+{
+    let num_workers = starts.len() - 1;
+    let num_nodes = shared.graph.num_nodes();
     let mut agg_prev = AggMap::new();
     let mut metrics = Metrics::default();
     let start = Instant::now();
+
+    // Maintained incrementally by the workers; no per-superstep O(n) scans.
+    let mut active_vertices: u32 = num_nodes;
+    let mut pending_messages: u64 = 0;
+
+    // Empty outbox buckets recycled from the previous exchange, per sender.
+    let mut spares: Vec<RoutedOutbox<P::Message>> = (0..num_workers).map(|_| Vec::new()).collect();
 
     let mut superstep: u32 = 0;
     loop {
@@ -128,197 +313,391 @@ pub fn run<P: VertexProgram + Sync>(
             });
         }
 
-        let pending_messages: u64 = inbox.iter().map(|m| m.len() as u64).sum();
-        let active_vertices = halted
-            .iter()
-            .zip(&inbox)
-            .filter(|(h, msgs)| !**h || !msgs.is_empty())
-            .count() as u32;
-
-        let mut mctx = MasterContext {
-            superstep,
-            aggregates: &agg_prev,
-            broadcast: &mut globals,
-            num_nodes: graph.num_nodes(),
-            active_vertices,
-            pending_messages,
+        // ---- master phase (sequential) ----
+        let master_started = Instant::now();
+        let decision = {
+            let mut program = write_lock(&shared.program);
+            let mut globals = write_lock(&shared.globals);
+            let mut mctx = MasterContext {
+                superstep,
+                aggregates: &agg_prev,
+                broadcast: &mut globals,
+                num_nodes,
+                active_vertices,
+                pending_messages,
+            };
+            program.master_compute(&mut mctx)
         };
-        let decision = program.master_compute(&mut mctx);
+        let master_time = master_started.elapsed();
         metrics.supersteps = superstep + 1;
-        if decision == MasterDecision::Halt {
-            break;
-        }
-        // Pregel's default termination: every vertex inactive, no messages.
-        if active_vertices == 0 && pending_messages == 0 {
+        // Explicit halt, or Pregel's default termination: every vertex
+        // inactive and no messages in flight.
+        if decision == MasterDecision::Halt || (active_vertices == 0 && pending_messages == 0) {
+            metrics.master_time += master_time;
             break;
         }
 
-        // ---- vertex phase ----
-        let worker_outputs = run_vertex_phase(
-            graph,
-            &*program,
-            &globals,
-            &starts,
+        // ---- vertex + combine phase (parallel) ----
+        let job = PhaseJob::Compute {
             superstep,
-            &mut values,
-            &mut inbox,
-            &mut halted,
-        );
+            spares: std::mem::take(&mut spares),
+        };
+        let computes = match phase(job) {
+            PhaseResult::Computed(outs) => outs,
+            PhaseResult::Delivered(_) => unreachable!("executor answered compute with delivery"),
+        };
 
-        // ---- barrier: merge aggregates, exchange messages, meter ----
-        let mut step = SuperstepMetrics::default();
+        // ---- barrier: merge worker outputs in ascending worker order ----
+        let mut step = SuperstepMetrics {
+            master_time,
+            ..SuperstepMetrics::default()
+        };
         agg_prev = AggMap::new();
-        let mut worker_outputs = worker_outputs;
-        for out in &worker_outputs {
+        let mut not_halted: u32 = 0;
+        for out in &computes {
             agg_prev.merge(&out.agg);
             step.active_vertices += out.computed;
+            not_halted += out.not_halted;
+            step.messages_sent += out.messages_sent;
+            step.message_bytes += out.message_bytes;
+            step.remote_messages += out.remote_messages;
+            step.remote_message_bytes += out.remote_message_bytes;
+            step.compute_time = step.compute_time.max(out.compute_time);
+            step.combine_time = step.combine_time.max(out.combine_time);
         }
-        // Sender-side combining (Pregel's combiner API): fold same-
-        // destination messages within each worker bucket before they hit
-        // the wire. A stable sort keeps the per-destination order of
-        // uncombinable messages intact.
-        if program.has_combiner() {
-            for out in &mut worker_outputs {
-                for bucket in &mut out.outbox {
-                    bucket.sort_by_key(|(dst, _)| *dst);
-                    let drained = std::mem::take(bucket);
-                    for (dst, m) in drained {
-                        match bucket.last_mut() {
-                            Some((prev_dst, prev)) if *prev_dst == dst => {
-                                match program.combine(prev, &m) {
-                                    Some(combined) => *prev = combined,
-                                    None => bucket.push((dst, m)),
-                                }
-                            }
-                            _ => bucket.push((dst, m)),
-                        }
-                    }
-                }
+
+        // ---- exchange phase: route buckets, deliver in parallel ----
+        // The transpose moves whole buckets (sender → destination), never
+        // individual messages; delivery below moves the messages once.
+        let exchange_started = Instant::now();
+        let mut incoming: Vec<IncomingBuckets<P::Message>> = (0..num_workers)
+            .map(|_| Vec::with_capacity(num_workers))
+            .collect();
+        for out in computes {
+            for (dest, bucket) in out.outbox.into_iter().enumerate() {
+                incoming[dest].push(bucket);
             }
         }
-        for (sender, out) in worker_outputs.iter().enumerate() {
-            for (dest_w, bucket) in out.outbox.iter().enumerate() {
-                for (dst, m) in bucket {
-                    step.messages_sent += 1;
-                    let bytes = program.message_bytes(m);
-                    step.message_bytes += bytes;
-                    if dest_w != sender {
-                        step.remote_messages += 1;
-                        step.remote_message_bytes += bytes;
-                    }
-                    inbox[*dst as usize].push(m.clone());
-                }
+        let delivers = match phase(PhaseJob::Deliver(incoming)) {
+            PhaseResult::Delivered(outs) => outs,
+            PhaseResult::Computed(_) => unreachable!("executor answered delivery with compute"),
+        };
+        step.exchange_time = exchange_started.elapsed();
+
+        pending_messages = 0;
+        let mut reactivated: u32 = 0;
+        spares = (0..num_workers)
+            .map(|_| Vec::with_capacity(num_workers))
+            .collect();
+        for out in delivers {
+            pending_messages += out.delivered;
+            reactivated += out.reactivated;
+            // Reverse transpose: destination `d` drained buckets from every
+            // sender; hand each empty bucket back to its sender for reuse.
+            for (sender, bucket) in out.spent.into_iter().enumerate() {
+                spares[sender].push(bucket);
             }
         }
+        active_vertices = not_halted + reactivated;
+
         metrics.record(step);
         superstep += 1;
     }
 
     metrics.elapsed = start.elapsed();
-    Ok(PregelResult { values, metrics })
+    Ok(metrics)
 }
 
-/// Per-worker results of one vertex phase.
-struct WorkerOutput<M> {
-    outbox: Vec<Vec<(u32, M)>>,
+/// Per-worker results of one compute + combine phase.
+struct ComputeOut<M> {
     agg: AggMap,
+    /// Vertices whose kernel ran.
     computed: u32,
+    /// Vertices in this range left unhalted after the kernel ran.
+    not_halted: u32,
+    /// Outgoing messages, bucketed by destination worker, combined and
+    /// metered.
+    outbox: RoutedOutbox<M>,
+    messages_sent: u64,
+    message_bytes: u64,
+    remote_messages: u64,
+    remote_message_bytes: u64,
+    compute_time: Duration,
+    combine_time: Duration,
 }
 
-/// Runs the vertex kernels, one worker per contiguous range, in parallel
-/// when there is more than one worker.
-#[allow(clippy::too_many_arguments)]
-fn run_vertex_phase<P: VertexProgram + Sync>(
-    graph: &Graph,
-    program: &P,
-    globals: &Globals,
-    starts: &[u32],
-    superstep: u32,
-    values: &mut [P::VertexValue],
-    inbox: &mut [Vec<P::Message>],
-    halted: &mut [bool],
-) -> Vec<WorkerOutput<P::Message>> {
-    let num_workers = starts.len() - 1;
+/// Per-worker results of one delivery phase.
+struct DeliverOut<M> {
+    /// Messages moved into this worker's inbox (next superstep's pending).
+    delivered: u64,
+    /// Halted vertices reactivated by a delivered message.
+    reactivated: u32,
+    /// Drained buckets (in sender order) handed back so their capacity can
+    /// be recycled into the senders' next outboxes.
+    spent: IncomingBuckets<M>,
+}
 
-    // Split the per-vertex arrays into disjoint worker slices.
-    let mut value_slices = Vec::with_capacity(num_workers);
-    let mut inbox_slices = Vec::with_capacity(num_workers);
-    let mut halted_slices = Vec::with_capacity(num_workers);
-    {
-        let (mut vs, mut ibs, mut hs) = (values, inbox, halted);
-        for w in 0..num_workers {
-            let len = (starts[w + 1] - starts[w]) as usize;
-            let (v_head, v_tail) = vs.split_at_mut(len);
-            let (i_head, i_tail) = ibs.split_at_mut(len);
-            let (h_head, h_tail) = hs.split_at_mut(len);
-            value_slices.push(v_head);
-            inbox_slices.push(i_head);
-            halted_slices.push(h_head);
-            vs = v_tail;
-            ibs = i_tail;
-            hs = h_tail;
+/// Jobs sent to a pooled worker.
+enum Job<M> {
+    Compute {
+        superstep: u32,
+        spare: RoutedOutbox<M>,
+    },
+    Deliver {
+        incoming: IncomingBuckets<M>,
+    },
+    Finish,
+}
+
+/// Replies from a pooled worker.
+enum Reply<M> {
+    Computed { worker: usize, out: ComputeOut<M> },
+    Delivered { worker: usize, out: DeliverOut<M> },
+    Panicked,
+}
+
+fn collect_compute_replies<M>(
+    reply_rx: &mpsc::Receiver<Reply<M>>,
+    num_workers: usize,
+) -> Vec<ComputeOut<M>> {
+    let mut outs: Vec<Option<ComputeOut<M>>> = (0..num_workers).map(|_| None).collect();
+    for _ in 0..num_workers {
+        match reply_rx.recv() {
+            Ok(Reply::Computed { worker, out }) => outs[worker] = Some(out),
+            Ok(Reply::Delivered { .. }) => unreachable!("delivery reply during compute phase"),
+            Ok(Reply::Panicked) | Err(_) => panic!("pregel worker panicked"),
+        }
+    }
+    outs.into_iter()
+        .map(|o| o.expect("missing compute reply"))
+        .collect()
+}
+
+fn collect_deliver_replies<M>(
+    reply_rx: &mpsc::Receiver<Reply<M>>,
+    num_workers: usize,
+) -> Vec<DeliverOut<M>> {
+    let mut outs: Vec<Option<DeliverOut<M>>> = (0..num_workers).map(|_| None).collect();
+    for _ in 0..num_workers {
+        match reply_rx.recv() {
+            Ok(Reply::Delivered { worker, out }) => outs[worker] = Some(out),
+            Ok(Reply::Computed { .. }) => unreachable!("compute reply during delivery phase"),
+            Ok(Reply::Panicked) | Err(_) => panic!("pregel worker panicked"),
+        }
+    }
+    outs.into_iter()
+        .map(|o| o.expect("missing delivery reply"))
+        .collect()
+}
+
+/// Body of a pooled worker thread: park on the job channel, execute phases
+/// against the locally-owned state, return the state at shutdown so the
+/// coordinator can assemble the final values.
+fn worker_loop<P: VertexProgram + Send + Sync>(
+    index: usize,
+    mut state: WorkerState<P>,
+    shared: &Shared<'_, P>,
+    starts: &[u32],
+    jobs: mpsc::Receiver<Job<P::Message>>,
+    replies: mpsc::Sender<Reply<P::Message>>,
+) -> WorkerState<P> {
+    while let Ok(job) = jobs.recv() {
+        let reply = match job {
+            Job::Compute { superstep, spare } => {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let program = read_lock(&shared.program);
+                    let globals = read_lock(&shared.globals);
+                    state.compute_phase(
+                        shared.graph,
+                        &**program,
+                        &globals,
+                        starts,
+                        superstep,
+                        spare,
+                    )
+                }));
+                match out {
+                    Ok(out) => Reply::Computed { worker: index, out },
+                    Err(_) => Reply::Panicked,
+                }
+            }
+            Job::Deliver { incoming } => {
+                let out = catch_unwind(AssertUnwindSafe(|| state.deliver_phase(incoming)));
+                match out {
+                    Ok(out) => Reply::Delivered { worker: index, out },
+                    Err(_) => Reply::Panicked,
+                }
+            }
+            Job::Finish => break,
+        };
+        let panicked = matches!(reply, Reply::Panicked);
+        if replies.send(reply).is_err() || panicked {
+            break;
+        }
+    }
+    state
+}
+
+/// A worker's share of the computation: a contiguous vertex range with its
+/// values, halted flags, and double-buffered inboxes. Owned by one pool
+/// thread for the whole run (or by the calling thread when single-worker).
+struct WorkerState<P: VertexProgram> {
+    index: usize,
+    base: u32,
+    values: Vec<P::VertexValue>,
+    halted: Vec<bool>,
+    /// Messages being consumed by this superstep's vertex kernels.
+    inbox_in: Vec<Vec<P::Message>>,
+    /// Messages delivered for the next superstep; swapped with `inbox_in`
+    /// at the end of each delivery, retaining both buffers' capacity.
+    inbox_out: Vec<Vec<P::Message>>,
+}
+
+impl<P: VertexProgram> WorkerState<P> {
+    fn new(index: usize, starts: &[u32], init: &impl Fn(NodeId) -> P::VertexValue) -> Self {
+        let base = starts[index];
+        let len = (starts[index + 1] - base) as usize;
+        WorkerState {
+            index,
+            base,
+            values: (0..len).map(|i| init(NodeId(base + i as u32))).collect(),
+            halted: vec![false; len],
+            inbox_in: (0..len).map(|_| Vec::new()).collect(),
+            inbox_out: (0..len).map(|_| Vec::new()).collect(),
         }
     }
 
-    let worker_body = |w: usize,
-                       values: &mut [P::VertexValue],
-                       inbox: &mut [Vec<P::Message>],
-                       halted: &mut [bool]|
-     -> WorkerOutput<P::Message> {
-        let base = starts[w];
-        let mut outbox: Vec<Vec<(u32, P::Message)>> =
-            (0..num_workers).map(|_| Vec::new()).collect();
+    /// Runs the vertex kernels for this range, then combines and meters the
+    /// routed outgoing buckets — all inside the worker.
+    fn compute_phase(
+        &mut self,
+        graph: &Graph,
+        program: &P,
+        globals: &Globals,
+        starts: &[u32],
+        superstep: u32,
+        spare: RoutedOutbox<P::Message>,
+    ) -> ComputeOut<P::Message> {
+        let compute_started = Instant::now();
+        let num_workers = starts.len() - 1;
+        // Recycled buckets from the previous exchange: empty, but with the
+        // capacity earlier supersteps grew. Pad on the first superstep.
+        let mut outbox = spare;
+        outbox.resize_with(num_workers, Vec::new);
+        debug_assert!(outbox.iter().all(|b| b.is_empty()));
         let mut agg = AggMap::new();
-        let mut computed = 0u32;
-        for local in 0..values.len() {
-            let msgs = std::mem::take(&mut inbox[local]);
-            if halted[local] && msgs.is_empty() {
+        let mut computed: u32 = 0;
+        let mut voted_halt: u32 = 0;
+        for local in 0..self.values.len() {
+            if self.halted[local] && self.inbox_in[local].is_empty() {
                 continue;
             }
-            halted[local] = false;
+            self.halted[local] = false;
             computed += 1;
             let mut ctx = VertexContext {
-                id: NodeId(base + local as u32),
+                id: NodeId(self.base + local as u32),
                 superstep,
                 graph,
                 broadcast: globals,
                 agg: &mut agg,
                 outbox: &mut outbox,
                 range_starts: starts,
-                halted: &mut halted[local],
+                halted: &mut self.halted[local],
             };
-            program.vertex_compute(&mut ctx, &mut values[local], &msgs);
+            program.vertex_compute(&mut ctx, &mut self.values[local], &self.inbox_in[local]);
+            if self.halted[local] {
+                voted_halt += 1;
+            }
+            // Drain the slot but keep its capacity for the next delivery.
+            self.inbox_in[local].clear();
         }
-        WorkerOutput {
-            outbox,
+        let compute_time = compute_started.elapsed();
+
+        // Sender-side combining (Pregel's combiner API): fold same-
+        // destination messages within each bucket before they hit the wire.
+        // A stable sort keeps the per-destination order of uncombinable
+        // messages intact.
+        let combine_started = Instant::now();
+        if program.has_combiner() {
+            for bucket in &mut outbox {
+                bucket.sort_by_key(|(dst, _)| *dst);
+                let drained = std::mem::take(bucket);
+                for (dst, m) in drained {
+                    match bucket.last_mut() {
+                        Some((prev_dst, prev)) if *prev_dst == dst => {
+                            match program.combine(prev, &m) {
+                                Some(combined) => *prev = combined,
+                                None => bucket.push((dst, m)),
+                            }
+                        }
+                        _ => bucket.push((dst, m)),
+                    }
+                }
+            }
+        }
+        // Metering happens after combining (combined messages are what
+        // would cross the wire), inside the worker.
+        let mut messages_sent: u64 = 0;
+        let mut message_bytes: u64 = 0;
+        let mut remote_messages: u64 = 0;
+        let mut remote_message_bytes: u64 = 0;
+        for (dest_worker, bucket) in outbox.iter().enumerate() {
+            for (_, m) in bucket {
+                messages_sent += 1;
+                let bytes = program.message_bytes(m);
+                message_bytes += bytes;
+                if dest_worker != self.index {
+                    remote_messages += 1;
+                    remote_message_bytes += bytes;
+                }
+            }
+        }
+        let combine_time = combine_started.elapsed();
+
+        ComputeOut {
             agg,
             computed,
+            not_halted: computed - voted_halt,
+            outbox,
+            messages_sent,
+            message_bytes,
+            remote_messages,
+            remote_message_bytes,
+            compute_time,
+            combine_time,
         }
-    };
+    }
 
-    if num_workers == 1 {
-        vec![worker_body(0, value_slices.remove(0), inbox_slices.remove(0), halted_slices.remove(0))]
-    } else {
-        let mut outputs: Vec<Option<WorkerOutput<P::Message>>> =
-            (0..num_workers).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(num_workers);
-            for (w, ((vs, ibs), hs)) in value_slices
-                .into_iter()
-                .zip(inbox_slices)
-                .zip(halted_slices)
-                .enumerate()
-            {
-                let body = &worker_body;
-                handles.push(scope.spawn(move |_| (w, body(w, vs, ibs, hs))));
+    /// Moves incoming messages into this worker's out-buffer inbox — zero
+    /// clones on the exchange path — preserving ascending sender-worker
+    /// order, then swaps the double buffer.
+    fn deliver_phase(
+        &mut self,
+        mut incoming: IncomingBuckets<P::Message>,
+    ) -> DeliverOut<P::Message> {
+        let mut delivered: u64 = 0;
+        let mut reactivated: u32 = 0;
+        let base = self.base as usize;
+        for bucket in &mut incoming {
+            for (dst, m) in bucket.drain(..) {
+                let local = dst as usize - base;
+                if self.halted[local] && self.inbox_out[local].is_empty() {
+                    reactivated += 1;
+                }
+                self.inbox_out[local].push(m);
+                delivered += 1;
             }
-            for h in handles {
-                let (w, out) = h.join().expect("pregel worker panicked");
-                outputs[w] = Some(out);
-            }
-        })
-        .expect("pregel worker scope panicked");
-        outputs.into_iter().map(|o| o.expect("worker output missing")).collect()
+        }
+        // `inbox_in` was fully drained during the vertex phase; after the
+        // swap it holds the next superstep's messages and the drained
+        // buffer (capacity intact) becomes the next delivery target.
+        std::mem::swap(&mut self.inbox_in, &mut self.inbox_out);
+        DeliverOut {
+            delivered,
+            reactivated,
+            // Hand the drained buckets back for outbox recycling.
+            spent: incoming,
+        }
     }
 }
 
@@ -447,6 +826,32 @@ mod tests {
         assert!(r.metrics.supersteps >= 6);
     }
 
+    #[test]
+    fn vote_to_halt_semantics_match_across_worker_counts() {
+        let g = gen::path(9);
+        let base = run(&g, &mut Token, |_| 0, &PregelConfig::sequential()).unwrap();
+        for workers in [2usize, 3, 5] {
+            let r = run(&g, &mut Token, |_| 0, &PregelConfig::with_workers(workers)).unwrap();
+            assert_eq!(r.values, base.values, "workers = {workers}");
+            assert_eq!(r.metrics.supersteps, base.metrics.supersteps);
+            assert_eq!(r.metrics.total_messages, base.metrics.total_messages);
+            // Per-superstep active counts are structural, too.
+            let actives: Vec<u32> = r
+                .metrics
+                .per_superstep
+                .iter()
+                .map(|s| s.active_vertices)
+                .collect();
+            let base_actives: Vec<u32> = base
+                .metrics
+                .per_superstep
+                .iter()
+                .map(|s| s.active_vertices)
+                .collect();
+            assert_eq!(actives, base_actives, "workers = {workers}");
+        }
+    }
+
     /// Each vertex collects sender ids; checks delivery order is ascending
     /// by sender regardless of worker count.
     struct Collect;
@@ -485,9 +890,14 @@ mod tests {
     #[test]
     fn delivery_order_is_sender_ascending_for_any_worker_count() {
         let g = gen::rmat(128, 512, 99);
-        let baseline = run(&g, &mut Collect, |_| Vec::new(), &PregelConfig::sequential())
-            .unwrap()
-            .values;
+        let baseline = run(
+            &g,
+            &mut Collect,
+            |_| Vec::new(),
+            &PregelConfig::sequential(),
+        )
+        .unwrap()
+        .values;
         for v in &baseline {
             assert!(v.windows(2).all(|w| w[0] <= w[1]), "not sorted: {v:?}");
         }
@@ -498,6 +908,122 @@ mod tests {
             };
             let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
             assert_eq!(r.values, baseline, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn per_phase_timing_is_metered() {
+        let g = gen::rmat(256, 2048, 3);
+        let cfg = PregelConfig {
+            num_workers: 3,
+            max_supersteps: 10,
+        };
+        let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
+        assert!(r.metrics.compute_time > Duration::ZERO);
+        assert!(r.metrics.exchange_time > Duration::ZERO);
+        assert_eq!(
+            r.metrics.per_superstep.len() as u32 + 1,
+            r.metrics.supersteps
+        );
+        // Totals are the sums of the per-superstep entries.
+        let exchange_sum: Duration = r
+            .metrics
+            .per_superstep
+            .iter()
+            .map(|s| s.exchange_time)
+            .sum();
+        assert_eq!(exchange_sum, r.metrics.exchange_time);
+    }
+
+    /// Pins the documented merge order for floating-point `Sum` aggregates:
+    /// vertex order inside each worker, then ascending worker order across
+    /// workers — bit-reproducible for a fixed worker count.
+    #[test]
+    fn float_sum_merges_partials_in_worker_order() {
+        fn contribution(id: u32) -> f64 {
+            // Magnitude-skewed terms make the sum rounding-sensitive, so
+            // this would catch a merge-order change.
+            match id {
+                0 => 0.1,
+                1 => 0.2,
+                2 => 0.3,
+                3 => 1e16,
+                4 => 1.0,
+                _ => -1e16,
+            }
+        }
+
+        struct FloatSum {
+            observed: Option<f64>,
+        }
+
+        impl VertexProgram for FloatSum {
+            type VertexValue = ();
+            type Message = ();
+
+            fn message_bytes(&self, _m: &()) -> u64 {
+                0
+            }
+
+            fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+                if ctx.superstep() == 1 {
+                    self.observed = Some(ctx.agg_or("F", GlobalValue::Double(0.0)).as_double());
+                    MasterDecision::Halt
+                } else {
+                    MasterDecision::Continue
+                }
+            }
+
+            fn vertex_compute(
+                &self,
+                ctx: &mut VertexContext<'_, '_, ()>,
+                _value: &mut (),
+                _messages: &[()],
+            ) {
+                ctx.reduce_global(
+                    "F",
+                    ReduceOp::Sum,
+                    GlobalValue::Double(contribution(ctx.id().0)),
+                );
+            }
+        }
+
+        let g = gen::path(6);
+        for workers in [1usize, 2, 3] {
+            let starts = partition(&g, workers);
+            // Expected: per-worker partials folded in vertex order, merged
+            // in ascending worker order.
+            let mut expected: Option<f64> = None;
+            for w in 0..workers {
+                let mut partial: Option<f64> = None;
+                for v in starts[w]..starts[w + 1] {
+                    partial = Some(match partial {
+                        None => contribution(v),
+                        Some(p) => p + contribution(v),
+                    });
+                }
+                if let Some(p) = partial {
+                    expected = Some(match expected {
+                        None => p,
+                        Some(e) => e + p,
+                    });
+                }
+            }
+            let expected = expected.unwrap();
+            // Reproducible across repeated runs at the same worker count.
+            for _ in 0..2 {
+                let mut p = FloatSum { observed: None };
+                let cfg = PregelConfig {
+                    num_workers: workers,
+                    max_supersteps: 5,
+                };
+                run(&g, &mut p, |_| (), &cfg).unwrap();
+                assert_eq!(
+                    p.observed.unwrap().to_bits(),
+                    expected.to_bits(),
+                    "workers = {workers}"
+                );
+            }
         }
     }
 
@@ -522,13 +1048,18 @@ mod tests {
             }
         }
         let g = gen::path(3);
-        let cfg = PregelConfig {
-            num_workers: 1,
-            max_supersteps: 5,
-        };
-        let err = run(&g, &mut Forever, |_| (), &cfg).unwrap_err();
-        assert!(matches!(err, PregelError::SuperstepLimitExceeded { limit: 5 }));
-        assert!(err.to_string().contains("superstep limit"));
+        for workers in [1usize, 2] {
+            let cfg = PregelConfig {
+                num_workers: workers,
+                max_supersteps: 5,
+            };
+            let err = run(&g, &mut Forever, |_| (), &cfg).unwrap_err();
+            assert!(matches!(
+                err,
+                PregelError::SuperstepLimitExceeded { limit: 5 }
+            ));
+            assert!(err.to_string().contains("superstep limit"));
+        }
     }
 
     #[test]
@@ -550,6 +1081,16 @@ mod tests {
     }
 
     #[test]
+    fn default_config_uses_available_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(PregelConfig::default().num_workers, cores);
+        // The old capped behaviour remains expressible.
+        assert_eq!(PregelConfig::with_workers(4).num_workers, 4);
+    }
+
+    #[test]
     fn partition_covers_all_vertices() {
         let g = gen::rmat(100, 1000, 5);
         for w in 1..10 {
@@ -564,7 +1105,13 @@ mod tests {
     #[test]
     fn remote_messages_depend_on_partition() {
         let g = gen::cycle(16);
-        let r1 = run(&g, &mut Collect, |_| Vec::new(), &PregelConfig::sequential()).unwrap();
+        let r1 = run(
+            &g,
+            &mut Collect,
+            |_| Vec::new(),
+            &PregelConfig::sequential(),
+        )
+        .unwrap();
         assert_eq!(r1.metrics.remote_messages, 0);
         let cfg = PregelConfig {
             num_workers: 4,
@@ -574,6 +1121,9 @@ mod tests {
         assert!(r4.metrics.remote_messages > 0);
         // Total counts are worker-independent.
         assert_eq!(r1.metrics.total_messages, r4.metrics.total_messages);
-        assert_eq!(r1.metrics.total_message_bytes, r4.metrics.total_message_bytes);
+        assert_eq!(
+            r1.metrics.total_message_bytes,
+            r4.metrics.total_message_bytes
+        );
     }
 }

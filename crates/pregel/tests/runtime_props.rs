@@ -198,7 +198,10 @@ fn combining_is_per_worker_like_pregel() {
     let g = b.build();
     let one = run(&g, &mut ToHub, |_| 0, &PregelConfig::sequential()).unwrap();
     assert_eq!(one.values[0], 8);
-    assert_eq!(one.metrics.total_messages, 1, "fully combined on one worker");
+    assert_eq!(
+        one.metrics.total_messages, 1,
+        "fully combined on one worker"
+    );
     let two = run(&g, &mut ToHub, |_| 0, &PregelConfig::with_workers(2)).unwrap();
     assert_eq!(two.values[0], 8);
     assert!(

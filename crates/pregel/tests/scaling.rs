@@ -1,0 +1,164 @@
+//! Worker-count scaling tests for the parallel message exchange: results
+//! must be byte-identical for every worker count, and the exchange path
+//! must never clone a message.
+
+use gm_graph::{gen, NodeId};
+use gm_pregel::{run, MasterContext, MasterDecision, PregelConfig, VertexContext, VertexProgram};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// PageRank with a fixed round count — the floating-point workload used by
+/// the `message_exchange` bench.
+struct PageRank {
+    n: f64,
+    rounds: u32,
+}
+
+impl VertexProgram for PageRank {
+    type VertexValue = f64;
+    type Message = f64;
+
+    fn message_bytes(&self, _m: &f64) -> u64 {
+        8
+    }
+
+    fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+        if ctx.superstep() > self.rounds {
+            MasterDecision::Halt
+        } else {
+            MasterDecision::Continue
+        }
+    }
+
+    fn vertex_compute(
+        &self,
+        ctx: &mut VertexContext<'_, '_, f64>,
+        value: &mut f64,
+        messages: &[f64],
+    ) {
+        if ctx.superstep() == 0 {
+            *value = 1.0 / self.n;
+        } else {
+            // Messages arrive ordered by sender id, so this sum is
+            // reproducible for every worker count.
+            let mut sum = 0.0;
+            for m in messages {
+                sum += *m;
+            }
+            *value = 0.15 / self.n + 0.85 * sum;
+        }
+        if ctx.out_degree() > 0 {
+            ctx.send_to_nbrs(*value / ctx.out_degree() as f64);
+        }
+    }
+}
+
+/// PageRank on an R-MAT graph is byte-identical — values, supersteps and
+/// message counters — for workers ∈ {1, 2, 3, 4, 5, 8}.
+#[test]
+fn pagerank_is_byte_identical_across_worker_counts() {
+    let g = gen::rmat(2_000, 16_000, 7);
+    let base = run(
+        &g,
+        &mut PageRank {
+            n: g.num_nodes() as f64,
+            rounds: 10,
+        },
+        |_| 0.0,
+        &PregelConfig::sequential(),
+    )
+    .unwrap();
+    let base_bits: Vec<u64> = base.values.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(base.metrics.supersteps, 12);
+
+    for workers in [2usize, 3, 4, 5, 8] {
+        let r = run(
+            &g,
+            &mut PageRank {
+                n: g.num_nodes() as f64,
+                rounds: 10,
+            },
+            |_| 0.0,
+            &PregelConfig::with_workers(workers),
+        )
+        .unwrap();
+        let bits: Vec<u64> = r.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, base_bits, "values differ at workers = {workers}");
+        assert_eq!(r.metrics.supersteps, base.metrics.supersteps);
+        assert_eq!(r.metrics.total_messages, base.metrics.total_messages);
+        assert_eq!(
+            r.metrics.total_message_bytes,
+            base.metrics.total_message_bytes
+        );
+    }
+}
+
+/// The exchange path moves messages; it must never clone them. (Cloning
+/// happens only where the programming model requires a copy per recipient,
+/// i.e. `send_to_nbrs` fan-out — this program sends point-to-point.)
+static CLONES: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingMsg(u64);
+
+impl Clone for CountingMsg {
+    fn clone(&self) -> Self {
+        CLONES.fetch_add(1, Ordering::Relaxed);
+        CountingMsg(self.0)
+    }
+}
+
+struct RingRelay {
+    n: u32,
+    rounds: u32,
+}
+
+impl VertexProgram for RingRelay {
+    type VertexValue = u64;
+    type Message = CountingMsg;
+
+    fn message_bytes(&self, _m: &CountingMsg) -> u64 {
+        8
+    }
+
+    fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+        if ctx.superstep() > self.rounds {
+            MasterDecision::Halt
+        } else {
+            MasterDecision::Continue
+        }
+    }
+
+    fn vertex_compute(
+        &self,
+        ctx: &mut VertexContext<'_, '_, CountingMsg>,
+        value: &mut u64,
+        messages: &[CountingMsg],
+    ) {
+        for m in messages {
+            *value += m.0;
+        }
+        let id = ctx.id().0;
+        let next = NodeId((id + 1) % self.n);
+        ctx.send(next, CountingMsg(id as u64));
+    }
+}
+
+#[test]
+fn exchange_path_never_clones_messages() {
+    let g = gen::cycle(64);
+    for workers in [1usize, 4] {
+        CLONES.store(0, Ordering::Relaxed);
+        let r = run(
+            &g,
+            &mut RingRelay { n: 64, rounds: 5 },
+            |_| 0,
+            &PregelConfig::with_workers(workers),
+        )
+        .unwrap();
+        assert!(r.metrics.total_messages > 0);
+        assert_eq!(
+            CLONES.load(Ordering::Relaxed),
+            0,
+            "exchange cloned messages at workers = {workers}"
+        );
+    }
+}

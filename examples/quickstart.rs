@@ -37,14 +37,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 2. Build an input graph — a small power-law web — and mark every
     //    third vertex active.
     let g = gen::rmat(1_000, 8_000, 42);
-    let active: Vec<Value> = (0..g.num_nodes()).map(|i| Value::Bool(i % 3 == 0)).collect();
+    let active: Vec<Value> = (0..g.num_nodes())
+        .map(|i| Value::Bool(i % 3 == 0))
+        .collect();
     let args = HashMap::from([("active".to_owned(), ArgValue::NodeProp(active))]);
 
     // 3. Execute on the BSP runtime and look at the metrics the paper
     //    reports: timesteps and network I/O.
     let out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::default())?;
     println!("\nexecution:");
-    println!("  total active-follower edges: {}", out.ret.expect("returns a sum"));
+    println!(
+        "  total active-follower edges: {}",
+        out.ret.expect("returns a sum")
+    );
     println!("  supersteps: {}", out.metrics.supersteps);
     println!(
         "  messages:   {} ({} bytes)",

@@ -15,7 +15,9 @@ use std::error::Error;
 fn main() -> Result<(), Box<dyn Error>> {
     // A 200×200 grid with bidirectional streets and deterministic weights.
     let g = gen::grid(200, 200);
-    let weights: Vec<i64> = (0..g.num_edges() as i64).map(|i| 1 + (i * 7) % 10).collect();
+    let weights: Vec<i64> = (0..g.num_edges() as i64)
+        .map(|i| 1 + (i * 7) % 10)
+        .collect();
     let root = NodeId(0);
     println!(
         "road network: {} intersections, {} street segments",
@@ -44,11 +46,23 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Sequential Dijkstra oracle.
     let oracle = reference::dijkstra(&g, root, &weights);
 
-    let gen_dist: Vec<i64> = gen_out.node_props["dist"].iter().map(|v| v.as_int()).collect();
-    assert_eq!(gen_dist, oracle, "generated distances disagree with Dijkstra");
-    assert_eq!(man_out.dist, oracle, "manual distances disagree with Dijkstra");
+    let gen_dist: Vec<i64> = gen_out.node_props["dist"]
+        .iter()
+        .map(|v| v.as_int())
+        .collect();
+    assert_eq!(
+        gen_dist, oracle,
+        "generated distances disagree with Dijkstra"
+    );
+    assert_eq!(
+        man_out.dist, oracle,
+        "manual distances disagree with Dijkstra"
+    );
 
-    println!("\nall three agree. far corner is {} units away.", oracle[oracle.len() - 1]);
+    println!(
+        "\nall three agree. far corner is {} units away.",
+        oracle[oracle.len() - 1]
+    );
     println!(
         "generated: {:>8.1?}  {} supersteps, {} bytes of messages",
         gen_time, gen_out.metrics.supersteps, gen_out.metrics.total_message_bytes

@@ -43,7 +43,11 @@ fn expr_strategy(iters: Vec<String>, props: Vec<usize>) -> impl Strategy<Value =
         ]
     };
     leaf.prop_recursive(2, 8, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], inner)
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*")],
+            inner,
+        )
             .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
     })
 }
@@ -51,9 +55,12 @@ fn expr_strategy(iters: Vec<String>, props: Vec<usize>) -> impl Strategy<Value =
 /// A filter over one node variable (always boolean), reading only the
 /// given properties.
 fn filter_strategy(var: String, props: Vec<usize>) -> impl Strategy<Value = String> {
-    (0..props.len(), 0i64..10, prop_oneof![Just(">"), Just("<"), Just("==")]).prop_map(
-        move |(p, k, cmp)| format!("({}.{} % 7) {cmp} {k}", var, PROPS[props[p]]),
+    (
+        0..props.len(),
+        0i64..10,
+        prop_oneof![Just(">"), Just("<"), Just("==")],
     )
+        .prop_map(move |(p, k, cmp)| format!("({}.{} % 7) {cmp} {k}", var, PROPS[props[p]]))
 }
 
 /// One vertex-parallel statement group.

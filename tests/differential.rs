@@ -27,8 +27,14 @@ fn pregel_run(
     seed: u64,
     workers: usize,
 ) -> CompiledOutcome {
-    run_compiled(g, compiled, args, seed, &PregelConfig::with_workers(workers))
-        .expect("pregel run")
+    run_compiled(
+        g,
+        compiled,
+        args,
+        seed,
+        &PregelConfig::with_workers(workers),
+    )
+    .expect("pregel run")
 }
 
 /// Compares the return value and all node properties the two sides share.

@@ -30,10 +30,7 @@ fn triangle_like_two_hop_count() {
         Return Sum(n: G.Nodes){n.d} - G.NumEdges() * 0;
     }";
     let g = gen::complete(4); // every vertex: deg 3, receives 3 × 3
-    assert_eq!(
-        run_ret(src, &g, HashMap::new()),
-        Some(Value::Int(4 * 9))
-    );
+    assert_eq!(run_ret(src, &g, HashMap::new()), Some(Value::Int(4 * 9)));
 }
 
 #[test]
@@ -157,7 +154,9 @@ fn pure_master_while_costs_no_vertex_supersteps() {
 fn worker_count_invariance_for_integer_algorithms() {
     let src = gm_algorithms::sources::SSSP;
     let g = gen::rmat(400, 3000, 9);
-    let weights: Vec<Value> = (0..g.num_edges() as i64).map(|i| Value::Int(1 + i % 12)).collect();
+    let weights: Vec<Value> = (0..g.num_edges() as i64)
+        .map(|i| Value::Int(1 + i % 12))
+        .collect();
     let args = HashMap::from([
         ("root".to_owned(), ArgValue::Scalar(Value::Node(0))),
         ("len".to_owned(), ArgValue::EdgeProp(weights)),
@@ -165,12 +164,24 @@ fn worker_count_invariance_for_integer_algorithms() {
     let compiled = compile(src, &CompileOptions::default()).unwrap();
     let base = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
     for workers in [2, 3, 4, 7] {
-        let out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::with_workers(workers))
-            .unwrap();
-        assert_eq!(out.node_props["dist"], base.node_props["dist"], "workers={workers}");
+        let out = run_compiled(
+            &g,
+            &compiled,
+            &args,
+            0,
+            &PregelConfig::with_workers(workers),
+        )
+        .unwrap();
+        assert_eq!(
+            out.node_props["dist"], base.node_props["dist"],
+            "workers={workers}"
+        );
         assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
         assert_eq!(out.metrics.total_messages, base.metrics.total_messages);
-        assert_eq!(out.metrics.total_message_bytes, base.metrics.total_message_bytes);
+        assert_eq!(
+            out.metrics.total_message_bytes,
+            base.metrics.total_message_bytes
+        );
     }
 }
 
@@ -194,8 +205,8 @@ fn canonical_source_is_valid_green_marl() {
     // re-compile to an equivalent program.
     for (name, src) in gm_algorithms::sources::ALL {
         let compiled = compile(src, &CompileOptions::default()).unwrap();
-        let again = compile(&compiled.canonical_source, &CompileOptions::default())
-            .unwrap_or_else(|e| {
+        let again =
+            compile(&compiled.canonical_source, &CompileOptions::default()).unwrap_or_else(|e| {
                 panic!(
                     "{name}: canonical form does not recompile:\n{}\n---\n{}",
                     e.render(&compiled.canonical_source),
@@ -214,11 +225,11 @@ fn canonical_source_is_valid_green_marl() {
 fn compile_errors_are_reported_not_panicked() {
     // Programs beyond the supported subset must produce diagnostics.
     let cases = [
-        "Procedure f(G: Graph) { Return; }",                     // sema: missing ret ty is fine; this is ok
+        "Procedure f(G: Graph) { Return; }", // sema: missing ret ty is fine; this is ok
         "Procedure f(G: Graph, x: N_P<Int>, s: Node) : Int {
             Int v = s.x;
             Return v;
-        }",                                                       // random read
+        }", // random read
         "Procedure f(G: Graph, x: N_P<Int>) {
             Foreach (n: G.Nodes) {
                 Foreach (t: n.Nbrs) {
@@ -227,7 +238,7 @@ fn compile_errors_are_reported_not_panicked() {
                     }
                 }
             }
-        }",                                                       // triple nesting
+        }", // triple nesting
     ];
     for (i, src) in cases.iter().enumerate().skip(1) {
         assert!(

@@ -53,16 +53,23 @@ fn avg_teen_parity() {
             ),
             ("K".to_owned(), ArgValue::Scalar(Value::Int(25))),
         ]);
-        let gen_out =
-            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let gen_out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
         let man_out = manual::run_avg_teen(&g, &ages, 25, &PregelConfig::sequential()).unwrap();
-        assert_metrics_match(&format!("avg_teen/{name}"), &gen_out.metrics, &man_out.metrics);
+        assert_metrics_match(
+            &format!("avg_teen/{name}"),
+            &gen_out.metrics,
+            &man_out.metrics,
+        );
         let gen_cnt: Vec<i64> = gen_out.node_props["teen_cnt"]
             .iter()
             .map(|v| v.as_int())
             .collect();
         assert_eq!(gen_cnt, man_out.teen_cnt, "{name}: counts differ");
-        assert_eq!(gen_out.ret, Some(Value::Double(man_out.avg)), "{name}: avg differs");
+        assert_eq!(
+            gen_out.ret,
+            Some(Value::Double(man_out.avg)),
+            "{name}: avg differs"
+        );
     }
 }
 
@@ -75,12 +82,18 @@ fn pagerank_parity() {
             ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
             ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(15))),
         ]);
-        let gen_out =
-            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let gen_out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
         let man_out =
             manual::run_pagerank(&g, 1e-6, 0.85, 15, &PregelConfig::sequential()).unwrap();
-        assert_metrics_match(&format!("pagerank/{name}"), &gen_out.metrics, &man_out.metrics);
-        let gen_pr: Vec<f64> = gen_out.node_props["pr"].iter().map(|v| v.as_f64()).collect();
+        assert_metrics_match(
+            &format!("pagerank/{name}"),
+            &gen_out.metrics,
+            &man_out.metrics,
+        );
+        let gen_pr: Vec<f64> = gen_out.node_props["pr"]
+            .iter()
+            .map(|v| v.as_f64())
+            .collect();
         assert_eq!(gen_pr, man_out.pr, "{name}: pr differs");
     }
 }
@@ -95,8 +108,7 @@ fn conductance_parity() {
             "member".to_owned(),
             ArgValue::NodeProp(member.iter().map(|&b| Value::Bool(b)).collect()),
         )]);
-        let gen_out =
-            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let gen_out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
         let man_out = manual::run_conductance(&g, &member, &PregelConfig::sequential()).unwrap();
         assert_metrics_match(
             &format!("conductance/{name}"),
@@ -124,8 +136,7 @@ fn sssp_parity() {
                 ArgValue::EdgeProp(weights.iter().map(|&w| Value::Int(w)).collect()),
             ),
         ]);
-        let gen_out =
-            run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+        let gen_out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
         let man_out =
             manual::run_sssp(&g, NodeId(1), &weights, &PregelConfig::sequential()).unwrap();
         assert_metrics_match(&format!("sssp/{name}"), &gen_out.metrics, &man_out.metrics);
@@ -147,8 +158,7 @@ fn bipartite_parity() {
         ArgValue::NodeProp(is_boy.iter().map(|&b| Value::Bool(b)).collect()),
     )]);
     let gen_out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
-    let man_out =
-        manual::run_bipartite_matching(&g, &is_boy, &PregelConfig::sequential()).unwrap();
+    let man_out = manual::run_bipartite_matching(&g, &is_boy, &PregelConfig::sequential()).unwrap();
     assert_metrics_match("bipartite", &gen_out.metrics, &man_out.metrics);
     let gen_match: Vec<u32> = gen_out.node_props["match"]
         .iter()
