@@ -178,8 +178,8 @@ fn accumulate_bc(graph: &Graph, s: NodeId, bc: &mut [f64]) {
         }
     }
     // Forward: sigma sums over parents, ascending parent id (per edge).
-    for level in 1..=max_lev as usize {
-        for &v in &by_level[level] {
+    for (level, nodes) in by_level.iter().enumerate().skip(1) {
+        for &v in nodes {
             let mut parents: Vec<u32> = graph
                 .in_neighbors(NodeId(v))
                 .filter(|(w, _)| lev[w.index()] == level as u32 - 1)
@@ -193,8 +193,8 @@ fn accumulate_bc(graph: &Graph, s: NodeId, bc: &mut [f64]) {
     }
     // Backward: delta sums over children, ascending child id (per edge).
     let mut delta = vec![0.0f64; n];
-    for level in (0..=max_lev as usize).rev() {
-        for &v in &by_level[level] {
+    for (level, nodes) in by_level.iter().enumerate().rev() {
+        for &v in nodes {
             let mut kids: Vec<u32> = graph
                 .out_neighbors(NodeId(v))
                 .filter(|(w, _)| lev[w.index()] == level as u32 + 1)

@@ -115,7 +115,7 @@ fn bipartite_matching_is_valid_and_maximal() {
     assert!(stats.maximal, "matching must be maximal");
     assert_eq!(out.ret, Some(Value::Int(stats.pairs as i64)));
     // NIL round-trips as the sentinel.
-    assert!(matching.iter().any(|&m| m == NIL_NODE) || stats.pairs == 60);
+    assert!(matching.contains(&NIL_NODE) || stats.pairs == 60);
 }
 
 #[test]

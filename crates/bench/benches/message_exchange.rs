@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gm_graph::gen;
+use gm_obs::Tracer;
 use gm_pregel::{run, MasterContext, MasterDecision, PregelConfig, VertexContext, VertexProgram};
 
 struct PageRank {
@@ -72,6 +73,7 @@ fn message_exchange(c: &mut Criterion) {
         let cfg = PregelConfig {
             num_workers: workers,
             max_supersteps: 1_000,
+            tracer: None,
         };
         grp.bench_with_input(BenchmarkId::from_parameter(workers), &g, |b, g| {
             b.iter(|| {
@@ -80,6 +82,31 @@ fn message_exchange(c: &mut Criterion) {
                     rounds,
                 };
                 run(g, &mut p, |_| 0.0, &cfg).expect("run")
+            })
+        });
+    }
+    grp.finish();
+
+    // Tracing overhead: the same flood at 4 workers with the tracer off
+    // (the `None` branch every phase takes) vs. capturing into memory.
+    let mut grp = c.benchmark_group("message_exchange/tracing");
+    grp.sample_size(10);
+    grp.throughput(Throughput::Elements(total_messages));
+    let base = PregelConfig {
+        num_workers: 4,
+        max_supersteps: 1_000,
+        tracer: None,
+    };
+    let (tracer, _sink) = Tracer::in_memory();
+    let traced = base.clone().with_tracer(tracer);
+    for (name, cfg) in [("disabled", &base), ("memory", &traced)] {
+        grp.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let mut p = PageRank {
+                    n: g.num_nodes() as f64,
+                    rounds,
+                };
+                run(g, &mut p, |_| 0.0, cfg).expect("run")
             })
         });
     }

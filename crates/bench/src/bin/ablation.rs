@@ -4,7 +4,7 @@
 //! them on every algorithm.
 
 use gm_algorithms::sources;
-use gm_bench::{args_for, bench_config, table1_graphs};
+use gm_bench::{args_for, bench_config, table1_graphs_traced, TraceArgs};
 use gm_core::CompileOptions;
 use gm_interp::run_compiled;
 
@@ -52,8 +52,13 @@ fn main() {
         ("bipartite", sources::BIPARTITE_MATCHING),
         ("bc", sources::BC_APPROX),
     ];
-    let workloads = table1_graphs();
-    let cfg = bench_config();
+    let trace = TraceArgs::from_env();
+    let tracer = trace.tracer();
+    let workloads = table1_graphs_traced(tracer.as_ref());
+    let mut cfg = bench_config();
+    if let Some(t) = &tracer {
+        cfg = cfg.with_tracer(t.clone());
+    }
 
     println!("Ablation: supersteps / run-time by optimization level");
     println!(
@@ -71,7 +76,7 @@ fn main() {
             let args = args_for(alg, g);
             let mut cells = Vec::new();
             for (_, opts) in VARIANTS {
-                let compiled = gm_bench::compile_source(src, &opts);
+                let compiled = gm_bench::compile_source_with(src, &opts, tracer.as_ref());
                 let start = std::time::Instant::now();
                 let out = run_compiled(g, &compiled, &args, 7, &cfg).expect("run");
                 let t = start.elapsed();
@@ -87,5 +92,8 @@ fn main() {
                 alg, w.name, cells[0], cells[1], cells[2], cells[3]
             );
         }
+    }
+    if let Some(t) = &tracer {
+        t.finish().expect("finish trace");
     }
 }

@@ -4,13 +4,20 @@
 //! timesteps and network I/O match exactly.
 //!
 //! Run with `--release`; `GM_SCALE` grows the graphs, `GM_REPS` sets the
-//! repetition count (default 3, minimum is taken).
+//! repetition count (default 3, minimum is taken). `--trace <path>`
+//! (plus `--trace-format jsonl|chrome`) writes an event log covering
+//! graph generation, every compile, and every generated-side run, and
+//! drops a `<stem>.<alg>.<graph>.metrics.json` next to it per row.
 
 use gm_algorithms::{manual, sources};
-use gm_bench::{args_for, bench_config, boy_marks, sssp_root, table1_graphs, time_min, weights};
+use gm_bench::{
+    args_for, bench_config, boy_marks, sssp_root, table1_graphs_traced, time_min, weights,
+    TraceArgs,
+};
 use gm_core::CompileOptions;
 use gm_graph::Graph;
 use gm_interp::run_compiled;
+use gm_obs::Tracer;
 use gm_pregel::Metrics;
 
 fn reps() -> usize {
@@ -29,10 +36,18 @@ struct Row {
     manual: Metrics,
 }
 
-fn run_generated(alg: &'static str, src: &str, g: &Graph) -> (f64, Metrics) {
-    let compiled = gm_bench::compile_source(src, &CompileOptions::default());
+fn run_generated(
+    alg: &'static str,
+    src: &str,
+    g: &Graph,
+    tracer: Option<&Tracer>,
+) -> (f64, Metrics) {
+    let compiled = gm_bench::compile_source_with(src, &CompileOptions::default(), tracer);
     let args = args_for(alg, g);
-    let cfg = bench_config();
+    let mut cfg = bench_config();
+    if let Some(t) = tracer {
+        cfg = cfg.with_tracer(t.clone());
+    }
     let (t, m) = time_min(reps(), || {
         let out = run_compiled(g, &compiled, &args, 7, &cfg).expect("generated run");
         ((), out.metrics)
@@ -41,7 +56,10 @@ fn run_generated(alg: &'static str, src: &str, g: &Graph) -> (f64, Metrics) {
 }
 
 fn main() {
-    let workloads = table1_graphs();
+    let trace = TraceArgs::from_env();
+    let tracer = trace.tracer();
+    let tracer = tracer.as_ref();
+    let workloads = table1_graphs_traced(tracer);
     let mut rows: Vec<Row> = Vec::new();
     let cfg = bench_config();
 
@@ -51,7 +69,9 @@ fn main() {
         // paper, which pairs it with the synthetic random graph).
         if w.name == "bipartite" {
             let marks = boy_marks(g);
-            let (gen_ms, gen_m) = run_generated("bipartite", sources::BIPARTITE_MATCHING, g);
+            let (gen_ms, gen_m) =
+                run_generated("bipartite", sources::BIPARTITE_MATCHING, g, tracer);
+            trace.write_metrics_json(&format!("bipartite.{}", w.name), &gen_m);
             let (man_t, man_m) = time_min(reps(), || {
                 let out = manual::run_bipartite_matching(g, &marks, &cfg).expect("manual run");
                 ((), out.metrics)
@@ -68,7 +88,8 @@ fn main() {
         }
 
         let ages = gm_bench::ages(g);
-        let (gen_ms, gen_m) = run_generated("avg_teen", sources::AVG_TEEN, g);
+        let (gen_ms, gen_m) = run_generated("avg_teen", sources::AVG_TEEN, g, tracer);
+        trace.write_metrics_json(&format!("avg_teen.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_avg_teen(g, &ages, 25, &cfg).expect("manual run");
             ((), out.metrics)
@@ -82,7 +103,8 @@ fn main() {
             manual: man_m,
         });
 
-        let (gen_ms, gen_m) = run_generated("pagerank", sources::PAGERANK, g);
+        let (gen_ms, gen_m) = run_generated("pagerank", sources::PAGERANK, g, tracer);
+        trace.write_metrics_json(&format!("pagerank.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_pagerank(g, 1e-9, 0.85, 10, &cfg).expect("manual run");
             ((), out.metrics)
@@ -97,7 +119,8 @@ fn main() {
         });
 
         let member = gm_bench::membership(g);
-        let (gen_ms, gen_m) = run_generated("conductance", sources::CONDUCTANCE, g);
+        let (gen_ms, gen_m) = run_generated("conductance", sources::CONDUCTANCE, g, tracer);
+        trace.write_metrics_json(&format!("conductance.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_conductance(g, &member, &cfg).expect("manual run");
             ((), out.metrics)
@@ -112,7 +135,8 @@ fn main() {
         });
 
         let ws = weights(g);
-        let (gen_ms, gen_m) = run_generated("sssp", sources::SSSP, g);
+        let (gen_ms, gen_m) = run_generated("sssp", sources::SSSP, g, tracer);
+        trace.write_metrics_json(&format!("sssp.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_sssp(g, sssp_root(g), &ws, &cfg).expect("manual run");
             ((), out.metrics)
@@ -182,4 +206,7 @@ fn main() {
     println!("note: paper ratios were 0.92–1.35 (generated Java vs manual Java on a JVM);");
     println!("here the generated side is an interpreted state machine while the manual");
     println!("side is native Rust, so ratios are higher — see EXPERIMENTS.md.");
+    if let Some(t) = tracer {
+        t.finish().expect("finish trace");
+    }
 }

@@ -2,21 +2,24 @@
 //!
 //! The paper's data sets are proprietary and billion-edge; the harness
 //! builds seeded synthetic stand-ins with the same shapes and edge:vertex
-//! ratios (see DESIGN.md). `GM_SCALE` scales all of them.
+//! ratios (see DESIGN.md). `GM_SCALE` scales all of them; `--trace <path>`
+//! logs one span per generated graph.
 
-use gm_bench::table1_graphs;
+use gm_bench::{table1_graphs_traced, TraceArgs};
 use gm_graph::NodeId;
 
 fn main() {
+    let trace = TraceArgs::from_env();
+    let tracer = trace.tracer();
     println!(
         "Table 1: input graphs (synthetic stand-ins, GM_SCALE={})",
         std::env::var("GM_SCALE").unwrap_or_else(|_| "1.0".into())
     );
     println!(
-        "{:<12} {:>10} {:>12} {:>8}  {}",
-        "Name", "Nodes", "Edges", "m/n", "Stands in for"
+        "{:<12} {:>10} {:>12} {:>8}  Stands in for",
+        "Name", "Nodes", "Edges", "m/n"
     );
-    for w in table1_graphs() {
+    for w in table1_graphs_traced(tracer.as_ref()) {
         let n = w.graph.num_nodes();
         let m = w.graph.num_edges();
         println!(
@@ -45,5 +48,8 @@ fn main() {
             "{:<12} {:>10} {:>12} (max out-degree {max_out}, max in-degree {max_in})",
             "", "", ""
         );
+    }
+    if let Some(t) = &tracer {
+        t.finish().expect("finish trace");
     }
 }

@@ -7,6 +7,7 @@
 //! verify: the DSL is one order of magnitude terser.
 
 use gm_algorithms::sources;
+use gm_bench::TraceArgs;
 use gm_core::javagen::{count_loc, emit_java};
 use gm_core::CompileOptions;
 
@@ -21,6 +22,8 @@ const PAPER: [(&str, usize, Option<usize>); 6] = [
 ];
 
 fn main() {
+    let trace = TraceArgs::from_env();
+    let tracer = trace.tracer();
     println!("Table 2: lines of code (non-blank, non-comment)");
     println!(
         "{:<42} {:>8} {:>8} | {:>9} {:>10}",
@@ -28,8 +31,8 @@ fn main() {
     );
     for ((name, src), (plabel, p_gm, p_gps)) in sources::ALL.iter().zip(PAPER) {
         assert_eq!(*name, plabel, "row order must match the paper");
-        let compiled =
-            gm_core::compile(src, &CompileOptions::default()).expect("embedded source compiles");
+        let compiled = gm_core::compile_with(src, &CompileOptions::default(), tracer.as_ref())
+            .expect("embedded source compiles");
         let java = emit_java(&compiled.program);
         let gps_loc = count_loc(&java);
         println!(
@@ -43,4 +46,7 @@ fn main() {
     }
     println!("\n(The paper's GPS column counts hand-written Java; ours counts the");
     println!(" generated GPS-style Java — §5.2 argues they are the same program.)");
+    if let Some(t) = &tracer {
+        t.finish().expect("finish trace");
+    }
 }

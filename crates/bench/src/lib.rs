@@ -9,10 +9,12 @@
 
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
-use gm_core::{compile, CompileOptions, Compiled};
+use gm_core::{compile_with, CompileOptions, Compiled};
 use gm_graph::{gen, Graph};
+use gm_obs::{Category, TraceFormat, Tracer};
 use gm_pregel::{Metrics, PregelConfig};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// A Table 1 input graph, scaled.
@@ -43,27 +45,54 @@ fn scale() -> f64 {
 /// | bipartite | synthetic uniform random (75M/1.5B) | uniform bipartite | 20:1 |
 /// | sk-2005 | .sk web crawl (51M/1.9B) | copying model | 37:1 |
 pub fn table1_graphs() -> Vec<Workload> {
+    table1_graphs_traced(None)
+}
+
+/// [`table1_graphs`], emitting one bench-category span per generated
+/// graph into `tracer` (when given) with the resulting node/edge counts.
+pub fn table1_graphs_traced(tracer: Option<&Tracer>) -> Vec<Workload> {
     let s = scale();
     let tw_n = (BASE_TWITTER_N * s) as u32;
     let bi_n = (53_000.0 * s) as u32; // 75/42 of the twitter scale
     let sk_n = (36_000.0 * s) as u32; // 51/42 of the twitter scale
-    vec![
-        Workload {
-            name: "twitter",
-            paper_desc: "Twitter follower network (42M nodes, 1.5B edges)",
-            graph: gen::rmat(tw_n, tw_n as usize * 36, 1001),
-        },
-        Workload {
-            name: "bipartite",
-            paper_desc: "Synthetic uniform random bipartite (75M, 1.5B)",
-            graph: gen::bipartite(bi_n / 2, bi_n - bi_n / 2, bi_n as usize * 20, 1002),
-        },
-        Workload {
-            name: "sk-2005",
-            paper_desc: "Web graph of the .sk domain (51M, 1.9B)",
-            graph: gen::web_copying(sk_n, 37, 0.5, 1003),
-        },
-    ]
+    let mut workloads = Vec::with_capacity(3);
+    let mut build = |name: &'static str, paper_desc: &'static str, f: &dyn Fn() -> Graph| {
+        let start_us = tracer.map(Tracer::now_us);
+        let graph = f();
+        if let (Some(t), Some(ts)) = (tracer, start_us) {
+            t.span(
+                format!("gen/{name}"),
+                Category::Bench,
+                0,
+                ts,
+                vec![
+                    ("nodes", graph.num_nodes().into()),
+                    ("edges", graph.num_edges().into()),
+                ],
+            );
+        }
+        workloads.push(Workload {
+            name,
+            paper_desc,
+            graph,
+        });
+    };
+    build(
+        "twitter",
+        "Twitter follower network (42M nodes, 1.5B edges)",
+        &|| gen::rmat(tw_n, tw_n as usize * 36, 1001),
+    );
+    build(
+        "bipartite",
+        "Synthetic uniform random bipartite (75M, 1.5B)",
+        &|| gen::bipartite(bi_n / 2, bi_n - bi_n / 2, bi_n as usize * 20, 1002),
+    );
+    build(
+        "sk-2005",
+        "Web graph of the .sk domain (51M, 1.9B)",
+        &|| gen::web_copying(sk_n, 37, 0.5, 1003),
+    );
+    workloads
 }
 
 /// Deterministic per-vertex ages for AvgTeen.
@@ -105,7 +134,105 @@ pub fn boy_marks(g: &Graph) -> Vec<bool> {
 ///
 /// Panics if the source does not compile — the sources are tested.
 pub fn compile_source(src: &str, options: &CompileOptions) -> Compiled {
-    compile(src, options).expect("embedded source compiles")
+    compile_source_with(src, options, None)
+}
+
+/// [`compile_source`], re-emitting the per-pass timings into `tracer`.
+///
+/// # Panics
+///
+/// Panics if the source does not compile — the sources are tested.
+pub fn compile_source_with(
+    src: &str,
+    options: &CompileOptions,
+    tracer: Option<&Tracer>,
+) -> Compiled {
+    compile_with(src, options, tracer).expect("embedded source compiles")
+}
+
+/// The `--trace <path> [--trace-format jsonl|chrome]` surface shared by
+/// the reproduction binaries. Unknown flags are ignored so each binary
+/// keeps its own argument handling. Without an explicit format, a single
+/// run tees into *both*: JSONL at `<path>` plus a Chrome Trace file at
+/// `<stem>.chrome.json` next to it (drag into Perfetto).
+#[derive(Debug, Default)]
+pub struct TraceArgs {
+    /// Destination of the event log, if tracing was requested.
+    pub path: Option<PathBuf>,
+    /// Serialization format; `None` means JSONL + Chrome side-by-side.
+    pub format: Option<TraceFormat>,
+}
+
+impl TraceArgs {
+    /// Parses `--trace`/`--trace-format` out of the process arguments.
+    ///
+    /// Exits with status 2 on a `--trace-format` value other than
+    /// `jsonl`/`chrome`, or on a flag with its value missing.
+    pub fn from_env() -> TraceArgs {
+        let usage = |msg: &str| -> ! {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        };
+        let mut out = TraceArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => {
+                    let Some(p) = args.next() else {
+                        usage("--trace needs a path");
+                    };
+                    out.path = Some(PathBuf::from(p));
+                }
+                "--trace-format" => {
+                    let Some(f) = args.next() else {
+                        usage("--trace-format needs a value");
+                    };
+                    out.format = Some(f.parse().unwrap_or_else(|e: String| usage(&e)));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Opens the tracer, or `None` when `--trace` was not given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace file cannot be created.
+    pub fn tracer(&self) -> Option<Tracer> {
+        let path = self.path.as_ref()?;
+        let tracer = match self.format {
+            Some(format) => Tracer::to_file(path, format),
+            None => {
+                let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
+                let chrome = path
+                    .parent()
+                    .unwrap_or(Path::new("."))
+                    .join(format!("{stem}.chrome.json"));
+                Tracer::to_files(&[
+                    (path.clone(), TraceFormat::Jsonl),
+                    (chrome, TraceFormat::Chrome),
+                ])
+            }
+        };
+        Some(tracer.unwrap_or_else(|e| panic!("cannot open trace file {}: {e}", path.display())))
+    }
+
+    /// Writes `metrics` as JSON to `<trace stem>.<name>.metrics.json`
+    /// next to the trace file. No-op when tracing is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_metrics_json(&self, name: &str, metrics: &Metrics) {
+        let Some(trace) = &self.path else { return };
+        let stem = trace.file_stem().and_then(|s| s.to_str()).unwrap_or("run");
+        let file = format!("{stem}.{name}.metrics.json");
+        let dest = trace.parent().unwrap_or(Path::new(".")).join(file);
+        std::fs::write(&dest, metrics.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", dest.display()));
+    }
 }
 
 /// Argument map for a compiled algorithm on graph `g`.

@@ -149,15 +149,11 @@ fn collect_idents_expr(e: &Expr, out: &mut HashSet<String>) {
 /// check is needed.
 pub fn subst_var_expr(e: &mut Expr, from: &str, to: &str) {
     match &mut e.kind {
-        ExprKind::Var(n) => {
-            if n == from {
-                *n = to.to_owned();
-            }
+        ExprKind::Var(n) if n == from => {
+            *n = to.to_owned();
         }
-        ExprKind::Prop { obj, .. } => {
-            if obj == from {
-                *obj = to.to_owned();
-            }
+        ExprKind::Prop { obj, .. } if obj == from => {
+            *obj = to.to_owned();
         }
         ExprKind::Unary { expr, .. } => subst_var_expr(expr, from, to),
         ExprKind::Binary { lhs, rhs, .. } => {
@@ -445,6 +441,58 @@ fn reads_block_rec(b: &Block, out: &mut Vec<Place>) {
     }
 }
 
+/// Counts AST nodes (statements and expressions) in a procedure — the
+/// size measure reported by the per-pass compile timings.
+pub fn count_nodes(proc: &Procedure) -> usize {
+    count_block(&proc.body)
+}
+
+fn count_block(b: &Block) -> usize {
+    b.stmts.iter().map(count_stmt).sum()
+}
+
+fn count_stmt(s: &Stmt) -> usize {
+    1 + match &s.kind {
+        StmtKind::VarDecl { init, .. } => init.as_ref().map_or(0, count_expr),
+        StmtKind::Assign { value, .. } => count_expr(value),
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            count_expr(cond)
+                + count_block(then_branch)
+                + else_branch.as_ref().map_or(0, count_block)
+        }
+        StmtKind::While { cond, body, .. } => count_expr(cond) + count_block(body),
+        StmtKind::Foreach(f) => f.filter.as_ref().map_or(0, count_expr) + count_block(&f.body),
+        StmtKind::InBfs(bf) => {
+            count_expr(&bf.root)
+                + count_block(&bf.body)
+                + bf.reverse_body.as_ref().map_or(0, count_block)
+        }
+        StmtKind::Return(e) => e.as_ref().map_or(0, count_expr),
+        StmtKind::Block(inner) => count_block(inner),
+    }
+}
+
+fn count_expr(e: &Expr) -> usize {
+    1 + match &e.kind {
+        ExprKind::Unary { expr, .. } => count_expr(expr),
+        ExprKind::Binary { lhs, rhs, .. } => count_expr(lhs) + count_expr(rhs),
+        ExprKind::Ternary {
+            cond,
+            then_val,
+            else_val,
+        } => count_expr(cond) + count_expr(then_val) + count_expr(else_val),
+        ExprKind::Agg(a) => {
+            a.filter.as_ref().map_or(0, count_expr) + a.body.as_ref().map_or(0, count_expr)
+        }
+        ExprKind::Call { args, .. } => args.iter().map(count_expr).sum(),
+        _ => 0,
+    }
+}
+
 /// Whether an expression contains any aggregate sub-expression.
 pub fn contains_agg(e: &Expr) -> bool {
     match &e.kind {
@@ -527,6 +575,24 @@ mod tests {
             obj: "t".into(),
             prop: "p".into()
         }));
+    }
+
+    #[test]
+    fn count_nodes_grows_with_the_program() {
+        let small = parse("Procedure f(G: Graph) { Int x = 1; }").unwrap();
+        let big = parse(
+            "Procedure f(G: Graph, p: N_P<Int>) {
+                Int x = 1 + 2;
+                Foreach (n: G.Nodes) {
+                    n.p = x;
+                }
+            }",
+        )
+        .unwrap();
+        let small_n = count_nodes(&small.procedures[0]);
+        let big_n = count_nodes(&big.procedures[0]);
+        assert!(small_n >= 2, "decl + literal: {small_n}");
+        assert!(big_n > small_n, "{big_n} vs {small_n}");
     }
 
     #[test]

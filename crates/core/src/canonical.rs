@@ -113,7 +113,7 @@ impl Check<'_> {
                     return;
                 }
                 if let Some(filter) = &f.filter {
-                    self.vertex_expr(filter, &f.iter, None, span);
+                    self.vertex_expr(filter, &f.iter, None);
                 }
                 self.vertex_block(&f.body, &f.iter);
             }
@@ -188,11 +188,11 @@ impl Check<'_> {
                         .error(span, "property declarations must be sequential");
                 }
                 if let Some(e) = init {
-                    self.vertex_expr(e, outer, None, span);
+                    self.vertex_expr(e, outer, None);
                 }
             }
             StmtKind::Assign { target, op, value } => {
-                self.vertex_expr(value, outer, None, span);
+                self.vertex_expr(value, outer, None);
                 match target {
                     Target::Scalar(name) => {
                         let is_local = false; // locals resolved below
@@ -225,7 +225,7 @@ impl Check<'_> {
                 then_branch,
                 else_branch,
             } => {
-                self.vertex_expr(cond, outer, None, span);
+                self.vertex_expr(cond, outer, None);
                 self.vertex_block(then_branch, outer);
                 if let Some(eb) = else_branch {
                     self.vertex_block(eb, outer);
@@ -244,7 +244,7 @@ impl Check<'_> {
                     return;
                 }
                 if let Some(filter) = &f.filter {
-                    self.vertex_expr(filter, outer, Some(&f.iter), span);
+                    self.vertex_expr(filter, outer, Some(&f.iter));
                 }
                 self.inner_block(&f.body, outer, &f.iter, &f.source);
             }
@@ -287,11 +287,11 @@ impl Check<'_> {
                             .error(span, "property declarations must be sequential");
                     }
                     if let Some(e) = init {
-                        self.vertex_expr(e, outer, Some(inner), span);
+                        self.vertex_expr(e, outer, Some(inner));
                     }
                 }
                 StmtKind::Assign { target, op, value } => {
-                    self.vertex_expr(value, outer, Some(inner), span);
+                    self.vertex_expr(value, outer, Some(inner));
                     match target {
                         Target::Prop { obj, .. } if obj == outer => {
                             self.diags.error(
@@ -337,7 +337,7 @@ impl Check<'_> {
                     then_branch,
                     else_branch,
                 } => {
-                    self.vertex_expr(cond, outer, Some(inner), span);
+                    self.vertex_expr(cond, outer, Some(inner));
                     self.inner_block(then_branch, outer, inner, source);
                     if let Some(eb) = else_branch {
                         self.inner_block(eb, outer, inner, source);
@@ -377,7 +377,7 @@ impl Check<'_> {
 
     /// Expressions in vertex context: aggregates must be gone; calls are
     /// degree-like only; property reads are checked by the translator.
-    fn vertex_expr(&mut self, e: &Expr, outer: &str, inner: Option<&str>, span: crate::diag::Span) {
+    fn vertex_expr(&mut self, e: &Expr, outer: &str, inner: Option<&str>) {
         match &e.kind {
             ExprKind::Agg(_) => {
                 self.diags.error(e.span, "aggregate remains after lowering");
@@ -417,19 +417,19 @@ impl Check<'_> {
                     );
                 }
             }
-            ExprKind::Unary { expr, .. } => self.vertex_expr(expr, outer, inner, span),
+            ExprKind::Unary { expr, .. } => self.vertex_expr(expr, outer, inner),
             ExprKind::Binary { lhs, rhs, .. } => {
-                self.vertex_expr(lhs, outer, inner, span);
-                self.vertex_expr(rhs, outer, inner, span);
+                self.vertex_expr(lhs, outer, inner);
+                self.vertex_expr(rhs, outer, inner);
             }
             ExprKind::Ternary {
                 cond,
                 then_val,
                 else_val,
             } => {
-                self.vertex_expr(cond, outer, inner, span);
-                self.vertex_expr(then_val, outer, inner, span);
-                self.vertex_expr(else_val, outer, inner, span);
+                self.vertex_expr(cond, outer, inner);
+                self.vertex_expr(then_val, outer, inner);
+                self.vertex_expr(else_val, outer, inner);
             }
             _ => {}
         }

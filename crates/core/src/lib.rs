@@ -42,7 +42,8 @@ pub mod translate;
 pub mod types;
 pub mod value;
 
-pub use compiler::{compile, CompileOptions, Compiled};
+pub use compiler::{compile, compile_with, CompileOptions, Compiled};
 pub use diag::{Diag, Diagnostics, Span};
+pub use report::{PassTiming, TransformReport};
 pub use types::Ty;
 pub use value::Value;

@@ -89,10 +89,7 @@ pub fn mark_combiners(program: &mut PregelProgram) {
 /// Returns whether anything merged.
 pub fn merge_states(program: &mut PregelProgram) -> bool {
     let mut changed_any = false;
-    loop {
-        let Some((a, b)) = find_mergeable(program) else {
-            break;
-        };
+    while let Some((a, b)) = find_mergeable(program) {
         do_merge(program, a, b);
         changed_any = true;
     }

@@ -115,6 +115,23 @@ impl PregelProgram {
     pub fn in_nbrs_message_bytes(&self) -> u64 {
         ENVELOPE_BYTES + Ty::Node.byte_width() + u64::from(self.needs_tag_byte())
     }
+
+    /// A coarse size measure over the state machine: one per state plus
+    /// every master/post instruction, vertex-kernel instruction and
+    /// receive step — the PIR node count the per-pass compile timings
+    /// report for `translate` and `optimize`.
+    pub fn num_instrs(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| {
+                1 + s.master.len()
+                    + s.post.len()
+                    + s.vertex.as_ref().map_or(0, |k| {
+                        k.body.len() + k.recvs.iter().map(|r| r.steps.len()).sum::<usize>()
+                    })
+            })
+            .sum()
+    }
 }
 
 /// The payload layout of one message type.

@@ -1,8 +1,11 @@
 //! Per-compilation record of which transformation and translation steps
-//! fired — the data behind the paper's Table 3.
+//! fired — the data behind the paper's Table 3 — plus per-pass wall-clock
+//! and node-count deltas (the data behind `gmc --timing` and the compiler
+//! half of a `--trace` capture).
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Duration;
 
 /// The thirteen compiler steps the paper lists in Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -79,10 +82,26 @@ impl fmt::Display for Step {
     }
 }
 
-/// The set of steps applied while compiling one procedure.
+/// Wall-clock and size record for one compiler pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassTiming {
+    /// Pass name, e.g. `"parse"` or `"canonicalize/flip"`.
+    pub pass: &'static str,
+    /// Wall-clock spent in the pass (including any re-typing it forced).
+    pub duration: Duration,
+    /// Node count going in: AST nodes up to `translate`, PIR instructions
+    /// from there on. Zero for `parse` (the input is text).
+    pub nodes_before: usize,
+    /// Node count coming out.
+    pub nodes_after: usize,
+}
+
+/// The set of steps applied while compiling one procedure, plus the
+/// per-pass timings collected along the way.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TransformReport {
     applied: BTreeSet<Step>,
+    timings: Vec<PassTiming>,
 }
 
 impl TransformReport {
@@ -104,6 +123,49 @@ impl TransformReport {
     /// All applied steps in Table 3 row order.
     pub fn steps(&self) -> impl Iterator<Item = Step> + '_ {
         Step::ALL.iter().copied().filter(|s| self.applied(*s))
+    }
+
+    /// Appends one pass's wall-clock and node-count delta.
+    pub fn record_timing(
+        &mut self,
+        pass: &'static str,
+        duration: Duration,
+        nodes_before: usize,
+        nodes_after: usize,
+    ) {
+        self.timings.push(PassTiming {
+            pass,
+            duration,
+            nodes_before,
+            nodes_after,
+        });
+    }
+
+    /// The recorded pass timings, in execution order.
+    pub fn pass_timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// Renders the per-pass table behind `gmc --timing`.
+    pub fn timing_table(&self) -> String {
+        let mut out = format!("{:<22} {:>11}  nodes\n", "pass", "time");
+        let mut total = Duration::ZERO;
+        for t in &self.timings {
+            total += t.duration;
+            out.push_str(&format!(
+                "{:<22} {:>9.1}µs  {} -> {}\n",
+                t.pass,
+                t.duration.as_secs_f64() * 1e6,
+                t.nodes_before,
+                t.nodes_after,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<22} {:>9.1}µs\n",
+            "total",
+            total.as_secs_f64() * 1e6
+        ));
+        out
     }
 }
 
@@ -134,6 +196,21 @@ mod tests {
         // Table 3 order: StateMachine before FlippingEdge.
         assert_eq!(steps, vec![Step::StateMachine, Step::FlippingEdge]);
         assert_eq!(r.to_string(), "State Machine Const., Flipping Edge");
+    }
+
+    #[test]
+    fn timing_table_lists_passes_in_order() {
+        let mut r = TransformReport::new();
+        r.record_timing("parse", Duration::from_micros(120), 0, 40);
+        r.record_timing("translate", Duration::from_micros(80), 40, 25);
+        assert_eq!(r.pass_timings().len(), 2);
+        assert_eq!(r.pass_timings()[0].pass, "parse");
+        let table = r.timing_table();
+        assert!(table.contains("parse"), "{table}");
+        assert!(table.contains("40 -> 25"), "{table}");
+        assert!(table.contains("total"), "{table}");
+        // The table lists passes in execution order.
+        assert!(table.find("parse").unwrap() < table.find("translate").unwrap());
     }
 
     #[test]

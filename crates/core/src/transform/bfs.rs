@@ -83,57 +83,57 @@ fn expand_bfs(mut bfs: BfsStmt, graph: &str, names: &mut NameGen) -> Vec<Stmt> {
     let expand_iter = names.fresh("_bt");
     let root_var = names.fresh("_rt");
 
-    let mut out = Vec::new();
-
-    // Node_Prop<Int> _lev;
-    out.push(Stmt::synth(StmtKind::VarDecl {
-        ty: Ty::NodeProp(Box::new(Ty::Int)),
-        name: lev.clone(),
-        init: None,
-    }));
-    // Bool _fin = False;
-    out.push(Stmt::synth(StmtKind::VarDecl {
-        ty: Ty::Bool,
-        name: fin.clone(),
-        init: Some(Expr::bool(false)),
-    }));
-    // Int _cur = -1;
-    out.push(Stmt::synth(StmtKind::VarDecl {
-        ty: Ty::Int,
-        name: cur.clone(),
-        init: Some(Expr::int(-1)),
-    }));
-    // Foreach (_bi: G.Nodes) { _bi._lev = INF; }
-    out.push(Stmt::synth(StmtKind::Foreach(Box::new(ForeachStmt {
-        iter: init_iter.clone(),
-        source: IterSource::Nodes {
-            graph: graph.to_owned(),
-        },
-        filter: None,
-        body: Block::of(vec![Stmt::synth(StmtKind::Assign {
+    let mut out = vec![
+        // Node_Prop<Int> _lev;
+        Stmt::synth(StmtKind::VarDecl {
+            ty: Ty::NodeProp(Box::new(Ty::Int)),
+            name: lev.clone(),
+            init: None,
+        }),
+        // Bool _fin = False;
+        Stmt::synth(StmtKind::VarDecl {
+            ty: Ty::Bool,
+            name: fin.clone(),
+            init: Some(Expr::bool(false)),
+        }),
+        // Int _cur = -1;
+        Stmt::synth(StmtKind::VarDecl {
+            ty: Ty::Int,
+            name: cur.clone(),
+            init: Some(Expr::int(-1)),
+        }),
+        // Foreach (_bi: G.Nodes) { _bi._lev = INF; }
+        Stmt::synth(StmtKind::Foreach(Box::new(ForeachStmt {
+            iter: init_iter.clone(),
+            source: IterSource::Nodes {
+                graph: graph.to_owned(),
+            },
+            filter: None,
+            body: Block::of(vec![Stmt::synth(StmtKind::Assign {
+                target: Target::Prop {
+                    obj: init_iter,
+                    prop: lev.clone(),
+                },
+                op: AssignOp::Assign,
+                value: Expr::synth(ExprKind::Inf { negative: false }),
+            })]),
+            parallel: true,
+        }))),
+        // Node _rt = <root>;  _rt._lev = 0;
+        Stmt::synth(StmtKind::VarDecl {
+            ty: Ty::Node,
+            name: root_var.clone(),
+            init: Some(bfs.root.clone()),
+        }),
+        Stmt::synth(StmtKind::Assign {
             target: Target::Prop {
-                obj: init_iter,
+                obj: root_var,
                 prop: lev.clone(),
             },
             op: AssignOp::Assign,
-            value: Expr::synth(ExprKind::Inf { negative: false }),
-        })]),
-        parallel: true,
-    }))));
-    // Node _rt = <root>;  _rt._lev = 0;
-    out.push(Stmt::synth(StmtKind::VarDecl {
-        ty: Ty::Node,
-        name: root_var.clone(),
-        init: Some(bfs.root.clone()),
-    }));
-    out.push(Stmt::synth(StmtKind::Assign {
-        target: Target::Prop {
-            obj: root_var,
-            prop: lev.clone(),
-        },
-        op: AssignOp::Assign,
-        value: Expr::int(0),
-    }));
+            value: Expr::int(0),
+        }),
+    ];
 
     // Rewrite Up/DownNbrs in the user bodies.
     rewrite_updown_block(&mut bfs.body, &lev, &cur);

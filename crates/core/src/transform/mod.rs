@@ -26,11 +26,14 @@ pub mod flip;
 pub mod randacc;
 
 use crate::ast::Procedure;
+use crate::astutil::count_nodes;
 use crate::diag::Diagnostics;
 use crate::report::{Step, TransformReport};
 use crate::sema::{self, ProcInfo};
+use std::time::Instant;
 
-/// Runs the full §4.1 pipeline over `proc`, recording applied steps.
+/// Runs the full §4.1 pipeline over `proc`, recording applied steps and
+/// per-pass wall-clock + AST node-count deltas.
 ///
 /// On success the procedure is in Pregel-canonical form (up to the checks
 /// in [`crate::canonical`]) and fully re-typed; the returned [`ProcInfo`]
@@ -44,28 +47,61 @@ pub fn canonicalize(
     proc: &mut Procedure,
     report: &mut TransformReport,
 ) -> Result<ProcInfo, Diagnostics> {
-    let mut info = sema::check_procedure(proc)?;
+    let mut nodes = count_nodes(proc);
 
+    let started = Instant::now();
+    let mut info = sema::check_procedure(proc)?;
+    report.record_timing("canonicalize/sema", started.elapsed(), nodes, nodes);
+
+    // Each pass's timing includes the re-typing it forced.
+    let started = Instant::now();
     if bfs::lower_bfs(proc, &info) {
         report.record(Step::BfsTraversal);
         info = sema::check_procedure(proc)?;
     }
+    nodes = finish_pass(report, "canonicalize/bfs", started, nodes, proc);
+
+    let started = Instant::now();
     if agg::desugar_aggregates(proc, &info) {
         // Aggregate desugaring is bookkeeping for other steps; the paper
         // folds it under loop dissection when it creates nested loops.
         info = sema::check_procedure(proc)?;
     }
+    nodes = finish_pass(report, "canonicalize/agg", started, nodes, proc);
+
+    let started = Instant::now();
     if randacc::lower_random_access(proc, &info) {
         report.record(Step::RandomAccessSeq);
         info = sema::check_procedure(proc)?;
     }
+    nodes = finish_pass(report, "canonicalize/randacc", started, nodes, proc);
+
+    let started = Instant::now();
     if dissect::dissect_loops(proc, &info) {
         report.record(Step::DissectingLoops);
         info = sema::check_procedure(proc)?;
     }
+    nodes = finish_pass(report, "canonicalize/dissect", started, nodes, proc);
+
+    let started = Instant::now();
     if flip::flip_edges(proc, &info) {
         report.record(Step::FlippingEdge);
         info = sema::check_procedure(proc)?;
     }
+    finish_pass(report, "canonicalize/flip", started, nodes, proc);
+
     Ok(info)
+}
+
+/// Records one pass's timing and returns the post-pass node count.
+fn finish_pass(
+    report: &mut TransformReport,
+    pass: &'static str,
+    started: Instant,
+    nodes_before: usize,
+    proc: &Procedure,
+) -> usize {
+    let nodes_after = count_nodes(proc);
+    report.record_timing(pass, started.elapsed(), nodes_before, nodes_after);
+    nodes_after
 }

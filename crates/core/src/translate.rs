@@ -830,7 +830,7 @@ impl Tx<'_> {
             along_out,
         };
         let mut steps: Vec<RecvStep> = Vec::new();
-        self.inner_body_to_recv(&inner.body, &mut pc, None, &mut steps, span);
+        self.inner_body_to_recv(&inner.body, &mut pc, None, &mut steps);
         let guard = pc.rewrite_conjuncts(recv_conds);
         self.diags.errors.extend(pc.diags.errors.clone());
 
@@ -876,7 +876,6 @@ impl Tx<'_> {
         pc: &mut PayloadCx,
         guard: Option<&Expr>,
         steps: &mut Vec<RecvStep>,
-        span: Span,
     ) {
         for stmt in &block.stmts {
             match &stmt.kind {
@@ -941,7 +940,7 @@ impl Tx<'_> {
                         Some(g) => Expr::binary(BinOp::And, g.clone(), cond.clone()),
                         None => cond.clone(),
                     };
-                    self.inner_body_to_recv(then_branch, pc, Some(&then_guard), steps, span);
+                    self.inner_body_to_recv(then_branch, pc, Some(&then_guard), steps);
                     if let Some(eb) = else_branch {
                         let not_cond = Expr::typed(
                             ExprKind::Unary {
@@ -954,7 +953,7 @@ impl Tx<'_> {
                             Some(g) => Expr::binary(BinOp::And, g.clone(), not_cond),
                             None => not_cond,
                         };
-                        self.inner_body_to_recv(eb, pc, Some(&else_guard), steps, span);
+                        self.inner_body_to_recv(eb, pc, Some(&else_guard), steps);
                     }
                 }
                 other => {
@@ -1326,10 +1325,8 @@ fn fold_instrs(kernel: &VertexKernel) -> Vec<MInstr> {
     fn scan_instrs(instrs: &[VInstr], folds: &mut Vec<(String, AssignOp)>) {
         for i in instrs {
             match i {
-                VInstr::ReduceGlobal { name, op, .. } => {
-                    if !folds.iter().any(|(n, _)| n == name) {
-                        folds.push((name.clone(), *op));
-                    }
+                VInstr::ReduceGlobal { name, op, .. } if !folds.iter().any(|(n, _)| n == name) => {
+                    folds.push((name.clone(), *op));
                 }
                 VInstr::If {
                     then_branch,
@@ -1421,10 +1418,8 @@ fn mentions(e: &Expr, var: &str) -> bool {
 
 fn collect_global_reads(e: &Expr, globals: &HashSet<String>, out: &mut Vec<String>) {
     match &e.kind {
-        ExprKind::Var(n) => {
-            if globals.contains(n) {
-                out.push(n.clone());
-            }
+        ExprKind::Var(n) if globals.contains(n) => {
+            out.push(n.clone());
         }
         ExprKind::Unary { expr, .. } => collect_global_reads(expr, globals, out),
         ExprKind::Binary { lhs, rhs, .. } => {

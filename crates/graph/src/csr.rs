@@ -296,11 +296,11 @@ impl GraphBuilder {
         for src in 0..n {
             let lo = out_offsets[src] as usize;
             let hi = out_offsets[src + 1] as usize;
-            for eid in lo..hi {
-                let dst = out_targets[eid] as usize;
+            for (off, &dst) in out_targets[lo..hi].iter().enumerate() {
+                let dst = dst as usize;
                 let slot = cursor[dst] as usize;
                 in_sources[slot] = src as u32;
-                in_edge_ids[slot] = eid as u32;
+                in_edge_ids[slot] = (lo + off) as u32;
                 cursor[dst] += 1;
             }
         }

@@ -1,22 +1,30 @@
 //! `gmc` — the Green-Marl → Pregel compiler driver.
 //!
 //! ```text
-//! gmc compile <file.gm> [--emit java|canonical|states] [--no-opt]
+//! gmc compile <file.gm> [--emit java|canonical|states] [--no-opt] [--timing]
+//!             [--trace <path>] [--trace-format jsonl|chrome]
 //! gmc run <file.gm> --graph <edges.txt> [--arg name=value]...
-//!         [--seed N] [--workers N] [--print prop]
+//!         [--seed N] [--workers N] [--print prop] [--steps] [--timing]
+//!         [--trace <path>] [--trace-format jsonl|chrome]
 //! ```
 //!
-//! `--trace` prints the per-superstep execution of the generated state
-//! machine. `run` loads a whitespace edge list (`src dst [weight]`); if the
-//! procedure declares edge-property parameters, the first one is fed from
-//! the weight column. Scalar arguments are given as `--arg K=25`,
-//! `--arg d=0.85`, `--arg root=n:0`, `--arg flag=true`. Node properties
-//! not supplied start at their type's default.
+//! `--trace <path>` writes a structured event log of the compiler passes
+//! (and, for `run`, the per-worker superstep execution) in the chosen
+//! format — `jsonl` (the default; one event per line) or `chrome` (Chrome
+//! Trace Event Format, loadable in `chrome://tracing` or Perfetto).
+//! `--timing` prints the per-pass compile-time table; `--steps` prints the
+//! per-superstep execution of the generated state machine. `run` loads a
+//! whitespace edge list (`src dst [weight]`); if the procedure declares
+//! edge-property parameters, the first one is fed from the weight column.
+//! Scalar arguments are given as `--arg K=25`, `--arg d=0.85`,
+//! `--arg root=n:0`, `--arg flag=true`. Node properties not supplied start
+//! at their type's default.
 
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
-use gm_core::{compile, CompileOptions};
+use gm_core::{compile_with, CompileOptions};
 use gm_interp::run_compiled;
+use gm_obs::{TraceFormat, Tracer};
 use gm_pregel::PregelConfig;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -28,21 +36,38 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         _ => {
             eprintln!("usage: gmc compile <file.gm> [--emit java|canonical|states] [--no-opt]");
+            eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
             eprintln!("       gmc run <file.gm> --graph <edges.txt> [--arg name=value]...");
-            eprintln!("               [--seed N] [--workers N] [--print prop]");
+            eprintln!("               [--seed N] [--workers N] [--print prop] [--steps]");
+            eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn load_and_compile(path: &str, optimize: bool) -> Result<gm_core::Compiled, String> {
+fn load_and_compile(
+    path: &str,
+    optimize: bool,
+    tracer: Option<&Tracer>,
+) -> Result<gm_core::Compiled, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let options = if optimize {
         CompileOptions::default()
     } else {
         CompileOptions::unoptimized()
     };
-    compile(&src, &options).map_err(|d| format!("compilation failed:\n{}", d.render(&src)))
+    compile_with(&src, &options, tracer)
+        .map_err(|d| format!("compilation failed:\n{}", d.render(&src)))
+}
+
+/// Builds the `--trace` tracer, if requested.
+fn open_tracer(path: Option<&str>, format: TraceFormat) -> Result<Option<Tracer>, String> {
+    match path {
+        None => Ok(None),
+        Some(p) => Tracer::to_file(p, format)
+            .map(Some)
+            .map_err(|e| format!("cannot open trace file {p}: {e}")),
+    }
 }
 
 fn cmd_compile(args: &[String]) -> ExitCode {
@@ -52,6 +77,9 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     };
     let mut emit = "states";
     let mut optimize = true;
+    let mut timing = false;
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::Jsonl;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -63,13 +91,39 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 }
             },
             "--no-opt" => optimize = false,
+            "--timing" => timing = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("gmc compile: --trace needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-format" => match it.next().map(|f| f.parse()) {
+                Some(Ok(f)) => trace_format = f,
+                Some(Err(e)) => {
+                    eprintln!("gmc compile: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("gmc compile: --trace-format needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("gmc compile: unknown flag {other}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    let compiled = match load_and_compile(path, optimize) {
+    let tracer = match open_tracer(trace_path.as_deref(), trace_format) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gmc compile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match load_and_compile(path, optimize, tracer.as_ref()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -85,6 +139,15 @@ fn cmd_compile(args: &[String]) -> ExitCode {
         }
         other => {
             eprintln!("gmc compile: unknown --emit kind {other} (java|canonical|states)");
+            return ExitCode::FAILURE;
+        }
+    }
+    if timing {
+        print!("{}", compiled.report.timing_table());
+    }
+    if let Some(t) = &tracer {
+        if let Err(e) = t.finish() {
+            eprintln!("gmc compile: cannot finish trace: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -125,7 +188,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut seed = 0u64;
     let mut workers = 0usize;
     let mut print_prop: Option<String> = None;
-    let mut trace = false;
+    let mut steps = false;
+    let mut timing = false;
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = TraceFormat::Jsonl;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut take = |flag: &str| -> Result<String, String> {
@@ -147,7 +213,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         .map_err(|e| format!("bad workers: {e}"))?
                 }
                 "--print" => print_prop = Some(take("--print")?),
-                "--trace" => trace = true,
+                "--steps" => steps = true,
+                "--timing" => timing = true,
+                "--trace" => trace_path = Some(take("--trace")?),
+                "--trace-format" => {
+                    trace_format = take("--trace-format")?.parse()?;
+                }
                 "--arg" => {
                     let kv = take("--arg")?;
                     let (k, v) = kv
@@ -169,13 +240,23 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let compiled = match load_and_compile(path, true) {
+    let tracer = match open_tracer(trace_path.as_deref(), trace_format) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("gmc run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match load_and_compile(path, true, tracer.as_ref()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    if timing {
+        print!("{}", compiled.report.timing_table());
+    }
     let loaded = match gm_graph::io::read_edge_list_file(&graph_path) {
         Ok(l) => l,
         Err(e) => {
@@ -195,11 +276,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
         });
     }
 
-    let config = if workers == 0 {
+    let mut config = if workers == 0 {
         PregelConfig::default()
     } else {
         PregelConfig::with_workers(workers)
     };
+    if let Some(t) = &tracer {
+        config = config.with_tracer(t.clone());
+    }
     let start = std::time::Instant::now();
     let out = match run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config) {
         Ok(o) => o,
@@ -222,7 +306,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(ret) = &out.ret {
         println!("return value: {ret}");
     }
-    if trace {
+    if steps {
         println!(
             "{:>9} {:>6} {:>10} {:>10} {:>12}",
             "superstep", "state", "active", "messages", "bytes"
@@ -232,6 +316,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 "{:>9} {:>6} {:>10} {:>10} {:>12}",
                 i, t.state, t.active_vertices, t.messages_sent, t.message_bytes
             );
+        }
+    }
+    if let Some(t) = &tracer {
+        if let Err(e) = t.finish() {
+            eprintln!("gmc run: cannot finish trace: {e}");
+            return ExitCode::FAILURE;
         }
     }
     if let Some(prop) = print_prop {

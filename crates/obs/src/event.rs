@@ -1,0 +1,271 @@
+//! The structured event model shared by the compiler and the runtime.
+//!
+//! Everything observable is an [`Event`]: a named, categorized record with
+//! a timestamp (microseconds since the trace epoch), an optional duration
+//! (spans), a logical thread (`tid`: 0 is the coordinating thread, worker
+//! `w` is `w + 1`), and a small bag of numeric/string arguments. The model
+//! maps 1:1 onto the Chrome Trace Event Format so the exporter is trivial,
+//! but the JSONL and in-memory sinks see the same records.
+
+use crate::json::Json;
+use std::borrow::Cow;
+
+/// Event category — the Chrome `cat` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Compiler pipeline events (parse, sema, transforms, translate, …).
+    Compiler,
+    /// BSP runtime events (supersteps, phases, exchange, …).
+    Runtime,
+    /// Harness events (graph generation, bench setup).
+    Bench,
+}
+
+impl Category {
+    /// The string used in exported traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Compiler => "compiler",
+            Category::Runtime => "runtime",
+            Category::Bench => "bench",
+        }
+    }
+}
+
+/// What kind of record this is — the Chrome `ph` (phase) field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A complete span: `ts` start, `dur` length (Chrome `ph: "X"`).
+    Span {
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+    /// A point-in-time marker (Chrome `ph: "i"`).
+    Instant,
+    /// A sampled counter (Chrome `ph: "C"`); args carry the series.
+    Counter,
+}
+
+/// One argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(Cow<'static, str>),
+}
+
+impl Field {
+    /// Converts to the JSON value used by the exporters.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Field::U64(v) => Json::UInt(*v),
+            Field::I64(v) => Json::Int(*v),
+            Field::F64(v) => Json::Num(*v),
+            Field::Bool(v) => Json::Bool(*v),
+            Field::Str(v) => Json::Str(v.to_string()),
+        }
+    }
+
+    /// Numeric content as `u64`, if applicable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Field::U64(v) => Some(*v),
+            Field::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+
+impl From<u32> for Field {
+    fn from(v: u32) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I64(v)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+impl From<&'static str> for Field {
+    fn from(v: &'static str) -> Self {
+        Field::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(Cow::Owned(v))
+    }
+}
+
+/// A single trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event name (e.g. `"compute"`, `"superstep"`, `"pass/parse"`).
+    pub name: Cow<'static, str>,
+    /// Category, for filtering.
+    pub cat: Category,
+    /// Span / instant / counter.
+    pub kind: Kind,
+    /// Start (or sample) time, microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Logical thread: 0 = coordinator, worker `w` = `w + 1`.
+    pub tid: u32,
+    /// Named arguments (counters, sizes, labels).
+    pub args: Vec<(&'static str, Field)>,
+}
+
+impl Event {
+    /// Looks up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&Field> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Span duration, if this is a span.
+    pub fn dur_us(&self) -> Option<u64> {
+        match self.kind {
+            Kind::Span { dur_us } => Some(dur_us),
+            _ => None,
+        }
+    }
+
+    /// The event as one JSONL record (flat object, `kind` spelled out).
+    pub fn to_jsonl(&self) -> Json {
+        let mut members = vec![
+            ("name".to_owned(), Json::Str(self.name.to_string())),
+            ("cat".to_owned(), Json::Str(self.cat.as_str().to_owned())),
+            ("ts_us".to_owned(), Json::UInt(self.ts_us)),
+            ("tid".to_owned(), Json::UInt(self.tid as u64)),
+        ];
+        match self.kind {
+            Kind::Span { dur_us } => {
+                members.push(("kind".to_owned(), Json::Str("span".to_owned())));
+                members.push(("dur_us".to_owned(), Json::UInt(dur_us)));
+            }
+            Kind::Instant => members.push(("kind".to_owned(), Json::Str("instant".to_owned()))),
+            Kind::Counter => members.push(("kind".to_owned(), Json::Str("counter".to_owned()))),
+        }
+        if !self.args.is_empty() {
+            members.push((
+                "args".to_owned(),
+                Json::obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_owned(), v.to_json())),
+                ),
+            ));
+        }
+        Json::obj(members)
+    }
+
+    /// The event in Chrome Trace Event Format (one element of the
+    /// `traceEvents` array). `pid` is fixed at 0: the whole system is one
+    /// process, and workers are rendered as its threads.
+    pub fn to_chrome(&self) -> Json {
+        let mut members = vec![
+            ("name".to_owned(), Json::Str(self.name.to_string())),
+            ("cat".to_owned(), Json::Str(self.cat.as_str().to_owned())),
+            ("ts".to_owned(), Json::UInt(self.ts_us)),
+            ("pid".to_owned(), Json::UInt(0)),
+            ("tid".to_owned(), Json::UInt(self.tid as u64)),
+        ];
+        match self.kind {
+            Kind::Span { dur_us } => {
+                members.push(("ph".to_owned(), Json::Str("X".to_owned())));
+                members.push(("dur".to_owned(), Json::UInt(dur_us)));
+            }
+            Kind::Instant => {
+                members.push(("ph".to_owned(), Json::Str("i".to_owned())));
+                // Scope: thread-local instant.
+                members.push(("s".to_owned(), Json::Str("t".to_owned())));
+            }
+            Kind::Counter => {
+                members.push(("ph".to_owned(), Json::Str("C".to_owned())));
+            }
+        }
+        if !self.args.is_empty() {
+            members.push((
+                "args".to_owned(),
+                Json::obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| ((*k).to_owned(), v.to_json())),
+                ),
+            ));
+        }
+        Json::obj(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_exports_to_both_formats() {
+        let ev = Event {
+            name: Cow::Borrowed("compute"),
+            cat: Category::Runtime,
+            kind: Kind::Span { dur_us: 250 },
+            ts_us: 1000,
+            tid: 2,
+            args: vec![("messages", Field::U64(7)), ("skew", Field::F64(1.5))],
+        };
+        let line = ev.to_jsonl();
+        assert_eq!(line.get("kind").unwrap().as_str(), Some("span"));
+        assert_eq!(line.get("dur_us").unwrap().as_u64(), Some(250));
+        assert_eq!(
+            line.get("args").unwrap().get("messages").unwrap().as_u64(),
+            Some(7)
+        );
+        let chrome = ev.to_chrome();
+        assert_eq!(chrome.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(chrome.get("ts").unwrap().as_u64(), Some(1000));
+        assert_eq!(chrome.get("dur").unwrap().as_u64(), Some(250));
+        assert_eq!(chrome.get("tid").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn instant_and_counter_phases() {
+        let mut ev = Event {
+            name: Cow::Borrowed("halt"),
+            cat: Category::Runtime,
+            kind: Kind::Instant,
+            ts_us: 5,
+            tid: 0,
+            args: vec![],
+        };
+        assert_eq!(ev.to_chrome().get("ph").unwrap().as_str(), Some("i"));
+        ev.kind = Kind::Counter;
+        assert_eq!(ev.to_chrome().get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(ev.dur_us(), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! `gm-obs` — structured tracing and metrics export for the Green-Marl →
+//! Pregel system.
+//!
+//! The paper's evaluation is a set of *measurements* (timesteps, network
+//! I/O, run-time split per phase); this crate is the layer that makes those
+//! measurements observable end-to-end instead of reachable only through
+//! ad-hoc prints. It is deliberately **zero-dependency** and cheap enough
+//! to leave compiled in: instrumented code holds an `Option<`[`Tracer`]`>`
+//! and the disabled path is one branch.
+//!
+//! * [`Event`] — the structured record: span / instant / counter, with a
+//!   category ([`Category::Compiler`] / [`Category::Runtime`] /
+//!   [`Category::Bench`]), a logical thread id (0 = coordinator, worker
+//!   `w` = `w + 1`) and named arguments.
+//! * [`TraceSink`] — where events go. Shipped sinks: [`MemorySink`]
+//!   (tests), [`JsonlSink`] (streaming event log), [`ChromeSink`]
+//!   (Chrome Trace Event Format — load the file in `chrome://tracing` or
+//!   <https://ui.perfetto.dev> to see superstep × worker timelines), and
+//!   [`TeeSink`] (fan-out).
+//! * [`Tracer`] — the cloneable handle instrumented code records through.
+//! * [`json`] — the minimal JSON writer/parser backing the exporters (and
+//!   `Metrics::to_json` in `gm-pregel`).
+//!
+//! # Example
+//!
+//! ```
+//! use gm_obs::{Category, Tracer};
+//!
+//! let (tracer, sink) = Tracer::in_memory();
+//! let start = tracer.now_us();
+//! // ... do work ...
+//! tracer.span("superstep", Category::Runtime, 0, start, vec![
+//!     ("active", 42u64.into()),
+//! ]);
+//! assert_eq!(sink.len(), 1);
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod sink;
+pub mod tracer;
+
+pub use event::{Category, Event, Field, Kind};
+pub use sink::{thread_name, ChromeSink, JsonlSink, MemorySink, TeeSink, TraceSink};
+pub use tracer::{TraceFormat, Tracer};

@@ -1,0 +1,330 @@
+//! Trace sinks: where events go.
+//!
+//! Three sinks ship with the crate — [`MemorySink`] for tests and
+//! programmatic inspection, [`JsonlSink`] for streaming line-delimited
+//! event logs, and [`ChromeSink`] for Chrome Trace Event Format files that
+//! load directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)
+//! — plus [`TeeSink`] to fan one event stream into several sinks.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A destination for trace events. Implementations must be `Send + Sync`:
+/// runtime workers record from their own threads.
+pub trait TraceSink: Send + Sync {
+    /// Records one event. Must be cheap; sinks buffer internally.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output and finalizes the format (e.g. closes the
+    /// Chrome JSON array). Called once; recording after `finish` is a
+    /// logic error that sinks may ignore.
+    fn finish(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects events in memory; the test sink.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+/// Streams events as line-delimited JSON (one object per line).
+pub struct JsonlSink<W: Write + Send> {
+    out: Mutex<BufWriter<W>>,
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_jsonl().to_string();
+        line.push('\n');
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // Trace output is best-effort; an exporter error must never take
+        // down the computation being traced.
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        self.out.lock().unwrap_or_else(|e| e.into_inner()).flush()
+    }
+}
+
+/// Streams events in Chrome Trace Event Format: a JSON object with a
+/// `traceEvents` array, understood by `chrome://tracing` and Perfetto.
+///
+/// Thread-name metadata events (`ph: "M"`) are emitted the first time each
+/// `tid` appears, so timelines render as "coordinator" / "worker N" instead
+/// of bare numbers.
+pub struct ChromeSink<W: Write + Send> {
+    state: Mutex<ChromeState<W>>,
+}
+
+struct ChromeState<W: Write> {
+    out: BufWriter<W>,
+    wrote_any: bool,
+    named_tids: Vec<u32>,
+}
+
+impl ChromeSink<File> {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> ChromeSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        ChromeSink {
+            state: Mutex::new(ChromeState {
+                out: BufWriter::new(writer),
+                wrote_any: false,
+                named_tids: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// The display name for a logical thread id.
+pub fn thread_name(tid: u32) -> String {
+    if tid == 0 {
+        "coordinator".to_owned()
+    } else {
+        format!("worker {}", tid - 1)
+    }
+}
+
+impl<W: Write + Send> ChromeState<W> {
+    fn write_element(&mut self, json: &str) {
+        let sep: &[u8] = if self.wrote_any {
+            b",\n"
+        } else {
+            b"{\"traceEvents\":[\n"
+        };
+        let _ = self.out.write_all(sep);
+        let _ = self.out.write_all(json.as_bytes());
+        self.wrote_any = true;
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeSink<W> {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.named_tids.contains(&event.tid) {
+            state.named_tids.push(event.tid);
+            let meta = format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                event.tid,
+                thread_name(event.tid)
+            );
+            state.write_element(&meta);
+        }
+        let json = event.to_chrome().to_string();
+        state.write_element(&json);
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !state.wrote_any {
+            state.out.write_all(b"{\"traceEvents\":[")?;
+            state.wrote_any = true;
+        }
+        state.out.write_all(b"\n]}\n")?;
+        state.out.flush()
+    }
+}
+
+/// Fans every event into several sinks (e.g. JSONL and Chrome at once).
+pub struct TeeSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// Builds a tee over `sinks`.
+    pub fn new(sinks: Vec<Box<dyn TraceSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        let mut result = Ok(());
+        for sink in &self.sinks {
+            if let Err(e) = sink.finish() {
+                result = Err(e);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, Kind};
+    use crate::json;
+    use std::borrow::Cow;
+    use std::sync::Arc;
+
+    fn ev(name: &'static str, tid: u32, ts: u64, dur: u64) -> Event {
+        Event {
+            name: Cow::Borrowed(name),
+            cat: Category::Runtime,
+            kind: Kind::Span { dur_us: dur },
+            ts_us: ts,
+            tid,
+            args: vec![],
+        }
+    }
+
+    /// A sink wrapping a shared buffer so tests can read back what was
+    /// streamed.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&ev("a", 0, 1, 2));
+        sink.record(&ev("b", 1, 3, 4));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[1].name, "b");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::new(SharedBuf(buf.clone()));
+        sink.record(&ev("a", 0, 1, 2));
+        sink.record(&ev("b", 2, 3, 4));
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = json::parse(line).unwrap();
+            assert!(v.get("name").is_some());
+            assert_eq!(v.get("kind").unwrap().as_str(), Some("span"));
+        }
+    }
+
+    #[test]
+    fn chrome_sink_emits_valid_trace_json_with_thread_names() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = ChromeSink::new(SharedBuf(buf.clone()));
+        sink.record(&ev("compute", 1, 10, 5));
+        sink.record(&ev("compute", 1, 20, 5));
+        sink.record(&ev("master", 0, 0, 2));
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 3 spans + 2 thread_name metadata records (tids 1 and 0).
+        assert_eq!(events.len(), 5);
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(
+            metas[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("worker 0")
+        );
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_still_valid() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = ChromeSink::new(SharedBuf(buf.clone()));
+        sink.finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let m1 = Arc::new(MemorySink::new());
+        let m2 = Arc::new(MemorySink::new());
+        struct Fwd(Arc<MemorySink>);
+        impl TraceSink for Fwd {
+            fn record(&self, event: &Event) {
+                self.0.record(event);
+            }
+        }
+        let tee = TeeSink::new(vec![Box::new(Fwd(m1.clone())), Box::new(Fwd(m2.clone()))]);
+        tee.record(&ev("x", 0, 0, 0));
+        tee.finish().unwrap();
+        assert_eq!(m1.len(), 1);
+        assert_eq!(m2.len(), 1);
+    }
+}

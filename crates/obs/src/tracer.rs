@@ -1,0 +1,235 @@
+//! The [`Tracer`] handle: a cheaply-cloneable front door to a sink.
+//!
+//! A `Tracer` pairs a trace **epoch** (the `Instant` all timestamps are
+//! relative to) with a shared [`TraceSink`]. Instrumented code holds an
+//! `Option<Tracer>`; the disabled path is a single `is_none()` branch, so
+//! tracing costs nothing measurable when off (the `message_exchange`
+//! Criterion bench guards this — see EXPERIMENTS.md).
+
+use crate::event::{Category, Event, Field, Kind};
+use crate::sink::{ChromeSink, JsonlSink, MemorySink, TeeSink, TraceSink};
+use std::borrow::Cow;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// On-disk trace formats selectable from the CLI (`--trace-format`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Line-delimited JSON, one event per line.
+    #[default]
+    Jsonl,
+    /// Chrome Trace Event Format (`chrome://tracing`, Perfetto).
+    Chrome,
+}
+
+impl std::str::FromStr for TraceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" => Ok(TraceFormat::Jsonl),
+            "chrome" => Ok(TraceFormat::Chrome),
+            other => Err(format!("unknown trace format {other:?} (jsonl|chrome)")),
+        }
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    sink: Arc<dyn TraceSink>,
+}
+
+/// A handle for emitting trace events. Clones share the sink and epoch.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer over an arbitrary sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                sink,
+            }),
+        }
+    }
+
+    /// A tracer collecting into memory; returns the sink for inspection.
+    pub fn in_memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (Self::new(sink.clone()), sink)
+    }
+
+    /// A tracer streaming to `path` in the given format.
+    pub fn to_file(path: impl AsRef<Path>, format: TraceFormat) -> io::Result<Self> {
+        let sink: Arc<dyn TraceSink> = match format {
+            TraceFormat::Jsonl => Arc::new(JsonlSink::create(path)?),
+            TraceFormat::Chrome => Arc::new(ChromeSink::create(path)?),
+        };
+        Ok(Self::new(sink))
+    }
+
+    /// A tracer fanning into several `(path, format)` outputs at once.
+    pub fn to_files<P: AsRef<Path>>(outputs: &[(P, TraceFormat)]) -> io::Result<Self> {
+        let mut sinks: Vec<Box<dyn TraceSink>> = Vec::with_capacity(outputs.len());
+        for (path, format) in outputs {
+            sinks.push(match format {
+                TraceFormat::Jsonl => Box::new(JsonlSink::create(path)?),
+                TraceFormat::Chrome => Box::new(ChromeSink::create(path)?),
+            });
+        }
+        Ok(Self::new(Arc::new(TeeSink::new(sinks))))
+    }
+
+    /// Microseconds since the trace epoch.
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a raw event.
+    pub fn emit(&self, event: Event) {
+        self.inner.sink.record(&event);
+    }
+
+    /// Records a complete span that started at `start_us` and ends now.
+    pub fn span(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: Category,
+        tid: u32,
+        start_us: u64,
+        args: Vec<(&'static str, Field)>,
+    ) {
+        let now = self.now_us();
+        self.emit(Event {
+            name: name.into(),
+            cat,
+            kind: Kind::Span {
+                dur_us: now.saturating_sub(start_us),
+            },
+            ts_us: start_us,
+            tid,
+            args,
+        });
+    }
+
+    /// Records a span with an explicit duration (for re-emitting
+    /// measurements taken elsewhere, e.g. inside worker threads or the
+    /// compiler's pass timings).
+    pub fn span_at(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: Category,
+        tid: u32,
+        start_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, Field)>,
+    ) {
+        self.emit(Event {
+            name: name.into(),
+            cat,
+            kind: Kind::Span { dur_us },
+            ts_us: start_us,
+            tid,
+            args,
+        });
+    }
+
+    /// Records a point-in-time marker.
+    pub fn instant(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: Category,
+        tid: u32,
+        args: Vec<(&'static str, Field)>,
+    ) {
+        let now = self.now_us();
+        self.emit(Event {
+            name: name.into(),
+            cat,
+            kind: Kind::Instant,
+            ts_us: now,
+            tid,
+            args,
+        });
+    }
+
+    /// Records a counter sample; each arg becomes a series.
+    pub fn counter(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        cat: Category,
+        args: Vec<(&'static str, Field)>,
+    ) {
+        let now = self.now_us();
+        self.emit(Event {
+            name: name.into(),
+            cat,
+            kind: Kind::Counter,
+            ts_us: now,
+            tid: 0,
+            args,
+        });
+    }
+
+    /// Flushes and finalizes the underlying sink. Call once, after the
+    /// last event; returns any I/O error from the exporter.
+    pub fn finish(&self) -> io::Result<()> {
+        self.inner.sink.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_counters_reach_the_sink() {
+        let (tracer, sink) = Tracer::in_memory();
+        let t0 = tracer.now_us();
+        tracer.span(
+            "compute",
+            Category::Runtime,
+            1,
+            t0,
+            vec![("n", 3u64.into())],
+        );
+        tracer.counter("active", Category::Runtime, vec![("active", 9u64.into())]);
+        tracer.instant("halt", Category::Runtime, 0, vec![]);
+        tracer.finish().unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "compute");
+        assert!(events[0].dur_us().is_some());
+        assert_eq!(events[1].arg("active").and_then(|f| f.as_u64()), Some(9));
+        assert_eq!(events[2].kind, Kind::Instant);
+    }
+
+    #[test]
+    fn clones_share_the_sink_and_epoch() {
+        let (tracer, sink) = Tracer::in_memory();
+        let clone = tracer.clone();
+        clone.span_at("a", Category::Compiler, 0, 10, 5, vec![]);
+        tracer.span_at("b", Category::Compiler, 0, 20, 5, vec![]);
+        assert_eq!(sink.len(), 2);
+        // Timestamps from either handle are on the same clock.
+        assert!(clone.now_us() <= tracer.now_us() + 1_000_000);
+    }
+
+    #[test]
+    fn trace_format_parses() {
+        assert_eq!("jsonl".parse::<TraceFormat>(), Ok(TraceFormat::Jsonl));
+        assert_eq!("chrome".parse::<TraceFormat>(), Ok(TraceFormat::Chrome));
+        assert!("xml".parse::<TraceFormat>().is_err());
+    }
+}

@@ -19,10 +19,18 @@
 //! Compute and combine are per-worker measurements folded with `max` (the
 //! barrier waits for the slowest worker, so the max is the wall-clock
 //! contribution); exchange and master are measured by the coordinating
-//! thread directly.
+//! thread directly. The residual between the measured superstep wall-clock
+//! and those four phases — job dispatch, reply collection, and the time
+//! the barrier spends waiting on skewed workers — is kept as
+//! [`SuperstepMetrics::barrier_time`], so [`SuperstepMetrics::phase_total`]
+//! accounts for (approximately) the whole superstep.
+//!
+//! [`Metrics::to_json`] exports everything as a machine-readable document
+//! so bench runs produce diffable artifacts instead of ad-hoc prints.
 //!
 //! [`master_compute`]: crate::VertexProgram::master_compute
 
+use gm_obs::json::Json;
 use std::time::Duration;
 
 /// Counters for a single superstep.
@@ -48,13 +56,54 @@ pub struct SuperstepMetrics {
     pub exchange_time: Duration,
     /// Wall-clock of the sequential master kernel that opened this superstep.
     pub master_time: Duration,
+    /// Residual between the measured superstep wall-clock and the four
+    /// phases above: job dispatch, reply collection, and barrier waiting.
+    /// Saturates at zero in the rare case the per-worker maxima of compute
+    /// and combine land on different workers (their sum can then slightly
+    /// exceed the wall-clock).
+    pub barrier_time: Duration,
 }
 
 impl SuperstepMetrics {
-    /// Sum of the four phase times — the metered portion of this superstep.
+    /// Sum of all metered phase times including the barrier residual —
+    /// approximately the superstep's measured wall-clock.
     pub fn phase_total(&self) -> Duration {
-        self.compute_time + self.combine_time + self.exchange_time + self.master_time
+        self.compute_time
+            + self.combine_time
+            + self.exchange_time
+            + self.master_time
+            + self.barrier_time
     }
+
+    /// This superstep's counters and timings as a JSON object (durations
+    /// in microseconds).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            (
+                "active_vertices".to_owned(),
+                Json::UInt(self.active_vertices as u64),
+            ),
+            ("messages_sent".to_owned(), Json::UInt(self.messages_sent)),
+            ("message_bytes".to_owned(), Json::UInt(self.message_bytes)),
+            (
+                "remote_messages".to_owned(),
+                Json::UInt(self.remote_messages),
+            ),
+            (
+                "remote_message_bytes".to_owned(),
+                Json::UInt(self.remote_message_bytes),
+            ),
+            ("compute_us".to_owned(), dur_us(self.compute_time)),
+            ("combine_us".to_owned(), dur_us(self.combine_time)),
+            ("exchange_us".to_owned(), dur_us(self.exchange_time)),
+            ("master_us".to_owned(), dur_us(self.master_time)),
+            ("barrier_us".to_owned(), dur_us(self.barrier_time)),
+        ])
+    }
+}
+
+fn dur_us(d: Duration) -> Json {
+    Json::UInt(d.as_micros() as u64)
 }
 
 /// Aggregate counters for a whole run.
@@ -84,6 +133,8 @@ pub struct Metrics {
     /// Total sequential master time, including the final master-only
     /// superstep in which the computation halts.
     pub master_time: Duration,
+    /// Total barrier residual (dispatch + reply collection + waiting).
+    pub barrier_time: Duration,
     /// Per-superstep breakdown, indexed by superstep number.
     pub per_superstep: Vec<SuperstepMetrics>,
 }
@@ -99,6 +150,7 @@ impl Metrics {
         self.combine_time += step.combine_time;
         self.exchange_time += step.exchange_time;
         self.master_time += step.master_time;
+        self.barrier_time += step.barrier_time;
         self.per_superstep.push(step);
     }
 
@@ -109,6 +161,52 @@ impl Metrics {
             .map(|s| s.active_vertices)
             .max()
             .unwrap_or(0)
+    }
+
+    /// The whole run as a JSON value: aggregate counters, phase totals in
+    /// microseconds, and the per-superstep breakdown.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("supersteps".to_owned(), Json::UInt(self.supersteps as u64)),
+            ("total_messages".to_owned(), Json::UInt(self.total_messages)),
+            (
+                "total_message_bytes".to_owned(),
+                Json::UInt(self.total_message_bytes),
+            ),
+            (
+                "remote_messages".to_owned(),
+                Json::UInt(self.remote_messages),
+            ),
+            (
+                "remote_message_bytes".to_owned(),
+                Json::UInt(self.remote_message_bytes),
+            ),
+            (
+                "peak_active_vertices".to_owned(),
+                Json::UInt(self.peak_active_vertices() as u64),
+            ),
+            ("elapsed_us".to_owned(), dur_us(self.elapsed)),
+            ("compute_us".to_owned(), dur_us(self.compute_time)),
+            ("combine_us".to_owned(), dur_us(self.combine_time)),
+            ("exchange_us".to_owned(), dur_us(self.exchange_time)),
+            ("master_us".to_owned(), dur_us(self.master_time)),
+            ("barrier_us".to_owned(), dur_us(self.barrier_time)),
+            (
+                "per_superstep".to_owned(),
+                Json::Arr(
+                    self.per_superstep
+                        .iter()
+                        .map(SuperstepMetrics::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// [`Metrics::to_json_value`] serialized to a compact JSON string —
+    /// the machine-readable artifact bench runs export via `--trace`.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
     }
 }
 
@@ -129,6 +227,7 @@ mod tests {
             combine_time: Duration::from_millis(1),
             exchange_time: Duration::from_millis(2),
             master_time: Duration::from_millis(1),
+            barrier_time: Duration::from_millis(1),
         });
         m.record(SuperstepMetrics {
             active_vertices: 3,
@@ -149,11 +248,41 @@ mod tests {
         assert_eq!(m.combine_time, Duration::from_millis(1));
         assert_eq!(m.exchange_time, Duration::from_millis(2));
         assert_eq!(m.master_time, Duration::from_millis(1));
-        assert_eq!(m.per_superstep[0].phase_total(), Duration::from_millis(7));
+        assert_eq!(m.barrier_time, Duration::from_millis(1));
+        // phase_total includes the barrier residual.
+        assert_eq!(m.per_superstep[0].phase_total(), Duration::from_millis(8));
     }
 
     #[test]
     fn peak_of_empty_run_is_zero() {
         assert_eq!(Metrics::default().peak_active_vertices(), 0);
+    }
+
+    #[test]
+    fn to_json_exports_totals_and_breakdown() {
+        let mut m = Metrics {
+            supersteps: 2,
+            elapsed: Duration::from_micros(1500),
+            ..Metrics::default()
+        };
+        m.record(SuperstepMetrics {
+            active_vertices: 4,
+            messages_sent: 3,
+            message_bytes: 24,
+            compute_time: Duration::from_micros(100),
+            barrier_time: Duration::from_micros(7),
+            ..Default::default()
+        });
+        let text = m.to_json();
+        let doc = gm_obs::json::parse(&text).expect("to_json output parses");
+        assert_eq!(doc.get("supersteps").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("total_messages").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("elapsed_us").unwrap().as_u64(), Some(1500));
+        assert_eq!(doc.get("barrier_us").unwrap().as_u64(), Some(7));
+        let steps = doc.get("per_superstep").unwrap().as_arr().unwrap();
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].get("active_vertices").unwrap().as_u64(), Some(4));
+        assert_eq!(steps[0].get("compute_us").unwrap().as_u64(), Some(100));
+        assert_eq!(steps[0].get("barrier_us").unwrap().as_u64(), Some(7));
     }
 }

@@ -31,6 +31,7 @@ use crate::globals::{AggMap, Globals};
 use crate::metrics::{Metrics, SuperstepMetrics};
 use crate::program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
 use gm_graph::{Graph, NodeId};
+use gm_obs::{Category, Tracer};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,6 +49,12 @@ pub struct PregelConfig {
     /// Safety limit on supersteps; exceeding it returns
     /// [`PregelError::SuperstepLimitExceeded`] instead of spinning forever.
     pub max_supersteps: u32,
+    /// Optional trace destination. When set, the runtime emits structured
+    /// per-worker, per-superstep events (phase spans, message and bucket
+    /// counters, inbox high-water marks, compute-skew summaries) into it.
+    /// When `None` — the default — instrumentation collapses to a single
+    /// branch per phase, so the untraced hot path is unaffected.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for PregelConfig {
@@ -59,6 +66,7 @@ impl Default for PregelConfig {
                 .map(|p| p.get())
                 .unwrap_or(1),
             max_supersteps: 100_000,
+            tracer: None,
         }
     }
 }
@@ -78,6 +86,12 @@ impl PregelConfig {
             num_workers,
             ..Self::default()
         }
+    }
+
+    /// Attaches a trace destination.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 }
 
@@ -161,6 +175,7 @@ pub fn run<P: VertexProgram + Send + Sync>(
         graph,
         program: RwLock::new(program),
         globals: RwLock::new(Globals::new()),
+        tracer: config.tracer.clone(),
     };
 
     if num_workers == 1 {
@@ -175,13 +190,19 @@ pub fn run<P: VertexProgram + Send + Sync>(
                 let program = read_lock(&shared.program);
                 let globals = read_lock(&shared.globals);
                 let spare = spares.pop().unwrap_or_default();
-                PhaseResult::Computed(vec![
-                    state.compute_phase(graph, &**program, &globals, &starts, superstep, spare)
-                ])
+                PhaseResult::Computed(vec![state.compute_phase(
+                    graph,
+                    &**program,
+                    &globals,
+                    &starts,
+                    superstep,
+                    spare,
+                    shared.tracer.as_ref(),
+                )])
             }
             PhaseJob::Deliver(mut incoming) => {
                 let buckets = incoming.pop().expect("single worker bucket set");
-                PhaseResult::Delivered(vec![state.deliver_phase(buckets)])
+                PhaseResult::Delivered(vec![state.deliver_phase(buckets, shared.tracer.as_ref())])
             }
         })?;
         return Ok(PregelResult {
@@ -249,6 +270,9 @@ struct Shared<'a, P> {
     graph: &'a Graph,
     program: RwLock<&'a mut P>,
     globals: RwLock<Globals>,
+    /// Trace destination, cloned out of the config; `None` disables all
+    /// instrumentation at the cost of one branch per phase.
+    tracer: Option<Tracer>,
 }
 
 fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -294,6 +318,7 @@ where
 {
     let num_workers = starts.len() - 1;
     let num_nodes = shared.graph.num_nodes();
+    let tracer = shared.tracer.as_ref();
     let mut agg_prev = AggMap::new();
     let mut metrics = Metrics::default();
     let start = Instant::now();
@@ -314,6 +339,7 @@ where
         }
 
         // ---- master phase (sequential) ----
+        let step_start_us = tracer.map(Tracer::now_us);
         let master_started = Instant::now();
         let decision = {
             let mut program = write_lock(&shared.program);
@@ -330,10 +356,32 @@ where
         };
         let master_time = master_started.elapsed();
         metrics.supersteps = superstep + 1;
+        if let (Some(t), Some(ts)) = (tracer, step_start_us) {
+            t.span_at(
+                "master",
+                Category::Runtime,
+                0,
+                ts,
+                master_time.as_micros() as u64,
+                vec![("superstep", superstep.into())],
+            );
+        }
         // Explicit halt, or Pregel's default termination: every vertex
         // inactive and no messages in flight.
         if decision == MasterDecision::Halt || (active_vertices == 0 && pending_messages == 0) {
             metrics.master_time += master_time;
+            if let Some(t) = tracer {
+                t.instant(
+                    "halt",
+                    Category::Runtime,
+                    0,
+                    vec![
+                        ("superstep", superstep.into()),
+                        ("active", active_vertices.into()),
+                        ("pending", pending_messages.into()),
+                    ],
+                );
+            }
             break;
         }
 
@@ -365,10 +413,30 @@ where
             step.compute_time = step.compute_time.max(out.compute_time);
             step.combine_time = step.combine_time.max(out.combine_time);
         }
+        if let Some(t) = tracer {
+            // Compute-skew summary: the barrier waits for the slowest
+            // worker, so max/mean spread is wasted wall-clock.
+            let max_us = step.compute_time.as_micros() as u64;
+            let sum_us: u64 = computes
+                .iter()
+                .map(|o| o.compute_time.as_micros() as u64)
+                .sum();
+            let mean_us = sum_us / computes.len().max(1) as u64;
+            t.counter(
+                "compute_skew",
+                Category::Runtime,
+                vec![
+                    ("superstep", superstep.into()),
+                    ("max_us", max_us.into()),
+                    ("mean_us", mean_us.into()),
+                ],
+            );
+        }
 
         // ---- exchange phase: route buckets, deliver in parallel ----
         // The transpose moves whole buckets (sender → destination), never
         // individual messages; delivery below moves the messages once.
+        let exchange_start_us = tracer.map(Tracer::now_us);
         let exchange_started = Instant::now();
         let mut incoming: Vec<IncomingBuckets<P::Message>> = (0..num_workers)
             .map(|_| Vec::with_capacity(num_workers))
@@ -383,6 +451,20 @@ where
             PhaseResult::Computed(_) => unreachable!("executor answered delivery with compute"),
         };
         step.exchange_time = exchange_started.elapsed();
+        if let (Some(t), Some(ts)) = (tracer, exchange_start_us) {
+            t.span_at(
+                "exchange",
+                Category::Runtime,
+                0,
+                ts,
+                step.exchange_time.as_micros() as u64,
+                vec![
+                    ("superstep", superstep.into()),
+                    ("messages", step.messages_sent.into()),
+                    ("remote", step.remote_messages.into()),
+                ],
+            );
+        }
 
         pending_messages = 0;
         let mut reactivated: u32 = 0;
@@ -399,6 +481,34 @@ where
             }
         }
         active_vertices = not_halted + reactivated;
+
+        // The residual between the measured superstep wall-clock and the
+        // four metered phases: job dispatch, reply collection, and barrier
+        // waiting. Saturating because the per-worker maxima of compute and
+        // combine can land on different workers.
+        let wall = master_started.elapsed();
+        step.barrier_time = wall.saturating_sub(
+            step.master_time + step.compute_time + step.combine_time + step.exchange_time,
+        );
+        if let (Some(t), Some(ts)) = (tracer, step_start_us) {
+            t.span_at(
+                "superstep",
+                Category::Runtime,
+                0,
+                ts,
+                wall.as_micros() as u64,
+                vec![
+                    ("superstep", superstep.into()),
+                    ("computed", step.active_vertices.into()),
+                    ("messages", step.messages_sent.into()),
+                ],
+            );
+            t.counter(
+                "active_vertices",
+                Category::Runtime,
+                vec![("active", active_vertices.into())],
+            );
+        }
 
         metrics.record(step);
         superstep += 1;
@@ -514,6 +624,7 @@ fn worker_loop<P: VertexProgram + Send + Sync>(
                         starts,
                         superstep,
                         spare,
+                        shared.tracer.as_ref(),
                     )
                 }));
                 match out {
@@ -522,7 +633,9 @@ fn worker_loop<P: VertexProgram + Send + Sync>(
                 }
             }
             Job::Deliver { incoming } => {
-                let out = catch_unwind(AssertUnwindSafe(|| state.deliver_phase(incoming)));
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    state.deliver_phase(incoming, shared.tracer.as_ref())
+                }));
                 match out {
                     Ok(out) => Reply::Delivered { worker: index, out },
                     Err(_) => Reply::Panicked,
@@ -569,6 +682,7 @@ impl<P: VertexProgram> WorkerState<P> {
 
     /// Runs the vertex kernels for this range, then combines and meters the
     /// routed outgoing buckets — all inside the worker.
+    #[allow(clippy::too_many_arguments)] // one per phase input, all distinct
     fn compute_phase(
         &mut self,
         graph: &Graph,
@@ -577,7 +691,9 @@ impl<P: VertexProgram> WorkerState<P> {
         starts: &[u32],
         superstep: u32,
         spare: RoutedOutbox<P::Message>,
+        tracer: Option<&Tracer>,
     ) -> ComputeOut<P::Message> {
+        let compute_start_us = tracer.map(Tracer::now_us);
         let compute_started = Instant::now();
         let num_workers = starts.len() - 1;
         // Recycled buckets from the previous exchange: empty, but with the
@@ -617,6 +733,7 @@ impl<P: VertexProgram> WorkerState<P> {
         // destination messages within each bucket before they hit the wire.
         // A stable sort keeps the per-destination order of uncombinable
         // messages intact.
+        let combine_start_us = tracer.map(Tracer::now_us);
         let combine_started = Instant::now();
         if program.has_combiner() {
             for bucket in &mut outbox {
@@ -654,6 +771,36 @@ impl<P: VertexProgram> WorkerState<P> {
         }
         let combine_time = combine_started.elapsed();
 
+        if let Some(t) = tracer {
+            let tid = self.index as u32 + 1;
+            let max_bucket = outbox.iter().map(Vec::len).max().unwrap_or(0);
+            t.span_at(
+                "compute",
+                Category::Runtime,
+                tid,
+                compute_start_us.unwrap_or(0),
+                compute_time.as_micros() as u64,
+                vec![
+                    ("superstep", superstep.into()),
+                    ("computed", computed.into()),
+                ],
+            );
+            t.span_at(
+                "combine",
+                Category::Runtime,
+                tid,
+                combine_start_us.unwrap_or(0),
+                combine_time.as_micros() as u64,
+                vec![
+                    ("superstep", superstep.into()),
+                    ("messages", messages_sent.into()),
+                    ("bytes", message_bytes.into()),
+                    ("remote", remote_messages.into()),
+                    ("max_bucket", max_bucket.into()),
+                ],
+            );
+        }
+
         ComputeOut {
             agg,
             computed,
@@ -674,9 +821,15 @@ impl<P: VertexProgram> WorkerState<P> {
     fn deliver_phase(
         &mut self,
         mut incoming: IncomingBuckets<P::Message>,
+        tracer: Option<&Tracer>,
     ) -> DeliverOut<P::Message> {
+        let start_us = tracer.map(Tracer::now_us);
         let mut delivered: u64 = 0;
         let mut reactivated: u32 = 0;
+        // Largest single inbox after delivery — the per-vertex memory
+        // high-water mark. Only tracked when traced.
+        let mut inbox_hwm: usize = 0;
+        let traced = tracer.is_some();
         let base = self.base as usize;
         for bucket in &mut incoming {
             for (dst, m) in bucket.drain(..) {
@@ -685,8 +838,24 @@ impl<P: VertexProgram> WorkerState<P> {
                     reactivated += 1;
                 }
                 self.inbox_out[local].push(m);
+                if traced {
+                    inbox_hwm = inbox_hwm.max(self.inbox_out[local].len());
+                }
                 delivered += 1;
             }
+        }
+        if let Some(t) = tracer {
+            t.span(
+                "deliver",
+                Category::Runtime,
+                self.index as u32 + 1,
+                start_us.unwrap_or(0),
+                vec![
+                    ("delivered", delivered.into()),
+                    ("reactivated", reactivated.into()),
+                    ("inbox_hwm", inbox_hwm.into()),
+                ],
+            );
         }
         // `inbox_in` was fully drained during the vertex phase; after the
         // swap it holds the next superstep's messages and the drained
@@ -773,6 +942,7 @@ mod tests {
             let cfg = PregelConfig {
                 num_workers: workers,
                 max_supersteps: 10,
+                tracer: None,
             };
             let r = run(&g, &mut p, |_| (), &cfg).unwrap();
             assert_eq!(p.observed, Some(45), "workers = {workers}");
@@ -905,6 +1075,7 @@ mod tests {
             let cfg = PregelConfig {
                 num_workers: workers,
                 max_supersteps: 10,
+                tracer: None,
             };
             let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
             assert_eq!(r.values, baseline, "workers = {workers}");
@@ -917,6 +1088,7 @@ mod tests {
         let cfg = PregelConfig {
             num_workers: 3,
             max_supersteps: 10,
+            tracer: None,
         };
         let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
         assert!(r.metrics.compute_time > Duration::ZERO);
@@ -1016,6 +1188,7 @@ mod tests {
                 let cfg = PregelConfig {
                     num_workers: workers,
                     max_supersteps: 5,
+                    tracer: None,
                 };
                 run(&g, &mut p, |_| (), &cfg).unwrap();
                 assert_eq!(
@@ -1052,6 +1225,7 @@ mod tests {
             let cfg = PregelConfig {
                 num_workers: workers,
                 max_supersteps: 5,
+                tracer: None,
             };
             let err = run(&g, &mut Forever, |_| (), &cfg).unwrap_err();
             assert!(matches!(
@@ -1068,6 +1242,7 @@ mod tests {
         let cfg = PregelConfig {
             num_workers: 0,
             max_supersteps: 5,
+            tracer: None,
         };
         let err = run(&g, &mut Token, |_| 0, &cfg).unwrap_err();
         assert!(matches!(err, PregelError::InvalidConfig(_)));
@@ -1116,6 +1291,7 @@ mod tests {
         let cfg = PregelConfig {
             num_workers: 4,
             max_supersteps: 10,
+            tracer: None,
         };
         let r4 = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
         assert!(r4.metrics.remote_messages > 0);
@@ -1125,5 +1301,52 @@ mod tests {
             r1.metrics.total_message_bytes,
             r4.metrics.total_message_bytes
         );
+    }
+
+    /// The in-memory tracer sees one span per worker per phase per
+    /// superstep, coordinator events on tid 0, and a final halt marker —
+    /// on both the inline (1 worker) and pooled executors.
+    #[test]
+    fn tracer_captures_per_worker_superstep_events() {
+        let g = gen::rmat(128, 512, 7);
+        for workers in [1usize, 2] {
+            let (tracer, sink) = Tracer::in_memory();
+            let cfg = PregelConfig {
+                num_workers: workers,
+                max_supersteps: 10,
+                tracer: Some(tracer),
+            };
+            let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
+            let events = sink.events();
+            let count = |n: &str| events.iter().filter(|e| e.name == n).count();
+            // Compute supersteps, excluding the final master-only halt step.
+            let steps = (r.metrics.supersteps - 1) as usize;
+            assert_eq!(count("superstep"), steps, "workers = {workers}");
+            assert_eq!(count("master"), steps + 1);
+            assert_eq!(count("exchange"), steps);
+            assert_eq!(count("compute_skew"), steps);
+            assert_eq!(count("halt"), 1);
+            for name in ["compute", "combine", "deliver"] {
+                assert_eq!(count(name), workers * steps, "{name}, workers = {workers}");
+            }
+            // Worker spans carry 1-based worker tids; coordinator events
+            // stay on tid 0.
+            assert!(events
+                .iter()
+                .filter(|e| e.name == "compute" || e.name == "deliver")
+                .all(|e| e.tid >= 1 && e.tid as usize <= workers));
+            assert!(events
+                .iter()
+                .filter(|e| e.name == "superstep" || e.name == "master")
+                .all(|e| e.tid == 0));
+            // With the barrier residual metered, phase_total() is at least
+            // the sum of the four explicit phases.
+            for s in &r.metrics.per_superstep {
+                assert!(
+                    s.phase_total()
+                        >= s.compute_time + s.combine_time + s.exchange_time + s.master_time
+                );
+            }
+        }
     }
 }

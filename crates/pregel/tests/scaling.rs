@@ -5,6 +5,7 @@
 use gm_graph::{gen, NodeId};
 use gm_pregel::{run, MasterContext, MasterDecision, PregelConfig, VertexContext, VertexProgram};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 /// PageRank with a fixed round count — the floating-point workload used by
 /// the `message_exchange` bench.
@@ -89,6 +90,62 @@ fn pagerank_is_byte_identical_across_worker_counts() {
             r.metrics.total_message_bytes,
             base.metrics.total_message_bytes
         );
+    }
+}
+
+/// The phase breakdown accounts for each superstep's wall-clock: the
+/// barrier residual is recorded per superstep (the runtime saturates the
+/// subtraction at zero, so it can never go negative), `phase_total()` is
+/// exactly the four phases plus that residual, and the run totals are the
+/// per-superstep sums — with the master total also covering the final
+/// master-only superstep, which has no per-superstep entry.
+#[test]
+fn phase_breakdown_accounts_for_the_superstep_wall_clock() {
+    let g = gen::rmat(2_000, 16_000, 7);
+    for workers in [1usize, 4] {
+        let r = run(
+            &g,
+            &mut PageRank {
+                n: g.num_nodes() as f64,
+                rounds: 10,
+            },
+            |_| 0.0,
+            &PregelConfig::with_workers(workers),
+        )
+        .unwrap();
+        let m = &r.metrics;
+        assert_eq!(
+            m.per_superstep.len() as u32 + 1,
+            m.supersteps,
+            "workers = {workers}: the halting superstep is master-only"
+        );
+        let mut sums = [Duration::ZERO; 5];
+        for s in &m.per_superstep {
+            assert_eq!(
+                s.phase_total(),
+                s.compute_time + s.combine_time + s.exchange_time + s.master_time + s.barrier_time,
+                "workers = {workers}: phase_total must cover all five parts"
+            );
+            sums[0] += s.compute_time;
+            sums[1] += s.combine_time;
+            sums[2] += s.exchange_time;
+            sums[3] += s.master_time;
+            sums[4] += s.barrier_time;
+        }
+        assert_eq!(m.compute_time, sums[0], "workers = {workers}");
+        assert_eq!(m.combine_time, sums[1], "workers = {workers}");
+        assert_eq!(m.exchange_time, sums[2], "workers = {workers}");
+        assert_eq!(m.barrier_time, sums[4], "workers = {workers}");
+        // The final master-only superstep is metered into the master total.
+        assert!(m.master_time >= sums[3], "workers = {workers}");
+        if workers > 1 {
+            // Dispatching jobs to the pool and collecting replies has a
+            // real cost somewhere across eleven supersteps.
+            assert!(
+                m.barrier_time > Duration::ZERO,
+                "multi-worker runs must observe a barrier residual"
+            );
+        }
     }
 }
 

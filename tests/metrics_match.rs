@@ -7,6 +7,11 @@
 //! For every (algorithm × graph) pair of Figure 6 the generated and manual
 //! executions must agree on supersteps, message counts, message bytes —
 //! and, since the substrate is deterministic, on results bit-for-bit.
+//!
+//! A second invariant rides on top: those structural counters belong to
+//! the compiled program, not to the execution schedule, so they must not
+//! move with the worker count either — and the runtime's trace must agree
+//! with the metrics about them.
 
 use gm_algorithms::{manual, sources};
 use gm_core::seqinterp::ArgValue;
@@ -14,6 +19,7 @@ use gm_core::value::Value;
 use gm_core::{compile, CompileOptions};
 use gm_graph::{gen, Graph, NodeId};
 use gm_interp::run_compiled;
+use gm_obs::Tracer;
 use gm_pregel::{Metrics, PregelConfig};
 use std::collections::HashMap;
 
@@ -145,6 +151,112 @@ fn sssp_parity() {
             .map(|v| v.as_int())
             .collect();
         assert_eq!(gen_dist, man_out.dist, "{name}: distances differ");
+    }
+}
+
+/// Supersteps and network I/O for all five Figure 6 algorithms are
+/// invariant across 1/2/4/8 workers, and the in-memory trace captured
+/// during each run agrees with the metrics: one superstep span per
+/// executed superstep (the final halt step is master-only) and one
+/// compute span per worker per executed superstep.
+#[test]
+fn counters_are_worker_count_invariant_and_match_the_trace() {
+    let g = gen::rmat(600, 4000, 42);
+    let bip = gen::bipartite(300, 300, 2400, 42);
+    let n = g.num_nodes();
+    let ages: Vec<Value> = (0..n as i64).map(|i| Value::Int((i * 37) % 85)).collect();
+    let member: Vec<Value> = (0..n).map(|i| Value::Bool(i % 3 == 0)).collect();
+    let weights: Vec<Value> = (0..g.num_edges() as i64)
+        .map(|i| Value::Int(1 + (i * 13) % 31))
+        .collect();
+    let is_boy: Vec<Value> = (0..600).map(|i| Value::Bool(i < 300)).collect();
+
+    let cases: Vec<(&str, &str, &Graph, HashMap<String, ArgValue>)> = vec![
+        (
+            "avg_teen",
+            sources::AVG_TEEN,
+            &g,
+            HashMap::from([
+                ("age".to_owned(), ArgValue::NodeProp(ages)),
+                ("K".to_owned(), ArgValue::Scalar(Value::Int(25))),
+            ]),
+        ),
+        (
+            "pagerank",
+            sources::PAGERANK,
+            &g,
+            HashMap::from([
+                ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-6))),
+                ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+                ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(15))),
+            ]),
+        ),
+        (
+            "conductance",
+            sources::CONDUCTANCE,
+            &g,
+            HashMap::from([("member".to_owned(), ArgValue::NodeProp(member))]),
+        ),
+        (
+            "sssp",
+            sources::SSSP,
+            &g,
+            HashMap::from([
+                ("root".to_owned(), ArgValue::Scalar(Value::Node(1))),
+                ("len".to_owned(), ArgValue::EdgeProp(weights)),
+            ]),
+        ),
+        (
+            "bipartite",
+            sources::BIPARTITE_MATCHING,
+            &bip,
+            HashMap::from([("is_boy".to_owned(), ArgValue::NodeProp(is_boy))]),
+        ),
+    ];
+
+    for (tag, src, graph, args) in cases {
+        let compiled = compile(src, &CompileOptions::default()).unwrap();
+        let mut base: Option<(u32, u64, u64)> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let (tracer, sink) = Tracer::in_memory();
+            let cfg = PregelConfig::with_workers(workers).with_tracer(tracer);
+            let out = run_compiled(graph, &compiled, &args, 0, &cfg).unwrap();
+            let m = &out.metrics;
+            match base {
+                None => base = Some((m.supersteps, m.total_messages, m.total_message_bytes)),
+                Some((steps, msgs, bytes)) => {
+                    assert_eq!(
+                        m.supersteps, steps,
+                        "{tag}: supersteps moved at workers = {workers}"
+                    );
+                    assert_eq!(
+                        m.total_messages, msgs,
+                        "{tag}: message count moved at workers = {workers}"
+                    );
+                    assert_eq!(
+                        m.total_message_bytes, bytes,
+                        "{tag}: network I/O moved at workers = {workers}"
+                    );
+                }
+            }
+            let events = sink.events();
+            let step_spans = events.iter().filter(|e| e.name == "superstep").count() as u32;
+            assert_eq!(
+                step_spans + 1,
+                m.supersteps,
+                "{tag}: trace disagrees with metrics at workers = {workers}"
+            );
+            let computes = events.iter().filter(|e| e.name == "compute").count();
+            assert_eq!(
+                computes,
+                workers * step_spans as usize,
+                "{tag}: missing per-worker compute spans at workers = {workers}"
+            );
+            assert!(
+                events.iter().all(|e| (e.tid as usize) <= workers),
+                "{tag}: trace thread ids out of range at workers = {workers}"
+            );
+        }
     }
 }
 
