@@ -9,8 +9,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
-    VertexContext, VertexProgram,
+    run_with_recovery, ByteReader, CkptError, GlobalValue, MasterContext, MasterDecision, Metrics,
+    Persist, PregelConfig, PregelError, ReduceOp, VertexContext, VertexProgram,
 };
 
 /// Per-vertex state.
@@ -18,6 +18,20 @@ use gm_pregel::{
 struct V {
     age: i64,
     teen_cnt: i64,
+}
+
+impl Persist for V {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.age.persist(out);
+        self.teen_cnt.persist(out);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(V {
+            age: Persist::restore(r)?,
+            teen_cnt: Persist::restore(r)?,
+        })
+    }
 }
 
 struct AvgTeen {
@@ -61,6 +75,15 @@ impl VertexProgram for AvgTeen {
             }
         }
     }
+
+    fn save_master_state(&self, out: &mut Vec<u8>) {
+        self.avg.persist(out);
+    }
+
+    fn restore_master_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CkptError> {
+        self.avg = Persist::restore(r)?;
+        Ok(())
+    }
 }
 
 /// Result of [`run_avg_teen`].
@@ -99,7 +122,7 @@ pub fn run_avg_teen(
         age: ages[n.index()],
         teen_cnt: 0,
     };
-    let result = run(graph, &mut program, init, config)?;
+    let result = run_with_recovery(graph, &mut program, init, config)?;
     Ok(AvgTeenOutcome {
         teen_cnt: result.values.iter().map(|v| v.teen_cnt).collect(),
         avg: program.avg,

@@ -15,8 +15,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
-    VertexContext, VertexProgram,
+    run_with_recovery, ByteReader, CkptError, GlobalValue, MasterContext, MasterDecision, Metrics,
+    Persist, PregelConfig, PregelError, ReduceOp, VertexContext, VertexProgram,
 };
 
 const NIL: u32 = u32::MAX;
@@ -32,11 +32,50 @@ enum Msg {
     Notify(u32),
 }
 
+impl Persist for Msg {
+    fn persist(&self, out: &mut Vec<u8>) {
+        let (tag, id) = match self {
+            Msg::Propose(b) => (0u8, *b),
+            Msg::WriteBack(g) => (1u8, *g),
+            Msg::Notify(b) => (2u8, *b),
+        };
+        tag.persist(out);
+        id.persist(out);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let tag = u8::restore(r)?;
+        let id = u32::restore(r)?;
+        match tag {
+            0 => Ok(Msg::Propose(id)),
+            1 => Ok(Msg::WriteBack(id)),
+            2 => Ok(Msg::Notify(id)),
+            t => Err(CkptError::Decode(format!("invalid matching message tag {t:#04x}"))),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct V {
     is_boy: bool,
     matched: u32,
     suitor: u32,
+}
+
+impl Persist for V {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.is_boy.persist(out);
+        self.matched.persist(out);
+        self.suitor.persist(out);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(V {
+            is_boy: Persist::restore(r)?,
+            matched: Persist::restore(r)?,
+            suitor: Persist::restore(r)?,
+        })
+    }
 }
 
 struct Matching {
@@ -136,6 +175,15 @@ impl VertexProgram for Matching {
             }
         }
     }
+
+    fn save_master_state(&self, out: &mut Vec<u8>) {
+        self.count.persist(out);
+    }
+
+    fn restore_master_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CkptError> {
+        self.count = Persist::restore(r)?;
+        Ok(())
+    }
 }
 
 /// Result of [`run_bipartite_matching`].
@@ -169,7 +217,7 @@ pub fn run_bipartite_matching(
         "side marks must be per-vertex"
     );
     let mut program = Matching { count: 0 };
-    let result = run(
+    let result = run_with_recovery(
         graph,
         &mut program,
         |n| V {

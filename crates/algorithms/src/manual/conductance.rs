@@ -9,8 +9,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
-    VertexContext, VertexProgram,
+    run_with_recovery, ByteReader, CkptError, GlobalValue, MasterContext, MasterDecision, Metrics,
+    Persist, PregelConfig, PregelError, ReduceOp, VertexContext, VertexProgram,
 };
 
 /// Messages: the id announcement of the preamble, or a crossing-edge mark.
@@ -22,10 +22,44 @@ enum Msg {
     Mark,
 }
 
+impl Persist for Msg {
+    fn persist(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Id(src) => {
+                0u8.persist(out);
+                src.persist(out);
+            }
+            Msg::Mark => 1u8.persist(out),
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        match u8::restore(r)? {
+            0 => Ok(Msg::Id(u32::restore(r)?)),
+            1 => Ok(Msg::Mark),
+            t => Err(CkptError::Decode(format!("invalid conductance message tag {t:#04x}"))),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct V {
     member: bool,
     in_nbrs: Vec<u32>,
+}
+
+impl Persist for V {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.member.persist(out);
+        self.in_nbrs.persist(out);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(V {
+            member: Persist::restore(r)?,
+            in_nbrs: Persist::restore(r)?,
+        })
+    }
 }
 
 struct Conductance {
@@ -116,6 +150,21 @@ impl VertexProgram for Conductance {
             }
         }
     }
+
+    fn save_master_state(&self, out: &mut Vec<u8>) {
+        self.din.persist(out);
+        self.dout.persist(out);
+        self.cross.persist(out);
+        self.result.persist(out);
+    }
+
+    fn restore_master_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CkptError> {
+        self.din = Persist::restore(r)?;
+        self.dout = Persist::restore(r)?;
+        self.cross = Persist::restore(r)?;
+        self.result = Persist::restore(r)?;
+        Ok(())
+    }
 }
 
 /// Result of [`run_conductance`].
@@ -152,7 +201,7 @@ pub fn run_conductance(
         cross: 0,
         result: 0.0,
     };
-    let result = run(
+    let result = run_with_recovery(
         graph,
         &mut program,
         |n| V {

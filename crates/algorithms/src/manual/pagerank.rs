@@ -6,8 +6,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
-    VertexContext, VertexProgram,
+    run_with_recovery, ByteReader, CkptError, GlobalValue, MasterContext, MasterDecision, Metrics,
+    Persist, PregelConfig, PregelError, ReduceOp, VertexContext, VertexProgram,
 };
 
 struct Pagerank {
@@ -71,6 +71,15 @@ impl VertexProgram for Pagerank {
             }
         }
     }
+
+    fn save_master_state(&self, out: &mut Vec<u8>) {
+        self.cnt.persist(out);
+    }
+
+    fn restore_master_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CkptError> {
+        self.cnt = Persist::restore(r)?;
+        Ok(())
+    }
 }
 
 /// Result of [`run_pagerank`].
@@ -103,7 +112,7 @@ pub fn run_pagerank(
         max_iter,
         cnt: 0,
     };
-    let result = run(graph, &mut program, |_: NodeId| 0.0, config)?;
+    let result = run_with_recovery(graph, &mut program, |_: NodeId| 0.0, config)?;
     Ok(PagerankOutcome {
         pr: result.values,
         iterations: program.cnt,

@@ -4,8 +4,8 @@
 use super::ENVELOPE;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
-    VertexContext, VertexProgram,
+    run_with_recovery, ByteReader, CkptError, GlobalValue, MasterContext, MasterDecision, Metrics,
+    Persist, PregelConfig, PregelError, ReduceOp, VertexContext, VertexProgram,
 };
 
 /// Per-vertex state.
@@ -14,6 +14,22 @@ struct V {
     dist: i64,
     dist_nxt: i64,
     updated: bool,
+}
+
+impl Persist for V {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.dist.persist(out);
+        self.dist_nxt.persist(out);
+        self.updated.persist(out);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(V {
+            dist: Persist::restore(r)?,
+            dist_nxt: Persist::restore(r)?,
+            updated: Persist::restore(r)?,
+        })
+    }
 }
 
 struct Sssp<'a> {
@@ -108,7 +124,7 @@ pub fn run_sssp(
         "weights must be per-edge"
     );
     let mut program = Sssp { root, weights };
-    let result = run(
+    let result = run_with_recovery(
         graph,
         &mut program,
         |_| V {

@@ -1,0 +1,125 @@
+//! Snapshot determinism: two identical checkpointed runs must produce
+//! byte-identical snapshots at every checkpointed superstep, for all five
+//! manual algorithms. The only exception is the `metrics` section, which
+//! records measured wall-clock durations; every other section (`coord`,
+//! `master`, `values`, `halted`, `inbox`) is compared byte-for-byte.
+
+use gm_algorithms::manual;
+use gm_graph::gen;
+use gm_pregel::{CheckpointConfig, PregelConfig, Snapshot};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gm-alg-determinism-{}-{}-{}",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn ckpt_config(dir: &Path) -> PregelConfig {
+    PregelConfig {
+        checkpoint: Some(CheckpointConfig::new(dir, 1)),
+        ..PregelConfig::with_workers(2)
+    }
+}
+
+/// Lists the snapshot files of a run, sorted by superstep.
+fn snapshots(dir: &Path) -> Vec<(String, PathBuf)> {
+    let mut files: Vec<(String, PathBuf)> = std::fs::read_dir(dir)
+        .expect("snapshot dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "gmck"))
+        .map(|p| (p.file_name().unwrap().to_string_lossy().into_owned(), p))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Asserts both runs checkpointed the same supersteps and that every
+/// snapshot pair matches byte-for-byte outside the `metrics` section.
+fn assert_identical_snapshots(dir_a: &Path, dir_b: &Path, alg: &str) {
+    let a = snapshots(dir_a);
+    let b = snapshots(dir_b);
+    assert!(!a.is_empty(), "{alg}: no snapshots written");
+    assert_eq!(
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "{alg}: runs checkpointed different supersteps"
+    );
+    for ((name, path_a), (_, path_b)) in a.iter().zip(&b) {
+        let snap_a = Snapshot::read(path_a).expect("read snapshot A");
+        let snap_b = Snapshot::read(path_b).expect("read snapshot B");
+        assert_eq!(snap_a.superstep, snap_b.superstep, "{alg}/{name}");
+        assert_eq!(snap_a.num_nodes, snap_b.num_nodes, "{alg}/{name}");
+        let sections_a: Vec<&str> = snap_a.section_names().collect();
+        let sections_b: Vec<&str> = snap_b.section_names().collect();
+        assert_eq!(sections_a, sections_b, "{alg}/{name}: section sets differ");
+        for sec in sections_a {
+            if sec == "metrics" {
+                continue; // wall-clock durations, legitimately run-specific
+            }
+            assert_eq!(
+                snap_a.section(sec),
+                snap_b.section(sec),
+                "{alg}/{name}: section `{sec}` differs between identical runs"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}
+
+#[test]
+fn pagerank_snapshots_are_byte_identical() {
+    let g = gen::rmat(200, 1400, 5);
+    let (da, db) = (fresh_dir("pr-a"), fresh_dir("pr-b"));
+    manual::run_pagerank(&g, 1e-9, 0.85, 10, &ckpt_config(&da)).unwrap();
+    manual::run_pagerank(&g, 1e-9, 0.85, 10, &ckpt_config(&db)).unwrap();
+    assert_identical_snapshots(&da, &db, "pagerank");
+}
+
+#[test]
+fn sssp_snapshots_are_byte_identical() {
+    let g = gen::rmat(250, 1500, 7);
+    let weights: Vec<i64> = (0..1500).map(|i| 1 + (i * 11) % 9).collect();
+    let (da, db) = (fresh_dir("sssp-a"), fresh_dir("sssp-b"));
+    manual::run_sssp(&g, gm_graph::NodeId(2), &weights, &ckpt_config(&da)).unwrap();
+    manual::run_sssp(&g, gm_graph::NodeId(2), &weights, &ckpt_config(&db)).unwrap();
+    assert_identical_snapshots(&da, &db, "sssp");
+}
+
+#[test]
+fn avg_teen_snapshots_are_byte_identical() {
+    let g = gen::rmat(300, 2000, 3);
+    let ages: Vec<i64> = (0..300).map(|i| (i * 31) % 90).collect();
+    let (da, db) = (fresh_dir("teen-a"), fresh_dir("teen-b"));
+    manual::run_avg_teen(&g, &ages, 25, &ckpt_config(&da)).unwrap();
+    manual::run_avg_teen(&g, &ages, 25, &ckpt_config(&db)).unwrap();
+    assert_identical_snapshots(&da, &db, "avg_teen");
+}
+
+#[test]
+fn conductance_snapshots_are_byte_identical() {
+    let g = gen::rmat(200, 1400, 13);
+    let member: Vec<bool> = (0..200).map(|i| i % 4 == 0).collect();
+    let (da, db) = (fresh_dir("cond-a"), fresh_dir("cond-b"));
+    manual::run_conductance(&g, &member, &ckpt_config(&da)).unwrap();
+    manual::run_conductance(&g, &member, &ckpt_config(&db)).unwrap();
+    assert_identical_snapshots(&da, &db, "conductance");
+}
+
+#[test]
+fn bipartite_matching_snapshots_are_byte_identical() {
+    let g = gen::bipartite(40, 50, 220, 3);
+    let is_boy: Vec<bool> = (0..90).map(|i| i < 40).collect();
+    let (da, db) = (fresh_dir("match-a"), fresh_dir("match-b"));
+    manual::run_bipartite_matching(&g, &is_boy, &ckpt_config(&da)).unwrap();
+    manual::run_bipartite_matching(&g, &is_boy, &ckpt_config(&db)).unwrap();
+    assert_identical_snapshots(&da, &db, "bipartite");
+}

@@ -1,0 +1,182 @@
+//! End-to-end crash/recovery tests for the five manual algorithms: inject
+//! a deterministic worker fault mid-run, let the recovery supervisor
+//! restore from the newest snapshot, and require the final result to be
+//! identical to the uninterrupted run — values, supersteps, message count,
+//! and message bytes.
+
+use gm_algorithms::manual;
+use gm_graph::gen;
+use gm_pregel::{CheckpointConfig, FaultPlan, PregelConfig, RecoveryPolicy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A unique, pre-cleaned snapshot directory per test case.
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gm-alg-recovery-{}-{}-{}",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn plain(workers: usize) -> PregelConfig {
+    PregelConfig::with_workers(workers)
+}
+
+/// Checkpoint every `every` supersteps, panic worker 0 at `fail_at`, and
+/// allow one supervised restart.
+fn faulty(workers: usize, tag: &str, every: u32, fail_at: u32) -> PregelConfig {
+    PregelConfig {
+        checkpoint: Some(CheckpointConfig::new(fresh_dir(tag), every)),
+        faults: FaultPlan::builder()
+            .panic_in_compute(fail_at, Some(0))
+            .build(),
+        recovery: Some(RecoveryPolicy::with_max_restarts(2)),
+        ..PregelConfig::with_workers(workers)
+    }
+}
+
+#[test]
+fn pagerank_recovers_exactly_across_worker_counts() {
+    let g = gen::rmat(200, 1400, 5);
+    for workers in [1usize, 2, 4] {
+        let base = manual::run_pagerank(&g, 1e-9, 0.85, 20, &plain(workers)).unwrap();
+        let cfg = faulty(workers, "pr", 2, 5);
+        let out = manual::run_pagerank(&g, 1e-9, 0.85, 20, &cfg).unwrap();
+        assert_eq!(out.pr, base.pr, "workers={workers}");
+        assert_eq!(out.iterations, base.iterations);
+        assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+        assert_eq!(out.metrics.total_messages, base.metrics.total_messages);
+        assert_eq!(
+            out.metrics.total_message_bytes,
+            base.metrics.total_message_bytes
+        );
+        assert_eq!(out.metrics.recovery.restarts, 1);
+        assert_eq!(out.metrics.recovery.restores, 1);
+    }
+}
+
+#[test]
+fn sssp_recovers_exactly_across_worker_counts() {
+    let g = gen::rmat(250, 1500, 7);
+    let weights: Vec<i64> = (0..1500).map(|i| 1 + (i * 11) % 9).collect();
+    for workers in [1usize, 2, 4] {
+        let base = manual::run_sssp(&g, gm_graph::NodeId(2), &weights, &plain(workers)).unwrap();
+        let cfg = faulty(workers, "sssp", 2, 4);
+        let out = manual::run_sssp(&g, gm_graph::NodeId(2), &weights, &cfg).unwrap();
+        assert_eq!(out.dist, base.dist, "workers={workers}");
+        assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+        assert_eq!(out.metrics.total_messages, base.metrics.total_messages);
+        assert_eq!(
+            out.metrics.total_message_bytes,
+            base.metrics.total_message_bytes
+        );
+        assert_eq!(out.metrics.recovery.restarts, 1);
+        assert!(out.metrics.recovery.restores >= 1);
+    }
+}
+
+#[test]
+fn avg_teen_recovers_exactly() {
+    let g = gen::rmat(300, 2000, 3);
+    let ages: Vec<i64> = (0..300).map(|i| (i * 31) % 90).collect();
+    let base = manual::run_avg_teen(&g, &ages, 25, &plain(2)).unwrap();
+    // Only three supersteps and the last one runs no compute phase:
+    // checkpoint every superstep, fail in the middle one.
+    let cfg = faulty(2, "teen", 1, 1);
+    let out = manual::run_avg_teen(&g, &ages, 25, &cfg).unwrap();
+    assert_eq!(out.teen_cnt, base.teen_cnt);
+    assert_eq!(out.avg, base.avg);
+    assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+    assert_eq!(out.metrics.total_messages, base.metrics.total_messages);
+    assert_eq!(
+        out.metrics.total_message_bytes,
+        base.metrics.total_message_bytes
+    );
+    assert_eq!(out.metrics.recovery.restarts, 1);
+    assert_eq!(out.metrics.recovery.restores, 1);
+}
+
+#[test]
+fn conductance_recovers_exactly() {
+    let g = gen::rmat(200, 1400, 13);
+    let member: Vec<bool> = (0..200).map(|i| i % 4 == 0).collect();
+    let base = manual::run_conductance(&g, &member, &plain(2)).unwrap();
+    let cfg = faulty(2, "cond", 2, 4);
+    let out = manual::run_conductance(&g, &member, &cfg).unwrap();
+    assert_eq!(out.conductance, base.conductance);
+    assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+    assert_eq!(out.metrics.total_messages, base.metrics.total_messages);
+    assert_eq!(
+        out.metrics.total_message_bytes,
+        base.metrics.total_message_bytes
+    );
+    assert_eq!(out.metrics.recovery.restarts, 1);
+}
+
+#[test]
+fn bipartite_matching_recovers_exactly() {
+    let g = gen::bipartite(40, 50, 220, 3);
+    let is_boy: Vec<bool> = (0..90).map(|i| i < 40).collect();
+    let base = manual::run_bipartite_matching(&g, &is_boy, &plain(2)).unwrap();
+    let cfg = faulty(2, "match", 2, 5);
+    let out = manual::run_bipartite_matching(&g, &is_boy, &cfg).unwrap();
+    assert_eq!(out.matching, base.matching);
+    assert_eq!(out.pairs, base.pairs);
+    assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+    assert_eq!(out.metrics.total_messages, base.metrics.total_messages);
+    assert_eq!(
+        out.metrics.total_message_bytes,
+        base.metrics.total_message_bytes
+    );
+    assert_eq!(out.metrics.recovery.restarts, 1);
+    assert_eq!(out.metrics.recovery.restores, 1);
+}
+
+#[test]
+fn corrupt_snapshot_falls_back_to_previous_and_still_recovers() {
+    let g = gen::rmat(200, 1400, 5);
+    let base = manual::run_pagerank(&g, 1e-9, 0.85, 20, &plain(2)).unwrap();
+    // Flip a byte in the superstep-4 snapshot after it is written: the
+    // checksum must reject it and recovery must restore from superstep 2.
+    let cfg = PregelConfig {
+        checkpoint: Some(CheckpointConfig::new(fresh_dir("corrupt"), 2)),
+        faults: FaultPlan::builder()
+            .corrupt_snapshot(4)
+            .panic_in_compute(5, Some(0))
+            .build(),
+        recovery: Some(RecoveryPolicy::with_max_restarts(2)),
+        ..PregelConfig::with_workers(2)
+    };
+    let out = manual::run_pagerank(&g, 1e-9, 0.85, 20, &cfg).unwrap();
+    assert_eq!(out.pr, base.pr);
+    assert_eq!(out.iterations, base.iterations);
+    assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+    assert_eq!(out.metrics.recovery.restarts, 1);
+    assert_eq!(out.metrics.recovery.corrupt_snapshots_discarded, 1);
+}
+
+#[test]
+fn truncated_snapshot_falls_back_to_previous_and_still_recovers() {
+    let g = gen::rmat(250, 1500, 7);
+    let weights: Vec<i64> = (0..1500).map(|i| 1 + (i * 11) % 9).collect();
+    let base = manual::run_sssp(&g, gm_graph::NodeId(2), &weights, &plain(2)).unwrap();
+    let cfg = PregelConfig {
+        checkpoint: Some(CheckpointConfig::new(fresh_dir("trunc"), 2)),
+        faults: FaultPlan::builder()
+            .truncate_snapshot(4)
+            .panic_in_compute(5, Some(0))
+            .build(),
+        recovery: Some(RecoveryPolicy::with_max_restarts(2)),
+        ..PregelConfig::with_workers(2)
+    };
+    let out = manual::run_sssp(&g, gm_graph::NodeId(2), &weights, &cfg).unwrap();
+    assert_eq!(out.dist, base.dist);
+    assert_eq!(out.metrics.supersteps, base.metrics.supersteps);
+    assert_eq!(out.metrics.recovery.restarts, 1);
+    assert_eq!(out.metrics.recovery.corrupt_snapshots_discarded, 1);
+}

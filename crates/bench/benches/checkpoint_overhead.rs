@@ -1,0 +1,88 @@
+//! Criterion bench for checkpoint overhead: the PageRank message flood of
+//! `message_exchange` with snapshots disabled vs. written every 1 / 4
+//! supersteps. The delta against `off` is the full cost of serializing the
+//! BSP frontier and fsyncing it to disk; baseline numbers live in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_graph::gen;
+use gm_pregel::{
+    run, CheckpointConfig, MasterContext, MasterDecision, PregelConfig, VertexContext,
+    VertexProgram,
+};
+
+struct PageRank {
+    n: f64,
+    rounds: u32,
+}
+
+impl VertexProgram for PageRank {
+    type VertexValue = f64;
+    type Message = f64;
+
+    fn message_bytes(&self, _m: &f64) -> u64 {
+        8
+    }
+
+    fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+        if ctx.superstep() > self.rounds {
+            MasterDecision::Halt
+        } else {
+            MasterDecision::Continue
+        }
+    }
+
+    fn vertex_compute(
+        &self,
+        ctx: &mut VertexContext<'_, '_, f64>,
+        value: &mut f64,
+        messages: &[f64],
+    ) {
+        if ctx.superstep() == 0 {
+            *value = 1.0 / self.n;
+        } else {
+            let mut sum = 0.0;
+            for m in messages {
+                sum += *m;
+            }
+            *value = 0.15 / self.n + 0.85 * sum;
+        }
+        if ctx.out_degree() > 0 {
+            ctx.send_to_nbrs(*value / ctx.out_degree() as f64);
+        }
+    }
+}
+
+fn checkpoint_overhead(c: &mut Criterion) {
+    let g = gen::rmat(10_000, 360_000, 1001);
+    let rounds = 10;
+    let dir = std::env::temp_dir().join(format!("gm-ckpt-bench-{}", std::process::id()));
+
+    let mut grp = c.benchmark_group("checkpoint_overhead/pagerank");
+    grp.sample_size(10);
+    for (name, every) in [("off", 0u32), ("every-4", 4), ("every-1", 1)] {
+        let mut cfg = PregelConfig {
+            num_workers: 4,
+            max_supersteps: 1_000,
+            ..PregelConfig::default()
+        };
+        if every > 0 {
+            // keep=1 bounds disk usage across Criterion's many iterations.
+            cfg = cfg.with_checkpoints(CheckpointConfig::new(dir.clone(), every).with_keep(1));
+        }
+        grp.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let mut p = PageRank {
+                    n: g.num_nodes() as f64,
+                    rounds,
+                };
+                run(g, &mut p, |_| 0.0, &cfg).expect("run")
+            })
+        });
+    }
+    grp.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, checkpoint_overhead);
+criterion_main!(benches);

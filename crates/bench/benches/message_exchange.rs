@@ -73,7 +73,7 @@ fn message_exchange(c: &mut Criterion) {
         let cfg = PregelConfig {
             num_workers: workers,
             max_supersteps: 1_000,
-            tracer: None,
+            ..PregelConfig::default()
         };
         grp.bench_with_input(BenchmarkId::from_parameter(workers), &g, |b, g| {
             b.iter(|| {
@@ -95,7 +95,7 @@ fn message_exchange(c: &mut Criterion) {
     let base = PregelConfig {
         num_workers: 4,
         max_supersteps: 1_000,
-        tracer: None,
+        ..PregelConfig::default()
     };
     let (tracer, _sink) = Tracer::in_memory();
     let traced = base.clone().with_tracer(tracer);

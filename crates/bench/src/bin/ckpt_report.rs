@@ -1,0 +1,113 @@
+//! Checkpoint cost report: write/restore overhead of gm-ckpt snapshots as
+//! a function of the checkpoint interval, on the Table 1 twitter stand-in
+//! running manual PageRank. Feeds the fault-tolerance table in
+//! EXPERIMENTS.md.
+//!
+//! For each interval the harness measures a full checkpointed run against
+//! the uncheckpointed baseline, then kills the run at a late superstep
+//! (deterministic fault injection) and measures recovery: the restore
+//! cost and the wall-clock of finishing from the newest snapshot. Exact
+//! recovery is asserted — the recovered PageRank vector must equal the
+//! uninterrupted one bit-for-bit.
+//!
+//! `GM_SCALE` grows the graph, `GM_REPS` sets the repetition count
+//! (default 3, minimum is taken).
+
+use gm_algorithms::manual::run_pagerank;
+use gm_bench::{bench_config, table1_graphs, time_min};
+use gm_pregel::{CheckpointConfig, FaultPlan, PregelConfig, RecoveryPolicy};
+
+fn reps() -> usize {
+    std::env::var("GM_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+fn main() {
+    let workloads = table1_graphs();
+    let g = &workloads[0].graph; // twitter stand-in
+    let reps = reps();
+    let dir_root = std::env::temp_dir().join(format!("gm-ckpt-report-{}", std::process::id()));
+
+    let base_cfg = bench_config();
+    let (base_t, base_m) = time_min(reps, || {
+        let out = run_pagerank(g, 1e-9, 0.85, 10, &base_cfg).expect("baseline");
+        (out.pr, out.metrics)
+    });
+    let base_ms = base_t.as_secs_f64() * 1e3;
+    let baseline = run_pagerank(g, 1e-9, 0.85, 10, &base_cfg).expect("baseline");
+    println!(
+        "PageRank on {} ({} nodes / {} edges), {} supersteps, baseline {:.1} ms",
+        workloads[0].name,
+        g.num_nodes(),
+        g.num_edges(),
+        base_m.supersteps,
+        base_ms
+    );
+    println!();
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "interval",
+        "run (ms)",
+        "overhead",
+        "snapshots",
+        "MB",
+        "ckpt (ms)",
+        "restore (ms)",
+        "rerun (ms)"
+    );
+
+    let fail_at = base_m.supersteps.saturating_sub(2).max(1);
+    for every in [1u32, 2, 4, 8] {
+        let dir = dir_root.join(format!("every-{every}"));
+
+        // Full checkpointed run: snapshot cost folded into wall-clock.
+        let cfg = PregelConfig {
+            checkpoint: Some(CheckpointConfig::new(dir.clone(), every).with_keep(2)),
+            ..base_cfg.clone()
+        };
+        let (t, m) = time_min(reps, || {
+            let _ = std::fs::remove_dir_all(&dir);
+            let out = run_pagerank(g, 1e-9, 0.85, 10, &cfg).expect("checkpointed run");
+            (out.pr, out.metrics)
+        });
+        let run_ms = t.as_secs_f64() * 1e3;
+
+        // Crash two supersteps from the end, recover from the newest
+        // snapshot, and verify the result is identical to the baseline.
+        let _ = std::fs::remove_dir_all(&dir);
+        let recover_cfg = PregelConfig {
+            checkpoint: Some(CheckpointConfig::new(dir.clone(), every).with_keep(2)),
+            faults: FaultPlan::builder()
+                .panic_in_compute(fail_at, Some(0))
+                .build(),
+            recovery: Some(RecoveryPolicy::with_max_restarts(1)),
+            ..base_cfg.clone()
+        };
+        let start = std::time::Instant::now();
+        let out = gm_algorithms::manual::run_pagerank(g, 1e-9, 0.85, 10, &recover_cfg)
+            .expect("recovered run");
+        let rerun_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.metrics.recovery.restarts, 1, "fault must trip once");
+        assert_eq!(out.pr, baseline.pr, "recovery must be exact");
+        assert_eq!(out.iterations, baseline.iterations);
+
+        println!(
+            "{:>8} {:>10.1} {:>9.1}% {:>12} {:>10.2} {:>10.1} {:>12.1} {:>12.1}",
+            every,
+            run_ms,
+            (run_ms / base_ms - 1.0) * 100.0,
+            m.recovery.checkpoints_written,
+            m.recovery.snapshot_bytes as f64 / 1e6,
+            m.recovery.checkpoint_time.as_secs_f64() * 1e3,
+            out.metrics.recovery.restore_time.as_secs_f64() * 1e3,
+            rerun_ms,
+        );
+    }
+    println!();
+    println!(
+        "recovery verified exact at every interval (fault at superstep {fail_at}, 1 restart)"
+    );
+    let _ = std::fs::remove_dir_all(&dir_root);
+}

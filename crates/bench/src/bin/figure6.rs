@@ -8,11 +8,14 @@
 //! (plus `--trace-format jsonl|chrome`) writes an event log covering
 //! graph generation, every compile, and every generated-side run, and
 //! drops a `<stem>.<alg>.<graph>.metrics.json` next to it per row.
+//! `--checkpoint-every N` (with `--checkpoint-dir`/`--keep-snapshots`)
+//! checkpoints every run, putting the snapshot overhead into the measured
+//! times — handy for the fault-tolerance cost table in EXPERIMENTS.md.
 
 use gm_algorithms::{manual, sources};
 use gm_bench::{
     args_for, bench_config, boy_marks, sssp_root, table1_graphs_traced, time_min, weights,
-    TraceArgs,
+    CkptArgs, TraceArgs,
 };
 use gm_core::CompileOptions;
 use gm_graph::Graph;
@@ -41,10 +44,11 @@ fn run_generated(
     src: &str,
     g: &Graph,
     tracer: Option<&Tracer>,
+    ckpt: &CkptArgs,
 ) -> (f64, Metrics) {
     let compiled = gm_bench::compile_source_with(src, &CompileOptions::default(), tracer);
     let args = args_for(alg, g);
-    let mut cfg = bench_config();
+    let mut cfg = ckpt.apply(bench_config());
     if let Some(t) = tracer {
         cfg = cfg.with_tracer(t.clone());
     }
@@ -57,11 +61,12 @@ fn run_generated(
 
 fn main() {
     let trace = TraceArgs::from_env();
+    let ckpt = CkptArgs::from_env();
     let tracer = trace.tracer();
     let tracer = tracer.as_ref();
     let workloads = table1_graphs_traced(tracer);
     let mut rows: Vec<Row> = Vec::new();
-    let cfg = bench_config();
+    let cfg = ckpt.apply(bench_config());
 
     for w in &workloads {
         let g = &w.graph;
@@ -70,7 +75,7 @@ fn main() {
         if w.name == "bipartite" {
             let marks = boy_marks(g);
             let (gen_ms, gen_m) =
-                run_generated("bipartite", sources::BIPARTITE_MATCHING, g, tracer);
+                run_generated("bipartite", sources::BIPARTITE_MATCHING, g, tracer, &ckpt);
             trace.write_metrics_json(&format!("bipartite.{}", w.name), &gen_m);
             let (man_t, man_m) = time_min(reps(), || {
                 let out = manual::run_bipartite_matching(g, &marks, &cfg).expect("manual run");
@@ -88,7 +93,7 @@ fn main() {
         }
 
         let ages = gm_bench::ages(g);
-        let (gen_ms, gen_m) = run_generated("avg_teen", sources::AVG_TEEN, g, tracer);
+        let (gen_ms, gen_m) = run_generated("avg_teen", sources::AVG_TEEN, g, tracer, &ckpt);
         trace.write_metrics_json(&format!("avg_teen.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_avg_teen(g, &ages, 25, &cfg).expect("manual run");
@@ -103,7 +108,7 @@ fn main() {
             manual: man_m,
         });
 
-        let (gen_ms, gen_m) = run_generated("pagerank", sources::PAGERANK, g, tracer);
+        let (gen_ms, gen_m) = run_generated("pagerank", sources::PAGERANK, g, tracer, &ckpt);
         trace.write_metrics_json(&format!("pagerank.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_pagerank(g, 1e-9, 0.85, 10, &cfg).expect("manual run");
@@ -119,7 +124,7 @@ fn main() {
         });
 
         let member = gm_bench::membership(g);
-        let (gen_ms, gen_m) = run_generated("conductance", sources::CONDUCTANCE, g, tracer);
+        let (gen_ms, gen_m) = run_generated("conductance", sources::CONDUCTANCE, g, tracer, &ckpt);
         trace.write_metrics_json(&format!("conductance.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_conductance(g, &member, &cfg).expect("manual run");
@@ -135,7 +140,7 @@ fn main() {
         });
 
         let ws = weights(g);
-        let (gen_ms, gen_m) = run_generated("sssp", sources::SSSP, g, tracer);
+        let (gen_ms, gen_m) = run_generated("sssp", sources::SSSP, g, tracer, &ckpt);
         trace.write_metrics_json(&format!("sssp.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_sssp(g, sssp_root(g), &ws, &cfg).expect("manual run");

@@ -12,7 +12,7 @@ use gm_core::value::Value;
 use gm_core::{compile_with, CompileOptions, Compiled};
 use gm_graph::{gen, Graph};
 use gm_obs::{Category, TraceFormat, Tracer};
-use gm_pregel::{Metrics, PregelConfig};
+use gm_pregel::{CheckpointConfig, Metrics, PregelConfig, RecoveryPolicy};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -235,6 +235,87 @@ impl TraceArgs {
     }
 }
 
+/// The `--checkpoint-every N [--checkpoint-dir <path>] [--resume]
+/// [--keep-snapshots N] [--max-restarts N]` surface shared by the
+/// reproduction binaries, mirroring [`TraceArgs`]. Unknown flags are
+/// ignored so each binary keeps its own argument handling.
+#[derive(Debug, Default)]
+pub struct CkptArgs {
+    /// Snapshot interval in supersteps; `None` disables checkpointing.
+    pub every: Option<u32>,
+    /// Snapshot directory (defaults to `gm-ckpt` under the temp dir).
+    pub dir: Option<PathBuf>,
+    /// Resume from the newest valid snapshot in `dir`.
+    pub resume: bool,
+    /// Keep only the newest N snapshots (0 = keep all).
+    pub keep: usize,
+    /// Restart budget for the recovery supervisor.
+    pub max_restarts: Option<u32>,
+}
+
+impl CkptArgs {
+    /// Parses the checkpoint flags out of the process arguments.
+    ///
+    /// Exits with status 2 on a flag with a missing or non-numeric value.
+    pub fn from_env() -> CkptArgs {
+        let usage = |msg: &str| -> ! {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        };
+        let mut out = CkptArgs::default();
+        let mut args = std::env::args().skip(1);
+        let num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+            match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => v,
+                Some(Err(_)) => usage(&format!("{flag} needs a number")),
+                None => usage(&format!("{flag} needs a value")),
+            }
+        };
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--checkpoint-every" => {
+                    out.every = Some(num(&mut args, "--checkpoint-every") as u32);
+                }
+                "--checkpoint-dir" => match args.next() {
+                    Some(p) => out.dir = Some(PathBuf::from(p)),
+                    None => usage("--checkpoint-dir needs a path"),
+                },
+                "--resume" => out.resume = true,
+                "--keep-snapshots" => {
+                    out.keep = num(&mut args, "--keep-snapshots") as usize;
+                }
+                "--max-restarts" => {
+                    out.max_restarts = Some(num(&mut args, "--max-restarts") as u32);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Applies the parsed flags to `config`: attaches a
+    /// [`CheckpointConfig`] when `--checkpoint-every` was given (with
+    /// `--resume`/`--keep-snapshots` folded in) and a [`RecoveryPolicy`]
+    /// when `--max-restarts` was given.
+    pub fn apply(&self, mut config: PregelConfig) -> PregelConfig {
+        if let Some(every) = self.every {
+            let dir = self
+                .dir
+                .clone()
+                .unwrap_or_else(|| std::env::temp_dir().join("gm-ckpt"));
+            config = config.with_checkpoints(
+                CheckpointConfig::new(dir, every)
+                    .with_resume(self.resume)
+                    .with_keep(self.keep),
+            );
+        }
+        if let Some(n) = self.max_restarts {
+            config = config.with_recovery(RecoveryPolicy::with_max_restarts(n));
+        }
+        config
+    }
+}
+
 /// Argument map for a compiled algorithm on graph `g`.
 pub fn args_for(alg: &str, g: &Graph) -> HashMap<String, ArgValue> {
     match alg {
@@ -331,6 +412,28 @@ mod tests {
         }
         let b = gen::bipartite(20, 20, 80, 1);
         assert!(args_for("bipartite", &b).len() == 1);
+    }
+
+    #[test]
+    fn ckpt_args_apply_builds_config() {
+        let args = CkptArgs {
+            every: Some(4),
+            dir: Some(PathBuf::from("/tmp/snaps")),
+            resume: true,
+            keep: 2,
+            max_restarts: Some(5),
+        };
+        let config = args.apply(PregelConfig::sequential());
+        let ck = config.checkpoint.expect("checkpointing enabled");
+        assert_eq!(ck.every, 4);
+        assert_eq!(ck.dir, PathBuf::from("/tmp/snaps"));
+        assert!(ck.resume);
+        assert_eq!(ck.keep, 2);
+        assert_eq!(config.recovery.expect("policy").max_restarts, 5);
+
+        let off = CkptArgs::default().apply(PregelConfig::sequential());
+        assert!(off.checkpoint.is_none());
+        assert!(off.recovery.is_none());
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the same
+//! parameterization as zlib's `crc32`, implemented with a compile-time
+//! lookup table so the crate stays dependency-free.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 state. `Crc32::new().update(a).update(b).finish()`
+/// equals `crc32(a ++ b)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+        self
+    }
+
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot convenience over [`Crc32`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let whole = crc32(b"hello world");
+        let split = Crc32::new().update(b"hello").update(b" world").finish();
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = b"superstep frontier".to_vec();
+        let before = crc32(&data);
+        data[7] ^= 0x20;
+        assert_ne!(before, crc32(&data));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the snapshot codec, container format, and store.
+
+use std::fmt;
+
+/// Everything that can go wrong while writing, reading, or decoding a
+/// checkpoint snapshot.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the `GMCK` magic bytes.
+    BadMagic,
+    /// The container version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The trailing CRC-32 does not match the stored bytes.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// The file ended before the declared payload did (torn write).
+    Truncated,
+    /// A section payload was structurally malformed.
+    Decode(String),
+    /// A section the decoder requires is absent from the snapshot.
+    MissingSection(&'static str),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CkptError::BadMagic => write!(f, "not a gm-ckpt snapshot (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            CkptError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch (expected {expected:#010x}, actual {actual:#010x})"
+            ),
+            CkptError::Truncated => write!(f, "snapshot truncated"),
+            CkptError::Decode(msg) => write!(f, "snapshot decode error: {msg}"),
+            CkptError::MissingSection(name) => {
+                write!(f, "snapshot is missing required section {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = CkptError::ChecksumMismatch { expected: 0xdead_beef, actual: 0x1 };
+        let s = e.to_string();
+        assert!(s.contains("0xdeadbeef"), "{s}");
+        assert!(CkptError::BadMagic.to_string().contains("magic"));
+        assert!(CkptError::MissingSection("values").to_string().contains("values"));
+    }
+
+    #[test]
+    fn io_errors_chain_through_source() {
+        let e = CkptError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(CkptError::Truncated.source().is_none());
+    }
+}

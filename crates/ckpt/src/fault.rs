@@ -1,0 +1,233 @@
+//! Deterministic fault injection for recovery testing.
+//!
+//! A [`FaultPlan`] is built once, cloned into the runtime config, and
+//! consulted at well-defined points: before a worker's compute phase,
+//! before a checkpoint write, and after a checkpoint write (to corrupt
+//! the file on disk). Each fault trips a bounded number of times (once,
+//! by default) across *all* clones — the trip counters live behind an
+//! `Arc` — so a supervisor that restarts the job does not re-hit the
+//! same fault forever.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::error::CkptError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the compute phase of superstep `superstep`, on
+    /// worker `worker` (or any worker when `None`).
+    PanicInCompute { superstep: u32, worker: Option<u32> },
+    /// Simulate an I/O failure of the checkpoint write at `superstep`.
+    FailCheckpointWrite { superstep: u32 },
+    /// After the checkpoint at `superstep` is written, flip one byte in
+    /// the middle of the file (checksum must then reject it).
+    CorruptSnapshot { superstep: u32 },
+    /// After the checkpoint at `superstep` is written, truncate the file
+    /// to half its length (simulated torn write).
+    TruncateSnapshot { superstep: u32 },
+}
+
+#[derive(Debug)]
+struct Fault {
+    kind: FaultKind,
+    remaining: AtomicU32,
+}
+
+/// Immutable set of scheduled faults; cheap to clone, counters shared.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Arc<[Fault]>,
+}
+
+impl Default for FaultPlanBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug)]
+pub struct FaultPlanBuilder {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlanBuilder {
+    pub fn new() -> Self {
+        FaultPlanBuilder { faults: Vec::new() }
+    }
+
+    fn push(mut self, kind: FaultKind) -> Self {
+        self.faults.push(Fault { kind, remaining: AtomicU32::new(1) });
+        self
+    }
+
+    /// Panic in the compute phase of `superstep`; `worker` restricts the
+    /// fault to one worker index, `None` fires on whichever worker asks
+    /// first.
+    pub fn panic_in_compute(self, superstep: u32, worker: Option<u32>) -> Self {
+        self.push(FaultKind::PanicInCompute { superstep, worker })
+    }
+
+    pub fn fail_checkpoint_write(self, superstep: u32) -> Self {
+        self.push(FaultKind::FailCheckpointWrite { superstep })
+    }
+
+    pub fn corrupt_snapshot(self, superstep: u32) -> Self {
+        self.push(FaultKind::CorruptSnapshot { superstep })
+    }
+
+    pub fn truncate_snapshot(self, superstep: u32) -> Self {
+        self.push(FaultKind::TruncateSnapshot { superstep })
+    }
+
+    pub fn build(self) -> FaultPlan {
+        FaultPlan { faults: self.faults.into() }
+    }
+}
+
+impl FaultPlan {
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder::new()
+    }
+
+    /// A plan with no faults — the production default.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Try to atomically consume one trip of the first armed fault
+    /// matching `pred`.
+    fn trip(&self, pred: impl Fn(&FaultKind) -> bool) -> bool {
+        for fault in self.faults.iter() {
+            if !pred(&fault.kind) {
+                continue;
+            }
+            // Decrement only if still armed; CAS loop keeps concurrent
+            // workers from double-consuming the last trip.
+            let mut cur = fault.remaining.load(Ordering::Relaxed);
+            while cur > 0 {
+                match fault.remaining.compare_exchange_weak(
+                    cur,
+                    cur - 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return true,
+                    Err(now) => cur = now,
+                }
+            }
+        }
+        false
+    }
+
+    /// Should worker `worker` panic in the compute phase of `superstep`?
+    pub fn trip_panic_in_compute(&self, superstep: u32, worker: u32) -> bool {
+        self.trip(|k| {
+            matches!(k, FaultKind::PanicInCompute { superstep: s, worker: w }
+                if *s == superstep && w.map_or(true, |w| w == worker))
+        })
+    }
+
+    /// Should the checkpoint write at `superstep` fail?
+    pub fn trip_fail_checkpoint_write(&self, superstep: u32) -> bool {
+        self.trip(|k| matches!(k, FaultKind::FailCheckpointWrite { superstep: s } if *s == superstep))
+    }
+
+    /// Apply any post-write corruption scheduled for `superstep` to the
+    /// snapshot file at `path`. Returns what was done, if anything.
+    pub fn corrupt_after_write(
+        &self,
+        superstep: u32,
+        path: &Path,
+    ) -> Result<Option<&'static str>, CkptError> {
+        if self.trip(|k| matches!(k, FaultKind::CorruptSnapshot { superstep: s } if *s == superstep)) {
+            let mut bytes = std::fs::read(path)?;
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(path, bytes)?;
+            return Ok(Some("flipped byte"));
+        }
+        if self.trip(|k| matches!(k, FaultKind::TruncateSnapshot { superstep: s } if *s == superstep)) {
+            let bytes = std::fs::read(path)?;
+            std::fs::write(path, &bytes[..bytes.len() / 2])?;
+            return Ok(Some("truncated"));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_trips() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(!plan.trip_panic_in_compute(0, 0));
+        assert!(!plan.trip_fail_checkpoint_write(3));
+    }
+
+    #[test]
+    fn panic_fault_trips_exactly_once() {
+        let plan = FaultPlan::builder().panic_in_compute(3, None).build();
+        assert!(!plan.trip_panic_in_compute(2, 0), "wrong superstep must not trip");
+        assert!(plan.trip_panic_in_compute(3, 1));
+        assert!(!plan.trip_panic_in_compute(3, 1), "fault must be consumed");
+    }
+
+    #[test]
+    fn worker_targeted_fault_ignores_other_workers() {
+        let plan = FaultPlan::builder().panic_in_compute(2, Some(1)).build();
+        assert!(!plan.trip_panic_in_compute(2, 0));
+        assert!(plan.trip_panic_in_compute(2, 1));
+    }
+
+    #[test]
+    fn trips_shared_across_clones() {
+        let plan = FaultPlan::builder().panic_in_compute(1, None).build();
+        let clone = plan.clone();
+        assert!(plan.trip_panic_in_compute(1, 0));
+        assert!(!clone.trip_panic_in_compute(1, 0), "clone must see consumed fault");
+    }
+
+    #[test]
+    fn independent_faults_trip_independently() {
+        let plan = FaultPlan::builder()
+            .panic_in_compute(1, None)
+            .panic_in_compute(4, None)
+            .fail_checkpoint_write(2)
+            .build();
+        assert!(plan.trip_fail_checkpoint_write(2));
+        assert!(plan.trip_panic_in_compute(4, 0));
+        assert!(plan.trip_panic_in_compute(1, 0));
+    }
+
+    #[test]
+    fn corrupt_after_write_flips_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("gm-ckpt-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.gmck");
+        let original = vec![7u8; 64];
+
+        std::fs::write(&path, &original).unwrap();
+        let plan = FaultPlan::builder().corrupt_snapshot(5).build();
+        assert_eq!(plan.corrupt_after_write(4, &path).unwrap(), None);
+        assert_eq!(plan.corrupt_after_write(5, &path).unwrap(), Some("flipped byte"));
+        let mutated = std::fs::read(&path).unwrap();
+        assert_eq!(mutated.len(), original.len());
+        assert_ne!(mutated, original);
+
+        std::fs::write(&path, &original).unwrap();
+        let plan = FaultPlan::builder().truncate_snapshot(5).build();
+        assert_eq!(plan.corrupt_after_write(5, &path).unwrap(), Some("truncated"));
+        assert_eq!(std::fs::read(&path).unwrap().len(), original.len() / 2);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,229 @@
+//! Versioned, checksummed snapshot container.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"GMCK"
+//! 4       4     format version (currently 1)
+//! 8       4     superstep the snapshot was taken at
+//! 12      4     number of vertices
+//! 16      4     section count S
+//!         ---   S sections, each:
+//!                 1       name length (bytes)
+//!                 n       section name (ascii)
+//!                 8       payload length P
+//!                 P       payload bytes
+//! end-4   4     CRC-32 (IEEE) over every preceding byte
+//! ```
+//!
+//! The CRC covers the whole file, so any torn write, flipped byte, or
+//! truncation is detected on read. Files are written to a `.tmp` sibling
+//! and atomically renamed into place, so a crash mid-write never leaves
+//! a file that passes validation.
+
+use std::path::Path;
+
+use crate::codec::ByteReader;
+use crate::crc::crc32;
+use crate::error::CkptError;
+
+pub const MAGIC: &[u8; 4] = b"GMCK";
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Accumulates named sections and encodes/writes the container.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    superstep: u32,
+    num_nodes: u32,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    pub fn new(superstep: u32, num_nodes: u32) -> Self {
+        SnapshotBuilder { superstep, num_nodes, sections: Vec::new() }
+    }
+
+    pub fn section(mut self, name: &str, payload: Vec<u8>) -> Self {
+        debug_assert!(name.len() <= u8::MAX as usize, "section name too long");
+        self.sections.push((name.to_string(), payload));
+        self
+    }
+
+    /// Serialize the container, including the trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_total: usize = self.sections.iter().map(|(n, p)| 9 + n.len() + p.len()).sum();
+        let mut out = Vec::with_capacity(20 + payload_total + 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.superstep.to_le_bytes());
+        out.extend_from_slice(&self.num_nodes.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (name, payload) in &self.sections {
+            out.push(name.len() as u8);
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Write the snapshot to `path` atomically (write `.tmp` sibling,
+    /// fsync, rename). Returns the number of bytes written.
+    pub fn write_atomic(&self, path: &Path) -> Result<u64, CkptError> {
+        let bytes = self.encode();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            use std::io::Write as _;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// A decoded, checksum-validated snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub superstep: u32,
+    pub num_nodes: u32,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Decode a container from raw bytes, validating magic, version,
+    /// framing, and the trailing CRC-32.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, CkptError> {
+        if bytes.len() < 24 {
+            return Err(CkptError::Truncated);
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(CkptError::ChecksumMismatch { expected: stored, actual });
+        }
+        let mut r = ByteReader::new(&body[4..]);
+        let version = r.read_u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+        let superstep = r.read_u32()?;
+        let num_nodes = r.read_u32()?;
+        let section_count = r.read_u32()?;
+        let mut sections = Vec::with_capacity(section_count.min(64) as usize);
+        for _ in 0..section_count {
+            let name_len = r.read_u8()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| CkptError::Decode("non-utf8 section name".into()))?
+                .to_string();
+            let payload_len = r.read_len(1)?;
+            let payload = r.take(payload_len)?.to_vec();
+            sections.push((name, payload));
+        }
+        r.expect_end()?;
+        Ok(Snapshot { superstep, num_nodes, sections })
+    }
+
+    /// Read and validate a snapshot file.
+    pub fn read(path: &Path) -> Result<Snapshot, CkptError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::decode(&bytes)
+    }
+
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, p)| p.as_slice())
+    }
+
+    pub fn require(&self, name: &'static str) -> Result<&[u8], CkptError> {
+        self.section(name).ok_or(CkptError::MissingSection(name))
+    }
+
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotBuilder {
+        SnapshotBuilder::new(7, 100)
+            .section("values", vec![1, 2, 3, 4])
+            .section("halted", vec![0, 1])
+            .section("empty", Vec::new())
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let snap = Snapshot::decode(&sample().encode()).unwrap();
+        assert_eq!(snap.superstep, 7);
+        assert_eq!(snap.num_nodes, 100);
+        assert_eq!(snap.section("values"), Some(&[1u8, 2, 3, 4][..]));
+        assert_eq!(snap.section("halted"), Some(&[0u8, 1][..]));
+        assert_eq!(snap.section("empty"), Some(&[][..]));
+        assert_eq!(snap.section("missing"), None);
+        assert!(matches!(snap.require("missing"), Err(CkptError::MissingSection("missing"))));
+        assert_eq!(snap.section_names().collect::<Vec<_>>(), vec!["values", "halted", "empty"]);
+    }
+
+    #[test]
+    fn flipped_byte_rejected_anywhere() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(Snapshot::decode(&bad).is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = sample().encode();
+        for keep in 0..bytes.len() {
+            assert!(Snapshot::decode(&bytes[..keep]).is_err(), "truncation to {keep} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(matches!(Snapshot::decode(&bytes), Err(CkptError::BadMagic)));
+
+        // Rebuild with a bumped version and a fixed-up CRC: versioned
+        // rejection must be distinguishable from corruption.
+        let mut bytes = sample().encode();
+        bytes[4] = 99;
+        let body_len = bytes.len() - 4;
+        let crc = crate::crc::crc32(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(Snapshot::decode(&bytes), Err(CkptError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("gm-ckpt-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.gmck");
+        let written = sample().write_atomic(&path).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        assert!(!path.with_extension("tmp").exists());
+        let snap = Snapshot::read(&path).unwrap();
+        assert_eq!(snap.superstep, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+}

@@ -1,0 +1,211 @@
+//! Directory of snapshot files, one per checkpointed superstep.
+//!
+//! Files are named `snapshot-NNNNNNNN.gmck` (zero-padded superstep), so
+//! lexicographic order equals superstep order. Recovery scans newest to
+//! oldest, discarding anything that fails checksum validation, and
+//! restores the most recent valid snapshot.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::CkptError;
+use crate::snapshot::{Snapshot, SnapshotBuilder};
+
+const EXTENSION: &str = "gmck";
+
+/// Outcome of a [`CheckpointStore::latest_valid`] scan.
+#[derive(Debug)]
+pub struct RecoveredSnapshot {
+    pub snapshot: Snapshot,
+    pub path: PathBuf,
+    /// Snapshots newer than the restored one that failed validation and
+    /// were skipped (torn writes, flipped bytes, bad framing).
+    pub discarded: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if necessary) a checkpoint directory.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn path_for(&self, superstep: u32) -> PathBuf {
+        self.dir.join(format!("snapshot-{superstep:08}.{EXTENSION}"))
+    }
+
+    /// Atomically write a snapshot for its superstep. Returns the final
+    /// path and the byte count.
+    pub fn write(&self, builder: &SnapshotBuilder, superstep: u32) -> Result<(PathBuf, u64), CkptError> {
+        let path = self.path_for(superstep);
+        let bytes = builder.write_atomic(&path)?;
+        Ok((path, bytes))
+    }
+
+    /// All snapshot files present, as `(superstep, path)` sorted by
+    /// ascending superstep. Files that don't match the naming scheme are
+    /// ignored.
+    pub fn list(&self) -> Result<Vec<(u32, PathBuf)>, CkptError> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if let Some(step) = parse_superstep(&path) {
+                out.push((step, path));
+            }
+        }
+        out.sort_by_key(|(step, _)| *step);
+        Ok(out)
+    }
+
+    /// Scan newest→oldest and return the most recent snapshot that
+    /// passes validation, counting how many newer ones were discarded.
+    /// Returns `Ok(None)` when no valid snapshot exists at all.
+    pub fn latest_valid(&self) -> Result<Option<RecoveredSnapshot>, CkptError> {
+        let mut discarded = 0u32;
+        for (_, path) in self.list()?.into_iter().rev() {
+            match Snapshot::read(&path) {
+                Ok(snapshot) => {
+                    return Ok(Some(RecoveredSnapshot { snapshot, path, discarded }));
+                }
+                Err(_) => discarded += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Delete all but the newest `keep` snapshots. `keep == 0` keeps
+    /// everything.
+    pub fn prune(&self, keep: usize) -> Result<(), CkptError> {
+        if keep == 0 {
+            return Ok(());
+        }
+        let files = self.list()?;
+        if files.len() > keep {
+            for (_, path) in &files[..files.len() - keep] {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_superstep(path: &Path) -> Option<u32> {
+    if path.extension()?.to_str()? != EXTENSION {
+        return None;
+    }
+    let stem = path.file_stem()?.to_str()?;
+    stem.strip_prefix("snapshot-")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "gm-ckpt-store-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn snap(superstep: u32) -> SnapshotBuilder {
+        SnapshotBuilder::new(superstep, 4).section("values", vec![superstep as u8; 8])
+    }
+
+    #[test]
+    fn write_list_latest() {
+        let dir = fresh_dir("basic");
+        let store = CheckpointStore::create(&dir).unwrap();
+        for step in [2u32, 4, 6] {
+            store.write(&snap(step), step).unwrap();
+        }
+        let listed: Vec<u32> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(listed, vec![2, 4, 6]);
+        let rec = store.latest_valid().unwrap().unwrap();
+        assert_eq!(rec.snapshot.superstep, 6);
+        assert_eq!(rec.discarded, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = fresh_dir("corrupt");
+        let store = CheckpointStore::create(&dir).unwrap();
+        for step in [1u32, 2, 3] {
+            store.write(&snap(step), step).unwrap();
+        }
+        // Flip one byte in the newest snapshot.
+        let newest = store.path_for(3);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, bytes).unwrap();
+
+        let rec = store.latest_valid().unwrap().unwrap();
+        assert_eq!(rec.snapshot.superstep, 2);
+        assert_eq!(rec.discarded, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_corrupt_yields_none() {
+        let dir = fresh_dir("allbad");
+        let store = CheckpointStore::create(&dir).unwrap();
+        store.write(&snap(1), 1).unwrap();
+        std::fs::write(store.path_for(1), b"garbage").unwrap();
+        assert!(store.latest_valid().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_ok() {
+        let dir = fresh_dir("missing");
+        let store = CheckpointStore { dir: dir.clone() };
+        assert!(store.list().unwrap().is_empty());
+        assert!(store.latest_valid().unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = fresh_dir("prune");
+        let store = CheckpointStore::create(&dir).unwrap();
+        for step in 1..=5u32 {
+            store.write(&snap(step), step).unwrap();
+        }
+        store.prune(2).unwrap();
+        let listed: Vec<u32> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(listed, vec![4, 5]);
+        store.prune(0).unwrap();
+        assert_eq!(store.list().unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrelated_files_ignored() {
+        let dir = fresh_dir("noise");
+        let store = CheckpointStore::create(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), b"hi").unwrap();
+        std::fs::write(dir.join("snapshot-xx.gmck"), b"hi").unwrap();
+        store.write(&snap(9), 9).unwrap();
+        let listed: Vec<u32> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(listed, vec![9]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

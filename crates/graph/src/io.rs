@@ -2,8 +2,9 @@
 //!
 //! The format is one `src dst` pair per line (whitespace separated), with
 //! optional `#`-prefixed comment lines — the same convention as SNAP data
-//! sets. An optional third column carries an integer edge weight, returned
-//! as an aligned weight vector.
+//! sets. A `#` after the columns starts an inline comment that runs to the
+//! end of the line. An optional third column carries an integer edge
+//! weight, returned as an aligned weight vector.
 
 use crate::{Graph, GraphBuilder};
 use std::error::Error;
@@ -78,8 +79,13 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseGraphError
     let mut any = false;
     for (i, line) in buf.lines().enumerate() {
         let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
+        let mut trimmed = line.trim();
+        // Strip inline trailing comments (`0 1  # hub edge`) before
+        // splitting into columns; a full-line comment becomes empty.
+        if let Some(hash) = trimmed.find('#') {
+            trimmed = trimmed[..hash].trim_end();
+        }
+        if trimmed.is_empty() {
             continue;
         }
         let mut it = trimmed.split_whitespace();
@@ -215,6 +221,31 @@ mod tests {
         let err = read_edge_list(text.as_bytes()).unwrap_err();
         match err {
             ParseGraphError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn inline_trailing_comments_are_stripped() {
+        let text = "0 1  # hub edge\n1 2 9\t# weighted, tab before comment\n   # only a comment\n2 0#no space\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        // Edge-id order: (0,1)=e0, (1,2)=e1, (2,0)=e2.
+        assert_eq!(loaded.weights, vec![1, 9, 1]);
+    }
+
+    #[test]
+    fn malformed_text_before_inline_comment_still_errors() {
+        let text = "0 1\n0 # missing dst\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Malformed { line, text } => {
+                assert_eq!(line, 2);
+                // The reported text is the stripped column part, so the
+                // message points at what was actually parsed.
+                assert_eq!(text, "0");
+            }
             other => panic!("unexpected error: {other}"),
         }
     }

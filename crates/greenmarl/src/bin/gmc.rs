@@ -6,6 +6,8 @@
 //! gmc run <file.gm> --graph <edges.txt> [--arg name=value]...
 //!         [--seed N] [--workers N] [--print prop] [--steps] [--timing]
 //!         [--trace <path>] [--trace-format jsonl|chrome]
+//!         [--checkpoint-every N] [--checkpoint-dir <dir>] [--resume]
+//!         [--keep-snapshots N] [--max-restarts N]
 //! ```
 //!
 //! `--trace <path>` writes a structured event log of the compiler passes
@@ -19,13 +21,19 @@
 //! Scalar arguments are given as `--arg K=25`, `--arg d=0.85`,
 //! `--arg root=n:0`, `--arg flag=true`. Node properties not supplied start
 //! at their type's default.
+//!
+//! `--checkpoint-every N` snapshots the full BSP frontier into
+//! `--checkpoint-dir` (default `gm-ckpt/` in the temp dir) every N
+//! supersteps; `--resume` continues a previous run from the newest valid
+//! snapshot there, and `--keep-snapshots N` prunes all but the newest N.
+//! `--max-restarts N` lets the run restart itself after worker failures.
 
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
 use gm_core::{compile_with, CompileOptions};
 use gm_interp::run_compiled;
 use gm_obs::{TraceFormat, Tracer};
-use gm_pregel::PregelConfig;
+use gm_pregel::{CheckpointConfig, PregelConfig, RecoveryPolicy};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -40,6 +48,8 @@ fn main() -> ExitCode {
             eprintln!("       gmc run <file.gm> --graph <edges.txt> [--arg name=value]...");
             eprintln!("               [--seed N] [--workers N] [--print prop] [--steps]");
             eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
+            eprintln!("               [--checkpoint-every N] [--checkpoint-dir <dir>] [--resume]");
+            eprintln!("               [--keep-snapshots N] [--max-restarts N]");
             ExitCode::FAILURE
         }
     }
@@ -192,6 +202,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut timing = false;
     let mut trace_path: Option<String> = None;
     let mut trace_format = TraceFormat::Jsonl;
+    let mut ckpt_every: Option<u32> = None;
+    let mut ckpt_dir: Option<String> = None;
+    let mut resume = false;
+    let mut keep_snapshots = 0usize;
+    let mut max_restarts: Option<u32> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut take = |flag: &str| -> Result<String, String> {
@@ -218,6 +233,27 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 "--trace" => trace_path = Some(take("--trace")?),
                 "--trace-format" => {
                     trace_format = take("--trace-format")?.parse()?;
+                }
+                "--checkpoint-every" => {
+                    ckpt_every = Some(
+                        take("--checkpoint-every")?
+                            .parse()
+                            .map_err(|e| format!("bad checkpoint interval: {e}"))?,
+                    );
+                }
+                "--checkpoint-dir" => ckpt_dir = Some(take("--checkpoint-dir")?),
+                "--resume" => resume = true,
+                "--keep-snapshots" => {
+                    keep_snapshots = take("--keep-snapshots")?
+                        .parse()
+                        .map_err(|e| format!("bad snapshot count: {e}"))?;
+                }
+                "--max-restarts" => {
+                    max_restarts = Some(
+                        take("--max-restarts")?
+                            .parse()
+                            .map_err(|e| format!("bad restart budget: {e}"))?,
+                    );
                 }
                 "--arg" => {
                     let kv = take("--arg")?;
@@ -284,6 +320,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(t) = &tracer {
         config = config.with_tracer(t.clone());
     }
+    if let Some(every) = ckpt_every {
+        let dir = ckpt_dir
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("gm-ckpt"));
+        config = config.with_checkpoints(
+            CheckpointConfig::new(dir, every)
+                .with_resume(resume)
+                .with_keep(keep_snapshots),
+        );
+    }
+    if let Some(n) = max_restarts {
+        config = config.with_recovery(RecoveryPolicy::with_max_restarts(n));
+    }
     let start = std::time::Instant::now();
     let out = match run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config) {
         Ok(o) => o,
@@ -303,6 +352,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         "supersteps: {}   messages: {} ({} bytes)",
         out.metrics.supersteps, out.metrics.total_messages, out.metrics.total_message_bytes
     );
+    let rec = &out.metrics.recovery;
+    if rec.checkpoints_written > 0 || rec.restores > 0 || rec.restarts > 0 {
+        println!(
+            "checkpoints: {} written ({} bytes)   restores: {}   restarts: {}",
+            rec.checkpoints_written, rec.snapshot_bytes, rec.restores, rec.restarts
+        );
+    }
     if let Some(ret) = &out.ret {
         println!("return value: {ret}");
     }

@@ -4,8 +4,50 @@ use gm_core::ast::{BinOp, Expr, ExprKind};
 use gm_core::value::{apply_bin, apply_un, Value, NIL_NODE};
 use gm_graph::Graph;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// The seeded RNG behind `G.PickRandom()`, with a draw counter so that
+/// checkpoint snapshots can restore the stream position exactly.
+///
+/// `PickRandom` is the only consumer and every draw uses the same fixed
+/// range (`0..num_nodes`), so `(seed, draws)` fully determines the RNG
+/// state: [`PickRng::replay`] re-seeds and fast-forwards.
+pub struct PickRng {
+    rng: StdRng,
+    draws: u64,
+}
+
+impl PickRng {
+    /// Fresh stream seeded from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        PickRng {
+            rng: StdRng::seed_from_u64(seed),
+            draws: 0,
+        }
+    }
+
+    /// Draws a node id uniformly from `0..n`.
+    pub fn pick(&mut self, n: u32) -> u32 {
+        self.draws += 1;
+        self.rng.gen_range(0..n)
+    }
+
+    /// Draws consumed so far (persisted in master-state snapshots).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Re-seeds and fast-forwards `draws` draws of `0..n`, reproducing
+    /// the exact stream position a snapshot captured.
+    pub fn replay(seed: u64, draws: u64, n: u32) -> Self {
+        let mut rng = PickRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            rng.pick(n);
+        }
+        rng
+    }
+}
 
 /// Master-side evaluation environment: globals plus the graph and the
 /// master RNG (for `PickRandom`).
@@ -15,7 +57,7 @@ pub struct MasterEnv<'a> {
     /// The input graph (for `NumNodes`/`NumEdges`/`PickRandom`).
     pub graph: &'a Graph,
     /// Seeded RNG driving `PickRandom`.
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut PickRng,
 }
 
 impl MasterEnv<'_> {
@@ -81,7 +123,7 @@ impl MasterEnv<'_> {
                 "PickRandom" => {
                     let n = self.graph.num_nodes();
                     assert!(n > 0, "PickRandom on an empty graph");
-                    Value::Node(self.rng.gen_range(0..n))
+                    Value::Node(self.rng.pick(n))
                 }
                 other => panic!("master built-in `{other}` not supported"),
             },
@@ -97,7 +139,6 @@ mod tests {
     use super::*;
     use gm_core::parser::parse_expr;
     use gm_core::types::Ty;
-    use rand::SeedableRng;
 
     #[test]
     fn master_eval_basics() {
@@ -106,7 +147,7 @@ mod tests {
             ("k".to_owned(), Value::Int(3)),
             ("f".to_owned(), Value::Bool(false)),
         ]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = PickRng::seed_from_u64(1);
         let mut env = MasterEnv {
             globals: &mut globals,
             graph: &g,
@@ -133,7 +174,7 @@ mod tests {
         let g = gm_graph::gen::path(100);
         let pick = |seed| {
             let mut globals = HashMap::new();
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = PickRng::seed_from_u64(seed);
             let mut env = MasterEnv {
                 globals: &mut globals,
                 graph: &g,
@@ -142,5 +183,17 @@ mod tests {
             env.eval(&parse_expr("G.PickRandom()").unwrap())
         };
         assert_eq!(pick(7), pick(7));
+    }
+
+    #[test]
+    fn pick_rng_replay_restores_stream_position() {
+        let mut a = PickRng::seed_from_u64(99);
+        for _ in 0..5 {
+            a.pick(1000);
+        }
+        let mut b = PickRng::replay(99, a.draws(), 1000);
+        for _ in 0..10 {
+            assert_eq!(a.pick(1000), b.pick(1000));
+        }
     }
 }

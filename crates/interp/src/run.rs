@@ -7,7 +7,7 @@
 //! superstep by the master; message payloads are shared via `Arc` so a
 //! fan-out to ten thousand neighbors clones a pointer, not a vector.
 
-use crate::eval::MasterEnv;
+use crate::eval::{MasterEnv, PickRng};
 use crate::exec::{eval, EvalCx};
 use crate::precompile::{precompile, CAction, CInstr, Precompiled};
 use gm_core::ast::AssignOp;
@@ -18,11 +18,9 @@ use gm_core::value::{apply_reduce, Value};
 use gm_core::Compiled;
 use gm_graph::{Graph, NodeId};
 use gm_pregel::{
-    run, GlobalValue, MasterContext, MasterDecision, Metrics, PregelConfig, PregelError, ReduceOp,
-    VertexContext, VertexProgram,
+    run_with_recovery, ByteReader, CkptError, GlobalValue, MasterContext, MasterDecision, Metrics,
+    Persist, PregelConfig, PregelError, ReduceOp, VertexContext, VertexProgram,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -40,6 +38,89 @@ pub struct VertexData {
 pub struct Msg {
     tag: u8,
     payload: Arc<[Value]>,
+}
+
+// `Value` lives in gm-core and `Persist` in gm-ckpt, so the orphan rule
+// forbids a trait impl; a local tag-byte codec bridges the two.
+fn put_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(x) => {
+            0u8.persist(out);
+            x.persist(out);
+        }
+        Value::Double(x) => {
+            1u8.persist(out);
+            x.persist(out);
+        }
+        Value::Bool(x) => {
+            2u8.persist(out);
+            x.persist(out);
+        }
+        Value::Node(x) => {
+            3u8.persist(out);
+            x.persist(out);
+        }
+        Value::Edge(x) => {
+            4u8.persist(out);
+            x.persist(out);
+        }
+    }
+}
+
+fn get_value(r: &mut ByteReader<'_>) -> Result<Value, CkptError> {
+    Ok(match u8::restore(r)? {
+        0 => Value::Int(Persist::restore(r)?),
+        1 => Value::Double(Persist::restore(r)?),
+        2 => Value::Bool(Persist::restore(r)?),
+        3 => Value::Node(Persist::restore(r)?),
+        4 => Value::Edge(Persist::restore(r)?),
+        t => return Err(CkptError::Decode(format!("invalid Value tag {t:#04x}"))),
+    })
+}
+
+impl Persist for VertexData {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.props.len().persist(out);
+        for v in &self.props {
+            put_value(v, out);
+        }
+        self.in_nbrs.persist(out);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let n = usize::restore(r)?;
+        let mut props = Vec::new();
+        for _ in 0..n {
+            props.push(get_value(r)?);
+        }
+        Ok(VertexData {
+            props,
+            in_nbrs: Persist::restore(r)?,
+        })
+    }
+}
+
+impl Persist for Msg {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.tag.persist(out);
+        self.payload.len().persist(out);
+        for v in self.payload.iter() {
+            put_value(v, out);
+        }
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        let tag = u8::restore(r)?;
+        let n = usize::restore(r)?;
+        let mut payload = Vec::new();
+        for _ in 0..n {
+            payload.push(get_value(r)?);
+        }
+        Ok(Msg {
+            tag,
+            payload: Arc::from(payload),
+        })
+    }
 }
 
 /// Errors from [`run_compiled`].
@@ -209,7 +290,8 @@ pub fn run_compiled(
         edge_cols: &edge_cols,
         graph,
         globals,
-        rng: StdRng::seed_from_u64(seed),
+        seed,
+        rng: PickRng::seed_from_u64(seed),
         prev_state: None,
         cur_state: 0,
         cur_globals: Vec::new(),
@@ -218,7 +300,7 @@ pub fn run_compiled(
         finished: false,
     };
 
-    let result = run(graph, &mut machine, init, config)?;
+    let result = run_with_recovery(graph, &mut machine, init, config)?;
 
     let mut node_props: HashMap<String, Vec<Value>> = HashMap::new();
     for (name, &i) in &prop_idx {
@@ -254,7 +336,8 @@ struct Machine<'a> {
     edge_cols: &'a [Vec<Value>],
     graph: &'a Graph,
     globals: HashMap<String, Value>,
-    rng: StdRng,
+    seed: u64,
+    rng: PickRng,
     prev_state: Option<StateId>,
     /// Set by the master before each vertex phase.
     cur_state: StateId,
@@ -576,6 +659,59 @@ impl VertexProgram for Machine<'_> {
         for (idx, v) in deferred {
             props[idx] = v;
         }
+    }
+
+    // Snapshots are cut before `master_compute`, so `cur_state` and
+    // `cur_globals` need not be saved — the master recomputes them on the
+    // first post-restore superstep. The RNG is stored as its draw count
+    // and replayed from the seed (see [`PickRng`]).
+    fn save_master_state(&self, out: &mut Vec<u8>) {
+        self.rng.draws().persist(out);
+        self.prev_state.map(|s| s as u64).persist(out);
+        self.finished.persist(out);
+        self.ret.is_some().persist(out);
+        if let Some(v) = &self.ret {
+            put_value(v, out);
+        }
+        let mut names: Vec<&String> = self.globals.keys().collect();
+        names.sort();
+        names.len().persist(out);
+        for name in names {
+            name.persist(out);
+            put_value(&self.globals[name], out);
+        }
+        self.state_log.len().persist(out);
+        for &s in &self.state_log {
+            (s as u64).persist(out);
+        }
+    }
+
+    fn restore_master_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CkptError> {
+        let draws = u64::restore(r)?;
+        self.rng = PickRng::replay(self.seed, draws, self.graph.num_nodes());
+        let prev: Option<u64> = Persist::restore(r)?;
+        self.prev_state = prev.map(|s| s as StateId);
+        self.finished = Persist::restore(r)?;
+        self.ret = if bool::restore(r)? {
+            Some(get_value(r)?)
+        } else {
+            None
+        };
+        let n = usize::restore(r)?;
+        let mut globals = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let name = String::restore(r)?;
+            let v = get_value(r)?;
+            globals.insert(name, v);
+        }
+        self.globals = globals;
+        let n = usize::restore(r)?;
+        let mut log = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            log.push(u64::restore(r)? as StateId);
+        }
+        self.state_log = log;
+        Ok(())
     }
 }
 

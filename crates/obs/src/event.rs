@@ -19,6 +19,9 @@ pub enum Category {
     Runtime,
     /// Harness events (graph generation, bench setup).
     Bench,
+    /// Checkpoint and recovery events (snapshot writes, restores,
+    /// restarts).
+    Ckpt,
 }
 
 impl Category {
@@ -28,6 +31,7 @@ impl Category {
             Category::Compiler => "compiler",
             Category::Runtime => "runtime",
             Category::Bench => "bench",
+            Category::Ckpt => "ckpt",
         }
     }
 }

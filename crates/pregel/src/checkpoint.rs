@@ -1,0 +1,239 @@
+//! Checkpoint configuration and the runtime ⇄ snapshot mapping.
+//!
+//! # What a snapshot contains
+//!
+//! A checkpoint taken "at superstep k" captures the BSP frontier at the
+//! top of superstep k, *before* its master phase runs — exactly the state
+//! a resumed run needs to re-enter the superstep loop at k:
+//!
+//! | section   | contents                                                    |
+//! |-----------|-------------------------------------------------------------|
+//! | `coord`   | active-vertex count, pending-message count, previous-superstep [`AggMap`], broadcast [`Globals`] |
+//! | `master`  | opaque [`VertexProgram::save_master_state`] bytes           |
+//! | `values`  | per-vertex values in vertex-id order                        |
+//! | `halted`  | per-vertex halted flags in vertex-id order                  |
+//! | `inbox`   | per-vertex undelivered message lists in vertex-id order     |
+//! | `metrics` | accumulated [`Metrics`] (wall-clock durations included)     |
+//!
+//! The vertex-indexed sections are written in ascending vertex order (the
+//! coordinator concatenates worker ranges in ascending worker order), so a
+//! snapshot is **partition-independent**: a job checkpointed with one
+//! worker count can resume with another. The only caveat is inherited from
+//! the runtime's documented float semantics: floating-point `Sum`
+//! aggregates are bit-reproducible only for a fixed worker count, so
+//! exact-resume equivalence holds when the worker count is unchanged.
+//!
+//! Every section except `metrics` is byte-deterministic for identical runs
+//! (metrics contain measured wall-clock durations); the determinism test
+//! in `gm-algorithms` pins that property.
+//!
+//! [`VertexProgram::save_master_state`]: crate::VertexProgram::save_master_state
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::globals::{AggMap, Globals};
+use crate::metrics::Metrics;
+use crate::program::VertexProgram;
+use gm_ckpt::{ByteReader, CkptError, Persist, Snapshot, SnapshotBuilder};
+use gm_graph::Graph;
+
+/// Section names of the snapshot container.
+pub(crate) const SEC_COORD: &str = "coord";
+pub(crate) const SEC_MASTER: &str = "master";
+pub(crate) const SEC_VALUES: &str = "values";
+pub(crate) const SEC_HALTED: &str = "halted";
+pub(crate) const SEC_INBOX: &str = "inbox";
+pub(crate) const SEC_METRICS: &str = "metrics";
+
+/// Checkpointing configuration, attached to
+/// [`PregelConfig::checkpoint`](crate::PregelConfig).
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Snapshot interval in supersteps (must be ≥ 1): a snapshot is
+    /// written at the top of every superstep `k` with `k % every == 0`,
+    /// `k > 0`.
+    pub every: u32,
+    /// Directory holding the snapshot files (created if missing).
+    pub dir: PathBuf,
+    /// When `true`, [`run`](crate::run) scans `dir` before starting and
+    /// resumes from the newest valid snapshot (falling back to a fresh
+    /// start when none exists).
+    pub resume: bool,
+    /// Keep only the newest `keep` snapshots, pruning older ones after
+    /// each write; `0` keeps everything.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every `every` supersteps.
+    pub fn new(dir: impl Into<PathBuf>, every: u32) -> Self {
+        CheckpointConfig {
+            every,
+            dir: dir.into(),
+            resume: false,
+            keep: 0,
+        }
+    }
+
+    /// Sets whether the run resumes from the newest valid snapshot.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Keeps only the newest `keep` snapshots.
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+}
+
+/// Retry policy for [`run_with_recovery`](crate::run_with_recovery).
+#[derive(Clone, Debug)]
+pub struct RecoveryPolicy {
+    /// Maximum restarts after recoverable failures before giving up and
+    /// returning the error.
+    pub max_restarts: u32,
+    /// Base delay between restarts; attempt `i` (1-based) sleeps
+    /// `backoff × i` (linear backoff). Zero disables sleeping.
+    pub backoff: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_restarts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Policy with an explicit restart budget and no backoff.
+    pub fn with_max_restarts(max_restarts: u32) -> Self {
+        RecoveryPolicy {
+            max_restarts,
+            ..Self::default()
+        }
+    }
+}
+
+/// Coordinator-side state captured in the `coord` section.
+pub(crate) struct CoordState {
+    pub active_vertices: u32,
+    pub pending_messages: u64,
+    pub agg_prev: AggMap,
+    pub globals: Globals,
+}
+
+pub(crate) fn encode_coord(coord: &CoordState) -> Vec<u8> {
+    let mut out = Vec::new();
+    coord.active_vertices.persist(&mut out);
+    coord.pending_messages.persist(&mut out);
+    coord.agg_prev.persist(&mut out);
+    coord.globals.persist(&mut out);
+    out
+}
+
+/// Everything [`run`](crate::run) needs to re-enter the superstep loop
+/// where the snapshot left off. Vertex-indexed fields span the whole
+/// graph; the runtime re-splits them across the current partition.
+pub(crate) struct ResumeState<P: VertexProgram> {
+    pub superstep: u32,
+    pub coord: CoordState,
+    pub metrics: Metrics,
+    pub values: Vec<P::VertexValue>,
+    pub halted: Vec<bool>,
+    pub inboxes: Vec<Vec<P::Message>>,
+}
+
+/// Decodes a validated snapshot back into runtime state, restoring the
+/// program's master state in the process. Fails if the snapshot was taken
+/// for a different graph size or any section is malformed.
+pub(crate) fn decode_snapshot<P>(
+    snap: &Snapshot,
+    graph: &Graph,
+    program: &mut P,
+) -> Result<ResumeState<P>, CkptError>
+where
+    P: VertexProgram,
+    P::VertexValue: Persist,
+    P::Message: Persist,
+{
+    let n = graph.num_nodes();
+    if snap.num_nodes != n {
+        return Err(CkptError::Decode(format!(
+            "snapshot is for a {}-vertex graph, current graph has {n}",
+            snap.num_nodes
+        )));
+    }
+    let n = n as usize;
+
+    let mut r = ByteReader::new(snap.require(SEC_COORD)?);
+    let coord = CoordState {
+        active_vertices: Persist::restore(&mut r)?,
+        pending_messages: Persist::restore(&mut r)?,
+        agg_prev: Persist::restore(&mut r)?,
+        globals: Persist::restore(&mut r)?,
+    };
+    r.expect_end()?;
+
+    let mut r = ByteReader::new(snap.require(SEC_VALUES)?);
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(P::VertexValue::restore(&mut r)?);
+    }
+    r.expect_end()?;
+
+    let mut r = ByteReader::new(snap.require(SEC_HALTED)?);
+    let mut halted = Vec::with_capacity(n);
+    for _ in 0..n {
+        halted.push(bool::restore(&mut r)?);
+    }
+    r.expect_end()?;
+
+    let mut r = ByteReader::new(snap.require(SEC_INBOX)?);
+    let mut inboxes = Vec::with_capacity(n);
+    for _ in 0..n {
+        inboxes.push(Vec::<P::Message>::restore(&mut r)?);
+    }
+    r.expect_end()?;
+
+    let mut r = ByteReader::new(snap.require(SEC_MASTER)?);
+    program.restore_master_state(&mut r)?;
+    r.expect_end()?;
+
+    let metrics = Metrics::from_bytes(snap.require(SEC_METRICS)?)?;
+
+    Ok(ResumeState {
+        superstep: snap.superstep,
+        coord,
+        metrics,
+        values,
+        halted,
+        inboxes,
+    })
+}
+
+/// Assembles the snapshot container from the coordinator state, the
+/// worker-captured vertex sections (already concatenated in ascending
+/// vertex order), the program's master bytes, and the metrics so far.
+pub(crate) fn build_snapshot(
+    superstep: u32,
+    num_nodes: u32,
+    coord: &CoordState,
+    master: Vec<u8>,
+    values: Vec<u8>,
+    halted: Vec<u8>,
+    inbox: Vec<u8>,
+    metrics: &Metrics,
+) -> SnapshotBuilder {
+    SnapshotBuilder::new(superstep, num_nodes)
+        .section(SEC_COORD, encode_coord(coord))
+        .section(SEC_MASTER, master)
+        .section(SEC_VALUES, values)
+        .section(SEC_HALTED, halted)
+        .section(SEC_INBOX, inbox)
+        .section(SEC_METRICS, metrics.to_bytes())
+}

@@ -32,6 +32,15 @@
 //! including per-phase wall-clock (master / compute / combine / exchange):
 //! see [`Metrics`].
 //!
+//! The runtime is **fault tolerant** at superstep granularity: with
+//! [`CheckpointConfig`] attached, the coordinator snapshots the complete
+//! BSP frontier (values, halted flags, pending inboxes, globals,
+//! aggregates, master state, metrics) into checksummed files at a
+//! configurable interval, [`run`] can resume a run exactly where the
+//! newest valid snapshot left off, and [`run_with_recovery`] supervises
+//! restarts after worker failures (injectable deterministically via
+//! [`FaultPlan`]). Recovery activity is reported in [`RecoveryStats`].
+//!
 //! # Example
 //!
 //! ```
@@ -82,14 +91,25 @@
 //! # }
 //! ```
 
+mod checkpoint;
 mod globals;
 mod metrics;
+mod persist;
 mod program;
 mod runtime;
 mod value;
 
+pub use checkpoint::{CheckpointConfig, RecoveryPolicy};
 pub use globals::{AggMap, Globals};
-pub use metrics::{Metrics, SuperstepMetrics};
+pub use metrics::{Metrics, RecoveryStats, SuperstepMetrics};
 pub use program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
-pub use runtime::{run, PregelConfig, PregelError, PregelResult};
+pub use runtime::{run, run_with_recovery, PregelConfig, PregelError, PregelResult};
 pub use value::{GlobalValue, ReduceOp};
+
+// Checkpointing building blocks, re-exported so programs implementing
+// [`VertexProgram::save_master_state`] or custom [`Persist`] encodings
+// don't need a direct `gm-ckpt` dependency.
+pub use gm_ckpt::{
+    ByteReader, CheckpointStore, CkptError, FaultKind, FaultPlan, FaultPlanBuilder, Persist,
+    Snapshot,
+};

@@ -106,6 +106,61 @@ fn dur_us(d: Duration) -> Json {
     Json::UInt(d.as_micros() as u64)
 }
 
+/// Checkpoint and recovery counters for a run.
+///
+/// Unlike the structural counters above, these are *not* required to be
+/// identical between an uninterrupted run and a run that recovered from a
+/// fault: a recovered run restores the counters persisted in the snapshot
+/// it resumed from, then keeps counting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Snapshots successfully written to the checkpoint directory.
+    pub checkpoints_written: u32,
+    /// Checkpoint writes that failed (I/O error or injected fault). A
+    /// failed write never aborts the run — the job continues and retries
+    /// at the next checkpoint interval.
+    pub checkpoint_failures: u32,
+    /// Total bytes of all successfully written snapshots.
+    pub snapshot_bytes: u64,
+    /// Successful restores from a snapshot (resume paths taken).
+    pub restores: u32,
+    /// Snapshots rejected during recovery scans because they failed
+    /// checksum or framing validation.
+    pub corrupt_snapshots_discarded: u32,
+    /// Times the recovery supervisor restarted the job after a failure.
+    pub restarts: u32,
+    /// Wall-clock spent capturing and writing snapshots.
+    pub checkpoint_time: Duration,
+    /// Wall-clock spent locating, validating, and decoding snapshots on
+    /// the resume path.
+    pub restore_time: Duration,
+}
+
+impl RecoveryStats {
+    /// The recovery counters as a JSON object (durations in microseconds).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            (
+                "checkpoints_written".to_owned(),
+                Json::UInt(self.checkpoints_written as u64),
+            ),
+            (
+                "checkpoint_failures".to_owned(),
+                Json::UInt(self.checkpoint_failures as u64),
+            ),
+            ("snapshot_bytes".to_owned(), Json::UInt(self.snapshot_bytes)),
+            ("restores".to_owned(), Json::UInt(self.restores as u64)),
+            (
+                "corrupt_snapshots_discarded".to_owned(),
+                Json::UInt(self.corrupt_snapshots_discarded as u64),
+            ),
+            ("restarts".to_owned(), Json::UInt(self.restarts as u64)),
+            ("checkpoint_us".to_owned(), dur_us(self.checkpoint_time)),
+            ("restore_us".to_owned(), dur_us(self.restore_time)),
+        ])
+    }
+}
+
 /// Aggregate counters for a whole run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -137,6 +192,9 @@ pub struct Metrics {
     pub barrier_time: Duration,
     /// Per-superstep breakdown, indexed by superstep number.
     pub per_superstep: Vec<SuperstepMetrics>,
+    /// Checkpoint and recovery counters (all zero when checkpointing is
+    /// disabled and no fault occurred).
+    pub recovery: RecoveryStats,
 }
 
 impl Metrics {
@@ -200,6 +258,7 @@ impl Metrics {
                         .collect(),
                 ),
             ),
+            ("recovery".to_owned(), self.recovery.to_json_value()),
         ])
     }
 
@@ -251,6 +310,36 @@ mod tests {
         assert_eq!(m.barrier_time, Duration::from_millis(1));
         // phase_total includes the barrier residual.
         assert_eq!(m.per_superstep[0].phase_total(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn to_json_exports_recovery_stats() {
+        let m = Metrics {
+            recovery: RecoveryStats {
+                checkpoints_written: 3,
+                checkpoint_failures: 1,
+                snapshot_bytes: 4096,
+                restores: 2,
+                corrupt_snapshots_discarded: 1,
+                restarts: 2,
+                checkpoint_time: Duration::from_micros(250),
+                restore_time: Duration::from_micros(80),
+            },
+            ..Metrics::default()
+        };
+        let doc = gm_obs::json::parse(&m.to_json()).expect("to_json output parses");
+        let rec = doc.get("recovery").unwrap();
+        assert_eq!(rec.get("checkpoints_written").unwrap().as_u64(), Some(3));
+        assert_eq!(rec.get("checkpoint_failures").unwrap().as_u64(), Some(1));
+        assert_eq!(rec.get("snapshot_bytes").unwrap().as_u64(), Some(4096));
+        assert_eq!(rec.get("restores").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            rec.get("corrupt_snapshots_discarded").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(rec.get("restarts").unwrap().as_u64(), Some(2));
+        assert_eq!(rec.get("checkpoint_us").unwrap().as_u64(), Some(250));
+        assert_eq!(rec.get("restore_us").unwrap().as_u64(), Some(80));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::globals::{AggMap, Globals};
 use crate::value::{GlobalValue, ReduceOp};
+use gm_ckpt::{ByteReader, CkptError};
 use gm_graph::{Graph, NodeId, OutNeighbors};
 
 /// What the master tells the framework at the start of a superstep.
@@ -65,6 +66,26 @@ pub trait VertexProgram {
         value: &mut Self::VertexValue,
         messages: &[Self::Message],
     );
+
+    /// Serializes the program's mutable master state (everything
+    /// [`master_compute`](VertexProgram::master_compute) reads or writes
+    /// across supersteps) into the snapshot's `master` section. Programs
+    /// whose master is stateless keep the default no-op; stateful programs
+    /// must override both this and
+    /// [`restore_master_state`](VertexProgram::restore_master_state) or a
+    /// recovered run will diverge from an uninterrupted one.
+    fn save_master_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Restores the state written by
+    /// [`save_master_state`](VertexProgram::save_master_state). Called on
+    /// the resume path before the superstep loop re-enters; must consume
+    /// exactly the bytes its counterpart wrote.
+    fn restore_master_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CkptError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Context handed to [`VertexProgram::master_compute`].

@@ -27,9 +27,13 @@
 //! which keeps every metric and floating-point aggregate identical to the
 //! single-threaded execution order documented in [`run`].
 
+use crate::checkpoint::{
+    build_snapshot, decode_snapshot, CheckpointConfig, CoordState, RecoveryPolicy, ResumeState,
+};
 use crate::globals::{AggMap, Globals};
 use crate::metrics::{Metrics, SuperstepMetrics};
 use crate::program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
+use gm_ckpt::{ByteReader, CheckpointStore, CkptError, FaultPlan, Persist};
 use gm_graph::{Graph, NodeId};
 use gm_obs::{Category, Tracer};
 use std::error::Error;
@@ -55,6 +59,17 @@ pub struct PregelConfig {
     /// When `None` — the default — instrumentation collapses to a single
     /// branch per phase, so the untraced hot path is unaffected.
     pub tracer: Option<Tracer>,
+    /// Superstep-granular checkpointing. `None` (the default) disables
+    /// snapshots entirely; see [`CheckpointConfig`] for interval, directory
+    /// and resume semantics.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Deterministic fault injection for recovery testing. The default
+    /// empty plan never trips and costs one atomic load per armed fault
+    /// per phase (zero loads when empty).
+    pub faults: FaultPlan,
+    /// Retry policy for [`run_with_recovery`]; `None` makes it equivalent
+    /// to a single [`run`] attempt. Plain [`run`] ignores this field.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for PregelConfig {
@@ -67,6 +82,9 @@ impl Default for PregelConfig {
                 .unwrap_or(1),
             max_supersteps: 100_000,
             tracer: None,
+            checkpoint: None,
+            faults: FaultPlan::none(),
+            recovery: None,
         }
     }
 }
@@ -93,9 +111,27 @@ impl PregelConfig {
         self.tracer = Some(tracer);
         self
     }
+
+    /// Enables superstep-granular checkpointing.
+    pub fn with_checkpoints(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Arms a fault-injection plan (testing only).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry policy used by [`run_with_recovery`].
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
 }
 
-/// Errors surfaced by [`run`].
+/// Errors surfaced by [`run`] and [`run_with_recovery`].
 #[derive(Debug)]
 pub enum PregelError {
     /// The master never halted within the configured superstep budget.
@@ -103,8 +139,22 @@ pub enum PregelError {
         /// The configured limit.
         limit: u32,
     },
-    /// Invalid [`PregelConfig`] (e.g. zero workers).
+    /// Invalid [`PregelConfig`] (e.g. zero workers, zero checkpoint
+    /// interval).
     InvalidConfig(String),
+    /// A worker thread panicked during the given superstep (a vertex
+    /// kernel bug, or an injected fault). Recoverable: a supervisor can
+    /// restart the job from the latest valid snapshot.
+    WorkerPanicked {
+        /// Superstep whose phase lost a worker.
+        superstep: u32,
+    },
+    /// A checkpoint or resume operation failed in a way the run cannot
+    /// proceed past (an unreadable mandatory snapshot section, a graph
+    /// mismatch, or an I/O failure opening the checkpoint directory).
+    /// Failed snapshot *writes* are not fatal and are only counted in
+    /// [`RecoveryStats`](crate::RecoveryStats).
+    Checkpoint(CkptError),
 }
 
 impl fmt::Display for PregelError {
@@ -114,11 +164,28 @@ impl fmt::Display for PregelError {
                 write!(f, "superstep limit of {limit} exceeded without halting")
             }
             PregelError::InvalidConfig(msg) => write!(f, "invalid pregel config: {msg}"),
+            PregelError::WorkerPanicked { superstep } => {
+                write!(f, "worker panicked during superstep {superstep}")
+            }
+            PregelError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
 
-impl Error for PregelError {}
+impl Error for PregelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PregelError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkptError> for PregelError {
+    fn from(e: CkptError) -> Self {
+        PregelError::Checkpoint(e)
+    }
+}
 
 /// Output of [`run`]: final vertex values in id order plus metrics.
 #[derive(Debug, Clone)]
@@ -140,10 +207,26 @@ type IncomingBuckets<M> = Vec<Vec<(u32, M)>>;
 ///
 /// `init` produces the initial value for each vertex.
 ///
+/// # Checkpointing and resume
+///
+/// With [`PregelConfig::checkpoint`] set, the coordinator captures the
+/// complete BSP frontier at the top of every `every`-th superstep and
+/// writes it as a checksummed snapshot (see [`CheckpointConfig`]). When
+/// the config additionally sets `resume`, the run first scans the
+/// checkpoint directory and — if a valid snapshot exists — skips `init`
+/// entirely and re-enters the superstep loop exactly where the snapshot
+/// was taken; corrupt snapshots are discarded by checksum in favor of the
+/// newest valid one. A resumed run continues as if uninterrupted: final
+/// vertex values, superstep count, and message counters are identical to
+/// a run that never stopped (for a fixed worker count; see Determinism).
+///
 /// # Errors
 ///
-/// Returns [`PregelError::InvalidConfig`] for a zero worker count and
-/// [`PregelError::SuperstepLimitExceeded`] if the program never halts.
+/// Returns [`PregelError::InvalidConfig`] for a zero worker count or zero
+/// checkpoint interval, [`PregelError::SuperstepLimitExceeded`] if the
+/// program never halts, [`PregelError::WorkerPanicked`] if a vertex
+/// kernel (or injected fault) panics on a worker, and
+/// [`PregelError::Checkpoint`] if a resume path cannot be completed.
 ///
 /// # Determinism
 ///
@@ -155,34 +238,133 @@ type IncomingBuckets<M> = Vec<Vec<(u32, M)>>;
 /// ascending worker order, so they are bit-reproducible for a fixed worker
 /// count but may differ across worker counts by rounding (see
 /// [`AggMap::merge`]).
-pub fn run<P: VertexProgram + Send + Sync>(
+pub fn run<P>(
     graph: &Graph,
     program: &mut P,
     init: impl Fn(NodeId) -> P::VertexValue,
     config: &PregelConfig,
-) -> Result<PregelResult<P::VertexValue>, PregelError> {
+) -> Result<PregelResult<P::VertexValue>, PregelError>
+where
+    P: VertexProgram + Send + Sync,
+    P::VertexValue: Persist,
+    P::Message: Persist,
+{
     if config.num_workers == 0 {
         return Err(PregelError::InvalidConfig("num_workers must be ≥ 1".into()));
+    }
+    if let Some(c) = &config.checkpoint {
+        if c.every == 0 {
+            return Err(PregelError::InvalidConfig(
+                "checkpoint interval must be ≥ 1".into(),
+            ));
+        }
     }
     let n = graph.num_nodes() as usize;
     let num_workers = config.num_workers.min(n.max(1));
     let starts = partition(graph, num_workers);
+    let tracer = config.tracer.as_ref();
 
-    let mut states: Vec<WorkerState<P>> = (0..num_workers)
-        .map(|w| WorkerState::new(w, &starts, &init))
-        .collect();
+    // Resume path: locate and decode the newest valid snapshot before any
+    // state is initialized. Also opens the store for checkpoint writes.
+    let mut resume: Option<ResumeState<P>> = None;
+    let mut ckpt: Option<CkptRunner> = None;
+    if let Some(c) = &config.checkpoint {
+        let store = CheckpointStore::create(&c.dir)?;
+        let mut runner = CkptRunner {
+            store,
+            every: c.every,
+            keep: c.keep,
+            skip: None,
+        };
+        if c.resume {
+            let restore_started = Instant::now();
+            let restore_start_us = tracer.map(Tracer::now_us);
+            if let Some(rec) = runner.store.latest_valid()? {
+                let mut rs = decode_snapshot::<P>(&rec.snapshot, graph, program)?;
+                rs.metrics.recovery.restores += 1;
+                rs.metrics.recovery.corrupt_snapshots_discarded += rec.discarded;
+                rs.metrics.recovery.restore_time += restore_started.elapsed();
+                if let (Some(t), Some(ts)) = (tracer, restore_start_us) {
+                    t.span_at(
+                        "restore",
+                        Category::Ckpt,
+                        0,
+                        ts,
+                        restore_started.elapsed().as_micros() as u64,
+                        vec![
+                            ("superstep", rs.superstep.into()),
+                            ("discarded", rec.discarded.into()),
+                        ],
+                    );
+                }
+                runner.skip = Some(rs.superstep);
+                resume = Some(rs);
+            } else if let Some(t) = tracer {
+                // Nothing valid to resume from: start from scratch.
+                t.instant("restore_empty", Category::Ckpt, 0, Vec::new());
+            }
+        }
+        ckpt = Some(runner);
+    }
+
+    // Build worker states either from `init` or from the restored
+    // vertex-indexed vectors, re-split across the current partition.
+    let (mut states, globals, drive_init): (Vec<WorkerState<P>>, Globals, DriveInit) = match resume
+    {
+        None => (
+            (0..num_workers)
+                .map(|w| WorkerState::new(w, &starts, &init))
+                .collect(),
+            Globals::new(),
+            DriveInit::fresh(graph.num_nodes()),
+        ),
+        Some(rs) => {
+            let ResumeState {
+                superstep,
+                coord,
+                metrics,
+                mut values,
+                mut halted,
+                mut inboxes,
+            } = rs;
+            // Split the vertex-indexed vectors at the partition boundaries,
+            // back to front so each split is O(tail).
+            let mut states = Vec::with_capacity(num_workers);
+            for w in (0..num_workers).rev() {
+                let base = starts[w] as usize;
+                states.push(WorkerState::from_restored(
+                    w,
+                    starts[w],
+                    values.split_off(base),
+                    halted.split_off(base),
+                    inboxes.split_off(base),
+                ));
+            }
+            states.reverse();
+            let drive_init = DriveInit {
+                superstep,
+                active_vertices: coord.active_vertices,
+                pending_messages: coord.pending_messages,
+                agg_prev: coord.agg_prev,
+                metrics,
+            };
+            (states, coord.globals, drive_init)
+        }
+    };
+
     let shared = Shared {
         graph,
         program: RwLock::new(program),
-        globals: RwLock::new(Globals::new()),
+        globals: RwLock::new(globals),
         tracer: config.tracer.clone(),
+        faults: config.faults.clone(),
     };
 
     if num_workers == 1 {
         // Inline execution on the calling thread; same phase structure,
         // no pool.
         let mut state = states.pop().expect("one worker state");
-        let metrics = drive(&shared, &starts, config, |job| match job {
+        let metrics = drive(&shared, &starts, config, drive_init, ckpt, |job| match job {
             PhaseJob::Compute {
                 superstep,
                 mut spares,
@@ -190,20 +372,30 @@ pub fn run<P: VertexProgram + Send + Sync>(
                 let program = read_lock(&shared.program);
                 let globals = read_lock(&shared.globals);
                 let spare = spares.pop().unwrap_or_default();
-                PhaseResult::Computed(vec![state.compute_phase(
-                    graph,
-                    &**program,
-                    &globals,
-                    &starts,
-                    superstep,
-                    spare,
-                    shared.tracer.as_ref(),
-                )])
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    state.compute_phase(
+                        graph,
+                        &**program,
+                        &globals,
+                        &starts,
+                        superstep,
+                        spare,
+                        &shared.faults,
+                        shared.tracer.as_ref(),
+                    )
+                }))
+                .map_err(|_| PhasePanic)?;
+                Ok(PhaseResult::Computed(vec![out]))
             }
             PhaseJob::Deliver(mut incoming) => {
                 let buckets = incoming.pop().expect("single worker bucket set");
-                PhaseResult::Delivered(vec![state.deliver_phase(buckets, shared.tracer.as_ref())])
+                Ok(PhaseResult::Delivered(vec![
+                    state.deliver_phase(buckets, shared.tracer.as_ref())
+                ]))
             }
+            PhaseJob::Snapshot => Ok(PhaseResult::Snapshotted(vec![
+                state.snapshot_phase(shared.tracer.as_ref())
+            ])),
         })?;
         return Ok(PregelResult {
             values: state.values,
@@ -229,37 +421,127 @@ pub fn run<P: VertexProgram + Send + Sync>(
         }
         drop(reply_tx);
 
-        let metrics = drive(&shared, &starts, config, |job| match job {
+        let drive_result = drive(&shared, &starts, config, drive_init, ckpt, |job| match job {
             PhaseJob::Compute { superstep, spares } => {
                 let mut spares = spares.into_iter();
                 for tx in &job_txs {
                     let spare = spares.next().unwrap_or_default();
                     tx.send(Job::Compute { superstep, spare })
-                        .expect("pregel worker pool disconnected");
+                        .map_err(|_| PhasePanic)?;
                 }
-                PhaseResult::Computed(collect_compute_replies(&reply_rx, num_workers))
+                Ok(PhaseResult::Computed(collect_compute_replies(
+                    &reply_rx,
+                    num_workers,
+                )?))
             }
             PhaseJob::Deliver(incoming) => {
                 for (tx, buckets) in job_txs.iter().zip(incoming) {
                     tx.send(Job::Deliver { incoming: buckets })
-                        .expect("pregel worker pool disconnected");
+                        .map_err(|_| PhasePanic)?;
                 }
-                PhaseResult::Delivered(collect_deliver_replies(&reply_rx, num_workers))
+                Ok(PhaseResult::Delivered(collect_deliver_replies(
+                    &reply_rx,
+                    num_workers,
+                )?))
             }
-        })?;
+            PhaseJob::Snapshot => {
+                for tx in &job_txs {
+                    tx.send(Job::Snapshot).map_err(|_| PhasePanic)?;
+                }
+                Ok(PhaseResult::Snapshotted(collect_snapshot_replies(
+                    &reply_rx,
+                    num_workers,
+                )?))
+            }
+        });
 
+        // Shut the pool down and join every worker whether the run
+        // succeeded or a worker died; no thread may outlive the scope.
         for tx in &job_txs {
             let _ = tx.send(Job::Finish);
         }
         let mut values = Vec::with_capacity(n);
+        let mut join_panic = None;
         for handle in handles {
             match handle.join() {
                 Ok(state) => values.extend(state.values),
-                Err(panic) => std::panic::resume_unwind(panic),
+                Err(panic) => join_panic = Some(panic),
             }
+        }
+        let metrics = drive_result?;
+        if let Some(panic) = join_panic {
+            // A panic escaped a worker's catch_unwind — not an injected or
+            // kernel fault; re-raise it.
+            std::panic::resume_unwind(panic);
         }
         Ok(PregelResult { values, metrics })
     })
+}
+
+/// Supervised execution: like [`run`], but on a recoverable failure
+/// ([`PregelError::WorkerPanicked`]) the job is restarted — resuming from
+/// the newest valid snapshot when checkpointing is configured, from scratch
+/// otherwise — up to [`RecoveryPolicy::max_restarts`] times with linear
+/// backoff. The program's master state is rolled back to its pre-run
+/// baseline before each retry so the resume path replays it exactly.
+///
+/// With [`PregelConfig::recovery`] unset this is identical to [`run`].
+/// The number of restarts taken is reported in
+/// [`RecoveryStats::restarts`](crate::RecoveryStats::restarts).
+pub fn run_with_recovery<P>(
+    graph: &Graph,
+    program: &mut P,
+    init: impl Fn(NodeId) -> P::VertexValue,
+    config: &PregelConfig,
+) -> Result<PregelResult<P::VertexValue>, PregelError>
+where
+    P: VertexProgram + Send + Sync,
+    P::VertexValue: Persist,
+    P::Message: Persist,
+{
+    let Some(policy) = config.recovery.clone() else {
+        return run(graph, program, &init, config);
+    };
+    // The master state must roll back together with the snapshot: a retry
+    // that falls back to an older snapshot (or a fresh start) must not see
+    // a master already mutated by the failed attempt.
+    let mut baseline = Vec::new();
+    program.save_master_state(&mut baseline);
+
+    let mut config = config.clone();
+    let mut attempt: u32 = 0;
+    loop {
+        match run(graph, program, &init, &config) {
+            Ok(mut result) => {
+                result.metrics.recovery.restarts += attempt;
+                return Ok(result);
+            }
+            Err(PregelError::WorkerPanicked { superstep }) if attempt < policy.max_restarts => {
+                attempt += 1;
+                if let Some(t) = config.tracer.as_ref() {
+                    t.instant(
+                        "restart",
+                        Category::Ckpt,
+                        0,
+                        vec![
+                            ("attempt", attempt.into()),
+                            ("superstep", superstep.into()),
+                        ],
+                    );
+                }
+                if !policy.backoff.is_zero() {
+                    std::thread::sleep(policy.backoff * attempt);
+                }
+                let mut r = ByteReader::new(&baseline);
+                program.restore_master_state(&mut r)?;
+                // Retries resume from the newest valid snapshot.
+                if let Some(c) = &mut config.checkpoint {
+                    c.resume = true;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Read-only state shared with the worker pool. The program sits behind a
@@ -273,6 +555,9 @@ struct Shared<'a, P> {
     /// Trace destination, cloned out of the config; `None` disables all
     /// instrumentation at the cost of one branch per phase.
     tracer: Option<Tracer>,
+    /// Fault-injection plan; the production default is empty and costs one
+    /// slice iteration (over zero elements) per consultation.
+    faults: FaultPlan,
 }
 
 fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -295,47 +580,206 @@ enum PhaseJob<M> {
     /// Deliver routed buckets; `incoming[d]` is destination worker `d`'s
     /// bucket list in ascending sender order.
     Deliver(Vec<IncomingBuckets<M>>),
+    /// Serialize every worker's vertex range (values, halted flags,
+    /// pending inbox) for a checkpoint.
+    Snapshot,
 }
 
 /// Executor response, worker-ordered.
 enum PhaseResult<M> {
     Computed(Vec<ComputeOut<M>>),
     Delivered(Vec<DeliverOut<M>>),
+    Snapshotted(Vec<SnapshotOut>),
+}
+
+/// Marker for a phase that lost a worker (a panicked kernel, an injected
+/// fault, or a dead job channel); the driver converts it to
+/// [`PregelError::WorkerPanicked`] at the failing superstep.
+struct PhasePanic;
+
+/// One worker's serialized vertex range, concatenated across workers (in
+/// ascending worker order) into the snapshot's vertex-indexed sections.
+struct SnapshotOut {
+    values: Vec<u8>,
+    halted: Vec<u8>,
+    inbox: Vec<u8>,
+}
+
+/// Where the superstep loop starts: superstep 0 with everything active for
+/// a fresh run, or the restored frontier for a resumed one.
+struct DriveInit {
+    superstep: u32,
+    active_vertices: u32,
+    pending_messages: u64,
+    agg_prev: AggMap,
+    metrics: Metrics,
+}
+
+impl DriveInit {
+    fn fresh(num_nodes: u32) -> Self {
+        DriveInit {
+            superstep: 0,
+            active_vertices: num_nodes,
+            pending_messages: 0,
+            agg_prev: AggMap::new(),
+            metrics: Metrics::default(),
+        }
+    }
+}
+
+/// Coordinator-side checkpoint machinery for one run.
+struct CkptRunner {
+    store: CheckpointStore,
+    every: u32,
+    keep: usize,
+    /// The superstep this run resumed at, whose snapshot (just read) must
+    /// not be immediately rewritten.
+    skip: Option<u32>,
 }
 
 /// The BSP superstep loop, common to the inline and pooled executors.
 /// `phase` runs one phase across all workers and returns their outputs in
-/// ascending worker order.
+/// ascending worker order, or [`PhasePanic`] if a worker died.
 fn drive<P, F>(
     shared: &Shared<'_, P>,
     starts: &[u32],
     config: &PregelConfig,
+    init: DriveInit,
+    mut ckpt: Option<CkptRunner>,
     mut phase: F,
 ) -> Result<Metrics, PregelError>
 where
     P: VertexProgram,
-    F: FnMut(PhaseJob<P::Message>) -> PhaseResult<P::Message>,
+    F: FnMut(PhaseJob<P::Message>) -> Result<PhaseResult<P::Message>, PhasePanic>,
 {
     let num_workers = starts.len() - 1;
     let num_nodes = shared.graph.num_nodes();
     let tracer = shared.tracer.as_ref();
-    let mut agg_prev = AggMap::new();
-    let mut metrics = Metrics::default();
+    let DriveInit {
+        mut superstep,
+        mut active_vertices,
+        mut pending_messages,
+        mut agg_prev,
+        mut metrics,
+    } = init;
     let start = Instant::now();
-
-    // Maintained incrementally by the workers; no per-superstep O(n) scans.
-    let mut active_vertices: u32 = num_nodes;
-    let mut pending_messages: u64 = 0;
 
     // Empty outbox buckets recycled from the previous exchange, per sender.
     let mut spares: Vec<RoutedOutbox<P::Message>> = (0..num_workers).map(|_| Vec::new()).collect();
 
-    let mut superstep: u32 = 0;
     loop {
         if superstep >= config.max_supersteps {
             return Err(PregelError::SuperstepLimitExceeded {
                 limit: config.max_supersteps,
             });
+        }
+
+        // ---- checkpoint (coordinator + workers, before the master) ----
+        // Taken at the top of the superstep so the snapshot is exactly the
+        // state a resumed run needs to re-enter the loop here: `agg_prev`
+        // still holds the previous superstep's aggregates and the inboxes
+        // hold this superstep's undelivered messages.
+        if let Some(ck) = &mut ckpt {
+            if superstep > 0 && superstep % ck.every == 0 && ck.skip != Some(superstep) {
+                let ckpt_start_us = tracer.map(Tracer::now_us);
+                let ckpt_started = Instant::now();
+                let outs = match phase(PhaseJob::Snapshot)
+                    .map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })?
+                {
+                    PhaseResult::Snapshotted(outs) => outs,
+                    _ => unreachable!("executor answered snapshot with another phase"),
+                };
+                let (mut values, mut halted, mut inbox) = (Vec::new(), Vec::new(), Vec::new());
+                for out in outs {
+                    values.extend_from_slice(&out.values);
+                    halted.extend_from_slice(&out.halted);
+                    inbox.extend_from_slice(&out.inbox);
+                }
+                let mut master = Vec::new();
+                read_lock(&shared.program).save_master_state(&mut master);
+                let coord = CoordState {
+                    active_vertices,
+                    pending_messages,
+                    agg_prev: agg_prev.clone(),
+                    globals: read_lock(&shared.globals).clone(),
+                };
+                // The snapshot's metrics carry the wall-clock accumulated
+                // so far, so a resumed run reports end-to-end totals.
+                let mut snap_metrics = metrics.clone();
+                snap_metrics.elapsed += start.elapsed();
+                if shared.faults.trip_fail_checkpoint_write(superstep) {
+                    metrics.recovery.checkpoint_failures += 1;
+                    if let Some(t) = tracer {
+                        t.instant(
+                            "checkpoint_failed",
+                            Category::Ckpt,
+                            0,
+                            vec![("superstep", superstep.into()), ("injected", true.into())],
+                        );
+                    }
+                } else {
+                    let builder = build_snapshot(
+                        superstep,
+                        num_nodes,
+                        &coord,
+                        master,
+                        values,
+                        halted,
+                        inbox,
+                        &snap_metrics,
+                    );
+                    match ck.store.write(&builder, superstep) {
+                        Ok((path, bytes)) => {
+                            metrics.recovery.checkpoints_written += 1;
+                            metrics.recovery.snapshot_bytes += bytes;
+                            if let Ok(Some(what)) =
+                                shared.faults.corrupt_after_write(superstep, &path)
+                            {
+                                if let Some(t) = tracer {
+                                    t.instant(
+                                        "snapshot_corrupted",
+                                        Category::Ckpt,
+                                        0,
+                                        vec![
+                                            ("superstep", superstep.into()),
+                                            ("what", what.into()),
+                                        ],
+                                    );
+                                }
+                            }
+                            // A failed prune never fails the run.
+                            let _ = ck.store.prune(ck.keep);
+                            if let (Some(t), Some(ts)) = (tracer, ckpt_start_us) {
+                                t.span_at(
+                                    "checkpoint",
+                                    Category::Ckpt,
+                                    0,
+                                    ts,
+                                    ckpt_started.elapsed().as_micros() as u64,
+                                    vec![
+                                        ("superstep", superstep.into()),
+                                        ("bytes", bytes.into()),
+                                    ],
+                                );
+                            }
+                        }
+                        Err(_) => {
+                            // A failed snapshot write is not fatal — the run
+                            // proceeds with one fewer recovery point.
+                            metrics.recovery.checkpoint_failures += 1;
+                            if let Some(t) = tracer {
+                                t.instant(
+                                    "checkpoint_failed",
+                                    Category::Ckpt,
+                                    0,
+                                    vec![("superstep", superstep.into())],
+                                );
+                            }
+                        }
+                    }
+                }
+                metrics.recovery.checkpoint_time += ckpt_started.elapsed();
+            }
         }
 
         // ---- master phase (sequential) ----
@@ -390,9 +834,11 @@ where
             superstep,
             spares: std::mem::take(&mut spares),
         };
-        let computes = match phase(job) {
+        let computes = match phase(job)
+            .map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })?
+        {
             PhaseResult::Computed(outs) => outs,
-            PhaseResult::Delivered(_) => unreachable!("executor answered compute with delivery"),
+            _ => unreachable!("executor answered compute with another phase"),
         };
 
         // ---- barrier: merge worker outputs in ascending worker order ----
@@ -446,9 +892,11 @@ where
                 incoming[dest].push(bucket);
             }
         }
-        let delivers = match phase(PhaseJob::Deliver(incoming)) {
+        let delivers = match phase(PhaseJob::Deliver(incoming))
+            .map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })?
+        {
             PhaseResult::Delivered(outs) => outs,
-            PhaseResult::Computed(_) => unreachable!("executor answered delivery with compute"),
+            _ => unreachable!("executor answered delivery with another phase"),
         };
         step.exchange_time = exchange_started.elapsed();
         if let (Some(t), Some(ts)) = (tracer, exchange_start_us) {
@@ -514,7 +962,8 @@ where
         superstep += 1;
     }
 
-    metrics.elapsed = start.elapsed();
+    // `+=` so a resumed run accumulates on top of the restored elapsed.
+    metrics.elapsed += start.elapsed();
     Ok(metrics)
 }
 
@@ -556,6 +1005,7 @@ enum Job<M> {
     Deliver {
         incoming: IncomingBuckets<M>,
     },
+    Snapshot,
     Finish,
 }
 
@@ -563,54 +1013,71 @@ enum Job<M> {
 enum Reply<M> {
     Computed { worker: usize, out: ComputeOut<M> },
     Delivered { worker: usize, out: DeliverOut<M> },
+    Snapshotted { worker: usize, out: SnapshotOut },
     Panicked,
 }
 
 fn collect_compute_replies<M>(
     reply_rx: &mpsc::Receiver<Reply<M>>,
     num_workers: usize,
-) -> Vec<ComputeOut<M>> {
+) -> Result<Vec<ComputeOut<M>>, PhasePanic> {
     let mut outs: Vec<Option<ComputeOut<M>>> = (0..num_workers).map(|_| None).collect();
     for _ in 0..num_workers {
         match reply_rx.recv() {
             Ok(Reply::Computed { worker, out }) => outs[worker] = Some(out),
-            Ok(Reply::Delivered { .. }) => unreachable!("delivery reply during compute phase"),
-            Ok(Reply::Panicked) | Err(_) => panic!("pregel worker panicked"),
+            Ok(Reply::Panicked) | Err(_) => return Err(PhasePanic),
+            Ok(_) => unreachable!("mismatched reply during compute phase"),
         }
     }
-    outs.into_iter()
-        .map(|o| o.expect("missing compute reply"))
-        .collect()
+    outs.into_iter().map(|o| o.ok_or(PhasePanic)).collect()
 }
 
 fn collect_deliver_replies<M>(
     reply_rx: &mpsc::Receiver<Reply<M>>,
     num_workers: usize,
-) -> Vec<DeliverOut<M>> {
+) -> Result<Vec<DeliverOut<M>>, PhasePanic> {
     let mut outs: Vec<Option<DeliverOut<M>>> = (0..num_workers).map(|_| None).collect();
     for _ in 0..num_workers {
         match reply_rx.recv() {
             Ok(Reply::Delivered { worker, out }) => outs[worker] = Some(out),
-            Ok(Reply::Computed { .. }) => unreachable!("compute reply during delivery phase"),
-            Ok(Reply::Panicked) | Err(_) => panic!("pregel worker panicked"),
+            Ok(Reply::Panicked) | Err(_) => return Err(PhasePanic),
+            Ok(_) => unreachable!("mismatched reply during delivery phase"),
         }
     }
-    outs.into_iter()
-        .map(|o| o.expect("missing delivery reply"))
-        .collect()
+    outs.into_iter().map(|o| o.ok_or(PhasePanic)).collect()
+}
+
+fn collect_snapshot_replies<M>(
+    reply_rx: &mpsc::Receiver<Reply<M>>,
+    num_workers: usize,
+) -> Result<Vec<SnapshotOut>, PhasePanic> {
+    let mut outs: Vec<Option<SnapshotOut>> = (0..num_workers).map(|_| None).collect();
+    for _ in 0..num_workers {
+        match reply_rx.recv() {
+            Ok(Reply::Snapshotted { worker, out }) => outs[worker] = Some(out),
+            Ok(Reply::Panicked) | Err(_) => return Err(PhasePanic),
+            Ok(_) => unreachable!("mismatched reply during snapshot phase"),
+        }
+    }
+    outs.into_iter().map(|o| o.ok_or(PhasePanic)).collect()
 }
 
 /// Body of a pooled worker thread: park on the job channel, execute phases
 /// against the locally-owned state, return the state at shutdown so the
 /// coordinator can assemble the final values.
-fn worker_loop<P: VertexProgram + Send + Sync>(
+fn worker_loop<P>(
     index: usize,
     mut state: WorkerState<P>,
     shared: &Shared<'_, P>,
     starts: &[u32],
     jobs: mpsc::Receiver<Job<P::Message>>,
     replies: mpsc::Sender<Reply<P::Message>>,
-) -> WorkerState<P> {
+) -> WorkerState<P>
+where
+    P: VertexProgram + Send + Sync,
+    P::VertexValue: Persist,
+    P::Message: Persist,
+{
     while let Ok(job) = jobs.recv() {
         let reply = match job {
             Job::Compute { superstep, spare } => {
@@ -624,6 +1091,7 @@ fn worker_loop<P: VertexProgram + Send + Sync>(
                         starts,
                         superstep,
                         spare,
+                        &shared.faults,
                         shared.tracer.as_ref(),
                     )
                 }));
@@ -638,6 +1106,14 @@ fn worker_loop<P: VertexProgram + Send + Sync>(
                 }));
                 match out {
                     Ok(out) => Reply::Delivered { worker: index, out },
+                    Err(_) => Reply::Panicked,
+                }
+            }
+            Job::Snapshot => {
+                let out =
+                    catch_unwind(AssertUnwindSafe(|| state.snapshot_phase(shared.tracer.as_ref())));
+                match out {
+                    Ok(out) => Reply::Snapshotted { worker: index, out },
                     Err(_) => Reply::Panicked,
                 }
             }
@@ -680,6 +1156,63 @@ impl<P: VertexProgram> WorkerState<P> {
         }
     }
 
+    /// Rebuilds a worker's state from a snapshot's vertex-indexed slices.
+    /// The restored inbox becomes `inbox_in`: it holds the messages the
+    /// checkpointed superstep was about to consume.
+    fn from_restored(
+        index: usize,
+        base: u32,
+        values: Vec<P::VertexValue>,
+        halted: Vec<bool>,
+        inbox_in: Vec<Vec<P::Message>>,
+    ) -> Self {
+        let len = values.len();
+        WorkerState {
+            index,
+            base,
+            values,
+            halted,
+            inbox_in,
+            inbox_out: (0..len).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Serializes this worker's range for a checkpoint: values, halted
+    /// flags, and the pending inbox, each in local vertex order.
+    fn snapshot_phase(&self, tracer: Option<&Tracer>) -> SnapshotOut
+    where
+        P::VertexValue: Persist,
+        P::Message: Persist,
+    {
+        let start_us = tracer.map(Tracer::now_us);
+        let mut values = Vec::new();
+        for v in &self.values {
+            v.persist(&mut values);
+        }
+        let mut halted = Vec::new();
+        for h in &self.halted {
+            h.persist(&mut halted);
+        }
+        let mut inbox = Vec::new();
+        for slot in &self.inbox_in {
+            slot.persist(&mut inbox);
+        }
+        if let Some(t) = tracer {
+            t.span(
+                "snapshot",
+                Category::Ckpt,
+                self.index as u32 + 1,
+                start_us.unwrap_or(0),
+                vec![("bytes", (values.len() + halted.len() + inbox.len()).into())],
+            );
+        }
+        SnapshotOut {
+            values,
+            halted,
+            inbox,
+        }
+    }
+
     /// Runs the vertex kernels for this range, then combines and meters the
     /// routed outgoing buckets — all inside the worker.
     #[allow(clippy::too_many_arguments)] // one per phase input, all distinct
@@ -691,8 +1224,15 @@ impl<P: VertexProgram> WorkerState<P> {
         starts: &[u32],
         superstep: u32,
         spare: RoutedOutbox<P::Message>,
+        faults: &FaultPlan,
         tracer: Option<&Tracer>,
     ) -> ComputeOut<P::Message> {
+        if faults.trip_panic_in_compute(superstep, self.index as u32) {
+            panic!(
+                "injected fault: compute panic at superstep {superstep} on worker {}",
+                self.index
+            );
+        }
         let compute_start_us = tracer.map(Tracer::now_us);
         let compute_started = Instant::now();
         let num_workers = starts.len() - 1;
@@ -942,7 +1482,7 @@ mod tests {
             let cfg = PregelConfig {
                 num_workers: workers,
                 max_supersteps: 10,
-                tracer: None,
+                ..PregelConfig::default()
             };
             let r = run(&g, &mut p, |_| (), &cfg).unwrap();
             assert_eq!(p.observed, Some(45), "workers = {workers}");
@@ -1075,7 +1615,7 @@ mod tests {
             let cfg = PregelConfig {
                 num_workers: workers,
                 max_supersteps: 10,
-                tracer: None,
+                ..PregelConfig::default()
             };
             let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
             assert_eq!(r.values, baseline, "workers = {workers}");
@@ -1088,7 +1628,7 @@ mod tests {
         let cfg = PregelConfig {
             num_workers: 3,
             max_supersteps: 10,
-            tracer: None,
+            ..PregelConfig::default()
         };
         let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
         assert!(r.metrics.compute_time > Duration::ZERO);
@@ -1188,7 +1728,7 @@ mod tests {
                 let cfg = PregelConfig {
                     num_workers: workers,
                     max_supersteps: 5,
-                    tracer: None,
+                    ..PregelConfig::default()
                 };
                 run(&g, &mut p, |_| (), &cfg).unwrap();
                 assert_eq!(
@@ -1225,7 +1765,7 @@ mod tests {
             let cfg = PregelConfig {
                 num_workers: workers,
                 max_supersteps: 5,
-                tracer: None,
+                ..PregelConfig::default()
             };
             let err = run(&g, &mut Forever, |_| (), &cfg).unwrap_err();
             assert!(matches!(
@@ -1242,7 +1782,7 @@ mod tests {
         let cfg = PregelConfig {
             num_workers: 0,
             max_supersteps: 5,
-            tracer: None,
+            ..PregelConfig::default()
         };
         let err = run(&g, &mut Token, |_| 0, &cfg).unwrap_err();
         assert!(matches!(err, PregelError::InvalidConfig(_)));
@@ -1291,7 +1831,7 @@ mod tests {
         let cfg = PregelConfig {
             num_workers: 4,
             max_supersteps: 10,
-            tracer: None,
+            ..PregelConfig::default()
         };
         let r4 = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
         assert!(r4.metrics.remote_messages > 0);
@@ -1315,6 +1855,7 @@ mod tests {
                 num_workers: workers,
                 max_supersteps: 10,
                 tracer: Some(tracer),
+                ..PregelConfig::default()
             };
             let r = run(&g, &mut Collect, |_| Vec::new(), &cfg).unwrap();
             let events = sink.events();
@@ -1348,5 +1889,232 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ---- checkpointing / fault injection / recovery ----
+
+    use crate::checkpoint::{CheckpointConfig, RecoveryPolicy};
+    use gm_ckpt::{CheckpointStore, FaultPlan};
+
+    fn fresh_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gm-pregel-ckpt-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Runs a fixed number of supersteps on a cycle, accumulating mutable
+    /// master state (`total`) from an aggregate — so an exact resume must
+    /// restore both vertex values and the master's memory.
+    struct Rounds {
+        total: i64,
+    }
+
+    impl VertexProgram for Rounds {
+        type VertexValue = u32;
+        type Message = u32;
+
+        fn message_bytes(&self, _m: &u32) -> u64 {
+            4
+        }
+
+        fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+            self.total += ctx.agg_or("n", GlobalValue::Int(0)).as_int();
+            if ctx.superstep() == 8 {
+                MasterDecision::Halt
+            } else {
+                MasterDecision::Continue
+            }
+        }
+
+        fn vertex_compute(
+            &self,
+            ctx: &mut VertexContext<'_, '_, u32>,
+            value: &mut u32,
+            messages: &[u32],
+        ) {
+            ctx.reduce_global("n", ReduceOp::Sum, GlobalValue::Int(1));
+            *value += messages.iter().sum::<u32>();
+            ctx.send_to_nbrs(1);
+        }
+
+        // Persist the master's accumulator so snapshots capture it.
+        fn save_master_state(&self, out: &mut Vec<u8>) {
+            self.total.persist(out);
+        }
+
+        fn restore_master_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CkptError> {
+            self.total = Persist::restore(r)?;
+            Ok(())
+        }
+    }
+
+    impl Rounds {
+        fn new() -> Self {
+            Rounds { total: 0 }
+        }
+
+        fn baseline(workers: usize) -> (PregelResult<u32>, i64) {
+            let g = gen::cycle(12);
+            let mut p = Rounds::new();
+            let r = run(&g, &mut p, |_| 0, &PregelConfig::with_workers(workers)).unwrap();
+            (r, p.total)
+        }
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_invalid() {
+        let g = gen::cycle(4);
+        let cfg = PregelConfig::sequential()
+            .with_checkpoints(CheckpointConfig::new(fresh_dir("zero"), 0));
+        let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        assert!(matches!(err, PregelError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_worker_panicked() {
+        let g = gen::cycle(12);
+        for workers in [1usize, 3] {
+            let mut cfg = PregelConfig::with_workers(workers);
+            cfg.faults = FaultPlan::builder().panic_in_compute(4, None).build();
+            let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+            assert!(
+                matches!(err, PregelError::WorkerPanicked { superstep: 4 }),
+                "workers = {workers}, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_continues_exactly_where_snapshot_left_off() {
+        let (base, base_total) = Rounds::baseline(2);
+        let g = gen::cycle(12);
+        let dir = fresh_dir("resume");
+
+        // First attempt: checkpoint every 3 supersteps, die at superstep 5.
+        let cfg = PregelConfig::with_workers(2)
+            .with_checkpoints(CheckpointConfig::new(&dir, 3))
+            .with_faults(FaultPlan::builder().panic_in_compute(5, None).build());
+        let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        assert!(matches!(err, PregelError::WorkerPanicked { superstep: 5 }));
+        let store = CheckpointStore::create(&dir).unwrap();
+        assert_eq!(
+            store.list().unwrap().len(),
+            1,
+            "one snapshot (superstep 3) before the fault"
+        );
+
+        // Second attempt: fresh program, resume from the snapshot.
+        let cfg = PregelConfig::with_workers(2)
+            .with_checkpoints(CheckpointConfig::new(&dir, 3).with_resume(true));
+        let mut p = Rounds::new();
+        let r = run(&g, &mut p, |_| 0, &cfg).unwrap();
+        assert_eq!(r.values, base.values);
+        assert_eq!(r.metrics.supersteps, base.metrics.supersteps);
+        assert_eq!(r.metrics.total_messages, base.metrics.total_messages);
+        assert_eq!(r.metrics.total_message_bytes, base.metrics.total_message_bytes);
+        assert_eq!(p.total, base_total, "master state must resume too");
+        assert_eq!(r.metrics.recovery.restores, 1);
+        // The resumed run checkpoints at superstep 6 (3 is skipped).
+        assert_eq!(r.metrics.recovery.checkpoints_written, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_with_recovery_matches_uninterrupted_run() {
+        for workers in [1usize, 2, 4] {
+            let (base, base_total) = Rounds::baseline(workers);
+            let g = gen::cycle(12);
+            let dir = fresh_dir("supervised");
+            let cfg = PregelConfig::with_workers(workers)
+                .with_checkpoints(CheckpointConfig::new(&dir, 2))
+                .with_faults(FaultPlan::builder().panic_in_compute(5, None).build())
+                .with_recovery(RecoveryPolicy::with_max_restarts(2));
+            let mut p = Rounds::new();
+            let r = run_with_recovery(&g, &mut p, |_| 0, &cfg).unwrap();
+            assert_eq!(r.values, base.values, "workers = {workers}");
+            assert_eq!(r.metrics.supersteps, base.metrics.supersteps);
+            assert_eq!(r.metrics.total_messages, base.metrics.total_messages);
+            assert_eq!(p.total, base_total);
+            assert_eq!(r.metrics.recovery.restarts, 1);
+            assert_eq!(r.metrics.recovery.restores, 1);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_discarded_in_favor_of_older_one() {
+        let (base, base_total) = Rounds::baseline(2);
+        let g = gen::cycle(12);
+        let dir = fresh_dir("fallback");
+        // Snapshot at 2 stays valid, snapshot at 4 is corrupted on disk,
+        // then the job dies at superstep 5; recovery must fall back to 2.
+        let cfg = PregelConfig::with_workers(2)
+            .with_checkpoints(CheckpointConfig::new(&dir, 2))
+            .with_faults(
+                FaultPlan::builder()
+                    .corrupt_snapshot(4)
+                    .panic_in_compute(5, None)
+                    .build(),
+            )
+            .with_recovery(RecoveryPolicy::with_max_restarts(1));
+        let mut p = Rounds::new();
+        let r = run_with_recovery(&g, &mut p, |_| 0, &cfg).unwrap();
+        assert_eq!(r.values, base.values);
+        assert_eq!(r.metrics.total_messages, base.metrics.total_messages);
+        assert_eq!(p.total, base_total);
+        assert_eq!(r.metrics.recovery.corrupt_snapshots_discarded, 1);
+        assert_eq!(r.metrics.recovery.restarts, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_failure_is_counted_not_fatal() {
+        let g = gen::cycle(12);
+        let dir = fresh_dir("wfail");
+        let cfg = PregelConfig::sequential()
+            .with_checkpoints(CheckpointConfig::new(&dir, 2))
+            .with_faults(FaultPlan::builder().fail_checkpoint_write(2).build());
+        let r = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap();
+        assert_eq!(r.metrics.recovery.checkpoint_failures, 1);
+        // Supersteps 4, 6 and 8 still checkpointed.
+        assert_eq!(r.metrics.recovery.checkpoints_written, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_without_checkpoints_restarts_from_scratch() {
+        let (base, base_total) = Rounds::baseline(2);
+        let g = gen::cycle(12);
+        let cfg = PregelConfig::with_workers(2)
+            .with_faults(FaultPlan::builder().panic_in_compute(5, None).build())
+            .with_recovery(RecoveryPolicy::with_max_restarts(1));
+        let mut p = Rounds::new();
+        let r = run_with_recovery(&g, &mut p, |_| 0, &cfg).unwrap();
+        assert_eq!(r.values, base.values);
+        // The master state was rolled back before the retry, so `total` is
+        // not double-counted.
+        assert_eq!(p.total, base_total);
+        assert_eq!(r.metrics.recovery.restarts, 1);
+        assert_eq!(r.metrics.recovery.restores, 0);
+    }
+
+    #[test]
+    fn snapshot_keep_prunes_older_files() {
+        let g = gen::cycle(12);
+        let dir = fresh_dir("keep");
+        let cfg = PregelConfig::sequential()
+            .with_checkpoints(CheckpointConfig::new(&dir, 2).with_keep(1));
+        run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap();
+        let store = CheckpointStore::create(&dir).unwrap();
+        let listed = store.list().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].0, 8, "only the newest snapshot survives");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
