@@ -50,7 +50,9 @@ impl Persist for Msg {
             0 => Ok(Msg::Propose(id)),
             1 => Ok(Msg::WriteBack(id)),
             2 => Ok(Msg::Notify(id)),
-            t => Err(CkptError::Decode(format!("invalid matching message tag {t:#04x}"))),
+            t => Err(CkptError::Decode(format!(
+                "invalid matching message tag {t:#04x}"
+            ))),
         }
     }
 }

@@ -37,7 +37,9 @@ impl Persist for Msg {
         match u8::restore(r)? {
             0 => Ok(Msg::Id(u32::restore(r)?)),
             1 => Ok(Msg::Mark),
-            t => Err(CkptError::Decode(format!("invalid conductance message tag {t:#04x}"))),
+            t => Err(CkptError::Decode(format!(
+                "invalid conductance message tag {t:#04x}"
+            ))),
         }
     }
 }

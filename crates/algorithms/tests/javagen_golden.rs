@@ -1,0 +1,117 @@
+//! Golden-file tests for the GPS Java backend: the exact generated source
+//! and its counted LoC (the paper's Table 1 comparison axis) are pinned
+//! for the five Table 1 algorithms. Any codegen change shows up as a
+//! readable diff against `tests/golden/*.java` instead of a silent drift
+//! in the LoC numbers.
+//!
+//! To regenerate after an intentional backend change:
+//!
+//! ```text
+//! GM_UPDATE_GOLDEN=1 cargo test -p gm-algorithms --test javagen_golden
+//! ```
+
+use gm_algorithms::sources;
+use gm_core::javagen::{count_loc, emit_java};
+use gm_core::{compile, CompileOptions};
+use std::path::PathBuf;
+
+const ALGORITHMS: [(&str, &str); 5] = [
+    ("avg_teen", sources::AVG_TEEN),
+    ("pagerank", sources::PAGERANK),
+    ("conductance", sources::CONDUCTANCE),
+    ("sssp", sources::SSSP),
+    ("bipartite_matching", sources::BIPARTITE_MATCHING),
+];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.java"))
+}
+
+fn generate(src: &str) -> String {
+    let compiled = compile(src, &CompileOptions::default().verified())
+        .unwrap_or_else(|e| panic!("compile failed:\n{}", e.render(src)));
+    emit_java(&compiled.program)
+}
+
+#[test]
+fn generated_java_matches_golden_files() {
+    let update = std::env::var_os("GM_UPDATE_GOLDEN").is_some();
+    let mut mismatches = Vec::new();
+    for (name, src) in ALGORITHMS {
+        let java = generate(src);
+        let path = golden_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &java).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with GM_UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        if java != expected {
+            mismatches.push(name);
+            // A targeted first-difference report beats a full dump.
+            for (i, (got, want)) in java.lines().zip(expected.lines()).enumerate() {
+                if got != want {
+                    eprintln!(
+                        "{name}: first difference at line {}:\n  generated: {got}\n  golden:    {want}",
+                        i + 1
+                    );
+                    break;
+                }
+            }
+            if java.lines().count() != expected.lines().count() {
+                eprintln!(
+                    "{name}: line count {} vs golden {}",
+                    java.lines().count(),
+                    expected.lines().count()
+                );
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "generated Java drifted from golden files for {mismatches:?}; \
+         rerun with GM_UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// Pins the Table 1 generated-LoC numbers themselves. These counts come
+/// from the golden files, so this fails (with the counts side by side)
+/// whenever codegen grows or shrinks the generated programs.
+#[test]
+fn generated_loc_matches_table1_pins() {
+    let expected: [(&str, usize); 5] = [
+        ("avg_teen", loc_of("avg_teen")),
+        ("pagerank", loc_of("pagerank")),
+        ("conductance", loc_of("conductance")),
+        ("sssp", loc_of("sssp")),
+        ("bipartite_matching", loc_of("bipartite_matching")),
+    ];
+    for ((name, src), (gname, want)) in ALGORITHMS.iter().zip(expected) {
+        assert_eq!(name, &gname);
+        let got = count_loc(&generate(src));
+        assert_eq!(
+            got, want,
+            "{name}: generated LoC {got} != golden LoC {want}"
+        );
+        // Sanity: generated GPS programs are nontrivial, as in Table 1.
+        assert!(got > 40, "{name}: implausibly small generated program");
+    }
+}
+
+fn loc_of(name: &str) -> usize {
+    let path = golden_path(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GM_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    count_loc(&text)
+}

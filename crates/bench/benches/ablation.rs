@@ -18,7 +18,7 @@ fn ablation(c: &mut Criterion) {
             CompileOptions {
                 state_merging: true,
                 intra_loop_merging: false,
-                combiners: false,
+                ..CompileOptions::unoptimized()
             },
         ),
         ("merge+intra", CompileOptions::default()),

@@ -15,6 +15,7 @@ const VARIANTS: [(&str, CompileOptions); 4] = [
             state_merging: false,
             intra_loop_merging: false,
             combiners: false,
+            verify: false,
         },
     ),
     (
@@ -23,6 +24,7 @@ const VARIANTS: [(&str, CompileOptions); 4] = [
             state_merging: true,
             intra_loop_merging: false,
             combiners: false,
+            verify: false,
         },
     ),
     (
@@ -31,6 +33,7 @@ const VARIANTS: [(&str, CompileOptions); 4] = [
             state_merging: true,
             intra_loop_merging: true,
             combiners: false,
+            verify: false,
         },
     ),
     (
@@ -39,6 +42,7 @@ const VARIANTS: [(&str, CompileOptions); 4] = [
             state_merging: true,
             intra_loop_merging: true,
             combiners: true,
+            verify: false,
         },
     ),
 ];

@@ -106,8 +106,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "recovery verified exact at every interval (fault at superstep {fail_at}, 1 restart)"
-    );
+    println!("recovery verified exact at every interval (fault at superstep {fail_at}, 1 restart)");
     let _ = std::fs::remove_dir_all(&dir_root);
 }

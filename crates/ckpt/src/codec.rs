@@ -45,7 +45,10 @@ impl<'a> ByteReader<'a> {
         if self.is_empty() {
             Ok(())
         } else {
-            Err(CkptError::Decode(format!("{} trailing bytes after payload", self.remaining())))
+            Err(CkptError::Decode(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )))
         }
     }
 
@@ -60,7 +63,9 @@ impl<'a> ByteReader<'a> {
 
     pub fn read_u64(&mut self) -> Result<u64, CkptError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Read a `u64` length prefix and check it against the remaining
@@ -68,8 +73,9 @@ impl<'a> ByteReader<'a> {
     /// instead of attempting enormous allocations.
     pub fn read_len(&mut self, min_elem_size: usize) -> Result<usize, CkptError> {
         let len = self.read_u64()?;
-        let len: usize =
-            len.try_into().map_err(|_| CkptError::Decode(format!("length {len} overflows usize")))?;
+        let len: usize = len
+            .try_into()
+            .map_err(|_| CkptError::Decode(format!("length {len} overflows usize")))?;
         if min_elem_size > 0 && self.remaining() / min_elem_size < len {
             return Err(CkptError::Truncated);
         }
@@ -160,7 +166,8 @@ impl Persist for usize {
     }
     fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
         let v = r.read_u64()?;
-        v.try_into().map_err(|_| CkptError::Decode(format!("usize value {v} overflows platform")))
+        v.try_into()
+            .map_err(|_| CkptError::Decode(format!("usize value {v} overflows platform")))
     }
 }
 
@@ -182,7 +189,9 @@ impl Persist for std::time::Duration {
         let secs = u64::restore(r)?;
         let nanos = u32::restore(r)?;
         if nanos >= 1_000_000_000 {
-            return Err(CkptError::Decode(format!("invalid subsecond nanos {nanos}")));
+            return Err(CkptError::Decode(format!(
+                "invalid subsecond nanos {nanos}"
+            )));
         }
         Ok(std::time::Duration::new(secs, nanos))
     }
@@ -313,17 +322,26 @@ mod tests {
     #[test]
     fn invalid_bool_and_tag_rejected() {
         assert!(matches!(bool::from_bytes(&[2]), Err(CkptError::Decode(_))));
-        assert!(matches!(Option::<u8>::from_bytes(&[9]), Err(CkptError::Decode(_))));
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9]),
+            Err(CkptError::Decode(_))
+        ));
     }
 
     #[test]
     fn truncation_detected() {
         let bytes = 7u64.to_bytes();
-        assert!(matches!(u64::from_bytes(&bytes[..5]), Err(CkptError::Truncated)));
+        assert!(matches!(
+            u64::from_bytes(&bytes[..5]),
+            Err(CkptError::Truncated)
+        ));
         // A Vec claiming 1M elements with a 2-byte body must not allocate.
         let mut evil = (1_000_000u64).to_bytes();
         evil.extend_from_slice(&[0, 0]);
-        assert!(matches!(Vec::<u64>::from_bytes(&evil), Err(CkptError::Truncated)));
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&evil),
+            Err(CkptError::Truncated)
+        ));
     }
 
     #[test]

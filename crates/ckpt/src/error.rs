@@ -65,11 +65,16 @@ mod tests {
 
     #[test]
     fn display_is_human_readable() {
-        let e = CkptError::ChecksumMismatch { expected: 0xdead_beef, actual: 0x1 };
+        let e = CkptError::ChecksumMismatch {
+            expected: 0xdead_beef,
+            actual: 0x1,
+        };
         let s = e.to_string();
         assert!(s.contains("0xdeadbeef"), "{s}");
         assert!(CkptError::BadMagic.to_string().contains("magic"));
-        assert!(CkptError::MissingSection("values").to_string().contains("values"));
+        assert!(CkptError::MissingSection("values")
+            .to_string()
+            .contains("values"));
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl FaultPlanBuilder {
     }
 
     fn push(mut self, kind: FaultKind) -> Self {
-        self.faults.push(Fault { kind, remaining: AtomicU32::new(1) });
+        self.faults.push(Fault {
+            kind,
+            remaining: AtomicU32::new(1),
+        });
         self
     }
 
@@ -82,7 +85,9 @@ impl FaultPlanBuilder {
     }
 
     pub fn build(self) -> FaultPlan {
-        FaultPlan { faults: self.faults.into() }
+        FaultPlan {
+            faults: self.faults.into(),
+        }
     }
 }
 
@@ -129,13 +134,15 @@ impl FaultPlan {
     pub fn trip_panic_in_compute(&self, superstep: u32, worker: u32) -> bool {
         self.trip(|k| {
             matches!(k, FaultKind::PanicInCompute { superstep: s, worker: w }
-                if *s == superstep && w.map_or(true, |w| w == worker))
+                if *s == superstep && w.is_none_or(|w| w == worker))
         })
     }
 
     /// Should the checkpoint write at `superstep` fail?
     pub fn trip_fail_checkpoint_write(&self, superstep: u32) -> bool {
-        self.trip(|k| matches!(k, FaultKind::FailCheckpointWrite { superstep: s } if *s == superstep))
+        self.trip(
+            |k| matches!(k, FaultKind::FailCheckpointWrite { superstep: s } if *s == superstep),
+        )
     }
 
     /// Apply any post-write corruption scheduled for `superstep` to the
@@ -145,14 +152,18 @@ impl FaultPlan {
         superstep: u32,
         path: &Path,
     ) -> Result<Option<&'static str>, CkptError> {
-        if self.trip(|k| matches!(k, FaultKind::CorruptSnapshot { superstep: s } if *s == superstep)) {
+        if self
+            .trip(|k| matches!(k, FaultKind::CorruptSnapshot { superstep: s } if *s == superstep))
+        {
             let mut bytes = std::fs::read(path)?;
             let mid = bytes.len() / 2;
             bytes[mid] ^= 0xFF;
             std::fs::write(path, bytes)?;
             return Ok(Some("flipped byte"));
         }
-        if self.trip(|k| matches!(k, FaultKind::TruncateSnapshot { superstep: s } if *s == superstep)) {
+        if self
+            .trip(|k| matches!(k, FaultKind::TruncateSnapshot { superstep: s } if *s == superstep))
+        {
             let bytes = std::fs::read(path)?;
             std::fs::write(path, &bytes[..bytes.len() / 2])?;
             return Ok(Some("truncated"));
@@ -176,7 +187,10 @@ mod tests {
     #[test]
     fn panic_fault_trips_exactly_once() {
         let plan = FaultPlan::builder().panic_in_compute(3, None).build();
-        assert!(!plan.trip_panic_in_compute(2, 0), "wrong superstep must not trip");
+        assert!(
+            !plan.trip_panic_in_compute(2, 0),
+            "wrong superstep must not trip"
+        );
         assert!(plan.trip_panic_in_compute(3, 1));
         assert!(!plan.trip_panic_in_compute(3, 1), "fault must be consumed");
     }
@@ -193,7 +207,10 @@ mod tests {
         let plan = FaultPlan::builder().panic_in_compute(1, None).build();
         let clone = plan.clone();
         assert!(plan.trip_panic_in_compute(1, 0));
-        assert!(!clone.trip_panic_in_compute(1, 0), "clone must see consumed fault");
+        assert!(
+            !clone.trip_panic_in_compute(1, 0),
+            "clone must see consumed fault"
+        );
     }
 
     #[test]
@@ -218,14 +235,20 @@ mod tests {
         std::fs::write(&path, &original).unwrap();
         let plan = FaultPlan::builder().corrupt_snapshot(5).build();
         assert_eq!(plan.corrupt_after_write(4, &path).unwrap(), None);
-        assert_eq!(plan.corrupt_after_write(5, &path).unwrap(), Some("flipped byte"));
+        assert_eq!(
+            plan.corrupt_after_write(5, &path).unwrap(),
+            Some("flipped byte")
+        );
         let mutated = std::fs::read(&path).unwrap();
         assert_eq!(mutated.len(), original.len());
         assert_ne!(mutated, original);
 
         std::fs::write(&path, &original).unwrap();
         let plan = FaultPlan::builder().truncate_snapshot(5).build();
-        assert_eq!(plan.corrupt_after_write(5, &path).unwrap(), Some("truncated"));
+        assert_eq!(
+            plan.corrupt_after_write(5, &path).unwrap(),
+            Some("truncated")
+        );
         assert_eq!(std::fs::read(&path).unwrap().len(), original.len() / 2);
 
         std::fs::remove_dir_all(&dir).unwrap();

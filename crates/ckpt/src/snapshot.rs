@@ -41,7 +41,11 @@ pub struct SnapshotBuilder {
 
 impl SnapshotBuilder {
     pub fn new(superstep: u32, num_nodes: u32) -> Self {
-        SnapshotBuilder { superstep, num_nodes, sections: Vec::new() }
+        SnapshotBuilder {
+            superstep,
+            num_nodes,
+            sections: Vec::new(),
+        }
     }
 
     pub fn section(mut self, name: &str, payload: Vec<u8>) -> Self {
@@ -52,7 +56,11 @@ impl SnapshotBuilder {
 
     /// Serialize the container, including the trailing checksum.
     pub fn encode(&self) -> Vec<u8> {
-        let payload_total: usize = self.sections.iter().map(|(n, p)| 9 + n.len() + p.len()).sum();
+        let payload_total: usize = self
+            .sections
+            .iter()
+            .map(|(n, p)| 9 + n.len() + p.len())
+            .sum();
         let mut out = Vec::with_capacity(20 + payload_total + 4);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -108,7 +116,10 @@ impl Snapshot {
         let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
         let actual = crc32(body);
         if stored != actual {
-            return Err(CkptError::ChecksumMismatch { expected: stored, actual });
+            return Err(CkptError::ChecksumMismatch {
+                expected: stored,
+                actual,
+            });
         }
         let mut r = ByteReader::new(&body[4..]);
         let version = r.read_u32()?;
@@ -129,7 +140,11 @@ impl Snapshot {
             sections.push((name, payload));
         }
         r.expect_end()?;
-        Ok(Snapshot { superstep, num_nodes, sections })
+        Ok(Snapshot {
+            superstep,
+            num_nodes,
+            sections,
+        })
     }
 
     /// Read and validate a snapshot file.
@@ -139,7 +154,10 @@ impl Snapshot {
     }
 
     pub fn section(&self, name: &str) -> Option<&[u8]> {
-        self.sections.iter().find(|(n, _)| n == name).map(|(_, p)| p.as_slice())
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_slice())
     }
 
     pub fn require(&self, name: &'static str) -> Result<&[u8], CkptError> {
@@ -171,8 +189,14 @@ mod tests {
         assert_eq!(snap.section("halted"), Some(&[0u8, 1][..]));
         assert_eq!(snap.section("empty"), Some(&[][..]));
         assert_eq!(snap.section("missing"), None);
-        assert!(matches!(snap.require("missing"), Err(CkptError::MissingSection("missing"))));
-        assert_eq!(snap.section_names().collect::<Vec<_>>(), vec!["values", "halted", "empty"]);
+        assert!(matches!(
+            snap.require("missing"),
+            Err(CkptError::MissingSection("missing"))
+        ));
+        assert_eq!(
+            snap.section_names().collect::<Vec<_>>(),
+            vec!["values", "halted", "empty"]
+        );
     }
 
     #[test]
@@ -189,7 +213,10 @@ mod tests {
     fn truncation_rejected_at_every_length() {
         let bytes = sample().encode();
         for keep in 0..bytes.len() {
-            assert!(Snapshot::decode(&bytes[..keep]).is_err(), "truncation to {keep} accepted");
+            assert!(
+                Snapshot::decode(&bytes[..keep]).is_err(),
+                "truncation to {keep} accepted"
+            );
         }
     }
 
@@ -206,7 +233,10 @@ mod tests {
         let body_len = bytes.len() - 4;
         let crc = crate::crc::crc32(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
-        assert!(matches!(Snapshot::decode(&bytes), Err(CkptError::UnsupportedVersion(99))));
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CkptError::UnsupportedVersion(99))
+        ));
     }
 
     #[test]

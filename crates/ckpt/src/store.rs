@@ -40,12 +40,17 @@ impl CheckpointStore {
     }
 
     pub fn path_for(&self, superstep: u32) -> PathBuf {
-        self.dir.join(format!("snapshot-{superstep:08}.{EXTENSION}"))
+        self.dir
+            .join(format!("snapshot-{superstep:08}.{EXTENSION}"))
     }
 
     /// Atomically write a snapshot for its superstep. Returns the final
     /// path and the byte count.
-    pub fn write(&self, builder: &SnapshotBuilder, superstep: u32) -> Result<(PathBuf, u64), CkptError> {
+    pub fn write(
+        &self,
+        builder: &SnapshotBuilder,
+        superstep: u32,
+    ) -> Result<(PathBuf, u64), CkptError> {
         let path = self.path_for(superstep);
         let bytes = builder.write_atomic(&path)?;
         Ok((path, bytes))
@@ -79,7 +84,11 @@ impl CheckpointStore {
         for (_, path) in self.list()?.into_iter().rev() {
             match Snapshot::read(&path) {
                 Ok(snapshot) => {
-                    return Ok(Some(RecoveredSnapshot { snapshot, path, discarded }));
+                    return Ok(Some(RecoveredSnapshot {
+                        snapshot,
+                        path,
+                        discarded,
+                    }));
                 }
                 Err(_) => discarded += 1,
             }

@@ -608,6 +608,6 @@ mod tests {
     fn _use(_: fn(&str) -> Result<crate::ast::Program, crate::diag::Diagnostics>) {}
     #[allow(dead_code)]
     fn _u2() {
-        _use(|s| parse(s));
+        _use(parse);
     }
 }

@@ -26,6 +26,12 @@ pub struct CompileOptions {
     /// combinable so the runtime can fold them sender-side (off by
     /// default, like the paper's compiler).
     pub combiners: bool,
+    /// Run the [`crate::verify`] PIR well-formedness checks after
+    /// translation and after every optimization pass, turning internal
+    /// compiler bugs into structured diagnostics instead of downstream
+    /// panics or silent miscompiles. On by default in debug/test builds,
+    /// off in release builds; `gmc verify` forces it on.
+    pub verify: bool,
 }
 
 impl Default for CompileOptions {
@@ -34,6 +40,7 @@ impl Default for CompileOptions {
             state_merging: true,
             intra_loop_merging: true,
             combiners: false,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -44,7 +51,7 @@ impl CompileOptions {
         CompileOptions {
             state_merging: false,
             intra_loop_merging: false,
-            combiners: false,
+            ..Self::default()
         }
     }
 
@@ -54,6 +61,12 @@ impl CompileOptions {
             combiners: true,
             ..Self::default()
         }
+    }
+
+    /// Forces the PIR verifier on regardless of build profile.
+    pub fn verified(mut self) -> Self {
+        self.verify = true;
+        self
     }
 }
 
@@ -133,17 +146,40 @@ pub fn compile_with(
         ast_nodes,
         pregel.num_instrs(),
     );
+    if options.verify {
+        crate::verify::verify_stage(
+            &pregel,
+            "translate",
+            &crate::verify::VerifyOptions::strict(),
+        )?;
+    }
 
     let instrs_before = pregel.num_instrs();
     let started = Instant::now();
-    crate::optimize::optimize(
-        &mut pregel,
-        options.state_merging,
-        options.intra_loop_merging,
-        &mut report,
-    );
+    if options.verify {
+        crate::optimize::optimize_verified(
+            &mut pregel,
+            options.state_merging,
+            options.intra_loop_merging,
+            &mut report,
+        )?;
+    } else {
+        crate::optimize::optimize(
+            &mut pregel,
+            options.state_merging,
+            options.intra_loop_merging,
+            &mut report,
+        );
+    }
     if options.combiners {
         crate::optimize::mark_combiners(&mut pregel);
+        if options.verify {
+            crate::verify::verify_stage(
+                &pregel,
+                "mark_combiners",
+                &crate::verify::VerifyOptions::strict(),
+            )?;
+        }
     }
     report.record_timing(
         "optimize",

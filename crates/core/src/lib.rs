@@ -15,7 +15,9 @@
 //!    state machine: master/vertex states, inferred message payloads and
 //!    tags, global broadcasts/reductions.
 //! 5. **Optimization** (§4.2) — [`optimize`] merges consecutive states and
-//!    applies intra-loop state merging.
+//!    applies intra-loop state merging. In debug/test builds, [`verify`]
+//!    re-checks PIR well-formedness after translation and after every
+//!    optimization pass (see [`CompileOptions::verify`]).
 //! 6. **Backends** — [`javagen`] emits GPS-style Java source;
 //!    the `gm-interp` crate executes the state machine directly.
 //!
@@ -41,6 +43,7 @@ pub mod transform;
 pub mod translate;
 pub mod types;
 pub mod value;
+pub mod verify;
 
 pub use compiler::{compile, compile_with, CompileOptions, Compiled};
 pub use diag::{Diag, Diagnostics, Span};

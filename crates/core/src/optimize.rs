@@ -26,6 +26,36 @@ pub fn optimize(
     compact(program);
 }
 
+/// [`optimize`] with PIR verification after every pass (translation
+/// validation, [`crate::CompileOptions::verify`]). Between the merge
+/// passes the verifier tolerates unreachable states — a merged-away state
+/// lingers with a neutralized transition until `compact` removes it — and
+/// goes fully strict after `compact`.
+///
+/// # Errors
+///
+/// The verifier's diagnostics, prefixed with the pass that broke the
+/// program.
+pub fn optimize_verified(
+    program: &mut PregelProgram,
+    state_merging: bool,
+    intra_loop: bool,
+    report: &mut TransformReport,
+) -> Result<(), crate::diag::Diagnostics> {
+    use crate::verify::{verify_stage, VerifyOptions};
+    let relaxed = VerifyOptions::mid_optimization();
+    if state_merging && merge_states(program) {
+        report.record(Step::StateMerging);
+        verify_stage(program, "merge_states", &relaxed)?;
+    }
+    if intra_loop && intra_loop_merge(program) {
+        report.record(Step::IntraLoopMerge);
+        verify_stage(program, "intra_loop_merge", &relaxed)?;
+    }
+    compact(program);
+    verify_stage(program, "compact", &VerifyOptions::strict())
+}
+
 // ---- Combiners (extension; Pregel's combiner API) ----
 
 /// Marks message tags whose receive handling is a single unguarded
@@ -181,10 +211,13 @@ fn do_merge(program: &mut PregelProgram, a_id: StateId, b_id: StateId) {
     }
     a.post = post;
     a.transition = b.transition;
-    // b becomes unreachable; neutralize its transition so it stops
-    // contributing to in-degrees, and let compact() remove it.
+    // b becomes unreachable; neutralize it completely (its master/post
+    // now live in a — a stale copy here would fold aggregates no kernel
+    // reduces) and let compact() remove it.
     program.states[b_id].transition = Transition::Halt;
     program.states[b_id].vertex = None;
+    program.states[b_id].master.clear();
+    program.states[b_id].post.clear();
 }
 
 fn wrap_filter(filter: Option<Expr>, body: Vec<VInstr>) -> Vec<VInstr> {

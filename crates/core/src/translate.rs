@@ -386,14 +386,29 @@ impl Tx<'_> {
     // ---- state machine assembly ----
 
     fn resolve_links_to(&mut self, id: StateId) {
+        let mut bad: Option<(StateId, Slot)> = None;
         for (state, slot) in self.unresolved.drain(..) {
             let t = &mut self.states[state].transition;
             match (slot, t) {
                 (Slot::Goto, t) => *t = Transition::Goto(id),
                 (Slot::BranchThen, Transition::Branch { then_to, .. }) => *then_to = id,
                 (Slot::BranchElse, Transition::Branch { else_to, .. }) => *else_to = id,
-                (slot, t) => unreachable!("bad slot {slot:?} for {t:?}"),
+                // A branch slot recorded against a non-branch transition is
+                // an internal linker bug; report it instead of panicking so
+                // the user sees a diagnostic (the dangling placeholder
+                // target is then caught again by the PIR verifier).
+                (slot, _) => bad = Some((state, slot)),
             }
+        }
+        if let Some((state, slot)) = bad {
+            let t = &self.states[state].transition;
+            self.error(
+                Span::synthetic(),
+                format!(
+                    "internal compiler error: transition slot {slot:?} of state {state} \
+                     cannot be patched into {t:?}"
+                ),
+            );
         }
     }
 
@@ -964,6 +979,20 @@ impl Tx<'_> {
     }
 
     fn new_tag(&mut self, fields: Vec<(String, Ty)>) -> u8 {
+        // Tags are a u8 with IN_NBRS_TAG (255) reserved for the preamble;
+        // a program with more send sites than that would silently alias
+        // tags and miscompile, so reject it instead.
+        if self.messages.len() >= usize::from(IN_NBRS_TAG) {
+            self.error(
+                Span::synthetic(),
+                format!(
+                    "program requires more than {} message types; the wire \
+                     format's tag byte cannot represent them",
+                    IN_NBRS_TAG - 1
+                ),
+            );
+            return IN_NBRS_TAG - 1;
+        }
         let tag = self.messages.len() as u8;
         self.messages.push(MessageLayout { tag, fields });
         tag

@@ -1,14 +1,21 @@
 //! `gmc` — the Green-Marl → Pregel compiler driver.
 //!
 //! ```text
-//! gmc compile <file.gm> [--emit java|canonical|states] [--no-opt] [--timing]
-//!             [--trace <path>] [--trace-format jsonl|chrome]
+//! gmc compile <file.gm> [--emit java|canonical|states] [--no-opt] [--no-verify]
+//!             [--timing] [--trace <path>] [--trace-format jsonl|chrome]
+//! gmc verify <file.gm> [--no-opt]
 //! gmc run <file.gm> --graph <edges.txt> [--arg name=value]...
 //!         [--seed N] [--workers N] [--print prop] [--steps] [--timing]
 //!         [--trace <path>] [--trace-format jsonl|chrome]
 //!         [--checkpoint-every N] [--checkpoint-dir <dir>] [--resume]
 //!         [--keep-snapshots N] [--max-restarts N]
 //! ```
+//!
+//! `gmc verify` compiles with the PIR well-formedness verifier forced on
+//! (after translation and after every optimization pass), prints the
+//! verified state-machine summary on success, and exits non-zero with the
+//! diagnostics on failure. `gmc compile --no-verify` skips the verifier in
+//! debug builds (it is off by default in release builds).
 //!
 //! `--trace <path>` writes a structured event log of the compiler passes
 //! (and, for `run`, the per-worker superstep execution) in the chosen
@@ -41,10 +48,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         _ => {
             eprintln!("usage: gmc compile <file.gm> [--emit java|canonical|states] [--no-opt]");
-            eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
+            eprintln!("               [--no-verify] [--timing] [--trace <path>]");
+            eprintln!("               [--trace-format jsonl|chrome]");
+            eprintln!("       gmc verify <file.gm> [--no-opt]");
             eprintln!("       gmc run <file.gm> --graph <edges.txt> [--arg name=value]...");
             eprintln!("               [--seed N] [--workers N] [--print prop] [--steps]");
             eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
@@ -58,14 +68,18 @@ fn main() -> ExitCode {
 fn load_and_compile(
     path: &str,
     optimize: bool,
+    verify: Option<bool>,
     tracer: Option<&Tracer>,
 ) -> Result<gm_core::Compiled, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let options = if optimize {
+    let mut options = if optimize {
         CompileOptions::default()
     } else {
         CompileOptions::unoptimized()
     };
+    if let Some(v) = verify {
+        options.verify = v;
+    }
     compile_with(&src, &options, tracer)
         .map_err(|d| format!("compilation failed:\n{}", d.render(&src)))
 }
@@ -87,6 +101,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
     };
     let mut emit = "states";
     let mut optimize = true;
+    let mut verify: Option<bool> = None;
     let mut timing = false;
     let mut trace_path: Option<String> = None;
     let mut trace_format = TraceFormat::Jsonl;
@@ -101,6 +116,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
                 }
             },
             "--no-opt" => optimize = false,
+            "--no-verify" => verify = Some(false),
             "--timing" => timing = true,
             "--trace" => match it.next() {
                 Some(p) => trace_path = Some(p.clone()),
@@ -133,7 +149,7 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match load_and_compile(path, optimize, tracer.as_ref()) {
+    let compiled = match load_and_compile(path, optimize, verify, tracer.as_ref()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -161,6 +177,33 @@ fn cmd_compile(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("gmc verify: missing input file");
+        return ExitCode::FAILURE;
+    };
+    let mut optimize = true;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--no-opt" => optimize = false,
+            other => {
+                eprintln!("gmc verify: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let compiled = match load_and_compile(path, optimize, Some(true), None) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", compiled.program);
+    println!("{}", gm_core::verify::summary(&compiled.program));
     ExitCode::SUCCESS
 }
 
@@ -283,7 +326,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let compiled = match load_and_compile(path, true, tracer.as_ref()) {
+    let compiled = match load_and_compile(path, true, None, tracer.as_ref()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");

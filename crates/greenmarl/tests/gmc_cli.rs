@@ -113,6 +113,89 @@ fn run_executes_and_prints_property() {
 }
 
 #[test]
+fn verify_prints_summary_on_valid_program() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp_verify.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+
+    let out = gmc()
+        .args(["verify", gm.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pregel program `sssp`"), "{text}");
+    assert!(text.contains("verified:"), "{text}");
+    assert!(text.contains("message types"), "{text}");
+
+    // The unoptimized state machine verifies too (more states, same summary
+    // shape).
+    let out = gmc()
+        .args(["verify", gm.to_str().unwrap(), "--no-opt"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified:"), "{text}");
+}
+
+#[test]
+fn verify_rejects_malformed_program_nonzero() {
+    let dir = temp_dir();
+    let gm = dir.join("broken_verify.gm");
+    // Semantic error: `y` is never declared.
+    std::fs::write(
+        &gm,
+        "Procedure broken(G: Graph, x: N_P<Int>) {\n    G.x = y + 1;\n}\n",
+    )
+    .unwrap();
+    let out = gmc()
+        .args(["verify", gm.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("compilation failed"), "{err}");
+
+    // Missing file and unknown flag both fail cleanly.
+    let out = gmc().args(["verify"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = gmc()
+        .args(["verify", gm.to_str().unwrap(), "--wat"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "{err}");
+}
+
+#[test]
+fn compile_accepts_no_verify_flag() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp_noverify.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+    let out = gmc()
+        .args(["compile", gm.to_str().unwrap(), "--no-verify"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pregel program `sssp`"), "{text}");
+}
+
+#[test]
 fn bad_inputs_fail_with_diagnostics() {
     let dir = temp_dir();
     let gm = dir.join("bad.gm");

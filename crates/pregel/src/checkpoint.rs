@@ -219,6 +219,7 @@ where
 /// Assembles the snapshot container from the coordinator state, the
 /// worker-captured vertex sections (already concatenated in ascending
 /// vertex order), the program's master bytes, and the metrics so far.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_snapshot(
     superstep: u32,
     num_nodes: u32,

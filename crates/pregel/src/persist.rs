@@ -39,7 +39,9 @@ impl Persist for GlobalValue {
             1 => Ok(GlobalValue::Double(f64::restore(r)?)),
             2 => Ok(GlobalValue::Bool(bool::restore(r)?)),
             3 => Ok(GlobalValue::Node(u32::restore(r)?)),
-            t => Err(CkptError::Decode(format!("invalid GlobalValue tag {t:#04x}"))),
+            t => Err(CkptError::Decode(format!(
+                "invalid GlobalValue tag {t:#04x}"
+            ))),
         }
     }
 }

@@ -364,39 +364,46 @@ where
         // Inline execution on the calling thread; same phase structure,
         // no pool.
         let mut state = states.pop().expect("one worker state");
-        let metrics = drive(&shared, &starts, config, drive_init, ckpt, |job| match job {
-            PhaseJob::Compute {
-                superstep,
-                mut spares,
-            } => {
-                let program = read_lock(&shared.program);
-                let globals = read_lock(&shared.globals);
-                let spare = spares.pop().unwrap_or_default();
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    state.compute_phase(
-                        graph,
-                        &**program,
-                        &globals,
-                        &starts,
-                        superstep,
-                        spare,
-                        &shared.faults,
-                        shared.tracer.as_ref(),
-                    )
-                }))
-                .map_err(|_| PhasePanic)?;
-                Ok(PhaseResult::Computed(vec![out]))
-            }
-            PhaseJob::Deliver(mut incoming) => {
-                let buckets = incoming.pop().expect("single worker bucket set");
-                Ok(PhaseResult::Delivered(vec![
-                    state.deliver_phase(buckets, shared.tracer.as_ref())
-                ]))
-            }
-            PhaseJob::Snapshot => Ok(PhaseResult::Snapshotted(vec![
-                state.snapshot_phase(shared.tracer.as_ref())
-            ])),
-        })?;
+        let metrics = drive(
+            &shared,
+            &starts,
+            config,
+            drive_init,
+            ckpt,
+            |job| match job {
+                PhaseJob::Compute {
+                    superstep,
+                    mut spares,
+                } => {
+                    let program = read_lock(&shared.program);
+                    let globals = read_lock(&shared.globals);
+                    let spare = spares.pop().unwrap_or_default();
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        state.compute_phase(
+                            graph,
+                            &**program,
+                            &globals,
+                            &starts,
+                            superstep,
+                            spare,
+                            &shared.faults,
+                            shared.tracer.as_ref(),
+                        )
+                    }))
+                    .map_err(|_| PhasePanic)?;
+                    Ok(PhaseResult::Computed(vec![out]))
+                }
+                PhaseJob::Deliver(mut incoming) => {
+                    let buckets = incoming.pop().expect("single worker bucket set");
+                    Ok(PhaseResult::Delivered(vec![
+                        state.deliver_phase(buckets, shared.tracer.as_ref())
+                    ]))
+                }
+                PhaseJob::Snapshot => Ok(PhaseResult::Snapshotted(vec![
+                    state.snapshot_phase(shared.tracer.as_ref())
+                ])),
+            },
+        )?;
         return Ok(PregelResult {
             values: state.values,
             metrics,
@@ -421,39 +428,46 @@ where
         }
         drop(reply_tx);
 
-        let drive_result = drive(&shared, &starts, config, drive_init, ckpt, |job| match job {
-            PhaseJob::Compute { superstep, spares } => {
-                let mut spares = spares.into_iter();
-                for tx in &job_txs {
-                    let spare = spares.next().unwrap_or_default();
-                    tx.send(Job::Compute { superstep, spare })
-                        .map_err(|_| PhasePanic)?;
+        let drive_result = drive(
+            &shared,
+            &starts,
+            config,
+            drive_init,
+            ckpt,
+            |job| match job {
+                PhaseJob::Compute { superstep, spares } => {
+                    let mut spares = spares.into_iter();
+                    for tx in &job_txs {
+                        let spare = spares.next().unwrap_or_default();
+                        tx.send(Job::Compute { superstep, spare })
+                            .map_err(|_| PhasePanic)?;
+                    }
+                    Ok(PhaseResult::Computed(collect_compute_replies(
+                        &reply_rx,
+                        num_workers,
+                    )?))
                 }
-                Ok(PhaseResult::Computed(collect_compute_replies(
-                    &reply_rx,
-                    num_workers,
-                )?))
-            }
-            PhaseJob::Deliver(incoming) => {
-                for (tx, buckets) in job_txs.iter().zip(incoming) {
-                    tx.send(Job::Deliver { incoming: buckets })
-                        .map_err(|_| PhasePanic)?;
+                PhaseJob::Deliver(incoming) => {
+                    for (tx, buckets) in job_txs.iter().zip(incoming) {
+                        tx.send(Job::Deliver { incoming: buckets })
+                            .map_err(|_| PhasePanic)?;
+                    }
+                    Ok(PhaseResult::Delivered(collect_deliver_replies(
+                        &reply_rx,
+                        num_workers,
+                    )?))
                 }
-                Ok(PhaseResult::Delivered(collect_deliver_replies(
-                    &reply_rx,
-                    num_workers,
-                )?))
-            }
-            PhaseJob::Snapshot => {
-                for tx in &job_txs {
-                    tx.send(Job::Snapshot).map_err(|_| PhasePanic)?;
+                PhaseJob::Snapshot => {
+                    for tx in &job_txs {
+                        tx.send(Job::Snapshot).map_err(|_| PhasePanic)?;
+                    }
+                    Ok(PhaseResult::Snapshotted(collect_snapshot_replies(
+                        &reply_rx,
+                        num_workers,
+                    )?))
                 }
-                Ok(PhaseResult::Snapshotted(collect_snapshot_replies(
-                    &reply_rx,
-                    num_workers,
-                )?))
-            }
-        });
+            },
+        );
 
         // Shut the pool down and join every worker whether the run
         // succeeded or a worker died; no thread may outlive the scope.
@@ -523,10 +537,7 @@ where
                         "restart",
                         Category::Ckpt,
                         0,
-                        vec![
-                            ("attempt", attempt.into()),
-                            ("superstep", superstep.into()),
-                        ],
+                        vec![("attempt", attempt.into()), ("superstep", superstep.into())],
                     );
                 }
                 if !policy.backoff.is_zero() {
@@ -756,10 +767,7 @@ where
                                     0,
                                     ts,
                                     ckpt_started.elapsed().as_micros() as u64,
-                                    vec![
-                                        ("superstep", superstep.into()),
-                                        ("bytes", bytes.into()),
-                                    ],
+                                    vec![("superstep", superstep.into()), ("bytes", bytes.into())],
                                 );
                             }
                         }
@@ -834,12 +842,11 @@ where
             superstep,
             spares: std::mem::take(&mut spares),
         };
-        let computes = match phase(job)
-            .map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })?
-        {
-            PhaseResult::Computed(outs) => outs,
-            _ => unreachable!("executor answered compute with another phase"),
-        };
+        let computes =
+            match phase(job).map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })? {
+                PhaseResult::Computed(outs) => outs,
+                _ => unreachable!("executor answered compute with another phase"),
+            };
 
         // ---- barrier: merge worker outputs in ascending worker order ----
         let mut step = SuperstepMetrics {
@@ -1110,8 +1117,9 @@ where
                 }
             }
             Job::Snapshot => {
-                let out =
-                    catch_unwind(AssertUnwindSafe(|| state.snapshot_phase(shared.tracer.as_ref())));
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    state.snapshot_phase(shared.tracer.as_ref())
+                }));
                 match out {
                     Ok(out) => Reply::Snapshotted { worker: index, out },
                     Err(_) => Reply::Panicked,
@@ -2017,7 +2025,10 @@ mod tests {
         assert_eq!(r.values, base.values);
         assert_eq!(r.metrics.supersteps, base.metrics.supersteps);
         assert_eq!(r.metrics.total_messages, base.metrics.total_messages);
-        assert_eq!(r.metrics.total_message_bytes, base.metrics.total_message_bytes);
+        assert_eq!(
+            r.metrics.total_message_bytes,
+            base.metrics.total_message_bytes
+        );
         assert_eq!(p.total, base_total, "master state must resume too");
         assert_eq!(r.metrics.recovery.restores, 1);
         // The resumed run checkpoints at superstep 6 (3 is skipped).

@@ -156,6 +156,15 @@ static CLONES: AtomicUsize = AtomicUsize::new(0);
 
 struct CountingMsg(u64);
 
+impl gm_ckpt::Persist for CountingMsg {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.0.persist(out);
+    }
+    fn restore(r: &mut gm_ckpt::ByteReader<'_>) -> Result<Self, gm_ckpt::CkptError> {
+        Ok(CountingMsg(u64::restore(r)?))
+    }
+}
+
 impl Clone for CountingMsg {
     fn clone(&self) -> Self {
         CLONES.fetch_add(1, Ordering::Relaxed);

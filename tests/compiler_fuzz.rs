@@ -1,10 +1,12 @@
-//! Compiler fuzzing: generate random (but well-typed) Green-Marl programs
-//! with proptest, then check that
+//! Compiler fuzzing with translation validation: generate random (but
+//! well-typed) Green-Marl programs with proptest, then check that
 //!
 //! 1. the full pipeline compiles them (or rejects them with a diagnostic —
-//!    never panics),
+//!    never panics), with the PIR verifier re-checking the program after
+//!    translation and after every optimization pass,
 //! 2. the compiled Pregel execution matches the sequential interpreter
-//!    bit-for-bit,
+//!    bit-for-bit across the whole matrix: optimizations on/off ×
+//!    {1, 2, 4} workers × a mid-run checkpoint/restore leg,
 //! 3. the §4.2 optimizations never change results.
 //!
 //! The generator stays inside the Pregel-compatible subset on purpose:
@@ -17,9 +19,11 @@ use gm_core::value::Value;
 use gm_core::{compile, CompileOptions};
 use gm_graph::gen;
 use gm_interp::run_compiled;
-use gm_pregel::PregelConfig;
-use proptest::prelude::*;
+use gm_pregel::{CheckpointConfig, FaultPlan, PregelConfig, RecoveryPolicy};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
 
 /// Integer vertex properties available to generated programs.
 const PROPS: [&str; 3] = ["pa", "pb", "pc"];
@@ -239,6 +243,90 @@ fn initial_props(n: u32, salt: i64) -> HashMap<String, ArgValue> {
     ])
 }
 
+/// A unique, pre-cleaned snapshot directory per checkpoint leg.
+fn fresh_ckpt_dir() -> std::path::PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gm-fuzz-ckpt-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The translation-validation harness: compile `pieces` with the PIR
+/// verifier forced on (both optimized and unoptimized) and require the
+/// Pregel execution to match the sequential interpreter bit-for-bit on
+/// 1, 2, and 4 workers plus a leg that checkpoints every superstep,
+/// kills worker 0 mid-run, and recovers from the snapshot.
+fn check_translation_validation(
+    pieces: &[Piece],
+    rounds: Option<u8>,
+    n: u32,
+    m_per_n: usize,
+    seed: u64,
+) {
+    let src = render(pieces, rounds);
+    let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+    let args = initial_props(n, seed as i64);
+
+    // Sequential oracle.
+    let mut prog = gm_core::parser::parse(&src).unwrap_or_else(|e| {
+        panic!(
+            "generated program fails to parse:\n{}\n{src}",
+            e.render(&src)
+        )
+    });
+    gm_core::normalize::desugar_bulk(&mut prog);
+    let infos = gm_core::sema::check(&mut prog)
+        .unwrap_or_else(|e| panic!("generated program fails sema:\n{}\n{src}", e.render(&src)));
+    let seq = run_procedure(&g, &prog.procedures[0], &infos[0], &args, 0).expect("sequential run");
+
+    let agree = |out: &gm_interp::CompiledOutcome, leg: &str| {
+        assert_eq!(seq.ret, out.ret, "{leg}: return differs\n{src}");
+        for p in PROPS {
+            assert_eq!(
+                &seq.node_props[p], &out.node_props[p],
+                "{leg}: property {p} differs\n{src}"
+            );
+        }
+    };
+
+    for opts in [
+        CompileOptions::default().verified(),
+        CompileOptions::unoptimized().verified(),
+    ] {
+        let tag = if opts.state_merging { "opt" } else { "unopt" };
+        let compiled = compile(&src, &opts)
+            .unwrap_or_else(|e| panic!("compile failed:\n{}\n{src}", e.render(&src)));
+        for workers in [1usize, 2, 4] {
+            let out = run_compiled(
+                &g,
+                &compiled,
+                &args,
+                0,
+                &PregelConfig::with_workers(workers),
+            )
+            .expect("pregel run");
+            agree(&out, &format!("{tag}/workers={workers}"));
+        }
+        // Checkpoint/restore leg: snapshot every superstep, panic worker 0
+        // in superstep 1 (if the run gets that far), recover, and still
+        // match the oracle exactly.
+        let dir = fresh_ckpt_dir();
+        let cfg = PregelConfig {
+            checkpoint: Some(CheckpointConfig::new(dir.clone(), 1)),
+            faults: FaultPlan::builder().panic_in_compute(1, Some(0)).build(),
+            recovery: Some(RecoveryPolicy::with_max_restarts(2)),
+            ..PregelConfig::with_workers(2)
+        };
+        let out = run_compiled(&g, &compiled, &args, 0, &cfg).expect("checkpointed pregel run");
+        agree(&out, &format!("{tag}/ckpt-restore"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -250,31 +338,63 @@ proptest! {
         m_per_n in 0usize..6,
         seed in 0u64..1000,
     ) {
-        let src = render(&pieces, rounds);
-        let g = gen::uniform_random(n, n as usize * m_per_n, seed);
-        let args = initial_props(n, seed as i64);
+        check_translation_validation(&pieces, rounds, n, m_per_n, seed);
+    }
+}
 
-        // Sequential oracle.
-        let mut prog = gm_core::parser::parse(&src)
-            .unwrap_or_else(|e| panic!("generated program fails to parse:\n{}\n{src}", e.render(&src)));
-        gm_core::normalize::desugar_bulk(&mut prog);
-        let infos = gm_core::sema::check(&mut prog)
-            .unwrap_or_else(|e| panic!("generated program fails sema:\n{}\n{src}", e.render(&src)));
-        let seq = run_procedure(&g, &prog.procedures[0], &infos[0], &args, 0)
-            .expect("sequential run");
+/// The shrunk seed from `compiler_fuzz.proptest-regressions`, promoted to
+/// a deterministic named test: a pull-direction push (`InNbrs`) followed
+/// by a plain local write inside a two-round `While` loop — a shape that
+/// once diverged from the oracle. Pinning it here keeps the case covered
+/// on every CI run without re-running the whole fuzz campaign.
+#[test]
+fn regression_push_innbrs_then_local_in_loop() {
+    let pieces = [
+        Piece::Push {
+            prop: 1,
+            out_edges: false,
+            filter: None,
+            expr: "((0 + n.pb) * (3 * n.pb))".to_owned(),
+        },
+        Piece::Local {
+            prop: 0,
+            filter: None,
+            expr: "((n.pb + 0) * (n.pb * 7))".to_owned(),
+            reduce: false,
+        },
+    ];
+    check_translation_validation(&pieces, Some(2), 30, 5, 249);
+}
 
-        for opts in [CompileOptions::default(), CompileOptions::unoptimized()] {
-            let compiled = compile(&src, &opts)
-                .unwrap_or_else(|e| panic!("compile failed:\n{}\n{src}", e.render(&src)));
-            let out = run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential())
-                .expect("pregel run");
-            prop_assert_eq!(seq.ret.clone(), out.ret.clone(), "return differs\n{}", src);
-            for p in PROPS {
-                prop_assert_eq!(
-                    &seq.node_props[p], &out.node_props[p],
-                    "property {} differs\n{}", p, src
-                );
-            }
-        }
+/// Compact single-piece cases that pin each generator shape through the
+/// full matrix deterministically (cheap enough for every CI run).
+#[test]
+fn regression_each_piece_shape_alone() {
+    let shapes = [
+        Piece::Local {
+            prop: 2,
+            filter: Some("(n.pa % 7) < 4".to_owned()),
+            expr: "(n.pc + 3)".to_owned(),
+            reduce: true,
+        },
+        Piece::Push {
+            prop: 0,
+            out_edges: true,
+            filter: Some("(t.pb % 7) == 2".to_owned()),
+            expr: "(n.pa * 2)".to_owned(),
+        },
+        Piece::Pull {
+            prop: 1,
+            in_edges: true,
+            filter: Some("(t.pa % 7) > 1".to_owned()),
+            expr: "(t.pc - 1)".to_owned(),
+        },
+        Piece::Reduce {
+            filter: None,
+            expr: "(n.pb + n.pc)".to_owned(),
+        },
+    ];
+    for shape in shapes {
+        check_translation_validation(std::slice::from_ref(&shape), Some(2), 12, 3, 7);
     }
 }

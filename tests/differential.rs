@@ -47,6 +47,74 @@ fn assert_agree(seq: &ExecOutcome, gen: &CompiledOutcome, tag: &str) {
     }
 }
 
+/// Runs one shrunk (n, m_per_n, seed) triple from
+/// `differential.proptest-regressions` through the four algorithms whose
+/// differential tests share that argument shape, so the historical
+/// failure stays pinned deterministically on every CI run.
+fn check_regression_seed(n: u32, m_per_n: usize, seed: u64) {
+    let g = gen::uniform_random(n, n as usize * m_per_n, seed);
+
+    let ages: Vec<Value> = (0..n as i64)
+        .map(|i| Value::Int((i * 7 + seed as i64) % 60))
+        .collect();
+    let args = HashMap::from([
+        ("age".to_owned(), ArgValue::NodeProp(ages)),
+        ("K".to_owned(), ArgValue::Scalar(Value::Int(20))),
+    ]);
+    let compiled = compile(sources::AVG_TEEN, &CompileOptions::default().verified()).unwrap();
+    let seq = seq_run(&g, sources::AVG_TEEN, &args, 0);
+    let gen_out = pregel_run(&g, &compiled, &args, 0, 1 + (seed % 3) as usize);
+    assert_agree(&seq, &gen_out, "avg_teen regression");
+
+    let weights: Vec<Value> = (0..g.num_edges() as i64)
+        .map(|i| Value::Int(1 + (i * 3 + seed as i64) % 17))
+        .collect();
+    let args = HashMap::from([
+        (
+            "root".to_owned(),
+            ArgValue::Scalar(Value::Node(seed as u32 % n)),
+        ),
+        ("len".to_owned(), ArgValue::EdgeProp(weights)),
+    ]);
+    let compiled = compile(sources::SSSP, &CompileOptions::default().verified()).unwrap();
+    let seq = seq_run(&g, sources::SSSP, &args, 0);
+    let gen_out = pregel_run(&g, &compiled, &args, 0, 1 + (seed % 3) as usize);
+    assert_agree(&seq, &gen_out, "sssp regression");
+
+    let args = HashMap::from([
+        ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-4))),
+        ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+        ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(8))),
+    ]);
+    let compiled = compile(sources::PAGERANK, &CompileOptions::default().verified()).unwrap();
+    let seq = seq_run(&g, sources::PAGERANK, &args, 0);
+    let gen_out = pregel_run(&g, &compiled, &args, 0, 1);
+    assert_agree(&seq, &gen_out, "pagerank regression");
+
+    let member: Vec<Value> = (0..n as u64)
+        .map(|i| Value::Bool((i + seed).is_multiple_of(3)))
+        .collect();
+    let args = HashMap::from([("member".to_owned(), ArgValue::NodeProp(member))]);
+    let compiled = compile(sources::CONDUCTANCE, &CompileOptions::default().verified()).unwrap();
+    let seq = seq_run(&g, sources::CONDUCTANCE, &args, 0);
+    let gen_out = pregel_run(&g, &compiled, &args, 0, 1 + (seed % 3) as usize);
+    assert_agree(&seq, &gen_out, "conductance regression");
+}
+
+/// Shrunk seed `n = 7, m_per_n = 3, seed = 1` from
+/// `differential.proptest-regressions`, promoted to a named test.
+#[test]
+fn regression_seed_n7_m3_s1() {
+    check_regression_seed(7, 3, 1);
+}
+
+/// Shrunk seed `n = 8, m_per_n = 5, seed = 61` from
+/// `differential.proptest-regressions`, promoted to a named test.
+#[test]
+fn regression_seed_n8_m5_s61() {
+    check_regression_seed(8, 5, 61);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -140,8 +208,8 @@ proptest! {
             }
         }
         let (a, b) = (
-            seq.ret.clone().unwrap().as_f64(),
-            multi.ret.clone().unwrap().as_f64(),
+            seq.ret.unwrap().as_f64(),
+            multi.ret.unwrap().as_f64(),
         );
         prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{} vs {}", a, b);
     }
