@@ -1,0 +1,137 @@
+//! Differential spill tests: every paper algorithm, run under a message
+//! budget tiny enough to force multi-bucket spills each superstep, must be
+//! **bit-identical** to the unbudgeted run — same values and same
+//! structural metrics (supersteps, message counts and bytes, per-superstep
+//! series). The spill path may only change *where* sealed buckets live
+//! between compute and delivery, never *what* is delivered.
+//!
+//! Baselines pin [`ResourceBudget::unbounded`] explicitly rather than
+//! relying on `PregelConfig::default()`, which reads `GM_MAX_MSG_BYTES`
+//! from the environment — a CI stress job sets that variable for the whole
+//! suite, and the baseline must stay unbudgeted regardless.
+
+use gm_algorithms::manual;
+use gm_graph::{gen, NodeId};
+use gm_pregel::{Metrics, PregelConfig, ResourceBudget};
+
+/// One byte of budget: every non-empty sealed bucket spills.
+fn spilling(workers: usize) -> PregelConfig {
+    PregelConfig::with_workers(workers)
+        .with_budget(ResourceBudget::unbounded().with_max_message_bytes(1))
+}
+
+fn unbounded(workers: usize) -> PregelConfig {
+    PregelConfig::with_workers(workers).with_budget(ResourceBudget::unbounded())
+}
+
+/// Asserts the governed run's structural metrics are bit-identical to the
+/// baseline's and that the budget actually forced spills.
+fn assert_spill_invisible(base: &Metrics, gov: &Metrics, tag: &str) {
+    assert_eq!(base.supersteps, gov.supersteps, "{tag}: supersteps");
+    assert_eq!(
+        base.total_messages, gov.total_messages,
+        "{tag}: total messages"
+    );
+    assert_eq!(
+        base.total_message_bytes, gov.total_message_bytes,
+        "{tag}: total message bytes"
+    );
+    assert_eq!(
+        base.remote_messages, gov.remote_messages,
+        "{tag}: remote messages"
+    );
+    let series = |m: &Metrics| -> Vec<(u32, u64, u64)> {
+        m.per_superstep
+            .iter()
+            .map(|s| (s.active_vertices, s.messages_sent, s.message_bytes))
+            .collect()
+    };
+    assert_eq!(series(base), series(gov), "{tag}: per-superstep series");
+    assert_eq!(
+        base.spill.buckets_spilled, 0,
+        "{tag}: baseline must not spill"
+    );
+    assert!(
+        gov.spill.buckets_spilled > 0,
+        "{tag}: the 1-byte budget must force spills"
+    );
+    assert_eq!(
+        gov.spill.files_replayed, gov.spill.buckets_spilled,
+        "{tag}: every spilled bucket must be replayed"
+    );
+    assert!(
+        gov.spill.spilled_message_bytes > 0,
+        "{tag}: spilled buckets must carry bytes"
+    );
+}
+
+#[test]
+fn pagerank_is_bit_identical_under_forced_spills() {
+    let g = gen::rmat(300, 2000, 5);
+    for workers in [1usize, 2, 4] {
+        let base = manual::run_pagerank(&g, 1e-9, 0.85, 10, &unbounded(workers)).unwrap();
+        let gov = manual::run_pagerank(&g, 1e-9, 0.85, 10, &spilling(workers)).unwrap();
+        let tag = format!("pagerank/w{workers}");
+        assert_eq!(base.pr, gov.pr, "{tag}: values");
+        assert_eq!(base.iterations, gov.iterations, "{tag}: iterations");
+        assert_spill_invisible(&base.metrics, &gov.metrics, &tag);
+    }
+}
+
+#[test]
+fn sssp_is_bit_identical_under_forced_spills() {
+    let g = gen::rmat(250, 1500, 7);
+    let weights: Vec<i64> = (0..1500).map(|i| 1 + (i * 11) % 9).collect();
+    for workers in [1usize, 2, 4] {
+        let base = manual::run_sssp(&g, NodeId(2), &weights, &unbounded(workers)).unwrap();
+        let gov = manual::run_sssp(&g, NodeId(2), &weights, &spilling(workers)).unwrap();
+        let tag = format!("sssp/w{workers}");
+        assert_eq!(base.dist, gov.dist, "{tag}: values");
+        assert_spill_invisible(&base.metrics, &gov.metrics, &tag);
+    }
+}
+
+#[test]
+fn avg_teen_is_bit_identical_under_forced_spills() {
+    let g = gen::rmat(300, 2000, 3);
+    let ages: Vec<i64> = (0..300).map(|i| (i * 31) % 90).collect();
+    for workers in [1usize, 2, 4] {
+        let base = manual::run_avg_teen(&g, &ages, 25, &unbounded(workers)).unwrap();
+        let gov = manual::run_avg_teen(&g, &ages, 25, &spilling(workers)).unwrap();
+        let tag = format!("avg_teen/w{workers}");
+        assert_eq!(base.teen_cnt, gov.teen_cnt, "{tag}: values");
+        assert_eq!(base.avg.to_bits(), gov.avg.to_bits(), "{tag}: average");
+        assert_spill_invisible(&base.metrics, &gov.metrics, &tag);
+    }
+}
+
+#[test]
+fn conductance_is_bit_identical_under_forced_spills() {
+    let g = gen::rmat(200, 1400, 13);
+    let member: Vec<bool> = (0..200).map(|i| i % 4 == 0).collect();
+    for workers in [1usize, 2, 4] {
+        let base = manual::run_conductance(&g, &member, &unbounded(workers)).unwrap();
+        let gov = manual::run_conductance(&g, &member, &spilling(workers)).unwrap();
+        let tag = format!("conductance/w{workers}");
+        assert_eq!(
+            base.conductance.to_bits(),
+            gov.conductance.to_bits(),
+            "{tag}: value"
+        );
+        assert_spill_invisible(&base.metrics, &gov.metrics, &tag);
+    }
+}
+
+#[test]
+fn bipartite_matching_is_bit_identical_under_forced_spills() {
+    let g = gen::bipartite(40, 50, 220, 3);
+    let is_boy: Vec<bool> = (0..90).map(|i| i < 40).collect();
+    for workers in [1usize, 2, 4] {
+        let base = manual::run_bipartite_matching(&g, &is_boy, &unbounded(workers)).unwrap();
+        let gov = manual::run_bipartite_matching(&g, &is_boy, &spilling(workers)).unwrap();
+        let tag = format!("bipartite/w{workers}");
+        assert_eq!(base.matching, gov.matching, "{tag}: matching");
+        assert_eq!(base.pairs, gov.pairs, "{tag}: pairs");
+        assert_spill_invisible(&base.metrics, &gov.metrics, &tag);
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion bench for spill overhead: the PageRank message flood with the
+//! message budget unbounded vs. tight enough to spill most sealed buckets
+//! every superstep. The delta against `unbounded` is the full cost of the
+//! CRC-checked disk round-trip (write at compute, replay at delivery);
+//! results stay bit-identical either way. Baseline numbers live in
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_graph::gen;
+use gm_pregel::{
+    run, MasterContext, MasterDecision, PregelConfig, ResourceBudget, VertexContext, VertexProgram,
+};
+
+struct PageRank {
+    n: f64,
+    rounds: u32,
+}
+
+impl VertexProgram for PageRank {
+    type VertexValue = f64;
+    type Message = f64;
+
+    fn message_bytes(&self, _m: &f64) -> u64 {
+        8
+    }
+
+    fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+        if ctx.superstep() > self.rounds {
+            MasterDecision::Halt
+        } else {
+            MasterDecision::Continue
+        }
+    }
+
+    fn vertex_compute(
+        &self,
+        ctx: &mut VertexContext<'_, '_, f64>,
+        value: &mut f64,
+        messages: &[f64],
+    ) {
+        if ctx.superstep() == 0 {
+            *value = 1.0 / self.n;
+        } else {
+            let mut sum = 0.0;
+            for m in messages {
+                sum += *m;
+            }
+            *value = 0.15 / self.n + 0.85 * sum;
+        }
+        if ctx.out_degree() > 0 {
+            ctx.send_to_nbrs(*value / ctx.out_degree() as f64);
+        }
+    }
+}
+
+fn spill_overhead(c: &mut Criterion) {
+    let g = gen::rmat(10_000, 360_000, 1001);
+    let rounds = 10;
+    let dir = std::env::temp_dir().join(format!("gm-spill-bench-{}", std::process::id()));
+
+    let mut grp = c.benchmark_group("spill_overhead/pagerank");
+    grp.sample_size(10);
+    // ~360k messages * 8 bytes ≈ 2.9 MB in flight per superstep: 256 KiB
+    // spills most buckets, 1 byte spills every one of them.
+    for (name, budget) in [
+        ("unbounded", ResourceBudget::unbounded()),
+        (
+            "budget-256KiB",
+            ResourceBudget::unbounded()
+                .with_max_message_bytes(256 * 1024)
+                .with_spill_dir(dir.clone()),
+        ),
+        (
+            "budget-1B",
+            ResourceBudget::unbounded()
+                .with_max_message_bytes(1)
+                .with_spill_dir(dir.clone()),
+        ),
+    ] {
+        let cfg = PregelConfig {
+            num_workers: 4,
+            max_supersteps: 1_000,
+            ..PregelConfig::default()
+        }
+        .with_budget(budget);
+        grp.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let mut p = PageRank {
+                    n: g.num_nodes() as f64,
+                    rounds,
+                };
+                run(g, &mut p, |_| 0.0, &cfg).expect("run")
+            })
+        });
+    }
+    grp.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, spill_overhead);
+criterion_main!(benches);

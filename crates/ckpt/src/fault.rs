@@ -27,6 +27,16 @@ pub enum FaultKind {
     /// After the checkpoint at `superstep` is written, truncate the file
     /// to half its length (simulated torn write).
     TruncateSnapshot { superstep: u32 },
+    /// Spin inside the compute phase of `superstep` on worker `worker`
+    /// (or any worker when `None`) until a superstep deadline cancels the
+    /// phase — a simulated wedged vertex kernel.
+    HangInCompute { superstep: u32, worker: Option<u32> },
+    /// Simulate an I/O failure of a message-spill write at `superstep`.
+    FailSpillWrite { superstep: u32 },
+    /// Simulate memory exhaustion at the barrier of `superstep`: the
+    /// runtime reports its resident-budget check as failed even when the
+    /// real usage is under budget.
+    OomAtBarrier { superstep: u32 },
 }
 
 #[derive(Debug)]
@@ -82,6 +92,32 @@ impl FaultPlanBuilder {
 
     pub fn truncate_snapshot(self, superstep: u32) -> Self {
         self.push(FaultKind::TruncateSnapshot { superstep })
+    }
+
+    /// Spin in the compute phase of `superstep` until the superstep
+    /// deadline cancels the phase; `worker` as in [`panic_in_compute`].
+    ///
+    /// [`panic_in_compute`]: FaultPlanBuilder::panic_in_compute
+    pub fn hang_in_compute(self, superstep: u32, worker: Option<u32>) -> Self {
+        self.push(FaultKind::HangInCompute { superstep, worker })
+    }
+
+    pub fn fail_spill_write(self, superstep: u32) -> Self {
+        self.push(FaultKind::FailSpillWrite { superstep })
+    }
+
+    pub fn oom_at_barrier(self, superstep: u32) -> Self {
+        self.push(FaultKind::OomAtBarrier { superstep })
+    }
+
+    /// Rearms the most recently pushed fault to trip `n` times instead of
+    /// once (`u32::MAX` ≈ every time). A deterministic poison — a fault
+    /// that re-fires on every restart attempt — is `.times(u32::MAX)`.
+    pub fn times(mut self, n: u32) -> Self {
+        if let Some(fault) = self.faults.last_mut() {
+            fault.remaining = AtomicU32::new(n);
+        }
+        self
     }
 
     pub fn build(self) -> FaultPlan {
@@ -143,6 +179,24 @@ impl FaultPlan {
         self.trip(
             |k| matches!(k, FaultKind::FailCheckpointWrite { superstep: s } if *s == superstep),
         )
+    }
+
+    /// Should worker `worker` wedge in the compute phase of `superstep`?
+    pub fn trip_hang_in_compute(&self, superstep: u32, worker: u32) -> bool {
+        self.trip(|k| {
+            matches!(k, FaultKind::HangInCompute { superstep: s, worker: w }
+                if *s == superstep && w.is_none_or(|w| w == worker))
+        })
+    }
+
+    /// Should a message-spill write at `superstep` fail?
+    pub fn trip_fail_spill_write(&self, superstep: u32) -> bool {
+        self.trip(|k| matches!(k, FaultKind::FailSpillWrite { superstep: s } if *s == superstep))
+    }
+
+    /// Should the barrier of `superstep` report memory exhaustion?
+    pub fn trip_oom_at_barrier(&self, superstep: u32) -> bool {
+        self.trip(|k| matches!(k, FaultKind::OomAtBarrier { superstep: s } if *s == superstep))
     }
 
     /// Apply any post-write corruption scheduled for `superstep` to the
@@ -223,6 +277,34 @@ mod tests {
         assert!(plan.trip_fail_checkpoint_write(2));
         assert!(plan.trip_panic_in_compute(4, 0));
         assert!(plan.trip_panic_in_compute(1, 0));
+    }
+
+    #[test]
+    fn times_rearms_the_last_fault() {
+        let plan = FaultPlan::builder()
+            .fail_spill_write(2)
+            .hang_in_compute(3, Some(1))
+            .times(3)
+            .build();
+        // `times` applied to the hang, not the spill fault.
+        assert!(plan.trip_fail_spill_write(2));
+        assert!(!plan.trip_fail_spill_write(2));
+        for _ in 0..3 {
+            assert!(plan.trip_hang_in_compute(3, 1));
+        }
+        assert!(!plan.trip_hang_in_compute(3, 1));
+        assert!(!plan.trip_hang_in_compute(3, 0), "worker-targeted");
+    }
+
+    #[test]
+    fn oom_and_hang_trips_match_superstep() {
+        let plan = FaultPlan::builder()
+            .oom_at_barrier(4)
+            .hang_in_compute(2, None)
+            .build();
+        assert!(!plan.trip_oom_at_barrier(3));
+        assert!(plan.trip_oom_at_barrier(4));
+        assert!(plan.trip_hang_in_compute(2, 7));
     }
 
     #[test]

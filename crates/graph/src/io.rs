@@ -5,11 +5,19 @@
 //! sets. A `#` after the columns starts an inline comment that runs to the
 //! end of the line. An optional third column carries an integer edge
 //! weight, returned as an aligned weight vector.
+//!
+//! Malformed lines (non-numeric ids, a missing endpoint, ids overflowing
+//! `u32`, extra columns) are reported with their 1-based line number and a
+//! reason. Under the default [`LoadPolicy::Strict`] the first such line
+//! aborts the load; [`LoadPolicy::SkipAndCount`] skips them, counting the
+//! damage in [`LoadStats`] so callers can decide whether a partially-dirty
+//! file is acceptable.
 
 use crate::{Graph, GraphBuilder};
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::num::IntErrorKind;
 use std::path::Path;
 
 /// Error produced while parsing an edge list.
@@ -23,6 +31,8 @@ pub enum ParseGraphError {
         line: usize,
         /// The offending text.
         text: String,
+        /// Which rule the line broke.
+        reason: &'static str,
     },
 }
 
@@ -30,8 +40,8 @@ impl fmt::Display for ParseGraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseGraphError::Io(e) => write!(f, "i/o error reading edge list: {e}"),
-            ParseGraphError::Malformed { line, text } => {
-                write!(f, "malformed edge list line {line}: {text:?}")
+            ParseGraphError::Malformed { line, text, reason } => {
+                write!(f, "malformed edge list line {line} ({reason}): {text:?}")
             }
         }
     }
@@ -52,6 +62,44 @@ impl From<std::io::Error> for ParseGraphError {
     }
 }
 
+/// How the loader treats malformed lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadPolicy {
+    /// The first malformed line aborts the load with
+    /// [`ParseGraphError::Malformed`] (the default).
+    #[default]
+    Strict,
+    /// Malformed lines are skipped; the count (and the first offender, for
+    /// diagnostics) is reported in [`LoadStats`].
+    SkipAndCount,
+}
+
+/// What one load saw, reported alongside the graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Total lines read, including blanks and comments.
+    pub lines_read: u64,
+    /// Edges actually loaded into the graph.
+    pub edges_loaded: u64,
+    /// Malformed lines skipped (always `0` under [`LoadPolicy::Strict`] —
+    /// the first one aborts instead).
+    pub lines_skipped: u64,
+    /// The first skipped line, kept so a skipping loader can still point
+    /// at concrete evidence of a dirty file.
+    pub first_skipped: Option<MalformedLine>,
+}
+
+/// One offending line: position, text, and which rule it broke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedLine {
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending text (comment-stripped).
+    pub text: String,
+    /// Which rule the line broke.
+    pub reason: &'static str,
+}
+
 /// Result of [`read_edge_list`]: the graph plus per-edge weights (all `1` if
 /// the input had no weight column). Weights are aligned with [`crate::EdgeId`]s.
 #[derive(Debug, Clone)]
@@ -60,9 +108,41 @@ pub struct LoadedGraph {
     pub graph: Graph,
     /// Weight of each edge, in edge-id order.
     pub weights: Vec<i64>,
+    /// Line/skip accounting for this load.
+    pub stats: LoadStats,
+}
+
+/// Parses one vertex id, distinguishing "not a number" from "a number that
+/// does not fit a `u32` id" (SNAP files with 64-bit ids would otherwise be
+/// reported as garbage).
+fn parse_id(tok: &str) -> Result<u32, &'static str> {
+    match tok.parse::<u64>() {
+        Ok(v) if v <= u32::MAX as u64 => Ok(v as u32),
+        Ok(_) => Err("vertex id overflows u32"),
+        Err(e) if *e.kind() == IntErrorKind::PosOverflow => Err("vertex id overflows u32"),
+        Err(_) => Err("vertex id is not an unsigned integer"),
+    }
+}
+
+/// Parses one comment-stripped, non-empty line into `(src, dst, weight)`.
+fn parse_edge_line(trimmed: &str) -> Result<(u32, u32, i64), &'static str> {
+    let mut it = trimmed.split_whitespace();
+    let src = parse_id(it.next().ok_or("missing source vertex")?)?;
+    let dst = parse_id(it.next().ok_or("missing destination vertex")?)?;
+    let w: i64 = match it.next() {
+        Some(tok) => tok
+            .parse()
+            .map_err(|_| "edge weight is not a 64-bit integer")?,
+        None => 1,
+    };
+    if it.next().is_some() {
+        return Err("too many columns");
+    }
+    Ok((src, dst, w))
 }
 
 /// Reads an edge list from `reader`. Vertex count is `1 + max id` seen.
+/// Equivalent to [`read_edge_list_with`] under [`LoadPolicy::Strict`].
 ///
 /// A `reader` can be passed by mutable reference as well as by value.
 ///
@@ -72,13 +152,30 @@ pub struct LoadedGraph {
 /// comments, or 2/3-column integer rows, and [`ParseGraphError::Io`] for
 /// underlying read failures.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseGraphError> {
+    read_edge_list_with(reader, LoadPolicy::Strict)
+}
+
+/// Reads an edge list from `reader` under an explicit malformed-line
+/// policy. See [`read_edge_list`] for the format.
+///
+/// # Errors
+///
+/// Under [`LoadPolicy::Strict`], as [`read_edge_list`]. Under
+/// [`LoadPolicy::SkipAndCount`] only [`ParseGraphError::Io`] is possible;
+/// malformed lines are counted in the returned [`LoadStats`].
+pub fn read_edge_list_with<R: Read>(
+    reader: R,
+    policy: LoadPolicy,
+) -> Result<LoadedGraph, ParseGraphError> {
     let buf = BufReader::new(reader);
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut weights: Vec<i64> = Vec::new();
     let mut max_id: u32 = 0;
     let mut any = false;
+    let mut stats = LoadStats::default();
     for (i, line) in buf.lines().enumerate() {
         let line = line?;
+        stats.lines_read += 1;
         let mut trimmed = line.trim();
         // Strip inline trailing comments (`0 1  # hub edge`) before
         // splitting into columns; a full-line comment becomes empty.
@@ -88,33 +185,35 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseGraphError
         if trimmed.is_empty() {
             continue;
         }
-        let mut it = trimmed.split_whitespace();
-        let malformed = || ParseGraphError::Malformed {
-            line: i + 1,
-            text: trimmed.to_owned(),
+        let (src, dst, w) = match parse_edge_line(trimmed) {
+            Ok(edge) => edge,
+            Err(reason) => match policy {
+                LoadPolicy::Strict => {
+                    return Err(ParseGraphError::Malformed {
+                        line: i + 1,
+                        text: trimmed.to_owned(),
+                        reason,
+                    })
+                }
+                LoadPolicy::SkipAndCount => {
+                    stats.lines_skipped += 1;
+                    if stats.first_skipped.is_none() {
+                        stats.first_skipped = Some(MalformedLine {
+                            line: i + 1,
+                            text: trimmed.to_owned(),
+                            reason,
+                        });
+                    }
+                    continue;
+                }
+            },
         };
-        let src: u32 = it
-            .next()
-            .ok_or_else(malformed)?
-            .parse()
-            .map_err(|_| malformed())?;
-        let dst: u32 = it
-            .next()
-            .ok_or_else(malformed)?
-            .parse()
-            .map_err(|_| malformed())?;
-        let w: i64 = match it.next() {
-            Some(tok) => tok.parse().map_err(|_| malformed())?,
-            None => 1,
-        };
-        if it.next().is_some() {
-            return Err(malformed());
-        }
         any = true;
         max_id = max_id.max(src).max(dst);
         edges.push((src, dst));
         weights.push(w);
     }
+    stats.edges_loaded = edges.len() as u64;
     let n = if any { max_id + 1 } else { 0 };
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     // Weights must follow edges through the CSR permutation: build the graph,
@@ -141,6 +240,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseGraphError
     Ok(LoadedGraph {
         graph,
         weights: sorted_weights,
+        stats,
     })
 }
 
@@ -150,8 +250,21 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseGraphError
 ///
 /// Same conditions as [`read_edge_list`], plus file-open failures.
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, ParseGraphError> {
+    read_edge_list_file_with(path, LoadPolicy::Strict)
+}
+
+/// Reads an edge list from a file path under an explicit malformed-line
+/// policy. See [`read_edge_list_with`].
+///
+/// # Errors
+///
+/// Same conditions as [`read_edge_list_with`], plus file-open failures.
+pub fn read_edge_list_file_with<P: AsRef<Path>>(
+    path: P,
+    policy: LoadPolicy,
+) -> Result<LoadedGraph, ParseGraphError> {
     let f = std::fs::File::open(path)?;
-    read_edge_list(f)
+    read_edge_list_with(f, policy)
 }
 
 /// Writes `graph` as an edge list. If `weights` is provided it must be
@@ -240,11 +353,12 @@ mod tests {
         let text = "0 1\n0 # missing dst\n";
         let err = read_edge_list(text.as_bytes()).unwrap_err();
         match err {
-            ParseGraphError::Malformed { line, text } => {
+            ParseGraphError::Malformed { line, text, reason } => {
                 assert_eq!(line, 2);
                 // The reported text is the stripped column part, so the
                 // message points at what was actually parsed.
                 assert_eq!(text, "0");
+                assert_eq!(reason, "missing destination vertex");
             }
             other => panic!("unexpected error: {other}"),
         }
@@ -280,7 +394,63 @@ mod tests {
         let err = ParseGraphError::Malformed {
             line: 3,
             text: "x".into(),
+            reason: "missing destination vertex",
         };
-        assert!(err.to_string().contains("line 3"));
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"));
+        assert!(msg.contains("missing destination vertex"));
+    }
+
+    #[test]
+    fn malformed_reasons_are_specific() {
+        let cases: [(&str, &str); 5] = [
+            ("abc 1\n", "vertex id is not an unsigned integer"),
+            ("0 4294967296\n", "vertex id overflows u32"),
+            ("0 99999999999999999999999\n", "vertex id overflows u32"),
+            ("0 1 2.5\n", "edge weight is not a 64-bit integer"),
+            ("0 1 2 3\n", "too many columns"),
+        ];
+        for (text, want) in cases {
+            let err = read_edge_list(text.as_bytes()).unwrap_err();
+            match err {
+                ParseGraphError::Malformed { reason, .. } => assert_eq!(reason, want, "{text:?}"),
+                other => panic!("unexpected error for {text:?}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn negative_id_is_not_an_unsigned_integer() {
+        let err = read_edge_list("-1 2\n".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Malformed { reason, .. } => {
+                assert_eq!(reason, "vertex id is not an unsigned integer");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn skip_and_count_loads_the_clean_edges() {
+        let text = "# header\n0 1\nbogus line\n1 2\n0 99999999999\n2 0\n";
+        let loaded = read_edge_list_with(text.as_bytes(), LoadPolicy::SkipAndCount).unwrap();
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.stats.lines_read, 6);
+        assert_eq!(loaded.stats.edges_loaded, 3);
+        assert_eq!(loaded.stats.lines_skipped, 2);
+        let first = loaded.stats.first_skipped.as_ref().unwrap();
+        assert_eq!(first.line, 3);
+        assert_eq!(first.text, "bogus line");
+        assert_eq!(first.reason, "vertex id is not an unsigned integer");
+    }
+
+    #[test]
+    fn strict_load_reports_zero_skips_in_stats() {
+        let loaded = read_edge_list("0 1\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(loaded.stats.lines_read, 2);
+        assert_eq!(loaded.stats.edges_loaded, 2);
+        assert_eq!(loaded.stats.lines_skipped, 0);
+        assert!(loaded.stats.first_skipped.is_none());
     }
 }

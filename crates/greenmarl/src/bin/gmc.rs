@@ -9,6 +9,8 @@
 //!         [--trace <path>] [--trace-format jsonl|chrome]
 //!         [--checkpoint-every N] [--checkpoint-dir <dir>] [--resume]
 //!         [--keep-snapshots N] [--max-restarts N]
+//!         [--max-message-bytes N] [--superstep-deadline MS]
+//!         [--spill-dir <dir>] [--edge-policy strict|skip]
 //! ```
 //!
 //! `gmc verify` compiles with the PIR well-formedness verifier forced on
@@ -34,13 +36,24 @@
 //! supersteps; `--resume` continues a previous run from the newest valid
 //! snapshot there, and `--keep-snapshots N` prunes all but the newest N.
 //! `--max-restarts N` lets the run restart itself after worker failures.
+//!
+//! `--max-message-bytes N` caps the in-flight message bytes per superstep;
+//! sealed buckets past the cap spill to `--spill-dir` (default: a run
+//! directory under the temp dir) and are replayed at delivery with
+//! bit-identical results. `--superstep-deadline MS` aborts any superstep
+//! exceeding the wall-clock deadline with a structured error. Both default
+//! from the `GM_MAX_MSG_BYTES` / `GM_SUPERSTEP_DEADLINE_MS` environment
+//! variables. `--edge-policy skip` tolerates malformed edge-list lines,
+//! reporting how many were skipped (the default, `strict`, aborts on the
+//! first).
 
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
 use gm_core::{compile_with, CompileOptions};
+use gm_graph::io::LoadPolicy;
 use gm_interp::run_compiled;
 use gm_obs::{TraceFormat, Tracer};
-use gm_pregel::{CheckpointConfig, PregelConfig, RecoveryPolicy};
+use gm_pregel::{CheckpointConfig, PregelConfig, RecoveryPolicy, ResourceBudget};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -60,6 +73,8 @@ fn main() -> ExitCode {
             eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
             eprintln!("               [--checkpoint-every N] [--checkpoint-dir <dir>] [--resume]");
             eprintln!("               [--keep-snapshots N] [--max-restarts N]");
+            eprintln!("               [--max-message-bytes N] [--superstep-deadline MS]");
+            eprintln!("               [--spill-dir <dir>] [--edge-policy strict|skip]");
             ExitCode::FAILURE
         }
     }
@@ -250,6 +265,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut resume = false;
     let mut keep_snapshots = 0usize;
     let mut max_restarts: Option<u32> = None;
+    let mut max_message_bytes: Option<u64> = None;
+    let mut superstep_deadline_ms: Option<u64> = None;
+    let mut spill_dir: Option<String> = None;
+    let mut edge_policy = LoadPolicy::Strict;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut take = |flag: &str| -> Result<String, String> {
@@ -298,6 +317,30 @@ fn cmd_run(args: &[String]) -> ExitCode {
                             .map_err(|e| format!("bad restart budget: {e}"))?,
                     );
                 }
+                "--max-message-bytes" => {
+                    max_message_bytes = Some(
+                        take("--max-message-bytes")?
+                            .parse()
+                            .map_err(|e| format!("bad message budget: {e}"))?,
+                    );
+                }
+                "--superstep-deadline" => {
+                    superstep_deadline_ms = Some(
+                        take("--superstep-deadline")?
+                            .parse()
+                            .map_err(|e| format!("bad deadline (milliseconds): {e}"))?,
+                    );
+                }
+                "--spill-dir" => spill_dir = Some(take("--spill-dir")?),
+                "--edge-policy" => match take("--edge-policy")?.as_str() {
+                    "strict" => edge_policy = LoadPolicy::Strict,
+                    "skip" => edge_policy = LoadPolicy::SkipAndCount,
+                    other => {
+                        return Err(format!(
+                            "gmc run: unknown --edge-policy {other} (strict|skip)"
+                        ))
+                    }
+                },
                 "--arg" => {
                     let kv = take("--arg")?;
                     let (k, v) = kv
@@ -336,13 +379,23 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if timing {
         print!("{}", compiled.report.timing_table());
     }
-    let loaded = match gm_graph::io::read_edge_list_file(&graph_path) {
+    let loaded = match gm_graph::io::read_edge_list_file_with(&graph_path, edge_policy) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("gmc run: cannot load graph {graph_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if loaded.stats.lines_skipped > 0 {
+        let first = loaded.stats.first_skipped.as_ref();
+        eprintln!(
+            "gmc run: skipped {} malformed line(s) in {graph_path}{}",
+            loaded.stats.lines_skipped,
+            first
+                .map(|m| format!(" (first: line {}, {})", m.line, m.reason))
+                .unwrap_or_default()
+        );
+    }
 
     let mut arg_map: HashMap<String, ArgValue> = scalar_args
         .into_iter()
@@ -376,6 +429,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(n) = max_restarts {
         config = config.with_recovery(RecoveryPolicy::with_max_restarts(n));
     }
+    if max_message_bytes.is_some() || superstep_deadline_ms.is_some() || spill_dir.is_some() {
+        // Flags layer on top of the environment-derived defaults.
+        let mut budget = ResourceBudget::from_env();
+        if let Some(bytes) = max_message_bytes {
+            budget = budget.with_max_message_bytes(bytes);
+        }
+        if let Some(ms) = superstep_deadline_ms {
+            budget = budget.with_superstep_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(dir) = &spill_dir {
+            budget = budget.with_spill_dir(dir);
+        }
+        config = config.with_budget(budget);
+    }
     let start = std::time::Instant::now();
     let out = match run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config) {
         Ok(o) => o,
@@ -400,6 +467,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
         println!(
             "checkpoints: {} written ({} bytes)   restores: {}   restarts: {}",
             rec.checkpoints_written, rec.snapshot_bytes, rec.restores, rec.restarts
+        );
+    }
+    let spill = &out.metrics.spill;
+    if spill.buckets_spilled > 0 {
+        println!(
+            "spills: {} buckets ({} message bytes, {} on disk)   replayed: {}   peak in-flight: {} bytes",
+            spill.buckets_spilled,
+            spill.spilled_message_bytes,
+            spill.spill_file_bytes,
+            spill.files_replayed,
+            spill.peak_in_flight_bytes
         );
     }
     if let Some(ret) = &out.ret {

@@ -113,6 +113,102 @@ fn run_executes_and_prints_property() {
 }
 
 #[test]
+fn run_spills_under_a_tiny_message_budget_with_identical_results() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp_spill.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+    let edges = dir.join("edges_spill.txt");
+    std::fs::write(&edges, "0 1 2\n1 2 3\n2 3 4\n0 3 10\n").unwrap();
+    let spill_dir = dir.join("spill");
+
+    let out = gmc()
+        .args([
+            "run",
+            gm.to_str().unwrap(),
+            "--graph",
+            edges.to_str().unwrap(),
+            "--arg",
+            "root=n:0",
+            "--print",
+            "dist",
+            "--workers",
+            "2",
+            "--max-message-bytes",
+            "1",
+            "--spill-dir",
+            spill_dir.to_str().unwrap(),
+            "--superstep-deadline",
+            "60000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Results are bit-identical to the unbudgeted run...
+    assert!(text.contains("0\t0"), "{text}");
+    assert!(text.contains("1\t2"), "{text}");
+    assert!(text.contains("2\t5"), "{text}");
+    assert!(text.contains("3\t9"), "{text}");
+    // ...and the spill line reports the disk round-trip.
+    assert!(text.contains("spills:"), "{text}");
+}
+
+#[test]
+fn run_skip_edge_policy_tolerates_dirty_graphs() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp_dirty.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+    let edges = dir.join("edges_dirty.txt");
+    std::fs::write(&edges, "0 1 2\nnot an edge\n1 2 3\n2 3 4\n0 3 10\n").unwrap();
+
+    // Strict (the default) refuses the file, naming the line.
+    let out = gmc()
+        .args([
+            "run",
+            gm.to_str().unwrap(),
+            "--graph",
+            edges.to_str().unwrap(),
+            "--arg",
+            "root=n:0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+
+    // Skip policy loads the clean edges and reports the damage.
+    let out = gmc()
+        .args([
+            "run",
+            gm.to_str().unwrap(),
+            "--graph",
+            edges.to_str().unwrap(),
+            "--arg",
+            "root=n:0",
+            "--edge-policy",
+            "skip",
+            "--print",
+            "dist",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("skipped 1 malformed line"), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3\t9"), "{text}");
+}
+
+#[test]
 fn verify_prints_summary_on_valid_program() {
     let dir = temp_dir();
     let gm = dir.join("sssp_verify.gm");

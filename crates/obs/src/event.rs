@@ -22,6 +22,11 @@ pub enum Category {
     /// Checkpoint and recovery events (snapshot writes, restores,
     /// restarts).
     Ckpt,
+    /// Message-spill events (bucket spill writes, replays, file sizes).
+    Spill,
+    /// Resource-budget events (in-flight byte accounting, deadline and
+    /// budget trips).
+    Budget,
 }
 
 impl Category {
@@ -32,6 +37,8 @@ impl Category {
             Category::Runtime => "runtime",
             Category::Bench => "bench",
             Category::Ckpt => "ckpt",
+            Category::Spill => "spill",
+            Category::Budget => "budget",
         }
     }
 }

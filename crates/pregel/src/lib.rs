@@ -41,6 +41,19 @@
 //! restarts after worker failures (injectable deterministically via
 //! [`FaultPlan`]). Recovery activity is reported in [`RecoveryStats`].
 //!
+//! The runtime is **resource governed**: a [`ResourceBudget`] (set
+//! programmatically or via the `GM_MAX_MSG_BYTES`, `GM_SUPERSTEP_DEADLINE_MS`,
+//! `GM_MAX_RESIDENT_BYTES` and `GM_SPILL_DIR` environment variables) bounds
+//! in-flight message bytes — sealed message buckets past the budget spill to
+//! CRC-checked files and are replayed at delivery with bit-identical results
+//! and structural metrics — plus superstep wall-clock (a cooperative deadline
+//! watchdog) and resident value-store bytes. Worker failures of every kind
+//! (kernel panics, spill I/O, deadline overruns) surface as typed
+//! [`PregelError`] values with superstep/worker/vertex attribution instead of
+//! aborting the process; deterministic failures that survive the whole
+//! restart budget are reported as [`PregelError::Quarantined`]. Spill
+//! activity is reported in [`SpillStats`].
+//!
 //! # Example
 //!
 //! ```
@@ -93,6 +106,7 @@
 
 mod checkpoint;
 mod globals;
+mod govern;
 mod metrics;
 mod persist;
 mod program;
@@ -101,7 +115,11 @@ mod value;
 
 pub use checkpoint::{CheckpointConfig, RecoveryPolicy};
 pub use globals::{AggMap, Globals};
-pub use metrics::{Metrics, RecoveryStats, SuperstepMetrics};
+pub use govern::{
+    ResourceBudget, ENV_MAX_MSG_BYTES, ENV_MAX_RESIDENT_BYTES, ENV_SPILL_DIR,
+    ENV_SUPERSTEP_DEADLINE_MS,
+};
+pub use metrics::{Metrics, RecoveryStats, SpillStats, SuperstepMetrics};
 pub use program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
 pub use runtime::{run, run_with_recovery, PregelConfig, PregelError, PregelResult};
 pub use value::{GlobalValue, ReduceOp};

@@ -129,6 +129,13 @@ pub struct RecoveryStats {
     pub corrupt_snapshots_discarded: u32,
     /// Times the recovery supervisor restarted the job after a failure.
     pub restarts: u32,
+    /// Supersteps executed by failed attempts whose work was thrown away —
+    /// accumulated across [`run_with_recovery`](crate::run_with_recovery)
+    /// restarts, so the cost of recovering is visible, not just the fact
+    /// that it happened.
+    pub wasted_supersteps: u32,
+    /// Wall-clock burned by failed attempts (accumulated across restarts).
+    pub wasted_time: Duration,
     /// Wall-clock spent capturing and writing snapshots.
     pub checkpoint_time: Duration,
     /// Wall-clock spent locating, validating, and decoding snapshots on
@@ -155,8 +162,66 @@ impl RecoveryStats {
                 Json::UInt(self.corrupt_snapshots_discarded as u64),
             ),
             ("restarts".to_owned(), Json::UInt(self.restarts as u64)),
+            (
+                "wasted_supersteps".to_owned(),
+                Json::UInt(self.wasted_supersteps as u64),
+            ),
+            ("wasted_us".to_owned(), dur_us(self.wasted_time)),
             ("checkpoint_us".to_owned(), dur_us(self.checkpoint_time)),
             ("restore_us".to_owned(), dur_us(self.restore_time)),
+        ])
+    }
+}
+
+/// Message-spill counters for a run.
+///
+/// All zero unless a message budget was configured and exceeded. Like
+/// [`RecoveryStats`], these are *not* part of the structural contract: a
+/// spilled run reports identical supersteps/messages/bytes to an unspilled
+/// one, and these counters record only where the bytes physically went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Destination buckets diverted to disk instead of staying resident.
+    pub buckets_spilled: u64,
+    /// Metered message bytes of the spilled buckets (the amount kept out
+    /// of memory between combine and delivery).
+    pub spilled_message_bytes: u64,
+    /// Bytes written to spill files (payload + framing).
+    pub spill_file_bytes: u64,
+    /// Spill files replayed (CRC-checked) at delivery.
+    pub files_replayed: u64,
+    /// Wall-clock spent encoding and writing spill files.
+    pub spill_write_time: Duration,
+    /// Wall-clock spent reading, validating, and decoding spill files.
+    pub spill_read_time: Duration,
+    /// Largest resident in-flight message volume of any superstep, in
+    /// metered bytes, after spilling (what actually stayed in memory).
+    pub peak_in_flight_bytes: u64,
+}
+
+impl SpillStats {
+    /// The spill counters as a JSON object (durations in microseconds).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            (
+                "buckets_spilled".to_owned(),
+                Json::UInt(self.buckets_spilled),
+            ),
+            (
+                "spilled_message_bytes".to_owned(),
+                Json::UInt(self.spilled_message_bytes),
+            ),
+            (
+                "spill_file_bytes".to_owned(),
+                Json::UInt(self.spill_file_bytes),
+            ),
+            ("files_replayed".to_owned(), Json::UInt(self.files_replayed)),
+            ("spill_write_us".to_owned(), dur_us(self.spill_write_time)),
+            ("spill_read_us".to_owned(), dur_us(self.spill_read_time)),
+            (
+                "peak_in_flight_bytes".to_owned(),
+                Json::UInt(self.peak_in_flight_bytes),
+            ),
         ])
     }
 }
@@ -195,6 +260,9 @@ pub struct Metrics {
     /// Checkpoint and recovery counters (all zero when checkpointing is
     /// disabled and no fault occurred).
     pub recovery: RecoveryStats,
+    /// Message-spill counters (all zero when no message budget is set or
+    /// the budget was never exceeded).
+    pub spill: SpillStats,
 }
 
 impl Metrics {
@@ -259,6 +327,7 @@ impl Metrics {
                 ),
             ),
             ("recovery".to_owned(), self.recovery.to_json_value()),
+            ("spill".to_owned(), self.spill.to_json_value()),
         ])
     }
 
@@ -322,8 +391,19 @@ mod tests {
                 restores: 2,
                 corrupt_snapshots_discarded: 1,
                 restarts: 2,
+                wasted_supersteps: 7,
+                wasted_time: Duration::from_micros(900),
                 checkpoint_time: Duration::from_micros(250),
                 restore_time: Duration::from_micros(80),
+            },
+            spill: SpillStats {
+                buckets_spilled: 6,
+                spilled_message_bytes: 512,
+                spill_file_bytes: 700,
+                files_replayed: 6,
+                spill_write_time: Duration::from_micros(40),
+                spill_read_time: Duration::from_micros(30),
+                peak_in_flight_bytes: 128,
             },
             ..Metrics::default()
         };
@@ -338,8 +418,24 @@ mod tests {
             Some(1)
         );
         assert_eq!(rec.get("restarts").unwrap().as_u64(), Some(2));
+        assert_eq!(rec.get("wasted_supersteps").unwrap().as_u64(), Some(7));
+        assert_eq!(rec.get("wasted_us").unwrap().as_u64(), Some(900));
         assert_eq!(rec.get("checkpoint_us").unwrap().as_u64(), Some(250));
         assert_eq!(rec.get("restore_us").unwrap().as_u64(), Some(80));
+        let spill = doc.get("spill").unwrap();
+        assert_eq!(spill.get("buckets_spilled").unwrap().as_u64(), Some(6));
+        assert_eq!(
+            spill.get("spilled_message_bytes").unwrap().as_u64(),
+            Some(512)
+        );
+        assert_eq!(spill.get("spill_file_bytes").unwrap().as_u64(), Some(700));
+        assert_eq!(spill.get("files_replayed").unwrap().as_u64(), Some(6));
+        assert_eq!(spill.get("spill_write_us").unwrap().as_u64(), Some(40));
+        assert_eq!(spill.get("spill_read_us").unwrap().as_u64(), Some(30));
+        assert_eq!(
+            spill.get("peak_in_flight_bytes").unwrap().as_u64(),
+            Some(128)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `to_bits`, map entries in key order).
 
 use crate::globals::{AggMap, Globals};
-use crate::metrics::{Metrics, RecoveryStats, SuperstepMetrics};
+use crate::metrics::{Metrics, RecoveryStats, SpillStats, SuperstepMetrics};
 use crate::value::{GlobalValue, ReduceOp};
 use gm_ckpt::{ByteReader, CkptError, Persist};
 
@@ -156,6 +156,8 @@ impl Persist for RecoveryStats {
         self.restores.persist(out);
         self.corrupt_snapshots_discarded.persist(out);
         self.restarts.persist(out);
+        self.wasted_supersteps.persist(out);
+        self.wasted_time.persist(out);
         self.checkpoint_time.persist(out);
         self.restore_time.persist(out);
     }
@@ -168,8 +170,34 @@ impl Persist for RecoveryStats {
             restores: Persist::restore(r)?,
             corrupt_snapshots_discarded: Persist::restore(r)?,
             restarts: Persist::restore(r)?,
+            wasted_supersteps: Persist::restore(r)?,
+            wasted_time: Persist::restore(r)?,
             checkpoint_time: Persist::restore(r)?,
             restore_time: Persist::restore(r)?,
+        })
+    }
+}
+
+impl Persist for SpillStats {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.buckets_spilled.persist(out);
+        self.spilled_message_bytes.persist(out);
+        self.spill_file_bytes.persist(out);
+        self.files_replayed.persist(out);
+        self.spill_write_time.persist(out);
+        self.spill_read_time.persist(out);
+        self.peak_in_flight_bytes.persist(out);
+    }
+
+    fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
+        Ok(SpillStats {
+            buckets_spilled: Persist::restore(r)?,
+            spilled_message_bytes: Persist::restore(r)?,
+            spill_file_bytes: Persist::restore(r)?,
+            files_replayed: Persist::restore(r)?,
+            spill_write_time: Persist::restore(r)?,
+            spill_read_time: Persist::restore(r)?,
+            peak_in_flight_bytes: Persist::restore(r)?,
         })
     }
 }
@@ -189,6 +217,7 @@ impl Persist for Metrics {
         self.barrier_time.persist(out);
         self.per_superstep.persist(out);
         self.recovery.persist(out);
+        self.spill.persist(out);
     }
 
     fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
@@ -206,6 +235,7 @@ impl Persist for Metrics {
             barrier_time: Persist::restore(r)?,
             per_superstep: Persist::restore(r)?,
             recovery: Persist::restore(r)?,
+            spill: Persist::restore(r)?,
         })
     }
 }
@@ -292,6 +322,12 @@ mod tests {
         m.recovery.checkpoints_written = 2;
         m.recovery.snapshot_bytes = 1234;
         m.recovery.checkpoint_time = Duration::from_micros(77);
+        m.recovery.wasted_supersteps = 3;
+        m.recovery.wasted_time = Duration::from_micros(55);
+        m.spill.buckets_spilled = 4;
+        m.spill.spill_file_bytes = 999;
+        m.spill.spill_write_time = Duration::from_micros(12);
+        m.spill.peak_in_flight_bytes = 4096;
 
         let back = Metrics::from_bytes(&m.to_bytes()).unwrap();
         assert_eq!(back.supersteps, m.supersteps);
@@ -300,5 +336,6 @@ mod tests {
         assert_eq!(back.elapsed, m.elapsed);
         assert_eq!(back.per_superstep, m.per_superstep);
         assert_eq!(back.recovery, m.recovery);
+        assert_eq!(back.spill, m.spill);
     }
 }

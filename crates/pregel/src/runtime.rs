@@ -26,11 +26,24 @@
 //! produced per worker and merged at the barrier in ascending worker order,
 //! which keeps every metric and floating-point aggregate identical to the
 //! single-threaded execution order documented in [`run`].
+//!
+//! # Resource governance
+//!
+//! A [`ResourceBudget`] attached to the config bounds in-flight message
+//! bytes (excess sealed buckets spill to disk and are replayed at
+//! delivery — structurally invisible), superstep wall-clock (a cooperative
+//! deadline watchdog), and resident value-store bytes. Worker failures of
+//! every kind — kernel panics, spill I/O errors, deadline overruns — are
+//! caught and surfaced as typed [`PregelError`] values carrying
+//! superstep/worker/vertex context, which [`run_with_recovery`] feeds into
+//! the checkpoint-restart policy (with quarantine for failures that
+//! reproduce deterministically across the whole restart budget).
 
 use crate::checkpoint::{
     build_snapshot, decode_snapshot, CheckpointConfig, CoordState, RecoveryPolicy, ResumeState,
 };
 use crate::globals::{AggMap, Globals};
+use crate::govern::{read_spill_into, write_spill, Governor, ResourceBudget};
 use crate::metrics::{Metrics, SuperstepMetrics};
 use crate::program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
 use gm_ckpt::{ByteReader, CheckpointStore, CkptError, FaultPlan, Persist};
@@ -39,6 +52,8 @@ use gm_obs::{Category, Tracer};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
@@ -70,6 +85,12 @@ pub struct PregelConfig {
     /// Retry policy for [`run_with_recovery`]; `None` makes it equivalent
     /// to a single [`run`] attempt. Plain [`run`] ignores this field.
     pub recovery: Option<RecoveryPolicy>,
+    /// Resource limits: in-flight message bytes (spill-to-disk past the
+    /// budget), superstep wall-clock, resident value-store bytes. The
+    /// default is read from the environment
+    /// ([`ResourceBudget::from_env`]), unbounded when the variables are
+    /// unset.
+    pub budget: ResourceBudget,
 }
 
 impl Default for PregelConfig {
@@ -85,6 +106,7 @@ impl Default for PregelConfig {
             checkpoint: None,
             faults: FaultPlan::none(),
             recovery: None,
+            budget: ResourceBudget::from_env(),
         }
     }
 }
@@ -129,6 +151,13 @@ impl PregelConfig {
         self.recovery = Some(recovery);
         self
     }
+
+    /// Replaces the resource budget (the default is read from the
+    /// environment).
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 /// Errors surfaced by [`run`] and [`run_with_recovery`].
@@ -140,7 +169,7 @@ pub enum PregelError {
         limit: u32,
     },
     /// Invalid [`PregelConfig`] (e.g. zero workers, zero checkpoint
-    /// interval).
+    /// interval, zero superstep deadline).
     InvalidConfig(String),
     /// A worker thread panicked during the given superstep (a vertex
     /// kernel bug, or an injected fault). Recoverable: a supervisor can
@@ -148,6 +177,69 @@ pub enum PregelError {
     WorkerPanicked {
         /// Superstep whose phase lost a worker.
         superstep: u32,
+        /// The worker that panicked; `None` when the worker died without
+        /// reporting (its job channel closed).
+        worker: Option<u32>,
+        /// The vertex whose kernel was running, when the panic struck
+        /// inside the vertex loop.
+        vertex: Option<u32>,
+        /// The panic payload (or a placeholder for non-string payloads).
+        detail: String,
+    },
+    /// A superstep overran [`ResourceBudget::superstep_deadline`]. The
+    /// watchdog is cooperative — workers check between vertex kernels and
+    /// delivery buckets, the coordinator at the barrier — so a hung phase
+    /// becomes this error instead of a wedged barrier. Recoverable.
+    DeadlineExceeded {
+        /// Superstep that overran.
+        superstep: u32,
+        /// The worker that tripped the check; `None` when the coordinator
+        /// caught it at the barrier.
+        worker: Option<u32>,
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// A resource budget other than the spillable message budget was
+    /// exhausted (currently: the resident value-store estimate).
+    /// Recoverable, though a deterministic overrun will quarantine.
+    BudgetExceeded {
+        /// Superstep at whose barrier the check failed.
+        superstep: u32,
+        /// Which budget ("resident value-store bytes").
+        what: &'static str,
+        /// Estimated usage at the check.
+        used: u64,
+        /// The configured limit.
+        budget: u64,
+    },
+    /// A message-spill file could not be written or replayed (I/O error,
+    /// checksum mismatch, or injected fault). Recoverable: the restart
+    /// re-executes from the latest snapshot with fresh spill files.
+    SpillFailed {
+        /// Superstep whose exchange lost the bucket.
+        superstep: u32,
+        /// Worker that performed the failing spill operation.
+        worker: u32,
+        /// `"write"` or `"read"`.
+        op: &'static str,
+        /// The underlying codec/IO error.
+        source: CkptError,
+    },
+    /// A recoverable failure reproduced identically on every attempt until
+    /// the restart budget ran out — a deterministically-poisoned vertex or
+    /// a sticky resource overrun. Restarting again would loop forever, so
+    /// the supervisor aborts with the failure's context instead.
+    Quarantined {
+        /// Superstep of the repeated failure.
+        superstep: u32,
+        /// Worker of the repeated failure, when attributed.
+        worker: Option<u32>,
+        /// Vertex of the repeated failure, when attributed.
+        vertex: Option<u32>,
+        /// Total attempts made (initial run + restarts).
+        attempts: u32,
+        /// Rendered form of the repeated underlying error.
+        detail: String,
     },
     /// A checkpoint or resume operation failed in a way the run cannot
     /// proceed past (an unreadable mandatory snapshot section, a graph
@@ -155,6 +247,10 @@ pub enum PregelError {
     /// Failed snapshot *writes* are not fatal and are only counted in
     /// [`RecoveryStats`](crate::RecoveryStats).
     Checkpoint(CkptError),
+    /// An internal invariant of the runtime broke (e.g. a worker answered
+    /// a compute job with a delivery reply). Never recoverable; indicates
+    /// a runtime bug, not a program or resource failure.
+    Internal(String),
 }
 
 impl fmt::Display for PregelError {
@@ -164,10 +260,74 @@ impl fmt::Display for PregelError {
                 write!(f, "superstep limit of {limit} exceeded without halting")
             }
             PregelError::InvalidConfig(msg) => write!(f, "invalid pregel config: {msg}"),
-            PregelError::WorkerPanicked { superstep } => {
-                write!(f, "worker panicked during superstep {superstep}")
+            PregelError::WorkerPanicked {
+                superstep,
+                worker,
+                vertex,
+                detail,
+            } => {
+                match worker {
+                    Some(w) => write!(f, "worker {w} panicked during superstep {superstep}")?,
+                    None => write!(f, "a worker died during superstep {superstep}")?,
+                }
+                if let Some(v) = vertex {
+                    write!(f, " at vertex {v}")?;
+                }
+                write!(f, ": {detail}")
+            }
+            PregelError::DeadlineExceeded {
+                superstep,
+                worker,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "superstep {superstep} exceeded its deadline of {deadline:?}"
+                )?;
+                match worker {
+                    Some(w) => write!(f, " (tripped by worker {w})"),
+                    None => write!(f, " (tripped at the barrier)"),
+                }
+            }
+            PregelError::BudgetExceeded {
+                superstep,
+                what,
+                used,
+                budget,
+            } => write!(
+                f,
+                "superstep {superstep} exceeded the {what} budget: {used} > {budget} bytes"
+            ),
+            PregelError::SpillFailed {
+                superstep,
+                worker,
+                op,
+                source,
+            } => write!(
+                f,
+                "spill {op} failed on worker {worker} during superstep {superstep}: {source}"
+            ),
+            PregelError::Quarantined {
+                superstep,
+                worker,
+                vertex,
+                attempts,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "quarantined after {attempts} identical failures at superstep {superstep}"
+                )?;
+                if let Some(w) = worker {
+                    write!(f, " on worker {w}")?;
+                }
+                if let Some(v) = vertex {
+                    write!(f, " at vertex {v}")?;
+                }
+                write!(f, ": {detail}")
             }
             PregelError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            PregelError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
         }
     }
 }
@@ -176,8 +336,24 @@ impl Error for PregelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PregelError::Checkpoint(e) => Some(e),
+            PregelError::SpillFailed { source, .. } => Some(source),
             _ => None,
         }
+    }
+}
+
+impl PregelError {
+    /// Failures a [`run_with_recovery`] supervisor may retry: everything
+    /// caused by a worker or a resource limit, nothing caused by bad
+    /// configuration or a broken runtime invariant.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            PregelError::WorkerPanicked { .. }
+                | PregelError::DeadlineExceeded { .. }
+                | PregelError::BudgetExceeded { .. }
+                | PregelError::SpillFailed { .. }
+        )
     }
 }
 
@@ -196,12 +372,119 @@ pub struct PregelResult<V> {
     pub metrics: Metrics,
 }
 
-/// One worker's outgoing messages, bucketed by destination worker.
-type RoutedOutbox<M> = Vec<Vec<(u32, M)>>;
+/// A raw outbox: one plain bucket per destination worker, as filled by the
+/// vertex kernels. Also the shape of recycled spare buckets.
+type RawOutbox<M> = Vec<Vec<(u32, M)>>;
 
-/// One worker's incoming messages, one bucket per sender worker in
-/// ascending sender order.
+/// One worker's drained incoming buckets, one per sender worker in
+/// ascending sender order, handed back for capacity recycling.
 type IncomingBuckets<M> = Vec<Vec<(u32, M)>>;
+
+/// A sealed destination bucket after combine + metering: either resident
+/// in memory, or spilled to a CRC-checked file with its (emptied) bucket
+/// carried along so the capacity survives the round trip.
+enum RoutedBucket<M> {
+    Mem(Vec<(u32, M)>),
+    Spilled {
+        path: PathBuf,
+        /// Entry count, validated against the file at replay.
+        messages: u64,
+        /// The drained bucket; replay decodes into it, so the allocation
+        /// is recycled exactly like a resident bucket's.
+        spare: Vec<(u32, M)>,
+    },
+}
+
+/// One worker's sealed outgoing buckets, by destination worker.
+type RoutedOutbox<M> = Vec<RoutedBucket<M>>;
+
+/// One worker's incoming sealed buckets, one per sender worker in
+/// ascending sender order.
+type IncomingRouted<M> = Vec<RoutedBucket<M>>;
+
+/// A worker-side phase failure, reported instead of a panic.
+#[derive(Debug)]
+enum WorkerFailure {
+    Panic {
+        worker: u32,
+        vertex: Option<u32>,
+        detail: String,
+    },
+    Spill {
+        worker: u32,
+        op: &'static str,
+        source: CkptError,
+    },
+    Deadline {
+        worker: u32,
+    },
+}
+
+/// Renders a `catch_unwind` payload for error context.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl WorkerFailure {
+    /// Attributes a caught panic to `worker` — and to the vertex the
+    /// cursor was parked on, when the panic struck inside the vertex loop
+    /// (the cursor is `u32::MAX` outside it).
+    fn from_panic(
+        worker: u32,
+        cursor: Option<&AtomicU32>,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> Self {
+        let vertex = cursor.and_then(|c| {
+            let v = c.load(Ordering::Relaxed);
+            (v != u32::MAX).then_some(v)
+        });
+        WorkerFailure::Panic {
+            worker,
+            vertex,
+            detail: panic_detail(payload),
+        }
+    }
+}
+
+/// The superstep-independent attribution of an error: (superstep, worker,
+/// vertex), used by the restart tracer and the quarantine wrapper.
+fn failure_site(error: &PregelError) -> (u32, Option<u32>, Option<u32>) {
+    match error {
+        PregelError::WorkerPanicked {
+            superstep,
+            worker,
+            vertex,
+            ..
+        } => (*superstep, *worker, *vertex),
+        PregelError::DeadlineExceeded {
+            superstep, worker, ..
+        } => (*superstep, *worker, None),
+        PregelError::BudgetExceeded { superstep, .. } => (*superstep, None, None),
+        PregelError::SpillFailed {
+            superstep, worker, ..
+        } => (*superstep, Some(*worker), None),
+        _ => (0, None, None),
+    }
+}
+
+/// Wraps a failure that reproduced identically across the whole restart
+/// budget in [`PregelError::Quarantined`], preserving its attribution.
+fn quarantine(error: &PregelError, attempts: u32) -> PregelError {
+    let (superstep, worker, vertex) = failure_site(error);
+    PregelError::Quarantined {
+        superstep,
+        worker,
+        vertex,
+        attempts,
+        detail: error.to_string(),
+    }
+}
 
 /// Executes `program` on `graph` until the master halts.
 ///
@@ -249,20 +532,68 @@ where
     P::VertexValue: Persist,
     P::Message: Persist,
 {
+    run_inner(graph, program, &init, config).map_err(|failed| failed.error)
+}
+
+/// A failed attempt, carrying the cost the supervisor must account for:
+/// the supersteps this attempt executed past its resume point (work that a
+/// restart re-executes) and the wall-clock it burned.
+struct FailedRun {
+    error: PregelError,
+    wasted_supersteps: u32,
+    wasted_time: Duration,
+}
+
+impl FailedRun {
+    /// A failure before any superstep ran (validation, resume decode).
+    fn early(error: PregelError) -> Self {
+        FailedRun {
+            error,
+            wasted_supersteps: 0,
+            wasted_time: Duration::ZERO,
+        }
+    }
+}
+
+impl From<CkptError> for FailedRun {
+    fn from(e: CkptError) -> Self {
+        FailedRun::early(PregelError::Checkpoint(e))
+    }
+}
+
+fn run_inner<P>(
+    graph: &Graph,
+    program: &mut P,
+    init: &impl Fn(NodeId) -> P::VertexValue,
+    config: &PregelConfig,
+) -> Result<PregelResult<P::VertexValue>, FailedRun>
+where
+    P: VertexProgram + Send + Sync,
+    P::VertexValue: Persist,
+    P::Message: Persist,
+{
     if config.num_workers == 0 {
-        return Err(PregelError::InvalidConfig("num_workers must be ≥ 1".into()));
+        return Err(FailedRun::early(PregelError::InvalidConfig(
+            "num_workers must be ≥ 1".into(),
+        )));
     }
     if let Some(c) = &config.checkpoint {
         if c.every == 0 {
-            return Err(PregelError::InvalidConfig(
+            return Err(FailedRun::early(PregelError::InvalidConfig(
                 "checkpoint interval must be ≥ 1".into(),
-            ));
+            )));
         }
+    }
+    if config.budget.superstep_deadline == Some(Duration::ZERO) {
+        return Err(FailedRun::early(PregelError::InvalidConfig(
+            "superstep deadline must be nonzero".into(),
+        )));
     }
     let n = graph.num_nodes() as usize;
     let num_workers = config.num_workers.min(n.max(1));
     let starts = partition(graph, num_workers);
     let tracer = config.tracer.as_ref();
+    let governor = Governor::new(&config.budget, num_workers)?;
 
     // Resume path: locate and decode the newest valid snapshot before any
     // state is initialized. Also opens the store for checkpoint writes.
@@ -358,12 +689,17 @@ where
         globals: RwLock::new(globals),
         tracer: config.tracer.clone(),
         faults: config.faults.clone(),
+        governor,
     };
 
     if num_workers == 1 {
         // Inline execution on the calling thread; same phase structure,
         // no pool.
-        let mut state = states.pop().expect("one worker state");
+        let Some(mut state) = states.pop() else {
+            return Err(FailedRun::early(PregelError::Internal(
+                "single-worker run built no worker state".into(),
+            )));
+        };
         let metrics = drive(
             &shared,
             &starts,
@@ -374,10 +710,12 @@ where
                 PhaseJob::Compute {
                     superstep,
                     mut spares,
+                    deadline_at,
                 } => {
                     let program = read_lock(&shared.program);
                     let globals = read_lock(&shared.globals);
                     let spare = spares.pop().unwrap_or_default();
+                    let cursor = AtomicU32::new(u32::MAX);
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         state.compute_phase(
                             graph,
@@ -388,20 +726,50 @@ where
                             spare,
                             &shared.faults,
                             shared.tracer.as_ref(),
+                            &shared.governor,
+                            deadline_at,
+                            &cursor,
                         )
-                    }))
-                    .map_err(|_| PhasePanic)?;
-                    Ok(PhaseResult::Computed(vec![out]))
+                    }));
+                    match out {
+                        Ok(Ok(out)) => Ok(PhaseResult::Computed(vec![out])),
+                        Ok(Err(failure)) => Err(PhaseFailure::Worker(failure)),
+                        Err(payload) => Err(PhaseFailure::Worker(WorkerFailure::from_panic(
+                            0,
+                            Some(&cursor),
+                            payload,
+                        ))),
+                    }
                 }
-                PhaseJob::Deliver(mut incoming) => {
-                    let buckets = incoming.pop().expect("single worker bucket set");
-                    Ok(PhaseResult::Delivered(vec![
-                        state.deliver_phase(buckets, shared.tracer.as_ref())
-                    ]))
+                PhaseJob::Deliver {
+                    mut incoming,
+                    deadline_at,
+                } => {
+                    let Some(buckets) = incoming.pop() else {
+                        return Err(PhaseFailure::MismatchedReply);
+                    };
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        state.deliver_phase(buckets, shared.tracer.as_ref(), deadline_at)
+                    }));
+                    match out {
+                        Ok(Ok(out)) => Ok(PhaseResult::Delivered(vec![out])),
+                        Ok(Err(failure)) => Err(PhaseFailure::Worker(failure)),
+                        Err(payload) => Err(PhaseFailure::Worker(WorkerFailure::from_panic(
+                            0, None, payload,
+                        ))),
+                    }
                 }
-                PhaseJob::Snapshot => Ok(PhaseResult::Snapshotted(vec![
-                    state.snapshot_phase(shared.tracer.as_ref())
-                ])),
+                PhaseJob::Snapshot => {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        state.snapshot_phase(shared.tracer.as_ref())
+                    }));
+                    match out {
+                        Ok(out) => Ok(PhaseResult::Snapshotted(vec![out])),
+                        Err(payload) => Err(PhaseFailure::Worker(WorkerFailure::from_panic(
+                            0, None, payload,
+                        ))),
+                    }
+                }
             },
         )?;
         return Ok(PregelResult {
@@ -435,22 +803,36 @@ where
             drive_init,
             ckpt,
             |job| match job {
-                PhaseJob::Compute { superstep, spares } => {
+                PhaseJob::Compute {
+                    superstep,
+                    spares,
+                    deadline_at,
+                } => {
                     let mut spares = spares.into_iter();
                     for tx in &job_txs {
                         let spare = spares.next().unwrap_or_default();
-                        tx.send(Job::Compute { superstep, spare })
-                            .map_err(|_| PhasePanic)?;
+                        tx.send(Job::Compute {
+                            superstep,
+                            spare,
+                            deadline_at,
+                        })
+                        .map_err(|_| PhaseFailure::ChannelClosed)?;
                     }
                     Ok(PhaseResult::Computed(collect_compute_replies(
                         &reply_rx,
                         num_workers,
                     )?))
                 }
-                PhaseJob::Deliver(incoming) => {
+                PhaseJob::Deliver {
+                    incoming,
+                    deadline_at,
+                } => {
                     for (tx, buckets) in job_txs.iter().zip(incoming) {
-                        tx.send(Job::Deliver { incoming: buckets })
-                            .map_err(|_| PhasePanic)?;
+                        tx.send(Job::Deliver {
+                            incoming: buckets,
+                            deadline_at,
+                        })
+                        .map_err(|_| PhaseFailure::ChannelClosed)?;
                     }
                     Ok(PhaseResult::Delivered(collect_deliver_replies(
                         &reply_rx,
@@ -459,7 +841,8 @@ where
                 }
                 PhaseJob::Snapshot => {
                     for tx in &job_txs {
-                        tx.send(Job::Snapshot).map_err(|_| PhasePanic)?;
+                        tx.send(Job::Snapshot)
+                            .map_err(|_| PhaseFailure::ChannelClosed)?;
                     }
                     Ok(PhaseResult::Snapshotted(collect_snapshot_replies(
                         &reply_rx,
@@ -492,16 +875,25 @@ where
     })
 }
 
-/// Supervised execution: like [`run`], but on a recoverable failure
-/// ([`PregelError::WorkerPanicked`]) the job is restarted — resuming from
-/// the newest valid snapshot when checkpointing is configured, from scratch
+/// Supervised execution: like [`run`], but on a recoverable failure (see
+/// [`PregelError::is_recoverable`] — worker panics, deadline overruns,
+/// budget exhaustion, spill I/O) the job is restarted — resuming from the
+/// newest valid snapshot when checkpointing is configured, from scratch
 /// otherwise — up to [`RecoveryPolicy::max_restarts`] times with linear
 /// backoff. The program's master state is rolled back to its pre-run
 /// baseline before each retry so the resume path replays it exactly.
 ///
+/// A failure that reproduces *identically* on the initial run and on every
+/// restart is deterministic — a poisoned vertex kernel, a sticky resource
+/// overrun — and restarting again would loop forever. When the restart
+/// budget runs out on such a streak, the supervisor returns
+/// [`PregelError::Quarantined`] carrying the repeated failure's
+/// superstep/worker/vertex attribution instead of the bare error.
+///
 /// With [`PregelConfig::recovery`] unset this is identical to [`run`].
-/// The number of restarts taken is reported in
-/// [`RecoveryStats::restarts`](crate::RecoveryStats::restarts).
+/// Restart counts and the work thrown away by failed attempts are reported
+/// in [`RecoveryStats`](crate::RecoveryStats) (`restarts`,
+/// `wasted_supersteps`, `wasted_time`).
 pub fn run_with_recovery<P>(
     graph: &Graph,
     program: &mut P,
@@ -524,15 +916,48 @@ where
 
     let mut config = config.clone();
     let mut attempt: u32 = 0;
+    let mut wasted_supersteps: u32 = 0;
+    let mut wasted_time = Duration::ZERO;
+    // Rendered form of the last failure, and how many consecutive attempts
+    // produced exactly it. A streak spanning every attempt is the
+    // quarantine signal.
+    let mut signature: Option<String> = None;
+    let mut streak: u32 = 0;
     loop {
-        match run(graph, program, &init, &config) {
+        match run_inner(graph, program, &init, &config) {
             Ok(mut result) => {
                 result.metrics.recovery.restarts += attempt;
+                result.metrics.recovery.wasted_supersteps += wasted_supersteps;
+                result.metrics.recovery.wasted_time += wasted_time;
                 return Ok(result);
             }
-            Err(PregelError::WorkerPanicked { superstep }) if attempt < policy.max_restarts => {
+            Err(failed) => {
+                let error = failed.error;
+                if !error.is_recoverable() {
+                    return Err(error);
+                }
+                wasted_supersteps += failed.wasted_supersteps;
+                wasted_time += failed.wasted_time;
+                let rendered = error.to_string();
+                if signature.as_deref() == Some(rendered.as_str()) {
+                    streak += 1;
+                } else {
+                    signature = Some(rendered);
+                    streak = 1;
+                }
+                if attempt >= policy.max_restarts {
+                    // Restart budget exhausted. If every attempt failed
+                    // identically the failure is deterministic: quarantine
+                    // it so callers can tell "retrying cannot help" apart
+                    // from "ran out of luck".
+                    if streak == attempt + 1 {
+                        return Err(quarantine(&error, attempt + 1));
+                    }
+                    return Err(error);
+                }
                 attempt += 1;
                 if let Some(t) = config.tracer.as_ref() {
+                    let (superstep, _, _) = failure_site(&error);
                     t.instant(
                         "restart",
                         Category::Ckpt,
@@ -550,7 +975,6 @@ where
                     c.resume = true;
                 }
             }
-            Err(e) => return Err(e),
         }
     }
 }
@@ -569,6 +993,9 @@ struct Shared<'a, P> {
     /// Fault-injection plan; the production default is empty and costs one
     /// slice iteration (over zero elements) per consultation.
     faults: FaultPlan,
+    /// Resolved resource limits; entirely inactive (all `None`) unless the
+    /// config sets a budget.
+    governor: Governor,
 }
 
 fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -586,11 +1013,16 @@ enum PhaseJob<M> {
     /// by earlier supersteps).
     Compute {
         superstep: u32,
-        spares: Vec<RoutedOutbox<M>>,
+        spares: Vec<RawOutbox<M>>,
+        /// Cooperative watchdog cutoff for this superstep, when budgeted.
+        deadline_at: Option<Instant>,
     },
     /// Deliver routed buckets; `incoming[d]` is destination worker `d`'s
     /// bucket list in ascending sender order.
-    Deliver(Vec<IncomingBuckets<M>>),
+    Deliver {
+        incoming: Vec<IncomingRouted<M>>,
+        deadline_at: Option<Instant>,
+    },
     /// Serialize every worker's vertex range (values, halted flags,
     /// pending inbox) for a checkpoint.
     Snapshot,
@@ -603,10 +1035,19 @@ enum PhaseResult<M> {
     Snapshotted(Vec<SnapshotOut>),
 }
 
-/// Marker for a phase that lost a worker (a panicked kernel, an injected
-/// fault, or a dead job channel); the driver converts it to
-/// [`PregelError::WorkerPanicked`] at the failing superstep.
-struct PhasePanic;
+/// Why a phase lost a worker. The driver stamps the failing superstep on
+/// top to produce the final [`PregelError`].
+enum PhaseFailure {
+    /// A worker reported a failure (caught panic, spill I/O error, or a
+    /// tripped deadline check) and parked itself.
+    Worker(WorkerFailure),
+    /// A job or reply channel closed without a report: the worker died in
+    /// a way even `catch_unwind` could not observe.
+    ChannelClosed,
+    /// The executor answered a phase with a different phase's result — a
+    /// runtime bug, never a program failure.
+    MismatchedReply,
+}
 
 /// One worker's serialized vertex range, concatenated across workers (in
 /// ascending worker order) into the snapshot's vertex-indexed sections.
@@ -648,9 +1089,48 @@ struct CkptRunner {
     skip: Option<u32>,
 }
 
+/// Stamps the failing superstep onto a [`PhaseFailure`] to produce the
+/// run's final error.
+fn failure_error(failure: PhaseFailure, superstep: u32, deadline: Option<Duration>) -> PregelError {
+    match failure {
+        PhaseFailure::Worker(WorkerFailure::Panic {
+            worker,
+            vertex,
+            detail,
+        }) => PregelError::WorkerPanicked {
+            superstep,
+            worker: Some(worker),
+            vertex,
+            detail,
+        },
+        PhaseFailure::Worker(WorkerFailure::Spill { worker, op, source }) => {
+            PregelError::SpillFailed {
+                superstep,
+                worker,
+                op,
+                source,
+            }
+        }
+        PhaseFailure::Worker(WorkerFailure::Deadline { worker }) => PregelError::DeadlineExceeded {
+            superstep,
+            worker: Some(worker),
+            deadline: deadline.unwrap_or_default(),
+        },
+        PhaseFailure::ChannelClosed => PregelError::WorkerPanicked {
+            superstep,
+            worker: None,
+            vertex: None,
+            detail: "worker channel closed without a reply".into(),
+        },
+        PhaseFailure::MismatchedReply => PregelError::Internal(format!(
+            "executor answered superstep {superstep} with a mismatched phase result"
+        )),
+    }
+}
+
 /// The BSP superstep loop, common to the inline and pooled executors.
 /// `phase` runs one phase across all workers and returns their outputs in
-/// ascending worker order, or [`PhasePanic`] if a worker died.
+/// ascending worker order, or the [`PhaseFailure`] that lost a worker.
 fn drive<P, F>(
     shared: &Shared<'_, P>,
     starts: &[u32],
@@ -658,10 +1138,10 @@ fn drive<P, F>(
     init: DriveInit,
     mut ckpt: Option<CkptRunner>,
     mut phase: F,
-) -> Result<Metrics, PregelError>
+) -> Result<Metrics, FailedRun>
 where
     P: VertexProgram,
-    F: FnMut(PhaseJob<P::Message>) -> Result<PhaseResult<P::Message>, PhasePanic>,
+    F: FnMut(PhaseJob<P::Message>) -> Result<PhaseResult<P::Message>, PhaseFailure>,
 {
     let num_workers = starts.len() - 1;
     let num_nodes = shared.graph.num_nodes();
@@ -674,15 +1154,26 @@ where
         mut metrics,
     } = init;
     let start = Instant::now();
+    // Work past this attempt's entry point is lost on failure: a restart
+    // re-executes it from the resume superstep (or from scratch).
+    let first_superstep = superstep;
+    let fail = |error: PregelError, at: u32| FailedRun {
+        error,
+        wasted_supersteps: at - first_superstep,
+        wasted_time: start.elapsed(),
+    };
 
     // Empty outbox buckets recycled from the previous exchange, per sender.
-    let mut spares: Vec<RoutedOutbox<P::Message>> = (0..num_workers).map(|_| Vec::new()).collect();
+    let mut spares: Vec<RawOutbox<P::Message>> = (0..num_workers).map(|_| Vec::new()).collect();
 
     loop {
         if superstep >= config.max_supersteps {
-            return Err(PregelError::SuperstepLimitExceeded {
-                limit: config.max_supersteps,
-            });
+            return Err(fail(
+                PregelError::SuperstepLimitExceeded {
+                    limit: config.max_supersteps,
+                },
+                superstep,
+            ));
         }
 
         // ---- checkpoint (coordinator + workers, before the master) ----
@@ -694,11 +1185,19 @@ where
             if superstep > 0 && superstep % ck.every == 0 && ck.skip != Some(superstep) {
                 let ckpt_start_us = tracer.map(Tracer::now_us);
                 let ckpt_started = Instant::now();
-                let outs = match phase(PhaseJob::Snapshot)
-                    .map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })?
-                {
+                let outs = match phase(PhaseJob::Snapshot).map_err(|f| {
+                    fail(
+                        failure_error(f, superstep, shared.governor.deadline),
+                        superstep,
+                    )
+                })? {
                     PhaseResult::Snapshotted(outs) => outs,
-                    _ => unreachable!("executor answered snapshot with another phase"),
+                    _ => {
+                        return Err(fail(
+                            failure_error(PhaseFailure::MismatchedReply, superstep, None),
+                            superstep,
+                        ))
+                    }
                 };
                 let (mut values, mut halted, mut inbox) = (Vec::new(), Vec::new(), Vec::new());
                 for out in outs {
@@ -791,6 +1290,10 @@ where
         }
 
         // ---- master phase (sequential) ----
+        // The watchdog clock starts here: one deadline covers the whole
+        // superstep (master, compute, exchange, barrier) but not the
+        // checkpoint above, whose cost is governed by the snapshot policy.
+        let deadline_at = shared.governor.deadline.map(|d| Instant::now() + d);
         let step_start_us = tracer.map(Tracer::now_us);
         let master_started = Instant::now();
         let decision = {
@@ -841,12 +1344,22 @@ where
         let job = PhaseJob::Compute {
             superstep,
             spares: std::mem::take(&mut spares),
+            deadline_at,
         };
-        let computes =
-            match phase(job).map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })? {
-                PhaseResult::Computed(outs) => outs,
-                _ => unreachable!("executor answered compute with another phase"),
-            };
+        let computes = match phase(job).map_err(|f| {
+            fail(
+                failure_error(f, superstep, shared.governor.deadline),
+                superstep,
+            )
+        })? {
+            PhaseResult::Computed(outs) => outs,
+            _ => {
+                return Err(fail(
+                    failure_error(PhaseFailure::MismatchedReply, superstep, None),
+                    superstep,
+                ))
+            }
+        };
 
         // ---- barrier: merge worker outputs in ascending worker order ----
         let mut step = SuperstepMetrics {
@@ -855,6 +1368,7 @@ where
         };
         agg_prev = AggMap::new();
         let mut not_halted: u32 = 0;
+        let mut step_spilled_bytes: u64 = 0;
         for out in &computes {
             agg_prev.merge(&out.agg);
             step.active_vertices += out.computed;
@@ -865,6 +1379,30 @@ where
             step.remote_message_bytes += out.remote_message_bytes;
             step.compute_time = step.compute_time.max(out.compute_time);
             step.combine_time = step.combine_time.max(out.combine_time);
+            step_spilled_bytes += out.spilled_message_bytes;
+            metrics.spill.buckets_spilled += out.buckets_spilled;
+            metrics.spill.spilled_message_bytes += out.spilled_message_bytes;
+            metrics.spill.spill_file_bytes += out.spill_file_bytes;
+            metrics.spill.spill_write_time += out.spill_write_time;
+        }
+        // What actually stayed resident this superstep: the metered bytes
+        // minus whatever was pushed out to disk. (Spilling happens after
+        // metering, so `message_bytes` itself is spill-invariant.)
+        let in_flight_bytes = step.message_bytes - step_spilled_bytes;
+        metrics.spill.peak_in_flight_bytes =
+            metrics.spill.peak_in_flight_bytes.max(in_flight_bytes);
+        if let Some(t) = tracer {
+            if shared.governor.share_per_worker.is_some() {
+                t.counter(
+                    "in_flight_bytes",
+                    Category::Budget,
+                    vec![
+                        ("superstep", superstep.into()),
+                        ("bytes", in_flight_bytes.into()),
+                        ("spilled", step_spilled_bytes.into()),
+                    ],
+                );
+            }
         }
         if let Some(t) = tracer {
             // Compute-skew summary: the barrier waits for the slowest
@@ -891,7 +1429,7 @@ where
         // individual messages; delivery below moves the messages once.
         let exchange_start_us = tracer.map(Tracer::now_us);
         let exchange_started = Instant::now();
-        let mut incoming: Vec<IncomingBuckets<P::Message>> = (0..num_workers)
+        let mut incoming: Vec<IncomingRouted<P::Message>> = (0..num_workers)
             .map(|_| Vec::with_capacity(num_workers))
             .collect();
         for out in computes {
@@ -899,11 +1437,23 @@ where
                 incoming[dest].push(bucket);
             }
         }
-        let delivers = match phase(PhaseJob::Deliver(incoming))
-            .map_err(|PhasePanic| PregelError::WorkerPanicked { superstep })?
-        {
+        let delivers = match phase(PhaseJob::Deliver {
+            incoming,
+            deadline_at,
+        })
+        .map_err(|f| {
+            fail(
+                failure_error(f, superstep, shared.governor.deadline),
+                superstep,
+            )
+        })? {
             PhaseResult::Delivered(outs) => outs,
-            _ => unreachable!("executor answered delivery with another phase"),
+            _ => {
+                return Err(fail(
+                    failure_error(PhaseFailure::MismatchedReply, superstep, None),
+                    superstep,
+                ))
+            }
         };
         step.exchange_time = exchange_started.elapsed();
         if let (Some(t), Some(ts)) = (tracer, exchange_start_us) {
@@ -929,6 +1479,8 @@ where
         for out in delivers {
             pending_messages += out.delivered;
             reactivated += out.reactivated;
+            metrics.spill.files_replayed += out.files_replayed;
+            metrics.spill.spill_read_time += out.spill_read_time;
             // Reverse transpose: destination `d` drained buckets from every
             // sender; hand each empty bucket back to its sender for reuse.
             for (sender, bucket) in out.spent.into_iter().enumerate() {
@@ -936,6 +1488,42 @@ where
             }
         }
         active_vertices = not_halted + reactivated;
+
+        // ---- barrier governance checks (coordinator) ----
+        // Resident estimate: the value store plus the messages now parked
+        // in the inboxes for the next superstep. An injected OOM fault
+        // reports the check as failed regardless of real usage.
+        let oom_injected = shared.faults.trip_oom_at_barrier(superstep);
+        if shared.governor.max_resident_bytes.is_some() || oom_injected {
+            let used = num_nodes as u64 * std::mem::size_of::<P::VertexValue>() as u64
+                + pending_messages * std::mem::size_of::<P::Message>() as u64;
+            let budget = shared.governor.max_resident_bytes.unwrap_or(0);
+            if oom_injected || used > budget {
+                return Err(fail(
+                    PregelError::BudgetExceeded {
+                        superstep,
+                        what: "resident value-store bytes",
+                        used: used.max(budget.saturating_add(1)),
+                        budget,
+                    },
+                    superstep,
+                ));
+            }
+        }
+        // Coordinator-side watchdog: catches a superstep that overran its
+        // deadline between two worker self-checks.
+        if let (Some(at), Some(deadline)) = (deadline_at, shared.governor.deadline) {
+            if Instant::now() >= at {
+                return Err(fail(
+                    PregelError::DeadlineExceeded {
+                        superstep,
+                        worker: None,
+                        deadline,
+                    },
+                    superstep,
+                ));
+            }
+        }
 
         // The residual between the measured superstep wall-clock and the
         // four metered phases: job dispatch, reply collection, and barrier
@@ -990,6 +1578,14 @@ struct ComputeOut<M> {
     remote_message_bytes: u64,
     compute_time: Duration,
     combine_time: Duration,
+    /// Sealed buckets this worker pushed to disk to honor its budget share.
+    buckets_spilled: u64,
+    /// Metered message bytes inside those buckets (already counted in
+    /// `message_bytes`; spilling never changes the structural metrics).
+    spilled_message_bytes: u64,
+    /// On-disk size of the spill files (payload + magic + checksum).
+    spill_file_bytes: u64,
+    spill_write_time: Duration,
 }
 
 /// Per-worker results of one delivery phase.
@@ -1001,16 +1597,21 @@ struct DeliverOut<M> {
     /// Drained buckets (in sender order) handed back so their capacity can
     /// be recycled into the senders' next outboxes.
     spent: IncomingBuckets<M>,
+    /// Spill files replayed (and deleted) during this delivery.
+    files_replayed: u64,
+    spill_read_time: Duration,
 }
 
 /// Jobs sent to a pooled worker.
 enum Job<M> {
     Compute {
         superstep: u32,
-        spare: RoutedOutbox<M>,
+        spare: RawOutbox<M>,
+        deadline_at: Option<Instant>,
     },
     Deliver {
-        incoming: IncomingBuckets<M>,
+        incoming: IncomingRouted<M>,
+        deadline_at: Option<Instant>,
     },
     Snapshot,
     Finish,
@@ -1018,55 +1619,75 @@ enum Job<M> {
 
 /// Replies from a pooled worker.
 enum Reply<M> {
-    Computed { worker: usize, out: ComputeOut<M> },
-    Delivered { worker: usize, out: DeliverOut<M> },
-    Snapshotted { worker: usize, out: SnapshotOut },
-    Panicked,
+    Computed {
+        worker: usize,
+        out: ComputeOut<M>,
+    },
+    Delivered {
+        worker: usize,
+        out: DeliverOut<M>,
+    },
+    Snapshotted {
+        worker: usize,
+        out: SnapshotOut,
+    },
+    /// The worker failed this phase (caught panic, spill error, deadline)
+    /// and parked itself; the driver aborts the run with the details.
+    Failed(WorkerFailure),
 }
 
 fn collect_compute_replies<M>(
     reply_rx: &mpsc::Receiver<Reply<M>>,
     num_workers: usize,
-) -> Result<Vec<ComputeOut<M>>, PhasePanic> {
+) -> Result<Vec<ComputeOut<M>>, PhaseFailure> {
     let mut outs: Vec<Option<ComputeOut<M>>> = (0..num_workers).map(|_| None).collect();
     for _ in 0..num_workers {
         match reply_rx.recv() {
             Ok(Reply::Computed { worker, out }) => outs[worker] = Some(out),
-            Ok(Reply::Panicked) | Err(_) => return Err(PhasePanic),
-            Ok(_) => unreachable!("mismatched reply during compute phase"),
+            Ok(Reply::Failed(failure)) => return Err(PhaseFailure::Worker(failure)),
+            Err(_) => return Err(PhaseFailure::ChannelClosed),
+            Ok(_) => return Err(PhaseFailure::MismatchedReply),
         }
     }
-    outs.into_iter().map(|o| o.ok_or(PhasePanic)).collect()
+    outs.into_iter()
+        .map(|o| o.ok_or(PhaseFailure::MismatchedReply))
+        .collect()
 }
 
 fn collect_deliver_replies<M>(
     reply_rx: &mpsc::Receiver<Reply<M>>,
     num_workers: usize,
-) -> Result<Vec<DeliverOut<M>>, PhasePanic> {
+) -> Result<Vec<DeliverOut<M>>, PhaseFailure> {
     let mut outs: Vec<Option<DeliverOut<M>>> = (0..num_workers).map(|_| None).collect();
     for _ in 0..num_workers {
         match reply_rx.recv() {
             Ok(Reply::Delivered { worker, out }) => outs[worker] = Some(out),
-            Ok(Reply::Panicked) | Err(_) => return Err(PhasePanic),
-            Ok(_) => unreachable!("mismatched reply during delivery phase"),
+            Ok(Reply::Failed(failure)) => return Err(PhaseFailure::Worker(failure)),
+            Err(_) => return Err(PhaseFailure::ChannelClosed),
+            Ok(_) => return Err(PhaseFailure::MismatchedReply),
         }
     }
-    outs.into_iter().map(|o| o.ok_or(PhasePanic)).collect()
+    outs.into_iter()
+        .map(|o| o.ok_or(PhaseFailure::MismatchedReply))
+        .collect()
 }
 
 fn collect_snapshot_replies<M>(
     reply_rx: &mpsc::Receiver<Reply<M>>,
     num_workers: usize,
-) -> Result<Vec<SnapshotOut>, PhasePanic> {
+) -> Result<Vec<SnapshotOut>, PhaseFailure> {
     let mut outs: Vec<Option<SnapshotOut>> = (0..num_workers).map(|_| None).collect();
     for _ in 0..num_workers {
         match reply_rx.recv() {
             Ok(Reply::Snapshotted { worker, out }) => outs[worker] = Some(out),
-            Ok(Reply::Panicked) | Err(_) => return Err(PhasePanic),
-            Ok(_) => unreachable!("mismatched reply during snapshot phase"),
+            Ok(Reply::Failed(failure)) => return Err(PhaseFailure::Worker(failure)),
+            Err(_) => return Err(PhaseFailure::ChannelClosed),
+            Ok(_) => return Err(PhaseFailure::MismatchedReply),
         }
     }
-    outs.into_iter().map(|o| o.ok_or(PhasePanic)).collect()
+    outs.into_iter()
+        .map(|o| o.ok_or(PhaseFailure::MismatchedReply))
+        .collect()
 }
 
 /// Body of a pooled worker thread: park on the job channel, execute phases
@@ -1087,7 +1708,12 @@ where
 {
     while let Ok(job) = jobs.recv() {
         let reply = match job {
-            Job::Compute { superstep, spare } => {
+            Job::Compute {
+                superstep,
+                spare,
+                deadline_at,
+            } => {
+                let cursor = AtomicU32::new(u32::MAX);
                 let out = catch_unwind(AssertUnwindSafe(|| {
                     let program = read_lock(&shared.program);
                     let globals = read_lock(&shared.globals);
@@ -1100,20 +1726,34 @@ where
                         spare,
                         &shared.faults,
                         shared.tracer.as_ref(),
+                        &shared.governor,
+                        deadline_at,
+                        &cursor,
                     )
                 }));
                 match out {
-                    Ok(out) => Reply::Computed { worker: index, out },
-                    Err(_) => Reply::Panicked,
+                    Ok(Ok(out)) => Reply::Computed { worker: index, out },
+                    Ok(Err(failure)) => Reply::Failed(failure),
+                    Err(payload) => Reply::Failed(WorkerFailure::from_panic(
+                        index as u32,
+                        Some(&cursor),
+                        payload,
+                    )),
                 }
             }
-            Job::Deliver { incoming } => {
+            Job::Deliver {
+                incoming,
+                deadline_at,
+            } => {
                 let out = catch_unwind(AssertUnwindSafe(|| {
-                    state.deliver_phase(incoming, shared.tracer.as_ref())
+                    state.deliver_phase(incoming, shared.tracer.as_ref(), deadline_at)
                 }));
                 match out {
-                    Ok(out) => Reply::Delivered { worker: index, out },
-                    Err(_) => Reply::Panicked,
+                    Ok(Ok(out)) => Reply::Delivered { worker: index, out },
+                    Ok(Err(failure)) => Reply::Failed(failure),
+                    Err(payload) => {
+                        Reply::Failed(WorkerFailure::from_panic(index as u32, None, payload))
+                    }
                 }
             }
             Job::Snapshot => {
@@ -1122,13 +1762,15 @@ where
                 }));
                 match out {
                     Ok(out) => Reply::Snapshotted { worker: index, out },
-                    Err(_) => Reply::Panicked,
+                    Err(payload) => {
+                        Reply::Failed(WorkerFailure::from_panic(index as u32, None, payload))
+                    }
                 }
             }
             Job::Finish => break,
         };
-        let panicked = matches!(reply, Reply::Panicked);
-        if replies.send(reply).is_err() || panicked {
+        let failed = matches!(reply, Reply::Failed(_));
+        if replies.send(reply).is_err() || failed {
             break;
         }
     }
@@ -1221,8 +1863,15 @@ impl<P: VertexProgram> WorkerState<P> {
         }
     }
 
-    /// Runs the vertex kernels for this range, then combines and meters the
-    /// routed outgoing buckets — all inside the worker.
+    /// Runs the vertex kernels for this range, then combines, meters, and
+    /// (past the worker's budget share) spills the routed outgoing buckets
+    /// — all inside the worker.
+    ///
+    /// `cursor` tracks the vertex whose kernel is running (`u32::MAX`
+    /// outside the vertex loop) so a panic caught by the caller can be
+    /// attributed. Returns a [`WorkerFailure`] instead of panicking for
+    /// every failure the phase itself can observe: deadline overruns
+    /// (checked every 256 vertices) and spill I/O errors.
     #[allow(clippy::too_many_arguments)] // one per phase input, all distinct
     fn compute_phase(
         &mut self,
@@ -1231,15 +1880,39 @@ impl<P: VertexProgram> WorkerState<P> {
         globals: &Globals,
         starts: &[u32],
         superstep: u32,
-        spare: RoutedOutbox<P::Message>,
+        spare: RawOutbox<P::Message>,
         faults: &FaultPlan,
         tracer: Option<&Tracer>,
-    ) -> ComputeOut<P::Message> {
-        if faults.trip_panic_in_compute(superstep, self.index as u32) {
+        governor: &Governor,
+        deadline_at: Option<Instant>,
+        cursor: &AtomicU32,
+    ) -> Result<ComputeOut<P::Message>, WorkerFailure>
+    where
+        P::Message: Persist,
+    {
+        let worker = self.index as u32;
+        if faults.trip_panic_in_compute(superstep, worker) {
             panic!(
                 "injected fault: compute panic at superstep {superstep} on worker {}",
                 self.index
             );
+        }
+        if faults.trip_hang_in_compute(superstep, worker) {
+            // Simulated wedged kernel: spin until the deadline watchdog
+            // cancels the phase. A 5s backstop keeps a misconfigured test
+            // (hang fault, no deadline) from wedging the whole suite.
+            let hung_at = Instant::now();
+            loop {
+                if let Some(at) = deadline_at {
+                    if Instant::now() >= at {
+                        return Err(WorkerFailure::Deadline { worker });
+                    }
+                }
+                if hung_at.elapsed() > Duration::from_secs(5) {
+                    return Err(WorkerFailure::Deadline { worker });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
         let compute_start_us = tracer.map(Tracer::now_us);
         let compute_started = Instant::now();
@@ -1256,6 +1929,18 @@ impl<P: VertexProgram> WorkerState<P> {
             if self.halted[local] && self.inbox_in[local].is_empty() {
                 continue;
             }
+            // Cooperative watchdog: cheap enough to leave in the hot loop
+            // (one branch when unbudgeted), frequent enough that a slow —
+            // not wedged — kernel is cancelled within 256 vertices.
+            if local & 0xFF == 0 {
+                if let Some(at) = deadline_at {
+                    if Instant::now() >= at {
+                        cursor.store(u32::MAX, Ordering::Relaxed);
+                        return Err(WorkerFailure::Deadline { worker });
+                    }
+                }
+            }
+            cursor.store(self.base + local as u32, Ordering::Relaxed);
             self.halted[local] = false;
             computed += 1;
             let mut ctx = VertexContext {
@@ -1275,6 +1960,7 @@ impl<P: VertexProgram> WorkerState<P> {
             // Drain the slot but keep its capacity for the next delivery.
             self.inbox_in[local].clear();
         }
+        cursor.store(u32::MAX, Ordering::Relaxed);
         let compute_time = compute_started.elapsed();
 
         // Sender-side combining (Pregel's combiner API): fold same-
@@ -1349,37 +2035,169 @@ impl<P: VertexProgram> WorkerState<P> {
             );
         }
 
-        ComputeOut {
+        // ---- spill: enforce this worker's share of the message budget ----
+        // Runs strictly after combining and metering, so every structural
+        // metric (messages, bytes, per-superstep counts) is bit-identical
+        // whether or not a bucket spills. Sealed buckets are pushed to disk
+        // largest-first (ties by destination index — deterministic for a
+        // fixed budget and worker count) until the resident outgoing bytes
+        // fit the share.
+        let mut buckets_spilled: u64 = 0;
+        let mut spilled_message_bytes: u64 = 0;
+        let mut spill_file_bytes: u64 = 0;
+        let mut spill_write_time = Duration::ZERO;
+        let mut routed: RoutedOutbox<P::Message> = Vec::with_capacity(outbox.len());
+        if let Some(share) = governor.share_per_worker {
+            let bucket_bytes: Vec<u64> = outbox
+                .iter()
+                .map(|b| b.iter().map(|(_, m)| program.message_bytes(m)).sum())
+                .collect();
+            let mut resident: u64 = bucket_bytes.iter().sum();
+            let mut order: Vec<usize> = (0..outbox.len()).collect();
+            order.sort_by_key(|&d| (std::cmp::Reverse(bucket_bytes[d]), d));
+            let mut spill = vec![false; outbox.len()];
+            for &d in &order {
+                if resident <= share || bucket_bytes[d] == 0 {
+                    break;
+                }
+                spill[d] = true;
+                resident -= bucket_bytes[d];
+            }
+            for (dest, bucket) in outbox.into_iter().enumerate() {
+                if !spill[dest] {
+                    routed.push(RoutedBucket::Mem(bucket));
+                    continue;
+                }
+                let spill_start_us = tracer.map(Tracer::now_us);
+                let spill_started = Instant::now();
+                let path = governor.spill_path(superstep, self.index, dest);
+                let written = if faults.trip_fail_spill_write(superstep) {
+                    Err(CkptError::Io(std::io::Error::other(
+                        "injected fault: spill write failure",
+                    )))
+                } else {
+                    write_spill(&path, &bucket)
+                };
+                let file_bytes = match written {
+                    Ok(b) => b,
+                    Err(source) => {
+                        return Err(WorkerFailure::Spill {
+                            worker,
+                            op: "write",
+                            source,
+                        })
+                    }
+                };
+                buckets_spilled += 1;
+                spilled_message_bytes += bucket_bytes[dest];
+                spill_file_bytes += file_bytes;
+                spill_write_time += spill_started.elapsed();
+                if let Some(t) = tracer {
+                    t.span_at(
+                        "spill_write",
+                        Category::Spill,
+                        worker + 1,
+                        spill_start_us.unwrap_or(0),
+                        spill_started.elapsed().as_micros() as u64,
+                        vec![
+                            ("superstep", superstep.into()),
+                            ("dest", dest.into()),
+                            ("messages", bucket.len().into()),
+                            ("file_bytes", file_bytes.into()),
+                        ],
+                    );
+                }
+                let messages = bucket.len() as u64;
+                // The drained bucket rides along so its capacity is
+                // recycled exactly like a resident bucket's.
+                let mut spare = bucket;
+                spare.clear();
+                routed.push(RoutedBucket::Spilled {
+                    path,
+                    messages,
+                    spare,
+                });
+            }
+        } else {
+            routed.extend(outbox.into_iter().map(RoutedBucket::Mem));
+        }
+
+        Ok(ComputeOut {
             agg,
             computed,
             not_halted: computed - voted_halt,
-            outbox,
+            outbox: routed,
             messages_sent,
             message_bytes,
             remote_messages,
             remote_message_bytes,
             compute_time,
             combine_time,
-        }
+            buckets_spilled,
+            spilled_message_bytes,
+            spill_file_bytes,
+            spill_write_time,
+        })
     }
 
     /// Moves incoming messages into this worker's out-buffer inbox — zero
     /// clones on the exchange path — preserving ascending sender-worker
-    /// order, then swaps the double buffer.
+    /// order, then swaps the double buffer. Spilled buckets are replayed
+    /// from disk (into their carried-along spare, so the file contents land
+    /// in the same allocation a resident bucket would occupy) at the exact
+    /// position their sender holds in the order, so delivery order is
+    /// identical to an unspilled run; each replayed file is deleted.
     fn deliver_phase(
         &mut self,
-        mut incoming: IncomingBuckets<P::Message>,
+        incoming: IncomingRouted<P::Message>,
         tracer: Option<&Tracer>,
-    ) -> DeliverOut<P::Message> {
+        deadline_at: Option<Instant>,
+    ) -> Result<DeliverOut<P::Message>, WorkerFailure>
+    where
+        P::Message: Persist,
+    {
+        let worker = self.index as u32;
         let start_us = tracer.map(Tracer::now_us);
         let mut delivered: u64 = 0;
         let mut reactivated: u32 = 0;
+        let mut files_replayed: u64 = 0;
+        let mut spill_read_time = Duration::ZERO;
         // Largest single inbox after delivery — the per-vertex memory
         // high-water mark. Only tracked when traced.
         let mut inbox_hwm: usize = 0;
         let traced = tracer.is_some();
         let base = self.base as usize;
-        for bucket in &mut incoming {
+        let mut spent: IncomingBuckets<P::Message> = Vec::with_capacity(incoming.len());
+        for routed in incoming {
+            // Cooperative watchdog, once per sender bucket.
+            if let Some(at) = deadline_at {
+                if Instant::now() >= at {
+                    return Err(WorkerFailure::Deadline { worker });
+                }
+            }
+            let mut bucket = match routed {
+                RoutedBucket::Mem(bucket) => bucket,
+                RoutedBucket::Spilled {
+                    path,
+                    messages,
+                    mut spare,
+                } => {
+                    let read_started = Instant::now();
+                    if let Err(source) = read_spill_into(&path, messages, &mut spare) {
+                        return Err(WorkerFailure::Spill {
+                            worker,
+                            op: "read",
+                            source,
+                        });
+                    }
+                    spill_read_time += read_started.elapsed();
+                    files_replayed += 1;
+                    // Replay is single-use; a failed delete is harmless
+                    // (the run directory is per-run and temp-scoped).
+                    let _ = std::fs::remove_file(&path);
+                    spare
+                }
+            };
             for (dst, m) in bucket.drain(..) {
                 let local = dst as usize - base;
                 if self.halted[local] && self.inbox_out[local].is_empty() {
@@ -1391,6 +2209,7 @@ impl<P: VertexProgram> WorkerState<P> {
                 }
                 delivered += 1;
             }
+            spent.push(bucket);
         }
         if let Some(t) = tracer {
             t.span(
@@ -1402,6 +2221,7 @@ impl<P: VertexProgram> WorkerState<P> {
                     ("delivered", delivered.into()),
                     ("reactivated", reactivated.into()),
                     ("inbox_hwm", inbox_hwm.into()),
+                    ("files_replayed", files_replayed.into()),
                 ],
             );
         }
@@ -1409,12 +2229,14 @@ impl<P: VertexProgram> WorkerState<P> {
         // swap it holds the next superstep's messages and the drained
         // buffer (capacity intact) becomes the next delivery target.
         std::mem::swap(&mut self.inbox_in, &mut self.inbox_out);
-        DeliverOut {
+        Ok(DeliverOut {
             delivered,
             reactivated,
             // Hand the drained buckets back for outbox recycling.
-            spent: incoming,
-        }
+            spent,
+            files_replayed,
+            spill_read_time,
+        })
     }
 }
 
@@ -1992,7 +2814,14 @@ mod tests {
             cfg.faults = FaultPlan::builder().panic_in_compute(4, None).build();
             let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
             assert!(
-                matches!(err, PregelError::WorkerPanicked { superstep: 4 }),
+                matches!(
+                    err,
+                    PregelError::WorkerPanicked {
+                        superstep: 4,
+                        worker: Some(_),
+                        ..
+                    }
+                ),
                 "workers = {workers}, got {err}"
             );
         }
@@ -2009,7 +2838,10 @@ mod tests {
             .with_checkpoints(CheckpointConfig::new(&dir, 3))
             .with_faults(FaultPlan::builder().panic_in_compute(5, None).build());
         let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
-        assert!(matches!(err, PregelError::WorkerPanicked { superstep: 5 }));
+        assert!(matches!(
+            err,
+            PregelError::WorkerPanicked { superstep: 5, .. }
+        ));
         let store = CheckpointStore::create(&dir).unwrap();
         assert_eq!(
             store.list().unwrap().len(),
@@ -2127,5 +2959,167 @@ mod tests {
         assert_eq!(listed.len(), 1);
         assert_eq!(listed[0].0, 8, "only the newest snapshot survives");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- resource governance ----
+
+    #[test]
+    fn zero_deadline_is_invalid() {
+        let g = gen::cycle(4);
+        let cfg = PregelConfig::sequential()
+            .with_budget(ResourceBudget::unbounded().with_superstep_deadline(Duration::ZERO));
+        let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        assert!(matches!(err, PregelError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn forced_spill_is_structurally_invisible() {
+        let (base, base_total) = Rounds::baseline(2);
+        let g = gen::cycle(12);
+        let dir = fresh_dir("spill");
+        // A 1-byte budget spills every nonempty bucket every superstep.
+        let cfg = PregelConfig::with_workers(2).with_budget(
+            ResourceBudget::unbounded()
+                .with_max_message_bytes(1)
+                .with_spill_dir(&dir),
+        );
+        let mut p = Rounds::new();
+        let r = run(&g, &mut p, |_| 0, &cfg).unwrap();
+        assert_eq!(r.values, base.values);
+        assert_eq!(r.metrics.supersteps, base.metrics.supersteps);
+        assert_eq!(r.metrics.total_messages, base.metrics.total_messages);
+        assert_eq!(
+            r.metrics.total_message_bytes,
+            base.metrics.total_message_bytes
+        );
+        assert_eq!(p.total, base_total);
+        assert!(
+            r.metrics.spill.buckets_spilled > 0,
+            "budget must force spills"
+        );
+        assert_eq!(
+            r.metrics.spill.files_replayed, r.metrics.spill.buckets_spilled,
+            "every spilled bucket must be replayed"
+        );
+        assert_eq!(
+            r.metrics.spill.spilled_message_bytes, r.metrics.total_message_bytes,
+            "a 1-byte budget spills every metered byte"
+        );
+        // Replay deletes the files; the per-run directory is removed on
+        // drop, leaving the configured spill dir empty.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(Result::ok).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "leftover spill state: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn caught_panic_is_attributed_to_worker_and_vertex() {
+        /// Panics inside the kernel of one specific vertex at superstep 2.
+        struct PoisonedVertex;
+        impl VertexProgram for PoisonedVertex {
+            type VertexValue = u32;
+            type Message = u32;
+            fn message_bytes(&self, _m: &u32) -> u64 {
+                4
+            }
+            fn master_compute(&mut self, _ctx: &mut MasterContext<'_>) -> MasterDecision {
+                MasterDecision::Continue
+            }
+            fn vertex_compute(
+                &self,
+                ctx: &mut VertexContext<'_, '_, u32>,
+                _value: &mut u32,
+                _messages: &[u32],
+            ) {
+                if ctx.superstep() == 2 && ctx.id().0 == 7 {
+                    panic!("poisoned vertex kernel");
+                }
+                ctx.send_to_nbrs(1);
+            }
+        }
+
+        let g = gen::cycle(12);
+        for workers in [1usize, 2] {
+            let mut cfg = PregelConfig::with_workers(workers);
+            cfg.max_supersteps = 10;
+            let err = run(&g, &mut PoisonedVertex, |_| 0, &cfg).unwrap_err();
+            match err {
+                PregelError::WorkerPanicked {
+                    superstep,
+                    worker,
+                    vertex,
+                    detail,
+                } => {
+                    assert_eq!(superstep, 2, "workers = {workers}");
+                    assert!(worker.is_some());
+                    assert_eq!(vertex, Some(7), "cursor attributes the vertex");
+                    assert!(detail.contains("poisoned vertex"), "got detail {detail:?}");
+                }
+                other => panic!("expected WorkerPanicked, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wasted_work_is_accounted_across_restarts() {
+        let g = gen::cycle(12);
+        let cfg = PregelConfig::with_workers(2)
+            .with_faults(FaultPlan::builder().panic_in_compute(5, None).build())
+            .with_recovery(RecoveryPolicy::with_max_restarts(1));
+        let r = run_with_recovery(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap();
+        assert_eq!(r.metrics.recovery.restarts, 1);
+        // No checkpoints: the failed attempt re-ran supersteps 0..5 for
+        // nothing.
+        assert_eq!(r.metrics.recovery.wasted_supersteps, 5);
+        assert!(r.metrics.recovery.wasted_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn identical_failures_exhausting_restarts_are_quarantined() {
+        let g = gen::cycle(12);
+        let cfg = PregelConfig::with_workers(2)
+            .with_faults(
+                FaultPlan::builder()
+                    .panic_in_compute(4, Some(0))
+                    .times(u32::MAX)
+                    .build(),
+            )
+            .with_recovery(RecoveryPolicy::with_max_restarts(2));
+        let err = run_with_recovery(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        match err {
+            PregelError::Quarantined {
+                superstep,
+                worker,
+                attempts,
+                ..
+            } => {
+                assert_eq!(superstep, 4);
+                assert_eq!(worker, Some(0));
+                assert_eq!(attempts, 3, "initial run + 2 restarts");
+            }
+            other => panic!("expected Quarantined, got {other}"),
+        }
+    }
+
+    #[test]
+    fn distinct_failures_exhausting_restarts_are_not_quarantined() {
+        let g = gen::cycle(12);
+        // Two different failure sites: the streak is broken, so exhausting
+        // the budget returns the last error itself.
+        let cfg = PregelConfig::with_workers(2)
+            .with_faults(
+                FaultPlan::builder()
+                    .panic_in_compute(3, Some(0))
+                    .panic_in_compute(5, Some(1))
+                    .build(),
+            )
+            .with_recovery(RecoveryPolicy::with_max_restarts(1));
+        let err = run_with_recovery(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        assert!(
+            matches!(err, PregelError::WorkerPanicked { superstep: 5, .. }),
+            "got {err}"
+        );
     }
 }
