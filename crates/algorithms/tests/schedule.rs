@@ -1,0 +1,346 @@
+//! Schedule-axis tests: pullability of the shipped algorithms, and
+//! differential push/pull/auto equivalence on the runtime.
+
+use gm_algorithms::sources;
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions, Pullability};
+use gm_graph::gen;
+use gm_interp::CompiledOutcome;
+use gm_pregel::{PregelConfig, Schedule};
+use std::collections::HashMap;
+
+fn verdicts(src: &str) -> Vec<Pullability> {
+    let compiled = compile(src, &CompileOptions::default()).expect("compile");
+    compiled.program.pullable.clone()
+}
+
+#[test]
+fn pagerank_send_state_is_captured_pullable() {
+    let v = verdicts(sources::PAGERANK);
+    assert!(
+        v.iter().any(|p| matches!(
+            p,
+            Pullability::Pullable {
+                edge_dependent: false
+            }
+        )),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn sssp_send_state_is_recompute_pullable() {
+    let v = verdicts(sources::SSSP);
+    assert!(
+        v.iter().any(|p| matches!(
+            p,
+            Pullability::Pullable {
+                edge_dependent: true
+            }
+        )),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn every_algorithm_reports_verdicts_for_all_states() {
+    for (name, src) in sources::ALL {
+        let compiled = compile(src, &CompileOptions::default()).expect(name);
+        assert_eq!(
+            compiled.program.pullable.len(),
+            compiled.program.states.len(),
+            "{name}: verdicts not aligned with states"
+        );
+        println!("{name}: {:?}", compiled.program.pullable);
+    }
+}
+
+#[test]
+fn bipartite_random_writing_states_are_push_only() {
+    // Phases 2-3 of the matching handshake send to computed destinations.
+    let v = verdicts(sources::BIPARTITE_MATCHING);
+    assert!(
+        v.iter().any(|p| matches!(p, Pullability::PushOnly { .. })),
+        "{v:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Differential runtime tests: every algorithm must produce bit-identical
+// values AND identical structural metrics (supersteps, message/byte counts,
+// per-superstep activity) under {Push, Pull, Auto} × {1, 2, 4} workers.
+// ---------------------------------------------------------------------------
+
+/// Structural fingerprint of a run: everything the paper treats as the
+/// program's observable behavior, down to per-superstep activity.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    node_props: Vec<(String, Vec<Value>)>,
+    ret: Option<Value>,
+    supersteps: u32,
+    total_messages: u64,
+    total_message_bytes: u64,
+    per_superstep: Vec<(u32, u64, u64)>,
+}
+
+fn fingerprint(out: &CompiledOutcome) -> Fingerprint {
+    let mut node_props: Vec<(String, Vec<Value>)> = out
+        .node_props
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    node_props.sort_by(|a, b| a.0.cmp(&b.0));
+    Fingerprint {
+        node_props,
+        ret: out.ret,
+        supersteps: out.metrics.supersteps,
+        total_messages: out.metrics.total_messages,
+        total_message_bytes: out.metrics.total_message_bytes,
+        per_superstep: out
+            .metrics
+            .per_superstep
+            .iter()
+            .map(|s| (s.active_vertices, s.messages_sent, s.message_bytes))
+            .collect(),
+    }
+}
+
+type Case = (
+    &'static str,
+    &'static str,
+    gm_graph::Graph,
+    HashMap<String, ArgValue>,
+    u64,
+);
+
+fn algorithm_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    let ages: Vec<Value> = (0..200).map(|i| Value::Int((i * 37) % 80)).collect();
+    cases.push((
+        "avg_teen",
+        sources::AVG_TEEN,
+        gen::rmat(200, 1200, 17),
+        HashMap::from([
+            ("age".to_owned(), ArgValue::NodeProp(ages)),
+            ("K".to_owned(), ArgValue::Scalar(Value::Int(25))),
+        ]),
+        0,
+    ));
+
+    cases.push((
+        "pagerank",
+        sources::PAGERANK,
+        gen::rmat(150, 900, 23),
+        HashMap::from([
+            ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-8))),
+            ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+            ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(30))),
+        ]),
+        0,
+    ));
+
+    let member: Vec<Value> = (0..120).map(|i| Value::Bool(i % 3 == 0)).collect();
+    cases.push((
+        "conductance",
+        sources::CONDUCTANCE,
+        gen::rmat(120, 700, 31),
+        HashMap::from([("member".to_owned(), ArgValue::NodeProp(member))]),
+        0,
+    ));
+
+    let weights: Vec<Value> = (0..1000).map(|i| Value::Int(1 + (i * 7) % 20)).collect();
+    cases.push((
+        "sssp",
+        sources::SSSP,
+        gen::rmat(180, 1000, 41),
+        HashMap::from([
+            ("root".to_owned(), ArgValue::Scalar(Value::Node(3))),
+            ("len".to_owned(), ArgValue::EdgeProp(weights)),
+        ]),
+        0,
+    ));
+
+    let is_boy: Vec<Value> = (0..130).map(|i| Value::Bool(i < 60)).collect();
+    cases.push((
+        "bipartite",
+        sources::BIPARTITE_MATCHING,
+        gen::bipartite(60, 70, 350, 13),
+        HashMap::from([("is_boy".to_owned(), ArgValue::NodeProp(is_boy))]),
+        0,
+    ));
+
+    cases.push((
+        "bc_approx",
+        sources::BC_APPROX,
+        gen::rmat(100, 500, 29),
+        HashMap::from([("K".to_owned(), ArgValue::Scalar(Value::Int(6)))]),
+        77,
+    ));
+
+    cases
+}
+
+#[test]
+fn all_algorithms_bit_identical_across_schedules_and_workers() {
+    for (name, src, graph, args, seed) in algorithm_cases() {
+        let compiled = compile(src, &CompileOptions::default()).expect(name);
+        let seq = gm_interp::run_compiled(
+            &graph,
+            &compiled,
+            &args,
+            seed,
+            &PregelConfig::sequential().with_schedule(Schedule::Push),
+        )
+        .unwrap_or_else(|e| panic!("{name} push baseline: {e}"));
+        let seq_fp = fingerprint(&seq);
+
+        for workers in [1usize, 2, 4] {
+            // Push at this worker count is the baseline the schedule axis
+            // must match *bit-identically, return value included*.
+            let push = gm_interp::run_compiled(
+                &graph,
+                &compiled,
+                &args,
+                seed,
+                &PregelConfig::with_workers(workers).with_schedule(Schedule::Push),
+            )
+            .unwrap_or_else(|e| panic!("{name} Push×{workers}: {e}"));
+            let push_fp = fingerprint(&push);
+            assert_eq!(push.metrics.pull_supersteps, 0, "{name}: push gathered");
+
+            // Across worker counts everything matches except the master's
+            // float return: the aggregator folds per-worker partials in
+            // worker order, so a float Sum can round differently. That is
+            // a pre-existing property of the partitioning, not of the
+            // schedule — node values and structural metrics stay exact.
+            assert_eq!(push_fp.node_props, seq_fp.node_props, "{name}×{workers}");
+            assert_eq!(push_fp.supersteps, seq_fp.supersteps, "{name}×{workers}");
+            assert_eq!(
+                push_fp.total_messages, seq_fp.total_messages,
+                "{name}×{workers}"
+            );
+            assert_eq!(
+                push_fp.total_message_bytes, seq_fp.total_message_bytes,
+                "{name}×{workers}"
+            );
+            assert_eq!(
+                push_fp.per_superstep, seq_fp.per_superstep,
+                "{name}×{workers}"
+            );
+
+            for schedule in [Schedule::Pull, Schedule::Auto] {
+                let config = PregelConfig::with_workers(workers).with_schedule(schedule);
+                let out = gm_interp::run_compiled(&graph, &compiled, &args, seed, &config)
+                    .unwrap_or_else(|e| panic!("{name} {schedule:?}×{workers}: {e}"));
+                assert_eq!(
+                    fingerprint(&out),
+                    push_fp,
+                    "{name}: {schedule:?}×{workers} diverged from Push×{workers}"
+                );
+                if schedule == Schedule::Pull {
+                    assert!(
+                        out.metrics.pull_supersteps > 0,
+                        "{name}: forced pull never gathered"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_with_zero_threshold_gathers_every_pullable_superstep() {
+    // dense_threshold = 0 makes any nonempty frontier "dense", so Auto
+    // must behave exactly like forced Pull (and still match Push).
+    let compiled = compile(sources::PAGERANK, &CompileOptions::default()).unwrap();
+    let g = gen::rmat(150, 900, 23);
+    let args = HashMap::from([
+        ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-8))),
+        ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+        ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(30))),
+    ]);
+    let push =
+        gm_interp::run_compiled(&g, &compiled, &args, 0, &PregelConfig::sequential()).unwrap();
+    let auto = gm_interp::run_compiled(
+        &g,
+        &compiled,
+        &args,
+        0,
+        &PregelConfig::with_workers(4)
+            .with_schedule(Schedule::Auto)
+            .with_dense_threshold(0.0),
+    )
+    .unwrap();
+    assert_eq!(fingerprint(&auto), fingerprint(&push));
+    let pull = gm_interp::run_compiled(
+        &g,
+        &compiled,
+        &args,
+        0,
+        &PregelConfig::with_workers(4).with_schedule(Schedule::Pull),
+    )
+    .unwrap();
+    assert_eq!(auto.metrics.pull_supersteps, pull.metrics.pull_supersteps);
+    assert!(auto.metrics.pull_supersteps > 0);
+    // The heuristic flipped direction at least once: PageRank opens with
+    // master-only/no-send states that cannot gather.
+    assert!(auto.metrics.direction_switches > 0);
+}
+
+#[test]
+fn forced_pull_on_push_only_program_is_a_structured_error() {
+    use gm_pregel::{
+        run, MasterContext, MasterDecision, PregelError, VertexContext, VertexProgram,
+    };
+
+    /// Sends to a computed destination (vertex 0) — never pullable, and the
+    /// default `pull_supported()` says so.
+    struct HubCounter;
+
+    impl VertexProgram for HubCounter {
+        type VertexValue = u32;
+        type Message = ();
+
+        fn message_bytes(&self, _m: &()) -> u64 {
+            8
+        }
+
+        fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
+            if ctx.superstep() == 2 {
+                MasterDecision::Halt
+            } else {
+                MasterDecision::Continue
+            }
+        }
+
+        fn vertex_compute(
+            &self,
+            ctx: &mut VertexContext<'_, '_, ()>,
+            value: &mut u32,
+            messages: &[()],
+        ) {
+            if ctx.superstep() == 0 {
+                ctx.send(gm_graph::NodeId(0), ());
+            } else {
+                *value = messages.len() as u32;
+            }
+        }
+    }
+
+    let g = gen::star(4);
+    let err = run(
+        &g,
+        &mut HubCounter,
+        |_| 0u32,
+        &PregelConfig::with_workers(2).with_schedule(Schedule::Pull),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, PregelError::NotPullable { .. }),
+        "expected NotPullable, got: {err}"
+    );
+    assert!(err.to_string().contains("pullable"));
+    assert!(!err.is_recoverable());
+}

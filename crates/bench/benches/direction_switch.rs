@@ -1,0 +1,127 @@
+//! `direction_switch` — wall-clock of the three message schedules
+//! (push / pull / auto) on the two schedule-sensitive algorithms:
+//!
+//! * **PageRank** — every superstep is dense (all vertices active), the
+//!   payload is edge-independent, and the tag has a Sum combiner: the
+//!   best case for the gather, which skips routing, the combine sort,
+//!   and the exchange entirely.
+//! * **SSSP** — the frontier starts at one vertex and swells, so `auto`
+//!   should push the sparse prefix and gather the dense middle; its
+//!   per-superstep decisions are printed as a direction trail.
+//!
+//! Runs each (schedule × worker-count) cell `GM_REPS` times (default 5)
+//! and reports the minimum. `GM_SCALE` grows the graph. The table's
+//! pull/push ratio is the crossover evidence recorded in EXPERIMENTS.md.
+//! Custom harness (not criterion): the point is the cross-schedule table,
+//! not per-cell statistics.
+
+use gm_bench::{args_for, direction_string, sssp_root, time_min, weights};
+use gm_core::CompileOptions;
+use gm_graph::{gen, Graph};
+use gm_interp::run_compiled;
+use gm_pregel::{Metrics, PregelConfig, Schedule};
+
+fn reps() -> usize {
+    std::env::var("GM_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+}
+
+fn scale() -> u32 {
+    std::env::var("GM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+struct Cell {
+    ms: f64,
+    metrics: Metrics,
+}
+
+fn measure(g: &Graph, alg: &'static str, src: &str, schedule: Schedule, workers: usize) -> Cell {
+    let compiled = gm_bench::compile_source(src, &CompileOptions::default());
+    let args = args_for(alg, g);
+    let cfg = PregelConfig::with_workers(workers).with_schedule(schedule);
+    let (t, metrics) = time_min(reps(), || {
+        let out = run_compiled(g, &compiled, &args, 7, &cfg).expect("run");
+        ((), out.metrics)
+    });
+    Cell {
+        ms: t.as_secs_f64() * 1e3,
+        metrics,
+    }
+}
+
+fn main() {
+    let s = scale();
+    let n = 20_000 * s;
+    let g = gen::rmat(n, n as usize * 24, 1001);
+    let sources = [
+        ("pagerank", gm_algorithms::sources::PAGERANK),
+        ("sssp", gm_algorithms::sources::SSSP),
+    ];
+    // SSSP needs the weight column; args_for handles both.
+    let _ = (weights(&g), sssp_root(&g));
+
+    println!(
+        "direction_switch: push vs pull vs auto, rmat {} vertices / {} edges, min of {} reps",
+        g.num_nodes(),
+        g.num_edges(),
+        reps()
+    );
+    println!(
+        "{:<10} {:>7} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "algorithm", "workers", "push ms", "pull ms", "auto ms", "pull/push", "pulled"
+    );
+    let mut baselines: Vec<(&str, usize, f64, f64, f64)> = Vec::new();
+    for (alg, src) in sources {
+        for workers in [1usize, 2, 4] {
+            let push = measure(&g, alg, src, Schedule::Push, workers);
+            let pull = measure(&g, alg, src, Schedule::Pull, workers);
+            let auto = measure(&g, alg, src, Schedule::Auto, workers);
+            assert_eq!(
+                push.metrics.total_message_bytes, pull.metrics.total_message_bytes,
+                "{alg}: schedules must be structurally identical"
+            );
+            assert_eq!(
+                push.metrics.total_message_bytes, auto.metrics.total_message_bytes,
+                "{alg}: schedules must be structurally identical"
+            );
+            println!(
+                "{:<10} {:>7} {:>10.1} {:>10.1} {:>10.1} {:>10.2} {:>3}/{:<3}",
+                alg,
+                workers,
+                push.ms,
+                pull.ms,
+                auto.ms,
+                pull.ms / push.ms,
+                pull.metrics.pull_supersteps,
+                pull.metrics.supersteps,
+            );
+            baselines.push((alg, workers, push.ms, pull.ms, auto.ms));
+            if workers == 4 {
+                println!(
+                    "  auto trail ({} switches): [{}]",
+                    auto.metrics.direction_switches,
+                    direction_string(&auto.metrics)
+                );
+            }
+        }
+    }
+    println!();
+    let crossed: Vec<String> = baselines
+        .iter()
+        .filter(|(_, _, push, pull, auto)| pull.min(*auto) < *push)
+        .map(|(alg, w, ..)| format!("{alg}×{w}"))
+        .collect();
+    println!(
+        "cells where pull or auto beat push: {}",
+        if crossed.is_empty() {
+            "none".to_owned()
+        } else {
+            crossed.join(", ")
+        }
+    );
+}

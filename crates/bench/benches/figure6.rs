@@ -42,6 +42,11 @@ fn bench_pair(
 }
 
 fn figure6(c: &mut Criterion) {
+    // The schedule is inherited from GM_SCHEDULE by every config below.
+    println!(
+        "schedule: {:?} (set GM_SCHEDULE=auto|pull to exercise the gather path)",
+        PregelConfig::sequential().schedule
+    );
     for (name, g) in small_graphs() {
         let ages = gm_bench::ages(&g);
         bench_pair(

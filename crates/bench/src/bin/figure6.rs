@@ -11,6 +11,9 @@
 //! `--checkpoint-every N` (with `--checkpoint-dir`/`--keep-snapshots`)
 //! checkpoints every run, putting the snapshot overhead into the measured
 //! times — handy for the fault-tolerance cost table in EXPERIMENTS.md.
+//! `GM_SCHEDULE=auto|pull` selects the message direction (the schedule
+//! line and per-superstep direction decisions are printed; structural
+//! parity must hold regardless, since the gather is metered identically).
 
 use gm_algorithms::{manual, sources};
 use gm_bench::{
@@ -158,6 +161,10 @@ fn main() {
 
     println!("Figure 6: generated vs manual Pregel (normalized run-time)");
     println!(
+        "schedule: {:?} (GM_SCHEDULE; dense threshold {})",
+        cfg.schedule, cfg.dense_threshold
+    );
+    println!(
         "{:<10} {:<10} {:>10} {:>10} {:>8} {:>12} {:>14}",
         "Algorithm", "Graph", "gen (ms)", "manual", "ratio", "supersteps", "net I/O match"
     );
@@ -184,6 +191,21 @@ fn main() {
             "{}/{}: network I/O differs",
             r.algorithm, r.graph
         );
+    }
+    if cfg.schedule != gm_pregel::Schedule::Push {
+        println!();
+        println!("Per-superstep direction decisions (generated side, `^` = gathered):");
+        for r in &rows {
+            println!(
+                "  {:<10} {:<10} pull {:>3}/{:<3} switches {:>2}  [{}]",
+                r.algorithm,
+                r.graph,
+                r.generated.pull_supersteps,
+                r.generated.supersteps,
+                r.generated.direction_switches,
+                gm_bench::direction_string(&r.generated),
+            );
+        }
     }
     println!();
     println!("Per-phase wall-clock, milliseconds (gen / man, last rep):");

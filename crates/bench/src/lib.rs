@@ -373,6 +373,15 @@ pub fn bench_config() -> PregelConfig {
     PregelConfig::default()
 }
 
+/// Compact per-superstep direction trail: one character per superstep,
+/// `^` for gathered (pull) supersteps, `.` for pushed ones.
+pub fn direction_string(m: &Metrics) -> String {
+    m.per_superstep
+        .iter()
+        .map(|s| if s.pulled { '^' } else { '.' })
+        .collect()
+}
+
 /// Per-phase wall-clock of a run in milliseconds, in reporting order:
 /// `[compute, combine, exchange, master]`.
 pub fn phase_ms(m: &Metrics) -> [f64; 4] {

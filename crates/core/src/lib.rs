@@ -36,6 +36,7 @@ pub mod optimize;
 pub mod parser;
 pub mod pir;
 pub mod pretty;
+pub mod pullability;
 pub mod report;
 pub mod sema;
 pub mod seqinterp;
@@ -47,6 +48,7 @@ pub mod verify;
 
 pub use compiler::{compile, compile_with, CompileOptions, Compiled};
 pub use diag::{Diag, Diagnostics, Span};
+pub use pullability::Pullability;
 pub use report::{PassTiming, TransformReport};
 pub use types::Ty;
 pub use value::Value;

@@ -75,6 +75,11 @@ pub struct PregelProgram {
     pub combinable: Vec<Option<AssignOp>>,
     /// Declared return type.
     pub ret: Option<Ty>,
+    /// Per-state pullability verdicts, index-aligned with
+    /// [`PregelProgram::states`] (see [`crate::pullability`]). Empty until
+    /// the compiler's annotate pass runs; runtimes treat an empty vector
+    /// as "analysis not available" and may run it themselves.
+    pub pullable: Vec<crate::pullability::Pullability>,
     /// The state machine. `states[0]` is the entry.
     pub states: Vec<State>,
 }
@@ -114,6 +119,22 @@ impl PregelProgram {
     /// envelope, one vertex id, plus the tag byte when tagging is on).
     pub fn in_nbrs_message_bytes(&self) -> u64 {
         ENVELOPE_BYTES + Ty::Node.byte_width() + u64::from(self.needs_tag_byte())
+    }
+
+    /// Whether `state` may execute gather-side under a pull schedule
+    /// (also true for master-only or sendless states, whose gather phase
+    /// is empty). `false` when the pullability pass has not run.
+    pub fn state_pullable(&self, state: StateId) -> bool {
+        self.pullable.get(state).is_some_and(|p| p.is_pullable())
+    }
+
+    /// Whether a pull schedule makes sense at all: at least one state's
+    /// sends can run gather-side. Requesting pull on a program where this
+    /// is false is a configuration error, not a silent fallback.
+    pub fn pull_supported(&self) -> bool {
+        self.pullable
+            .iter()
+            .any(|p| matches!(p, crate::pullability::Pullability::Pullable { .. }))
     }
 
     /// A coarse size measure over the state machine: one per state plus
@@ -402,6 +423,7 @@ mod tests {
             uses_in_nbrs: false,
             combinable: vec![None, None],
             ret: None,
+            pullable: vec![],
             states: vec![State {
                 master: vec![],
                 vertex: Some(VertexKernel::default()),

@@ -1,0 +1,494 @@
+//! Pullability analysis: which vertex states can run gather-side.
+//!
+//! Push execution evaluates each active vertex's send instruction and
+//! routes one message per out-edge; pull execution inverts the loop — the
+//! *receiver* walks its in-edges and folds the senders' messages in place,
+//! with no per-message allocation or routing. That inversion is only
+//! sound when the runtime can obtain, for every (sender, edge) pair, the
+//! exact message push would have produced. This pass classifies each
+//! state of a [`PregelProgram`] accordingly; the runtime consults the
+//! verdicts (via [`PregelProgram::pullable`]) when a pull or auto
+//! schedule is requested.
+//!
+//! Two pull flavors exist, and the verdict records which applies:
+//!
+//! * **Captured** (`edge_dependent: false`): the payload does not mention
+//!   the connecting edge, so every out-neighbor receives the same value.
+//!   The runtime runs the kernel normally with sends suppressed, captures
+//!   the evaluated message once at the send site, and gather clones it
+//!   per in-edge. Because capture happens at the original send point, any
+//!   guards, vertex-local temporaries, or later property writes are
+//!   irrelevant — the captured value is bit-identical to what push would
+//!   have sent, by construction.
+//! * **Recomputed** (`edge_dependent: true`): the payload reads the
+//!   [`EDGE`] variable, so each out-edge carries a different value and a
+//!   single capture cannot represent it. Gather instead re-evaluates the
+//!   payload against the sender's post-kernel state. That is only exact
+//!   when every input to the payload still holds its send-point value
+//!   after the kernel finishes: no kernel write (immediate or deferred)
+//!   may target a property the payload reads, the payload may not read
+//!   vertex-local temporaries (gone after the kernel), and it may not
+//!   call non-pure builtins. Broadcast globals and edge properties are
+//!   read-only during the vertex phase and therefore always safe.
+//!
+//! Anything else — computed-destination sends (`SendTo`, the paper's
+//! random-writing pattern), reverse-edge sends (`SendToInNbrs`), several
+//! send sites in one kernel, or an unstable edge-dependent payload — is
+//! classified [`Pullability::PushOnly`] with a human-readable reason, and
+//! the runtime falls back to push for that state.
+
+use crate::ast::{Expr, ExprKind};
+use crate::pir::{PregelProgram, State, VInstr, EDGE, SELF};
+
+/// Per-state verdict of the analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pullability {
+    /// No vertex kernel, or a kernel that sends nothing: a pull superstep
+    /// degenerates to an empty gather and is trivially exact.
+    NoSends,
+    /// The state's single send site can run gather-side.
+    Pullable {
+        /// `true` when the payload reads the connecting edge and gather
+        /// must re-evaluate it per in-edge (the *recomputed* flavor);
+        /// `false` when one captured value serves every out-neighbor.
+        edge_dependent: bool,
+    },
+    /// The state must run push-side; `reason` says why.
+    PushOnly {
+        /// Human-readable explanation (surfaces in errors and reports).
+        reason: String,
+    },
+}
+
+impl Pullability {
+    /// Whether a pull schedule may execute this state gather-side.
+    pub fn is_pullable(&self) -> bool {
+        !matches!(self, Pullability::PushOnly { .. })
+    }
+}
+
+/// Classifies every state of `program`. The result is index-aligned with
+/// `program.states`.
+pub fn analyze(program: &PregelProgram) -> Vec<Pullability> {
+    program.states.iter().map(analyze_state).collect()
+}
+
+/// Runs [`analyze`] and stamps the verdicts onto the program.
+pub fn annotate(program: &mut PregelProgram) {
+    program.pullable = analyze(program);
+}
+
+fn analyze_state(state: &State) -> Pullability {
+    let Some(kernel) = &state.vertex else {
+        return Pullability::NoSends;
+    };
+
+    let mut sends = Vec::new();
+    collect_sends(&kernel.body, &mut sends);
+    let send = match sends.as_slice() {
+        [] => return Pullability::NoSends,
+        [one] => *one,
+        many => {
+            return Pullability::PushOnly {
+                reason: format!("{} send sites in one kernel", many.len()),
+            }
+        }
+    };
+
+    match send {
+        VInstr::SendIdToNbrs => Pullability::Pullable {
+            edge_dependent: false,
+        },
+        VInstr::SendToInNbrs { .. } => Pullability::PushOnly {
+            reason: "sends along in-edges (reverse direction)".into(),
+        },
+        VInstr::SendTo { .. } => Pullability::PushOnly {
+            reason: "sends to a computed destination (random writing)".into(),
+        },
+        VInstr::SendToNbrs { payload, .. } => {
+            if !payload.iter().any(mentions_edge) {
+                // Captured flavor: exact regardless of the rest of the
+                // kernel, because the value is taken at the send site.
+                return Pullability::Pullable {
+                    edge_dependent: false,
+                };
+            }
+            match check_recompute_stability(&kernel.body, payload) {
+                Ok(()) => Pullability::Pullable {
+                    edge_dependent: true,
+                },
+                Err(reason) => Pullability::PushOnly { reason },
+            }
+        }
+        // collect_sends only yields send instructions.
+        _ => unreachable!("non-send collected as send site"),
+    }
+}
+
+fn collect_sends<'a>(body: &'a [VInstr], out: &mut Vec<&'a VInstr>) {
+    for instr in body {
+        match instr {
+            VInstr::SendToNbrs { .. }
+            | VInstr::SendToInNbrs { .. }
+            | VInstr::SendTo { .. }
+            | VInstr::SendIdToNbrs => out.push(instr),
+            VInstr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_sends(then_branch, out);
+                collect_sends(else_branch, out);
+            }
+            VInstr::Local { .. } | VInstr::WriteOwn { .. } | VInstr::ReduceGlobal { .. } => {}
+        }
+    }
+}
+
+/// Checks that an edge-dependent payload evaluates to the same values
+/// against the sender's post-kernel state as it did at the send point.
+fn check_recompute_stability(body: &[VInstr], payload: &[Expr]) -> Result<(), String> {
+    // Everything the payload reads.
+    let mut self_props = Vec::new();
+    let mut vars = Vec::new();
+    let mut bad_call = None;
+    for field in payload {
+        scan_expr(field, &mut |e| match &e.kind {
+            ExprKind::Prop { obj, prop } if obj == SELF => {
+                self_props.push(prop.clone());
+            }
+            ExprKind::Var(name) if name != SELF && name != EDGE => {
+                vars.push(name.clone());
+            }
+            ExprKind::Call { obj, method, .. } => {
+                let pure_topology = (obj == SELF
+                    && matches!(method.as_str(), "Degree" | "InDegree" | "OutDegree"))
+                    || matches!(method.as_str(), "NumNodes" | "NumEdges");
+                if !pure_topology && bad_call.is_none() {
+                    bad_call = Some(format!("{obj}.{method}()"));
+                }
+            }
+            ExprKind::Agg(_) if bad_call.is_none() => {
+                bad_call = Some("nested aggregate".into());
+            }
+            _ => {}
+        });
+    }
+    if let Some(call) = bad_call {
+        return Err(format!("edge-dependent payload calls {call}"));
+    }
+
+    // Vertex-local temporaries do not survive the kernel; re-evaluation
+    // cannot see them. (Anything that is not a declared local here is a
+    // broadcast global, which is read-only during the vertex phase.)
+    let mut locals = Vec::new();
+    collect_locals(body, &mut locals);
+    if let Some(v) = vars.iter().find(|v| locals.contains(v)) {
+        return Err(format!("edge-dependent payload reads vertex-local `{v}`"));
+    }
+
+    // Any kernel write to a payload-read property — before or after the
+    // send, immediate or deferred — may leave the post-kernel value
+    // different from the send-point value on some control path, so reject
+    // them wholesale. (Receive handlers run before the body and their
+    // writes are visible to gather, so they need no restriction.)
+    let mut written = Vec::new();
+    collect_prop_writes(body, &mut written);
+    if let Some(p) = self_props.iter().find(|p| written.contains(p)) {
+        return Err(format!(
+            "edge-dependent payload reads `{p}`, which the kernel writes"
+        ));
+    }
+    Ok(())
+}
+
+fn collect_locals(body: &[VInstr], out: &mut Vec<String>) {
+    for instr in body {
+        match instr {
+            VInstr::Local { name, .. } => out.push(name.clone()),
+            VInstr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_locals(then_branch, out);
+                collect_locals(else_branch, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_prop_writes(body: &[VInstr], out: &mut Vec<String>) {
+    for instr in body {
+        match instr {
+            VInstr::WriteOwn { prop, .. } => out.push(prop.clone()),
+            VInstr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_prop_writes(then_branch, out);
+                collect_prop_writes(else_branch, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn mentions_edge(e: &Expr) -> bool {
+    let mut found = false;
+    scan_expr(e, &mut |e| match &e.kind {
+        ExprKind::Var(name) if name == EDGE => found = true,
+        ExprKind::Prop { obj, .. } | ExprKind::Call { obj, .. } if obj == EDGE => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Pre-order walk over every sub-expression.
+fn scan_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::Unary { expr, .. } => scan_expr(expr, f),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            scan_expr(lhs, f);
+            scan_expr(rhs, f);
+        }
+        ExprKind::Ternary {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            scan_expr(cond, f);
+            scan_expr(then_val, f);
+            scan_expr(else_val, f);
+        }
+        ExprKind::Agg(agg) => {
+            if let Some(filter) = &agg.filter {
+                scan_expr(filter, f);
+            }
+            if let Some(body) = &agg.body {
+                scan_expr(body, f);
+            }
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                scan_expr(a, f);
+            }
+        }
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::BoolLit(_)
+        | ExprKind::Inf { .. }
+        | ExprKind::Nil
+        | ExprKind::Var(_)
+        | ExprKind::Prop { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AssignOp;
+    use crate::pir::{MessageLayout, Transition, VertexKernel};
+    use crate::types::Ty;
+
+    fn prog_with_body(body: Vec<VInstr>) -> PregelProgram {
+        PregelProgram {
+            name: "p".into(),
+            graph_param: "G".into(),
+            scalar_params: vec![],
+            node_props: vec![("x".into(), Ty::Double)],
+            edge_props: vec![("w".into(), Ty::Double)],
+            globals: vec![],
+            messages: vec![MessageLayout {
+                tag: 0,
+                fields: vec![("v".into(), Ty::Double)],
+            }],
+            uses_in_nbrs: false,
+            combinable: vec![None],
+            ret: None,
+            pullable: vec![],
+            states: vec![State {
+                master: vec![],
+                vertex: Some(VertexKernel {
+                    recvs: vec![],
+                    filter: None,
+                    body,
+                    reads_globals: vec![],
+                }),
+                post: vec![],
+                transition: Transition::Halt,
+            }],
+        }
+    }
+
+    fn self_prop(p: &str) -> Expr {
+        Expr::synth(ExprKind::Prop {
+            obj: SELF.into(),
+            prop: p.into(),
+        })
+    }
+
+    fn edge_prop(p: &str) -> Expr {
+        Expr::synth(ExprKind::Prop {
+            obj: EDGE.into(),
+            prop: p.into(),
+        })
+    }
+
+    fn send(payload: Vec<Expr>) -> VInstr {
+        VInstr::SendToNbrs { tag: 0, payload }
+    }
+
+    #[test]
+    fn master_only_and_silent_states_are_no_sends() {
+        let mut p = prog_with_body(vec![VInstr::WriteOwn {
+            prop: "x".into(),
+            op: AssignOp::Assign,
+            value: Expr::int(1),
+        }]);
+        assert_eq!(analyze(&p)[0], Pullability::NoSends);
+        p.states[0].vertex = None;
+        assert_eq!(analyze(&p)[0], Pullability::NoSends);
+    }
+
+    #[test]
+    fn plain_payload_is_captured_pullable() {
+        // PageRank shape: send(x / Degree()) with a write to x first.
+        let p = prog_with_body(vec![
+            VInstr::WriteOwn {
+                prop: "x".into(),
+                op: AssignOp::Assign,
+                value: Expr::int(3),
+            },
+            send(vec![Expr::binary(
+                crate::ast::BinOp::Div,
+                self_prop("x"),
+                Expr::synth(ExprKind::Call {
+                    obj: SELF.into(),
+                    method: "Degree".into(),
+                    args: vec![],
+                }),
+            )]),
+        ]);
+        assert_eq!(
+            analyze(&p)[0],
+            Pullability::Pullable {
+                edge_dependent: false
+            }
+        );
+    }
+
+    #[test]
+    fn guarded_edge_payload_without_writes_is_recompute_pullable() {
+        // SSSP shape: If(cond) { send(x + edge.w) }, no writes.
+        let p = prog_with_body(vec![VInstr::If {
+            cond: self_prop("x"),
+            then_branch: vec![send(vec![Expr::binary(
+                crate::ast::BinOp::Add,
+                self_prop("x"),
+                edge_prop("w"),
+            )])],
+            else_branch: vec![],
+        }]);
+        assert_eq!(
+            analyze(&p)[0],
+            Pullability::Pullable {
+                edge_dependent: true
+            }
+        );
+    }
+
+    #[test]
+    fn edge_payload_with_written_dep_is_push_only() {
+        let p = prog_with_body(vec![
+            VInstr::WriteOwn {
+                prop: "x".into(),
+                op: AssignOp::Assign,
+                value: Expr::int(1),
+            },
+            send(vec![Expr::binary(
+                crate::ast::BinOp::Add,
+                self_prop("x"),
+                edge_prop("w"),
+            )]),
+        ]);
+        let v = analyze(&p).remove(0);
+        assert!(!v.is_pullable(), "{v:?}");
+        match v {
+            Pullability::PushOnly { reason } => assert!(reason.contains("`x`"), "{reason}"),
+            other => panic!("expected PushOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_payload_reading_local_is_push_only() {
+        let p = prog_with_body(vec![
+            VInstr::Local {
+                name: "t".into(),
+                op: AssignOp::Assign,
+                value: Expr::int(2),
+                ty: Ty::Int,
+            },
+            send(vec![Expr::binary(
+                crate::ast::BinOp::Mul,
+                Expr::var("t"),
+                edge_prop("w"),
+            )]),
+        ]);
+        assert!(!analyze(&p)[0].is_pullable());
+    }
+
+    #[test]
+    fn random_writing_send_is_push_only() {
+        let p = prog_with_body(vec![VInstr::SendTo {
+            dst: self_prop("x"),
+            tag: 0,
+            payload: vec![Expr::int(1)],
+        }]);
+        match &analyze(&p)[0] {
+            Pullability::PushOnly { reason } => {
+                assert!(reason.contains("destination"), "{reason}");
+            }
+            other => panic!("expected PushOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_sends_are_push_only() {
+        let p = prog_with_body(vec![
+            send(vec![Expr::int(1)]),
+            VInstr::If {
+                cond: self_prop("x"),
+                then_branch: vec![send(vec![Expr::int(2)])],
+                else_branch: vec![],
+            },
+        ]);
+        match &analyze(&p)[0] {
+            Pullability::PushOnly { reason } => assert!(reason.contains("2 send"), "{reason}"),
+            other => panic!("expected PushOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_nbrs_preamble_send_id_is_pullable() {
+        let p = prog_with_body(vec![VInstr::SendIdToNbrs]);
+        assert_eq!(
+            analyze(&p)[0],
+            Pullability::Pullable {
+                edge_dependent: false
+            }
+        );
+    }
+
+    #[test]
+    fn annotate_stamps_every_state() {
+        let mut p = prog_with_body(vec![send(vec![self_prop("x")])]);
+        assert!(p.pullable.is_empty());
+        annotate(&mut p);
+        assert_eq!(p.pullable.len(), p.states.len());
+        assert!(p.pullable[0].is_pullable());
+    }
+}

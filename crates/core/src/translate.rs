@@ -102,6 +102,7 @@ pub fn translate(
         uses_in_nbrs: tx.uses_in_nbrs,
         combinable: vec![None; num_tags],
         ret: proc.ret.clone(),
+        pullable: vec![],
         states: tx.states,
     };
 

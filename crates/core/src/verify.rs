@@ -862,6 +862,7 @@ mod tests {
             uses_in_nbrs: false,
             combinable: vec![None],
             ret: None,
+            pullable: vec![],
             states: vec![
                 State {
                     master: vec![MInstr::Assign {

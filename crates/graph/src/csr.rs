@@ -21,6 +21,11 @@ pub struct Graph {
     in_sources: Vec<u32>,
     /// For each reverse-adjacency slot, the forward [`EdgeId`] it mirrors.
     in_edge_ids: Vec<u32>,
+    /// For each forward [`EdgeId`], its source vertex. Trades one `u32` per
+    /// edge for O(1) [`Graph::edge_source`] — the pull-mode gather loop
+    /// resolves a source per in-edge, where a binary search per lookup
+    /// would dominate the hot path.
+    edge_src: Vec<u32>,
 }
 
 impl Graph {
@@ -86,18 +91,16 @@ impl Graph {
         NodeId(self.out_targets[e.index()])
     }
 
-    /// The source vertex of edge `e`, found by binary search over the CSR
-    /// offsets (`O(log n)`).
+    /// The source vertex of edge `e`, looked up in the precomputed
+    /// per-edge source array (`O(1)`).
     ///
     /// # Panics
     ///
     /// Panics if `e` is out of bounds.
+    #[inline]
     pub fn edge_source(&self, e: EdgeId) -> NodeId {
         assert!(e.0 < self.num_edges(), "edge id {e} out of bounds");
-        // partition_point returns the first offset strictly greater than e;
-        // the owning vertex is one before it.
-        let idx = self.out_offsets.partition_point(|&off| off <= e.0);
-        NodeId((idx - 1) as u32)
+        NodeId(self.edge_src[e.index()])
     }
 
     /// All edges as `(source, target)` pairs in [`EdgeId`] order.
@@ -128,6 +131,21 @@ impl Graph {
         }
         if !self.in_offsets.windows(2).all(|w| w[0] <= w[1]) {
             return false;
+        }
+        // The precomputed source array must agree with the CSR offsets
+        // (the binary-search definition of an edge's owner).
+        if self.edge_src.len() != m {
+            return false;
+        }
+        for (e, &src) in self.edge_src.iter().enumerate() {
+            let owner = self.out_offsets.partition_point(|&off| off as usize <= e) - 1;
+            debug_assert_eq!(
+                src as usize, owner,
+                "edge_src[{e}] disagrees with CSR offsets"
+            );
+            if src as usize != owner {
+                return false;
+            }
         }
         let mut seen = vec![false; m];
         for v in self.nodes() {
@@ -293,6 +311,7 @@ impl GraphBuilder {
         let mut cursor = in_offsets.clone();
         let mut in_sources = vec![0u32; m];
         let mut in_edge_ids = vec![0u32; m];
+        let mut edge_src = vec![0u32; m];
         for src in 0..n {
             let lo = out_offsets[src] as usize;
             let hi = out_offsets[src + 1] as usize;
@@ -301,6 +320,7 @@ impl GraphBuilder {
                 let slot = cursor[dst] as usize;
                 in_sources[slot] = src as u32;
                 in_edge_ids[slot] = (lo + off) as u32;
+                edge_src[lo + off] = src as u32;
                 cursor[dst] += 1;
             }
         }
@@ -312,6 +332,7 @@ impl GraphBuilder {
             in_offsets,
             in_sources,
             in_edge_ids,
+            edge_src,
         }
     }
 }
@@ -417,6 +438,18 @@ mod tests {
     #[test]
     fn validate_detects_consistency() {
         assert!(diamond().validate());
+    }
+
+    #[test]
+    fn edge_source_array_matches_offset_search() {
+        let mut b = GraphBuilder::new(5);
+        b.extend([(0, 0), (0, 3), (1, 3), (3, 2), (3, 2), (4, 0)]);
+        let g = b.build();
+        assert!(g.validate());
+        for e in 0..g.num_edges() {
+            let by_search = g.out_offsets.partition_point(|&off| off <= e) - 1;
+            assert_eq!(g.edge_source(EdgeId(e)), NodeId(by_search as u32));
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! gmc verify <file.gm> [--no-opt]
 //! gmc run <file.gm> --graph <edges.txt> [--arg name=value]...
 //!         [--seed N] [--workers N] [--print prop] [--steps] [--timing]
+//!         [--schedule push|pull|auto] [--dense-threshold F]
 //!         [--trace <path>] [--trace-format jsonl|chrome]
 //!         [--checkpoint-every N] [--checkpoint-dir <dir>] [--resume]
 //!         [--keep-snapshots N] [--max-restarts N]
@@ -37,6 +38,14 @@
 //! snapshot there, and `--keep-snapshots N` prunes all but the newest N.
 //! `--max-restarts N` lets the run restart itself after worker failures.
 //!
+//! `--schedule` selects the message direction: `push` (the Pregel
+//! default), `pull` (gather every superstep the program supports — rejected
+//! up front if none is pullable), or `auto` (per-superstep density
+//! heuristic, cutoff tunable with `--dense-threshold`, a fraction of |E|).
+//! Both flags default from the `GM_SCHEDULE` / `GM_DENSE_THRESHOLD`
+//! environment variables. With `--steps`, a `dir` column shows which
+//! supersteps were gathered.
+//!
 //! `--max-message-bytes N` caps the in-flight message bytes per superstep;
 //! sealed buckets past the cap spill to `--spill-dir` (default: a run
 //! directory under the temp dir) and are replayed at delivery with
@@ -53,7 +62,7 @@ use gm_core::{compile_with, CompileOptions};
 use gm_graph::io::LoadPolicy;
 use gm_interp::run_compiled;
 use gm_obs::{TraceFormat, Tracer};
-use gm_pregel::{CheckpointConfig, PregelConfig, RecoveryPolicy, ResourceBudget};
+use gm_pregel::{CheckpointConfig, PregelConfig, RecoveryPolicy, ResourceBudget, Schedule};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -70,6 +79,7 @@ fn main() -> ExitCode {
             eprintln!("       gmc verify <file.gm> [--no-opt]");
             eprintln!("       gmc run <file.gm> --graph <edges.txt> [--arg name=value]...");
             eprintln!("               [--seed N] [--workers N] [--print prop] [--steps]");
+            eprintln!("               [--schedule push|pull|auto] [--dense-threshold F]");
             eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
             eprintln!("               [--checkpoint-every N] [--checkpoint-dir <dir>] [--resume]");
             eprintln!("               [--keep-snapshots N] [--max-restarts N]");
@@ -258,6 +268,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut print_prop: Option<String> = None;
     let mut steps = false;
     let mut timing = false;
+    let mut schedule: Option<Schedule> = None;
+    let mut dense_threshold: Option<f64> = None;
     let mut trace_path: Option<String> = None;
     let mut trace_format = TraceFormat::Jsonl;
     let mut ckpt_every: Option<u32> = None;
@@ -292,6 +304,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 "--print" => print_prop = Some(take("--print")?),
                 "--steps" => steps = true,
                 "--timing" => timing = true,
+                "--schedule" => {
+                    schedule = Some(
+                        take("--schedule")?
+                            .parse()
+                            .map_err(|e| format!("gmc run: {e}"))?,
+                    )
+                }
+                "--dense-threshold" => {
+                    dense_threshold = Some(
+                        take("--dense-threshold")?
+                            .parse()
+                            .map_err(|e| format!("bad dense threshold: {e}"))?,
+                    );
+                }
                 "--trace" => trace_path = Some(take("--trace")?),
                 "--trace-format" => {
                     trace_format = take("--trace-format")?.parse()?;
@@ -413,6 +439,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
     } else {
         PregelConfig::with_workers(workers)
     };
+    // Flags layer on top of the GM_SCHEDULE / GM_DENSE_THRESHOLD defaults.
+    if let Some(s) = schedule {
+        config = config.with_schedule(s);
+    }
+    if let Some(t) = dense_threshold {
+        config = config.with_dense_threshold(t);
+    }
     if let Some(t) = &tracer {
         config = config.with_tracer(t.clone());
     }
@@ -462,6 +495,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         "supersteps: {}   messages: {} ({} bytes)",
         out.metrics.supersteps, out.metrics.total_messages, out.metrics.total_message_bytes
     );
+    if config.schedule != Schedule::Push {
+        println!(
+            "schedule: {:?}   pull supersteps: {}   direction switches: {}",
+            config.schedule, out.metrics.pull_supersteps, out.metrics.direction_switches
+        );
+    }
     let rec = &out.metrics.recovery;
     if rec.checkpoints_written > 0 || rec.restores > 0 || rec.restarts > 0 {
         println!(
@@ -485,13 +524,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     if steps {
         println!(
-            "{:>9} {:>6} {:>10} {:>10} {:>12}",
-            "superstep", "state", "active", "messages", "bytes"
+            "{:>9} {:>6} {:>5} {:>10} {:>10} {:>12}",
+            "superstep", "state", "dir", "active", "messages", "bytes"
         );
         for (i, t) in out.trace.iter().enumerate() {
+            let dir = match out.metrics.per_superstep.get(i) {
+                Some(s) if s.pulled => "pull",
+                _ => "push",
+            };
             println!(
-                "{:>9} {:>6} {:>10} {:>10} {:>12}",
-                i, t.state, t.active_vertices, t.messages_sent, t.message_bytes
+                "{:>9} {:>6} {:>5} {:>10} {:>10} {:>12}",
+                i, t.state, dir, t.active_vertices, t.messages_sent, t.message_bytes
             );
         }
     }

@@ -174,6 +174,20 @@ pub struct CRecv {
     pub steps: Vec<CStep>,
 }
 
+/// A kernel's single neighbor-broadcast site, recorded so gathered (pull)
+/// supersteps can re-evaluate the payload receiver-side. Only present when
+/// the body contains exactly one `SendToNbrs`/`SendIdToNbrs` — the same
+/// condition the pullability analysis requires, so a `Pullable` verdict
+/// implies the site is recorded.
+#[derive(Clone, Debug)]
+pub struct CSendSite {
+    /// Message tag (`IN_NBRS_TAG` for the preamble's id broadcast).
+    pub tag: u8,
+    /// Payload expressions, slot-resolved in the kernel's `Cx` (so
+    /// `Global` slots line up with the executor's broadcast vector).
+    pub payload: Vec<CExpr>,
+}
+
 /// A precompiled vertex kernel.
 #[derive(Clone, Debug)]
 pub struct CKernel {
@@ -191,6 +205,8 @@ pub struct CKernel {
     pub reads_globals: Vec<String>,
     /// Whether the receive phase reads own properties (snapshot needed).
     pub snapshot_needed: bool,
+    /// The body's single neighbor-broadcast site, if there is exactly one.
+    pub send_site: Option<CSendSite>,
 }
 
 /// The whole program, precompiled.
@@ -490,6 +506,10 @@ fn compile_kernel(
     let filter = k.filter.as_ref().map(|f| cx.expr(f));
     let body: Vec<CInstr> = k.body.iter().map(|i| cx.instr(program, i)).collect();
 
+    let mut sites = Vec::new();
+    collect_nbr_sends(&body, &mut sites);
+    let send_site = (sites.len() == 1).then(|| sites.remove(0));
+
     CKernel {
         recv_by_tag,
         stores_in_nbrs,
@@ -498,5 +518,30 @@ fn compile_kernel(
         num_locals: cx.locals.len(),
         reads_globals: cx.reads_globals,
         snapshot_needed,
+        send_site,
+    }
+}
+
+fn collect_nbr_sends(body: &[CInstr], out: &mut Vec<CSendSite>) {
+    for i in body {
+        match i {
+            CInstr::SendToNbrs { tag, payload, .. } => out.push(CSendSite {
+                tag: *tag,
+                payload: payload.clone(),
+            }),
+            CInstr::SendIdToNbrs => out.push(CSendSite {
+                tag: IN_NBRS_TAG,
+                payload: vec![CExpr::SelfId],
+            }),
+            CInstr::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_nbr_sends(then_branch, out);
+                collect_nbr_sends(else_branch, out);
+            }
+            _ => {}
+        }
     }
 }

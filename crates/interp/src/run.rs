@@ -15,11 +15,11 @@ use gm_core::pir::{MInstr, PregelProgram, StateId, Transition, IN_NBRS_TAG};
 use gm_core::seqinterp::ArgValue;
 use gm_core::types::Ty;
 use gm_core::value::{apply_reduce, Value};
-use gm_core::Compiled;
-use gm_graph::{Graph, NodeId};
+use gm_core::{Compiled, Pullability};
+use gm_graph::{EdgeId, Graph, NodeId};
 use gm_pregel::{
     run_with_recovery, ByteReader, CkptError, GlobalValue, MasterContext, MasterDecision, Metrics,
-    Persist, PregelConfig, PregelError, ReduceOp, VertexContext, VertexProgram,
+    Persist, PregelConfig, PregelError, PullMode, ReduceOp, VertexContext, VertexProgram,
 };
 use std::collections::HashMap;
 use std::error::Error;
@@ -283,9 +283,18 @@ pub fn run_compiled(
         in_nbrs: Vec::new(),
     };
 
+    // Per-state pullability verdicts: recorded by the compiler pass when it
+    // ran, recomputed here otherwise (hand-built PIR in tests).
+    let pullable = if program.pullable.len() == program.states.len() {
+        program.pullable.clone()
+    } else {
+        gm_core::pullability::analyze(program)
+    };
+
     let mut machine = Machine {
         program,
         pre,
+        pullable,
         global_tys: &global_tys,
         edge_cols: &edge_cols,
         graph,
@@ -332,6 +341,8 @@ pub fn run_compiled(
 struct Machine<'a> {
     program: &'a PregelProgram,
     pre: Precompiled,
+    /// Pullability verdict per state (aligned with `program.states`).
+    pullable: Vec<Pullability>,
     global_tys: &'a HashMap<String, Ty>,
     edge_cols: &'a [Vec<Value>],
     graph: &'a Graph,
@@ -471,6 +482,60 @@ impl VertexProgram for Machine<'_> {
             tag: a.tag,
             payload: Arc::from(vec![apply_reduce(op, a.payload[0], b.payload[0])]),
         })
+    }
+
+    fn pull_supported(&self) -> bool {
+        self.pullable
+            .iter()
+            .any(|p| matches!(p, Pullability::Pullable { .. }))
+    }
+
+    fn pull_mode(&self) -> PullMode {
+        // `NoSends` states map to `Unsupported` on purpose: a gather walks
+        // every in-edge, which is wasted work when nothing was sent.
+        match self.pullable.get(self.cur_state) {
+            Some(Pullability::Pullable {
+                edge_dependent: false,
+            }) => PullMode::Captured,
+            Some(Pullability::Pullable {
+                edge_dependent: true,
+            }) => PullMode::Recomputed,
+            _ => PullMode::Unsupported,
+        }
+    }
+
+    fn pull_message(
+        &self,
+        graph: &Graph,
+        src: NodeId,
+        edge: EdgeId,
+        src_value: &VertexData,
+    ) -> Msg {
+        let site = self.pre.kernels[self.cur_state]
+            .as_ref()
+            .and_then(|k| k.send_site.as_ref())
+            .expect("Recomputed verdict implies a recorded single send site");
+        // The pullability analysis guarantees the payload reads no kernel
+        // locals and no kernel-written properties, so evaluating it here —
+        // after the sender's kernel ran — reproduces the pushed payload.
+        let cx = EvalCx {
+            props: &src_value.props,
+            snapshot: None,
+            payload: &[],
+            locals: &[],
+            globals: &self.cur_globals,
+            self_id: src.0,
+            out_degree: graph.out_degree(src),
+            in_nbrs_len: src_value.in_nbrs.len(),
+            edge_cols: self.edge_cols,
+            edge: edge.index(),
+            num_nodes: graph.num_nodes(),
+            num_edges: graph.num_edges(),
+        };
+        Msg {
+            tag: site.tag,
+            payload: site.payload.iter().map(|p| eval(p, &cx)).collect(),
+        }
     }
 
     fn master_compute(&mut self, ctx: &mut MasterContext<'_>) -> MasterDecision {
@@ -786,29 +851,29 @@ impl Machine<'_> {
                     edge_dependent,
                 } => {
                     if *edge_dependent {
-                        for (t, e) in ctx.out_neighbors() {
-                            let values: Arc<[Value]> =
-                                payload.iter().map(|p| eval(p, &cx!(e.index()))).collect();
-                            ctx.send(
-                                t,
-                                Msg {
-                                    tag: *tag,
-                                    payload: values,
-                                },
-                            );
+                        // In a Recomputed gather superstep `mark_send`
+                        // absorbs the broadcast; the runtime re-evaluates
+                        // the payload per in-edge via `pull_message`.
+                        if !ctx.mark_send() {
+                            for (t, e) in ctx.out_neighbors() {
+                                let values: Arc<[Value]> =
+                                    payload.iter().map(|p| eval(p, &cx!(e.index()))).collect();
+                                ctx.send(
+                                    t,
+                                    Msg {
+                                        tag: *tag,
+                                        payload: values,
+                                    },
+                                );
+                            }
                         }
                     } else {
                         let values: Arc<[Value]> =
                             payload.iter().map(|p| eval(p, &cx!())).collect();
-                        for (t, _) in ctx.out_neighbors() {
-                            ctx.send(
-                                t,
-                                Msg {
-                                    tag: *tag,
-                                    payload: Arc::clone(&values),
-                                },
-                            );
-                        }
+                        ctx.send_to_nbrs(Msg {
+                            tag: *tag,
+                            payload: values,
+                        });
                     }
                 }
                 CInstr::SendToInNbrs { tag, payload } => {
@@ -836,15 +901,10 @@ impl Machine<'_> {
                 }
                 CInstr::SendIdToNbrs => {
                     let payload: Arc<[Value]> = Arc::from(vec![Value::Node(self_id)]);
-                    for (t, _) in ctx.out_neighbors() {
-                        ctx.send(
-                            t,
-                            Msg {
-                                tag: IN_NBRS_TAG,
-                                payload: Arc::clone(&payload),
-                            },
-                        );
-                    }
+                    ctx.send_to_nbrs(Msg {
+                        tag: IN_NBRS_TAG,
+                        payload,
+                    });
                 }
                 CInstr::If {
                     cond,

@@ -54,6 +54,21 @@
 //! restart budget are reported as [`PregelError::Quarantined`]. Spill
 //! activity is reported in [`SpillStats`].
 //!
+//! The runtime is **direction aware**: [`PregelConfig::schedule`] (or the
+//! `GM_SCHEDULE` environment variable) selects push (the Pregel default),
+//! pull, or auto. In a **gathered** (pull) superstep the exchange is
+//! replaced by a gather phase — each vertex walks its in-edges via the
+//! reverse CSR and folds the senders' messages in place, with no per-message
+//! routing or allocation — producing bit-identical values and structural
+//! metrics. A program opts in by implementing [`VertexProgram::pull_mode`]
+//! (the Green-Marl compiler derives this from its pullability analysis).
+//! `auto` applies the Ligra/GraphIt density heuristic per superstep: gather
+//! when the active frontier's expected out-edges exceed
+//! [`PregelConfig::dense_threshold`] (env `GM_DENSE_THRESHOLD`) of |E|.
+//! Direction activity is reported in [`Metrics::pull_supersteps`],
+//! [`Metrics::direction_switches`], and per-superstep in
+//! [`SuperstepMetrics::pulled`].
+//!
 //! # Example
 //!
 //! ```
@@ -120,8 +135,11 @@ pub use govern::{
     ENV_SUPERSTEP_DEADLINE_MS,
 };
 pub use metrics::{Metrics, RecoveryStats, SpillStats, SuperstepMetrics};
-pub use program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
-pub use runtime::{run, run_with_recovery, PregelConfig, PregelError, PregelResult};
+pub use program::{MasterContext, MasterDecision, PullMode, VertexContext, VertexProgram};
+pub use runtime::{
+    run, run_with_recovery, PregelConfig, PregelError, PregelResult, Schedule, ENV_DENSE_THRESHOLD,
+    ENV_SCHEDULE,
+};
 pub use value::{GlobalValue, ReduceOp};
 
 // Checkpointing building blocks, re-exported so programs implementing

@@ -62,6 +62,11 @@ pub struct SuperstepMetrics {
     /// and combine land on different workers (their sum can then slightly
     /// exceed the wall-clock).
     pub barrier_time: Duration,
+    /// Whether this superstep ran gathered (pull): the exchange was
+    /// replaced by receiver-side in-edge gathering. When `true`,
+    /// `exchange_time` measures the gather phase and `combine_time` is
+    /// zero (folding happens inside the gather).
+    pub pulled: bool,
 }
 
 impl SuperstepMetrics {
@@ -98,6 +103,7 @@ impl SuperstepMetrics {
             ("exchange_us".to_owned(), dur_us(self.exchange_time)),
             ("master_us".to_owned(), dur_us(self.master_time)),
             ("barrier_us".to_owned(), dur_us(self.barrier_time)),
+            ("pulled".to_owned(), Json::Bool(self.pulled)),
         ])
     }
 }
@@ -197,6 +203,14 @@ pub struct SpillStats {
     /// Largest resident in-flight message volume of any superstep, in
     /// metered bytes, after spilling (what actually stayed in memory).
     pub peak_in_flight_bytes: u64,
+    /// Gathered (pull) supersteps that ran while a message budget was
+    /// configured. Pull supersteps never route messages through the
+    /// outbox, so the budget's spill machinery cannot see their traffic —
+    /// these counters make the bypass explicit instead of silent.
+    pub pull_bypassed_supersteps: u64,
+    /// Metered message bytes of those gathered supersteps (traffic that
+    /// was never subject to the budget).
+    pub pull_bypassed_bytes: u64,
 }
 
 impl SpillStats {
@@ -221,6 +235,14 @@ impl SpillStats {
             (
                 "peak_in_flight_bytes".to_owned(),
                 Json::UInt(self.peak_in_flight_bytes),
+            ),
+            (
+                "pull_bypassed_supersteps".to_owned(),
+                Json::UInt(self.pull_bypassed_supersteps),
+            ),
+            (
+                "pull_bypassed_bytes".to_owned(),
+                Json::UInt(self.pull_bypassed_bytes),
             ),
         ])
     }
@@ -255,6 +277,14 @@ pub struct Metrics {
     pub master_time: Duration,
     /// Total barrier residual (dispatch + reply collection + waiting).
     pub barrier_time: Duration,
+    /// Supersteps that ran gathered (pull) instead of pushed. Part of the
+    /// structural contract: identical across worker counts and between
+    /// uninterrupted and recovered runs.
+    pub pull_supersteps: u32,
+    /// Times consecutive executed supersteps changed direction
+    /// (push→pull or pull→push); only `Schedule::Auto` produces nonzero
+    /// values on programs with mixed phases.
+    pub direction_switches: u32,
     /// Per-superstep breakdown, indexed by superstep number.
     pub per_superstep: Vec<SuperstepMetrics>,
     /// Checkpoint and recovery counters (all zero when checkpointing is
@@ -277,6 +307,14 @@ impl Metrics {
         self.exchange_time += step.exchange_time;
         self.master_time += step.master_time;
         self.barrier_time += step.barrier_time;
+        if step.pulled {
+            self.pull_supersteps += 1;
+        }
+        if let Some(prev) = self.per_superstep.last() {
+            if prev.pulled != step.pulled {
+                self.direction_switches += 1;
+            }
+        }
         self.per_superstep.push(step);
     }
 
@@ -356,6 +394,7 @@ mod tests {
             exchange_time: Duration::from_millis(2),
             master_time: Duration::from_millis(1),
             barrier_time: Duration::from_millis(1),
+            pulled: false,
         });
         m.record(SuperstepMetrics {
             active_vertices: 3,
@@ -404,6 +443,8 @@ mod tests {
                 spill_write_time: Duration::from_micros(40),
                 spill_read_time: Duration::from_micros(30),
                 peak_in_flight_bytes: 128,
+                pull_bypassed_supersteps: 2,
+                pull_bypassed_bytes: 256,
             },
             ..Metrics::default()
         };

@@ -130,6 +130,7 @@ impl Persist for SuperstepMetrics {
         self.exchange_time.persist(out);
         self.master_time.persist(out);
         self.barrier_time.persist(out);
+        self.pulled.persist(out);
     }
 
     fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
@@ -144,6 +145,7 @@ impl Persist for SuperstepMetrics {
             exchange_time: Persist::restore(r)?,
             master_time: Persist::restore(r)?,
             barrier_time: Persist::restore(r)?,
+            pulled: Persist::restore(r)?,
         })
     }
 }
@@ -187,6 +189,8 @@ impl Persist for SpillStats {
         self.spill_write_time.persist(out);
         self.spill_read_time.persist(out);
         self.peak_in_flight_bytes.persist(out);
+        self.pull_bypassed_supersteps.persist(out);
+        self.pull_bypassed_bytes.persist(out);
     }
 
     fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
@@ -198,6 +202,8 @@ impl Persist for SpillStats {
             spill_write_time: Persist::restore(r)?,
             spill_read_time: Persist::restore(r)?,
             peak_in_flight_bytes: Persist::restore(r)?,
+            pull_bypassed_supersteps: Persist::restore(r)?,
+            pull_bypassed_bytes: Persist::restore(r)?,
         })
     }
 }
@@ -218,6 +224,8 @@ impl Persist for Metrics {
         self.per_superstep.persist(out);
         self.recovery.persist(out);
         self.spill.persist(out);
+        self.pull_supersteps.persist(out);
+        self.direction_switches.persist(out);
     }
 
     fn restore(r: &mut ByteReader<'_>) -> Result<Self, CkptError> {
@@ -236,6 +244,8 @@ impl Persist for Metrics {
             per_superstep: Persist::restore(r)?,
             recovery: Persist::restore(r)?,
             spill: Persist::restore(r)?,
+            pull_supersteps: Persist::restore(r)?,
+            direction_switches: Persist::restore(r)?,
         })
     }
 }
@@ -319,6 +329,12 @@ mod tests {
             master_time: Duration::from_micros(3),
             ..SuperstepMetrics::default()
         });
+        m.record(SuperstepMetrics {
+            active_vertices: 10,
+            messages_sent: 50,
+            pulled: true,
+            ..SuperstepMetrics::default()
+        });
         m.recovery.checkpoints_written = 2;
         m.recovery.snapshot_bytes = 1234;
         m.recovery.checkpoint_time = Duration::from_micros(77);
@@ -328,6 +344,8 @@ mod tests {
         m.spill.spill_file_bytes = 999;
         m.spill.spill_write_time = Duration::from_micros(12);
         m.spill.peak_in_flight_bytes = 4096;
+        m.spill.pull_bypassed_supersteps = 1;
+        m.spill.pull_bypassed_bytes = 400;
 
         let back = Metrics::from_bytes(&m.to_bytes()).unwrap();
         assert_eq!(back.supersteps, m.supersteps);
@@ -337,5 +355,7 @@ mod tests {
         assert_eq!(back.per_superstep, m.per_superstep);
         assert_eq!(back.recovery, m.recovery);
         assert_eq!(back.spill, m.spill);
+        assert_eq!(back.pull_supersteps, 1);
+        assert_eq!(back.direction_switches, 1);
     }
 }

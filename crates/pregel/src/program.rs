@@ -3,7 +3,46 @@
 use crate::globals::{AggMap, Globals};
 use crate::value::{GlobalValue, ReduceOp};
 use gm_ckpt::{ByteReader, CkptError};
-use gm_graph::{Graph, NodeId, OutNeighbors};
+use gm_graph::{EdgeId, Graph, NodeId, OutNeighbors};
+
+/// How a vertex phase's sends can be realized on the receiver side.
+///
+/// Reported per superstep by [`VertexProgram::pull_mode`] and consumed by
+/// the runtime's `Schedule::{Pull, Auto}` scheduling: in a *gathered*
+/// (pull) superstep the exchange phase is skipped entirely and each
+/// receiver walks its in-edges, reading the sender's message in place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PullMode {
+    /// The upcoming vertex phase cannot be gathered; the runtime must run
+    /// the ordinary push exchange.
+    Unsupported,
+    /// The kernel's single neighbor-broadcast payload is independent of
+    /// the connecting edge: the sender evaluates it once, the runtime
+    /// captures it in a per-vertex slot, and each receiver clones it from
+    /// that slot at gather time.
+    Captured,
+    /// The payload depends on the connecting edge (e.g. SSSP's
+    /// `dist + e.len`): the sender only marks that its send fired, and
+    /// each receiver re-evaluates the payload per in-edge via
+    /// [`VertexProgram::pull_message`].
+    Recomputed,
+}
+
+/// Where a vertex's sends go during the compute phase.
+///
+/// `Route` is the ordinary push path. Under a gathered superstep the
+/// runtime installs `Capture`/`Mark` so the kernel's neighbor-broadcast is
+/// absorbed into per-sender state instead of being routed — the gather
+/// phase reconstructs the identical message stream receiver-side.
+#[derive(Debug)]
+pub(crate) enum PullSink<'a, M> {
+    /// Push: route every message to its destination worker's bucket.
+    Route,
+    /// Captured pull: store the (edge-independent) broadcast payload.
+    Capture(&'a mut Option<M>),
+    /// Recomputed pull: record only that the send site fired.
+    Mark(&'a mut bool),
+}
 
 /// What the master tells the framework at the start of a superstep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,10 +64,13 @@ pub enum MasterDecision {
 /// [`master_compute`](VertexProgram::master_compute), which runs exclusively
 /// between phases.
 pub trait VertexProgram {
-    /// Per-vertex state (the fields of GPS's vertex class).
-    type VertexValue: Clone + Send;
-    /// Message payload exchanged between vertices.
-    type Message: Clone + Send;
+    /// Per-vertex state (the fields of GPS's vertex class). `Sync` because
+    /// gathered supersteps let every worker *read* every other worker's
+    /// vertex store (behind an `RwLock`) while recomputing pulled payloads.
+    type VertexValue: Clone + Send + Sync;
+    /// Message payload exchanged between vertices. `Sync` for the same
+    /// reason: captured payloads are cloned cross-worker at gather time.
+    type Message: Clone + Send + Sync;
 
     /// Serialized size of a message in bytes — what the paper's "network
     /// I/O" metric counts. Return the wire size GPS's serialization would
@@ -66,6 +108,47 @@ pub trait VertexProgram {
         value: &mut Self::VertexValue,
         messages: &[Self::Message],
     );
+
+    /// Whether *any* superstep of this program can run as a gathered
+    /// (pull) superstep. `Schedule::Pull` refuses programs that return
+    /// `false` with a structured [`PregelError::NotPullable`] instead of
+    /// silently computing wrong answers.
+    ///
+    /// [`PregelError::NotPullable`]: crate::PregelError::NotPullable
+    fn pull_supported(&self) -> bool {
+        false
+    }
+
+    /// Pull flavor of the *next* vertex phase. Queried by the coordinator
+    /// after [`master_compute`](VertexProgram::master_compute) returns, so
+    /// state-machine programs can answer for the state the master just
+    /// selected.
+    ///
+    /// Contract for returning anything other than
+    /// [`PullMode::Unsupported`]: the phase's only send must be a
+    /// broadcast to all out-neighbors ([`VertexContext::send_to_nbrs`], or
+    /// [`VertexContext::mark_send`] under `Recomputed`) whose payload is a
+    /// pure function of the sender's *post-kernel* value, the connecting
+    /// edge, and this superstep's broadcasts. Targeted
+    /// [`VertexContext::send`] calls panic in a gathered superstep.
+    fn pull_mode(&self) -> PullMode {
+        PullMode::Unsupported
+    }
+
+    /// Re-evaluates the message `src` sent along `edge` in this superstep,
+    /// against the sender's post-kernel `src_value`. Only called in
+    /// [`PullMode::Recomputed`] supersteps, for senders whose kernel marked
+    /// its send site as fired.
+    fn pull_message(
+        &self,
+        graph: &Graph,
+        src: NodeId,
+        edge: EdgeId,
+        src_value: &Self::VertexValue,
+    ) -> Self::Message {
+        let _ = (graph, src, edge, src_value);
+        unreachable!("pull_message is only called when pull_mode() returns Recomputed")
+    }
 
     /// Serializes the program's mutable master state (everything
     /// [`master_compute`](VertexProgram::master_compute) reads or writes
@@ -158,6 +241,8 @@ pub struct VertexContext<'a, 'g, M> {
     /// Worker range starts; worker `w` owns `starts[w]..starts[w+1]`.
     pub(crate) range_starts: &'a [u32],
     pub(crate) halted: &'a mut bool,
+    /// Where sends go this superstep (push routing or a pull sink).
+    pub(crate) pull: PullSink<'a, M>,
 }
 
 impl<'g, M: Clone> VertexContext<'_, 'g, M> {
@@ -199,7 +284,22 @@ impl<'g, M: Clone> VertexContext<'_, 'g, M> {
 
     /// Sends `m` to every out-neighbor (GPS's `sendToNbrs`). One message is
     /// accounted per out-edge, parallel edges included.
+    ///
+    /// In a gathered (pull) superstep this does not route anything: the
+    /// payload is captured (or the send merely marked) and receivers read
+    /// it in place during the gather phase.
     pub fn send_to_nbrs(&mut self, m: M) {
+        match &mut self.pull {
+            PullSink::Capture(slot) => {
+                **slot = Some(m);
+                return;
+            }
+            PullSink::Mark(fired) => {
+                **fired = true;
+                return;
+            }
+            PullSink::Route => {}
+        }
         // Clone per edge; route each copy to its destination's worker.
         let nbrs: OutNeighbors<'g> = self.graph.out_neighbors(self.id);
         for (t, _) in nbrs {
@@ -207,12 +307,52 @@ impl<'g, M: Clone> VertexContext<'_, 'g, M> {
         }
     }
 
+    /// True when this superstep's sends are gathered receiver-side instead
+    /// of routed (the runtime chose a pull superstep).
+    pub fn pull_gathered(&self) -> bool {
+        !matches!(self.pull, PullSink::Route)
+    }
+
+    /// Records that this vertex's neighbor-broadcast fired, without
+    /// materializing a payload. Returns `true` when the send was absorbed
+    /// by a [`PullMode::Recomputed`] gather sink — the runtime will
+    /// re-evaluate the payload per in-edge via
+    /// [`VertexProgram::pull_message`]. Returns `false` in a push
+    /// superstep, in which case the caller must perform its ordinary
+    /// per-edge sends.
+    ///
+    /// # Panics
+    ///
+    /// Panics under a [`PullMode::Captured`] sink: an edge-dependent send
+    /// site cannot be captured, so reaching one means
+    /// [`VertexProgram::pull_mode`] misreported the phase.
+    pub fn mark_send(&mut self) -> bool {
+        match &mut self.pull {
+            PullSink::Mark(fired) => {
+                **fired = true;
+                true
+            }
+            PullSink::Capture(_) => {
+                panic!("edge-dependent send under a Captured pull sink: pull_mode() misreported")
+            }
+            PullSink::Route => false,
+        }
+    }
+
     /// Sends `m` to an arbitrary vertex by id (GPS's `sendToVertex`).
     ///
     /// # Panics
     ///
-    /// Panics if `dst` is out of range.
+    /// Panics if `dst` is out of range, or if called in a gathered (pull)
+    /// superstep — targeted sends cannot be reconstructed receiver-side,
+    /// so a phase that performs them must report
+    /// [`PullMode::Unsupported`]. Routing it anyway would silently drop
+    /// the message (gathered supersteps discard the outbox).
     pub fn send(&mut self, dst: NodeId, m: M) {
+        assert!(
+            matches!(self.pull, PullSink::Route),
+            "targeted send during a gathered superstep: pull_mode() misreported this phase"
+        );
         assert!(
             dst.0 < self.graph.num_nodes(),
             "message destination {dst} out of range"

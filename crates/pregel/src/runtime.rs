@@ -45,7 +45,9 @@ use crate::checkpoint::{
 use crate::globals::{AggMap, Globals};
 use crate::govern::{read_spill_into, write_spill, Governor, ResourceBudget};
 use crate::metrics::{Metrics, SuperstepMetrics};
-use crate::program::{MasterContext, MasterDecision, VertexContext, VertexProgram};
+use crate::program::{
+    MasterContext, MasterDecision, PullMode, PullSink, VertexContext, VertexProgram,
+};
 use gm_ckpt::{ByteReader, CheckpointStore, CkptError, FaultPlan, Persist};
 use gm_graph::{Graph, NodeId};
 use gm_obs::{Category, Tracer};
@@ -57,6 +59,58 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
+
+/// Environment variable read by [`PregelConfig::default`] for the message
+/// schedule: `"push"` (default), `"pull"`, or `"auto"`.
+pub const ENV_SCHEDULE: &str = "GM_SCHEDULE";
+/// Environment variable for [`PregelConfig::dense_threshold`], the
+/// `Schedule::Auto` dense-frontier cutoff (a fraction of `|E|`).
+pub const ENV_DENSE_THRESHOLD: &str = "GM_DENSE_THRESHOLD";
+
+/// How each superstep's messages move: sender-push (the classic Pregel
+/// exchange), receiver-pull (in-edge gather), or a per-superstep choice.
+///
+/// Pull and Auto require program cooperation: the program reports per
+/// superstep whether its vertex phase can be gathered
+/// ([`VertexProgram::pull_mode`]); supersteps that cannot always run push.
+/// Both directions produce bit-identical values, supersteps, and message
+/// metrics — the schedule is a pure execution-strategy knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Always push: vertices route messages, the exchange delivers them.
+    Push,
+    /// Gather every superstep the program supports. Programs with no
+    /// pullable superstep at all are rejected up front with
+    /// [`PregelError::NotPullable`].
+    Pull,
+    /// Ligra/GraphIt-style density heuristic, decided per superstep: pull
+    /// when the active frontier's expected out-edges exceed
+    /// [`PregelConfig::dense_threshold`] × `|E|`, push otherwise.
+    Auto,
+}
+
+impl Schedule {
+    /// Reads `GM_SCHEDULE`; unset or unrecognized values mean `Push`.
+    fn from_env() -> Self {
+        std::env::var(ENV_SCHEDULE)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(Schedule::Push)
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            x if x.eq_ignore_ascii_case("push") => Ok(Schedule::Push),
+            x if x.eq_ignore_ascii_case("pull") => Ok(Schedule::Pull),
+            x if x.eq_ignore_ascii_case("auto") => Ok(Schedule::Auto),
+            other => Err(format!("unknown schedule {other:?} (push|pull|auto)")),
+        }
+    }
+}
 
 /// Runtime configuration.
 #[derive(Clone, Debug)]
@@ -91,6 +145,13 @@ pub struct PregelConfig {
     /// ([`ResourceBudget::from_env`]), unbounded when the variables are
     /// unset.
     pub budget: ResourceBudget,
+    /// Push/pull/auto message-movement strategy. The default is read from
+    /// `GM_SCHEDULE` (push when unset).
+    pub schedule: Schedule,
+    /// `Schedule::Auto` cutoff: a superstep gathers when
+    /// `active_vertices × avg_degree > dense_threshold × |E|`. The default
+    /// is read from `GM_DENSE_THRESHOLD`, falling back to `0.05`.
+    pub dense_threshold: f64,
 }
 
 impl Default for PregelConfig {
@@ -107,6 +168,11 @@ impl Default for PregelConfig {
             faults: FaultPlan::none(),
             recovery: None,
             budget: ResourceBudget::from_env(),
+            schedule: Schedule::from_env(),
+            dense_threshold: std::env::var(ENV_DENSE_THRESHOLD)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0.05),
         }
     }
 }
@@ -158,6 +224,18 @@ impl PregelConfig {
         self.budget = budget;
         self
     }
+
+    /// Sets the push/pull/auto schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the `Schedule::Auto` dense-frontier threshold.
+    pub fn with_dense_threshold(mut self, threshold: f64) -> Self {
+        self.dense_threshold = threshold;
+        self
+    }
 }
 
 /// Errors surfaced by [`run`] and [`run_with_recovery`].
@@ -171,6 +249,15 @@ pub enum PregelError {
     /// Invalid [`PregelConfig`] (e.g. zero workers, zero checkpoint
     /// interval, zero superstep deadline).
     InvalidConfig(String),
+    /// [`Schedule::Pull`] was requested for a program that reports no
+    /// pullable vertex phase at all ([`VertexProgram::pull_supported`] is
+    /// `false`). Refusing up front is the contract: silently running push
+    /// would ignore the schedule, and gathering anyway would compute wrong
+    /// answers. Not recoverable — retrying cannot make a program pullable.
+    NotPullable {
+        /// Why the program cannot be gathered.
+        detail: String,
+    },
     /// A worker thread panicked during the given superstep (a vertex
     /// kernel bug, or an injected fault). Recoverable: a supervisor can
     /// restart the job from the latest valid snapshot.
@@ -260,6 +347,9 @@ impl fmt::Display for PregelError {
                 write!(f, "superstep limit of {limit} exceeded without halting")
             }
             PregelError::InvalidConfig(msg) => write!(f, "invalid pregel config: {msg}"),
+            PregelError::NotPullable { detail } => {
+                write!(f, "schedule 'pull' requires a pullable program: {detail}")
+            }
             PregelError::WorkerPanicked {
                 superstep,
                 worker,
@@ -589,6 +679,14 @@ where
             "superstep deadline must be nonzero".into(),
         )));
     }
+    if config.schedule == Schedule::Pull && !program.pull_supported() {
+        return Err(FailedRun::early(PregelError::NotPullable {
+            detail: "the program reports no pullable vertex phase \
+                     (every send targets computed destinations, or the payload \
+                     reads receiver-local state)"
+                .into(),
+        }));
+    }
     let n = graph.num_nodes() as usize;
     let num_workers = config.num_workers.min(n.max(1));
     let starts = partition(graph, num_workers);
@@ -638,13 +736,29 @@ where
         ckpt = Some(runner);
     }
 
-    // Build worker states either from `init` or from the restored
-    // vertex-indexed vectors, re-split across the current partition.
-    let (mut states, globals, drive_init): (Vec<WorkerState<P>>, Globals, DriveInit) = match resume
-    {
+    // Build worker states (halted flags + inboxes) and value stores either
+    // from `init` or from the restored vertex-indexed vectors, re-split
+    // across the current partition. The stores live in `Shared` behind
+    // per-worker `RwLock`s: a worker writes only its own store (compute),
+    // but gathered supersteps let every worker read every store.
+    let (mut states, store_data, globals, drive_init): (
+        Vec<WorkerState<P>>,
+        Vec<VertexStore<P>>,
+        Globals,
+        DriveInit,
+    ) = match resume {
         None => (
             (0..num_workers)
-                .map(|w| WorkerState::new(w, &starts, &init))
+                .map(|w| WorkerState::new(w, &starts))
+                .collect(),
+            (0..num_workers)
+                .map(|w| {
+                    let base = starts[w];
+                    let len = (starts[w + 1] - base) as usize;
+                    VertexStore::from_values(
+                        (0..len).map(|i| init(NodeId(base + i as u32))).collect(),
+                    )
+                })
                 .collect(),
             Globals::new(),
             DriveInit::fresh(graph.num_nodes()),
@@ -661,17 +775,19 @@ where
             // Split the vertex-indexed vectors at the partition boundaries,
             // back to front so each split is O(tail).
             let mut states = Vec::with_capacity(num_workers);
+            let mut store_data = Vec::with_capacity(num_workers);
             for w in (0..num_workers).rev() {
                 let base = starts[w] as usize;
                 states.push(WorkerState::from_restored(
                     w,
                     starts[w],
-                    values.split_off(base),
                     halted.split_off(base),
                     inboxes.split_off(base),
                 ));
+                store_data.push(VertexStore::from_values(values.split_off(base)));
             }
             states.reverse();
+            store_data.reverse();
             let drive_init = DriveInit {
                 superstep,
                 active_vertices: coord.active_vertices,
@@ -679,7 +795,7 @@ where
                 agg_prev: coord.agg_prev,
                 metrics,
             };
-            (states, coord.globals, drive_init)
+            (states, store_data, coord.globals, drive_init)
         }
     };
 
@@ -687,6 +803,7 @@ where
         graph,
         program: RwLock::new(program),
         globals: RwLock::new(globals),
+        stores: store_data.into_iter().map(RwLock::new).collect(),
         tracer: config.tracer.clone(),
         faults: config.faults.clone(),
         governor,
@@ -710,6 +827,7 @@ where
                 PhaseJob::Compute {
                     superstep,
                     mut spares,
+                    pull,
                     deadline_at,
                 } => {
                     let program = read_lock(&shared.program);
@@ -717,12 +835,15 @@ where
                     let spare = spares.pop().unwrap_or_default();
                     let cursor = AtomicU32::new(u32::MAX);
                     let out = catch_unwind(AssertUnwindSafe(|| {
+                        let mut store = write_lock(&shared.stores[0]);
                         state.compute_phase(
                             graph,
                             &**program,
                             &globals,
+                            &mut store,
                             &starts,
                             superstep,
+                            pull,
                             spare,
                             &shared.faults,
                             shared.tracer.as_ref(),
@@ -759,9 +880,36 @@ where
                         ))),
                     }
                 }
+                PhaseJob::Gather {
+                    superstep,
+                    mode,
+                    deadline_at,
+                } => {
+                    let program = read_lock(&shared.program);
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        state.gather_phase(
+                            graph,
+                            &**program,
+                            &shared.stores,
+                            &starts,
+                            superstep,
+                            mode,
+                            shared.tracer.as_ref(),
+                            deadline_at,
+                        )
+                    }));
+                    match out {
+                        Ok(Ok(out)) => Ok(PhaseResult::Gathered(vec![out])),
+                        Ok(Err(failure)) => Err(PhaseFailure::Worker(failure)),
+                        Err(payload) => Err(PhaseFailure::Worker(WorkerFailure::from_panic(
+                            0, None, payload,
+                        ))),
+                    }
+                }
                 PhaseJob::Snapshot => {
                     let out = catch_unwind(AssertUnwindSafe(|| {
-                        state.snapshot_phase(shared.tracer.as_ref())
+                        let store = read_lock(&shared.stores[0]);
+                        state.snapshot_phase(&store.values, shared.tracer.as_ref())
                     }));
                     match out {
                         Ok(out) => Ok(PhaseResult::Snapshotted(vec![out])),
@@ -772,10 +920,8 @@ where
                 }
             },
         )?;
-        return Ok(PregelResult {
-            values: state.values,
-            metrics,
-        });
+        let values = std::mem::take(&mut write_lock(&shared.stores[0]).values);
+        return Ok(PregelResult { values, metrics });
     }
 
     // Persistent worker pool: one thread per worker for the whole run,
@@ -806,6 +952,7 @@ where
                 PhaseJob::Compute {
                     superstep,
                     spares,
+                    pull,
                     deadline_at,
                 } => {
                     let mut spares = spares.into_iter();
@@ -814,6 +961,7 @@ where
                         tx.send(Job::Compute {
                             superstep,
                             spare,
+                            pull,
                             deadline_at,
                         })
                         .map_err(|_| PhaseFailure::ChannelClosed)?;
@@ -839,6 +987,24 @@ where
                         num_workers,
                     )?))
                 }
+                PhaseJob::Gather {
+                    superstep,
+                    mode,
+                    deadline_at,
+                } => {
+                    for tx in &job_txs {
+                        tx.send(Job::Gather {
+                            superstep,
+                            mode,
+                            deadline_at,
+                        })
+                        .map_err(|_| PhaseFailure::ChannelClosed)?;
+                    }
+                    Ok(PhaseResult::Gathered(collect_gather_replies(
+                        &reply_rx,
+                        num_workers,
+                    )?))
+                }
                 PhaseJob::Snapshot => {
                     for tx in &job_txs {
                         tx.send(Job::Snapshot)
@@ -857,12 +1023,10 @@ where
         for tx in &job_txs {
             let _ = tx.send(Job::Finish);
         }
-        let mut values = Vec::with_capacity(n);
         let mut join_panic = None;
         for handle in handles {
-            match handle.join() {
-                Ok(state) => values.extend(state.values),
-                Err(panic) => join_panic = Some(panic),
+            if let Err(panic) = handle.join() {
+                join_panic = Some(panic);
             }
         }
         let metrics = drive_result?;
@@ -870,6 +1034,12 @@ where
             // A panic escaped a worker's catch_unwind — not an injected or
             // kernel fault; re-raise it.
             std::panic::resume_unwind(panic);
+        }
+        // Every worker has parked; assemble the final values from the
+        // shared stores in ascending worker order.
+        let mut values = Vec::with_capacity(n);
+        for store in &shared.stores {
+            values.append(&mut write_lock(store).values);
         }
         Ok(PregelResult { values, metrics })
     })
@@ -983,10 +1153,15 @@ where
 /// lock because the master kernel needs `&mut P` between phases while the
 /// workers read `&P` during them; the lock is only ever contended across
 /// phase boundaries, never within one.
-struct Shared<'a, P> {
+struct Shared<'a, P: VertexProgram> {
     graph: &'a Graph,
     program: RwLock<&'a mut P>,
     globals: RwLock<Globals>,
+    /// One per-vertex store per worker. A worker takes the write lock on
+    /// its own store for compute/snapshot phases; gathered supersteps take
+    /// read locks on all stores (phases are barrier-separated, so the two
+    /// access patterns never overlap).
+    stores: Vec<RwLock<VertexStore<P>>>,
     /// Trace destination, cloned out of the config; `None` disables all
     /// instrumentation at the cost of one branch per phase.
     tracer: Option<Tracer>,
@@ -1006,6 +1181,33 @@ fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// One worker's per-vertex state, kept in [`Shared`] so gathered
+/// supersteps can read other workers' vertices. `captured`/`sent` are
+/// intra-superstep pull scratch: reset at the top of every gathered
+/// compute phase and consumed by the same superstep's gather, so they
+/// never need to be checkpointed.
+struct VertexStore<P: VertexProgram> {
+    values: Vec<P::VertexValue>,
+    /// Captured broadcast payload per local vertex
+    /// ([`PullMode::Captured`] supersteps).
+    captured: Vec<Option<P::Message>>,
+    /// Whether the vertex's send site fired
+    /// ([`PullMode::Recomputed`] supersteps).
+    sent: Vec<bool>,
+}
+
+impl<P: VertexProgram> VertexStore<P> {
+    fn from_values(values: Vec<P::VertexValue>) -> Self {
+        VertexStore {
+            values,
+            // Sized lazily at the first gathered superstep; push-only runs
+            // never allocate them.
+            captured: Vec::new(),
+            sent: Vec::new(),
+        }
+    }
+}
+
 /// A phase dispatched by the BSP driver to its executor (inline or pool).
 enum PhaseJob<M> {
     /// Run vertex kernels + combining for this superstep. `spares[w]` is
@@ -1014,6 +1216,10 @@ enum PhaseJob<M> {
     Compute {
         superstep: u32,
         spares: Vec<RawOutbox<M>>,
+        /// Pull sink the kernels run under: `Unsupported` routes (push),
+        /// otherwise sends are absorbed into the worker's store for the
+        /// gather that follows.
+        pull: PullMode,
         /// Cooperative watchdog cutoff for this superstep, when budgeted.
         deadline_at: Option<Instant>,
     },
@@ -1021,6 +1227,13 @@ enum PhaseJob<M> {
     /// bucket list in ascending sender order.
     Deliver {
         incoming: Vec<IncomingRouted<M>>,
+        deadline_at: Option<Instant>,
+    },
+    /// Gathered replacement for the exchange: every worker walks its owned
+    /// vertices' in-edges and reads the senders' messages in place.
+    Gather {
+        superstep: u32,
+        mode: PullMode,
         deadline_at: Option<Instant>,
     },
     /// Serialize every worker's vertex range (values, halted flags,
@@ -1032,6 +1245,7 @@ enum PhaseJob<M> {
 enum PhaseResult<M> {
     Computed(Vec<ComputeOut<M>>),
     Delivered(Vec<DeliverOut<M>>),
+    Gathered(Vec<GatherOut>),
     Snapshotted(Vec<SnapshotOut>),
 }
 
@@ -1340,10 +1554,52 @@ where
             break;
         }
 
+        // ---- direction decision (push vs gathered superstep) ----
+        // Decided after the master so state-machine programs answer
+        // `pull_mode` for the phase the master just selected.
+        let mode = match config.schedule {
+            Schedule::Push => PullMode::Unsupported,
+            Schedule::Pull => read_lock(&shared.program).pull_mode(),
+            Schedule::Auto => {
+                let m = read_lock(&shared.program).pull_mode();
+                if m == PullMode::Unsupported {
+                    m
+                } else {
+                    // Ligra/GraphIt density heuristic: gather when the
+                    // frontier's expected out-edges exceed the configured
+                    // fraction of |E| (dense frontier), push otherwise.
+                    let edges = shared.graph.num_edges() as f64;
+                    let avg_degree = edges / f64::from(num_nodes.max(1));
+                    let frontier_edges = f64::from(active_vertices) * avg_degree;
+                    if frontier_edges > config.dense_threshold * edges {
+                        m
+                    } else {
+                        PullMode::Unsupported
+                    }
+                }
+            }
+        };
+        let pulled = mode != PullMode::Unsupported;
+        if config.schedule != Schedule::Push {
+            if let Some(t) = tracer {
+                t.instant(
+                    "direction",
+                    Category::Runtime,
+                    0,
+                    vec![
+                        ("superstep", superstep.into()),
+                        ("pull", pulled.into()),
+                        ("active", active_vertices.into()),
+                    ],
+                );
+            }
+        }
+
         // ---- vertex + combine phase (parallel) ----
         let job = PhaseJob::Compute {
             superstep,
             spares: std::mem::take(&mut spares),
+            pull: mode,
             deadline_at,
         };
         let computes = match phase(job).map_err(|f| {
@@ -1364,6 +1620,7 @@ where
         // ---- barrier: merge worker outputs in ascending worker order ----
         let mut step = SuperstepMetrics {
             master_time,
+            pulled,
             ..SuperstepMetrics::default()
         };
         agg_prev = AggMap::new();
@@ -1424,67 +1681,135 @@ where
             );
         }
 
-        // ---- exchange phase: route buckets, deliver in parallel ----
-        // The transpose moves whole buckets (sender → destination), never
-        // individual messages; delivery below moves the messages once.
-        let exchange_start_us = tracer.map(Tracer::now_us);
-        let exchange_started = Instant::now();
-        let mut incoming: Vec<IncomingRouted<P::Message>> = (0..num_workers)
-            .map(|_| Vec::with_capacity(num_workers))
-            .collect();
-        for out in computes {
-            for (dest, bucket) in out.outbox.into_iter().enumerate() {
-                incoming[dest].push(bucket);
-            }
-        }
-        let delivers = match phase(PhaseJob::Deliver {
-            incoming,
-            deadline_at,
-        })
-        .map_err(|f| {
-            fail(
-                failure_error(f, superstep, shared.governor.deadline),
-                superstep,
-            )
-        })? {
-            PhaseResult::Delivered(outs) => outs,
-            _ => {
-                return Err(fail(
-                    failure_error(PhaseFailure::MismatchedReply, superstep, None),
-                    superstep,
-                ))
-            }
-        };
-        step.exchange_time = exchange_started.elapsed();
-        if let (Some(t), Some(ts)) = (tracer, exchange_start_us) {
-            t.span_at(
-                "exchange",
-                Category::Runtime,
-                0,
-                ts,
-                step.exchange_time.as_micros() as u64,
-                vec![
-                    ("superstep", superstep.into()),
-                    ("messages", step.messages_sent.into()),
-                    ("remote", step.remote_messages.into()),
-                ],
-            );
-        }
-
         pending_messages = 0;
         let mut reactivated: u32 = 0;
-        spares = (0..num_workers)
-            .map(|_| Vec::with_capacity(num_workers))
-            .collect();
-        for out in delivers {
-            pending_messages += out.delivered;
-            reactivated += out.reactivated;
-            metrics.spill.files_replayed += out.files_replayed;
-            metrics.spill.spill_read_time += out.spill_read_time;
-            // Reverse transpose: destination `d` drained buckets from every
-            // sender; hand each empty bucket back to its sender for reuse.
-            for (sender, bucket) in out.spent.into_iter().enumerate() {
-                spares[sender].push(bucket);
+        if pulled {
+            // ---- gather phase: receivers pull over in-edges ----
+            // No buckets crossed worker boundaries (sends were absorbed at
+            // the sink), so the exchange slot runs a gather instead: every
+            // worker reads all value stores and folds its own inboxes. The
+            // untouched outbox buckets go straight back to their senders.
+            let gather_start_us = tracer.map(Tracer::now_us);
+            let gather_started = Instant::now();
+            spares = (0..num_workers).map(|_| Vec::new()).collect();
+            for (sender, out) in computes.into_iter().enumerate() {
+                for bucket in out.outbox {
+                    spares[sender].push(match bucket {
+                        RoutedBucket::Mem(b) => b,
+                        RoutedBucket::Spilled { spare, .. } => spare,
+                    });
+                }
+            }
+            let gathers = match phase(PhaseJob::Gather {
+                superstep,
+                mode,
+                deadline_at,
+            })
+            .map_err(|f| {
+                fail(
+                    failure_error(f, superstep, shared.governor.deadline),
+                    superstep,
+                )
+            })? {
+                PhaseResult::Gathered(outs) => outs,
+                _ => {
+                    return Err(fail(
+                        failure_error(PhaseFailure::MismatchedReply, superstep, None),
+                        superstep,
+                    ))
+                }
+            };
+            step.exchange_time = gather_started.elapsed();
+            for out in &gathers {
+                pending_messages += out.delivered;
+                reactivated += out.reactivated;
+                step.messages_sent += out.messages_sent;
+                step.message_bytes += out.message_bytes;
+                step.remote_messages += out.remote_messages;
+                step.remote_message_bytes += out.remote_message_bytes;
+            }
+            if let (Some(t), Some(ts)) = (tracer, gather_start_us) {
+                t.span_at(
+                    "gather",
+                    Category::Runtime,
+                    0,
+                    ts,
+                    step.exchange_time.as_micros() as u64,
+                    vec![
+                        ("superstep", superstep.into()),
+                        ("messages", step.messages_sent.into()),
+                        ("remote", step.remote_messages.into()),
+                    ],
+                );
+            }
+            // Gathered messages never sit in a combine→delivery window, so
+            // they bypass the in-flight budget entirely; account for what
+            // the governor never saw.
+            if shared.governor.share_per_worker.is_some() {
+                metrics.spill.pull_bypassed_supersteps += 1;
+                metrics.spill.pull_bypassed_bytes += step.message_bytes;
+            }
+        } else {
+            // ---- exchange phase: route buckets, deliver in parallel ----
+            // The transpose moves whole buckets (sender → destination), never
+            // individual messages; delivery below moves the messages once.
+            let exchange_start_us = tracer.map(Tracer::now_us);
+            let exchange_started = Instant::now();
+            let mut incoming: Vec<IncomingRouted<P::Message>> = (0..num_workers)
+                .map(|_| Vec::with_capacity(num_workers))
+                .collect();
+            for out in computes {
+                for (dest, bucket) in out.outbox.into_iter().enumerate() {
+                    incoming[dest].push(bucket);
+                }
+            }
+            let delivers = match phase(PhaseJob::Deliver {
+                incoming,
+                deadline_at,
+            })
+            .map_err(|f| {
+                fail(
+                    failure_error(f, superstep, shared.governor.deadline),
+                    superstep,
+                )
+            })? {
+                PhaseResult::Delivered(outs) => outs,
+                _ => {
+                    return Err(fail(
+                        failure_error(PhaseFailure::MismatchedReply, superstep, None),
+                        superstep,
+                    ))
+                }
+            };
+            step.exchange_time = exchange_started.elapsed();
+            if let (Some(t), Some(ts)) = (tracer, exchange_start_us) {
+                t.span_at(
+                    "exchange",
+                    Category::Runtime,
+                    0,
+                    ts,
+                    step.exchange_time.as_micros() as u64,
+                    vec![
+                        ("superstep", superstep.into()),
+                        ("messages", step.messages_sent.into()),
+                        ("remote", step.remote_messages.into()),
+                    ],
+                );
+            }
+
+            spares = (0..num_workers)
+                .map(|_| Vec::with_capacity(num_workers))
+                .collect();
+            for out in delivers {
+                pending_messages += out.delivered;
+                reactivated += out.reactivated;
+                metrics.spill.files_replayed += out.files_replayed;
+                metrics.spill.spill_read_time += out.spill_read_time;
+                // Reverse transpose: destination `d` drained buckets from every
+                // sender; hand each empty bucket back to its sender for reuse.
+                for (sender, bucket) in out.spent.into_iter().enumerate() {
+                    spares[sender].push(bucket);
+                }
             }
         }
         active_vertices = not_halted + reactivated;
@@ -1602,15 +1927,39 @@ struct DeliverOut<M> {
     spill_read_time: Duration,
 }
 
+/// Per-worker results of one gather phase (a gathered superstep's
+/// replacement for exchange + delivery). The message counters meter what
+/// the equivalent push superstep would have put on the wire, per
+/// sender-worker segment, so structural metrics stay bit-identical
+/// across schedules.
+struct GatherOut {
+    /// Messages folded into this worker's inboxes (next superstep's
+    /// pending).
+    delivered: u64,
+    /// Halted vertices reactivated by a gathered message.
+    reactivated: u32,
+    messages_sent: u64,
+    message_bytes: u64,
+    /// Messages whose sender lives on a different worker.
+    remote_messages: u64,
+    remote_message_bytes: u64,
+}
+
 /// Jobs sent to a pooled worker.
 enum Job<M> {
     Compute {
         superstep: u32,
         spare: RawOutbox<M>,
+        pull: PullMode,
         deadline_at: Option<Instant>,
     },
     Deliver {
         incoming: IncomingRouted<M>,
+        deadline_at: Option<Instant>,
+    },
+    Gather {
+        superstep: u32,
+        mode: PullMode,
         deadline_at: Option<Instant>,
     },
     Snapshot,
@@ -1626,6 +1975,10 @@ enum Reply<M> {
     Delivered {
         worker: usize,
         out: DeliverOut<M>,
+    },
+    Gathered {
+        worker: usize,
+        out: GatherOut,
     },
     Snapshotted {
         worker: usize,
@@ -1662,6 +2015,24 @@ fn collect_deliver_replies<M>(
     for _ in 0..num_workers {
         match reply_rx.recv() {
             Ok(Reply::Delivered { worker, out }) => outs[worker] = Some(out),
+            Ok(Reply::Failed(failure)) => return Err(PhaseFailure::Worker(failure)),
+            Err(_) => return Err(PhaseFailure::ChannelClosed),
+            Ok(_) => return Err(PhaseFailure::MismatchedReply),
+        }
+    }
+    outs.into_iter()
+        .map(|o| o.ok_or(PhaseFailure::MismatchedReply))
+        .collect()
+}
+
+fn collect_gather_replies<M>(
+    reply_rx: &mpsc::Receiver<Reply<M>>,
+    num_workers: usize,
+) -> Result<Vec<GatherOut>, PhaseFailure> {
+    let mut outs: Vec<Option<GatherOut>> = (0..num_workers).map(|_| None).collect();
+    for _ in 0..num_workers {
+        match reply_rx.recv() {
+            Ok(Reply::Gathered { worker, out }) => outs[worker] = Some(out),
             Ok(Reply::Failed(failure)) => return Err(PhaseFailure::Worker(failure)),
             Err(_) => return Err(PhaseFailure::ChannelClosed),
             Ok(_) => return Err(PhaseFailure::MismatchedReply),
@@ -1711,18 +2082,22 @@ where
             Job::Compute {
                 superstep,
                 spare,
+                pull,
                 deadline_at,
             } => {
                 let cursor = AtomicU32::new(u32::MAX);
                 let out = catch_unwind(AssertUnwindSafe(|| {
                     let program = read_lock(&shared.program);
                     let globals = read_lock(&shared.globals);
+                    let mut store = write_lock(&shared.stores[index]);
                     state.compute_phase(
                         shared.graph,
                         &**program,
                         &globals,
+                        &mut store,
                         starts,
                         superstep,
+                        pull,
                         spare,
                         &shared.faults,
                         shared.tracer.as_ref(),
@@ -1756,9 +2131,36 @@ where
                     }
                 }
             }
+            Job::Gather {
+                superstep,
+                mode,
+                deadline_at,
+            } => {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    let program = read_lock(&shared.program);
+                    state.gather_phase(
+                        shared.graph,
+                        &**program,
+                        &shared.stores,
+                        starts,
+                        superstep,
+                        mode,
+                        shared.tracer.as_ref(),
+                        deadline_at,
+                    )
+                }));
+                match out {
+                    Ok(Ok(out)) => Reply::Gathered { worker: index, out },
+                    Ok(Err(failure)) => Reply::Failed(failure),
+                    Err(payload) => {
+                        Reply::Failed(WorkerFailure::from_panic(index as u32, None, payload))
+                    }
+                }
+            }
             Job::Snapshot => {
                 let out = catch_unwind(AssertUnwindSafe(|| {
-                    state.snapshot_phase(shared.tracer.as_ref())
+                    let store = read_lock(&shared.stores[index]);
+                    state.snapshot_phase(&store.values, shared.tracer.as_ref())
                 }));
                 match out {
                     Ok(out) => Reply::Snapshotted { worker: index, out },
@@ -1778,12 +2180,13 @@ where
 }
 
 /// A worker's share of the computation: a contiguous vertex range with its
-/// values, halted flags, and double-buffered inboxes. Owned by one pool
-/// thread for the whole run (or by the calling thread when single-worker).
+/// halted flags and double-buffered inboxes. Owned by one pool thread for
+/// the whole run (or by the calling thread when single-worker). The vertex
+/// values live apart in [`Shared::stores`] so gathered supersteps can read
+/// every range.
 struct WorkerState<P: VertexProgram> {
     index: usize,
     base: u32,
-    values: Vec<P::VertexValue>,
     halted: Vec<bool>,
     /// Messages being consumed by this superstep's vertex kernels.
     inbox_in: Vec<Vec<P::Message>>,
@@ -1793,13 +2196,12 @@ struct WorkerState<P: VertexProgram> {
 }
 
 impl<P: VertexProgram> WorkerState<P> {
-    fn new(index: usize, starts: &[u32], init: &impl Fn(NodeId) -> P::VertexValue) -> Self {
+    fn new(index: usize, starts: &[u32]) -> Self {
         let base = starts[index];
         let len = (starts[index + 1] - base) as usize;
         WorkerState {
             index,
             base,
-            values: (0..len).map(|i| init(NodeId(base + i as u32))).collect(),
             halted: vec![false; len],
             inbox_in: (0..len).map(|_| Vec::new()).collect(),
             inbox_out: (0..len).map(|_| Vec::new()).collect(),
@@ -1812,15 +2214,13 @@ impl<P: VertexProgram> WorkerState<P> {
     fn from_restored(
         index: usize,
         base: u32,
-        values: Vec<P::VertexValue>,
         halted: Vec<bool>,
         inbox_in: Vec<Vec<P::Message>>,
     ) -> Self {
-        let len = values.len();
+        let len = halted.len();
         WorkerState {
             index,
             base,
-            values,
             halted,
             inbox_in,
             inbox_out: (0..len).map(|_| Vec::new()).collect(),
@@ -1828,15 +2228,21 @@ impl<P: VertexProgram> WorkerState<P> {
     }
 
     /// Serializes this worker's range for a checkpoint: values, halted
-    /// flags, and the pending inbox, each in local vertex order.
-    fn snapshot_phase(&self, tracer: Option<&Tracer>) -> SnapshotOut
+    /// flags, and the pending inbox, each in local vertex order. The
+    /// values come from this worker's [`VertexStore`], read-locked by the
+    /// caller.
+    fn snapshot_phase(
+        &self,
+        store_values: &[P::VertexValue],
+        tracer: Option<&Tracer>,
+    ) -> SnapshotOut
     where
         P::VertexValue: Persist,
         P::Message: Persist,
     {
         let start_us = tracer.map(Tracer::now_us);
         let mut values = Vec::new();
-        for v in &self.values {
+        for v in store_values {
             v.persist(&mut values);
         }
         let mut halted = Vec::new();
@@ -1878,8 +2284,10 @@ impl<P: VertexProgram> WorkerState<P> {
         graph: &Graph,
         program: &P,
         globals: &Globals,
+        store: &mut VertexStore<P>,
         starts: &[u32],
         superstep: u32,
+        pull: PullMode,
         spare: RawOutbox<P::Message>,
         faults: &FaultPlan,
         tracer: Option<&Tracer>,
@@ -1922,10 +2330,30 @@ impl<P: VertexProgram> WorkerState<P> {
         let mut outbox = spare;
         outbox.resize_with(num_workers, Vec::new);
         debug_assert!(outbox.iter().all(|b| b.is_empty()));
+        let VertexStore {
+            values,
+            captured,
+            sent,
+        } = store;
+        let len = values.len();
+        // Intra-superstep gather scratch: reset here, consumed by this
+        // superstep's gather phase. A vertex the loop below skips sends
+        // nothing, exactly like push.
+        match pull {
+            PullMode::Unsupported => {}
+            PullMode::Captured => {
+                captured.clear();
+                captured.resize(len, None);
+            }
+            PullMode::Recomputed => {
+                sent.clear();
+                sent.resize(len, false);
+            }
+        }
         let mut agg = AggMap::new();
         let mut computed: u32 = 0;
         let mut voted_halt: u32 = 0;
-        for local in 0..self.values.len() {
+        for local in 0..len {
             if self.halted[local] && self.inbox_in[local].is_empty() {
                 continue;
             }
@@ -1952,8 +2380,13 @@ impl<P: VertexProgram> WorkerState<P> {
                 outbox: &mut outbox,
                 range_starts: starts,
                 halted: &mut self.halted[local],
+                pull: match pull {
+                    PullMode::Unsupported => PullSink::Route,
+                    PullMode::Captured => PullSink::Capture(&mut captured[local]),
+                    PullMode::Recomputed => PullSink::Mark(&mut sent[local]),
+                },
             };
-            program.vertex_compute(&mut ctx, &mut self.values[local], &self.inbox_in[local]);
+            program.vertex_compute(&mut ctx, &mut values[local], &self.inbox_in[local]);
             if self.halted[local] {
                 voted_halt += 1;
             }
@@ -2137,6 +2570,154 @@ impl<P: VertexProgram> WorkerState<P> {
             spilled_message_bytes,
             spill_file_bytes,
             spill_write_time,
+        })
+    }
+
+    /// A gathered superstep's replacement for exchange + delivery: each
+    /// owned vertex walks its in-edges (reverse CSR) and folds the
+    /// senders' messages in place, without the messages ever entering an
+    /// outbox.
+    ///
+    /// Determinism mirrors push exactly. `in_neighbors` yields in-edges in
+    /// forward-edge-id order — (sender ascending, adjacency position
+    /// ascending) — which is precisely the order the push path's stable
+    /// sort-by-destination leaves a sender bucket in, and senders group
+    /// into ascending worker segments just like delivery appends buckets
+    /// in ascending sender-worker order. The combiner folds within a
+    /// segment only (push combines within one sender's bucket only), so
+    /// the resulting inbox contents, message/byte meters, and reactivation
+    /// counts are bit-identical to a push superstep's.
+    #[allow(clippy::too_many_arguments)] // one per phase input, all distinct
+    fn gather_phase(
+        &mut self,
+        graph: &Graph,
+        program: &P,
+        stores: &[RwLock<VertexStore<P>>],
+        starts: &[u32],
+        superstep: u32,
+        mode: PullMode,
+        tracer: Option<&Tracer>,
+        deadline_at: Option<Instant>,
+    ) -> Result<GatherOut, WorkerFailure> {
+        let worker = self.index as u32;
+        let start_us = tracer.map(Tracer::now_us);
+        // Every store read-locked for the whole phase. Safe: compute and
+        // gather are barrier-separated, so no worker holds its write lock
+        // here.
+        let guards: Vec<_> = stores.iter().map(read_lock).collect();
+        let has_combiner = program.has_combiner();
+        let mut delivered: u64 = 0;
+        let mut reactivated: u32 = 0;
+        let mut messages_sent: u64 = 0;
+        let mut message_bytes: u64 = 0;
+        let mut remote_messages: u64 = 0;
+        let mut remote_message_bytes: u64 = 0;
+        for local in 0..self.halted.len() {
+            // Cooperative watchdog, same cadence as the compute loop.
+            if local & 0xFF == 0 {
+                if let Some(at) = deadline_at {
+                    if Instant::now() >= at {
+                        return Err(WorkerFailure::Deadline { worker });
+                    }
+                }
+            }
+            let inbox = &mut self.inbox_out[local];
+            debug_assert!(inbox.is_empty());
+            // Sender-worker segment cursor; in-edges arrive with ascending
+            // sender ids, so it only moves forward.
+            let mut sw = 0usize;
+            let mut seg_start = 0usize;
+            for (src, eid) in graph.in_neighbors(NodeId(self.base + local as u32)) {
+                while src.0 >= starts[sw + 1] {
+                    // Segment boundary: meter the fold results as the
+                    // messages sender-worker `sw` would have put on the
+                    // wire.
+                    let n = (inbox.len() - seg_start) as u64;
+                    if n > 0 {
+                        let bytes: u64 = inbox[seg_start..]
+                            .iter()
+                            .map(|m| program.message_bytes(m))
+                            .sum();
+                        messages_sent += n;
+                        message_bytes += bytes;
+                        if sw != self.index {
+                            remote_messages += n;
+                            remote_message_bytes += bytes;
+                        }
+                        seg_start = inbox.len();
+                    }
+                    sw += 1;
+                }
+                let src_local = (src.0 - starts[sw]) as usize;
+                let m = match mode {
+                    PullMode::Captured => match &guards[sw].captured[src_local] {
+                        Some(m) => m.clone(),
+                        None => continue,
+                    },
+                    PullMode::Recomputed => {
+                        if !guards[sw].sent[src_local] {
+                            continue;
+                        }
+                        program.pull_message(graph, src, eid, &guards[sw].values[src_local])
+                    }
+                    PullMode::Unsupported => {
+                        unreachable!("gather phase dispatched with no pull mode")
+                    }
+                };
+                if has_combiner && inbox.len() > seg_start {
+                    let prev = inbox.last_mut().expect("segment is non-empty");
+                    match program.combine(prev, &m) {
+                        Some(combined) => *prev = combined,
+                        None => inbox.push(m),
+                    }
+                } else {
+                    inbox.push(m);
+                }
+            }
+            // Close the final segment.
+            let n = (inbox.len() - seg_start) as u64;
+            if n > 0 {
+                let bytes: u64 = inbox[seg_start..]
+                    .iter()
+                    .map(|m| program.message_bytes(m))
+                    .sum();
+                messages_sent += n;
+                message_bytes += bytes;
+                if sw != self.index {
+                    remote_messages += n;
+                    remote_message_bytes += bytes;
+                }
+            }
+            delivered += inbox.len() as u64;
+            if self.halted[local] && !inbox.is_empty() {
+                reactivated += 1;
+            }
+        }
+        drop(guards);
+        if let Some(t) = tracer {
+            t.span(
+                "gather",
+                Category::Runtime,
+                self.index as u32 + 1,
+                start_us.unwrap_or(0),
+                vec![
+                    ("superstep", superstep.into()),
+                    ("delivered", delivered.into()),
+                    ("reactivated", reactivated.into()),
+                    ("remote", remote_messages.into()),
+                ],
+            );
+        }
+        // Same double-buffer handoff as delivery: the gathered messages
+        // become the next superstep's `inbox_in`.
+        std::mem::swap(&mut self.inbox_in, &mut self.inbox_out);
+        Ok(GatherOut {
+            delivered,
+            reactivated,
+            messages_sent,
+            message_bytes,
+            remote_messages,
+            remote_message_bytes,
         })
     }
 
