@@ -14,23 +14,46 @@
 //! `GM_SCHEDULE=auto|pull` selects the message direction (the schedule
 //! line and per-superstep direction decisions are printed; structural
 //! parity must hold regardless, since the gather is metered identically).
+//! `--metrics-listen <addr>` serves live Prometheus metrics while the
+//! benchmark runs, `--metrics-file <path>` writes the final exposition,
+//! and `--bench-json <path>` writes the snapshot `regress` diffs against
+//! `BENCH_baseline.json`.
 
 use gm_algorithms::{manual, sources};
+use gm_bench::regress::{Entry, Report};
 use gm_bench::{
     args_for, bench_config, boy_marks, sssp_root, table1_graphs_traced, time_min, weights,
-    CkptArgs, TraceArgs,
+    CkptArgs, MetricsArgs, TraceArgs,
 };
 use gm_core::CompileOptions;
 use gm_graph::Graph;
 use gm_interp::run_compiled;
 use gm_obs::Tracer;
 use gm_pregel::Metrics;
+use std::path::PathBuf;
 
 fn reps() -> usize {
     std::env::var("GM_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(3)
+}
+
+/// Parses `--bench-json <path>` out of the process arguments.
+fn bench_json_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --bench-json needs a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
 }
 
 struct Row {
@@ -48,10 +71,11 @@ fn run_generated(
     g: &Graph,
     tracer: Option<&Tracer>,
     ckpt: &CkptArgs,
+    metrics: &MetricsArgs,
 ) -> (f64, Metrics) {
     let compiled = gm_bench::compile_source_with(src, &CompileOptions::default(), tracer);
     let args = args_for(alg, g);
-    let mut cfg = ckpt.apply(bench_config());
+    let mut cfg = metrics.apply(ckpt.apply(bench_config()));
     if let Some(t) = tracer {
         cfg = cfg.with_tracer(t.clone());
     }
@@ -65,11 +89,14 @@ fn run_generated(
 fn main() {
     let trace = TraceArgs::from_env();
     let ckpt = CkptArgs::from_env();
+    let metrics = MetricsArgs::from_env();
+    let bench_json = bench_json_path();
+    let _server = metrics.serve();
     let tracer = trace.tracer();
     let tracer = tracer.as_ref();
     let workloads = table1_graphs_traced(tracer);
     let mut rows: Vec<Row> = Vec::new();
-    let cfg = ckpt.apply(bench_config());
+    let cfg = metrics.apply(ckpt.apply(bench_config()));
 
     for w in &workloads {
         let g = &w.graph;
@@ -77,8 +104,14 @@ fn main() {
         // paper, which pairs it with the synthetic random graph).
         if w.name == "bipartite" {
             let marks = boy_marks(g);
-            let (gen_ms, gen_m) =
-                run_generated("bipartite", sources::BIPARTITE_MATCHING, g, tracer, &ckpt);
+            let (gen_ms, gen_m) = run_generated(
+                "bipartite",
+                sources::BIPARTITE_MATCHING,
+                g,
+                tracer,
+                &ckpt,
+                &metrics,
+            );
             trace.write_metrics_json(&format!("bipartite.{}", w.name), &gen_m);
             let (man_t, man_m) = time_min(reps(), || {
                 let out = manual::run_bipartite_matching(g, &marks, &cfg).expect("manual run");
@@ -96,7 +129,8 @@ fn main() {
         }
 
         let ages = gm_bench::ages(g);
-        let (gen_ms, gen_m) = run_generated("avg_teen", sources::AVG_TEEN, g, tracer, &ckpt);
+        let (gen_ms, gen_m) =
+            run_generated("avg_teen", sources::AVG_TEEN, g, tracer, &ckpt, &metrics);
         trace.write_metrics_json(&format!("avg_teen.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_avg_teen(g, &ages, 25, &cfg).expect("manual run");
@@ -111,7 +145,8 @@ fn main() {
             manual: man_m,
         });
 
-        let (gen_ms, gen_m) = run_generated("pagerank", sources::PAGERANK, g, tracer, &ckpt);
+        let (gen_ms, gen_m) =
+            run_generated("pagerank", sources::PAGERANK, g, tracer, &ckpt, &metrics);
         trace.write_metrics_json(&format!("pagerank.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_pagerank(g, 1e-9, 0.85, 10, &cfg).expect("manual run");
@@ -127,7 +162,14 @@ fn main() {
         });
 
         let member = gm_bench::membership(g);
-        let (gen_ms, gen_m) = run_generated("conductance", sources::CONDUCTANCE, g, tracer, &ckpt);
+        let (gen_ms, gen_m) = run_generated(
+            "conductance",
+            sources::CONDUCTANCE,
+            g,
+            tracer,
+            &ckpt,
+            &metrics,
+        );
         trace.write_metrics_json(&format!("conductance.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_conductance(g, &member, &cfg).expect("manual run");
@@ -143,7 +185,7 @@ fn main() {
         });
 
         let ws = weights(g);
-        let (gen_ms, gen_m) = run_generated("sssp", sources::SSSP, g, tracer, &ckpt);
+        let (gen_ms, gen_m) = run_generated("sssp", sources::SSSP, g, tracer, &ckpt, &metrics);
         trace.write_metrics_json(&format!("sssp.{}", w.name), &gen_m);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_sssp(g, sssp_root(g), &ws, &cfg).expect("manual run");
@@ -192,20 +234,20 @@ fn main() {
             r.algorithm, r.graph
         );
     }
-    if cfg.schedule != gm_pregel::Schedule::Push {
-        println!();
-        println!("Per-superstep direction decisions (generated side, `^` = gathered):");
-        for r in &rows {
-            println!(
-                "  {:<10} {:<10} pull {:>3}/{:<3} switches {:>2}  [{}]",
-                r.algorithm,
-                r.graph,
-                r.generated.pull_supersteps,
-                r.generated.supersteps,
-                r.generated.direction_switches,
-                gm_bench::direction_string(&r.generated),
-            );
-        }
+    // Printed for every schedule (all-push runs show pull 0/N with no
+    // switches), so the columns are grep-stable across configurations.
+    println!();
+    println!("Per-superstep direction decisions (generated side, `^` = gathered):");
+    for r in &rows {
+        println!(
+            "  {:<10} {:<10} pull {:>3}/{:<3} switches {:>2}  [{}]",
+            r.algorithm,
+            r.graph,
+            r.generated.pull_supersteps,
+            r.generated.supersteps,
+            r.generated.direction_switches,
+            gm_bench::direction_string(&r.generated),
+        );
     }
     println!();
     println!("Per-phase wall-clock, milliseconds (gen / man, last rep):");
@@ -233,6 +275,26 @@ fn main() {
     println!("note: paper ratios were 0.92–1.35 (generated Java vs manual Java on a JVM);");
     println!("here the generated side is an interpreted state machine while the manual");
     println!("side is native Rust, so ratios are higher — see EXPERIMENTS.md.");
+    if let Some(path) = bench_json {
+        let report = Report {
+            entries: rows
+                .iter()
+                .flat_map(|r| {
+                    let key = |side: &str| {
+                        format!("figure6/{}/{}/{side}", r.algorithm.to_lowercase(), r.graph)
+                    };
+                    [
+                        Entry::from_metrics(key("generated"), r.generated_ms, &r.generated),
+                        Entry::from_metrics(key("manual"), r.manual_ms, &r.manual),
+                    ]
+                })
+                .collect(),
+        };
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("bench snapshot written to {}", path.display());
+    }
+    metrics.finish();
     if let Some(t) = tracer {
         t.finish().expect("finish trace");
     }

@@ -1,0 +1,92 @@
+//! The perf-regression gate: diffs two bench snapshots (as written by
+//! `figure6 --bench-json`) and exits non-zero on a regression, so CI can
+//! hold the line against the committed `BENCH_baseline.json`.
+//!
+//! ```text
+//! regress <baseline.json> <current.json> [--threshold PCT]
+//! regress --write-baseline <dest.json> <current.json>
+//! ```
+//!
+//! An entry regresses when its latency is more than `--threshold` percent
+//! slower (default 20), when any structural counter (supersteps, message
+//! bytes) changed at all, or when it vanished from the current snapshot.
+//! `--write-baseline` normalizes a snapshot (schema check, stable entry
+//! order) into a baseline file instead of comparing.
+//!
+//! Exit codes: 0 = no regression, 1 = regression, 2 = usage or I/O error.
+
+use gm_bench::regress::{compare, render, Report};
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: regress <baseline.json> <current.json> [--threshold PCT]");
+    eprintln!("       regress --write-baseline <dest.json> <current.json>");
+    exit(2);
+}
+
+fn load(path: &Path) -> Report {
+    Report::load(path).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        exit(2);
+    })
+}
+
+fn main() {
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut threshold: f64 = 20.0;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => match args.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v >= 0.0 => threshold = v,
+                _ => usage(),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => write_baseline = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => usage(),
+            path => positional.push(PathBuf::from(path)),
+        }
+    }
+
+    if let Some(dest) = write_baseline {
+        let [current] = positional.as_slice() else {
+            usage();
+        };
+        let report = load(current);
+        if let Err(e) = std::fs::write(&dest, report.to_json()) {
+            eprintln!("error: cannot write {}: {e}", dest.display());
+            exit(2);
+        }
+        println!(
+            "wrote baseline {} ({} entries)",
+            dest.display(),
+            report.entries.len()
+        );
+        return;
+    }
+
+    let [baseline, current] = positional.as_slice() else {
+        usage();
+    };
+    let base = load(baseline);
+    let cur = load(current);
+    let cmp = compare(&base, &cur, threshold);
+    print!("{}", render(&cmp, threshold));
+    if cmp.regressed() {
+        let failing = cmp.deltas.iter().filter(|d| d.regressed).count() + cmp.missing.len();
+        eprintln!(
+            "FAIL: {failing} entr{} regressed (threshold {threshold}%)",
+            if failing == 1 { "y" } else { "ies" }
+        );
+        exit(1);
+    }
+    println!(
+        "OK: no regressions beyond {threshold}% across {} entries",
+        cmp.deltas.len()
+    );
+}

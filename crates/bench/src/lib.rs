@@ -7,14 +7,19 @@
 //! DESIGN.md). Set `GM_SCALE` (default `1.0`) to grow or shrink every
 //! workload proportionally.
 
+pub mod regress;
+
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
 use gm_core::{compile_with, CompileOptions, Compiled};
 use gm_graph::{gen, Graph};
+use gm_obs::http::MetricsServer;
+use gm_obs::metrics::MetricsRegistry;
 use gm_obs::{Category, TraceFormat, Tracer};
 use gm_pregel::{CheckpointConfig, Metrics, PregelConfig, RecoveryPolicy};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A Table 1 input graph, scaled.
@@ -232,6 +237,98 @@ impl TraceArgs {
         let dest = trace.parent().unwrap_or(Path::new(".")).join(file);
         std::fs::write(&dest, metrics.to_json())
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", dest.display()));
+    }
+}
+
+/// The `--metrics-listen <addr>` / `--metrics-file <path>` surface shared
+/// by the reproduction binaries, mirroring [`TraceArgs`]: either flag
+/// creates a [`MetricsRegistry`] the Pregel runs feed, `--metrics-listen`
+/// additionally serves it over HTTP for the duration of the process
+/// (scrape `http://<addr>/metrics`), and `--metrics-file` writes the
+/// final Prometheus exposition on [`MetricsArgs::finish`]. Unknown flags
+/// are ignored so each binary keeps its own argument handling.
+#[derive(Debug, Default)]
+pub struct MetricsArgs {
+    /// Bind address for the scrape endpoint (e.g. `127.0.0.1:9184`).
+    pub listen: Option<String>,
+    /// Destination for the final text exposition.
+    pub file: Option<PathBuf>,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl MetricsArgs {
+    /// Parses the metrics flags out of the process arguments.
+    ///
+    /// Exits with status 2 on a flag with its value missing.
+    pub fn from_env() -> MetricsArgs {
+        let usage = |msg: &str| -> ! {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        };
+        let mut out = MetricsArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--metrics-listen" => match args.next() {
+                    Some(addr) => out.listen = Some(addr),
+                    None => usage("--metrics-listen needs an address (host:port)"),
+                },
+                "--metrics-file" => match args.next() {
+                    Some(p) => out.file = Some(PathBuf::from(p)),
+                    None => usage("--metrics-file needs a path"),
+                },
+                _ => {}
+            }
+        }
+        if out.listen.is_some() || out.file.is_some() {
+            out.registry = Some(Arc::new(MetricsRegistry::new()));
+        }
+        out
+    }
+
+    /// The shared registry, when either metrics flag was given.
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// Attaches the registry to `config` (no-op when metrics are off).
+    pub fn apply(&self, config: PregelConfig) -> PregelConfig {
+        match &self.registry {
+            Some(r) => config.with_registry(r.clone()),
+            None => config,
+        }
+    }
+
+    /// Starts the scrape endpoint when `--metrics-listen` was given. Keep
+    /// the returned server alive for the run; it stops on drop.
+    ///
+    /// Exits with status 2 when the address cannot be bound.
+    pub fn serve(&self) -> Option<MetricsServer> {
+        let addr = self.listen.as_ref()?;
+        let registry = self.registry.clone()?;
+        match gm_obs::http::serve(addr.as_str(), registry) {
+            Ok(server) => {
+                eprintln!("metrics: serving http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind --metrics-listen {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Writes the final exposition to `--metrics-file`, if given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn finish(&self) {
+        if let (Some(path), Some(registry)) = (&self.file, &self.registry) {
+            registry
+                .write_prometheus(path)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
     }
 }
 

@@ -1,0 +1,342 @@
+//! Bench-snapshot diffing for the perf-regression gate.
+//!
+//! A *snapshot* is the JSON document `figure6 --bench-json` (and future
+//! bins) write: a flat list of named entries, each with a latency in
+//! milliseconds plus optional structural counters (supersteps, message
+//! bytes). The [`compare`] function diffs two snapshots: a latency
+//! regression beyond a configurable threshold, or *any* structural drift,
+//! flags the entry. The `regress` binary wraps this as a CI gate and can
+//! also normalize a snapshot into a committed `BENCH_*.json` baseline.
+//!
+//! Latency comparisons are inherently noisy on shared CI runners — the
+//! structural counters are the deterministic half of the gate, which is
+//! why they are compared exactly while latency gets a percentage band.
+
+use gm_obs::json::{parse, Json};
+use gm_pregel::Metrics;
+use std::fmt;
+use std::path::Path;
+
+/// One measured workload in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Stable identifier, e.g. `figure6/pagerank/twitter/generated`.
+    pub name: String,
+    /// Wall-clock milliseconds (minimum over reps).
+    pub ms: f64,
+    /// Supersteps executed, when the workload reports them.
+    pub supersteps: Option<u64>,
+    /// Total metered message bytes, when reported.
+    pub message_bytes: Option<u64>,
+}
+
+impl Entry {
+    /// Builds an entry carrying the structural counters of `metrics`.
+    pub fn from_metrics(name: impl Into<String>, ms: f64, metrics: &Metrics) -> Entry {
+        Entry {
+            name: name.into(),
+            ms,
+            supersteps: Some(u64::from(metrics.supersteps)),
+            message_bytes: Some(metrics.total_message_bytes),
+        }
+    }
+}
+
+/// A parsed snapshot: schema version plus entries in file order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Entries in file order (names must be unique).
+    pub entries: Vec<Entry>,
+}
+
+/// Why a snapshot failed to parse.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The document is not valid JSON or not a snapshot.
+    Malformed(String),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Io(e) => write!(f, "cannot read snapshot: {e}"),
+            ReportError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl Report {
+    /// Parses a snapshot document.
+    pub fn from_json(text: &str) -> Result<Report, ReportError> {
+        let doc = parse(text).map_err(|e| ReportError::Malformed(format!("not JSON: {e:?}")))?;
+        let schema = doc.get("schema").and_then(Json::as_u64);
+        if schema != Some(1) {
+            return Err(ReportError::Malformed(format!(
+                "unsupported schema {schema:?} (expected 1)"
+            )));
+        }
+        let raw = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ReportError::Malformed("missing entries array".to_owned()))?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for e in raw {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ReportError::Malformed("entry without name".to_owned()))?
+                .to_owned();
+            let ms = e
+                .get("ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ReportError::Malformed(format!("entry {name} without ms")))?;
+            if entries.iter().any(|prev: &Entry| prev.name == name) {
+                return Err(ReportError::Malformed(format!("duplicate entry {name}")));
+            }
+            entries.push(Entry {
+                name,
+                ms,
+                supersteps: e.get("supersteps").and_then(Json::as_u64),
+                message_bytes: e.get("message_bytes").and_then(Json::as_u64),
+            });
+        }
+        Ok(Report { entries })
+    }
+
+    /// Reads and parses a snapshot file.
+    pub fn load(path: &Path) -> Result<Report, ReportError> {
+        let text = std::fs::read_to_string(path).map_err(ReportError::Io)?;
+        Report::from_json(&text)
+    }
+
+    /// Serializes the snapshot (schema 1, sorted by entry name so baseline
+    /// diffs are stable).
+    pub fn to_json(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let items: Vec<Json> = entries
+            .into_iter()
+            .map(|e| {
+                let mut pairs = vec![
+                    ("name".to_owned(), Json::Str(e.name)),
+                    ("ms".to_owned(), Json::Num(e.ms)),
+                ];
+                if let Some(s) = e.supersteps {
+                    pairs.push(("supersteps".to_owned(), Json::UInt(s)));
+                }
+                if let Some(b) = e.message_bytes {
+                    pairs.push(("message_bytes".to_owned(), Json::UInt(b)));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let doc = Json::obj([
+            ("schema".to_owned(), Json::UInt(1)),
+            ("entries".to_owned(), Json::Arr(items)),
+        ]);
+        let mut text = doc.to_string();
+        text.push('\n');
+        text
+    }
+}
+
+/// One compared entry.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Entry name.
+    pub name: String,
+    /// Baseline latency.
+    pub base_ms: f64,
+    /// Current latency.
+    pub cur_ms: f64,
+    /// Latency change in percent (positive = slower).
+    pub pct: f64,
+    /// Structural counters that drifted, rendered (`supersteps 8 -> 9`).
+    pub structural: Vec<String>,
+    /// Whether this entry fails the gate.
+    pub regressed: bool,
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Per-entry deltas, in baseline order.
+    pub deltas: Vec<Delta>,
+    /// Baseline entries absent from the current snapshot (a dropped
+    /// workload fails the gate — coverage must shrink deliberately).
+    pub missing: Vec<String>,
+    /// Current entries absent from the baseline (informational).
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// Whether anything failed the gate.
+    pub fn regressed(&self) -> bool {
+        !self.missing.is_empty() || self.deltas.iter().any(|d| d.regressed)
+    }
+}
+
+/// Diffs `current` against `baseline`: latency slower by more than
+/// `threshold_pct` percent, any structural drift, or a dropped entry
+/// marks the comparison regressed.
+pub fn compare(baseline: &Report, current: &Report, threshold_pct: f64) -> Comparison {
+    let mut out = Comparison::default();
+    for base in &baseline.entries {
+        let Some(cur) = current.entries.iter().find(|e| e.name == base.name) else {
+            out.missing.push(base.name.clone());
+            continue;
+        };
+        let pct = if base.ms > 0.0 {
+            (cur.ms - base.ms) / base.ms * 100.0
+        } else {
+            0.0
+        };
+        let mut structural = Vec::new();
+        let mut drift = |what: &str, b: Option<u64>, c: Option<u64>| {
+            if let (Some(b), Some(c)) = (b, c) {
+                if b != c {
+                    structural.push(format!("{what} {b} -> {c}"));
+                }
+            }
+        };
+        drift("supersteps", base.supersteps, cur.supersteps);
+        drift("message_bytes", base.message_bytes, cur.message_bytes);
+        let regressed = pct > threshold_pct || !structural.is_empty();
+        out.deltas.push(Delta {
+            name: base.name.clone(),
+            base_ms: base.ms,
+            cur_ms: cur.ms,
+            pct,
+            structural,
+            regressed,
+        });
+    }
+    for cur in &current.entries {
+        if !baseline.entries.iter().any(|e| e.name == cur.name) {
+            out.added.push(cur.name.clone());
+        }
+    }
+    out
+}
+
+/// Renders the comparison as the table the `regress` bin prints.
+pub fn render(cmp: &Comparison, threshold_pct: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>10} {:>8}  verdict",
+        "entry", "base (ms)", "cur (ms)", "change"
+    );
+    for d in &cmp.deltas {
+        let verdict = if d.regressed {
+            "REGRESSED"
+        } else if d.pct < -threshold_pct {
+            "improved"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>10.2} {:>10.2} {:>+7.1}%  {}{}",
+            d.name,
+            d.base_ms,
+            d.cur_ms,
+            d.pct,
+            verdict,
+            if d.structural.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", d.structural.join(", "))
+            }
+        );
+    }
+    for name in &cmp.missing {
+        let _ = writeln!(out, "{name:<44} missing from current snapshot  REGRESSED");
+    }
+    for name in &cmp.added {
+        let _ = writeln!(out, "{name:<44} new entry (not in baseline)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, f64)]) -> Report {
+        Report {
+            entries: entries
+                .iter()
+                .map(|(name, ms)| Entry {
+                    name: (*name).to_owned(),
+                    ms: *ms,
+                    supersteps: Some(8),
+                    message_bytes: Some(4096),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = report(&[("a/gen", 10.0), ("b/man", 3.5)]);
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn twenty_percent_slower_regresses() {
+        let base = report(&[("a", 100.0)]);
+        let cur = report(&[("a", 121.0)]);
+        let cmp = compare(&base, &cur, 20.0);
+        assert!(cmp.regressed());
+        assert!((cmp.deltas[0].pct - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_threshold_passes_and_faster_is_fine() {
+        let base = report(&[("a", 100.0), ("b", 50.0)]);
+        let cur = report(&[("a", 115.0), ("b", 20.0)]);
+        assert!(!compare(&base, &cur, 20.0).regressed());
+    }
+
+    #[test]
+    fn structural_drift_regresses_regardless_of_latency() {
+        let base = report(&[("a", 100.0)]);
+        let mut cur = report(&[("a", 80.0)]);
+        cur.entries[0].supersteps = Some(9);
+        let cmp = compare(&base, &cur, 20.0);
+        assert!(cmp.regressed());
+        assert_eq!(cmp.deltas[0].structural, vec!["supersteps 8 -> 9"]);
+    }
+
+    #[test]
+    fn dropped_entry_regresses_new_entry_does_not() {
+        let base = report(&[("a", 1.0)]);
+        let cur = report(&[("b", 1.0)]);
+        let cmp = compare(&base, &cur, 20.0);
+        assert!(cmp.regressed());
+        assert_eq!(cmp.missing, vec!["a"]);
+        assert_eq!(cmp.added, vec!["b"]);
+        assert!(!compare(&base, &base.clone(), 20.0).regressed());
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("{\"schema\":1}").is_err());
+        assert!(Report::from_json("{\"schema\":2,\"entries\":[]}").is_err());
+        assert!(
+            Report::from_json("{\"schema\":1,\"entries\":[{\"name\":\"a\"}]}").is_err(),
+            "ms is mandatory"
+        );
+        let dup =
+            "{\"schema\":1,\"entries\":[{\"name\":\"a\",\"ms\":1},{\"name\":\"a\",\"ms\":2}]}";
+        assert!(Report::from_json(dup).is_err());
+    }
+}

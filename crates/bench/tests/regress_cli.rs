@@ -1,0 +1,137 @@
+//! End-to-end test of the `regress` perf-gate binary: a synthetic ≥20%
+//! latency regression between two snapshots must exit non-zero, matching
+//! runs must pass, structural drift must fail regardless of latency, and
+//! `--write-baseline` must normalize a snapshot into a loadable baseline.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gm-regress-cli-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn snapshot(entries: &[(&str, f64, u64)]) -> String {
+    let items: Vec<String> = entries
+        .iter()
+        .map(|(name, ms, steps)| {
+            format!(
+                "{{\"name\":\"{name}\",\"ms\":{ms},\"supersteps\":{steps},\"message_bytes\":4096}}"
+            )
+        })
+        .collect();
+    format!("{{\"schema\":1,\"entries\":[{}]}}", items.join(","))
+}
+
+fn regress(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_regress"))
+        .args(args)
+        .output()
+        .expect("spawn regress")
+}
+
+#[test]
+fn twenty_percent_regression_fails_the_gate() {
+    let dir = fresh_dir("slow");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    std::fs::write(
+        &base,
+        snapshot(&[("figure6/pagerank/twitter/generated", 100.0, 8)]),
+    )
+    .unwrap();
+    std::fs::write(
+        &cur,
+        snapshot(&[("figure6/pagerank/twitter/generated", 125.0, 8)]),
+    )
+    .unwrap();
+    let out = regress(&[base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("FAIL"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_snapshots_pass_and_threshold_is_configurable() {
+    let dir = fresh_dir("ok");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    std::fs::write(&base, snapshot(&[("a", 100.0, 8), ("b", 3.0, 2)])).unwrap();
+    std::fs::write(&cur, snapshot(&[("a", 110.0, 8), ("b", 3.0, 2)])).unwrap();
+
+    // 10% slower: inside the default 20% band.
+    let out = regress(&[base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // The same pair fails a tightened 5% gate.
+    let out = regress(&[
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "5",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn structural_drift_fails_even_when_faster() {
+    let dir = fresh_dir("structural");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    std::fs::write(&base, snapshot(&[("a", 100.0, 8)])).unwrap();
+    std::fs::write(&cur, snapshot(&[("a", 50.0, 9)])).unwrap();
+    let out = regress(&[base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("supersteps 8 -> 9"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn write_baseline_normalizes_and_round_trips() {
+    let dir = fresh_dir("baseline");
+    let cur = dir.join("cur.json");
+    let dest = dir.join("BENCH_baseline.json");
+    // Entries deliberately out of name order: the baseline is sorted.
+    std::fs::write(&cur, snapshot(&[("z", 2.0, 3), ("a", 1.0, 2)])).unwrap();
+    let out = regress(&[
+        "--write-baseline",
+        dest.to_str().unwrap(),
+        cur.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&dest).unwrap();
+    assert!(text.find("\"a\"").unwrap() < text.find("\"z\"").unwrap());
+
+    // The written baseline gates against the original snapshot cleanly.
+    let out = regress(&[dest.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_inputs_exit_2() {
+    let dir = fresh_dir("bad");
+    let good = dir.join("good.json");
+    let bad = dir.join("bad.json");
+    std::fs::write(&good, snapshot(&[("a", 1.0, 1)])).unwrap();
+    std::fs::write(&bad, "{\"schema\":7}").unwrap();
+
+    let out = regress(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = regress(&[good.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = regress(&[good.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = regress(&[
+        good.to_str().unwrap(),
+        dir.join("absent.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,6 +12,8 @@
 //!         [--keep-snapshots N] [--max-restarts N]
 //!         [--max-message-bytes N] [--superstep-deadline MS]
 //!         [--spill-dir <dir>] [--edge-policy strict|skip]
+//!         [--metrics-listen <host:port>] [--metrics-file <path>]
+//!         [--post-mortem-dir <dir>]
 //! ```
 //!
 //! `gmc verify` compiles with the PIR well-formedness verifier forced on
@@ -55,16 +57,29 @@
 //! variables. `--edge-policy skip` tolerates malformed edge-list lines,
 //! reporting how many were skipped (the default, `strict`, aborts on the
 //! first).
+//!
+//! `--metrics-listen <host:port>` serves live Prometheus metrics at
+//! `http://<host:port>/metrics` while the run executes; `--metrics-file`
+//! writes the final text exposition after it (either flag also prints a
+//! per-phase latency summary with p50/p99). `--post-mortem-dir <dir>`
+//! (default from `GM_POST_MORTEM_DIR`) arms the flight recorder: if the
+//! run fails, a self-contained bundle — recent trace events, config,
+//! metrics snapshot — is written under the directory and its path is
+//! printed with the error.
 
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
 use gm_core::{compile_with, CompileOptions};
 use gm_graph::io::LoadPolicy;
 use gm_interp::run_compiled;
+use gm_obs::metrics::MetricsRegistry;
 use gm_obs::{TraceFormat, Tracer};
-use gm_pregel::{CheckpointConfig, PregelConfig, RecoveryPolicy, ResourceBudget, Schedule};
+use gm_pregel::{
+    CheckpointConfig, PostMortemConfig, PregelConfig, RecoveryPolicy, ResourceBudget, Schedule,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -85,6 +100,8 @@ fn main() -> ExitCode {
             eprintln!("               [--keep-snapshots N] [--max-restarts N]");
             eprintln!("               [--max-message-bytes N] [--superstep-deadline MS]");
             eprintln!("               [--spill-dir <dir>] [--edge-policy strict|skip]");
+            eprintln!("               [--metrics-listen <host:port>] [--metrics-file <path>]");
+            eprintln!("               [--post-mortem-dir <dir>]");
             ExitCode::FAILURE
         }
     }
@@ -281,6 +298,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut superstep_deadline_ms: Option<u64> = None;
     let mut spill_dir: Option<String> = None;
     let mut edge_policy = LoadPolicy::Strict;
+    let mut metrics_listen: Option<String> = None;
+    let mut metrics_file: Option<String> = None;
+    let mut post_mortem_dir: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         let mut take = |flag: &str| -> Result<String, String> {
@@ -358,6 +378,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     );
                 }
                 "--spill-dir" => spill_dir = Some(take("--spill-dir")?),
+                "--metrics-listen" => metrics_listen = Some(take("--metrics-listen")?),
+                "--metrics-file" => metrics_file = Some(take("--metrics-file")?),
+                "--post-mortem-dir" => post_mortem_dir = Some(take("--post-mortem-dir")?),
                 "--edge-policy" => match take("--edge-policy")?.as_str() {
                     "strict" => edge_policy = LoadPolicy::Strict,
                     "skip" => edge_policy = LoadPolicy::SkipAndCount,
@@ -476,11 +499,50 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
         config = config.with_budget(budget);
     }
+    let registry = (metrics_listen.is_some() || metrics_file.is_some())
+        .then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(r) = &registry {
+        config = config.with_registry(r.clone());
+    }
+    // The flag layers on top of the GM_POST_MORTEM_DIR default.
+    if let Some(dir) = &post_mortem_dir {
+        config = config.with_post_mortem(PostMortemConfig::new(dir));
+    }
+    let _server = match &metrics_listen {
+        None => None,
+        Some(addr) => {
+            let r = registry.clone().expect("listen flag implies a registry");
+            match gm_obs::http::serve(addr.as_str(), r) {
+                Ok(s) => {
+                    eprintln!("gmc run: serving metrics at http://{}/metrics", s.addr());
+                    Some(s)
+                }
+                Err(e) => {
+                    eprintln!("gmc run: cannot bind metrics endpoint {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    // Writes the final text exposition; on failure the snapshot still
+    // carries everything up to (and including) the failure counters.
+    let write_exposition = |registry: &Option<Arc<MetricsRegistry>>| -> Result<(), ExitCode> {
+        if let (Some(r), Some(path)) = (registry, &metrics_file) {
+            if let Err(e) = r.write_prometheus(path) {
+                eprintln!("gmc run: cannot write metrics file {path}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+        Ok(())
+    };
     let start = std::time::Instant::now();
     let out = match run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config) {
         Ok(o) => o,
         Err(e) => {
+            // The error's Display already names the post-mortem bundle
+            // directory when one was written.
             eprintln!("gmc run: {e}");
+            let _ = write_exposition(&registry);
             return ExitCode::FAILURE;
         }
     };
@@ -518,6 +580,29 @@ fn cmd_run(args: &[String]) -> ExitCode {
             spill.files_replayed,
             spill.peak_in_flight_bytes
         );
+    }
+    if let Some(r) = &registry {
+        println!("per-phase latency, seconds (p50 / p90 / p99):");
+        for phase in ["master", "compute", "combine", "exchange", "barrier"] {
+            // Retrieves the series the runtime's feed registered; the help
+            // text is only used if the family were somehow absent.
+            let h = r.histogram_with(
+                "gm_phase_seconds",
+                "wall-clock per phase",
+                &[("phase", phase)],
+            );
+            let (p50, p90, p99) = h.percentiles();
+            println!(
+                "  {phase:<9} {p50:>11.6} / {p90:>11.6} / {p99:>11.6}   ({} observations)",
+                h.count()
+            );
+        }
+    }
+    if let Err(code) = write_exposition(&registry) {
+        return code;
+    }
+    if let (Some(_), Some(path)) = (&registry, &metrics_file) {
+        println!("metrics exposition written to {path}");
     }
     if let Some(ret) = &out.ret {
         println!("return value: {ret}");

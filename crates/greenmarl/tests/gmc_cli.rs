@@ -209,6 +209,103 @@ fn run_skip_edge_policy_tolerates_dirty_graphs() {
 }
 
 #[test]
+fn run_with_metrics_file_writes_exposition_and_prints_percentiles() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp_metrics.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+    let edges = dir.join("edges_metrics.txt");
+    std::fs::write(&edges, "0 1 2\n1 2 3\n2 3 4\n0 3 10\n").unwrap();
+    let prom = dir.join("metrics.prom");
+
+    let out = gmc()
+        .args([
+            "run",
+            gm.to_str().unwrap(),
+            "--graph",
+            edges.to_str().unwrap(),
+            "--arg",
+            "root=n:0",
+            "--workers",
+            "2",
+            "--metrics-file",
+            prom.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-phase latency"), "{text}");
+    assert!(text.contains("compute"), "{text}");
+    assert!(text.contains("metrics exposition written to"), "{text}");
+
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        prom_text.contains("# TYPE gm_phase_seconds histogram"),
+        "{prom_text}"
+    );
+    assert!(
+        prom_text.contains("gm_phase_seconds_bucket{phase=\"compute\",le="),
+        "{prom_text}"
+    );
+    assert!(
+        prom_text.contains("gm_supersteps_total{direction=\"push\"}"),
+        "{prom_text}"
+    );
+    assert!(prom_text.contains("gm_messages_total"), "{prom_text}");
+}
+
+#[test]
+fn run_failure_names_the_post_mortem_bundle() {
+    let dir = temp_dir();
+    let gm = dir.join("sssp_bundle.gm");
+    std::fs::write(&gm, SSSP).unwrap();
+    let edges = dir.join("edges_bundle.txt");
+    // A 100k-vertex chain: one superstep touches every vertex, which takes
+    // far longer than the 1ms deadline below on any machine.
+    let mut chain = String::new();
+    for i in 0..100_000u32 {
+        chain.push_str(&format!("{i} {} 1\n", i + 1));
+    }
+    std::fs::write(&edges, chain).unwrap();
+    let bundles = dir.join("bundles");
+
+    // The overrun deadline fails an early superstep, so the flight
+    // recorder must dump a bundle and the error must point at it.
+    let out = gmc()
+        .args([
+            "run",
+            gm.to_str().unwrap(),
+            "--graph",
+            edges.to_str().unwrap(),
+            "--arg",
+            "root=n:0",
+            "--superstep-deadline",
+            "1",
+            "--post-mortem-dir",
+            bundles.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("deadline"), "{err}");
+    assert!(err.contains("post-mortem bundle:"), "{err}");
+    // The named directory exists and holds the manifest.
+    let named: PathBuf = err
+        .split("post-mortem bundle: ")
+        .nth(1)
+        .and_then(|rest| rest.split(')').next())
+        .map(PathBuf::from)
+        .expect("bundle path in error");
+    assert!(named.starts_with(&bundles), "{named:?}");
+    assert!(named.join("MANIFEST.json").is_file(), "{named:?}");
+}
+
+#[test]
 fn verify_prints_summary_on_valid_program() {
     let dir = temp_dir();
     let gm = dir.join("sssp_verify.gm");

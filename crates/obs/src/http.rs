@@ -1,0 +1,188 @@
+//! A minimal, dependency-free HTTP endpoint serving Prometheus metrics.
+//!
+//! This is deliberately not a web framework: one listener thread, blocking
+//! accepts, `GET /metrics` (or `/`) answered with the registry's text
+//! exposition, everything else a 404. It exists so `gmc run`, `figure6`,
+//! and the future `gmd` daemon can be scraped with
+//! `curl http://127.0.0.1:<port>/metrics` or a real Prometheus server
+//! while a job runs.
+//!
+//! ```no_run
+//! use gm_obs::metrics::MetricsRegistry;
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! let server = gm_obs::http::serve("127.0.0.1:0", registry).unwrap();
+//! println!("scrape http://{}/metrics", server.addr());
+//! // server shuts down when dropped
+//! ```
+
+use crate::metrics::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint. Dropping it stops the listener thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:9090"`, port 0 for ephemeral) and serves
+/// `registry` as Prometheus text exposition until the returned server is
+/// dropped.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    registry: Arc<MetricsRegistry>,
+) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("gm-metrics-http".to_owned())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Serving is best-effort: a bad client must not take the
+                // endpoint down.
+                if let Ok(stream) = conn {
+                    let _ = handle_conn(stream, &registry);
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read up to the end of the headers; we never need a body. Clients may
+    // deliver the request in several small writes, so loop until the blank
+    // line (or the cap) arrives.
+    let mut buf = [0u8; 4096];
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..filled]);
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        )
+    } else if path == "/metrics" || path == "/" {
+        (
+            "200 OK",
+            // The content type Prometheus scrapers expect for the text format.
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render_prometheus(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found (try /metrics)\n".to_owned(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("requests_total", "requests").add(7);
+        let server = serve("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("requests_total 7"));
+
+        // Live values: the next scrape sees the update.
+        registry.counter("requests_total", "requests").add(1);
+        let (_, body) = get(addr, "/");
+        assert!(body.contains("requests_total 8"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_stops_the_thread() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut server = serve("127.0.0.1:0", registry).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port is released: binding it again succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok());
+    }
+}

@@ -20,6 +20,13 @@
 //! * [`Tracer`] — the cloneable handle instrumented code records through.
 //! * [`json`] — the minimal JSON writer/parser backing the exporters (and
 //!   `Metrics::to_json` in `gm-pregel`).
+//! * [`metrics`] — production metrics: [`MetricsRegistry`] with counters,
+//!   gauges, and log-linear histograms (p50/p90/p99), rendered in the
+//!   Prometheus text exposition format and servable over HTTP via
+//!   [`http::serve`].
+//! * [`FlightRecorder`] — a bounded ring of recent events, teed behind the
+//!   live trace so crashes can dump their final moments into a
+//!   post-mortem bundle.
 //!
 //! # Example
 //!
@@ -36,10 +43,15 @@
 //! ```
 
 pub mod event;
+pub mod http;
 pub mod json;
+pub mod metrics;
+pub mod recorder;
 pub mod sink;
 pub mod tracer;
 
 pub use event::{Category, Event, Field, Kind};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use recorder::FlightRecorder;
 pub use sink::{thread_name, ChromeSink, JsonlSink, MemorySink, TeeSink, TraceSink};
 pub use tracer::{TraceFormat, Tracer};

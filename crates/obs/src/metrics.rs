@@ -1,0 +1,611 @@
+//! Production metrics: a process-wide registry of counters, gauges, and
+//! log-linear histograms with Prometheus text-format exposition.
+//!
+//! Tracing (the rest of this crate) answers *what happened, in order*;
+//! metrics answer *how much and how fast, in aggregate* — the two views a
+//! production graph service needs side by side. The registry is
+//! zero-dependency like everything else here: metric handles are `Arc`s
+//! over atomics, so recording is lock-free after registration, and the
+//! only lock (a registry-level mutex) is taken at registration and
+//! exposition time.
+//!
+//! * [`Counter`] — a monotonically increasing `u64` (events, bytes).
+//! * [`Gauge`] — a settable `f64` (frontier density, resident bytes).
+//! * [`Histogram`] — log-linear buckets (nine linear sub-buckets per
+//!   decade) with p50/p90/p99 extraction; records `f64` observations,
+//!   conventionally seconds.
+//! * [`MetricsRegistry`] — the named family table. Families carry help
+//!   text and a type; series within a family are distinguished by label
+//!   sets, exactly like Prometheus.
+//! * [`MetricsRegistry::render_prometheus`] — the standard text
+//!   exposition format (`# HELP` / `# TYPE` / samples), servable over
+//!   HTTP by [`serve`](crate::http::serve) or writable to a file.
+//!
+//! # Example
+//!
+//! ```
+//! use gm_obs::metrics::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let h = registry.histogram("step_seconds", "superstep wall-clock");
+//! h.observe(0.012);
+//! h.observe(0.019);
+//! assert!(h.quantile(0.5) > 0.0);
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("# TYPE step_seconds histogram"));
+//! ```
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a metric family measures — the Prometheus `# TYPE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// A value that can go up and down.
+    Gauge,
+    /// A distribution in log-linear buckets.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The string used in the exposition format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A sorted label set, e.g. `[("phase", "compute")]`. Sorted so the same
+/// labels in any order name the same series.
+type LabelSet = Vec<(String, String)>;
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    set.sort();
+    set
+}
+
+/// Renders `{k="v",…}`, or the empty string for the empty set.
+fn render_labels(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// cell; recording is a relaxed atomic add.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge carrying an `f64` (stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of linear sub-buckets per decade.
+const SUBS_PER_DECADE: u64 = 9;
+/// Decades covered: 10^MIN_EXP .. 10^(MAX_EXP+1). With observations in
+/// seconds this spans 1µs to 1000s, plus an under- and an overflow bucket.
+const MIN_EXP: i32 = -6;
+const MAX_EXP: i32 = 2;
+
+/// The log-linear bucket upper bounds: `m × 10^e` for `m` in `1..=9` and
+/// `e` in `MIN_EXP..=MAX_EXP`, shared by every histogram.
+fn boundaries() -> &'static [f64] {
+    use std::sync::OnceLock;
+    static BOUNDS: OnceLock<Vec<f64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut b = Vec::new();
+        for e in MIN_EXP..=MAX_EXP {
+            for m in 1..=SUBS_PER_DECADE {
+                b.push(m as f64 * 10f64.powi(e));
+            }
+        }
+        b
+    })
+}
+
+/// A histogram over log-linear buckets (nine linear sub-buckets per
+/// decade, 1e-6 to 1e3), with quantile extraction by linear interpolation
+/// inside the landing bucket. Cloning shares the cells; recording is two
+/// relaxed atomic adds and a CAS loop for the sum.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// One count per boundary, plus a final overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: (0..=boundaries().len())
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation (conventionally seconds). Negative and NaN
+    /// observations are clamped into the lowest bucket.
+    pub fn observe(&self, v: f64) {
+        let bounds = boundaries();
+        let idx = bounds.partition_point(|b| *b < v);
+        self.core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        let add = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let mut old = self.core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + add).to_bits();
+            match self.core.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), linearly interpolated inside the
+    /// landing bucket. Returns 0.0 for an empty histogram; observations
+    /// above the highest boundary report the highest boundary.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let bounds = boundaries();
+        // Rank of the target observation, 1-based.
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.core.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let upper = bounds.get(i).copied().unwrap_or(bounds[bounds.len() - 1]);
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let into = (rank - seen) as f64 / n as f64;
+                return lower + (upper - lower) * into;
+            }
+            seen += n;
+        }
+        bounds[bounds.len() - 1]
+    }
+
+    /// p50 / p90 / p99, the triple the reporting surfaces print.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (self.quantile(0.5), self.quantile(0.9), self.quantile(0.99))
+    }
+
+    /// Snapshot of the non-empty buckets as `(upper_bound, cumulative)`
+    /// pairs — cumulative counts, as the exposition format requires.
+    fn cumulative(&self) -> Vec<(f64, u64)> {
+        let bounds = boundaries();
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, bucket) in self.core.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            cum += n;
+            // Keep the exposition compact: only boundaries where the
+            // cumulative count changes, plus +Inf (added by the caller).
+            if n > 0 && i < bounds.len() {
+                out.push((bounds[i], cum));
+            }
+        }
+        out
+    }
+}
+
+/// One named series inside a family.
+#[derive(Clone, Debug)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named metric family: help text, a kind, and the series by label set.
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<LabelSet, Series>,
+}
+
+/// The registry: the named families the process exposes. Cheap handles
+/// ([`Counter`] / [`Gauge`] / [`Histogram`]) are returned at registration
+/// and can be recorded to without touching the registry again.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn series(&self, name: &str, help: &str, kind: MetricKind, labels: &[(&str, &str)]) -> Series {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        debug_assert_eq!(
+            family.kind, kind,
+            "metric {name} re-registered with a different kind"
+        );
+        family
+            .series
+            .entry(label_set(labels))
+            .or_insert_with(|| match kind {
+                MetricKind::Counter => Series::Counter(Counter::default()),
+                MetricKind::Gauge => Series::Gauge(Gauge::default()),
+                MetricKind::Histogram => Series::Histogram(Histogram::default()),
+            })
+            .clone()
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a counter series with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, MetricKind::Counter, labels) {
+            Series::Counter(c) => c,
+            _ => Counter::default(), // kind clash: hand back a detached cell
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a gauge series with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, MetricKind::Gauge, labels) {
+            Series::Gauge(g) => g,
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a histogram series with labels.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.series(name, help, MetricKind::Histogram, labels) {
+            Series::Histogram(h) => h,
+            _ => Histogram::default(),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`, `# TYPE`, then one sample line per
+    /// series — histograms as cumulative `_bucket{le=…}` samples plus
+    /// `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, None),
+                            c.get()
+                        ));
+                    }
+                    Series::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, None),
+                            fmt_f64(g.get())
+                        ));
+                    }
+                    Series::Histogram(h) => {
+                        for (le, cum) in h.cumulative() {
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cum}\n",
+                                render_labels(labels, Some(("le", &fmt_f64(le)))),
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n",
+                            render_labels(labels, Some(("le", "+Inf"))),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            render_labels(labels, None),
+                            fmt_f64(h.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            render_labels(labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The registry as a JSON value — the machine-readable snapshot
+    /// embedded in post-mortem bundles. Histograms export count/sum plus
+    /// p50/p90/p99.
+    pub fn to_json_value(&self) -> Json {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut members = Vec::new();
+        for (name, family) in families.iter() {
+            let mut series_arr = Vec::new();
+            for (labels, series) in &family.series {
+                let labels_json = Json::obj(
+                    labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone()))),
+                );
+                let value = match series {
+                    Series::Counter(c) => Json::obj([("value".to_owned(), Json::UInt(c.get()))]),
+                    Series::Gauge(g) => Json::obj([("value".to_owned(), Json::Num(g.get()))]),
+                    Series::Histogram(h) => {
+                        let (p50, p90, p99) = h.percentiles();
+                        Json::obj([
+                            ("count".to_owned(), Json::UInt(h.count())),
+                            ("sum".to_owned(), Json::Num(h.sum())),
+                            ("p50".to_owned(), Json::Num(p50)),
+                            ("p90".to_owned(), Json::Num(p90)),
+                            ("p99".to_owned(), Json::Num(p99)),
+                        ])
+                    }
+                };
+                series_arr.push(Json::obj([
+                    ("labels".to_owned(), labels_json),
+                    ("data".to_owned(), value),
+                ]));
+            }
+            members.push((
+                name.clone(),
+                Json::obj([
+                    ("help".to_owned(), Json::Str(family.help.clone())),
+                    (
+                        "type".to_owned(),
+                        Json::Str(family.kind.as_str().to_owned()),
+                    ),
+                    ("series".to_owned(), Json::Arr(series_arr)),
+                ]),
+            ));
+        }
+        Json::obj(members)
+    }
+
+    /// [`MetricsRegistry::render_prometheus`] written to a file.
+    pub fn write_prometheus(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render_prometheus())
+    }
+}
+
+/// Formats an `f64` sample value: integral values without a decimal point
+/// (matching Prometheus conventions), others with full precision.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("jobs_total", "jobs run");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same cell.
+        assert_eq!(r.counter("jobs_total", "jobs run").get(), 5);
+        let g = r.gauge("density", "frontier density");
+        g.set(0.25);
+        assert_eq!(r.gauge("density", "frontier density").get(), 0.25);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = MetricsRegistry::new();
+        let push = r.counter_with("steps_total", "supersteps", &[("direction", "push")]);
+        let pull = r.counter_with("steps_total", "supersteps", &[("direction", "pull")]);
+        push.add(3);
+        pull.add(1);
+        assert_eq!(push.get(), 3);
+        assert_eq!(pull.get(), 1);
+        // Label order does not matter.
+        let same = r.counter_with("steps_total", "supersteps", &[("direction", "push")]);
+        assert_eq!(same.get(), 3);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_plausible() {
+        let h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64 * 1e-3); // 1ms .. 100ms
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.sum() - 5.05).abs() < 1e-9);
+        let (p50, p90, p99) = h.percentiles();
+        assert!(p50 <= p90 && p90 <= p99);
+        // p50 of 1..100ms lands mid-decade; interpolation keeps it within
+        // a bucket of the true value.
+        assert!(p50 > 0.03 && p50 < 0.07, "p50 = {p50}");
+        assert!(p99 > 0.07 && p99 <= 0.1 + 1e-9, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.observe(0.0); // clamps into the lowest bucket
+        h.observe(5000.0); // above the top boundary
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.99) >= 900.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total", "a counter").add(2);
+        r.gauge("b", "a gauge").set(1.5);
+        let h = r.histogram_with("c_seconds", "a histogram", &[("phase", "compute")]);
+        h.observe(0.002);
+        h.observe(0.004);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP a_total a counter"));
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total 2"));
+        assert!(text.contains("b 1.5"));
+        assert!(text.contains("# TYPE c_seconds histogram"));
+        assert!(
+            text.contains("c_seconds_bucket{le=\"+Inf\",phase=\"compute\"} 2")
+                || text.contains("c_seconds_bucket{phase=\"compute\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("c_seconds_count{phase=\"compute\"} 2"));
+    }
+
+    #[test]
+    fn json_snapshot_exports_percentiles() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat_seconds", "latency");
+        h.observe(0.01);
+        let doc = crate::json::parse(&r.to_json_value().to_string()).unwrap();
+        let fam = doc.get("lat_seconds").unwrap();
+        assert_eq!(fam.get("type").unwrap().as_str(), Some("histogram"));
+        let series = fam.get("series").unwrap().as_arr().unwrap();
+        assert_eq!(
+            series[0]
+                .get("data")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert!(
+            series[0]
+                .get("data")
+                .unwrap()
+                .get("p50")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+}

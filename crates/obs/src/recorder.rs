@@ -1,0 +1,134 @@
+//! Flight recorder: a bounded in-memory ring of the most recent trace
+//! events, kept so that a crash can be explained after the fact.
+//!
+//! The recorder is just another [`TraceSink`], so it can be teed alongside
+//! file sinks ([`Tracer::with_extra_sink`](crate::Tracer::with_extra_sink))
+//! with no changes to instrumented code. When the ring is full the oldest
+//! event is evicted and a drop counter incremented — memory stays bounded
+//! no matter how long the run, and the tail of the trace (the part that
+//! explains the failure) is always intact.
+//!
+//! The Pregel runtime drains the ring into a post-mortem bundle whenever a
+//! run ends in a `PregelError`; see `gm-pregel`'s post-mortem module.
+
+use crate::event::Event;
+use crate::sink::TraceSink;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity when none is configured.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// A bounded ring buffer of recent trace events.
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, event: &Event) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, Kind};
+    use std::borrow::Cow;
+
+    fn ev(name: &'static str, ts: u64) -> Event {
+        Event {
+            name: Cow::Borrowed(name),
+            cat: Category::Runtime,
+            kind: Kind::Instant,
+            ts_us: ts,
+            tid: 0,
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn retains_the_most_recent_events() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..10 {
+            rec.record(&ev("e", i));
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(rec.dropped(), 7);
+        let ts: Vec<u64> = events.iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let rec = FlightRecorder::new(0);
+        rec.record(&ev("only", 1));
+        assert_eq!(rec.capacity(), 1);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn empty_recorder_reports_empty() {
+        let rec = FlightRecorder::default();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.capacity(), DEFAULT_CAPACITY);
+    }
+}

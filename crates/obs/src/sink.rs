@@ -10,7 +10,7 @@ use crate::event::Event;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A destination for trace events. Implementations must be `Send + Sync`:
 /// runtime workers record from their own threads.
@@ -23,6 +23,18 @@ pub trait TraceSink: Send + Sync {
     /// logic error that sinks may ignore.
     fn finish(&self) -> io::Result<()> {
         Ok(())
+    }
+}
+
+/// `Arc<S>` forwards to `S`, so shared sinks (e.g. a flight recorder that
+/// must stay inspectable after recording) can sit inside a [`TeeSink`].
+impl<T: TraceSink + ?Sized> TraceSink for Arc<T> {
+    fn record(&self, event: &Event) {
+        (**self).record(event);
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        (**self).finish()
     }
 }
 
@@ -102,6 +114,14 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     }
 }
 
+/// Flushes on drop (including panic unwind), so a crashed run still leaves
+/// every completed line on disk.
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
 /// Streams events in Chrome Trace Event Format: a JSON object with a
 /// `traceEvents` array, understood by `chrome://tracing` and Perfetto.
 ///
@@ -115,6 +135,7 @@ pub struct ChromeSink<W: Write + Send> {
 struct ChromeState<W: Write> {
     out: BufWriter<W>,
     wrote_any: bool,
+    finished: bool,
     named_tids: Vec<u32>,
 }
 
@@ -132,6 +153,7 @@ impl<W: Write + Send> ChromeSink<W> {
             state: Mutex::new(ChromeState {
                 out: BufWriter::new(writer),
                 wrote_any: false,
+                finished: false,
                 named_tids: Vec::new(),
             }),
         }
@@ -160,9 +182,29 @@ impl<W: Write + Send> ChromeState<W> {
     }
 }
 
+impl<W: Write + Send> ChromeState<W> {
+    /// Writes the array/object terminator and flushes, exactly once;
+    /// shared by `finish` and the unwind-safe `Drop`.
+    fn finalize(&mut self) -> io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        if !self.wrote_any {
+            self.out.write_all(b"{\"traceEvents\":[")?;
+            self.wrote_any = true;
+        }
+        self.out.write_all(b"\n]}\n")?;
+        self.out.flush()
+    }
+}
+
 impl<W: Write + Send> TraceSink for ChromeSink<W> {
     fn record(&self, event: &Event) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.finished {
+            return;
+        }
         if !state.named_tids.contains(&event.tid) {
             state.named_tids.push(event.tid);
             let meta = format!(
@@ -177,13 +219,18 @@ impl<W: Write + Send> TraceSink for ChromeSink<W> {
     }
 
     fn finish(&self) -> io::Result<()> {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        if !state.wrote_any {
-            state.out.write_all(b"{\"traceEvents\":[")?;
-            state.wrote_any = true;
-        }
-        state.out.write_all(b"\n]}\n")?;
-        state.out.flush()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .finalize()
+    }
+}
+
+/// Finalizes on drop (including panic unwind): the trace from a crashed
+/// run is still a complete, loadable Chrome JSON document.
+impl<W: Write + Send> Drop for ChromeSink<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
     }
 }
 
@@ -309,6 +356,56 @@ mod tests {
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let doc = json::parse(&text).unwrap();
         assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn dropped_chrome_sink_without_finish_is_still_valid_json() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        {
+            let sink = ChromeSink::new(SharedBuf(buf.clone()));
+            sink.record(&ev("compute", 1, 10, 5));
+            // No finish(): simulate a crashed run unwinding past the sink.
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 2); // span + thread_name metadata
+    }
+
+    #[test]
+    fn finish_then_drop_writes_terminator_once() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        {
+            let sink = ChromeSink::new(SharedBuf(buf.clone()));
+            sink.record(&ev("a", 0, 0, 1));
+            sink.finish().unwrap();
+            sink.record(&ev("ignored after finish", 0, 5, 1));
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.matches("]}").count(), 1);
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dropped_jsonl_sink_flushes_buffered_lines() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        {
+            let sink = JsonlSink::new(SharedBuf(buf.clone()));
+            sink.record(&ev("a", 0, 1, 2));
+            // No finish().
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(json::parse(text.lines().next().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn arc_sink_forwards_records() {
+        let inner = Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![Box::new(inner.clone())]);
+        tee.record(&ev("x", 0, 0, 0));
+        assert_eq!(inner.len(), 1);
     }
 
     #[test]

@@ -91,6 +91,20 @@ impl Tracer {
         Ok(Self::new(Arc::new(TeeSink::new(sinks))))
     }
 
+    /// A tracer recording to this tracer's sink **and** `extra`, on the
+    /// same epoch (timestamps from either handle stay comparable). Used by
+    /// the runtime to tee a flight recorder alongside whatever sink the
+    /// caller configured.
+    pub fn with_extra_sink(&self, extra: Arc<dyn TraceSink>) -> Tracer {
+        let tee = TeeSink::new(vec![Box::new(self.inner.sink.clone()), Box::new(extra)]);
+        Tracer {
+            inner: Arc::new(Inner {
+                epoch: self.inner.epoch,
+                sink: Arc::new(tee),
+            }),
+        }
+    }
+
     /// Microseconds since the trace epoch.
     pub fn now_us(&self) -> u64 {
         self.inner.epoch.elapsed().as_micros() as u64
@@ -224,6 +238,20 @@ mod tests {
         assert_eq!(sink.len(), 2);
         // Timestamps from either handle are on the same clock.
         assert!(clone.now_us() <= tracer.now_us() + 1_000_000);
+    }
+
+    #[test]
+    fn extra_sink_sees_every_event_and_shares_the_epoch() {
+        let (tracer, primary) = Tracer::in_memory();
+        let extra = Arc::new(MemorySink::new());
+        let teed = tracer.with_extra_sink(extra.clone());
+        teed.span_at("a", Category::Runtime, 0, 1, 2, vec![]);
+        tracer.span_at("b", Category::Runtime, 0, 3, 2, vec![]);
+        // The primary sink saw both; the extra only what went through the
+        // teed handle.
+        assert_eq!(primary.len(), 2);
+        assert_eq!(extra.len(), 1);
+        assert_eq!(extra.events()[0].name, "a");
     }
 
     #[test]

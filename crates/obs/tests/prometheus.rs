@@ -1,0 +1,256 @@
+//! Format check for the Prometheus text exposition: every line the
+//! registry renders must parse as `# HELP`, `# TYPE`, or a sample, and
+//! histogram series must expose monotone cumulative buckets ending at
+//! `+Inf` with matching `_sum`/`_count`.
+
+use gm_obs::metrics::MetricsRegistry;
+use std::collections::HashMap;
+
+/// One parsed sample line: name, labels, value.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses a sample line, panicking with context on any malformation.
+fn parse_sample(line: &str) -> Sample {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("sample line has no value separator: {line:?}"));
+    let value: f64 = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"))
+    };
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_owned(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated label set in {line:?}"));
+            let labels = body
+                .split(',')
+                .map(|pair| {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("label without '=' in {line:?}"));
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "unquoted label value in {line:?}"
+                    );
+                    assert!(
+                        k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                        "bad label name {k:?} in {line:?}"
+                    );
+                    (k.to_owned(), v[1..v.len() - 1].to_owned())
+                })
+                .collect();
+            (name.to_owned(), labels)
+        }
+    };
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "bad metric name {name:?} in {line:?}"
+    );
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+/// Validates a full exposition document, returning `(types, samples)`.
+fn check_exposition(text: &str) -> (HashMap<String, String>, Vec<Sample>) {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashMap<String, String> = HashMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP without text");
+            assert!(
+                helps.insert(name.to_owned(), help.to_owned()).is_none(),
+                "duplicate HELP for {name}"
+            );
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').expect("TYPE without kind");
+            assert!(
+                matches!(ty, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {ty:?}"
+            );
+            assert!(
+                types.insert(name.to_owned(), ty.to_owned()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+        } else {
+            assert!(
+                !line.starts_with('#'),
+                "comment line that is neither HELP nor TYPE: {line:?}"
+            );
+            samples.push(parse_sample(line));
+        }
+    }
+    // Every sample belongs to a declared family (histograms via suffixes).
+    for s in &samples {
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .filter_map(|suf| s.name.strip_suffix(suf))
+            .find(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(&s.name);
+        assert!(
+            types.contains_key(family),
+            "sample {} has no TYPE declaration",
+            s.name
+        );
+        assert!(
+            helps.contains_key(family),
+            "sample {} has no HELP declaration",
+            s.name
+        );
+    }
+    (types, samples)
+}
+
+/// A registry shaped like the runtime's: per-phase latency histograms plus
+/// direction-labeled counters and a gauge.
+fn runtime_like_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    for phase in ["master", "compute", "combine", "exchange", "barrier"] {
+        let h = registry.histogram_with(
+            "gm_phase_seconds",
+            "wall-clock per superstep phase",
+            &[("phase", phase)],
+        );
+        for i in 1..=50 {
+            h.observe(i as f64 * 2e-4);
+        }
+    }
+    registry
+        .counter_with(
+            "gm_supersteps_total",
+            "supersteps by direction",
+            &[("direction", "push")],
+        )
+        .add(9);
+    registry
+        .counter_with(
+            "gm_supersteps_total",
+            "supersteps by direction",
+            &[("direction", "pull")],
+        )
+        .add(4);
+    registry
+        .gauge("gm_frontier_density", "frontier edges / total edges")
+        .set(0.125);
+    registry
+}
+
+#[test]
+fn every_line_parses_as_help_type_or_sample() {
+    let registry = runtime_like_registry();
+    let text = registry.render_prometheus();
+    assert!(!text.is_empty());
+    let (types, samples) = check_exposition(&text);
+    assert_eq!(
+        types.get("gm_phase_seconds").map(String::as_str),
+        Some("histogram")
+    );
+    assert_eq!(
+        types.get("gm_supersteps_total").map(String::as_str),
+        Some("counter")
+    );
+    assert_eq!(
+        types.get("gm_frontier_density").map(String::as_str),
+        Some("gauge")
+    );
+    assert!(samples.len() > 5 * 3); // at least buckets+sum+count per phase
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_close_at_inf() {
+    let registry = runtime_like_registry();
+    let (_, samples) = check_exposition(&registry.render_prometheus());
+    for phase in ["master", "compute", "combine", "exchange", "barrier"] {
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| {
+                s.name == "gm_phase_seconds_bucket"
+                    && s.labels.contains(&("phase".to_owned(), phase.to_owned()))
+            })
+            .collect();
+        assert!(!buckets.is_empty(), "no buckets for phase {phase}");
+        // Cumulative counts are non-decreasing in `le` order (the render
+        // order), and the last bucket is +Inf with the full count.
+        let les: Vec<f64> = buckets
+            .iter()
+            .map(|s| {
+                let le = &s.labels.iter().find(|(k, _)| k == "le").unwrap().1;
+                if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap()
+                }
+            })
+            .collect();
+        assert!(
+            les.windows(2).all(|w| w[0] < w[1]),
+            "le out of order: {les:?}"
+        );
+        let counts: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "non-cumulative buckets for {phase}: {counts:?}"
+        );
+        assert_eq!(*les.last().unwrap(), f64::INFINITY);
+        assert_eq!(*counts.last().unwrap(), 50.0);
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == "gm_phase_seconds_count"
+                    && s.labels.contains(&("phase".to_owned(), phase.to_owned()))
+            })
+            .expect("missing _count");
+        assert_eq!(count.value, 50.0);
+        let sum = samples
+            .iter()
+            .find(|s| {
+                s.name == "gm_phase_seconds_sum"
+                    && s.labels.contains(&("phase".to_owned(), phase.to_owned()))
+            })
+            .expect("missing _sum");
+        assert!((sum.value - 0.255).abs() < 1e-9, "sum = {}", sum.value);
+    }
+}
+
+#[test]
+fn per_phase_percentiles_are_extractable() {
+    let registry = runtime_like_registry();
+    for phase in ["master", "compute", "combine", "exchange", "barrier"] {
+        let h = registry.histogram_with(
+            "gm_phase_seconds",
+            "wall-clock per superstep phase",
+            &[("phase", phase)],
+        );
+        let (p50, _p90, p99) = h.percentiles();
+        // Observations are 0.2ms..10ms; the quantiles must land inside
+        // and stay ordered.
+        assert!(p50 > 1e-4 && p50 < 1e-2, "{phase} p50 = {p50}");
+        assert!(p99 >= p50 && p99 <= 1e-2 + 1e-9, "{phase} p99 = {p99}");
+    }
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let registry = MetricsRegistry::new();
+    registry
+        .counter_with("odd_total", "odd labels", &[("path", "a\\b\"c\nd")])
+        .inc();
+    let text = registry.render_prometheus();
+    let line = text.lines().find(|l| l.starts_with("odd_total")).unwrap();
+    assert!(line.contains("a\\\\b\\\"c\\nd"), "{line}");
+}

@@ -124,6 +124,7 @@ mod globals;
 mod govern;
 mod metrics;
 mod persist;
+mod postmortem;
 mod program;
 mod runtime;
 mod value;
@@ -135,6 +136,7 @@ pub use govern::{
     ENV_SUPERSTEP_DEADLINE_MS,
 };
 pub use metrics::{Metrics, RecoveryStats, SpillStats, SuperstepMetrics};
+pub use postmortem::{PostMortemConfig, ENV_FLIGHT_RECORDER_EVENTS, ENV_POST_MORTEM_DIR};
 pub use program::{MasterContext, MasterDecision, PullMode, VertexContext, VertexProgram};
 pub use runtime::{
     run, run_with_recovery, PregelConfig, PregelError, PregelResult, Schedule, ENV_DENSE_THRESHOLD,

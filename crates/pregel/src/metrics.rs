@@ -31,6 +31,7 @@
 //! [`master_compute`]: crate::VertexProgram::master_compute
 
 use gm_obs::json::Json;
+use gm_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::time::Duration;
 
 /// Counters for a single superstep.
@@ -356,6 +357,14 @@ impl Metrics {
             ("master_us".to_owned(), dur_us(self.master_time)),
             ("barrier_us".to_owned(), dur_us(self.barrier_time)),
             (
+                "pull_supersteps".to_owned(),
+                Json::UInt(self.pull_supersteps as u64),
+            ),
+            (
+                "direction_switches".to_owned(),
+                Json::UInt(self.direction_switches as u64),
+            ),
+            (
                 "per_superstep".to_owned(),
                 Json::Arr(
                     self.per_superstep
@@ -373,6 +382,147 @@ impl Metrics {
     /// the machine-readable artifact bench runs export via `--trace`.
     pub fn to_json(&self) -> String {
         self.to_json_value().to_string()
+    }
+}
+
+/// Pre-registered handles into a [`MetricsRegistry`], created once per run
+/// so the superstep loop records through lock-free atomics instead of
+/// touching the registry's family table.
+///
+/// All counters are cumulative across runs sharing the registry (the
+/// Prometheus contract — a scraping daemon serves many jobs from one
+/// registry); gauges reflect the most recent superstep.
+pub(crate) struct RegistryFeed {
+    superstep_seconds: Histogram,
+    master_seconds: Histogram,
+    compute_seconds: Histogram,
+    combine_seconds: Histogram,
+    exchange_seconds: Histogram,
+    barrier_seconds: Histogram,
+    messages_total: Counter,
+    message_bytes_total: Counter,
+    remote_message_bytes_total: Counter,
+    supersteps_push: Counter,
+    supersteps_pull: Counter,
+    direction_switches_total: Counter,
+    spilled_message_bytes_total: Counter,
+    checkpoints_ok: Counter,
+    checkpoints_failed: Counter,
+    active_vertices: Gauge,
+    frontier_density: Gauge,
+}
+
+const PHASE_HELP: &str = "wall-clock seconds per BSP phase, one observation per superstep";
+
+impl RegistryFeed {
+    pub(crate) fn new(registry: &MetricsRegistry) -> Self {
+        let phase = |name: &str| {
+            registry.histogram_with("gm_phase_seconds", PHASE_HELP, &[("phase", name)])
+        };
+        RegistryFeed {
+            superstep_seconds: registry.histogram(
+                "gm_superstep_seconds",
+                "wall-clock seconds per superstep (master through barrier)",
+            ),
+            master_seconds: phase("master"),
+            compute_seconds: phase("compute"),
+            combine_seconds: phase("combine"),
+            exchange_seconds: phase("exchange"),
+            barrier_seconds: phase("barrier"),
+            messages_total: registry.counter("gm_messages_total", "messages sent"),
+            message_bytes_total: registry
+                .counter("gm_message_bytes_total", "serialized message bytes sent"),
+            remote_message_bytes_total: registry.counter(
+                "gm_remote_message_bytes_total",
+                "message bytes that crossed a worker boundary",
+            ),
+            supersteps_push: registry.counter_with(
+                "gm_supersteps_total",
+                "supersteps executed, by message-movement direction",
+                &[("direction", "push")],
+            ),
+            supersteps_pull: registry.counter_with(
+                "gm_supersteps_total",
+                "supersteps executed, by message-movement direction",
+                &[("direction", "pull")],
+            ),
+            direction_switches_total: registry.counter(
+                "gm_direction_switches_total",
+                "consecutive supersteps that changed push/pull direction",
+            ),
+            spilled_message_bytes_total: registry.counter(
+                "gm_spilled_message_bytes_total",
+                "message bytes diverted to spill files by the resource budget",
+            ),
+            checkpoints_ok: registry.counter_with(
+                "gm_checkpoints_total",
+                "checkpoint snapshot writes, by result",
+                &[("result", "ok")],
+            ),
+            checkpoints_failed: registry.counter_with(
+                "gm_checkpoints_total",
+                "checkpoint snapshot writes, by result",
+                &[("result", "failed")],
+            ),
+            active_vertices: registry.gauge(
+                "gm_active_vertices",
+                "active vertices entering the next superstep",
+            ),
+            frontier_density: registry.gauge(
+                "gm_frontier_density",
+                "active vertices as a fraction of all vertices",
+            ),
+        }
+    }
+
+    /// Records one completed superstep. `wall` is the measured superstep
+    /// wall-clock, `active` the frontier entering the next superstep, and
+    /// `switched` whether the direction changed from the previous executed
+    /// superstep.
+    pub(crate) fn record_superstep(
+        &self,
+        step: &SuperstepMetrics,
+        wall: Duration,
+        active: u32,
+        num_nodes: u32,
+        spilled_bytes: u64,
+        switched: bool,
+    ) {
+        self.superstep_seconds.observe(wall.as_secs_f64());
+        self.master_seconds.observe(step.master_time.as_secs_f64());
+        self.compute_seconds
+            .observe(step.compute_time.as_secs_f64());
+        self.combine_seconds
+            .observe(step.combine_time.as_secs_f64());
+        self.exchange_seconds
+            .observe(step.exchange_time.as_secs_f64());
+        self.barrier_seconds
+            .observe(step.barrier_time.as_secs_f64());
+        self.messages_total.add(step.messages_sent);
+        self.message_bytes_total.add(step.message_bytes);
+        self.remote_message_bytes_total
+            .add(step.remote_message_bytes);
+        if step.pulled {
+            self.supersteps_pull.inc();
+        } else {
+            self.supersteps_push.inc();
+        }
+        if switched {
+            self.direction_switches_total.inc();
+        }
+        self.spilled_message_bytes_total.add(spilled_bytes);
+        self.active_vertices.set(f64::from(active));
+        self.frontier_density
+            .set(f64::from(active) / f64::from(num_nodes.max(1)));
+    }
+
+    /// Records one checkpoint write attempt.
+    pub(crate) fn record_checkpoint(&self, ok: bool) {
+        if ok {
+            self.checkpoints_ok.inc();
+        } else {
+            self.checkpoints_failed.inc();
+        }
     }
 }
 
@@ -477,6 +627,53 @@ mod tests {
             spill.get("peak_in_flight_bytes").unwrap().as_u64(),
             Some(128)
         );
+    }
+
+    #[test]
+    fn to_json_exports_schedule_counters() {
+        let mut m = Metrics::default();
+        m.record(SuperstepMetrics {
+            pulled: false,
+            ..Default::default()
+        });
+        m.record(SuperstepMetrics {
+            pulled: true,
+            ..Default::default()
+        });
+        m.record(SuperstepMetrics {
+            pulled: true,
+            ..Default::default()
+        });
+        let doc = gm_obs::json::parse(&m.to_json()).unwrap();
+        assert_eq!(doc.get("pull_supersteps").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("direction_switches").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn registry_feed_populates_per_phase_series() {
+        let registry = MetricsRegistry::new();
+        let feed = RegistryFeed::new(&registry);
+        let step = SuperstepMetrics {
+            messages_sent: 5,
+            message_bytes: 40,
+            compute_time: Duration::from_millis(2),
+            master_time: Duration::from_millis(1),
+            pulled: true,
+            ..Default::default()
+        };
+        feed.record_superstep(&step, Duration::from_millis(4), 7, 100, 16, true);
+        feed.record_checkpoint(true);
+        feed.record_checkpoint(false);
+        let text = registry.render_prometheus();
+        assert!(text.contains("gm_superstep_seconds_bucket{le="));
+        assert!(text.contains("gm_phase_seconds_bucket{phase=\"compute\",le="));
+        assert!(text.contains("gm_supersteps_total{direction=\"pull\"} 1"));
+        assert!(text.contains("gm_direction_switches_total 1"));
+        assert!(text.contains("gm_spilled_message_bytes_total 16"));
+        assert!(text.contains("gm_checkpoints_total{result=\"failed\"} 1"));
+        assert!(text.contains("gm_active_vertices 7"));
+        assert!(text.contains("gm_frontier_density 0.07"));
+        assert!(text.contains("gm_message_bytes_total 40"));
     }
 
     #[test]

@@ -44,20 +44,23 @@ use crate::checkpoint::{
 };
 use crate::globals::{AggMap, Globals};
 use crate::govern::{read_spill_into, write_spill, Governor, ResourceBudget};
-use crate::metrics::{Metrics, SuperstepMetrics};
+use crate::metrics::{Metrics, RegistryFeed, SuperstepMetrics};
+use crate::postmortem::{write_bundle, PostMortemConfig};
 use crate::program::{
     MasterContext, MasterDecision, PullMode, PullSink, VertexContext, VertexProgram,
 };
 use gm_ckpt::{ByteReader, CheckpointStore, CkptError, FaultPlan, Persist};
 use gm_graph::{Graph, NodeId};
+use gm_obs::metrics::MetricsRegistry;
+use gm_obs::recorder::FlightRecorder;
 use gm_obs::{Category, Tracer};
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 /// Environment variable read by [`PregelConfig::default`] for the message
@@ -152,6 +155,23 @@ pub struct PregelConfig {
     /// `active_vertices × avg_degree > dense_threshold × |E|`. The default
     /// is read from `GM_DENSE_THRESHOLD`, falling back to `0.05`.
     pub dense_threshold: f64,
+    /// Crash forensics: when set, the runtime tees a bounded
+    /// [`FlightRecorder`] behind the tracer (creating a recorder-only
+    /// tracer when tracing is off) and, should the run end in a
+    /// [`PregelError`], dumps the recent trace events together with config,
+    /// metrics, and superstep counters into a fresh post-mortem bundle
+    /// directory — the returned error then carries the bundle path
+    /// ([`PregelError::PostMortem`]). The default is read from
+    /// `GM_POST_MORTEM_DIR` ([`PostMortemConfig::from_env`]), off when
+    /// unset.
+    pub post_mortem: Option<PostMortemConfig>,
+    /// Production metrics: when set, the runtime feeds this registry per
+    /// superstep (phase-latency histograms, message/spill counters,
+    /// frontier gauges, direction and recovery counts) so it can be scraped
+    /// over HTTP or written as Prometheus text exposition while the job
+    /// runs. One registry may be shared across many runs; counters
+    /// accumulate.
+    pub registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for PregelConfig {
@@ -173,6 +193,8 @@ impl Default for PregelConfig {
                 .ok()
                 .and_then(|v| v.trim().parse().ok())
                 .unwrap_or(0.05),
+            post_mortem: PostMortemConfig::from_env(),
+            registry: None,
         }
     }
 }
@@ -234,6 +256,18 @@ impl PregelConfig {
     /// Sets the `Schedule::Auto` dense-frontier threshold.
     pub fn with_dense_threshold(mut self, threshold: f64) -> Self {
         self.dense_threshold = threshold;
+        self
+    }
+
+    /// Enables post-mortem bundles (flight recorder + crash dump).
+    pub fn with_post_mortem(mut self, post_mortem: PostMortemConfig) -> Self {
+        self.post_mortem = Some(post_mortem);
+        self
+    }
+
+    /// Attaches a metrics registry fed per superstep.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 }
@@ -338,6 +372,18 @@ pub enum PregelError {
     /// a compute job with a delivery reply). Never recoverable; indicates
     /// a runtime bug, not a program or resource failure.
     Internal(String),
+    /// A failure for which a post-mortem bundle was written
+    /// ([`PregelConfig::post_mortem`]): the wrapped `source` is the real
+    /// failure, `bundle` the directory holding its forensics (recent trace
+    /// events, config, metrics snapshot). Transparent for classification —
+    /// [`PregelError::is_recoverable`], [`PregelError::kind`], and the
+    /// attribution helpers all delegate to the source.
+    PostMortem {
+        /// Directory of the written bundle.
+        bundle: PathBuf,
+        /// The failure the bundle documents.
+        source: Box<PregelError>,
+    },
 }
 
 impl fmt::Display for PregelError {
@@ -418,6 +464,9 @@ impl fmt::Display for PregelError {
             }
             PregelError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             PregelError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
+            PregelError::PostMortem { bundle, source } => {
+                write!(f, "{source} (post-mortem bundle: {})", bundle.display())
+            }
         }
     }
 }
@@ -427,6 +476,7 @@ impl Error for PregelError {
         match self {
             PregelError::Checkpoint(e) => Some(e),
             PregelError::SpillFailed { source, .. } => Some(source),
+            PregelError::PostMortem { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -437,13 +487,67 @@ impl PregelError {
     /// caused by a worker or a resource limit, nothing caused by bad
     /// configuration or a broken runtime invariant.
     pub fn is_recoverable(&self) -> bool {
-        matches!(
-            self,
-            PregelError::WorkerPanicked { .. }
-                | PregelError::DeadlineExceeded { .. }
-                | PregelError::BudgetExceeded { .. }
-                | PregelError::SpillFailed { .. }
-        )
+        match self {
+            PregelError::PostMortem { source, .. } => source.is_recoverable(),
+            _ => matches!(
+                self,
+                PregelError::WorkerPanicked { .. }
+                    | PregelError::DeadlineExceeded { .. }
+                    | PregelError::BudgetExceeded { .. }
+                    | PregelError::SpillFailed { .. }
+            ),
+        }
+    }
+
+    /// A stable, label-safe slug for the failure class (used as the `kind`
+    /// label of `gm_failures_total` and in post-mortem manifests). A
+    /// [`PregelError::PostMortem`] wrapper reports its source's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PregelError::SuperstepLimitExceeded { .. } => "superstep_limit",
+            PregelError::InvalidConfig(_) => "invalid_config",
+            PregelError::NotPullable { .. } => "not_pullable",
+            PregelError::WorkerPanicked { .. } => "worker_panicked",
+            PregelError::DeadlineExceeded { .. } => "deadline_exceeded",
+            PregelError::BudgetExceeded { .. } => "budget_exceeded",
+            PregelError::SpillFailed { .. } => "spill_failed",
+            PregelError::Quarantined { .. } => "quarantined",
+            PregelError::Checkpoint(_) => "checkpoint",
+            PregelError::Internal(_) => "internal",
+            PregelError::PostMortem { source, .. } => source.kind(),
+        }
+    }
+
+    /// The post-mortem bundle directory documenting this failure, when one
+    /// was written.
+    pub fn post_mortem_bundle(&self) -> Option<&Path> {
+        match self {
+            PregelError::PostMortem { bundle, .. } => Some(bundle),
+            _ => None,
+        }
+    }
+
+    /// Splits a [`PregelError::PostMortem`] wrapper into the underlying
+    /// failure and its bundle path; other errors pass through with `None`.
+    /// The recovery supervisor compares failure *signatures* across
+    /// attempts — bundle paths differ per attempt, so signatures must be
+    /// computed on the detached error.
+    pub fn detach_post_mortem(self) -> (PregelError, Option<PathBuf>) {
+        match self {
+            PregelError::PostMortem { bundle, source } => (*source, Some(bundle)),
+            other => (other, None),
+        }
+    }
+
+    /// Re-wraps an error with a previously detached bundle path.
+    fn with_post_mortem(self, bundle: Option<PathBuf>) -> PregelError {
+        match bundle {
+            Some(bundle) => PregelError::PostMortem {
+                bundle,
+                source: Box::new(self),
+            },
+            None => self,
+        }
     }
 }
 
@@ -543,8 +647,9 @@ impl WorkerFailure {
 }
 
 /// The superstep-independent attribution of an error: (superstep, worker,
-/// vertex), used by the restart tracer and the quarantine wrapper.
-fn failure_site(error: &PregelError) -> (u32, Option<u32>, Option<u32>) {
+/// vertex), used by the restart tracer, the quarantine wrapper, and
+/// post-mortem manifests.
+pub(crate) fn failure_site(error: &PregelError) -> (u32, Option<u32>, Option<u32>) {
     match error {
         PregelError::WorkerPanicked {
             superstep,
@@ -559,6 +664,13 @@ fn failure_site(error: &PregelError) -> (u32, Option<u32>, Option<u32>) {
         PregelError::SpillFailed {
             superstep, worker, ..
         } => (*superstep, Some(*worker), None),
+        PregelError::Quarantined {
+            superstep,
+            worker,
+            vertex,
+            ..
+        } => (*superstep, *worker, *vertex),
+        PregelError::PostMortem { source, .. } => failure_site(source),
         _ => (0, None, None),
     }
 }
@@ -651,6 +763,48 @@ impl From<CkptError> for FailedRun {
     }
 }
 
+/// Final accounting for a failed superstep loop: counts the failure in the
+/// metrics registry and, when post-mortems are enabled, writes the bundle
+/// and wraps the error with its path. Forensics are best-effort — a bundle
+/// that cannot be written never masks the run's real failure.
+fn seal_failure(
+    failed: FailedRun,
+    config: &PregelConfig,
+    graph: &Graph,
+    metrics: &Metrics,
+    recorder: Option<&FlightRecorder>,
+) -> FailedRun {
+    let FailedRun {
+        error,
+        wasted_supersteps,
+        wasted_time,
+    } = failed;
+    if let Some(registry) = &config.registry {
+        registry
+            .counter_with(
+                "gm_failures_total",
+                "runs that ended in an error, by failure kind",
+                &[("kind", error.kind())],
+            )
+            .inc();
+    }
+    let error = match &config.post_mortem {
+        Some(pm) => match write_bundle(pm, &error, config, graph, metrics, recorder) {
+            Ok(bundle) => PregelError::PostMortem {
+                bundle,
+                source: Box::new(error),
+            },
+            Err(_) => error,
+        },
+        None => error,
+    };
+    FailedRun {
+        error,
+        wasted_supersteps,
+        wasted_time,
+    }
+}
+
 fn run_inner<P>(
     graph: &Graph,
     program: &mut P,
@@ -690,7 +844,19 @@ where
     let n = graph.num_nodes() as usize;
     let num_workers = config.num_workers.min(n.max(1));
     let starts = partition(graph, num_workers);
-    let tracer = config.tracer.as_ref();
+    // Post-mortem capture: tee a bounded flight recorder behind whatever
+    // tracer the caller configured (or trace into the recorder alone), so
+    // the final moments of a crashed run are always on hand for the bundle.
+    let recorder = config
+        .post_mortem
+        .as_ref()
+        .map(|pm| Arc::new(FlightRecorder::new(pm.capacity)));
+    let tracer_handle: Option<Tracer> = match (&config.tracer, &recorder) {
+        (Some(t), Some(r)) => Some(t.with_extra_sink(r.clone())),
+        (None, Some(r)) => Some(Tracer::new(r.clone())),
+        (t, None) => t.clone(),
+    };
+    let tracer = tracer_handle.as_ref();
     let governor = Governor::new(&config.budget, num_workers)?;
 
     // Resume path: locate and decode the newest valid snapshot before any
@@ -711,6 +877,11 @@ where
             if let Some(rec) = runner.store.latest_valid()? {
                 let mut rs = decode_snapshot::<P>(&rec.snapshot, graph, program)?;
                 rs.metrics.recovery.restores += 1;
+                if let Some(registry) = &config.registry {
+                    registry
+                        .counter("gm_restores_total", "successful snapshot restores")
+                        .inc();
+                }
                 rs.metrics.recovery.corrupt_snapshots_discarded += rec.discarded;
                 rs.metrics.recovery.restore_time += restore_started.elapsed();
                 if let (Some(t), Some(ts)) = (tracer, restore_start_us) {
@@ -741,11 +912,12 @@ where
     // across the current partition. The stores live in `Shared` behind
     // per-worker `RwLock`s: a worker writes only its own store (compute),
     // but gathered supersteps let every worker read every store.
-    let (mut states, store_data, globals, drive_init): (
+    let (mut states, store_data, globals, drive_init, mut metrics): (
         Vec<WorkerState<P>>,
         Vec<VertexStore<P>>,
         Globals,
         DriveInit,
+        Metrics,
     ) = match resume {
         None => (
             (0..num_workers)
@@ -762,6 +934,7 @@ where
                 .collect(),
             Globals::new(),
             DriveInit::fresh(graph.num_nodes()),
+            Metrics::default(),
         ),
         Some(rs) => {
             let ResumeState {
@@ -793,9 +966,8 @@ where
                 active_vertices: coord.active_vertices,
                 pending_messages: coord.pending_messages,
                 agg_prev: coord.agg_prev,
-                metrics,
             };
-            (states, store_data, coord.globals, drive_init)
+            (states, store_data, coord.globals, drive_init, metrics)
         }
     };
 
@@ -804,7 +976,7 @@ where
         program: RwLock::new(program),
         globals: RwLock::new(globals),
         stores: store_data.into_iter().map(RwLock::new).collect(),
-        tracer: config.tracer.clone(),
+        tracer: tracer_handle.clone(),
         faults: config.faults.clone(),
         governor,
     };
@@ -817,12 +989,13 @@ where
                 "single-worker run built no worker state".into(),
             )));
         };
-        let metrics = drive(
+        let drive_result = drive(
             &shared,
             &starts,
             config,
             drive_init,
             ckpt,
+            &mut metrics,
             |job| match job {
                 PhaseJob::Compute {
                     superstep,
@@ -919,7 +1092,16 @@ where
                     }
                 }
             },
-        )?;
+        );
+        if let Err(failed) = drive_result {
+            return Err(seal_failure(
+                failed,
+                config,
+                graph,
+                &metrics,
+                recorder.as_deref(),
+            ));
+        }
         let values = std::mem::take(&mut write_lock(&shared.stores[0]).values);
         return Ok(PregelResult { values, metrics });
     }
@@ -948,6 +1130,7 @@ where
             config,
             drive_init,
             ckpt,
+            &mut metrics,
             |job| match job {
                 PhaseJob::Compute {
                     superstep,
@@ -1029,7 +1212,15 @@ where
                 join_panic = Some(panic);
             }
         }
-        let metrics = drive_result?;
+        if let Err(failed) = drive_result {
+            return Err(seal_failure(
+                failed,
+                config,
+                graph,
+                &metrics,
+                recorder.as_deref(),
+            ));
+        }
         if let Some(panic) = join_panic {
             // A panic escaped a worker's catch_unwind — not an injected or
             // kernel fault; re-raise it.
@@ -1108,6 +1299,11 @@ where
                 }
                 wasted_supersteps += failed.wasted_supersteps;
                 wasted_time += failed.wasted_time;
+                // Detach any post-mortem bundle before comparing failure
+                // signatures: each attempt writes a fresh bundle directory,
+                // which would make identical failures look distinct. The
+                // newest bundle is re-attached to whatever error escapes.
+                let (error, bundle) = error.detach_post_mortem();
                 let rendered = error.to_string();
                 if signature.as_deref() == Some(rendered.as_str()) {
                     streak += 1;
@@ -1121,11 +1317,18 @@ where
                     // it so callers can tell "retrying cannot help" apart
                     // from "ran out of luck".
                     if streak == attempt + 1 {
-                        return Err(quarantine(&error, attempt + 1));
+                        if let Some(r) = &config.registry {
+                            r.counter("gm_quarantines_total", "deterministic failures quarantined")
+                                .inc();
+                        }
+                        return Err(quarantine(&error, attempt + 1).with_post_mortem(bundle));
                     }
-                    return Err(error);
+                    return Err(error.with_post_mortem(bundle));
                 }
                 attempt += 1;
+                if let Some(r) = &config.registry {
+                    r.counter("gm_restarts_total", "recovery restarts").inc();
+                }
                 if let Some(t) = config.tracer.as_ref() {
                     let (superstep, _, _) = failure_site(&error);
                     t.instant(
@@ -1278,7 +1481,6 @@ struct DriveInit {
     active_vertices: u32,
     pending_messages: u64,
     agg_prev: AggMap,
-    metrics: Metrics,
 }
 
 impl DriveInit {
@@ -1288,7 +1490,6 @@ impl DriveInit {
             active_vertices: num_nodes,
             pending_messages: 0,
             agg_prev: AggMap::new(),
-            metrics: Metrics::default(),
         }
     }
 }
@@ -1345,14 +1546,19 @@ fn failure_error(failure: PhaseFailure, superstep: u32, deadline: Option<Duratio
 /// The BSP superstep loop, common to the inline and pooled executors.
 /// `phase` runs one phase across all workers and returns their outputs in
 /// ascending worker order, or the [`PhaseFailure`] that lost a worker.
+///
+/// `metrics` is borrowed rather than owned so that on failure the caller
+/// still holds everything accumulated up to the failing superstep — the
+/// post-mortem bundle snapshots it.
 fn drive<P, F>(
     shared: &Shared<'_, P>,
     starts: &[u32],
     config: &PregelConfig,
     init: DriveInit,
     mut ckpt: Option<CkptRunner>,
+    metrics: &mut Metrics,
     mut phase: F,
-) -> Result<Metrics, FailedRun>
+) -> Result<(), FailedRun>
 where
     P: VertexProgram,
     F: FnMut(PhaseJob<P::Message>) -> Result<PhaseResult<P::Message>, PhaseFailure>,
@@ -1360,12 +1566,15 @@ where
     let num_workers = starts.len() - 1;
     let num_nodes = shared.graph.num_nodes();
     let tracer = shared.tracer.as_ref();
+    let feed = config.registry.as_ref().map(|r| RegistryFeed::new(r));
+    // Direction of the last *executed* superstep, restored across resumes,
+    // for the registry's switch counter.
+    let mut last_pulled: Option<bool> = metrics.per_superstep.last().map(|s| s.pulled);
     let DriveInit {
         mut superstep,
         mut active_vertices,
         mut pending_messages,
         mut agg_prev,
-        mut metrics,
     } = init;
     let start = Instant::now();
     // Work past this attempt's entry point is lost on failure: a restart
@@ -1433,6 +1642,9 @@ where
                 snap_metrics.elapsed += start.elapsed();
                 if shared.faults.trip_fail_checkpoint_write(superstep) {
                     metrics.recovery.checkpoint_failures += 1;
+                    if let Some(f) = &feed {
+                        f.record_checkpoint(false);
+                    }
                     if let Some(t) = tracer {
                         t.instant(
                             "checkpoint_failed",
@@ -1456,6 +1668,9 @@ where
                         Ok((path, bytes)) => {
                             metrics.recovery.checkpoints_written += 1;
                             metrics.recovery.snapshot_bytes += bytes;
+                            if let Some(f) = &feed {
+                                f.record_checkpoint(true);
+                            }
                             if let Ok(Some(what)) =
                                 shared.faults.corrupt_after_write(superstep, &path)
                             {
@@ -1488,6 +1703,9 @@ where
                             // A failed snapshot write is not fatal — the run
                             // proceeds with one fewer recovery point.
                             metrics.recovery.checkpoint_failures += 1;
+                            if let Some(f) = &feed {
+                                f.record_checkpoint(false);
+                            }
                             if let Some(t) = tracer {
                                 t.instant(
                                     "checkpoint_failed",
@@ -1878,13 +2096,26 @@ where
             );
         }
 
+        if let Some(f) = &feed {
+            let switched = last_pulled.is_some_and(|p| p != step.pulled);
+            f.record_superstep(
+                &step,
+                wall,
+                active_vertices,
+                num_nodes,
+                step_spilled_bytes,
+                switched,
+            );
+        }
+        last_pulled = Some(step.pulled);
+
         metrics.record(step);
         superstep += 1;
     }
 
     // `+=` so a resumed run accumulates on top of the restored elapsed.
     metrics.elapsed += start.elapsed();
-    Ok(metrics)
+    Ok(())
 }
 
 /// Per-worker results of one compute + combine phase.
@@ -3178,7 +3409,11 @@ mod tests {
                 max_supersteps: 5,
                 ..PregelConfig::default()
             };
-            let err = run(&g, &mut Forever, |_| (), &cfg).unwrap_err();
+            // Variant assertions below look through any post-mortem wrap so
+            // the suite also passes with GM_POST_MORTEM_DIR armed (as CI does).
+            let (err, _) = run(&g, &mut Forever, |_| (), &cfg)
+                .unwrap_err()
+                .detach_post_mortem();
             assert!(matches!(
                 err,
                 PregelError::SuperstepLimitExceeded { limit: 5 }
@@ -3393,7 +3628,9 @@ mod tests {
         for workers in [1usize, 3] {
             let mut cfg = PregelConfig::with_workers(workers);
             cfg.faults = FaultPlan::builder().panic_in_compute(4, None).build();
-            let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+            let (err, _) = run(&g, &mut Rounds::new(), |_| 0, &cfg)
+                .unwrap_err()
+                .detach_post_mortem();
             assert!(
                 matches!(
                     err,
@@ -3418,7 +3655,9 @@ mod tests {
         let cfg = PregelConfig::with_workers(2)
             .with_checkpoints(CheckpointConfig::new(&dir, 3))
             .with_faults(FaultPlan::builder().panic_in_compute(5, None).build());
-        let err = run(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        let (err, _) = run(&g, &mut Rounds::new(), |_| 0, &cfg)
+            .unwrap_err()
+            .detach_post_mortem();
         assert!(matches!(
             err,
             PregelError::WorkerPanicked { superstep: 5, .. }
@@ -3625,7 +3864,9 @@ mod tests {
         for workers in [1usize, 2] {
             let mut cfg = PregelConfig::with_workers(workers);
             cfg.max_supersteps = 10;
-            let err = run(&g, &mut PoisonedVertex, |_| 0, &cfg).unwrap_err();
+            let (err, _) = run(&g, &mut PoisonedVertex, |_| 0, &cfg)
+                .unwrap_err()
+                .detach_post_mortem();
             match err {
                 PregelError::WorkerPanicked {
                     superstep,
@@ -3668,7 +3909,9 @@ mod tests {
                     .build(),
             )
             .with_recovery(RecoveryPolicy::with_max_restarts(2));
-        let err = run_with_recovery(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        let (err, _) = run_with_recovery(&g, &mut Rounds::new(), |_| 0, &cfg)
+            .unwrap_err()
+            .detach_post_mortem();
         match err {
             PregelError::Quarantined {
                 superstep,
@@ -3697,7 +3940,9 @@ mod tests {
                     .build(),
             )
             .with_recovery(RecoveryPolicy::with_max_restarts(1));
-        let err = run_with_recovery(&g, &mut Rounds::new(), |_| 0, &cfg).unwrap_err();
+        let (err, _) = run_with_recovery(&g, &mut Rounds::new(), |_| 0, &cfg)
+            .unwrap_err()
+            .detach_post_mortem();
         assert!(
             matches!(err, PregelError::WorkerPanicked { superstep: 5, .. }),
             "got {err}"

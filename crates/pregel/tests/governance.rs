@@ -74,7 +74,11 @@ fn watchdog_kills_a_hung_compute_kernel() {
         let cfg = PregelConfig::with_workers(workers)
             .with_budget(deadline_only(Duration::from_millis(50)))
             .with_faults(FaultPlan::builder().hang_in_compute(3, None).build());
-        let err = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+        // Variant matches look through any post-mortem wrap so the suite
+        // also passes with GM_POST_MORTEM_DIR armed (as CI does).
+        let (err, _) = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg)
+            .unwrap_err()
+            .detach_post_mortem();
         match err {
             PregelError::DeadlineExceeded {
                 superstep,
@@ -135,7 +139,9 @@ fn deterministic_hang_is_quarantined() {
                 .build(),
         )
         .with_recovery(RecoveryPolicy::with_max_restarts(2));
-    let err = run_with_recovery(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+    let (err, _) = run_with_recovery(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg)
+        .unwrap_err()
+        .detach_post_mortem();
     match err {
         PregelError::Quarantined {
             superstep,
@@ -159,7 +165,9 @@ fn spill_write_failure_is_structured_and_recoverable() {
     let cfg = PregelConfig::with_workers(2)
         .with_budget(spilling.clone())
         .with_faults(FaultPlan::builder().fail_spill_write(3).build());
-    let err = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+    let (err, _) = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg)
+        .unwrap_err()
+        .detach_post_mortem();
     match err {
         PregelError::SpillFailed { superstep, op, .. } => {
             assert_eq!(superstep, 3);
@@ -201,7 +209,9 @@ fn resident_budget_trips_at_the_barrier() {
     let cfg = PregelConfig::with_workers(2)
         .with_budget(ResourceBudget::unbounded().with_max_resident_bytes(1 << 30))
         .with_faults(FaultPlan::builder().oom_at_barrier(2).build());
-    let err = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+    let (err, _) = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg)
+        .unwrap_err()
+        .detach_post_mortem();
     match err {
         PregelError::BudgetExceeded {
             superstep,
@@ -219,7 +229,9 @@ fn resident_budget_trips_at_the_barrier() {
     // A genuinely tiny budget trips without any injected fault.
     let cfg = PregelConfig::with_workers(2)
         .with_budget(ResourceBudget::unbounded().with_max_resident_bytes(8));
-    let err = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+    let (err, _) = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg)
+        .unwrap_err()
+        .detach_post_mortem();
     assert!(
         matches!(err, PregelError::BudgetExceeded { .. }),
         "got {err}"
