@@ -18,6 +18,10 @@
 //! benchmark runs, `--metrics-file <path>` writes the final exposition,
 //! and `--bench-json <path>` writes the snapshot `regress` diffs against
 //! `BENCH_baseline.json`.
+//!
+//! SIGINT/SIGTERM shut down gracefully: the current workload finishes,
+//! remaining workloads are skipped, and the partial table, metrics
+//! exposition, and trace are still flushed before exit.
 
 use gm_algorithms::{manual, sources};
 use gm_bench::regress::{Entry, Report};
@@ -91,6 +95,7 @@ fn main() {
     let ckpt = CkptArgs::from_env();
     let metrics = MetricsArgs::from_env();
     let bench_json = bench_json_path();
+    gm_obs::signal::install();
     let _server = metrics.serve();
     let tracer = trace.tracer();
     let tracer = tracer.as_ref();
@@ -99,6 +104,13 @@ fn main() {
     let cfg = metrics.apply(ckpt.apply(bench_config()));
 
     for w in &workloads {
+        if gm_obs::signal::requested() {
+            eprintln!(
+                "figure6: shutdown requested, skipping remaining workloads ({} rows measured)",
+                rows.len()
+            );
+            break;
+        }
         let g = &w.graph;
         // Bipartite matching only runs on the bipartite graph (as in the
         // paper, which pairs it with the synthetic random graph).

@@ -1,0 +1,411 @@
+//! `loadgen` — a load-test harness for a running `gmd` daemon.
+//!
+//! Drives N concurrent clients against the serving API with a mixed
+//! workload, in either **closed loop** (each client submits, waits for
+//! the terminal state, submits again — measures capacity) or **open
+//! loop** (each client submits on a fixed schedule regardless of
+//! completion, then collects — measures behaviour under offered load).
+//! Reports throughput and end-to-end latency percentiles, verifies that
+//! every repetition of an identical job spec returned identical result
+//! fingerprints, and can write the numbers as a `regress`-schema
+//! snapshot for the perf gate.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:8080 [--clients 4] [--requests 8]
+//!         [--rate-rps N]                # open loop at N submits/sec/client
+//!         [--tenants acme,globex] [--mix pagerank,sssp,inline-pagerank]
+//!         [--graphs g1,g2]              # default: everything the daemon loaded
+//!         [--seed 7] [--snapshot PATH] [--expect-success]
+//! ```
+//!
+//! Exit status: 0 on a clean run; 1 when `--expect-success` was given and
+//! any job failed, any submission was rejected, or fingerprints diverged.
+
+use gm_bench::regress::{Entry, Report};
+use gm_obs::json::Json;
+use gmd::client::{Client, SubmitError};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Flags {
+    addr: SocketAddr,
+    clients: usize,
+    /// Submissions per client.
+    requests: usize,
+    /// `Some(rps)` = open loop at that per-client rate; `None` = closed.
+    rate_rps: Option<f64>,
+    tenants: Vec<String>,
+    mix: Vec<String>,
+    graphs: Vec<String>,
+    seed: u64,
+    snapshot: Option<String>,
+    expect_success: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: loadgen --addr <host:port> [--clients N] [--requests N] [--rate-rps R]");
+    eprintln!(
+        "               [--tenants a,b] [--mix pagerank,sssp,inline-pagerank] [--graphs g1,g2]"
+    );
+    eprintln!("               [--seed N] [--snapshot PATH] [--expect-success]");
+    std::process::exit(2);
+}
+
+fn parse_flags() -> Flags {
+    let mut addr = None;
+    let mut flags = Flags {
+        addr: "127.0.0.1:0".parse().expect("placeholder addr"),
+        clients: 4,
+        requests: 8,
+        rate_rps: None,
+        tenants: vec!["acme".to_owned(), "globex".to_owned()],
+        mix: vec!["pagerank".to_owned(), "sssp".to_owned()],
+        graphs: Vec::new(),
+        seed: 7,
+        snapshot: None,
+        expect_success: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage()
+        })
+    };
+    let list = |s: String| -> Vec<String> {
+        s.split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_owned)
+            .collect()
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => match value("--addr", &mut args).parse() {
+                Ok(parsed) => addr = Some(parsed),
+                Err(e) => {
+                    eprintln!("error: bad --addr: {e}");
+                    usage()
+                }
+            },
+            "--clients" => {
+                flags.clients = value("--clients", &mut args).parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --clients: {e}");
+                    usage()
+                })
+            }
+            "--requests" => {
+                flags.requests = value("--requests", &mut args).parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --requests: {e}");
+                    usage()
+                })
+            }
+            "--rate-rps" => {
+                flags.rate_rps = Some(value("--rate-rps", &mut args).parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --rate-rps: {e}");
+                    usage()
+                }))
+            }
+            "--tenants" => flags.tenants = list(value("--tenants", &mut args)),
+            "--mix" => flags.mix = list(value("--mix", &mut args)),
+            "--graphs" => flags.graphs = list(value("--graphs", &mut args)),
+            "--seed" => {
+                flags.seed = value("--seed", &mut args).parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --seed: {e}");
+                    usage()
+                })
+            }
+            "--snapshot" => flags.snapshot = Some(value("--snapshot", &mut args)),
+            "--expect-success" => flags.expect_success = true,
+            other => {
+                eprintln!("error: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: --addr is required");
+        usage()
+    };
+    flags.addr = addr;
+    if flags.clients == 0 || flags.requests == 0 || flags.tenants.is_empty() || flags.mix.is_empty()
+    {
+        eprintln!("error: --clients, --requests, --tenants and --mix must be non-empty");
+        usage()
+    }
+    flags
+}
+
+/// Builds the job document for one step of the mix. The returned key
+/// identifies the exact spec, so repetitions can be fingerprint-checked
+/// against each other.
+fn job_for(kind: &str, tenant: &str, graph: &str, seed: u64, step: usize) -> (String, String) {
+    match kind {
+        "pagerank" => (
+            format!("pagerank:{graph}"),
+            format!(
+                r#"{{"tenant":"{tenant}","graph":"{graph}","program":"pagerank","args":{{"e":1e-8,"d":0.85,"max_iter":10}},"seed":{seed}}}"#
+            ),
+        ),
+        "sssp" => {
+            // A small rotating root set: varied work, but each root value
+            // still repeats often enough to exercise the consistency check.
+            let root = step % 4;
+            (
+                format!("sssp:{graph}:{root}"),
+                format!(
+                    r#"{{"tenant":"{tenant}","graph":"{graph}","program":"sssp","args":{{"root":"n:{root}"}},"seed":{seed}}}"#
+                ),
+            )
+        }
+        "inline-pagerank" => {
+            let src = gm_algorithms::sources::PAGERANK
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            (
+                format!("pagerank:{graph}"),
+                format!(
+                    r#"{{"tenant":"{tenant}","graph":"{graph}","source":"{src}","args":{{"e":1e-8,"d":0.85,"max_iter":10}},"seed":{seed}}}"#
+                ),
+            )
+        }
+        other => {
+            eprintln!("error: unknown mix entry {other:?} (want pagerank, sssp, inline-pagerank)");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    transport_errors: u64,
+    /// End-to-end latency (submit to observed terminal state), ms.
+    latencies_ms: Vec<f64>,
+    /// spec key -> set of observed fingerprint maps (rendered).
+    fingerprints: BTreeMap<String, Vec<String>>,
+}
+
+fn render_fingerprints(status: &Json) -> String {
+    status
+        .get("result")
+        .and_then(|r| r.get("fingerprints"))
+        .map(Json::to_string)
+        .unwrap_or_default()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn client_loop(flags: &Flags, client_idx: usize, graphs: &[String], tally: &Mutex<Tally>) {
+    let client = Client::new(flags.addr).with_timeout(Duration::from_secs(30));
+    let tenant = &flags.tenants[client_idx % flags.tenants.len()];
+    let interval = flags.rate_rps.map(|rps| Duration::from_secs_f64(1.0 / rps));
+    let wait_budget = Duration::from_secs(120);
+
+    // Open loop: all submissions first (on schedule), collection after.
+    // Closed loop: submit-wait-submit.
+    let mut pending: Vec<(String, String, Instant)> = Vec::new();
+    let started = Instant::now();
+    for step in 0..flags.requests {
+        if let Some(interval) = interval {
+            let due = started + interval.mul_f64(step as f64);
+            if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+        }
+        let kind = &flags.mix[(client_idx + step) % flags.mix.len()];
+        let graph = &graphs[(client_idx + step) % graphs.len()];
+        let (key, body) = job_for(kind, tenant, graph, flags.seed, step);
+        let submitted_at = Instant::now();
+        tally.lock().unwrap().submitted += 1;
+        match client.submit(&body) {
+            Ok(id) => pending.push((id, key, submitted_at)),
+            Err(SubmitError::Rejected { .. }) => tally.lock().unwrap().rejected += 1,
+            Err(SubmitError::Transport(_)) => tally.lock().unwrap().transport_errors += 1,
+        }
+        if interval.is_none() {
+            // Closed loop drains immediately.
+            for (id, key, at) in pending.drain(..) {
+                collect(&client, &id, &key, at, wait_budget, tally);
+            }
+        }
+    }
+    for (id, key, at) in pending.drain(..) {
+        collect(&client, &id, &key, at, wait_budget, tally);
+    }
+}
+
+fn collect(
+    client: &Client,
+    id: &str,
+    key: &str,
+    submitted_at: Instant,
+    wait_budget: Duration,
+    tally: &Mutex<Tally>,
+) {
+    match client.wait(id, wait_budget) {
+        Ok(status) => {
+            let latency = submitted_at.elapsed().as_secs_f64() * 1e3;
+            let mut t = tally.lock().unwrap();
+            t.latencies_ms.push(latency);
+            if status.get("status").and_then(Json::as_str) == Some("completed") {
+                t.completed += 1;
+                t.fingerprints
+                    .entry(key.to_owned())
+                    .or_default()
+                    .push(render_fingerprints(&status));
+            } else {
+                t.failed += 1;
+                eprintln!("loadgen: job {id} ({key}) failed: {status}");
+            }
+        }
+        Err(e) => {
+            tally.lock().unwrap().transport_errors += 1;
+            eprintln!("loadgen: job {id} ({key}): {e}");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let flags = parse_flags();
+    let client = Client::new(flags.addr).with_timeout(Duration::from_secs(10));
+
+    let graphs: Vec<String> = if flags.graphs.is_empty() {
+        match client.get_json("/v1/graphs") {
+            Ok((200, doc)) => doc
+                .get("graphs")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|g| g.get("name").and_then(Json::as_str))
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            Ok((status, _)) => {
+                eprintln!("loadgen: GET /v1/graphs returned {status}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot reach daemon at {}: {e}", flags.addr);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        flags.graphs.clone()
+    };
+    if graphs.is_empty() {
+        eprintln!("loadgen: the daemon has no graphs loaded");
+        return ExitCode::FAILURE;
+    }
+
+    let mode = match flags.rate_rps {
+        Some(rps) => format!("open loop @ {rps} rps/client"),
+        None => "closed loop".to_owned(),
+    };
+    eprintln!(
+        "loadgen: {} clients x {} requests ({mode}), tenants {:?}, mix {:?}, graphs {:?}",
+        flags.clients, flags.requests, flags.tenants, flags.mix, graphs
+    );
+
+    let tally = Mutex::new(Tally::default());
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..flags.clients {
+            let (flags, graphs, tally) = (&flags, &graphs, &tally);
+            scope.spawn(move || client_loop(flags, i, graphs, tally));
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut tally = tally.into_inner().unwrap();
+    tally
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let p50 = percentile(&tally.latencies_ms, 50.0);
+    let p99 = percentile(&tally.latencies_ms, 99.0);
+    let throughput = tally.completed as f64 / wall_s.max(1e-9);
+
+    // Every repetition of an identical spec must have produced identical
+    // result fingerprints — the serving path may never trade correctness
+    // for concurrency.
+    let mut divergent = 0usize;
+    for (key, prints) in &tally.fingerprints {
+        if prints.windows(2).any(|w| w[0] != w[1]) {
+            eprintln!("loadgen: DIVERGENT fingerprints for {key}: {prints:?}");
+            divergent += 1;
+        }
+    }
+
+    println!("loadgen results ({mode}):");
+    println!("  wall time          {:.1} ms", wall_s * 1e3);
+    println!("  submitted          {}", tally.submitted);
+    println!("  completed          {}", tally.completed);
+    println!("  failed             {}", tally.failed);
+    println!("  rejected           {}", tally.rejected);
+    println!("  transport errors   {}", tally.transport_errors);
+    println!("  throughput         {throughput:.2} jobs/s");
+    println!("  latency p50        {p50:.1} ms");
+    println!("  latency p99        {p99:.1} ms");
+    println!(
+        "  fingerprint check  {} spec(s), {} divergent",
+        tally.fingerprints.len(),
+        divergent
+    );
+
+    if let Some(path) = &flags.snapshot {
+        let report = Report {
+            entries: vec![
+                Entry {
+                    name: "loadgen/job_p50".to_owned(),
+                    ms: p50,
+                    supersteps: None,
+                    message_bytes: None,
+                },
+                Entry {
+                    name: "loadgen/job_p99".to_owned(),
+                    ms: p99,
+                    supersteps: None,
+                    message_bytes: None,
+                },
+                // Schema 1 entries carry one number named `ms`; for this
+                // row it holds jobs/second (the name makes the unit
+                // explicit, and the gate only tracks relative drift).
+                Entry {
+                    name: "loadgen/throughput_jobs_per_s".to_owned(),
+                    ms: throughput,
+                    supersteps: None,
+                    message_bytes: None,
+                },
+            ],
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("loadgen: cannot write snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("snapshot written to {path}");
+    }
+
+    let clean = tally.failed == 0
+        && tally.rejected == 0
+        && tally.transport_errors == 0
+        && divergent == 0
+        && tally.completed == tally.submitted;
+    if flags.expect_success && !clean {
+        eprintln!("loadgen: --expect-success and the run was not clean");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,71 @@
+//! Smoke test for the `loadgen` binary against an in-process daemon:
+//! a clean closed-loop run over two tenants must exit 0 under
+//! `--expect-success` and write a parseable `regress`-schema snapshot
+//! with nonzero throughput and latency percentiles.
+
+use gm_bench::regress::Report;
+use gmd::{Daemon, DaemonConfig, GraphSpec};
+use std::process::Command;
+
+#[test]
+fn loadgen_round_trip_produces_a_regress_snapshot() {
+    let config = DaemonConfig {
+        graphs: vec![GraphSpec {
+            name: "g".to_owned(),
+            source: "rmat:200:800:5".to_owned(),
+        }],
+        post_mortem: None,
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let snapshot = std::env::temp_dir().join(format!("loadgen-smoke-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&snapshot);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--addr",
+            &daemon.addr().to_string(),
+            "--clients",
+            "2",
+            "--requests",
+            "3",
+            "--mix",
+            "pagerank,sssp",
+            "--tenants",
+            "acme,globex",
+            "--snapshot",
+            snapshot.to_str().unwrap(),
+            "--expect-success",
+        ])
+        .output()
+        .expect("loadgen runs");
+    assert!(
+        output.status.success(),
+        "loadgen failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("completed          6"),
+        "all jobs done: {stdout}"
+    );
+    assert!(
+        stdout.contains("0 divergent"),
+        "fingerprints consistent: {stdout}"
+    );
+
+    let report = Report::load(&snapshot).expect("snapshot parses");
+    let value = |name: &str| {
+        report
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("snapshot lacks {name}"))
+            .ms
+    };
+    assert!(value("loadgen/throughput_jobs_per_s") > 0.0);
+    assert!(value("loadgen/job_p50") > 0.0);
+    assert!(value("loadgen/job_p99") >= value("loadgen/job_p50"));
+    let _ = std::fs::remove_file(&snapshot);
+}

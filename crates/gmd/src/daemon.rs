@@ -1,0 +1,775 @@
+//! The daemon core: graph store, admission control, the fair scheduler,
+//! and the bounded job-runner pool.
+//!
+//! Concurrency model: `max_concurrent` runner threads block on a condvar
+//! over one scheduler mutex. Submission (from HTTP handler threads)
+//! enqueues under that mutex; runners pick work *round-robin across
+//! tenants, FIFO within a tenant*, and only when the job's budget
+//! reservation fits next to everything already running — so admission
+//! rejects the impossible, the scheduler delays the currently
+//! unaffordable, and running jobs are never oversubscribed.
+
+use crate::job::{JobRecord, JobResult, JobSpec, JobState};
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_core::Compiled;
+use gm_graph::io::{read_edge_list_file_with, LoadPolicy, LoadedGraph};
+use gm_interp::{run_compiled, RunError};
+use gm_obs::metrics::MetricsRegistry;
+use gm_pregel::{PostMortemConfig, PregelConfig, ResourceBudget};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// One graph to load at startup: a name plus either an edge-list path or
+/// a generator spec (`rmat:<nodes>:<edges>:<seed>` /
+/// `uniform:<nodes>:<edges>:<seed>`), as given to `--graph name=<spec>`.
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    /// Name jobs refer to the snapshot by.
+    pub name: String,
+    /// Path or generator spec.
+    pub source: String,
+}
+
+impl GraphSpec {
+    /// Parses a `name=<path-or-generator>` argument.
+    pub fn parse(arg: &str) -> Result<GraphSpec, String> {
+        let (name, source) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("--graph wants name=<path|rmat:n:m:seed>, got {arg:?}"))?;
+        if name.is_empty() || source.is_empty() {
+            return Err(format!(
+                "--graph wants a non-empty name and source: {arg:?}"
+            ));
+        }
+        Ok(GraphSpec {
+            name: name.to_owned(),
+            source: source.to_owned(),
+        })
+    }
+
+    fn load(&self) -> Result<LoadedGraph, String> {
+        let gen3 = |spec: &str| -> Result<(u32, usize, u64), String> {
+            let parts: Vec<&str> = spec.split(':').collect();
+            let [n, m, s] = parts[..] else {
+                return Err(format!(
+                    "generator spec wants <nodes>:<edges>:<seed>: {spec:?}"
+                ));
+            };
+            Ok((
+                n.parse()
+                    .map_err(|e| format!("bad node count {n:?}: {e}"))?,
+                m.parse()
+                    .map_err(|e| format!("bad edge count {m:?}: {e}"))?,
+                s.parse().map_err(|e| format!("bad seed {s:?}: {e}"))?,
+            ))
+        };
+        if let Some(spec) = self.source.strip_prefix("rmat:") {
+            let (n, m, s) = gen3(spec)?;
+            return Ok(synthetic(gm_graph::gen::rmat(n, m, s), s));
+        }
+        if let Some(spec) = self.source.strip_prefix("uniform:") {
+            let (n, m, s) = gen3(spec)?;
+            return Ok(synthetic(gm_graph::gen::uniform_random(n, m, s), s));
+        }
+        read_edge_list_file_with(&self.source, LoadPolicy::Strict)
+            .map_err(|e| format!("cannot load graph {}: {e}", self.name))
+    }
+}
+
+/// Wraps a generated graph with deterministic synthetic weights (the
+/// same `1..=16` scheme the bench crate uses for SSSP inputs).
+fn synthetic(graph: gm_graph::Graph, seed: u64) -> LoadedGraph {
+    let mut state = seed | 1;
+    let weights = (0..graph.num_edges())
+        .map(|_| {
+            // xorshift64*: cheap, deterministic, dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) % 16 + 1) as i64
+        })
+        .collect();
+    LoadedGraph {
+        graph,
+        weights,
+        stats: Default::default(),
+    }
+}
+
+/// Daemon-level configuration (the CLI populates this from flags).
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen address (`host:port`, port 0 for ephemeral).
+    pub listen: String,
+    /// Graphs to load at startup.
+    pub graphs: Vec<GraphSpec>,
+    /// Runner threads — the maximum number of concurrently executing
+    /// jobs.
+    pub max_concurrent: usize,
+    /// Maximum queued (accepted but not yet running) jobs across all
+    /// tenants.
+    pub queue_cap: usize,
+    /// Default per-job Pregel worker count (a job may override).
+    pub default_workers: usize,
+    /// Server-level in-flight message-byte budget jobs reserve from.
+    pub total_message_bytes: u64,
+    /// Server-level resident value-store budget jobs reserve from.
+    pub total_resident_bytes: u64,
+    /// Deadline applied to jobs that do not set one (`None` = no
+    /// deadline).
+    pub default_deadline: Option<Duration>,
+    /// Post-mortem bundle capture for failed jobs.
+    pub post_mortem: Option<PostMortemConfig>,
+    /// Identical failures of one (graph, program) signature before new
+    /// submissions of it are refused.
+    pub quarantine_threshold: u32,
+    /// How long [`Daemon::drain`] waits for running jobs before
+    /// cancelling them.
+    pub drain_timeout: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            graphs: Vec::new(),
+            max_concurrent: 4,
+            queue_cap: 64,
+            default_workers: 2,
+            total_message_bytes: 1 << 30,
+            total_resident_bytes: 4u64 << 30,
+            default_deadline: None,
+            post_mortem: PostMortemConfig::from_env(),
+            quarantine_threshold: 2,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// A job's fair-share message budget: what it reserves when it does
+    /// not ask for an explicit amount.
+    pub fn fair_message_bytes(&self) -> u64 {
+        (self.total_message_bytes / self.max_concurrent.max(1) as u64).max(1)
+    }
+
+    /// A job's fair-share resident budget.
+    pub fn fair_resident_bytes(&self) -> u64 {
+        (self.total_resident_bytes / self.max_concurrent.max(1) as u64).max(1)
+    }
+}
+
+/// Why a submission was refused at the door.
+#[derive(Clone, Debug)]
+pub enum Reject {
+    /// The daemon is shutting down.
+    Draining,
+    /// The named graph is not loaded.
+    UnknownGraph(String),
+    /// The named builtin does not exist.
+    UnknownProgram(String),
+    /// Inline source failed to compile (rendered diagnostics).
+    CompileError(String),
+    /// The (graph, program) signature is quarantined after repeated
+    /// identical failures.
+    Quarantined {
+        /// Failure-class slug of the repeated failure.
+        kind: String,
+        /// How many identical failures were seen.
+        count: u32,
+    },
+    /// The requested budget can never fit the server totals.
+    OverCapacity {
+        /// Which budget overflowed.
+        what: &'static str,
+        /// Bytes the job asked for.
+        requested: u64,
+        /// The server-level total.
+        capacity: u64,
+    },
+    /// The queue is at capacity.
+    QueueFull {
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The spec itself is malformed.
+    BadRequest(String),
+}
+
+struct QueuedJob {
+    id: String,
+    spec: JobSpec,
+    compiled: Arc<Compiled>,
+    /// Reserved message bytes (explicit request or fair share).
+    msg_bytes: u64,
+    /// Reserved resident bytes.
+    res_bytes: u64,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct Sched {
+    /// Per-tenant FIFO queues.
+    queues: BTreeMap<String, VecDeque<QueuedJob>>,
+    /// Round-robin position over the (sorted) tenant list.
+    cursor: usize,
+    queued: usize,
+    running: usize,
+    reserved_msg: u64,
+    reserved_res: u64,
+    draining: bool,
+    shutdown: bool,
+}
+
+struct Quarantine {
+    kind: String,
+    count: u32,
+}
+
+/// Shared daemon state; HTTP handlers and runners both hold an `Arc`.
+pub struct State {
+    config: DaemonConfig,
+    graphs: BTreeMap<String, Arc<LoadedGraph>>,
+    builtins: BTreeMap<String, Arc<Compiled>>,
+    registry: Arc<MetricsRegistry>,
+    jobs: Mutex<HashMap<String, JobRecord>>,
+    sched: Mutex<Sched>,
+    work_cv: Condvar,
+    job_seq: AtomicU64,
+    /// Shared cooperative-cancellation token: set during a timed-out
+    /// drain so stragglers stop at their next superstep boundary.
+    cancel: Arc<AtomicBool>,
+    quarantine: Mutex<HashMap<(String, String), Quarantine>>,
+}
+
+impl State {
+    /// The daemon configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// The loaded graph snapshots.
+    pub fn graphs(&self) -> &BTreeMap<String, Arc<LoadedGraph>> {
+        &self.graphs
+    }
+
+    /// Builtin program names, for error messages and `/v1/graphs`-style
+    /// introspection.
+    pub fn builtin_names(&self) -> Vec<&str> {
+        self.builtins.keys().map(String::as_str).collect()
+    }
+
+    /// The metrics registry (runtime + `gm_jobs_*` series).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Whether the daemon is refusing new work.
+    pub fn draining(&self) -> bool {
+        self.sched
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .draining
+    }
+
+    /// Currently running job count.
+    pub fn running(&self) -> usize {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner()).running
+    }
+
+    /// A snapshot of one job's record.
+    pub fn job(&self, id: &str) -> Option<JobRecord> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id)
+            .cloned()
+    }
+
+    fn lock_sched(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_jobs(&self) -> MutexGuard<'_, HashMap<String, JobRecord>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Validates, admits, and enqueues a job. Returns the job id.
+    pub fn submit(self: &Arc<Self>, spec: JobSpec) -> Result<String, Reject> {
+        let graph = spec.graph.clone();
+        if !self.graphs.contains_key(&graph) {
+            return Err(Reject::UnknownGraph(graph));
+        }
+        // Resolve the program *before* taking any lock: compiling inline
+        // source is the slow part and must not serialize submissions.
+        let compiled = match &spec.program {
+            crate::ProgramSpec::Builtin(name) => self
+                .builtins
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Reject::UnknownProgram(name.clone()))?,
+            crate::ProgramSpec::Source(src) => {
+                Arc::new(greenmarl::service::compile_source(src).map_err(Reject::CompileError)?)
+            }
+        };
+        let label = spec.program.label();
+        {
+            let q = self.quarantine.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = q.get(&(graph.clone(), label.clone())) {
+                if entry.count >= self.config.quarantine_threshold {
+                    self.reject_metric("quarantined");
+                    return Err(Reject::Quarantined {
+                        kind: entry.kind.clone(),
+                        count: entry.count,
+                    });
+                }
+            }
+        }
+        let msg_bytes = spec
+            .max_message_bytes
+            .unwrap_or_else(|| self.config.fair_message_bytes());
+        let res_bytes = spec
+            .max_resident_bytes
+            .unwrap_or_else(|| self.config.fair_resident_bytes());
+        if msg_bytes > self.config.total_message_bytes {
+            self.reject_metric("over_capacity");
+            return Err(Reject::OverCapacity {
+                what: "message_bytes",
+                requested: msg_bytes,
+                capacity: self.config.total_message_bytes,
+            });
+        }
+        if res_bytes > self.config.total_resident_bytes {
+            self.reject_metric("over_capacity");
+            return Err(Reject::OverCapacity {
+                what: "resident_bytes",
+                requested: res_bytes,
+                capacity: self.config.total_resident_bytes,
+            });
+        }
+
+        let mut sched = self.lock_sched();
+        if sched.draining {
+            self.reject_metric("draining");
+            return Err(Reject::Draining);
+        }
+        if sched.queued >= self.config.queue_cap {
+            self.reject_metric("queue_full");
+            return Err(Reject::QueueFull {
+                cap: self.config.queue_cap,
+            });
+        }
+        let id = format!("job-{}", self.job_seq.fetch_add(1, Ordering::Relaxed));
+        let record = JobRecord {
+            id: id.clone(),
+            tenant: spec.tenant.clone(),
+            graph,
+            program: label,
+            state: JobState::Queued,
+            wall_ms: None,
+        };
+        self.lock_jobs().insert(id.clone(), record);
+        let tenant = spec.tenant.clone();
+        sched
+            .queues
+            .entry(tenant.clone())
+            .or_default()
+            .push_back(QueuedJob {
+                id: id.clone(),
+                spec,
+                compiled,
+                msg_bytes,
+                res_bytes,
+                submitted: Instant::now(),
+            });
+        sched.queued += 1;
+        let depth = sched.queued;
+        drop(sched);
+        self.registry
+            .counter_with(
+                "gm_jobs_submitted_total",
+                "jobs accepted",
+                &[("tenant", &tenant)],
+            )
+            .inc();
+        self.set_queue_depth(depth);
+        self.work_cv.notify_all();
+        Ok(id)
+    }
+
+    fn reject_metric(&self, reason: &str) {
+        self.registry
+            .counter_with(
+                "gm_jobs_rejected_total",
+                "jobs refused at admission",
+                &[("reason", reason)],
+            )
+            .inc();
+    }
+
+    fn set_queue_depth(&self, depth: usize) {
+        self.registry
+            .gauge("gm_jobs_queue_depth", "accepted jobs waiting for a runner")
+            .set(depth as f64);
+    }
+
+    fn set_running(&self, running: usize) {
+        self.registry
+            .gauge("gm_jobs_running", "jobs currently executing")
+            .set(running as f64);
+    }
+
+    /// Picks the next runnable job: round-robin over tenants, FIFO within
+    /// each, skipping tenants whose front job does not currently fit the
+    /// remaining budget.
+    fn pick(&self, sched: &mut Sched) -> Option<QueuedJob> {
+        let tenants: Vec<String> = sched.queues.keys().cloned().collect();
+        if tenants.is_empty() {
+            return None;
+        }
+        let n = tenants.len();
+        for i in 0..n {
+            let tenant = &tenants[(sched.cursor + i) % n];
+            let Some(queue) = sched.queues.get_mut(tenant) else {
+                continue;
+            };
+            let Some(front) = queue.front() else {
+                continue;
+            };
+            let fits = sched.reserved_msg + front.msg_bytes <= self.config.total_message_bytes
+                && sched.reserved_res + front.res_bytes <= self.config.total_resident_bytes;
+            if !fits {
+                continue;
+            }
+            let job = queue.pop_front().expect("front checked above");
+            if queue.is_empty() {
+                sched.queues.remove(tenant);
+            }
+            // Advance past the chosen tenant so the next pick starts at
+            // its successor — round-robin, not lowest-name-wins.
+            sched.cursor = (sched.cursor + i + 1) % n.max(1);
+            sched.queued -= 1;
+            sched.running += 1;
+            sched.reserved_msg += job.msg_bytes;
+            sched.reserved_res += job.res_bytes;
+            return Some(job);
+        }
+        None
+    }
+
+    fn runner_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut sched = self.lock_sched();
+                loop {
+                    if sched.shutdown {
+                        return;
+                    }
+                    if let Some(job) = self.pick(&mut sched) {
+                        let depth = sched.queued;
+                        let running = sched.running;
+                        drop(sched);
+                        self.set_queue_depth(depth);
+                        self.set_running(running);
+                        break job;
+                    }
+                    sched = self.work_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            self.execute(job);
+            let mut sched = self.lock_sched();
+            // Reservation release must mirror pick() exactly.
+            sched.running -= 1;
+            let running = sched.running;
+            drop(sched);
+            self.set_running(running);
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Runs one job to a terminal state, updates its record and metrics,
+    /// and releases its byte reservations (the caller releases the
+    /// running-slot count).
+    fn execute(self: &Arc<Self>, job: QueuedJob) {
+        if let Some(rec) = self.lock_jobs().get_mut(&job.id) {
+            rec.state = JobState::Running;
+        }
+        let graph = self.graphs[&job.spec.graph].clone();
+        let mut args = job.spec.arg_values();
+        // Like `gmc run`: the first declared edge-property parameter is
+        // fed from the snapshot's weight column unless supplied.
+        if let Some((name, _)) = job.compiled.program.edge_props.first() {
+            args.entry(name.clone()).or_insert_with(|| {
+                ArgValue::EdgeProp(graph.weights.iter().map(|&w| Value::Int(w)).collect())
+            });
+        }
+        let mut budget = ResourceBudget::unbounded()
+            .with_max_message_bytes(job.msg_bytes)
+            .with_max_resident_bytes(job.res_bytes);
+        if let Some(d) = job.spec.deadline.or(self.config.default_deadline) {
+            budget = budget.with_superstep_deadline(d);
+        }
+        let workers = job.spec.workers.unwrap_or(self.config.default_workers);
+        let mut config = PregelConfig::with_workers(workers)
+            .with_budget(budget)
+            .with_registry(self.registry.clone())
+            .with_cancel(self.cancel.clone());
+        config.post_mortem = self.config.post_mortem.clone();
+
+        let outcome = run_compiled(&graph.graph, &job.compiled, &args, job.spec.seed, &config);
+        let wall_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+        let tenant = job.spec.tenant.clone();
+        let state = match outcome {
+            Ok(out) => {
+                self.registry
+                    .counter_with(
+                        "gm_jobs_completed_total",
+                        "jobs finished successfully",
+                        &[("tenant", &tenant)],
+                    )
+                    .inc();
+                JobState::Completed(JobResult::from_outcome(&out, job.spec.include_props))
+            }
+            Err(err) => {
+                let (kind, message, bundle) = match err {
+                    RunError::BadArgument(m) => ("bad_argument".to_owned(), m, None),
+                    RunError::Pregel(e) => {
+                        let rendered = e.to_string();
+                        let kind = e.kind().to_owned();
+                        let (_, bundle) = e.detach_post_mortem();
+                        (kind, rendered, bundle)
+                    }
+                };
+                self.note_failure(&job.spec.graph, &job.spec.program.label(), &kind);
+                self.registry
+                    .counter_with(
+                        "gm_jobs_failed_total",
+                        "jobs finished in failure",
+                        &[("tenant", &tenant)],
+                    )
+                    .inc();
+                JobState::Failed {
+                    kind,
+                    message,
+                    bundle,
+                }
+            }
+        };
+        self.registry
+            .histogram_with(
+                "gm_job_latency_ms",
+                "end-to-end job latency (submit to terminal state)",
+                &[("tenant", &tenant)],
+            )
+            .observe(wall_ms);
+        if let Some(rec) = self.lock_jobs().get_mut(&job.id) {
+            rec.state = state;
+            rec.wall_ms = Some(wall_ms);
+        }
+        let mut sched = self.lock_sched();
+        sched.reserved_msg -= job.msg_bytes;
+        sched.reserved_res -= job.res_bytes;
+    }
+
+    /// Records a failure signature; repeated identical kinds accumulate
+    /// toward quarantine, a different kind resets the signature.
+    fn note_failure(&self, graph: &str, label: &str, kind: &str) {
+        // Cancellation is the host stopping the job, not the job
+        // misbehaving — it must not poison the signature.
+        if kind == "cancelled" {
+            return;
+        }
+        let mut q = self.quarantine.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = q
+            .entry((graph.to_owned(), label.to_owned()))
+            .or_insert_with(|| Quarantine {
+                kind: kind.to_owned(),
+                count: 0,
+            });
+        if entry.kind == kind {
+            entry.count += 1;
+        } else {
+            entry.kind = kind.to_owned();
+            entry.count = 1;
+        }
+    }
+}
+
+/// A running daemon: HTTP server + runner pool over shared [`State`].
+pub struct Daemon {
+    state: Arc<State>,
+    server: Option<gm_obs::http::HttpServer>,
+    runners: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Loads graphs, compiles the builtins, binds the listener, and
+    /// starts the runner pool.
+    pub fn start(config: DaemonConfig) -> Result<Daemon, String> {
+        if config.graphs.is_empty() {
+            return Err("no graphs configured (need at least one --graph name=<spec>)".to_owned());
+        }
+        if config.max_concurrent == 0 {
+            return Err("max_concurrent must be >= 1".to_owned());
+        }
+        let mut graphs = BTreeMap::new();
+        for spec in &config.graphs {
+            if graphs
+                .insert(spec.name.clone(), Arc::new(spec.load()?))
+                .is_some()
+            {
+                return Err(format!("duplicate graph name {:?}", spec.name));
+            }
+        }
+        let mut builtins = BTreeMap::new();
+        for (name, src) in builtin_sources() {
+            let compiled = greenmarl::service::compile_source(src)
+                .map_err(|e| format!("builtin {name} failed to compile: {e}"))?;
+            builtins.insert(name.to_owned(), Arc::new(compiled));
+        }
+        let state = Arc::new(State {
+            registry: Arc::new(MetricsRegistry::new()),
+            graphs,
+            builtins,
+            jobs: Mutex::new(HashMap::new()),
+            sched: Mutex::new(Sched::default()),
+            work_cv: Condvar::new(),
+            job_seq: AtomicU64::new(1),
+            cancel: Arc::new(AtomicBool::new(false)),
+            quarantine: Mutex::new(HashMap::new()),
+            config,
+        });
+        let runners = (0..state.config.max_concurrent)
+            .map(|i| {
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("gmd-runner-{i}"))
+                    .spawn(move || state.runner_loop())
+                    .map_err(|e| format!("cannot spawn runner: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let server = crate::api::router(state.clone())
+            .serve(&state.config.listen)
+            .map_err(|e| format!("cannot bind {}: {e}", state.config.listen))?;
+        Ok(Daemon {
+            state,
+            server: Some(server),
+            runners,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.as_ref().expect("server runs until drop").addr()
+    }
+
+    /// The shared state (tests and the CLI reach metrics through it).
+    pub fn state(&self) -> &Arc<State> {
+        &self.state
+    }
+
+    /// Graceful shutdown: refuse new submissions, fail queued jobs as
+    /// `cancelled`, wait up to the drain timeout for running jobs, then
+    /// cancel stragglers cooperatively and stop the pool and listener.
+    /// Returns `true` when every running job finished on its own.
+    pub fn drain(mut self) -> bool {
+        let state = self.state.clone();
+        let deadline = Instant::now() + state.config.drain_timeout;
+
+        let mut sched = state.lock_sched();
+        sched.draining = true;
+        // Queued jobs are failed at once: they have no partial work to
+        // lose, and clients polling them need a terminal answer.
+        let flushed: Vec<QueuedJob> = sched
+            .queues
+            .iter_mut()
+            .flat_map(|(_, q)| q.drain(..))
+            .collect();
+        sched.queues.clear();
+        sched.queued = 0;
+        drop(sched);
+        state.set_queue_depth(0);
+        {
+            let mut jobs = state.lock_jobs();
+            for job in &flushed {
+                if let Some(rec) = jobs.get_mut(&job.id) {
+                    rec.state = JobState::Failed {
+                        kind: "cancelled".to_owned(),
+                        message: "daemon draining".to_owned(),
+                        bundle: None,
+                    };
+                    rec.wall_ms = Some(job.submitted.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+        }
+
+        let mut graceful = true;
+        // Past the drain deadline, stragglers are cancelled cooperatively
+        // (they stop at their next superstep boundary) and get one more
+        // timeout's worth of grace before we give up waiting.
+        let hard_deadline = deadline + state.config.drain_timeout;
+        let mut sched = state.lock_sched();
+        while sched.running > 0 {
+            let now = Instant::now();
+            if now >= hard_deadline {
+                break;
+            }
+            if now >= deadline && !state.cancel.load(Ordering::Relaxed) {
+                graceful = false;
+                state.cancel.store(true, Ordering::Relaxed);
+            }
+            let until = if now < deadline {
+                deadline
+            } else {
+                hard_deadline
+            };
+            let wait = until
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(10));
+            let (s, _) = state
+                .work_cv
+                .wait_timeout(sched, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            sched = s;
+        }
+        sched.shutdown = true;
+        drop(sched);
+        state.work_cv.notify_all();
+        for handle in self.runners.drain(..) {
+            let _ = handle.join();
+        }
+        self.server.take(); // drop stops the accept loop
+        graceful
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Non-drain teardown (tests, panics): stop runners without
+        // waiting for queued work.
+        let mut sched = self.state.lock_sched();
+        sched.shutdown = true;
+        drop(sched);
+        self.state.work_cv.notify_all();
+        for handle in self.runners.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The builtin catalogue: short job-spec names for the paper's six
+/// algorithm sources.
+pub fn builtin_sources() -> [(&'static str, &'static str); 6] {
+    use gm_algorithms::sources;
+    [
+        ("avg_teen", sources::AVG_TEEN),
+        ("pagerank", sources::PAGERANK),
+        ("conductance", sources::CONDUCTANCE),
+        ("sssp", sources::SSSP),
+        ("bipartite", sources::BIPARTITE_MATCHING),
+        ("bc", sources::BC_APPROX),
+    ]
+}

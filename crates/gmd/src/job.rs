@@ -1,0 +1,468 @@
+//! Job specifications and records: the wire schema of the `gmd` API.
+//!
+//! A *spec* is what a tenant POSTs (one JSON object per line); a *record*
+//! is the daemon's view of a job over its lifetime, rendered back as the
+//! status document `GET /v1/jobs/<id>` serves. Parsing is strict about
+//! shape (unknown graphs, bad arg types, negative budgets are structured
+//! `400`s) because specs arrive from untrusted tenants.
+
+use crate::{fingerprint_values, render_value};
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_obs::json::Json;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The program half of a job: a named precompiled builtin, or inline
+/// Green-Marl source compiled at submit time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProgramSpec {
+    /// One of the six builtins compiled at startup (`"pagerank"`,
+    /// `"sssp"`, ...).
+    Builtin(String),
+    /// Inline Green-Marl source.
+    Source(String),
+}
+
+impl ProgramSpec {
+    /// A short, label-safe name for metrics and the quarantine signature.
+    /// Inline sources are identified by content fingerprint, so resubmits
+    /// of the same bad program share a signature.
+    pub fn label(&self) -> String {
+        match self {
+            ProgramSpec::Builtin(name) => name.clone(),
+            ProgramSpec::Source(src) => {
+                let mut h = crate::Fnv1a::default();
+                h.update(src.as_bytes());
+                format!("source-{:016x}", h.finish())
+            }
+        }
+    }
+}
+
+/// A parsed job submission.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Tenant the job is accounted (and queued) under.
+    pub tenant: String,
+    /// Name of a loaded graph snapshot.
+    pub graph: String,
+    /// What to run.
+    pub program: ProgramSpec,
+    /// Scalar arguments by parameter name.
+    pub args: BTreeMap<String, Value>,
+    /// `G.PickRandom()` seed (default 0), as in `gmc run --seed`.
+    pub seed: u64,
+    /// Worker-count override; `None` uses the daemon default.
+    pub workers: Option<usize>,
+    /// Per-job deadline arming the superstep watchdog.
+    pub deadline: Option<Duration>,
+    /// Requested in-flight message-byte budget; `None` takes the
+    /// daemon's fair share (total / max_concurrent).
+    pub max_message_bytes: Option<u64>,
+    /// Requested resident value-store budget; `None` takes the fair
+    /// share.
+    pub max_resident_bytes: Option<u64>,
+    /// Return full property columns, not just fingerprints.
+    pub include_props: bool,
+}
+
+fn parse_scalar(name: &str, v: &Json) -> Result<Value, String> {
+    match v {
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(n) => Ok(Value::Int(*n)),
+        Json::UInt(n) => i64::try_from(*n)
+            .map(Value::Int)
+            .map_err(|_| format!("arg `{name}` does not fit an i64")),
+        Json::Num(n) => Ok(Value::Double(*n)),
+        // The `gmc --arg` node syntax: "n:17".
+        Json::Str(s) => match s.strip_prefix("n:") {
+            Some(id) => id
+                .parse::<u32>()
+                .map(Value::Node)
+                .map_err(|_| format!("arg `{name}`: bad node id {s:?}")),
+            None => Err(format!(
+                "arg `{name}`: strings must be node refs like \"n:17\""
+            )),
+        },
+        _ => Err(format!("arg `{name}` must be a scalar")),
+    }
+}
+
+impl JobSpec {
+    /// Parses a submission document.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("job must be a JSON object".to_owned());
+        }
+        let tenant = doc
+            .get("tenant")
+            .and_then(Json::as_str)
+            .unwrap_or("default")
+            .to_owned();
+        if tenant.is_empty() {
+            return Err("tenant must be non-empty".to_owned());
+        }
+        let graph = doc
+            .get("graph")
+            .and_then(Json::as_str)
+            .ok_or("missing required field `graph`")?
+            .to_owned();
+        let program = match (
+            doc.get("program").and_then(Json::as_str),
+            doc.get("source").and_then(Json::as_str),
+        ) {
+            (Some(name), None) => ProgramSpec::Builtin(name.to_owned()),
+            (None, Some(src)) => ProgramSpec::Source(src.to_owned()),
+            (Some(_), Some(_)) => {
+                return Err("give either `program` or `source`, not both".to_owned())
+            }
+            (None, None) => return Err("missing `program` (builtin name) or `source`".to_owned()),
+        };
+        let mut args = BTreeMap::new();
+        if let Some(raw) = doc.get("args") {
+            let Json::Obj(map) = raw else {
+                return Err("`args` must be an object".to_owned());
+            };
+            for (name, v) in map {
+                args.insert(name.clone(), parse_scalar(name, v)?);
+            }
+        }
+        let seed = doc.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        let workers = match doc.get("workers") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&w| w >= 1)
+                    .ok_or("`workers` must be a positive integer")? as usize,
+            ),
+        };
+        let deadline = match doc.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(Duration::from_millis(
+                v.as_u64()
+                    .filter(|&ms| ms >= 1)
+                    .ok_or("`deadline_ms` must be a positive integer")?,
+            )),
+        };
+        let budget_field = |key: &str| -> Result<Option<u64>, String> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .filter(|&b| b >= 1)
+                    .map(Some)
+                    .ok_or(format!("`{key}` must be a positive integer")),
+            }
+        };
+        let max_message_bytes = budget_field("max_message_bytes")?;
+        let max_resident_bytes = budget_field("max_resident_bytes")?;
+        let include_props = matches!(doc.get("include_props"), Some(Json::Bool(true)));
+        Ok(JobSpec {
+            tenant,
+            graph,
+            program,
+            args,
+            seed,
+            workers,
+            deadline,
+            max_message_bytes,
+            max_resident_bytes,
+            include_props,
+        })
+    }
+
+    /// Converts the parsed scalars into interpreter arguments.
+    pub fn arg_values(&self) -> std::collections::HashMap<String, ArgValue> {
+        self.args
+            .iter()
+            .map(|(k, v)| (k.clone(), ArgValue::Scalar(*v)))
+            .collect()
+    }
+}
+
+/// The terminal outcome of a successful job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Procedure return value, if any.
+    pub ret: Option<Value>,
+    /// Final master globals.
+    pub globals: BTreeMap<String, Value>,
+    /// FNV-1a fingerprint per node-property column.
+    pub fingerprints: BTreeMap<String, String>,
+    /// Full columns, when the spec asked for them.
+    pub props: Option<BTreeMap<String, Vec<Value>>>,
+    /// Supersteps executed.
+    pub supersteps: u32,
+    /// Total messages exchanged.
+    pub total_messages: u64,
+    /// Total metered message bytes.
+    pub total_message_bytes: u64,
+}
+
+impl JobResult {
+    /// Builds the result from an interpreter outcome.
+    pub fn from_outcome(outcome: &gm_interp::CompiledOutcome, include_props: bool) -> JobResult {
+        let fingerprints = outcome
+            .node_props
+            .iter()
+            .map(|(name, col)| (name.clone(), fingerprint_values(col)))
+            .collect();
+        JobResult {
+            ret: outcome.ret,
+            globals: outcome
+                .globals
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            fingerprints,
+            props: include_props.then(|| {
+                outcome
+                    .node_props
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect()
+            }),
+            supersteps: outcome.metrics.supersteps,
+            total_messages: outcome.metrics.total_messages,
+            total_message_bytes: outcome.metrics.total_message_bytes,
+        }
+    }
+}
+
+/// Where a job is in its lifetime.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Accepted, waiting for a runner slot.
+    Queued,
+    /// Executing on a runner.
+    Running,
+    /// Finished successfully.
+    Completed(JobResult),
+    /// Finished with a structured failure.
+    Failed {
+        /// Stable failure-class slug ([`gm_pregel::PregelError::kind`]
+        /// or `"bad_argument"`).
+        kind: String,
+        /// Human-readable rendering.
+        message: String,
+        /// Post-mortem bundle, when one was written.
+        bundle: Option<PathBuf>,
+    },
+}
+
+impl JobState {
+    /// The wire name of the state.
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed(_) => "completed",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Completed(_) | JobState::Failed { .. })
+    }
+}
+
+/// The daemon's record of one job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Wire id (`"job-<n>"`).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Graph the job runs on.
+    pub graph: String,
+    /// Program label (builtin name or source fingerprint).
+    pub program: String,
+    /// Current state.
+    pub state: JobState,
+    /// End-to-end milliseconds (submit → terminal), once terminal.
+    pub wall_ms: Option<f64>,
+}
+
+fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Int(x) => Json::Int(*x),
+        Value::Double(x) => Json::Num(*x),
+        Value::Bool(x) => Json::Bool(*x),
+        // Tagged strings, mirroring the arg syntax, so node/edge refs
+        // survive the round trip unambiguously.
+        Value::Node(_) | Value::Edge(_) => Json::Str(render_value(v)),
+    }
+}
+
+impl JobRecord {
+    /// Renders the status document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            ("tenant".to_owned(), Json::Str(self.tenant.clone())),
+            ("graph".to_owned(), Json::Str(self.graph.clone())),
+            ("program".to_owned(), Json::Str(self.program.clone())),
+            (
+                "status".to_owned(),
+                Json::Str(self.state.status().to_owned()),
+            ),
+        ];
+        if let Some(ms) = self.wall_ms {
+            pairs.push(("wall_ms".to_owned(), Json::Num(ms)));
+        }
+        match &self.state {
+            JobState::Completed(r) => {
+                let mut result = vec![
+                    (
+                        "ret".to_owned(),
+                        r.ret.as_ref().map(value_json).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "globals".to_owned(),
+                        Json::obj(
+                            r.globals
+                                .iter()
+                                .map(|(k, v)| (k.clone(), value_json(v)))
+                                .collect::<Vec<_>>(),
+                        ),
+                    ),
+                    (
+                        "fingerprints".to_owned(),
+                        Json::obj(
+                            r.fingerprints
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                .collect::<Vec<_>>(),
+                        ),
+                    ),
+                    ("supersteps".to_owned(), Json::UInt(u64::from(r.supersteps))),
+                    ("total_messages".to_owned(), Json::UInt(r.total_messages)),
+                    (
+                        "total_message_bytes".to_owned(),
+                        Json::UInt(r.total_message_bytes),
+                    ),
+                ];
+                if let Some(props) = &r.props {
+                    result.push((
+                        "props".to_owned(),
+                        Json::obj(
+                            props
+                                .iter()
+                                .map(|(k, col)| {
+                                    (k.clone(), Json::Arr(col.iter().map(value_json).collect()))
+                                })
+                                .collect::<Vec<_>>(),
+                        ),
+                    ));
+                }
+                pairs.push(("result".to_owned(), Json::obj(result)));
+            }
+            JobState::Failed {
+                kind,
+                message,
+                bundle,
+            } => {
+                pairs.push((
+                    "error".to_owned(),
+                    Json::obj([
+                        ("kind".to_owned(), Json::Str(kind.clone())),
+                        ("message".to_owned(), Json::Str(message.clone())),
+                        (
+                            "bundle".to_owned(),
+                            bundle
+                                .as_ref()
+                                .map(|p| Json::Str(p.display().to_string()))
+                                .unwrap_or(Json::Null),
+                        ),
+                    ]),
+                ));
+            }
+            JobState::Queued | JobState::Running => {}
+        }
+        Json::obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_obs::json::parse;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let doc = parse(
+            r#"{"tenant":"acme","graph":"g1","program":"pagerank",
+                "args":{"e":1e-9,"d":0.85,"max_iter":10,"root":"n:3","flag":true},
+                "seed":7,"workers":2,"deadline_ms":500,
+                "max_message_bytes":4096,"include_props":true}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(spec.tenant, "acme");
+        assert_eq!(spec.program, ProgramSpec::Builtin("pagerank".to_owned()));
+        assert_eq!(spec.args["d"], Value::Double(0.85));
+        assert_eq!(spec.args["max_iter"], Value::Int(10));
+        assert_eq!(spec.args["root"], Value::Node(3));
+        assert_eq!(spec.args["flag"], Value::Bool(true));
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.workers, Some(2));
+        assert_eq!(spec.deadline, Some(Duration::from_millis(500)));
+        assert_eq!(spec.max_message_bytes, Some(4096));
+        assert!(spec.include_props);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        let cases = [
+            r#"{"program":"pagerank"}"#,                        // no graph
+            r#"{"graph":"g"}"#,                                 // no program
+            r#"{"graph":"g","program":"x","source":"y"}"#,      // both
+            r#"{"graph":"g","program":"x","args":{"k":[1]}}"#,  // non-scalar arg
+            r#"{"graph":"g","program":"x","args":{"s":"oh"}}"#, // bad string arg
+            r#"{"graph":"g","program":"x","workers":0}"#,       // zero workers
+            r#"{"graph":"g","program":"x","deadline_ms":0}"#,   // zero deadline
+            r#"{"graph":"g","program":"x","tenant":""}"#,       // empty tenant
+        ];
+        for c in cases {
+            let doc = parse(c).unwrap();
+            assert!(JobSpec::from_json(&doc).is_err(), "accepted: {c}");
+        }
+    }
+
+    #[test]
+    fn source_labels_are_content_addressed() {
+        let a = ProgramSpec::Source("Procedure p() {}".to_owned());
+        let b = ProgramSpec::Source("Procedure p() {}".to_owned());
+        let c = ProgramSpec::Source("Procedure q() {}".to_owned());
+        assert_eq!(a.label(), b.label());
+        assert_ne!(a.label(), c.label());
+        assert!(a.label().starts_with("source-"));
+    }
+
+    #[test]
+    fn record_renders_terminal_states() {
+        let rec = JobRecord {
+            id: "job-1".to_owned(),
+            tenant: "t".to_owned(),
+            graph: "g".to_owned(),
+            program: "pagerank".to_owned(),
+            state: JobState::Failed {
+                kind: "deadline_exceeded".to_owned(),
+                message: "superstep 3 exceeded its deadline".to_owned(),
+                bundle: Some(PathBuf::from("/tmp/b/bundle-1-0")),
+            },
+            wall_ms: Some(12.5),
+        };
+        let doc = rec.to_json();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("failed"));
+        let err = doc.get("error").unwrap();
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        assert!(err.get("bundle").and_then(Json::as_str).is_some());
+    }
+}

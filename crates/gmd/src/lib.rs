@@ -1,0 +1,137 @@
+//! `gmd` — a long-lived multi-tenant graph-analytics daemon.
+//!
+//! Everything else in this workspace is batch CLI: load a graph, run one
+//! program, exit. `gmd` is the serving shape the ROADMAP's north star
+//! asks for: it loads one or more immutable graph snapshots **once** at
+//! startup (named, shared via `Arc` across jobs), accepts jobs over a
+//! line-delimited-JSON HTTP API, and executes them concurrently on a
+//! bounded runner pool — with the governance layer from the batch world
+//! applied *per job*:
+//!
+//! * **Admission control** — each job reserves message-byte and
+//!   resident-byte budgets carved from a server-level total; a job whose
+//!   request can never fit is rejected up front with a structured error,
+//!   and the scheduler only starts jobs whose reservations fit alongside
+//!   the currently running set, so accepted work degrades into queueing,
+//!   never into oversubscription.
+//! * **Fairness** — queued jobs are FIFO within a tenant and round-robin
+//!   across tenants, so one chatty tenant cannot starve the rest.
+//! * **Deadlines** — a per-job deadline arms the superstep watchdog; an
+//!   overrunning job dies with a structured `deadline_exceeded` failure
+//!   while its bundle documents why.
+//! * **Quarantine** — a (graph, program) pair that fails identically
+//!   twice is refused further submissions until the daemon restarts,
+//!   breaking crash loops at the front door.
+//! * **Forensics** — failures are sealed into post-mortem bundles
+//!   (retention-capped via `GM_POST_MORTEM_KEEP`) and surfaced in the
+//!   job's status document.
+//!
+//! The HTTP surface:
+//!
+//! | endpoint | behaviour |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a job (one JSON object per line), `202` + id |
+//! | `GET /v1/jobs/<id>` | status / result / failure, `200` |
+//! | `GET /v1/graphs` | loaded snapshots with shapes |
+//! | `GET /healthz` | liveness + drain state |
+//! | `GET /metrics` | Prometheus exposition incl. `gm_jobs_*` series |
+//!
+//! A job names a loaded graph plus either a precompiled **builtin**
+//! (the paper's six algorithms, compiled once at startup) or inline
+//! Green-Marl **source**, compiled at submit time through the same
+//! library pipeline as `gmc` with the PIR verifier forced on — malformed
+//! tenant programs become structured `400`s, not daemon crashes.
+//!
+//! Results are returned with per-property FNV-1a fingerprints (see
+//! [`fingerprint_values`]) so clients can assert bit-identical agreement
+//! with local runs without shipping whole columns; small jobs can opt
+//! into full columns with `"include_props": true`.
+
+pub mod api;
+pub mod client;
+pub mod daemon;
+pub mod job;
+
+pub use daemon::{Daemon, DaemonConfig, GraphSpec};
+pub use job::{JobSpec, ProgramSpec};
+
+use gm_core::value::Value;
+
+/// FNV-1a 64-bit over a byte stream — the stable, dependency-free hash
+/// used to fingerprint result columns.
+#[derive(Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Renders a [`Value`] into the canonical tagged form fingerprints hash.
+/// `f64` goes through Rust's shortest-roundtrip `Display`, so two runs
+/// producing bit-identical doubles render (and hash) identically.
+pub fn render_value(v: &Value) -> String {
+    match v {
+        Value::Int(x) => format!("i:{x}"),
+        Value::Double(x) => format!("d:{x}"),
+        Value::Bool(x) => format!("b:{x}"),
+        Value::Node(x) => format!("n:{x}"),
+        Value::Edge(x) => format!("e:{x}"),
+    }
+}
+
+/// Fingerprints a value column: FNV-1a 64 over the tagged renderings,
+/// newline-separated, as a fixed-width hex string. Clients compare this
+/// against the same function applied to a local
+/// [`gm_interp::run_compiled`] outcome to assert bit-identical results.
+pub fn fingerprint_values(values: &[Value]) -> String {
+    let mut h = Fnv1a::default();
+    for v in values {
+        h.update(render_value(v).as_bytes());
+        h.update(b"\n");
+    }
+    format!("{:016x}", h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_and_value_sensitive() {
+        let a = fingerprint_values(&[Value::Int(1), Value::Int(2)]);
+        let b = fingerprint_values(&[Value::Int(2), Value::Int(1)]);
+        let c = fingerprint_values(&[Value::Int(1), Value::Int(2)]);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+        // Type tags keep equal renderings of different types distinct.
+        assert_ne!(
+            fingerprint_values(&[Value::Int(1)]),
+            fingerprint_values(&[Value::Node(1)])
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // Standard FNV-1a 64 test vector: "a" -> 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::default();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

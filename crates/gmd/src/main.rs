@@ -1,0 +1,137 @@
+//! The `gmd` binary: flag parsing, signal handling, and the serve loop.
+//!
+//! ```text
+//! gmd --graph <name>=<edges.txt | rmat:N:M:SEED | uniform:N:M:SEED> [--graph ...]
+//!     [--listen 127.0.0.1:8080] [--max-concurrent N] [--queue-cap N]
+//!     [--workers N] [--total-message-bytes N] [--total-resident-bytes N]
+//!     [--default-deadline-ms N] [--post-mortem-dir DIR] [--post-mortem-keep N]
+//!     [--drain-timeout-ms N] [--metrics-file PATH]
+//! ```
+//!
+//! The process serves until SIGINT/SIGTERM, then drains: new submissions
+//! get `503 draining`, queued jobs fail as `cancelled`, running jobs get
+//! `--drain-timeout-ms` to finish (then a cooperative cancel), the final
+//! metrics exposition is flushed to `--metrics-file` when given, and the
+//! process exits 0.
+
+use gmd::{Daemon, DaemonConfig, GraphSpec};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gmd --graph <name>=<edges.txt|rmat:N:M:SEED|uniform:N:M:SEED> [--graph ...]");
+    eprintln!("           [--listen 127.0.0.1:8080] [--max-concurrent N] [--queue-cap N]");
+    eprintln!("           [--workers N] [--total-message-bytes N] [--total-resident-bytes N]");
+    eprintln!(
+        "           [--default-deadline-ms N] [--post-mortem-dir DIR] [--post-mortem-keep N]"
+    );
+    eprintln!("           [--drain-timeout-ms N] [--metrics-file PATH]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = DaemonConfig::default();
+    let mut metrics_file: Option<String> = None;
+    let mut post_mortem_dir: Option<String> = None;
+    let mut post_mortem_keep: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        macro_rules! value {
+            () => {
+                match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("gmd: {flag} needs a value");
+                        return usage();
+                    }
+                }
+            };
+        }
+        macro_rules! parsed {
+            ($ty:ty) => {
+                match value!().parse::<$ty>() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("gmd: bad value for {flag}: {e}");
+                        return usage();
+                    }
+                }
+            };
+        }
+        match flag.as_str() {
+            "--graph" => match GraphSpec::parse(value!()) {
+                Ok(spec) => config.graphs.push(spec),
+                Err(e) => {
+                    eprintln!("gmd: {e}");
+                    return usage();
+                }
+            },
+            "--listen" => config.listen = value!().clone(),
+            "--max-concurrent" => config.max_concurrent = parsed!(usize),
+            "--queue-cap" => config.queue_cap = parsed!(usize),
+            "--workers" => config.default_workers = parsed!(usize),
+            "--total-message-bytes" => config.total_message_bytes = parsed!(u64),
+            "--total-resident-bytes" => config.total_resident_bytes = parsed!(u64),
+            "--default-deadline-ms" => {
+                config.default_deadline = Some(Duration::from_millis(parsed!(u64)));
+            }
+            "--post-mortem-dir" => post_mortem_dir = Some(value!().clone()),
+            "--post-mortem-keep" => post_mortem_keep = Some(parsed!(usize)),
+            "--drain-timeout-ms" => config.drain_timeout = Duration::from_millis(parsed!(u64)),
+            "--metrics-file" => metrics_file = Some(value!().clone()),
+            other => {
+                eprintln!("gmd: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    if let Some(dir) = post_mortem_dir {
+        let mut pm = gm_pregel::PostMortemConfig::new(dir);
+        if let Some(keep) = post_mortem_keep {
+            pm = pm.with_keep(keep);
+        }
+        config.post_mortem = Some(pm);
+    } else if let (Some(keep), Some(pm)) = (post_mortem_keep, config.post_mortem.take()) {
+        config.post_mortem = Some(pm.with_keep(keep));
+    }
+
+    gm_obs::signal::install();
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("gmd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state = daemon.state().clone();
+    for (name, g) in state.graphs() {
+        eprintln!(
+            "gmd: loaded graph {name}: {} nodes, {} edges",
+            g.graph.num_nodes(),
+            g.graph.num_edges()
+        );
+    }
+    eprintln!("gmd: serving on http://{}", daemon.addr());
+
+    while !gm_obs::signal::requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("gmd: shutdown requested, draining...");
+    let graceful = daemon.drain();
+    if let Some(path) = metrics_file {
+        if let Err(e) = state.registry().write_prometheus(&path) {
+            eprintln!("gmd: cannot write metrics file {path}: {e}");
+        }
+    }
+    eprintln!(
+        "gmd: drained {}",
+        if graceful {
+            "cleanly"
+        } else {
+            "with cancelled stragglers"
+        }
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,485 @@
+//! End-to-end serving acceptance tests: a live daemon over TCP, real
+//! HTTP clients, concurrent jobs across tenants, and bit-identical
+//! agreement with local `gmc run`-equivalent invocations (the daemon and
+//! `gmc` share the `greenmarl::service` compile pipeline and
+//! `gm_interp::run_compiled`, so comparing against a local `run_compiled`
+//! at the same graph/args/seed/workers *is* comparing against `gmc run`).
+
+use gm_core::seqinterp::ArgValue;
+use gm_core::value::Value;
+use gm_graph::io::LoadedGraph;
+use gm_interp::run_compiled;
+use gm_obs::json::Json;
+use gm_pregel::{PostMortemConfig, PregelConfig, ResourceBudget};
+use gmd::client::{Client, SubmitError};
+use gmd::{fingerprint_values, Daemon, DaemonConfig, GraphSpec};
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gmd-serving-{}-{}-{}",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A config with every knob explicit, so the suite is immune to `GM_*`
+/// environment variables a CI stress job may have exported.
+fn base_config(graphs: &[(&str, &str)]) -> DaemonConfig {
+    DaemonConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        graphs: graphs
+            .iter()
+            .map(|(name, source)| GraphSpec {
+                name: (*name).to_owned(),
+                source: (*source).to_owned(),
+            })
+            .collect(),
+        max_concurrent: 4,
+        queue_cap: 64,
+        default_workers: 2,
+        total_message_bytes: 1 << 30,
+        total_resident_bytes: 4 << 30,
+        default_deadline: None,
+        post_mortem: None,
+        quarantine_threshold: 2,
+        drain_timeout: Duration::from_millis(200),
+    }
+}
+
+/// Runs `source` locally the way `gmc run` does — same compile pipeline,
+/// same interpreter, same worker count and seed, first edge-property
+/// parameter fed from the snapshot's weight column — and returns the
+/// per-column fingerprints plus supersteps.
+fn local_reference(
+    loaded: &LoadedGraph,
+    source: &str,
+    args: &[(&str, Value)],
+    seed: u64,
+    workers: usize,
+) -> (BTreeMap<String, String>, u64) {
+    let compiled = greenmarl::service::compile_source(source).expect("reference compile");
+    let mut arg_map: HashMap<String, ArgValue> = args
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), ArgValue::Scalar(*v)))
+        .collect();
+    if let Some((name, _)) = compiled.program.edge_props.first() {
+        arg_map.entry(name.clone()).or_insert_with(|| {
+            ArgValue::EdgeProp(loaded.weights.iter().map(|&w| Value::Int(w)).collect())
+        });
+    }
+    let config = PregelConfig::with_workers(workers).with_budget(ResourceBudget::unbounded());
+    let out = run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config)
+        .expect("reference run succeeds");
+    let fingerprints = out
+        .node_props
+        .iter()
+        .map(|(name, col)| (name.clone(), fingerprint_values(col)))
+        .collect();
+    (fingerprints, u64::from(out.metrics.supersteps))
+}
+
+fn fingerprints_of(status: &Json) -> BTreeMap<String, String> {
+    let Some(Json::Obj(map)) = status.get("result").and_then(|r| r.get("fingerprints")) else {
+        panic!("no fingerprints in {status:?}");
+    };
+    map.iter()
+        .map(|(k, v)| (k.clone(), v.as_str().expect("hex string").to_owned()))
+        .collect()
+}
+
+const PAGERANK_ARGS: &str = r#""args":{"e":1e-8,"d":0.85,"max_iter":12}"#;
+
+#[test]
+fn serves_concurrent_multi_tenant_jobs_bit_identical_to_local_runs() {
+    let daemon = Daemon::start(base_config(&[
+        ("twitter", "rmat:300:1200:7"),
+        ("web", "uniform:200:800:9"),
+    ]))
+    .expect("daemon starts");
+    let client = Client::new(daemon.addr()).with_timeout(Duration::from_secs(30));
+
+    // The catalogue endpoint knows both snapshots and the builtins.
+    let (status, graphs) = client.get_json("/v1/graphs").unwrap();
+    assert_eq!(status, 200);
+    let names: Vec<&str> = graphs
+        .get("graphs")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|g| g.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, ["twitter", "web"]);
+    let builtins = graphs.get("builtins").and_then(Json::as_arr).unwrap();
+    assert!(builtins.iter().any(|b| b.as_str() == Some("pagerank")));
+
+    // Nine jobs over two graphs and two tenants: PageRank and SSSP as
+    // builtins, plus one inline-source PageRank so the compile-at-submit
+    // path is exercised and must agree with its precompiled twin.
+    let pagerank_src = gm_algorithms::sources::PAGERANK.replace('"', "\\\"");
+    let inline_src_body = pagerank_src.replace('\n', "\\n");
+    let mut submissions: Vec<(String, String)> = Vec::new(); // (id, expect-key)
+    for (tenant, graph, root) in [
+        ("acme", "twitter", 0u32),
+        ("globex", "twitter", 1),
+        ("acme", "web", 0),
+        ("globex", "web", 2),
+    ] {
+        let pr = format!(
+            r#"{{"tenant":"{tenant}","graph":"{graph}","program":"pagerank",{PAGERANK_ARGS},"seed":7}}"#
+        );
+        let id = client.submit(&pr).expect("pagerank accepted");
+        submissions.push((id, format!("pagerank:{graph}")));
+        let ss = format!(
+            r#"{{"tenant":"{tenant}","graph":"{graph}","program":"sssp","args":{{"root":"n:{root}"}},"seed":7}}"#
+        );
+        let id = client.submit(&ss).expect("sssp accepted");
+        submissions.push((id, format!("sssp:{graph}:{root}")));
+    }
+    let inline = format!(
+        r#"{{"tenant":"acme","graph":"twitter","source":"{inline_src_body}",{PAGERANK_ARGS},"seed":7}}"#
+    );
+    let id = client.submit(&inline).expect("inline source accepted");
+    submissions.push((id, "pagerank:twitter".to_owned()));
+    assert_eq!(submissions.len(), 9);
+
+    // Local references, computed once per distinct (program, graph, args).
+    let state = daemon.state().clone();
+    let workers = state.config().default_workers;
+    let pagerank_args: [(&str, Value); 3] = [
+        ("e", Value::Double(1e-8)),
+        ("d", Value::Double(0.85)),
+        ("max_iter", Value::Int(12)),
+    ];
+    let mut expected: HashMap<String, (BTreeMap<String, String>, u64)> = HashMap::new();
+    for graph in ["twitter", "web"] {
+        let loaded = state.graphs()[graph].clone();
+        expected.insert(
+            format!("pagerank:{graph}"),
+            local_reference(
+                &loaded,
+                gm_algorithms::sources::PAGERANK,
+                &pagerank_args,
+                7,
+                workers,
+            ),
+        );
+        for root in [0u32, 1, 2] {
+            expected.insert(
+                format!("sssp:{graph}:{root}"),
+                local_reference(
+                    &loaded,
+                    gm_algorithms::sources::SSSP,
+                    &[("root", Value::Node(root))],
+                    7,
+                    workers,
+                ),
+            );
+        }
+    }
+
+    for (id, key) in &submissions {
+        let status = client.wait(id, Duration::from_secs(120)).expect("terminal");
+        assert_eq!(
+            status.get("status").and_then(Json::as_str),
+            Some("completed"),
+            "job {id} ({key}): {status:?}"
+        );
+        let (want_fps, want_supersteps) = &expected[key];
+        assert_eq!(
+            &fingerprints_of(&status),
+            want_fps,
+            "job {id} ({key}) diverged from the local run"
+        );
+        assert_eq!(
+            status
+                .get("result")
+                .and_then(|r| r.get("supersteps"))
+                .and_then(Json::as_u64),
+            Some(*want_supersteps),
+            "job {id} ({key})"
+        );
+        assert!(status.get("wall_ms").is_some());
+    }
+
+    // Liveness and metrics reflect the work done.
+    let (status, health) = client.get_json("/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(health.get("draining"), Some(&Json::Bool(false)));
+    let (status, exposition) = client.get("/metrics").unwrap();
+    assert_eq!(status, 200);
+    for needle in [
+        "gm_jobs_submitted_total{tenant=\"acme\"}",
+        "gm_jobs_submitted_total{tenant=\"globex\"}",
+        "gm_jobs_completed_total{tenant=\"acme\"}",
+        "gm_jobs_queue_depth",
+        "gm_job_latency_ms",
+    ] {
+        assert!(
+            exposition.contains(needle),
+            "missing {needle} in exposition"
+        );
+    }
+    assert!(
+        !exposition.contains("gm_jobs_failed_total"),
+        "no job failed"
+    );
+}
+
+#[test]
+fn admission_rejects_structurally_and_over_capacity() {
+    let mut config = base_config(&[("g", "rmat:100:400:5")]);
+    config.total_message_bytes = 1 << 20;
+    config.total_resident_bytes = 1 << 24;
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let client = Client::new(daemon.addr());
+
+    let reject = |body: &str| -> (u16, Json) {
+        match client.submit(body) {
+            Err(SubmitError::Rejected { status, body }) => (status, body),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    };
+
+    // A budget request the server can never satisfy: structured 429 with
+    // the numbers a client needs to right-size and resubmit.
+    let (status, body) =
+        reject(r#"{"graph":"g","program":"pagerank","max_message_bytes":1048577}"#);
+    assert_eq!(status, 429);
+    assert_eq!(
+        body.get("error").and_then(Json::as_str),
+        Some("over_capacity")
+    );
+    assert_eq!(
+        body.get("budget").and_then(Json::as_str),
+        Some("message_bytes")
+    );
+    assert_eq!(
+        body.get("requested").and_then(Json::as_u64),
+        Some(1_048_577)
+    );
+    assert_eq!(body.get("capacity").and_then(Json::as_u64), Some(1 << 20));
+
+    let (status, body) =
+        reject(r#"{"graph":"g","program":"pagerank","max_resident_bytes":999999999}"#);
+    assert_eq!(status, 429);
+    assert_eq!(
+        body.get("budget").and_then(Json::as_str),
+        Some("resident_bytes")
+    );
+
+    let (status, body) = reject(r#"{"graph":"nope","program":"pagerank"}"#);
+    assert_eq!(status, 400);
+    assert_eq!(
+        body.get("error").and_then(Json::as_str),
+        Some("unknown_graph")
+    );
+
+    let (status, body) = reject(r#"{"graph":"g","program":"frobnicate"}"#);
+    assert_eq!(status, 400);
+    assert_eq!(
+        body.get("error").and_then(Json::as_str),
+        Some("unknown_program")
+    );
+
+    // Malformed tenant source is a diagnostic, not a daemon crash.
+    let (status, body) = reject(r#"{"graph":"g","source":"Procedure p(G: Graph) { Int x = }"}"#);
+    assert_eq!(status, 400);
+    assert_eq!(
+        body.get("error").and_then(Json::as_str),
+        Some("compile_error")
+    );
+    let diagnostics = body.get("diagnostics").and_then(Json::as_str).unwrap();
+    assert!(
+        diagnostics.contains("1:"),
+        "diagnostics carry positions: {diagnostics}"
+    );
+
+    let (status, body) = reject(r#"{"graph":"g","program":"pagerank","args":{"k":[1]}}"#);
+    assert_eq!(status, 400);
+    assert_eq!(
+        body.get("error").and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    let (status, _) = client.post("/v1/jobs", "this is not json").unwrap();
+    assert_eq!(status, 400);
+
+    let (status, _) = client.get("/v1/jobs/job-999").unwrap();
+    assert_eq!(status, 404);
+
+    // Rejections were counted; nothing was ever admitted.
+    let exposition = daemon.state().registry().render_prometheus();
+    assert!(exposition.contains("gm_jobs_rejected_total{reason=\"over_capacity\"}"));
+}
+
+#[test]
+fn queue_cap_bounds_accepted_work() {
+    let mut config = base_config(&[("g", "rmat:300:1200:7")]);
+    config.max_concurrent = 1;
+    config.queue_cap = 1;
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let client = Client::new(daemon.addr());
+
+    // A job long enough to hold the single runner while the queue fills:
+    // a negative epsilon means PageRank never converges, so it runs the
+    // full iteration budget.
+    let long = r#"{"tenant":"a","graph":"g","program":"pagerank","args":{"e":-1.0,"d":0.85,"max_iter":50000}}"#;
+    let running_id = client.submit(long).expect("accepted");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, doc) = client.get_json(&format!("/v1/jobs/{running_id}")).unwrap();
+        if doc.get("status").and_then(Json::as_str) == Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    client.submit(long).expect("fills the queue");
+    match client.submit(long) {
+        Err(SubmitError::Rejected { status, body }) => {
+            assert_eq!(status, 429);
+            assert_eq!(body.get("error").and_then(Json::as_str), Some("queue_full"));
+            assert_eq!(body.get("capacity").and_then(Json::as_u64), Some(1));
+        }
+        other => panic!("expected queue_full, got {other:?}"),
+    }
+    // Drain (not drop): the runner is mid-job and needs the cooperative
+    // cancel that only drain arms.
+    daemon.drain();
+}
+
+#[test]
+fn deadlines_produce_bundles_and_repeat_failures_quarantine() {
+    let bundles = fresh_dir("bundles");
+    let mut config = base_config(&[("big", "rmat:4000:20000:3")]);
+    config.post_mortem = Some(PostMortemConfig::new(&bundles));
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let client = Client::new(daemon.addr());
+
+    // A 1ms per-superstep deadline against a 4000-node interpreted
+    // PageRank: some superstep overruns long before convergence.
+    let id = client
+        .submit(r#"{"tenant":"a","graph":"big","program":"pagerank","args":{"e":0.0,"d":0.85,"max_iter":50},"deadline_ms":1}"#)
+        .expect("accepted");
+    let status = client.wait(&id, Duration::from_secs(120)).unwrap();
+    assert_eq!(status.get("status").and_then(Json::as_str), Some("failed"));
+    let error = status.get("error").expect("failed jobs carry an error");
+    assert_eq!(
+        error.get("kind").and_then(Json::as_str),
+        Some("deadline_exceeded")
+    );
+    let bundle = error
+        .get("bundle")
+        .and_then(Json::as_str)
+        .expect("bundle path");
+    assert!(
+        std::path::Path::new(bundle).is_dir(),
+        "bundle {bundle} was not written"
+    );
+
+    // Two identical budget failures of one (graph, program) signature
+    // close the front door on the third submission.
+    let starved = r#"{"tenant":"a","graph":"big","program":"pagerank","args":{"e":0.0,"d":0.85,"max_iter":5},"max_resident_bytes":1}"#;
+    for _ in 0..2 {
+        let id = client.submit(starved).expect("accepted");
+        let status = client.wait(&id, Duration::from_secs(120)).unwrap();
+        assert_eq!(status.get("status").and_then(Json::as_str), Some("failed"));
+        assert_eq!(
+            status
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("budget_exceeded")
+        );
+    }
+    match client.submit(starved) {
+        Err(SubmitError::Rejected { status, body }) => {
+            assert_eq!(status, 429);
+            assert_eq!(
+                body.get("error").and_then(Json::as_str),
+                Some("quarantined")
+            );
+            assert_eq!(
+                body.get("kind").and_then(Json::as_str),
+                Some("budget_exceeded")
+            );
+            assert_eq!(body.get("failures").and_then(Json::as_u64), Some(2));
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    // A different program on the same graph is unaffected.
+    let ok = client
+        .submit(r#"{"tenant":"a","graph":"big","program":"sssp","args":{"root":"n:0"}}"#)
+        .expect("other signatures still admitted");
+    let status = client.wait(&ok, Duration::from_secs(120)).unwrap();
+    assert_eq!(
+        status.get("status").and_then(Json::as_str),
+        Some("completed")
+    );
+    let _ = std::fs::remove_dir_all(&bundles);
+}
+
+#[test]
+fn drain_fails_queued_work_cancels_stragglers_and_refuses_new_jobs() {
+    let mut config = base_config(&[("g", "rmat:300:1200:7")]);
+    config.max_concurrent = 1;
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let client = Client::new(daemon.addr());
+    let state = daemon.state().clone();
+
+    // Negative epsilon: never converges, runs until cancelled.
+    let long = r#"{"tenant":"a","graph":"g","program":"pagerank","args":{"e":-1.0,"d":0.85,"max_iter":40000}}"#;
+    let running_id = client.submit(long).expect("accepted");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while state.job(&running_id).map(|r| r.state.status()) != Some("running") {
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued_a = client.submit(long).expect("queued");
+    let queued_b = client
+        .submit(r#"{"tenant":"b","graph":"g","program":"sssp","args":{"root":"n:0"}}"#)
+        .expect("queued");
+
+    let graceful = daemon.drain();
+    assert!(
+        !graceful,
+        "the long job cannot finish inside the drain window"
+    );
+
+    for id in [&queued_a, &queued_b] {
+        let record = state.job(id).expect("record survives drain");
+        assert_eq!(record.state.status(), "failed");
+        match &record.state {
+            gmd::job::JobState::Failed { kind, message, .. } => {
+                assert_eq!(kind, "cancelled");
+                assert_eq!(message, "daemon draining");
+            }
+            other => panic!("queued job ended as {other:?}"),
+        }
+    }
+    let record = state.job(&running_id).expect("record survives drain");
+    assert_eq!(record.state.status(), "failed", "straggler was cancelled");
+    match &record.state {
+        gmd::job::JobState::Failed { kind, .. } => assert_eq!(kind, "cancelled"),
+        other => panic!("straggler ended as {other:?}"),
+    }
+
+    // The scheduler keeps refusing work after drain.
+    let spec = gmd::JobSpec::from_json(
+        &gm_obs::json::parse(r#"{"graph":"g","program":"pagerank"}"#).unwrap(),
+    )
+    .unwrap();
+    match state.submit(spec) {
+        Err(gmd::daemon::Reject::Draining) => {}
+        other => panic!("expected draining rejection, got {other:?}"),
+    }
+}

@@ -69,7 +69,6 @@
 
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
-use gm_core::{compile_with, CompileOptions};
 use gm_graph::io::LoadPolicy;
 use gm_interp::run_compiled;
 use gm_obs::metrics::MetricsRegistry;
@@ -114,16 +113,9 @@ fn load_and_compile(
     tracer: Option<&Tracer>,
 ) -> Result<gm_core::Compiled, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut options = if optimize {
-        CompileOptions::default()
-    } else {
-        CompileOptions::unoptimized()
-    };
-    if let Some(v) = verify {
-        options.verify = v;
-    }
-    compile_with(&src, &options, tracer)
-        .map_err(|d| format!("compilation failed:\n{}", d.render(&src)))
+    // Same library pipeline `gmd` compiles tenant source through.
+    greenmarl::service::compile_source_with(&src, optimize, verify, tracer)
+        .map_err(|rendered| format!("compilation failed:\n{rendered}"))
 }
 
 /// Builds the `--trace` tracer, if requested.

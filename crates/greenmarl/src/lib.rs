@@ -18,6 +18,8 @@ pub use gm_graph as graph;
 pub use gm_interp as interp;
 pub use gm_pregel as pregel;
 
+pub mod service;
+
 /// The most common imports for using the library.
 pub mod prelude {
     pub use gm_core::seqinterp::ArgValue;

@@ -1,11 +1,16 @@
-//! A minimal, dependency-free HTTP endpoint serving Prometheus metrics.
+//! A minimal, dependency-free HTTP server: a route table over a blocking
+//! listener.
 //!
-//! This is deliberately not a web framework: one listener thread, blocking
-//! accepts, `GET /metrics` (or `/`) answered with the registry's text
-//! exposition, everything else a 404. It exists so `gmc run`, `figure6`,
-//! and the future `gmd` daemon can be scraped with
-//! `curl http://127.0.0.1:<port>/metrics` or a real Prometheus server
-//! while a job runs.
+//! This is deliberately not a web framework. A [`Router`] maps
+//! `(method, path pattern)` pairs to handlers, [`Router::serve`] binds a
+//! listener whose accept loop hands each connection to a short-lived
+//! handler thread (so one stalled client can never wedge the accept loop —
+//! every connection gets read/write timeouts before its first byte is
+//! touched), and [`serve`] keeps the original single-route
+//! metrics-endpoint API as a thin wrapper. It exists so `gmc run`,
+//! `figure6`, and the `gmd` daemon can expose `/metrics`, `/healthz`, and
+//! a small JSON job API from one listener with
+//! `curl http://127.0.0.1:<port>/...`.
 //!
 //! ```no_run
 //! use gm_obs::metrics::MetricsRegistry;
@@ -25,20 +30,241 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A running metrics endpoint. Dropping it stops the listener thread.
-pub struct MetricsServer {
+/// Per-connection socket timeout: a client that stops sending (or stops
+/// reading) is cut off after this long, releasing its handler thread.
+const CONN_TIMEOUT: Duration = Duration::from_secs(5);
+/// Header-section cap; requests with more header bytes are rejected.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Body cap (inline Green-Marl sources are a few KiB; this is generous).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request, as handed to route handlers.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with the query string stripped.
+    pub path: String,
+    /// The query string after `?`, if any (not decoded).
+    pub query: Option<String>,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+
+    /// The path segment after `prefix`, for `/x/*` routes:
+    /// `req.trailing("/v1/jobs/")` on `/v1/jobs/17` yields `Some("17")`.
+    pub fn trailing<'a>(&'a self, prefix: &str) -> Option<&'a str> {
+        self.path.strip_prefix(prefix)
+    }
+}
+
+/// A response a handler returns.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with an explicit status, content type, and body.
+    pub fn new(status: u16, content_type: impl Into<String>, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: content_type.into(),
+            body: body.into(),
+        }
+    }
+
+    /// `200 OK` with `text/plain` content.
+    pub fn ok_text(body: impl Into<String>) -> Response {
+        Response::new(200, "text/plain; charset=utf-8", body.into().into_bytes())
+    }
+
+    /// `200 OK` with `application/json` content.
+    pub fn ok_json(body: impl Into<String>) -> Response {
+        Response::new(200, "application/json", body.into().into_bytes())
+    }
+
+    /// An `application/json` error body with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status, "application/json", body.into().into_bytes())
+    }
+
+    /// `404 Not Found`.
+    pub fn not_found() -> Response {
+        Response::new(404, "text/plain; charset=utf-8", b"not found\n".to_vec())
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+}
+
+/// A route handler. Handlers run on per-connection threads and must be
+/// shareable; panics are caught and answered as a 500.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync + 'static>;
+
+struct Route {
+    method: &'static str,
+    /// Exact path, or a prefix route ending in `/*` which matches any
+    /// path extending the prefix.
+    pattern: String,
+    handler: Handler,
+}
+
+impl Route {
+    fn matches_path(&self, path: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => path.starts_with(prefix),
+            None => self.pattern == path,
+        }
+    }
+}
+
+/// A method + path-pattern route table.
+///
+/// Dispatch picks the first route whose pattern matches the path *and*
+/// whose method matches; a path that matches some route but no method
+/// yields `405`, anything else `404`.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty route table.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a route. `pattern` is an exact path (`"/healthz"`) or a
+    /// prefix ending in `/*` (`"/v1/jobs/*"`); handlers read the trailing
+    /// segment via [`Request::trailing`].
+    pub fn route(
+        mut self,
+        method: &'static str,
+        pattern: impl Into<String>,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method,
+            pattern: pattern.into(),
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            if !route.matches_path(&req.path) {
+                continue;
+            }
+            path_matched = true;
+            if route.method == req.method {
+                let handler = route.handler.clone();
+                // A panicking handler must not kill the connection thread
+                // silently; answer 500 and keep serving.
+                return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(req)))
+                    .unwrap_or_else(|_| {
+                        Response::new(
+                            500,
+                            "text/plain; charset=utf-8",
+                            b"handler panicked\n".to_vec(),
+                        )
+                    });
+            }
+        }
+        if path_matched {
+            Response::new(
+                405,
+                "text/plain; charset=utf-8",
+                b"method not allowed\n".to_vec(),
+            )
+        } else {
+            Response::not_found()
+        }
+    }
+
+    /// Binds `addr` (port 0 for ephemeral) and serves the route table
+    /// until the returned server is dropped. Each accepted connection is
+    /// handled on its own thread with socket timeouts, so a stalled or
+    /// malicious client cannot block other requests.
+    pub fn serve(self, addr: impl ToSocketAddrs) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let router = Arc::new(self);
+        let handle = std::thread::Builder::new()
+            .name("gm-http".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Serving is best-effort: a bad client must not take
+                    // the endpoint down.
+                    if let Ok(stream) = conn {
+                        let router = router.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("gm-http-conn".to_owned())
+                            .spawn(move || {
+                                let _ = handle_conn(stream, &router);
+                            });
+                    }
+                }
+            })?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+/// A running HTTP server. Dropping it stops the accept loop (in-flight
+/// connection threads finish on their own, bounded by the socket
+/// timeouts).
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
-impl MetricsServer {
+/// The metrics endpoint returned by [`serve`] — the same server type the
+/// generic [`Router::serve`] produces.
+pub type MetricsServer = HttpServer;
+
+impl HttpServer {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Stops the listener thread and waits for it to exit.
+    /// Stops the accept loop and waits for it to exit.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
@@ -49,7 +275,7 @@ impl MetricsServer {
     }
 }
 
-impl Drop for MetricsServer {
+impl Drop for HttpServer {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -57,85 +283,137 @@ impl Drop for MetricsServer {
 
 /// Binds `addr` (e.g. `"127.0.0.1:9090"`, port 0 for ephemeral) and serves
 /// `registry` as Prometheus text exposition until the returned server is
-/// dropped.
+/// dropped — the original single-route API, now a thin wrapper over
+/// [`Router`].
 pub fn serve(
     addr: impl ToSocketAddrs,
     registry: Arc<MetricsRegistry>,
 ) -> io::Result<MetricsServer> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop_flag = stop.clone();
-    let handle = std::thread::Builder::new()
-        .name("gm-metrics-http".to_owned())
-        .spawn(move || {
-            for conn in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                // Serving is best-effort: a bad client must not take the
-                // endpoint down.
-                if let Ok(stream) = conn {
-                    let _ = handle_conn(stream, &registry);
-                }
-            }
-        })?;
-    Ok(MetricsServer {
-        addr,
-        stop,
-        handle: Some(handle),
-    })
-}
-
-fn handle_conn(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    // Read up to the end of the headers; we never need a body. Clients may
-    // deliver the request in several small writes, so loop until the blank
-    // line (or the cap) arrives.
-    let mut buf = [0u8; 4096];
-    let mut filled = 0;
-    while filled < buf.len() {
-        let n = stream.read(&mut buf[filled..])?;
-        if n == 0 {
-            break;
-        }
-        filled += n;
-        if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-    }
-    let request = String::from_utf8_lossy(&buf[..filled]);
-    let mut parts = request.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".to_owned(),
-        )
-    } else if path == "/metrics" || path == "/" {
-        (
-            "200 OK",
+    let handler = move |_req: &Request| {
+        Response::new(
+            200,
             // The content type Prometheus scrapers expect for the text format.
             "text/plain; version=0.0.4; charset=utf-8",
-            registry.render_prometheus(),
-        )
-    } else {
-        (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found (try /metrics)\n".to_owned(),
+            registry.render_prometheus().into_bytes(),
         )
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+    let h2 = handler.clone();
+    Router::new()
+        .route("GET", "/metrics", handler)
+        .route("GET", "/", h2)
+        .serve(addr)
+}
+
+/// Reads one request (headers, then `Content-Length` bytes of body),
+/// dispatches it, and writes the response. `Connection: close` semantics:
+/// one request per connection.
+fn handle_conn(mut stream: TcpStream, router: &Router) -> io::Result<()> {
+    stream.set_read_timeout(Some(CONN_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONN_TIMEOUT))?;
+    let response = match read_request(&mut stream) {
+        Ok(req) => router.dispatch(&req),
+        Err(ReadError::TooLarge) => Response::new(
+            413,
+            "text/plain; charset=utf-8",
+            b"request too large\n".to_vec(),
+        ),
+        Err(ReadError::Malformed(m)) => Response::new(
+            400,
+            "text/plain; charset=utf-8",
+            format!("bad request: {m}\n").into_bytes(),
+        ),
+        // Socket errors (timeouts included): nothing useful to answer.
+        Err(ReadError::Io(e)) => return Err(e),
+    };
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len()
     );
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
     stream.flush()
+}
+
+enum ReadError {
+    Io(io::Error),
+    TooLarge,
+    Malformed(String),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    // Read up to the end of the headers. Clients may deliver the request
+    // in several small writes, so loop until the blank line (or the cap)
+    // arrives.
+    let mut buf = vec![0u8; MAX_HEAD_BYTES];
+    let mut filled = 0;
+    let head_end = loop {
+        if let Some(pos) = buf[..filled].windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if filled == buf.len() {
+            return Err(ReadError::TooLarge);
+        }
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Err(ReadError::Malformed("truncated request".to_owned()));
+        }
+        filled += n;
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("empty request line".to_owned()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".to_owned()))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad Content-Length".to_owned()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = buf[head_end..filled].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(ReadError::Malformed("truncated body".to_owned()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -145,6 +423,19 @@ mod tests {
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         let request = format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n");
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
         stream.write_all(request.as_bytes()).unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
@@ -184,5 +475,105 @@ mod tests {
         // The port is released: binding it again succeeds.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok());
+    }
+
+    #[test]
+    fn router_dispatches_posts_with_bodies_and_wildcards() {
+        let server = Router::new()
+            .route("GET", "/healthz", |_| Response::ok_json("{\"ok\":true}"))
+            .route("POST", "/v1/jobs", |req: &Request| {
+                Response::ok_json(format!("{{\"echo\":{}}}", req.body_str().len()))
+            })
+            .route("GET", "/v1/jobs/*", |req: &Request| {
+                let id = req.trailing("/v1/jobs/").unwrap_or("");
+                Response::ok_text(format!("job {id}"))
+            })
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"ok\":true}");
+
+        let (head, body) = post(addr, "/v1/jobs", "{\"graph\":\"g\"}");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "{\"echo\":13}");
+
+        let (_, body) = get(addr, "/v1/jobs/job-42");
+        assert_eq!(body, "job job-42");
+
+        // Wrong method on a known path: 405, unknown path: 404.
+        let (head, _) = post(addr, "/healthz", "");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        let (head, _) = get(addr, "/v2/other");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_other_requests() {
+        let server = Router::new()
+            .route("GET", "/ping", |_| Response::ok_text("pong"))
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let addr = server.addr();
+
+        // Open a connection and send *nothing*: with a single-threaded
+        // accept-and-handle loop this would wedge the server for the
+        // whole read timeout.
+        let stall = TcpStream::connect(addr).unwrap();
+
+        let start = std::time::Instant::now();
+        let (head, body) = get(addr, "/ping");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "pong");
+        assert!(
+            start.elapsed() < CONN_TIMEOUT,
+            "request behind a stalled client took {:?}",
+            start.elapsed()
+        );
+        drop(stall);
+    }
+
+    #[test]
+    fn handler_panic_becomes_500_and_server_survives() {
+        let server = Router::new()
+            .route("GET", "/boom", |_| -> Response { panic!("kaboom") })
+            .route("GET", "/ok", |_| Response::ok_text("fine"))
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let addr = server.addr();
+        let (head, _) = get(addr, "/boom");
+        assert!(head.starts_with("HTTP/1.1 500"), "{head}");
+        let (_, body) = get(addr, "/ok");
+        assert_eq!(body, "fine");
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_are_rejected() {
+        let server = Router::new()
+            .route("POST", "/x", |_| Response::ok_text("ok"))
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let addr = server.addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
     }
 }

@@ -47,6 +47,7 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod signal;
 pub mod sink;
 pub mod tracer;
 

@@ -1,0 +1,90 @@
+//! Dependency-free shutdown-signal latch for long-lived binaries.
+//!
+//! `gmd` and `figure6 --metrics-listen` run until told to stop; this
+//! module turns SIGINT/SIGTERM into a process-wide [`AtomicBool`] that
+//! drain loops poll, so the binaries can finish in-flight work, flush
+//! sinks, and exit 0 instead of dying mid-write.
+//!
+//! The handler itself only stores a relaxed atomic — the one thing that
+//! is async-signal-safe — and everything else happens on normal threads.
+//! On non-Unix targets [`install`] is a no-op and [`request`] remains the
+//! programmatic trigger (tests use it too).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // libc is always linked on unix targets; declaring `signal`
+        // directly keeps the crate dependency-free. Handlers are passed
+        // and returned as plain addresses.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGINT/SIGTERM handlers that latch the shutdown flag.
+/// Idempotent; a no-op on non-Unix targets.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a shutdown has been requested (by signal or by [`request`]).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Programmatically latches the shutdown flag — what the signal handler
+/// does, callable from tests and from in-process shutdown paths.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clears the latch. Only meaningful in tests, where several cases share
+/// one process-wide flag.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_round_trip() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}

@@ -1,0 +1,135 @@
+//! Concurrency test for the metrics path the daemon depends on: writer
+//! threads hammer counters, gauges, and histograms while scraper threads
+//! issue real `GET /metrics` requests over TCP. Every scrape must be a
+//! well-formed exposition (parseable samples, no torn lines), and a
+//! counter observed across successive scrapes must be monotone.
+
+use gm_obs::http::serve;
+use gm_obs::metrics::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scrape(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("has header/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "scrape failed: {head}");
+    body.to_owned()
+}
+
+/// Extracts the value of the first sample of `name` (no-label series).
+fn sample_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.parse().ok()
+    })
+}
+
+/// Every non-comment line must be `series value` with a parseable value —
+/// a torn concurrent render would fail here.
+fn assert_well_formed(exposition: &str) {
+    for line in exposition.lines() {
+        if line.is_empty() || line.starts_with("# HELP") || line.starts_with("# TYPE") {
+            continue;
+        }
+        let (_, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line without value: {line:?}"));
+        if value != "+Inf" {
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        }
+    }
+}
+
+#[test]
+fn scrapes_stay_well_formed_and_monotone_under_concurrent_mutation() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = serve("127.0.0.1:0", registry.clone()).expect("bind");
+    let addr = server.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writers: the same series shapes the daemon mutates per job —
+    // labelled counters per tenant, a queue-depth gauge, a latency
+    // histogram — plus fresh series registered mid-flight.
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let registry = registry.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{w}");
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    registry.counter("jobs_total", "all jobs").inc();
+                    registry
+                        .counter_with("jobs_by_tenant_total", "per tenant", &[("tenant", &tenant)])
+                        .inc();
+                    registry.gauge("queue_depth", "waiting").set((i % 7) as f64);
+                    registry
+                        .histogram_with("latency_ms", "latency", &[("tenant", &tenant)])
+                        .observe((i % 100) as f64);
+                    if i.is_multiple_of(50) {
+                        // Registration churn while scrapers iterate families.
+                        registry
+                            .counter(&format!("churn_{w}_{}", i / 50), "mid-flight series")
+                            .inc();
+                    }
+                    i += 1;
+                }
+                i
+            })
+        })
+        .collect();
+
+    // Scrapers: concurrent real HTTP requests, each asserting exposition
+    // shape and counter monotonicity against its own previous scrape.
+    let scrapers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut last = 0.0f64;
+                let mut scrapes = 0u32;
+                for _ in 0..40 {
+                    let body = scrape(addr);
+                    assert_well_formed(&body);
+                    if let Some(v) = sample_value(&body, "jobs_total") {
+                        assert!(
+                            v >= last,
+                            "counter went backwards across scrapes: {last} -> {v}"
+                        );
+                        last = v;
+                        scrapes += 1;
+                    }
+                }
+                scrapes
+            })
+        })
+        .collect();
+
+    let mut observed = 0;
+    for s in scrapers {
+        observed += s.join().expect("scraper thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut writes = 0;
+    for w in writers {
+        writes += w.join().expect("writer thread");
+    }
+    assert!(writes > 0, "writers made progress");
+    assert!(observed > 0, "at least one scrape saw the counter");
+
+    // The final quiescent scrape agrees exactly with the writer tallies.
+    let body = scrape(addr);
+    assert_eq!(sample_value(&body, "jobs_total"), Some(writes as f64));
+}

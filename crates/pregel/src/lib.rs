@@ -136,7 +136,9 @@ pub use govern::{
     ENV_SUPERSTEP_DEADLINE_MS,
 };
 pub use metrics::{Metrics, RecoveryStats, SpillStats, SuperstepMetrics};
-pub use postmortem::{PostMortemConfig, ENV_FLIGHT_RECORDER_EVENTS, ENV_POST_MORTEM_DIR};
+pub use postmortem::{
+    PostMortemConfig, ENV_FLIGHT_RECORDER_EVENTS, ENV_POST_MORTEM_DIR, ENV_POST_MORTEM_KEEP,
+};
 pub use program::{MasterContext, MasterDecision, PullMode, VertexContext, VertexProgram};
 pub use runtime::{
     run, run_with_recovery, PregelConfig, PregelError, PregelResult, Schedule, ENV_DENSE_THRESHOLD,

@@ -40,6 +40,9 @@ pub const ENV_POST_MORTEM_DIR: &str = "GM_POST_MORTEM_DIR";
 /// Environment variable overriding the flight-recorder ring capacity
 /// (number of retained trace events, default 512).
 pub const ENV_FLIGHT_RECORDER_EVENTS: &str = "GM_FLIGHT_RECORDER_EVENTS";
+/// Environment variable capping the number of retained `bundle-*`
+/// directories per bundle dir (oldest-first GC); `0` or unset keeps all.
+pub const ENV_POST_MORTEM_KEEP: &str = "GM_POST_MORTEM_KEEP";
 
 /// Configuration for crash forensics: where bundles go and how many trace
 /// events the flight recorder retains.
@@ -50,6 +53,11 @@ pub struct PostMortemConfig {
     pub dir: PathBuf,
     /// Flight-recorder ring capacity in events.
     pub capacity: usize,
+    /// Maximum `bundle-*` directories retained under `dir` (oldest
+    /// removed first after each new bundle); `0` means unlimited. A
+    /// long-lived daemon stuck in a quarantine loop would otherwise fill
+    /// the disk one bundle per failure.
+    pub keep: usize,
 }
 
 impl PostMortemConfig {
@@ -58,12 +66,19 @@ impl PostMortemConfig {
         PostMortemConfig {
             dir: dir.into(),
             capacity: DEFAULT_CAPACITY,
+            keep: 0,
         }
     }
 
     /// Overrides the flight-recorder capacity.
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Caps the number of retained bundle directories (`0` = unlimited).
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
         self
     }
 
@@ -80,6 +95,12 @@ impl PostMortemConfig {
             .and_then(|v| v.trim().parse::<usize>().ok())
         {
             pm = pm.with_capacity(cap);
+        }
+        if let Some(keep) = std::env::var(ENV_POST_MORTEM_KEEP)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            pm = pm.with_keep(keep);
         }
         Some(pm)
     }
@@ -256,7 +277,46 @@ pub(crate) fn write_bundle(
         ),
     ]);
     write_json(&bundle.join("MANIFEST.json"), &manifest)?;
+    if pm.keep > 0 {
+        // Best-effort retention: a GC hiccup must not mask the failure
+        // the bundle documents.
+        let _ = gc_bundles(&pm.dir, pm.keep);
+    }
     Ok(bundle)
+}
+
+/// Removes the oldest `bundle-*` directories under `dir` until at most
+/// `keep` remain. Age order is the numeric (millis, seq) encoded in the
+/// bundle name, so retention is stable even when directory mtimes are
+/// coarse.
+fn gc_bundles(dir: &Path, keep: usize) -> io::Result<()> {
+    let mut bundles: Vec<(u64, u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix("bundle-")) else {
+            continue;
+        };
+        let Some((millis, seq)) = rest.split_once('-') else {
+            continue;
+        };
+        let (Ok(millis), Ok(seq)) = (millis.parse::<u64>(), seq.parse::<u64>()) else {
+            continue;
+        };
+        bundles.push((millis, seq, entry.path()));
+    }
+    if bundles.len() <= keep {
+        return Ok(());
+    }
+    bundles.sort();
+    let excess = bundles.len() - keep;
+    for (_, _, path) in bundles.into_iter().take(excess) {
+        std::fs::remove_dir_all(path)?;
+    }
+    Ok(())
 }
 
 fn write_json(path: &Path, value: &Json) -> io::Result<()> {

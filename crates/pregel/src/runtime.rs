@@ -58,7 +58,7 @@ use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
@@ -172,6 +172,12 @@ pub struct PregelConfig {
     /// runs. One registry may be shared across many runs; counters
     /// accumulate.
     pub registry: Option<Arc<MetricsRegistry>>,
+    /// Cooperative cancellation: when set, the coordinator checks this
+    /// flag at the top of every superstep and aborts the run with
+    /// [`PregelError::Cancelled`] once it is `true`. Long-lived hosts (the
+    /// `gmd` daemon's drain path) share one token across jobs to stop
+    /// stragglers at a superstep boundary instead of killing the process.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for PregelConfig {
@@ -195,6 +201,7 @@ impl Default for PregelConfig {
                 .unwrap_or(0.05),
             post_mortem: PostMortemConfig::from_env(),
             registry: None,
+            cancel: None,
         }
     }
 }
@@ -268,6 +275,13 @@ impl PregelConfig {
     /// Attaches a metrics registry fed per superstep.
     pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, checked at every
+    /// superstep boundary.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -361,6 +375,14 @@ pub enum PregelError {
         attempts: u32,
         /// Rendered form of the repeated underlying error.
         detail: String,
+    },
+    /// The run was cancelled through [`PregelConfig::cancel`] — the
+    /// coordinator saw the token at a superstep boundary and stopped. Not
+    /// recoverable: the host asked for the job to end, so a supervisor
+    /// restarting it would defeat the point.
+    Cancelled {
+        /// Superstep at whose boundary the cancellation was observed.
+        superstep: u32,
     },
     /// A checkpoint or resume operation failed in a way the run cannot
     /// proceed past (an unreadable mandatory snapshot section, a graph
@@ -462,6 +484,9 @@ impl fmt::Display for PregelError {
                 }
                 write!(f, ": {detail}")
             }
+            PregelError::Cancelled { superstep } => {
+                write!(f, "run cancelled at superstep {superstep}")
+            }
             PregelError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             PregelError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
             PregelError::PostMortem { bundle, source } => {
@@ -512,6 +537,7 @@ impl PregelError {
             PregelError::BudgetExceeded { .. } => "budget_exceeded",
             PregelError::SpillFailed { .. } => "spill_failed",
             PregelError::Quarantined { .. } => "quarantined",
+            PregelError::Cancelled { .. } => "cancelled",
             PregelError::Checkpoint(_) => "checkpoint",
             PregelError::Internal(_) => "internal",
             PregelError::PostMortem { source, .. } => source.kind(),
@@ -670,6 +696,7 @@ pub(crate) fn failure_site(error: &PregelError) -> (u32, Option<u32>, Option<u32
             vertex,
             ..
         } => (*superstep, *worker, *vertex),
+        PregelError::Cancelled { superstep } => (*superstep, None, None),
         PregelError::PostMortem { source, .. } => failure_site(source),
         _ => (0, None, None),
     }
@@ -1597,6 +1624,11 @@ where
                 },
                 superstep,
             ));
+        }
+        if let Some(cancel) = &config.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(fail(PregelError::Cancelled { superstep }, superstep));
+            }
         }
 
         // ---- checkpoint (coordinator + workers, before the master) ----

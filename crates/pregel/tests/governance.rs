@@ -273,3 +273,35 @@ fn governed_run_with_all_limits_set_still_matches_baseline() {
     assert!(r.metrics.spill.buckets_spilled > 0);
     let _ = std::fs::remove_dir_all(&spill_dir);
 }
+
+#[test]
+fn cancellation_token_stops_the_run_at_a_superstep_boundary() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let g = gen::cycle(16);
+    let cancel = Arc::new(AtomicBool::new(true));
+    let cfg = PregelConfig::with_workers(2)
+        .with_budget(ResourceBudget::unbounded())
+        .with_cancel(cancel.clone());
+    let err = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+    match err {
+        PregelError::Cancelled { superstep } => assert_eq!(superstep, 0),
+        other => panic!("expected Cancelled, got {other}"),
+    }
+    assert_eq!(err.kind(), "cancelled");
+    assert!(!err.is_recoverable(), "hosts cancel on purpose");
+
+    // A cleared token is inert: the same config runs to completion.
+    cancel.store(false, Ordering::Relaxed);
+    let r = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap();
+    assert_eq!(r.metrics.supersteps, 9);
+
+    // And run_with_recovery must not retry a cancellation: it is not
+    // recoverable, so the error comes back directly (no quarantine
+    // wrapper from exhausted restarts).
+    cancel.store(true, Ordering::Relaxed);
+    let cfg = cfg.with_recovery(RecoveryPolicy::with_max_restarts(3));
+    let err = run_with_recovery(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+    assert!(matches!(err, PregelError::Cancelled { .. }), "{err}");
+}

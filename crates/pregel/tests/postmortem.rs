@@ -245,3 +245,49 @@ fn quarantine_keeps_the_newest_bundle_and_a_clean_signature() {
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 }
+
+#[test]
+fn bundle_retention_keeps_only_the_newest_bundles() {
+    let g = gm_graph::gen::cycle(12);
+    let dir = fresh_dir("retention");
+    let cfg = PregelConfig::with_workers(2)
+        .with_faults(
+            FaultPlan::builder()
+                .panic_in_compute(2, Some(1))
+                .times(u32::MAX)
+                .build(),
+        )
+        .with_post_mortem(PostMortemConfig::new(&dir).with_keep(2));
+
+    // Three independent failing runs write three bundles; the GC after
+    // each write keeps the count at the cap.
+    let mut last_bundle = PathBuf::new();
+    for _ in 0..3 {
+        let err = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+        last_bundle = err.post_mortem_bundle().unwrap().to_path_buf();
+    }
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 2, "keep=2 caps the directory: {names:?}");
+    // The newest bundle (the one the last error points at) survives.
+    assert!(last_bundle.is_dir(), "newest bundle was GC'd: {names:?}");
+
+    // Stray non-bundle entries are never touched by the GC.
+    let stray = dir.join("notes.txt");
+    std::fs::write(&stray, "operator notes").unwrap();
+    let err = run(&g, &mut Rounds { rounds: 8 }, |_| 0, &cfg).unwrap_err();
+    assert!(err.post_mortem_bundle().unwrap().is_dir());
+    assert!(stray.is_file(), "GC must ignore non-bundle entries");
+    assert_eq!(
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_type().unwrap().is_dir())
+            .count(),
+        2
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
