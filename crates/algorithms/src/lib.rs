@@ -7,7 +7,10 @@
 //!   Centrality deliberately has none: the paper's point is that a manual
 //!   Pregel BC is prohibitively difficult);
 //! * [`reference`] — sequential oracles used by the differential tests.
+//! * [`native`] — `gm-core::rustgen` output compiled into the binary
+//!   (the `--backend native` modules), bit-identical to the interpreter.
 
 pub mod manual;
+pub mod native;
 pub mod reference;
 pub mod sources;

@@ -1,0 +1,109 @@
+//! The six paper algorithms compiled to *native* Rust by
+//! `gm-core::rustgen` — the third backend next to [`crate::sources`]
+//! (interpreted PIR) and [`crate::manual`] (hand-written Pregel).
+//!
+//! Every submodule here is `@generated` output of `gmc emit-rust`,
+//! checked in verbatim so (a) the goldens are guaranteed to compile —
+//! they *are* the crate — and (b) `gmc run --backend native` can select
+//! a module by byte-equality between freshly emitted source and
+//! [`NativeAlgorithm::generated`]. Regenerate with `GM_UPDATE_GOLDEN=1
+//! cargo test -p gm-algorithms --test rustgen_golden` after compiler
+//! changes.
+
+// `@generated` emitter output is pinned byte-for-byte by the golden
+// tests; rustfmt must not rewrite it.
+#[rustfmt::skip]
+pub mod avg_teen;
+#[rustfmt::skip]
+pub mod bc_approx;
+#[rustfmt::skip]
+pub mod bipartite_matching;
+#[rustfmt::skip]
+pub mod conductance;
+#[rustfmt::skip]
+pub mod pagerank;
+#[rustfmt::skip]
+pub mod sssp;
+
+use gm_core::seqinterp::ArgValue;
+use gm_graph::Graph;
+use gm_interp::{CompiledOutcome, RunError};
+use gm_pregel::PregelConfig;
+use std::collections::HashMap;
+
+/// The uniform entry point every generated module exports: same argument
+/// conventions and outcome shape as `gm_interp::run_compiled`.
+pub type NativeRun =
+    fn(&Graph, &HashMap<String, ArgValue>, u64, &PregelConfig) -> Result<CompiledOutcome, RunError>;
+
+/// One compiled-in algorithm: its procedure name, the Green-Marl source it
+/// came from, the generated module text, and the native entry point.
+pub struct NativeAlgorithm {
+    /// The Green-Marl procedure name (`avg_teen_cnt`, `pagerank`, ...).
+    pub name: &'static str,
+    /// The `.gm` file stem, used for golden paths and bench labels.
+    pub stem: &'static str,
+    /// The Green-Marl source the module was generated from.
+    pub source: &'static str,
+    /// The checked-in generated Rust — the golden `gmc emit-rust` output.
+    pub generated: &'static str,
+    /// Runs the native module.
+    pub run: NativeRun,
+}
+
+/// All six, in the paper's order (matching [`crate::sources::ALL`]).
+pub const ALL: [NativeAlgorithm; 6] = [
+    NativeAlgorithm {
+        name: "avg_teen_cnt",
+        stem: "avg_teen",
+        source: crate::sources::AVG_TEEN,
+        generated: include_str!("avg_teen.rs"),
+        run: avg_teen::run,
+    },
+    NativeAlgorithm {
+        name: "pagerank",
+        stem: "pagerank",
+        source: crate::sources::PAGERANK,
+        generated: include_str!("pagerank.rs"),
+        run: pagerank::run,
+    },
+    NativeAlgorithm {
+        name: "conductance",
+        stem: "conductance",
+        source: crate::sources::CONDUCTANCE,
+        generated: include_str!("conductance.rs"),
+        run: conductance::run,
+    },
+    NativeAlgorithm {
+        name: "sssp",
+        stem: "sssp",
+        source: crate::sources::SSSP,
+        generated: include_str!("sssp.rs"),
+        run: sssp::run,
+    },
+    NativeAlgorithm {
+        name: "bipartite_match",
+        stem: "bipartite_matching",
+        source: crate::sources::BIPARTITE_MATCHING,
+        generated: include_str!("bipartite_matching.rs"),
+        run: bipartite_matching::run,
+    },
+    NativeAlgorithm {
+        name: "bc_approx",
+        stem: "bc_approx",
+        source: crate::sources::BC_APPROX,
+        generated: include_str!("bc_approx.rs"),
+        run: bc_approx::run,
+    },
+];
+
+/// Finds the compiled-in module whose generated source is byte-identical
+/// to `generated` — the `gmc run --backend native` selection rule.
+pub fn find_for_generated(generated: &str) -> Option<&'static NativeAlgorithm> {
+    ALL.iter().find(|a| a.generated == generated)
+}
+
+/// Finds a compiled-in module by procedure name.
+pub fn find_by_name(name: &str) -> Option<&'static NativeAlgorithm> {
+    ALL.iter().find(|a| a.name == name)
+}

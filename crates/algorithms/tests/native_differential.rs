@@ -1,0 +1,379 @@
+//! Three-way differential tests for the native codegen backend: for every
+//! shipped algorithm, the `gm-core::rustgen` module compiled into this
+//! crate, the PIR interpreter (`gm_interp::run_compiled`), and the
+//! sequential Green-Marl interpreter (`gm_core::seqinterp`) must agree.
+//!
+//! Native vs. interpreter is held to the strictest standard: **bit-for-bit
+//! identical outcomes at the same configuration** — return value, node
+//! properties, master globals, superstep count, message/byte totals,
+//! per-superstep activity series, and the state-machine trace — across
+//! {Push, Pull, Auto} × {1, 2, 4} workers, under a 1-byte spill budget,
+//! through an injected worker crash + snapshot recovery, and between two
+//! identical checkpointed runs (byte-identical snapshots).
+//!
+//! The nightly deep-fuzz CI job re-runs this matrix alongside the
+//! compiler's translation-validation fuzzers.
+
+use gm_algorithms::native::{self, NativeAlgorithm};
+use gm_algorithms::sources;
+use gm_core::seqinterp::{run_procedure, ArgValue, ExecOutcome};
+use gm_core::value::Value;
+use gm_core::{compile, CompileOptions, Compiled};
+use gm_graph::{gen, Graph};
+use gm_interp::{run_compiled, CompiledOutcome, TraceStep};
+use gm_pregel::{
+    CheckpointConfig, FaultPlan, PregelConfig, RecoveryPolicy, ResourceBudget, Schedule, Snapshot,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+// ---------------------------------------------------------------------------
+// Shared fixtures: the exact inputs of the schedule-axis differential suite.
+// ---------------------------------------------------------------------------
+
+type Case = (
+    &'static str,
+    &'static str,
+    Graph,
+    HashMap<String, ArgValue>,
+    u64,
+);
+
+fn algorithm_cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    let ages: Vec<Value> = (0..200).map(|i| Value::Int((i * 37) % 80)).collect();
+    cases.push((
+        "avg_teen",
+        sources::AVG_TEEN,
+        gen::rmat(200, 1200, 17),
+        HashMap::from([
+            ("age".to_owned(), ArgValue::NodeProp(ages)),
+            ("K".to_owned(), ArgValue::Scalar(Value::Int(25))),
+        ]),
+        0,
+    ));
+
+    cases.push((
+        "pagerank",
+        sources::PAGERANK,
+        gen::rmat(150, 900, 23),
+        HashMap::from([
+            ("e".to_owned(), ArgValue::Scalar(Value::Double(1e-8))),
+            ("d".to_owned(), ArgValue::Scalar(Value::Double(0.85))),
+            ("max_iter".to_owned(), ArgValue::Scalar(Value::Int(30))),
+        ]),
+        0,
+    ));
+
+    let member: Vec<Value> = (0..120).map(|i| Value::Bool(i % 3 == 0)).collect();
+    cases.push((
+        "conductance",
+        sources::CONDUCTANCE,
+        gen::rmat(120, 700, 31),
+        HashMap::from([("member".to_owned(), ArgValue::NodeProp(member))]),
+        0,
+    ));
+
+    let weights: Vec<Value> = (0..1000).map(|i| Value::Int(1 + (i * 7) % 20)).collect();
+    cases.push((
+        "sssp",
+        sources::SSSP,
+        gen::rmat(180, 1000, 41),
+        HashMap::from([
+            ("root".to_owned(), ArgValue::Scalar(Value::Node(3))),
+            ("len".to_owned(), ArgValue::EdgeProp(weights)),
+        ]),
+        0,
+    ));
+
+    let is_boy: Vec<Value> = (0..130).map(|i| Value::Bool(i < 60)).collect();
+    cases.push((
+        "bipartite",
+        sources::BIPARTITE_MATCHING,
+        gen::bipartite(60, 70, 350, 13),
+        HashMap::from([("is_boy".to_owned(), ArgValue::NodeProp(is_boy))]),
+        0,
+    ));
+
+    cases.push((
+        "bc_approx",
+        sources::BC_APPROX,
+        gen::rmat(100, 500, 29),
+        HashMap::from([("K".to_owned(), ArgValue::Scalar(Value::Int(6)))]),
+        77,
+    ));
+
+    cases
+}
+
+fn native_for(src: &str) -> &'static NativeAlgorithm {
+    native::ALL
+        .iter()
+        .find(|a| a.source == src)
+        .expect("every shipped source has a compiled-in native module")
+}
+
+fn compiled_for(name: &str, src: &str) -> Compiled {
+    compile(src, &CompileOptions::default()).expect(name)
+}
+
+// ---------------------------------------------------------------------------
+// The full observable outcome of a run — everything but wall-clock times.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    ret: Option<Value>,
+    node_props: Vec<(String, Vec<Value>)>,
+    globals: Vec<(String, Value)>,
+    supersteps: u32,
+    total_messages: u64,
+    total_message_bytes: u64,
+    pull_supersteps: u32,
+    per_superstep: Vec<(u32, u64, u64)>,
+    trace: Vec<TraceStep>,
+}
+
+fn outcome(out: &CompiledOutcome) -> Outcome {
+    let mut node_props: Vec<(String, Vec<Value>)> = out
+        .node_props
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    node_props.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut globals: Vec<(String, Value)> =
+        out.globals.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    globals.sort_by(|a, b| a.0.cmp(&b.0));
+    Outcome {
+        ret: out.ret,
+        node_props,
+        globals,
+        supersteps: out.metrics.supersteps,
+        total_messages: out.metrics.total_messages,
+        total_message_bytes: out.metrics.total_message_bytes,
+        pull_supersteps: out.metrics.pull_supersteps,
+        per_superstep: out
+            .metrics
+            .per_superstep
+            .iter()
+            .map(|s| (s.active_vertices, s.messages_sent, s.message_bytes))
+            .collect(),
+        trace: out.trace.clone(),
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gm-native-diff-{}-{}-{}",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// 1. Native × interpreter: bit-identical across the schedule/worker matrix.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn native_matches_interpreter_bit_for_bit_across_schedules_and_workers() {
+    for (name, src, graph, args, seed) in algorithm_cases() {
+        let alg = native_for(src);
+        let compiled = compiled_for(name, src);
+        for workers in [1usize, 2, 4] {
+            for schedule in [Schedule::Push, Schedule::Pull, Schedule::Auto] {
+                let config = PregelConfig::with_workers(workers).with_schedule(schedule);
+                let interp = run_compiled(&graph, &compiled, &args, seed, &config)
+                    .unwrap_or_else(|e| panic!("{name} interp {schedule:?}×{workers}: {e}"));
+                let nat = (alg.run)(&graph, &args, seed, &config)
+                    .unwrap_or_else(|e| panic!("{name} native {schedule:?}×{workers}: {e}"));
+                assert_eq!(
+                    outcome(&nat),
+                    outcome(&interp),
+                    "{name}: native diverged from interpreter at {schedule:?}×{workers}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Native × sequential interpreter: same values and return.
+// ---------------------------------------------------------------------------
+
+fn seq_run(g: &Graph, src: &str, args: &HashMap<String, ArgValue>, seed: u64) -> ExecOutcome {
+    let mut prog = gm_core::parser::parse(src).expect("parse");
+    gm_core::normalize::desugar_bulk(&mut prog);
+    let infos = gm_core::sema::check(&mut prog).expect("sema");
+    run_procedure(g, &prog.procedures[0], &infos[0], args, seed).expect("seq run")
+}
+
+#[test]
+fn native_matches_sequential_interpreter() {
+    for (name, src, graph, args, seed) in algorithm_cases() {
+        let alg = native_for(src);
+        let seq = seq_run(&graph, src, &args, seed);
+        let nat = (alg.run)(&graph, &args, seed, &PregelConfig::sequential())
+            .unwrap_or_else(|e| panic!("{name} native: {e}"));
+        assert_eq!(seq.ret, nat.ret, "{name}: return values differ");
+        for (prop, nat_vals) in &nat.node_props {
+            if let Some(seq_vals) = seq.node_props.get(prop) {
+                assert_eq!(seq_vals, nat_vals, "{name}: property `{prop}` differs");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Spill: a 1-byte message budget must be invisible to the native backend
+//    and leave it bit-identical to the interpreter under the same budget.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn native_spill_is_invisible_and_matches_interpreter() {
+    for (name, src, graph, args, seed) in algorithm_cases() {
+        let alg = native_for(src);
+        let compiled = compiled_for(name, src);
+        let unbounded = PregelConfig::with_workers(2).with_budget(ResourceBudget::unbounded());
+        let spilling = PregelConfig::with_workers(2)
+            .with_budget(ResourceBudget::unbounded().with_max_message_bytes(1));
+
+        let base = (alg.run)(&graph, &args, seed, &unbounded)
+            .unwrap_or_else(|e| panic!("{name} native unbounded: {e}"));
+        let gov = (alg.run)(&graph, &args, seed, &spilling)
+            .unwrap_or_else(|e| panic!("{name} native spilling: {e}"));
+        let interp_gov = run_compiled(&graph, &compiled, &args, seed, &spilling)
+            .unwrap_or_else(|e| panic!("{name} interp spilling: {e}"));
+
+        assert_eq!(
+            outcome(&gov),
+            outcome(&base),
+            "{name}: spill changed the run"
+        );
+        assert_eq!(
+            outcome(&gov),
+            outcome(&interp_gov),
+            "{name}: native diverged from interpreter under spill"
+        );
+        assert_eq!(
+            base.metrics.spill.buckets_spilled, 0,
+            "{name}: baseline spilled"
+        );
+        if base.metrics.total_messages > 0 {
+            assert!(
+                gov.metrics.spill.buckets_spilled > 0,
+                "{name}: the 1-byte budget must force spills"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Recovery: crash worker 0 mid-run, restore from the newest snapshot,
+//    and require the result to stay bit-identical to the uninterrupted run
+//    and to the interpreter put through the identical fault plan.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn native_recovery_is_exact_and_matches_interpreter() {
+    for (name, src, graph, args, seed) in algorithm_cases() {
+        let alg = native_for(src);
+        let compiled = compiled_for(name, src);
+        let plain = PregelConfig::with_workers(2);
+        let base = (alg.run)(&graph, &args, seed, &plain)
+            .unwrap_or_else(|e| panic!("{name} native plain: {e}"));
+        let fail_at = (base.metrics.supersteps / 2).max(1);
+
+        let faulty = |tag: &str| PregelConfig {
+            checkpoint: Some(CheckpointConfig::new(fresh_dir(tag), 2)),
+            faults: FaultPlan::builder()
+                .panic_in_compute(fail_at, Some(0))
+                .build(),
+            recovery: Some(RecoveryPolicy::with_max_restarts(2)),
+            ..PregelConfig::with_workers(2)
+        };
+
+        let nat = (alg.run)(&graph, &args, seed, &faulty("nat"))
+            .unwrap_or_else(|e| panic!("{name} native recovery: {e}"));
+        let interp = run_compiled(&graph, &compiled, &args, seed, &faulty("interp"))
+            .unwrap_or_else(|e| panic!("{name} interp recovery: {e}"));
+
+        assert_eq!(
+            nat.metrics.recovery.restarts, 1,
+            "{name}: injected fault at superstep {fail_at} never tripped"
+        );
+        assert_eq!(
+            outcome(&nat),
+            outcome(&base),
+            "{name}: recovery changed the native result"
+        );
+        assert_eq!(
+            outcome(&nat),
+            outcome(&interp),
+            "{name}: native diverged from interpreter through recovery"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Checkpoint determinism: two identical checkpointed native runs write
+//    byte-identical snapshots (outside the wall-clock `metrics` section).
+// ---------------------------------------------------------------------------
+
+fn snapshots(dir: &Path) -> Vec<(String, PathBuf)> {
+    let mut files: Vec<(String, PathBuf)> = std::fs::read_dir(dir)
+        .expect("snapshot dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "gmck"))
+        .map(|p| (p.file_name().unwrap().to_string_lossy().into_owned(), p))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn native_snapshots_are_byte_identical_between_runs() {
+    for (name, src, graph, args, seed) in algorithm_cases() {
+        let alg = native_for(src);
+        let ckpt = |dir: &Path| PregelConfig {
+            checkpoint: Some(CheckpointConfig::new(dir, 1)),
+            ..PregelConfig::with_workers(2)
+        };
+        let (da, db) = (fresh_dir("det-a"), fresh_dir("det-b"));
+        (alg.run)(&graph, &args, seed, &ckpt(&da)).unwrap_or_else(|e| panic!("{name} run A: {e}"));
+        (alg.run)(&graph, &args, seed, &ckpt(&db)).unwrap_or_else(|e| panic!("{name} run B: {e}"));
+
+        let a = snapshots(&da);
+        let b = snapshots(&db);
+        assert!(!a.is_empty(), "{name}: no snapshots written");
+        assert_eq!(
+            a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            "{name}: runs checkpointed different supersteps"
+        );
+        for ((file, pa), (_, pb)) in a.iter().zip(&b) {
+            let sa = Snapshot::read(pa).expect("read snapshot A");
+            let sb = Snapshot::read(pb).expect("read snapshot B");
+            let secs_a: Vec<&str> = sa.section_names().collect();
+            let secs_b: Vec<&str> = sb.section_names().collect();
+            assert_eq!(secs_a, secs_b, "{name}/{file}: section sets differ");
+            for sec in secs_a {
+                if sec == "metrics" {
+                    continue; // wall-clock durations, legitimately run-specific
+                }
+                assert_eq!(
+                    sa.section(sec),
+                    sb.section(sec),
+                    "{name}/{file}: section `{sec}` differs between identical runs"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&da);
+        let _ = std::fs::remove_dir_all(&db);
+    }
+}

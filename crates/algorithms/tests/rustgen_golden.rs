@@ -1,0 +1,82 @@
+//! Golden tests for `gm-core::rustgen`: every checked-in native module
+//! under `src/native/` must be byte-identical to what `gmc emit-rust`
+//! produces from its Green-Marl source today.
+//!
+//! The goldens double as the crate's own source code, so "every golden
+//! compiles" is enforced by `cargo build` itself, and `gmc run --backend
+//! native` can select a module by byte-equality with fresh emitter output.
+//!
+//! After changing the compiler or the emitter, regenerate with:
+//!
+//! ```text
+//! GM_UPDATE_GOLDEN=1 cargo test -p gm-algorithms --test rustgen_golden
+//! ```
+
+use gm_algorithms::native;
+use gm_core::{compile, CompileOptions};
+use std::path::PathBuf;
+
+fn golden_path(stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("src/native")
+        .join(format!("{stem}.rs"))
+}
+
+#[test]
+fn generated_rust_matches_checked_in_goldens() {
+    let update = std::env::var_os("GM_UPDATE_GOLDEN").is_some();
+    let mut stale = Vec::new();
+    for alg in &native::ALL {
+        let compiled = compile(alg.source, &CompileOptions::default())
+            .unwrap_or_else(|d| panic!("{}: {}", alg.stem, d.render(alg.source)));
+        let emitted = gm_core::rustgen::emit_rust(&compiled.program)
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.stem));
+        if emitted != alg.generated {
+            if update {
+                std::fs::write(golden_path(alg.stem), &emitted).expect("write golden");
+                println!("updated {}", golden_path(alg.stem).display());
+            }
+            stale.push(alg.stem);
+        }
+    }
+    if update {
+        if !stale.is_empty() {
+            println!(
+                "rewrote {} golden(s); rebuild to compile the new modules",
+                stale.len()
+            );
+        }
+    } else {
+        assert!(
+            stale.is_empty(),
+            "stale native goldens for {stale:?}; regenerate with \
+             GM_UPDATE_GOLDEN=1 cargo test -p gm-algorithms --test rustgen_golden"
+        );
+    }
+}
+
+#[test]
+fn emission_is_deterministic_for_every_algorithm() {
+    for alg in &native::ALL {
+        let compiled = compile(alg.source, &CompileOptions::default()).expect(alg.stem);
+        let a = gm_core::rustgen::emit_rust(&compiled.program).expect(alg.stem);
+        let b = gm_core::rustgen::emit_rust(&compiled.program).expect(alg.stem);
+        assert_eq!(a, b, "{}: emission is not deterministic", alg.stem);
+    }
+}
+
+#[test]
+fn every_golden_carries_the_generated_marker() {
+    for alg in &native::ALL {
+        assert!(
+            alg.generated.starts_with("//! @generated"),
+            "{}: missing @generated header",
+            alg.stem
+        );
+        assert!(
+            alg.generated.contains("DO NOT EDIT"),
+            "{}: missing DO-NOT-EDIT marker",
+            alg.stem
+        );
+    }
+}

@@ -28,12 +28,19 @@ fn bench_pair(
     manual_run: impl Fn(&Graph, &PregelConfig),
 ) {
     let compiled = gm_bench::compile_source(src, &CompileOptions::default());
+    let native = gm_algorithms::native::ALL
+        .iter()
+        .find(|a| a.source == src)
+        .expect("native module");
     let args = args_for(alg, g);
     let cfg = PregelConfig::sequential();
     let mut grp = c.benchmark_group(group);
     grp.sample_size(10);
     grp.bench_with_input(BenchmarkId::new("generated", graph_name), g, |b, g| {
         b.iter(|| run_compiled(g, &compiled, &args, 7, &cfg).expect("generated run"))
+    });
+    grp.bench_with_input(BenchmarkId::new("native", graph_name), g, |b, g| {
+        b.iter(|| (native.run)(g, &args, 7, &cfg).expect("native run"))
     });
     grp.bench_with_input(BenchmarkId::new("manual", graph_name), g, |b, g| {
         b.iter(|| manual_run(g, &cfg))
@@ -111,6 +118,13 @@ fn figure6(c: &mut Criterion) {
     grp.sample_size(10);
     grp.bench_function("generated/twitter", |b| {
         b.iter(|| run_compiled(&g, &compiled, &args, 7, &cfg).expect("bc run"))
+    });
+    let native = gm_algorithms::native::ALL
+        .iter()
+        .find(|a| a.source == sources::BC_APPROX)
+        .expect("native module");
+    grp.bench_function("native/twitter", |b| {
+        b.iter(|| (native.run)(&g, &args, 7, &cfg).expect("bc native run"))
     });
     grp.finish();
 }

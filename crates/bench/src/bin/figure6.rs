@@ -64,8 +64,10 @@ struct Row {
     algorithm: &'static str,
     graph: &'static str,
     generated_ms: f64,
+    native_ms: f64,
     manual_ms: f64,
     generated: Metrics,
+    native: Metrics,
     manual: Metrics,
 }
 
@@ -85,6 +87,36 @@ fn run_generated(
     }
     let (t, m) = time_min(reps(), || {
         let out = run_compiled(g, &compiled, &args, 7, &cfg).expect("generated run");
+        ((), out.metrics)
+    });
+    (t.as_secs_f64() * 1e3, m)
+}
+
+/// The compiled-in `rustgen` module for a bench workload key.
+fn native_entry(alg: &str) -> &'static gm_algorithms::native::NativeAlgorithm {
+    let stem = match alg {
+        "bipartite" => "bipartite_matching",
+        "bc" => "bc_approx",
+        other => other,
+    };
+    gm_algorithms::native::ALL
+        .iter()
+        .find(|a| a.stem == stem)
+        .unwrap_or_else(|| panic!("no native module for workload {alg}"))
+}
+
+/// Times the native (`gmc emit-rust`) backend on the same workload.
+fn run_native(
+    alg: &'static str,
+    g: &Graph,
+    ckpt: &CkptArgs,
+    metrics: &MetricsArgs,
+) -> (f64, Metrics) {
+    let native = native_entry(alg);
+    let args = args_for(alg, g);
+    let cfg = metrics.apply(ckpt.apply(bench_config()));
+    let (t, m) = time_min(reps(), || {
+        let out = (native.run)(g, &args, 7, &cfg).expect("native run");
         ((), out.metrics)
     });
     (t.as_secs_f64() * 1e3, m)
@@ -125,6 +157,7 @@ fn main() {
                 &metrics,
             );
             trace.write_metrics_json(&format!("bipartite.{}", w.name), &gen_m);
+            let (nat_ms, nat_m) = run_native("bipartite", g, &ckpt, &metrics);
             let (man_t, man_m) = time_min(reps(), || {
                 let out = manual::run_bipartite_matching(g, &marks, &cfg).expect("manual run");
                 ((), out.metrics)
@@ -133,8 +166,10 @@ fn main() {
                 algorithm: "Bipartite",
                 graph: w.name,
                 generated_ms: gen_ms,
+                native_ms: nat_ms,
                 manual_ms: man_t.as_secs_f64() * 1e3,
                 generated: gen_m,
+                native: nat_m,
                 manual: man_m,
             });
             continue;
@@ -144,6 +179,7 @@ fn main() {
         let (gen_ms, gen_m) =
             run_generated("avg_teen", sources::AVG_TEEN, g, tracer, &ckpt, &metrics);
         trace.write_metrics_json(&format!("avg_teen.{}", w.name), &gen_m);
+        let (nat_ms, nat_m) = run_native("avg_teen", g, &ckpt, &metrics);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_avg_teen(g, &ages, 25, &cfg).expect("manual run");
             ((), out.metrics)
@@ -152,14 +188,17 @@ fn main() {
             algorithm: "AvgTeen",
             graph: w.name,
             generated_ms: gen_ms,
+            native_ms: nat_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
             generated: gen_m,
+            native: nat_m,
             manual: man_m,
         });
 
         let (gen_ms, gen_m) =
             run_generated("pagerank", sources::PAGERANK, g, tracer, &ckpt, &metrics);
         trace.write_metrics_json(&format!("pagerank.{}", w.name), &gen_m);
+        let (nat_ms, nat_m) = run_native("pagerank", g, &ckpt, &metrics);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_pagerank(g, 1e-9, 0.85, 10, &cfg).expect("manual run");
             ((), out.metrics)
@@ -168,8 +207,10 @@ fn main() {
             algorithm: "PageRank",
             graph: w.name,
             generated_ms: gen_ms,
+            native_ms: nat_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
             generated: gen_m,
+            native: nat_m,
             manual: man_m,
         });
 
@@ -183,6 +224,7 @@ fn main() {
             &metrics,
         );
         trace.write_metrics_json(&format!("conductance.{}", w.name), &gen_m);
+        let (nat_ms, nat_m) = run_native("conductance", g, &ckpt, &metrics);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_conductance(g, &member, &cfg).expect("manual run");
             ((), out.metrics)
@@ -191,14 +233,17 @@ fn main() {
             algorithm: "Conduct",
             graph: w.name,
             generated_ms: gen_ms,
+            native_ms: nat_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
             generated: gen_m,
+            native: nat_m,
             manual: man_m,
         });
 
         let ws = weights(g);
         let (gen_ms, gen_m) = run_generated("sssp", sources::SSSP, g, tracer, &ckpt, &metrics);
         trace.write_metrics_json(&format!("sssp.{}", w.name), &gen_m);
+        let (nat_ms, nat_m) = run_native("sssp", g, &ckpt, &metrics);
         let (man_t, man_m) = time_min(reps(), || {
             let out = manual::run_sssp(g, sssp_root(g), &ws, &cfg).expect("manual run");
             ((), out.metrics)
@@ -207,33 +252,47 @@ fn main() {
             algorithm: "SSSP",
             graph: w.name,
             generated_ms: gen_ms,
+            native_ms: nat_ms,
             manual_ms: man_t.as_secs_f64() * 1e3,
             generated: gen_m,
+            native: nat_m,
             manual: man_m,
         });
     }
 
-    println!("Figure 6: generated vs manual Pregel (normalized run-time)");
+    println!("Figure 6: generated (interp + native) vs manual Pregel (normalized run-time)");
     println!(
         "schedule: {:?} (GM_SCHEDULE; dense threshold {})",
         cfg.schedule, cfg.dense_threshold
     );
     println!(
-        "{:<10} {:<10} {:>10} {:>10} {:>8} {:>12} {:>14}",
-        "Algorithm", "Graph", "gen (ms)", "manual", "ratio", "supersteps", "net I/O match"
+        "{:<10} {:<10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>12} {:>14}",
+        "Algorithm",
+        "Graph",
+        "interp",
+        "native",
+        "manual",
+        "int/man",
+        "nat/man",
+        "supersteps",
+        "net I/O match"
     );
     let mut all_structural_match = true;
     for r in &rows {
-        let steps_match = r.generated.supersteps == r.manual.supersteps;
-        let bytes_match = r.generated.total_message_bytes == r.manual.total_message_bytes;
+        let steps_match = r.generated.supersteps == r.manual.supersteps
+            && r.native.supersteps == r.manual.supersteps;
+        let bytes_match = r.generated.total_message_bytes == r.manual.total_message_bytes
+            && r.native.total_message_bytes == r.manual.total_message_bytes;
         all_structural_match &= steps_match && bytes_match;
         println!(
-            "{:<10} {:<10} {:>10.1} {:>10.1} {:>8.2} {:>5}={:<5} {:>9}={:<9}",
+            "{:<10} {:<10} {:>10.1} {:>10.1} {:>10.1} {:>8.2} {:>8.2} {:>5}={:<5} {:>9}={:<9}",
             r.algorithm,
             r.graph,
             r.generated_ms,
+            r.native_ms,
             r.manual_ms,
             r.generated_ms / r.manual_ms,
+            r.native_ms / r.manual_ms,
             r.generated.supersteps,
             r.manual.supersteps,
             r.generated.total_message_bytes,
@@ -243,6 +302,11 @@ fn main() {
         assert!(
             bytes_match,
             "{}/{}: network I/O differs",
+            r.algorithm, r.graph
+        );
+        assert_eq!(
+            r.native.total_messages, r.generated.total_messages,
+            "{}/{}: native message count diverged from the interpreter",
             r.algorithm, r.graph
         );
     }
@@ -284,9 +348,10 @@ fn main() {
             "VIOLATED"
         }
     );
-    println!("note: paper ratios were 0.92–1.35 (generated Java vs manual Java on a JVM);");
-    println!("here the generated side is an interpreted state machine while the manual");
-    println!("side is native Rust, so ratios are higher — see EXPERIMENTS.md.");
+    println!("note: paper ratios were 0.92–1.35 (generated Java vs manual Java on a JVM).");
+    println!("the interp column runs the PIR state machine (interpretation tax included);");
+    println!("the native column is `gmc emit-rust` output compiled into this binary, the");
+    println!("apples-to-apples analogue of the paper's generated Java — see EXPERIMENTS.md.");
     if let Some(path) = bench_json {
         let report = Report {
             entries: rows
@@ -297,6 +362,7 @@ fn main() {
                     };
                     [
                         Entry::from_metrics(key("generated"), r.generated_ms, &r.generated),
+                        Entry::from_metrics(key("native"), r.native_ms, &r.native),
                         Entry::from_metrics(key("manual"), r.manual_ms, &r.manual),
                     ]
                 })

@@ -56,6 +56,12 @@ pub enum ReportError {
     Io(std::io::Error),
     /// The document is not valid JSON or not a snapshot.
     Malformed(String),
+    /// The document is a snapshot from a different (usually older)
+    /// schema revision and cannot be compared against.
+    Schema {
+        /// The `schema` field found, if any.
+        found: Option<u64>,
+    },
 }
 
 impl fmt::Display for ReportError {
@@ -63,6 +69,16 @@ impl fmt::Display for ReportError {
         match self {
             ReportError::Io(e) => write!(f, "cannot read snapshot: {e}"),
             ReportError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            ReportError::Schema { found } => write!(
+                f,
+                "snapshot schema {} is not the supported schema 1; the file \
+                 predates (or postdates) this build of the gate — regenerate \
+                 it from a fresh run with `regress --write-baseline`",
+                match found {
+                    Some(v) => v.to_string(),
+                    None => "missing".to_owned(),
+                }
+            ),
         }
     }
 }
@@ -75,9 +91,7 @@ impl Report {
         let doc = parse(text).map_err(|e| ReportError::Malformed(format!("not JSON: {e:?}")))?;
         let schema = doc.get("schema").and_then(Json::as_u64);
         if schema != Some(1) {
-            return Err(ReportError::Malformed(format!(
-                "unsupported schema {schema:?} (expected 1)"
-            )));
+            return Err(ReportError::Schema { found: schema });
         }
         let raw = doc
             .get("entries")
@@ -338,5 +352,29 @@ mod tests {
         let dup =
             "{\"schema\":1,\"entries\":[{\"name\":\"a\",\"ms\":1},{\"name\":\"a\",\"ms\":2}]}";
         assert!(Report::from_json(dup).is_err());
+    }
+
+    #[test]
+    fn older_schema_baselines_get_an_actionable_error() {
+        // A schema-0/2 (or schema-less) baseline must not read as generic
+        // corruption: the error tells the operator to re-run
+        // `regress --write-baseline` instead of hunting for file damage.
+        for doc in [
+            "{\"schema\":0,\"entries\":[]}",
+            "{\"schema\":2,\"entries\":[]}",
+            "{\"entries\":[]}",
+        ] {
+            let err = Report::from_json(doc).unwrap_err();
+            assert!(
+                matches!(err, ReportError::Schema { .. }),
+                "{doc}: wrong error class: {err:?}"
+            );
+            let msg = err.to_string();
+            assert!(
+                msg.contains("--write-baseline"),
+                "{doc}: message lacks the remedy: {msg}"
+            );
+            assert!(msg.contains("schema"), "{doc}: {msg}");
+        }
     }
 }

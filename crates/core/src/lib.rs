@@ -38,6 +38,7 @@ pub mod pir;
 pub mod pretty;
 pub mod pullability;
 pub mod report;
+pub mod rustgen;
 pub mod sema;
 pub mod seqinterp;
 pub mod transform;

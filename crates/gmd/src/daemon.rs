@@ -10,6 +10,7 @@
 //! unaffordable, and running jobs are never oversubscribed.
 
 use crate::job::{JobRecord, JobResult, JobSpec, JobState};
+use gm_algorithms::native::{NativeAlgorithm, NativeRun};
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
 use gm_core::Compiled;
@@ -129,6 +130,12 @@ pub struct DaemonConfig {
     /// How long [`Daemon::drain`] waits for running jobs before
     /// cancelling them.
     pub drain_timeout: Duration,
+    /// Serve builtins through the compiled-in `gm-core::rustgen` modules
+    /// instead of the PIR interpreter. Selection uses the same rule as
+    /// `gmc run --backend native`: a builtin runs natively only when its
+    /// freshly emitted Rust is byte-identical to the checked-in module,
+    /// so results stay bit-for-bit pinned to the interpreter.
+    pub native_builtins: bool,
 }
 
 impl Default for DaemonConfig {
@@ -145,6 +152,7 @@ impl Default for DaemonConfig {
             post_mortem: PostMortemConfig::from_env(),
             quarantine_threshold: 2,
             drain_timeout: Duration::from_secs(10),
+            native_builtins: true,
         }
     }
 }
@@ -203,6 +211,9 @@ struct QueuedJob {
     id: String,
     spec: JobSpec,
     compiled: Arc<Compiled>,
+    /// Native entry point, when the job is a builtin served by a
+    /// compiled-in `rustgen` module.
+    native: Option<NativeRun>,
     /// Reserved message bytes (explicit request or fair share).
     msg_bytes: u64,
     /// Reserved resident bytes.
@@ -234,6 +245,9 @@ pub struct State {
     config: DaemonConfig,
     graphs: BTreeMap<String, Arc<LoadedGraph>>,
     builtins: BTreeMap<String, Arc<Compiled>>,
+    /// Builtins whose emitted Rust matched a compiled-in native module,
+    /// by builtin name (empty when `native_builtins` is off).
+    native_builtins: BTreeMap<String, &'static NativeAlgorithm>,
     registry: Arc<MetricsRegistry>,
     jobs: Mutex<HashMap<String, JobRecord>>,
     sched: Mutex<Sched>,
@@ -305,15 +319,18 @@ impl State {
         }
         // Resolve the program *before* taking any lock: compiling inline
         // source is the slow part and must not serialize submissions.
-        let compiled = match &spec.program {
-            crate::ProgramSpec::Builtin(name) => self
-                .builtins
-                .get(name)
-                .cloned()
-                .ok_or_else(|| Reject::UnknownProgram(name.clone()))?,
-            crate::ProgramSpec::Source(src) => {
-                Arc::new(greenmarl::service::compile_source(src).map_err(Reject::CompileError)?)
-            }
+        let (compiled, native) = match &spec.program {
+            crate::ProgramSpec::Builtin(name) => (
+                self.builtins
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| Reject::UnknownProgram(name.clone()))?,
+                self.native_builtins.get(name.as_str()).map(|a| a.run),
+            ),
+            crate::ProgramSpec::Source(src) => (
+                Arc::new(greenmarl::service::compile_source(src).map_err(Reject::CompileError)?),
+                None,
+            ),
         };
         let label = spec.program.label();
         {
@@ -368,6 +385,7 @@ impl State {
             tenant: spec.tenant.clone(),
             graph,
             program: label,
+            backend: if native.is_some() { "native" } else { "interp" },
             state: JobState::Queued,
             wall_ms: None,
         };
@@ -381,6 +399,7 @@ impl State {
                 id: id.clone(),
                 spec,
                 compiled,
+                native,
                 msg_bytes,
                 res_bytes,
                 submitted: Instant::now(),
@@ -519,7 +538,10 @@ impl State {
             .with_cancel(self.cancel.clone());
         config.post_mortem = self.config.post_mortem.clone();
 
-        let outcome = run_compiled(&graph.graph, &job.compiled, &args, job.spec.seed, &config);
+        let outcome = match job.native {
+            Some(run) => run(&graph.graph, &args, job.spec.seed, &config),
+            None => run_compiled(&graph.graph, &job.compiled, &args, job.spec.seed, &config),
+        };
         let wall_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
         let tenant = job.spec.tenant.clone();
         let state = match outcome {
@@ -625,15 +647,29 @@ impl Daemon {
             }
         }
         let mut builtins = BTreeMap::new();
+        let mut native_builtins = BTreeMap::new();
         for (name, src) in builtin_sources() {
             let compiled = greenmarl::service::compile_source(src)
                 .map_err(|e| format!("builtin {name} failed to compile: {e}"))?;
+            if config.native_builtins {
+                // Same selection rule as `gmc run --backend native`: only
+                // adopt the compiled-in module when it is byte-identical
+                // to what the emitter would produce today.
+                if let Some(alg) = gm_core::rustgen::emit_rust(&compiled.program)
+                    .ok()
+                    .as_deref()
+                    .and_then(gm_algorithms::native::find_for_generated)
+                {
+                    native_builtins.insert(name.to_owned(), alg);
+                }
+            }
             builtins.insert(name.to_owned(), Arc::new(compiled));
         }
         let state = Arc::new(State {
             registry: Arc::new(MetricsRegistry::new()),
             graphs,
             builtins,
+            native_builtins,
             jobs: Mutex::new(HashMap::new()),
             sched: Mutex::new(Sched::default()),
             work_cv: Condvar::new(),

@@ -280,6 +280,9 @@ pub struct JobRecord {
     pub graph: String,
     /// Program label (builtin name or source fingerprint).
     pub program: String,
+    /// Execution backend: `"interp"`, or `"native"` for builtins served
+    /// by a compiled-in `gm-core::rustgen` module.
+    pub backend: &'static str,
     /// Current state.
     pub state: JobState,
     /// End-to-end milliseconds (submit → terminal), once terminal.
@@ -305,6 +308,7 @@ impl JobRecord {
             ("tenant".to_owned(), Json::Str(self.tenant.clone())),
             ("graph".to_owned(), Json::Str(self.graph.clone())),
             ("program".to_owned(), Json::Str(self.program.clone())),
+            ("backend".to_owned(), Json::Str(self.backend.to_owned())),
             (
                 "status".to_owned(),
                 Json::Str(self.state.status().to_owned()),
@@ -449,6 +453,7 @@ mod tests {
             tenant: "t".to_owned(),
             graph: "g".to_owned(),
             program: "pagerank".to_owned(),
+            backend: "interp",
             state: JobState::Failed {
                 kind: "deadline_exceeded".to_owned(),
                 message: "superstep 3 exceeded its deadline".to_owned(),

@@ -25,7 +25,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "           [--default-deadline-ms N] [--post-mortem-dir DIR] [--post-mortem-keep N]"
     );
-    eprintln!("           [--drain-timeout-ms N] [--metrics-file PATH]");
+    eprintln!("           [--drain-timeout-ms N] [--metrics-file PATH] [--no-native-builtins]");
     ExitCode::FAILURE
 }
 
@@ -81,6 +81,9 @@ fn main() -> ExitCode {
             "--post-mortem-keep" => post_mortem_keep = Some(parsed!(usize)),
             "--drain-timeout-ms" => config.drain_timeout = Duration::from_millis(parsed!(u64)),
             "--metrics-file" => metrics_file = Some(value!().clone()),
+            // Force builtins onto the PIR interpreter (the default serves
+            // them through the compiled-in rustgen modules).
+            "--no-native-builtins" => config.native_builtins = false,
             other => {
                 eprintln!("gmd: unknown flag {other}");
                 return usage();

@@ -51,6 +51,7 @@ fn base_config(graphs: &[(&str, &str)]) -> DaemonConfig {
         post_mortem: None,
         quarantine_threshold: 2,
         drain_timeout: Duration::from_millis(200),
+        native_builtins: true,
     }
 }
 
@@ -482,4 +483,68 @@ fn drain_fails_queued_work_cancels_stragglers_and_refuses_new_jobs() {
         Err(gmd::daemon::Reject::Draining) => {}
         other => panic!("expected draining rejection, got {other:?}"),
     }
+}
+
+#[test]
+fn builtins_are_served_natively_and_stay_bit_identical_to_the_interpreter() {
+    // Daemon A: default config — builtins run on the compiled-in rustgen
+    // modules. Daemon B: native serving disabled — same jobs on the PIR
+    // interpreter. Every fingerprint must match across the two.
+    let native = Daemon::start(base_config(&[("g", "rmat:250:1400:11")])).expect("daemon A");
+    let interp = Daemon::start(DaemonConfig {
+        native_builtins: false,
+        ..base_config(&[("g", "rmat:250:1400:11")])
+    })
+    .expect("daemon B");
+
+    let jobs = [
+        format!(r#"{{"tenant":"t","graph":"g","program":"pagerank",{PAGERANK_ARGS},"seed":3}}"#),
+        r#"{"tenant":"t","graph":"g","program":"sssp","args":{"root":"n:5"},"seed":3}"#.to_owned(),
+        r#"{"tenant":"t","graph":"g","program":"bc","args":{"K":4},"seed":3}"#.to_owned(),
+    ];
+    for job in &jobs {
+        let ca = Client::new(native.addr()).with_timeout(Duration::from_secs(30));
+        let cb = Client::new(interp.addr()).with_timeout(Duration::from_secs(30));
+        let ia = ca.submit(job).expect("native daemon accepts");
+        let ib = cb.submit(job).expect("interp daemon accepts");
+        let sa = ca.wait(&ia, Duration::from_secs(120)).expect("terminal");
+        let sb = cb.wait(&ib, Duration::from_secs(120)).expect("terminal");
+        assert_eq!(sa.get("status").and_then(Json::as_str), Some("completed"));
+        assert_eq!(sb.get("status").and_then(Json::as_str), Some("completed"));
+        assert_eq!(
+            sa.get("backend").and_then(Json::as_str),
+            Some("native"),
+            "builtin must be served by the native backend: {sa:?}"
+        );
+        assert_eq!(sb.get("backend").and_then(Json::as_str), Some("interp"));
+        assert_eq!(
+            fingerprints_of(&sa),
+            fingerprints_of(&sb),
+            "native serving diverged from the interpreter"
+        );
+        assert_eq!(
+            sa.get("result").and_then(|r| r.get("supersteps")),
+            sb.get("result").and_then(|r| r.get("supersteps"))
+        );
+        assert_eq!(
+            sa.get("result").and_then(|r| r.get("ret")),
+            sb.get("result").and_then(|r| r.get("ret"))
+        );
+    }
+
+    // Inline source always compiles to PIR and runs on the interpreter,
+    // even when its text equals a builtin's.
+    let pagerank_src = gm_algorithms::sources::PAGERANK.replace('"', "\\\"");
+    let inline_src_body = pagerank_src.replace('\n', "\\n");
+    let inline = format!(
+        r#"{{"tenant":"t","graph":"g","source":"{inline_src_body}",{PAGERANK_ARGS},"seed":3}}"#
+    );
+    let ca = Client::new(native.addr()).with_timeout(Duration::from_secs(30));
+    let id = ca.submit(&inline).expect("inline accepted");
+    let status = ca.wait(&id, Duration::from_secs(120)).expect("terminal");
+    assert_eq!(status.get("backend").and_then(Json::as_str), Some("interp"));
+    assert_eq!(
+        status.get("status").and_then(Json::as_str),
+        Some("completed")
+    );
 }

@@ -12,6 +12,12 @@
 //! aborts the load; [`LoadPolicy::SkipAndCount`] skips them, counting the
 //! damage in [`LoadStats`] so callers can decide whether a partially-dirty
 //! file is acceptable.
+//!
+//! Line endings are handled exactly: `\n` and `\r\n` terminate lines, a
+//! final line without any terminator (or with a bare trailing `\r`) still
+//! counts as a line, and a leading UTF-8 byte-order mark is stripped — so
+//! Windows-saved files load identically to Unix ones and malformed-line
+//! reports never drift by a line or carry a stray `\r`.
 
 use crate::{Graph, GraphBuilder};
 use std::error::Error;
@@ -167,15 +173,42 @@ pub fn read_edge_list_with<R: Read>(
     reader: R,
     policy: LoadPolicy,
 ) -> Result<LoadedGraph, ParseGraphError> {
-    let buf = BufReader::new(reader);
+    let mut buf = BufReader::new(reader);
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut weights: Vec<i64> = Vec::new();
     let mut max_id: u32 = 0;
     let mut any = false;
     let mut stats = LoadStats::default();
-    for (i, line) in buf.lines().enumerate() {
-        let line = line?;
+    let mut raw: Vec<u8> = Vec::new();
+    let mut i = 0usize;
+    loop {
+        raw.clear();
+        if buf.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        i += 1;
         stats.lines_read += 1;
+        // Strip one `\n` and then one `\r`, so LF and CRLF terminators —
+        // and a final line missing its terminator entirely, or ending in
+        // a bare `\r` (a CRLF file truncated mid-terminator) — all yield
+        // the same text at the same 1-based line number.
+        if raw.last() == Some(&b'\n') {
+            raw.pop();
+        }
+        if raw.last() == Some(&b'\r') {
+            raw.pop();
+        }
+        let mut line = std::str::from_utf8(&raw).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("edge list line {i} is not valid UTF-8"),
+            )
+        })?;
+        if i == 1 {
+            // Editors on Windows commonly prepend a UTF-8 byte-order
+            // mark; it is not part of the first edge.
+            line = line.strip_prefix('\u{feff}').unwrap_or(line);
+        }
         let mut trimmed = line.trim();
         // Strip inline trailing comments (`0 1  # hub edge`) before
         // splitting into columns; a full-line comment becomes empty.
@@ -190,7 +223,7 @@ pub fn read_edge_list_with<R: Read>(
             Err(reason) => match policy {
                 LoadPolicy::Strict => {
                     return Err(ParseGraphError::Malformed {
-                        line: i + 1,
+                        line: i,
                         text: trimmed.to_owned(),
                         reason,
                     })
@@ -199,7 +232,7 @@ pub fn read_edge_list_with<R: Read>(
                     stats.lines_skipped += 1;
                     if stats.first_skipped.is_none() {
                         stats.first_skipped = Some(MalformedLine {
-                            line: i + 1,
+                            line: i,
                             text: trimmed.to_owned(),
                             reason,
                         });
@@ -452,5 +485,78 @@ mod tests {
         assert_eq!(loaded.stats.edges_loaded, 2);
         assert_eq!(loaded.stats.lines_skipped, 0);
         assert!(loaded.stats.first_skipped.is_none());
+    }
+
+    #[test]
+    fn crlf_files_load_identically_to_lf() {
+        let unix = read_edge_list("# c\n0 1 5\n1 2 7\n".as_bytes()).unwrap();
+        let windows = read_edge_list("# c\r\n0 1 5\r\n1 2 7\r\n".as_bytes()).unwrap();
+        assert_eq!(unix.graph.num_nodes(), windows.graph.num_nodes());
+        assert_eq!(unix.graph.num_edges(), windows.graph.num_edges());
+        assert_eq!(unix.weights, windows.weights);
+        assert_eq!(unix.stats.lines_read, windows.stats.lines_read);
+    }
+
+    #[test]
+    fn missing_trailing_newline_still_loads_the_final_edge() {
+        for text in ["0 1\n1 2", "0 1\r\n1 2", "0 1\r\n1 2\r"] {
+            let loaded = read_edge_list(text.as_bytes()).unwrap();
+            assert_eq!(loaded.graph.num_edges(), 2, "{text:?}");
+            assert_eq!(loaded.stats.lines_read, 2, "{text:?}");
+            assert_eq!(loaded.stats.edges_loaded, 2, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn crlf_malformed_line_numbers_do_not_drift() {
+        // Line 3 is the offender in both encodings; the reported text
+        // must not carry the `\r`.
+        let err = read_edge_list("0 1\r\n1 2\r\nbogus\r\n2 0\r\n".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Malformed { line, text, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(text, "bogus");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // A malformed *final* line without a terminator reports its real
+        // line number too.
+        let err = read_edge_list("0 1\n1 2\n3 x".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Malformed { line, text, .. } => {
+                assert_eq!(line, 3);
+                assert_eq!(text, "3 x");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn utf8_bom_is_stripped_from_the_first_line() {
+        let loaded = read_edge_list("\u{feff}0 1\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 2);
+        // A BOM ahead of a comment is fine too.
+        let loaded = read_edge_list("\u{feff}# header\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+        // Only the first line: a stray BOM later is malformed, reported
+        // at the right line.
+        let err = read_edge_list("0 1\n\u{feff}1 2\n".as_bytes()).unwrap_err();
+        match err {
+            ParseGraphError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_io_error_with_the_line_number() {
+        let bytes: &[u8] = b"0 1\n\xff\xfe 2\n";
+        let err = read_edge_list(bytes).unwrap_err();
+        match err {
+            ParseGraphError::Io(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+                assert!(e.to_string().contains("line 2"), "{e}");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 }

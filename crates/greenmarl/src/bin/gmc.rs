@@ -4,7 +4,9 @@
 //! gmc compile <file.gm> [--emit java|canonical|states] [--no-opt] [--no-verify]
 //!             [--timing] [--trace <path>] [--trace-format jsonl|chrome]
 //! gmc verify <file.gm> [--no-opt]
-//! gmc run <file.gm> --graph <edges.txt> [--arg name=value]...
+//! gmc emit-rust <file.gm> [--no-opt] [-o <file.rs>]
+//! gmc run <file.gm> --graph <edges.txt> [--backend interp|native]
+//!         [--arg name=value]...
 //!         [--seed N] [--workers N] [--print prop] [--steps] [--timing]
 //!         [--schedule push|pull|auto] [--dense-threshold F]
 //!         [--trace <path>] [--trace-format jsonl|chrome]
@@ -21,6 +23,14 @@
 //! verified state-machine summary on success, and exits non-zero with the
 //! diagnostics on failure. `gmc compile --no-verify` skips the verifier in
 //! debug builds (it is off by default in release builds).
+//!
+//! `gmc emit-rust` compiles a procedure (verifier forced on) and prints a
+//! standalone Rust module implementing the runtime's `VertexProgram` trait
+//! natively — monomorphized message enum, native property fields, inlined
+//! combiners — bit-identical in results to the interpreter. `gmc run
+//! --backend native` executes such a module compiled into the binary
+//! (`gm_algorithms::native`), selected by byte-equality of the generated
+//! source, instead of interpreting the PIR.
 //!
 //! `--trace <path>` writes a structured event log of the compiler passes
 //! (and, for `run`, the per-worker superstep execution) in the chosen
@@ -85,13 +95,16 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("emit-rust") => cmd_emit_rust(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         _ => {
             eprintln!("usage: gmc compile <file.gm> [--emit java|canonical|states] [--no-opt]");
             eprintln!("               [--no-verify] [--timing] [--trace <path>]");
             eprintln!("               [--trace-format jsonl|chrome]");
             eprintln!("       gmc verify <file.gm> [--no-opt]");
-            eprintln!("       gmc run <file.gm> --graph <edges.txt> [--arg name=value]...");
+            eprintln!("       gmc emit-rust <file.gm> [--no-opt] [-o <file.rs>]");
+            eprintln!("       gmc run <file.gm> --graph <edges.txt> [--backend interp|native]");
+            eprintln!("               [--arg name=value]...");
             eprintln!("               [--seed N] [--workers N] [--print prop] [--steps]");
             eprintln!("               [--schedule push|pull|auto] [--dense-threshold F]");
             eprintln!("               [--timing] [--trace <path>] [--trace-format jsonl|chrome]");
@@ -241,6 +254,57 @@ fn cmd_verify(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_emit_rust(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("gmc emit-rust: missing input file");
+        return ExitCode::FAILURE;
+    };
+    let mut optimize = true;
+    let mut out_path: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-opt" => optimize = false,
+            "-o" | "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("gmc emit-rust: {a} needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("gmc emit-rust: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Codegen input is always re-verified, like `gmc verify`.
+    let compiled = match load_and_compile(path, optimize, Some(true), None) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rust = match gm_core::rustgen::emit_rust(&compiled.program) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gmc emit-rust: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match out_path {
+        None => print!("{rust}"),
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &rust) {
+                eprintln!("gmc emit-rust: cannot write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_value(text: &str) -> Result<Value, String> {
     if let Some(node) = text.strip_prefix("n:") {
         return node
@@ -271,6 +335,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let mut graph_path = None;
+    let mut native_backend = false;
     let mut scalar_args: Vec<(String, Value)> = Vec::new();
     let mut seed = 0u64;
     let mut workers = 0usize;
@@ -303,6 +368,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
         let r: Result<(), String> = (|| {
             match a.as_str() {
                 "--graph" => graph_path = Some(take("--graph")?),
+                "--backend" => match take("--backend")?.as_str() {
+                    "interp" => native_backend = false,
+                    "native" => native_backend = true,
+                    other => {
+                        return Err(format!(
+                            "gmc run: unknown --backend {other} (interp|native)"
+                        ))
+                    }
+                },
                 "--seed" => {
                     seed = take("--seed")?
                         .parse()
@@ -527,8 +601,49 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
         Ok(())
     };
+    // `--backend native` dispatches to a rustgen module compiled into the
+    // binary. Programs are matched by *generated source*: the compiled PIR
+    // is re-emitted through `gm-core::rustgen` and compared byte-for-byte
+    // against each registered module, so a native run is guaranteed to
+    // execute exactly the code `gmc emit-rust` would print today.
+    let native = if native_backend {
+        match gm_core::rustgen::emit_rust(&compiled.program) {
+            Ok(generated) => match gm_algorithms::native::find_for_generated(&generated) {
+                Some(alg) => {
+                    eprintln!("gmc run: backend native ({})", alg.name);
+                    Some(alg)
+                }
+                None => {
+                    eprintln!(
+                        "gmc run: no native module compiled in for `{}` (have: {}); \
+                         regenerate with `gmc emit-rust` and rebuild, or drop --backend native",
+                        compiled.program.name,
+                        gm_algorithms::native::ALL
+                            .iter()
+                            .map(|a| a.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "gmc run: cannot emit native code for `{}`: {e}",
+                    compiled.program.name
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let start = std::time::Instant::now();
-    let out = match run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config) {
+    let result = match native {
+        Some(alg) => (alg.run)(&loaded.graph, &arg_map, seed, &config),
+        None => run_compiled(&loaded.graph, &compiled, &arg_map, seed, &config),
+    };
+    let out = match result {
         Ok(o) => o,
         Err(e) => {
             // The error's Display already names the post-mortem bundle

@@ -33,4 +33,5 @@ mod exec;
 mod precompile;
 mod run;
 
+pub use eval::PickRng;
 pub use run::{run_compiled, CompiledOutcome, RunError, TraceStep};

@@ -188,6 +188,10 @@ struct HistogramCore {
     count: AtomicU64,
     /// Sum of observations, as `f64` bits.
     sum_bits: AtomicU64,
+    /// Largest observation seen, as `f64` bits (CAS-maximized; valid
+    /// because recorded observations are clamped non-negative, where the
+    /// IEEE-754 bit order matches the numeric order).
+    max_bits: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -199,6 +203,7 @@ impl Default for Histogram {
                     .collect(),
                 count: AtomicU64::new(0),
                 sum_bits: AtomicU64::new(0f64.to_bits()),
+                max_bits: AtomicU64::new(0f64.to_bits()),
             }),
         }
     }
@@ -226,6 +231,18 @@ impl Histogram {
                 Err(cur) => old = cur,
             }
         }
+        let mut old = self.core.max_bits.load(Ordering::Relaxed);
+        while f64::from_bits(old) < add {
+            match self.core.max_bits.compare_exchange_weak(
+                old,
+                add.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
     }
 
     /// Number of observations.
@@ -238,9 +255,18 @@ impl Histogram {
         f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Largest observation recorded so far (0.0 when empty; negative and
+    /// NaN observations count as 0.0, matching [`Histogram::observe`]).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.core.max_bits.load(Ordering::Relaxed))
+    }
+
     /// The `q`-quantile (`0.0..=1.0`), linearly interpolated inside the
     /// landing bucket. Returns 0.0 for an empty histogram; observations
-    /// above the highest boundary report the highest boundary.
+    /// above the highest boundary report the highest boundary. The result
+    /// is clamped to the largest observation actually recorded, so a
+    /// single observation (or a single hot bucket) never reports its
+    /// bucket's upper bound as a value that was never seen.
     pub fn quantile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
@@ -259,11 +285,11 @@ impl Histogram {
                 let upper = bounds.get(i).copied().unwrap_or(bounds[bounds.len() - 1]);
                 let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
                 let into = (rank - seen) as f64 / n as f64;
-                return lower + (upper - lower) * into;
+                return (lower + (upper - lower) * into).min(self.max());
             }
             seen += n;
         }
-        bounds[bounds.len() - 1]
+        bounds[bounds.len() - 1].min(self.max())
     }
 
     /// p50 / p90 / p99, the triple the reporting surfaces print.
@@ -556,6 +582,75 @@ mod tests {
         h.observe(5000.0); // above the top boundary
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.99) >= 900.0);
+        assert_eq!(h.max(), 5000.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_for_every_quantile() {
+        let h = Histogram::default();
+        assert_eq!(h.percentiles(), (0.0, 0.0, 0.0));
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_quantiles_never_exceed_the_observed_value() {
+        // 0.042 lands in a (0.04, 0.05] bucket; before clamping, every
+        // quantile interpolated to the bucket's upper bound 0.05 — a
+        // latency that never happened.
+        let h = Histogram::default();
+        h.observe(0.042);
+        let (p50, p90, p99) = h.percentiles();
+        assert_eq!(p50, 0.042, "p50 must be the observation itself");
+        assert_eq!(p90, 0.042);
+        assert_eq!(p99, 0.042);
+        assert_eq!(h.max(), 0.042);
+    }
+
+    #[test]
+    fn single_hot_bucket_is_clamped_to_the_observed_max() {
+        // Many observations in one bucket: high quantiles interpolate
+        // toward the bucket's upper bound but must stop at the max.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(0.0411);
+        }
+        h.observe(0.0437);
+        let (p50, p90, p99) = h.percentiles();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p99 <= 0.0437 + 1e-12, "p99 = {p99} above observed max");
+        assert!(p50 > 0.04, "p50 = {p50} left its bucket");
+    }
+
+    #[test]
+    fn negative_and_nan_observations_clamp_to_zero() {
+        let h = Histogram::default();
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        // Both land in the lowest bucket; the clamp pins the quantile to
+        // the 0.0 they were recorded as, not the bucket's upper bound.
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn observed_max_is_cas_tracked_across_threads() {
+        let h = Histogram::default();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 * 1e-6);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert!((h.max() - 3999e-6).abs() < 1e-12, "max = {}", h.max());
     }
 
     #[test]
