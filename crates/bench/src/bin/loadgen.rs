@@ -43,6 +43,9 @@ struct Flags {
     seed: u64,
     snapshot: Option<String>,
     expect_success: bool,
+    /// `Some(window)` = survive daemon restarts: connection-refused and
+    /// connection-reset are retried with capped backoff for this long.
+    reconnect: Option<Duration>,
 }
 
 fn usage() -> ! {
@@ -50,7 +53,7 @@ fn usage() -> ! {
     eprintln!(
         "               [--tenants a,b] [--mix pagerank,sssp,inline-pagerank] [--graphs g1,g2]"
     );
-    eprintln!("               [--seed N] [--snapshot PATH] [--expect-success]");
+    eprintln!("               [--seed N] [--snapshot PATH] [--expect-success] [--reconnect-ms N]");
     std::process::exit(2);
 }
 
@@ -67,6 +70,7 @@ fn parse_flags() -> Flags {
         seed: 7,
         snapshot: None,
         expect_success: false,
+        reconnect: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
@@ -120,6 +124,16 @@ fn parse_flags() -> Flags {
             }
             "--snapshot" => flags.snapshot = Some(value("--snapshot", &mut args)),
             "--expect-success" => flags.expect_success = true,
+            "--reconnect-ms" => {
+                flags.reconnect = Some(Duration::from_millis(
+                    value("--reconnect-ms", &mut args)
+                        .parse()
+                        .unwrap_or_else(|e| {
+                            eprintln!("error: bad --reconnect-ms: {e}");
+                            usage()
+                        }),
+                ))
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 usage()
@@ -209,7 +223,10 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 fn client_loop(flags: &Flags, client_idx: usize, graphs: &[String], tally: &Mutex<Tally>) {
-    let client = Client::new(flags.addr).with_timeout(Duration::from_secs(30));
+    let mut client = Client::new(flags.addr).with_timeout(Duration::from_secs(30));
+    if let Some(window) = flags.reconnect {
+        client = client.with_reconnect(window);
+    }
     let tenant = &flags.tenants[client_idx % flags.tenants.len()];
     let interval = flags.rate_rps.map(|rps| Duration::from_secs_f64(1.0 / rps));
     let wait_budget = Duration::from_secs(120);

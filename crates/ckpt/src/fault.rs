@@ -37,6 +37,10 @@ pub enum FaultKind {
     /// runtime reports its resident-budget check as failed even when the
     /// real usage is under budget.
     OomAtBarrier { superstep: u32 },
+    /// Simulate an I/O failure of the `record`-th append (0-based, counted
+    /// by the caller) to a write-ahead journal — exercised by `gmd`'s job
+    /// journal, which consults the plan before each fsync'd append.
+    FailJournalAppend { record: u32 },
 }
 
 #[derive(Debug)]
@@ -108,6 +112,10 @@ impl FaultPlanBuilder {
 
     pub fn oom_at_barrier(self, superstep: u32) -> Self {
         self.push(FaultKind::OomAtBarrier { superstep })
+    }
+
+    pub fn fail_journal_append(self, record: u32) -> Self {
+        self.push(FaultKind::FailJournalAppend { record })
     }
 
     /// Rearms the most recently pushed fault to trip `n` times instead of
@@ -197,6 +205,11 @@ impl FaultPlan {
     /// Should the barrier of `superstep` report memory exhaustion?
     pub fn trip_oom_at_barrier(&self, superstep: u32) -> bool {
         self.trip(|k| matches!(k, FaultKind::OomAtBarrier { superstep: s } if *s == superstep))
+    }
+
+    /// Should the `record`-th journal append fail?
+    pub fn trip_fail_journal_append(&self, record: u32) -> bool {
+        self.trip(|k| matches!(k, FaultKind::FailJournalAppend { record: r } if *r == record))
     }
 
     /// Apply any post-write corruption scheduled for `superstep` to the
@@ -305,6 +318,14 @@ mod tests {
         assert!(!plan.trip_oom_at_barrier(3));
         assert!(plan.trip_oom_at_barrier(4));
         assert!(plan.trip_hang_in_compute(2, 7));
+    }
+
+    #[test]
+    fn journal_append_fault_matches_record_index() {
+        let plan = FaultPlan::builder().fail_journal_append(2).build();
+        assert!(!plan.trip_fail_journal_append(1));
+        assert!(plan.trip_fail_journal_append(2));
+        assert!(!plan.trip_fail_journal_append(2), "fault must be consumed");
     }
 
     #[test]

@@ -29,7 +29,8 @@ fn reject_response(reject: Reject) -> Response {
         Reject::Draining => error_body(
             503,
             vec![slug("draining"), msg("daemon is shutting down".to_owned())],
-        ),
+        )
+        .with_retry_after(1),
         Reject::UnknownGraph(name) => error_body(
             400,
             vec![
@@ -58,7 +59,8 @@ fn reject_response(reject: Reject) -> Response {
                 ("kind".to_owned(), Json::Str(kind)),
                 ("failures".to_owned(), Json::UInt(u64::from(count))),
             ],
-        ),
+        )
+        .with_retry_after(30),
         Reject::OverCapacity {
             what,
             requested,
@@ -71,14 +73,34 @@ fn reject_response(reject: Reject) -> Response {
                 ("requested".to_owned(), Json::UInt(requested)),
                 ("capacity".to_owned(), Json::UInt(capacity)),
             ],
-        ),
+        )
+        .with_retry_after(5),
         Reject::QueueFull { cap } => error_body(
             429,
             vec![
                 slug("queue_full"),
                 ("capacity".to_owned(), Json::UInt(cap as u64)),
             ],
-        ),
+        )
+        .with_retry_after(1),
+        Reject::Shedding { retry_after } => {
+            let seconds = retry_after.as_secs().max(1);
+            error_body(
+                503,
+                vec![
+                    slug("shedding"),
+                    msg("brownout: shedding low-priority work".to_owned()),
+                    (
+                        "retry_after_ms".to_owned(),
+                        Json::UInt(retry_after.as_millis() as u64),
+                    ),
+                ],
+            )
+            .with_retry_after(seconds)
+        }
+        Reject::JournalUnavailable(message) => {
+            error_body(503, vec![slug("journal_unavailable"), msg(message)]).with_retry_after(1)
+        }
         Reject::BadRequest(message) => error_body(400, vec![slug("bad_request"), msg(message)]),
     }
 }

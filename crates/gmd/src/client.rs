@@ -15,6 +15,10 @@ use std::time::{Duration, Instant};
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    /// When set, connection-level failures (refused/reset — a daemon
+    /// restarting underneath us) are retried with capped exponential
+    /// backoff for up to this long instead of surfacing immediately.
+    reconnect: Option<Duration>,
 }
 
 /// A client-side failure: transport, HTTP framing, or a non-JSON body
@@ -40,6 +44,7 @@ impl Client {
         Client {
             addr,
             timeout: Duration::from_secs(30),
+            reconnect: None,
         }
     }
 
@@ -49,30 +54,69 @@ impl Client {
         self
     }
 
-    fn request(&self, head: &str, body: &str) -> Result<(u16, String), ClientError> {
-        let mut stream =
-            TcpStream::connect_timeout(&self.addr, self.timeout).map_err(|e| err(e.to_string()))?;
+    /// Retries connection-level failures for up to `window` with capped
+    /// backoff (25ms doubling to 500ms). Failures *after* bytes were
+    /// sent are only retried for idempotent requests (GETs), so a
+    /// submission is never accidentally duplicated.
+    pub fn with_reconnect(mut self, window: Duration) -> Client {
+        self.reconnect = Some(window);
+        self
+    }
+
+    fn request_once(&self, head: &str, body: &str) -> Result<(u16, String), RequestError> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| RequestError::Connect(e.to_string()))?;
         stream
             .set_read_timeout(Some(self.timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
-            .map_err(|e| err(e.to_string()))?;
+            .map_err(|e| RequestError::Connect(e.to_string()))?;
         stream
             .write_all(head.as_bytes())
             .and_then(|()| stream.write_all(body.as_bytes()))
-            .map_err(|e| err(format!("send failed: {e}")))?;
+            .map_err(|e| RequestError::Sent(format!("send failed: {e}")))?;
         let mut raw = String::new();
         stream
             .read_to_string(&mut raw)
-            .map_err(|e| err(format!("read failed: {e}")))?;
+            .map_err(|e| RequestError::Sent(format!("read failed: {e}")))?;
         let (head, payload) = raw
             .split_once("\r\n\r\n")
-            .ok_or_else(|| err(format!("malformed response: {raw:?}")))?;
+            .ok_or_else(|| RequestError::Sent(format!("malformed response: {raw:?}")))?;
         let status: u16 = head
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| err(format!("bad status line: {head:?}")))?;
+            .ok_or_else(|| RequestError::Sent(format!("bad status line: {head:?}")))?;
         Ok((status, payload.to_owned()))
+    }
+
+    fn request(
+        &self,
+        head: &str,
+        body: &str,
+        idempotent: bool,
+    ) -> Result<(u16, String), ClientError> {
+        let Some(window) = self.reconnect else {
+            return self.request_once(head, body).map_err(|e| err(e.message()));
+        };
+        let deadline = Instant::now() + window;
+        let mut backoff = Duration::from_millis(25);
+        loop {
+            let retryable = match self.request_once(head, body) {
+                Ok(reply) => return Ok(reply),
+                Err(RequestError::Connect(m)) => m,
+                // The request may have reached the daemon: replaying a
+                // non-idempotent one could double-submit.
+                Err(RequestError::Sent(m)) if idempotent => m,
+                Err(e) => return Err(err(e.message())),
+            };
+            if Instant::now() + backoff > deadline {
+                return Err(err(format!(
+                    "gave up reconnecting after {window:?}: {retryable}"
+                )));
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(500));
+        }
     }
 
     /// Issues a GET; returns `(status, body)`.
@@ -80,6 +124,7 @@ impl Client {
         self.request(
             &format!("GET {path} HTTP/1.1\r\nHost: gmd\r\nConnection: close\r\n\r\n"),
             "",
+            true,
         )
     }
 
@@ -91,6 +136,7 @@ impl Client {
                 json_body.len()
             ),
             json_body,
+            false,
         )
     }
 
@@ -139,6 +185,22 @@ impl Client {
                 }
                 _ => std::thread::sleep(Duration::from_millis(5)),
             }
+        }
+    }
+}
+
+/// How far a failed request got — decides whether a retry is safe.
+enum RequestError {
+    /// Nothing was sent (refused/reset on connect): always retryable.
+    Connect(String),
+    /// Bytes reached the wire: retryable only for idempotent requests.
+    Sent(String),
+}
+
+impl RequestError {
+    fn message(self) -> String {
+        match self {
+            RequestError::Connect(m) | RequestError::Sent(m) => m,
         }
     }
 }

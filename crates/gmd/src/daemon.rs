@@ -10,6 +10,8 @@
 //! unaffordable, and running jobs are never oversubscribed.
 
 use crate::job::{JobRecord, JobResult, JobSpec, JobState};
+use crate::journal::{Journal, JournalConfig, JournalRecord, Replay, ReplayedJob};
+use crate::retry::{RetryBudget, RetryPolicy};
 use gm_algorithms::native::{NativeAlgorithm, NativeRun};
 use gm_core::seqinterp::ArgValue;
 use gm_core::value::Value;
@@ -17,7 +19,7 @@ use gm_core::Compiled;
 use gm_graph::io::{read_edge_list_file_with, LoadPolicy, LoadedGraph};
 use gm_interp::{run_compiled, RunError};
 use gm_obs::metrics::MetricsRegistry;
-use gm_pregel::{PostMortemConfig, PregelConfig, ResourceBudget};
+use gm_pregel::{CheckpointConfig, PostMortemConfig, PregelConfig, ResourceBudget};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -136,6 +138,46 @@ pub struct DaemonConfig {
     /// freshly emitted Rust is byte-identical to the checked-in module,
     /// so results stay bit-for-bit pinned to the interpreter.
     pub native_builtins: bool,
+    /// Write-ahead job journal (`--journal-dir`). `None` keeps the
+    /// pre-PR-10 in-memory-only behaviour.
+    pub journal: Option<JournalConfig>,
+    /// Terminal job records kept in memory, oldest evicted first
+    /// (`0` = unlimited).
+    pub job_history_keep: usize,
+    /// Daemon-wide retry policy for transiently-failed jobs.
+    pub retry: RetryPolicy,
+    /// Brownout degradation: shed queued work under sustained
+    /// reservation saturation. `None` disables shedding.
+    pub brownout: Option<BrownoutConfig>,
+    /// Escalation latch: set (by a second SIGINT/SIGTERM) to turn a
+    /// graceful drain into an immediate cooperative abort.
+    pub abort: Arc<AtomicBool>,
+}
+
+/// Brownout degradation knobs: when budget reservations stay saturated
+/// past `hold`, queued work is shed lowest-priority-first down to
+/// `shed_to`, and further submissions get `503 shedding` until the
+/// saturation clears.
+#[derive(Clone, Debug)]
+pub struct BrownoutConfig {
+    /// Fraction of either server-level byte budget at which the daemon
+    /// counts as saturated.
+    pub saturation: f64,
+    /// How long saturation must persist before shedding starts.
+    pub hold: Duration,
+    /// Queue depth shedding drains down to (and the admission ceiling
+    /// while the brownout is active).
+    pub shed_to: usize,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            saturation: 0.9,
+            hold: Duration::from_secs(2),
+            shed_to: 8,
+        }
+    }
 }
 
 impl Default for DaemonConfig {
@@ -153,6 +195,11 @@ impl Default for DaemonConfig {
             quarantine_threshold: 2,
             drain_timeout: Duration::from_secs(10),
             native_builtins: true,
+            journal: None,
+            job_history_keep: 0,
+            retry: RetryPolicy::default(),
+            brownout: None,
+            abort: Arc::new(AtomicBool::new(false)),
         }
     }
 }
@@ -203,6 +250,15 @@ pub enum Reject {
         /// The configured cap.
         cap: usize,
     },
+    /// Brownout: sustained saturation is shedding low-priority work and
+    /// the queue is already at the brownout ceiling.
+    Shedding {
+        /// Suggested client backoff.
+        retry_after: Duration,
+    },
+    /// The write-ahead journal could not persist the acceptance record;
+    /// a daemon that cannot journal must not accept.
+    JournalUnavailable(String),
     /// The spec itself is malformed.
     BadRequest(String),
 }
@@ -219,6 +275,15 @@ struct QueuedJob {
     /// Reserved resident bytes.
     res_bytes: u64,
     submitted: Instant,
+    /// Attempts already burned (0 for a fresh submission; >0 after
+    /// retries or a crash-replay requeue).
+    attempt: u32,
+}
+
+/// A retried job parked until its backoff elapses.
+struct Delayed {
+    not_before: Instant,
+    job: QueuedJob,
 }
 
 #[derive(Default)]
@@ -233,6 +298,13 @@ struct Sched {
     reserved_res: u64,
     draining: bool,
     shutdown: bool,
+    /// Retried jobs waiting out their backoff (not counted in `queued`
+    /// until promoted).
+    delayed: Vec<Delayed>,
+    /// When reservation saturation was first observed (brownout timer).
+    saturated_since: Option<Instant>,
+    /// Whether the brownout is currently shedding.
+    brownout: bool,
 }
 
 struct Quarantine {
@@ -257,6 +329,12 @@ pub struct State {
     /// drain so stragglers stop at their next superstep boundary.
     cancel: Arc<AtomicBool>,
     quarantine: Mutex<HashMap<(String, String), Quarantine>>,
+    /// Write-ahead job journal (`Some` when `--journal-dir` is set).
+    journal: Option<Journal>,
+    /// Per-tenant retry token buckets.
+    retry_budget: RetryBudget,
+    /// Terminal job ids in completion order, for oldest-first history GC.
+    history: Mutex<VecDeque<String>>,
 }
 
 impl State {
@@ -312,7 +390,7 @@ impl State {
     }
 
     /// Validates, admits, and enqueues a job. Returns the job id.
-    pub fn submit(self: &Arc<Self>, spec: JobSpec) -> Result<String, Reject> {
+    pub fn submit(self: &Arc<Self>, mut spec: JobSpec) -> Result<String, Reject> {
         let graph = spec.graph.clone();
         if !self.graphs.contains_key(&graph) {
             return Err(Reject::UnknownGraph(graph));
@@ -368,45 +446,80 @@ impl State {
             });
         }
 
+        // Pin the effective worker count when journalling: checkpoint
+        // resume after a crash must re-run with the same parallelism so
+        // floating-point reductions stay bit-identical.
+        if self.journal.is_some() {
+            spec.workers = Some(spec.workers.unwrap_or(self.config.default_workers));
+        }
+
         let mut sched = self.lock_sched();
-        if sched.draining {
-            self.reject_metric("draining");
-            return Err(Reject::Draining);
-        }
-        if sched.queued >= self.config.queue_cap {
-            self.reject_metric("queue_full");
-            return Err(Reject::QueueFull {
-                cap: self.config.queue_cap,
-            });
-        }
-        let id = format!("job-{}", self.job_seq.fetch_add(1, Ordering::Relaxed));
-        let record = JobRecord {
-            id: id.clone(),
-            tenant: spec.tenant.clone(),
-            graph,
-            program: label,
-            backend: if native.is_some() { "native" } else { "interp" },
-            state: JobState::Queued,
-            wall_ms: None,
-        };
-        self.lock_jobs().insert(id.clone(), record);
-        let tenant = spec.tenant.clone();
-        sched
-            .queues
-            .entry(tenant.clone())
-            .or_default()
-            .push_back(QueuedJob {
+        let shed = self.update_brownout(&mut sched, Instant::now());
+        let admitted = 'admit: {
+            if sched.draining {
+                self.reject_metric("draining");
+                break 'admit Err(Reject::Draining);
+            }
+            if let Some(b) = &self.config.brownout {
+                if sched.brownout && sched.queued >= b.shed_to {
+                    self.reject_metric("shedding");
+                    break 'admit Err(Reject::Shedding {
+                        retry_after: b.hold,
+                    });
+                }
+            }
+            if sched.queued >= self.config.queue_cap {
+                self.reject_metric("queue_full");
+                break 'admit Err(Reject::QueueFull {
+                    cap: self.config.queue_cap,
+                });
+            }
+            let id = format!("job-{}", self.job_seq.fetch_add(1, Ordering::Relaxed));
+            let record = JobRecord {
                 id: id.clone(),
-                spec,
-                compiled,
-                native,
-                msg_bytes,
-                res_bytes,
-                submitted: Instant::now(),
-            });
-        sched.queued += 1;
-        let depth = sched.queued;
+                tenant: spec.tenant.clone(),
+                graph,
+                program: label,
+                backend: if native.is_some() { "native" } else { "interp" },
+                state: JobState::Queued,
+                wall_ms: None,
+                attempts: 0,
+            };
+            // Write-ahead discipline: the acceptance is journalled
+            // *before* it becomes observable; if the journal cannot
+            // persist it, the daemon must not accept.
+            if let Some(journal) = &self.journal {
+                if let Err(e) = journal.append(&JournalRecord::Accepted {
+                    id: id.clone(),
+                    backend: record.backend.to_owned(),
+                    spec: spec.clone(),
+                }) {
+                    self.reject_metric("journal_unavailable");
+                    break 'admit Err(Reject::JournalUnavailable(e.to_string()));
+                }
+            }
+            self.lock_jobs().insert(id.clone(), record);
+            let tenant = spec.tenant.clone();
+            sched
+                .queues
+                .entry(tenant.clone())
+                .or_default()
+                .push_back(QueuedJob {
+                    id: id.clone(),
+                    spec,
+                    compiled,
+                    native,
+                    msg_bytes,
+                    res_bytes,
+                    submitted: Instant::now(),
+                    attempt: 0,
+                });
+            sched.queued += 1;
+            Ok((id, tenant, sched.queued))
+        };
         drop(sched);
+        self.fail_shed(shed);
+        let (id, tenant, depth) = admitted?;
         self.registry
             .counter_with(
                 "gm_jobs_submitted_total",
@@ -417,6 +530,139 @@ impl State {
         self.set_queue_depth(depth);
         self.work_cv.notify_all();
         Ok(id)
+    }
+
+    /// Evaluates the brownout condition under the scheduler lock. Once
+    /// reservation saturation has persisted past the hold, queued work
+    /// is dequeued lowest-priority-first (newest-first within a
+    /// priority) down to the shed floor; the returned jobs must be
+    /// failed by the caller *after* dropping the lock.
+    fn update_brownout(&self, sched: &mut Sched, now: Instant) -> Vec<QueuedJob> {
+        let Some(b) = &self.config.brownout else {
+            return Vec::new();
+        };
+        let saturated = sched.reserved_msg as f64
+            >= b.saturation * self.config.total_message_bytes as f64
+            || sched.reserved_res as f64 >= b.saturation * self.config.total_resident_bytes as f64;
+        if !saturated {
+            sched.saturated_since = None;
+            sched.brownout = false;
+            return Vec::new();
+        }
+        let since = *sched.saturated_since.get_or_insert(now);
+        if now.duration_since(since) < b.hold {
+            return Vec::new();
+        }
+        sched.brownout = true;
+        let mut shed = Vec::new();
+        while sched.queued > b.shed_to {
+            let mut victim: Option<(String, usize, i64, Instant)> = None;
+            for (tenant, q) in &sched.queues {
+                for (i, job) in q.iter().enumerate() {
+                    let better = match &victim {
+                        None => true,
+                        Some((_, _, p, s)) => {
+                            job.spec.priority < *p
+                                || (job.spec.priority == *p && job.submitted > *s)
+                        }
+                    };
+                    if better {
+                        victim = Some((tenant.clone(), i, job.spec.priority, job.submitted));
+                    }
+                }
+            }
+            let Some((tenant, idx, _, _)) = victim else {
+                break;
+            };
+            let q = sched.queues.get_mut(&tenant).expect("victim's queue");
+            let job = q.remove(idx).expect("victim's index");
+            if q.is_empty() {
+                sched.queues.remove(&tenant);
+            }
+            sched.queued -= 1;
+            shed.push(job);
+        }
+        shed
+    }
+
+    /// Fails shed jobs (journal + record + metrics) outside the
+    /// scheduler lock.
+    fn fail_shed(self: &Arc<Self>, shed: Vec<QueuedJob>) {
+        for job in shed {
+            let wall_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+            let message = "brownout: shed under sustained saturation".to_owned();
+            self.journal_append(&JournalRecord::Failed {
+                id: job.id.clone(),
+                wall_ms,
+                kind: "shed".to_owned(),
+                message: message.clone(),
+                bundle: None,
+            });
+            self.registry
+                .counter_with(
+                    "gm_jobs_shed_total",
+                    "queued jobs shed during brownout",
+                    &[("tenant", &job.spec.tenant)],
+                )
+                .inc();
+            self.finish_job(
+                &job.id,
+                JobState::Failed {
+                    kind: "shed".to_owned(),
+                    message,
+                    bundle: None,
+                },
+                wall_ms,
+                job.attempt,
+            );
+        }
+    }
+
+    /// Best-effort journal append for transitions that must not fail the
+    /// job they describe (terminal records, checkpoints): an error is
+    /// counted, not propagated — replay will re-run the job, which is
+    /// safe because results are deterministic.
+    fn journal_append(&self, rec: &JournalRecord) {
+        let Some(journal) = &self.journal else { return };
+        if journal.append(rec).is_err() {
+            self.registry
+                .counter_with(
+                    "gm_journal_append_errors_total",
+                    "journal appends that failed after acceptance",
+                    &[("type", rec.kind())],
+                )
+                .inc();
+        }
+    }
+
+    /// Moves a job to a terminal state and applies oldest-first history
+    /// GC when `--job-history-keep` bounds the in-memory records.
+    fn finish_job(&self, id: &str, state: JobState, wall_ms: f64, attempts: u32) {
+        {
+            let mut jobs = self.lock_jobs();
+            if let Some(rec) = jobs.get_mut(id) {
+                rec.state = state;
+                rec.wall_ms = Some(wall_ms);
+                rec.attempts = attempts;
+            }
+        }
+        let keep = self.config.job_history_keep;
+        let mut evict = Vec::new();
+        {
+            let mut history = self.history.lock().unwrap_or_else(|e| e.into_inner());
+            history.push_back(id.to_owned());
+            if keep > 0 {
+                while history.len() > keep {
+                    evict.push(history.pop_front().expect("len checked"));
+                }
+            }
+        }
+        if !evict.is_empty() {
+            let mut jobs = self.lock_jobs();
+            for victim in evict {
+                jobs.remove(&victim);
+            }
+        }
     }
 
     fn reject_metric(&self, reason: &str) {
@@ -479,6 +725,29 @@ impl State {
         None
     }
 
+    /// Promotes retried jobs whose backoff has elapsed back into their
+    /// tenant queues.
+    fn promote_due(&self, sched: &mut Sched) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < sched.delayed.len() {
+            if sched.delayed[i].not_before <= now {
+                let d = sched.delayed.swap_remove(i);
+                if let Some(rec) = self.lock_jobs().get_mut(&d.job.id) {
+                    rec.state = JobState::Queued;
+                }
+                sched
+                    .queues
+                    .entry(d.job.spec.tenant.clone())
+                    .or_default()
+                    .push_back(d.job);
+                sched.queued += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     fn runner_loop(self: &Arc<Self>) {
         loop {
             let job = {
@@ -487,6 +756,7 @@ impl State {
                     if sched.shutdown {
                         return;
                     }
+                    self.promote_due(&mut sched);
                     if let Some(job) = self.pick(&mut sched) {
                         let depth = sched.queued;
                         let running = sched.running;
@@ -495,7 +765,23 @@ impl State {
                         self.set_running(running);
                         break job;
                     }
-                    sched = self.work_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+                    // With retried jobs parked, sleep only until the
+                    // earliest backoff elapses.
+                    match sched.delayed.iter().map(|d| d.not_before).min() {
+                        Some(due) => {
+                            let wait = due
+                                .saturating_duration_since(Instant::now())
+                                .max(Duration::from_millis(1));
+                            let (s, _) = self
+                                .work_cv
+                                .wait_timeout(sched, wait)
+                                .unwrap_or_else(|e| e.into_inner());
+                            sched = s;
+                        }
+                        None => {
+                            sched = self.work_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
                 }
             };
             self.execute(job);
@@ -509,12 +795,19 @@ impl State {
         }
     }
 
-    /// Runs one job to a terminal state, updates its record and metrics,
-    /// and releases its byte reservations (the caller releases the
-    /// running-slot count).
+    /// Runs one job attempt, updates its record and metrics, and
+    /// releases its byte reservations (the caller releases the
+    /// running-slot count). Transient failures within the retry budget
+    /// re-park the job with full-jitter backoff instead of finishing it.
     fn execute(self: &Arc<Self>, job: QueuedJob) {
+        let attempt = job.attempt + 1;
+        self.journal_append(&JournalRecord::Started {
+            id: job.id.clone(),
+            attempt,
+        });
         if let Some(rec) = self.lock_jobs().get_mut(&job.id) {
             rec.state = JobState::Running;
+            rec.attempts = attempt;
         }
         let graph = self.graphs[&job.spec.graph].clone();
         let mut args = job.spec.arg_values();
@@ -537,6 +830,32 @@ impl State {
             .with_registry(self.registry.clone())
             .with_cancel(self.cancel.clone());
         config.post_mortem = self.config.post_mortem.clone();
+        // Arm crash checkpoints when journalling: a later attempt (or a
+        // restarted daemon) resumes from the newest valid snapshot, and
+        // each durable snapshot is echoed into the journal.
+        if let Some(journal) = &self.journal {
+            let every = job.spec.checkpoint_every.or_else(|| {
+                self.config
+                    .journal
+                    .as_ref()
+                    .and_then(|j| j.checkpoint_every)
+            });
+            if let Some(every) = every {
+                let me = self.clone();
+                let id = job.id.clone();
+                config = config.with_checkpoints(
+                    CheckpointConfig::new(journal.checkpoint_dir(&job.id), every)
+                        .with_resume(true)
+                        .with_keep(2)
+                        .with_on_write(move |superstep| {
+                            me.journal_append(&JournalRecord::Checkpointed {
+                                id: id.clone(),
+                                superstep,
+                            });
+                        }),
+                );
+            }
+        }
 
         let outcome = match job.native {
             Some(run) => run(&graph.graph, &args, job.spec.seed, &config),
@@ -546,6 +865,12 @@ impl State {
         let tenant = job.spec.tenant.clone();
         let state = match outcome {
             Ok(out) => {
+                let result = JobResult::from_outcome(&out, job.spec.include_props);
+                self.journal_append(&JournalRecord::Completed {
+                    id: job.id.clone(),
+                    wall_ms,
+                    result: result.clone(),
+                });
                 self.registry
                     .counter_with(
                         "gm_jobs_completed_total",
@@ -553,7 +878,7 @@ impl State {
                         &[("tenant", &tenant)],
                     )
                     .inc();
-                JobState::Completed(JobResult::from_outcome(&out, job.spec.include_props))
+                JobState::Completed(result)
             }
             Err(err) => {
                 let (kind, message, bundle) = match err {
@@ -565,6 +890,61 @@ impl State {
                         (kind, rendered, bundle)
                     }
                 };
+                let policy = self.config.retry.for_spec(&job.spec);
+                let draining = self.lock_sched().draining;
+                if RetryPolicy::is_transient(&kind)
+                    && attempt <= policy.max_retries
+                    && !draining
+                    && self.retry_budget.try_take(&tenant)
+                {
+                    // Transient and within budget: park with backoff
+                    // instead of finishing. The failure does NOT count
+                    // toward quarantine.
+                    let seed = {
+                        let mut h = crate::Fnv1a::default();
+                        h.update(job.id.as_bytes());
+                        h.finish()
+                    };
+                    let delay = policy.delay(attempt, seed);
+                    self.journal_append(&JournalRecord::Retrying {
+                        id: job.id.clone(),
+                        attempt,
+                        kind: kind.clone(),
+                        delay_ms: delay.as_millis() as u64,
+                    });
+                    if let Some(rec) = self.lock_jobs().get_mut(&job.id) {
+                        rec.state = JobState::Retrying {
+                            attempt,
+                            kind: kind.clone(),
+                        };
+                        rec.attempts = attempt;
+                    }
+                    self.registry
+                        .counter_with(
+                            "gm_jobs_retried_total",
+                            "transient failures scheduled for retry",
+                            &[("tenant", &tenant), ("kind", &kind)],
+                        )
+                        .inc();
+                    let msg_bytes = job.msg_bytes;
+                    let res_bytes = job.res_bytes;
+                    let not_before = Instant::now() + delay;
+                    let mut sched = self.lock_sched();
+                    sched.reserved_msg -= msg_bytes;
+                    sched.reserved_res -= res_bytes;
+                    sched.delayed.push(Delayed {
+                        not_before,
+                        job: QueuedJob { attempt, ..job },
+                    });
+                    return;
+                }
+                self.journal_append(&JournalRecord::Failed {
+                    id: job.id.clone(),
+                    wall_ms,
+                    kind: kind.clone(),
+                    message: message.clone(),
+                    bundle: bundle.clone(),
+                });
                 self.note_failure(&job.spec.graph, &job.spec.program.label(), &kind);
                 self.registry
                     .counter_with(
@@ -580,6 +960,9 @@ impl State {
                 }
             }
         };
+        if let Some(journal) = &self.journal {
+            journal.remove_checkpoints(&job.id);
+        }
         self.registry
             .histogram_with(
                 "gm_job_latency_ms",
@@ -587,10 +970,7 @@ impl State {
                 &[("tenant", &tenant)],
             )
             .observe(wall_ms);
-        if let Some(rec) = self.lock_jobs().get_mut(&job.id) {
-            rec.state = state;
-            rec.wall_ms = Some(wall_ms);
-        }
+        self.finish_job(&job.id, state, wall_ms, attempt);
         let mut sched = self.lock_sched();
         sched.reserved_msg -= job.msg_bytes;
         sched.reserved_res -= job.res_bytes;
@@ -617,6 +997,123 @@ impl State {
             entry.kind = kind.to_owned();
             entry.count = 1;
         }
+    }
+
+    /// Applies the journal replay at startup: terminal jobs become
+    /// history, non-terminal jobs are re-queued (pre-admitted — they
+    /// already passed admission before the crash).
+    fn apply_replay(self: &Arc<Self>, replay: Replay) {
+        for job in replay.jobs {
+            let record = JobRecord {
+                id: job.id.clone(),
+                tenant: job.spec.tenant.clone(),
+                graph: job.spec.graph.clone(),
+                program: job.spec.program.label(),
+                backend: if job.backend == "native" {
+                    "native"
+                } else {
+                    "interp"
+                },
+                state: JobState::Queued,
+                wall_ms: None,
+                attempts: job.attempts,
+            };
+            if !job.needs_requeue() {
+                let mut rec = record;
+                rec.state = job.state;
+                rec.wall_ms = job.wall_ms;
+                self.lock_jobs().insert(job.id.clone(), rec);
+                self.history
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(job.id);
+                continue;
+            }
+            self.lock_jobs().insert(job.id.clone(), record);
+            self.requeue_replayed(job);
+        }
+    }
+
+    /// Re-queues one non-terminal replayed job, re-resolving its program
+    /// against the restarted daemon's catalogue.
+    fn requeue_replayed(self: &Arc<Self>, job: ReplayedJob) {
+        if !self.graphs.contains_key(&job.spec.graph) {
+            return self.fail_replayed(
+                &job,
+                "unknown_graph",
+                format!("graph {:?} is not loaded after restart", job.spec.graph),
+            );
+        }
+        let (compiled, native) = match &job.spec.program {
+            crate::ProgramSpec::Builtin(name) => {
+                let Some(c) = self.builtins.get(name).cloned() else {
+                    return self.fail_replayed(
+                        &job,
+                        "unknown_program",
+                        format!("builtin {name:?} is unknown after restart"),
+                    );
+                };
+                (c, self.native_builtins.get(name.as_str()).map(|a| a.run))
+            }
+            crate::ProgramSpec::Source(src) => match greenmarl::service::compile_source(src) {
+                Ok(c) => (Arc::new(c), None),
+                Err(e) => return self.fail_replayed(&job, "compile_error", e),
+            },
+        };
+        let msg_bytes = job
+            .spec
+            .max_message_bytes
+            .unwrap_or_else(|| self.config.fair_message_bytes());
+        let res_bytes = job
+            .spec
+            .max_resident_bytes
+            .unwrap_or_else(|| self.config.fair_resident_bytes());
+        if let Some(rec) = self.lock_jobs().get_mut(&job.id) {
+            rec.backend = if native.is_some() { "native" } else { "interp" };
+        }
+        let mut sched = self.lock_sched();
+        sched
+            .queues
+            .entry(job.spec.tenant.clone())
+            .or_default()
+            .push_back(QueuedJob {
+                id: job.id.clone(),
+                spec: job.spec,
+                compiled,
+                native,
+                msg_bytes,
+                res_bytes,
+                submitted: Instant::now(),
+                attempt: job.attempts,
+            });
+        sched.queued += 1;
+        let depth = sched.queued;
+        drop(sched);
+        self.set_queue_depth(depth);
+        self.work_cv.notify_all();
+    }
+
+    /// Fails a replayed job that can no longer run (its graph or
+    /// program disappeared across the restart).
+    fn fail_replayed(self: &Arc<Self>, job: &ReplayedJob, kind: &str, message: String) {
+        let wall_ms = job.wall_ms.unwrap_or(0.0);
+        self.journal_append(&JournalRecord::Failed {
+            id: job.id.clone(),
+            wall_ms,
+            kind: kind.to_owned(),
+            message: message.clone(),
+            bundle: None,
+        });
+        self.finish_job(
+            &job.id,
+            JobState::Failed {
+                kind: kind.to_owned(),
+                message,
+                bundle: None,
+            },
+            wall_ms,
+            job.attempts,
+        );
     }
 }
 
@@ -665,19 +1162,38 @@ impl Daemon {
             }
             builtins.insert(name.to_owned(), Arc::new(compiled));
         }
+        let registry = Arc::new(MetricsRegistry::new());
+        // Open (and replay) the journal before anything is observable:
+        // the id sequence must resume above every journalled id.
+        let (journal, replay) = match &config.journal {
+            Some(jc) => {
+                let (j, r) = Journal::open(jc, config.job_history_keep, registry.clone())
+                    .map_err(|e| format!("cannot open journal at {}: {e}", jc.dir.display()))?;
+                (Some(j), Some(r))
+            }
+            None => (None, None),
+        };
+        let job_seq = replay.as_ref().map(|r| r.max_job_seq + 1).unwrap_or(1);
+        let retry_budget = RetryBudget::new(&config.retry);
         let state = Arc::new(State {
-            registry: Arc::new(MetricsRegistry::new()),
+            registry,
             graphs,
             builtins,
             native_builtins,
             jobs: Mutex::new(HashMap::new()),
             sched: Mutex::new(Sched::default()),
             work_cv: Condvar::new(),
-            job_seq: AtomicU64::new(1),
+            job_seq: AtomicU64::new(job_seq),
             cancel: Arc::new(AtomicBool::new(false)),
             quarantine: Mutex::new(HashMap::new()),
+            journal,
+            retry_budget,
+            history: Mutex::new(VecDeque::new()),
             config,
         });
+        if let Some(replay) = replay {
+            state.apply_replay(replay);
+        }
         let runners = (0..state.config.max_concurrent)
             .map(|i| {
                 let state = state.clone();
@@ -717,35 +1233,43 @@ impl Daemon {
 
         let mut sched = state.lock_sched();
         sched.draining = true;
-        // Queued jobs are failed at once: they have no partial work to
-        // lose, and clients polling them need a terminal answer.
-        let flushed: Vec<QueuedJob> = sched
+        // Queued jobs (including retried jobs waiting out a backoff) are
+        // failed at once: they have no partial work to lose, and clients
+        // polling them need a terminal answer.
+        let mut flushed: Vec<QueuedJob> = sched
             .queues
             .iter_mut()
             .flat_map(|(_, q)| q.drain(..))
             .collect();
         sched.queues.clear();
+        flushed.extend(sched.delayed.drain(..).map(|d| d.job));
         sched.queued = 0;
         drop(sched);
         state.set_queue_depth(0);
-        {
-            let mut jobs = state.lock_jobs();
-            for job in &flushed {
-                if let Some(rec) = jobs.get_mut(&job.id) {
-                    rec.state = JobState::Failed {
-                        kind: "cancelled".to_owned(),
-                        message: "daemon draining".to_owned(),
-                        bundle: None,
-                    };
-                    rec.wall_ms = Some(job.submitted.elapsed().as_secs_f64() * 1e3);
-                }
-            }
+        for job in flushed {
+            let wall_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+            state.journal_append(&JournalRecord::Cancelled {
+                id: job.id.clone(),
+                wall_ms,
+                message: "daemon draining".to_owned(),
+            });
+            state.finish_job(
+                &job.id,
+                JobState::Failed {
+                    kind: "cancelled".to_owned(),
+                    message: "daemon draining".to_owned(),
+                    bundle: None,
+                },
+                wall_ms,
+                job.attempt,
+            );
         }
 
         let mut graceful = true;
         // Past the drain deadline, stragglers are cancelled cooperatively
         // (they stop at their next superstep boundary) and get one more
-        // timeout's worth of grace before we give up waiting.
+        // timeout's worth of grace before we give up waiting. A second
+        // signal (the abort latch) skips the grace entirely.
         let hard_deadline = deadline + state.config.drain_timeout;
         let mut sched = state.lock_sched();
         while sched.running > 0 {
@@ -753,7 +1277,8 @@ impl Daemon {
             if now >= hard_deadline {
                 break;
             }
-            if now >= deadline && !state.cancel.load(Ordering::Relaxed) {
+            let abort = state.config.abort.load(Ordering::Relaxed);
+            if (abort || now >= deadline) && !state.cancel.load(Ordering::Relaxed) {
                 graceful = false;
                 state.cancel.store(true, Ordering::Relaxed);
             }
@@ -762,9 +1287,10 @@ impl Daemon {
             } else {
                 hard_deadline
             };
+            // Wake at least every 100ms so a late abort latch is seen.
             let wait = until
                 .saturating_duration_since(now)
-                .max(Duration::from_millis(10));
+                .clamp(Duration::from_millis(10), Duration::from_millis(100));
             let (s, _) = state
                 .work_cv
                 .wait_timeout(sched, wait)

@@ -42,7 +42,7 @@ impl ProgramSpec {
 }
 
 /// A parsed job submission.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
     /// Tenant the job is accounted (and queued) under.
     pub tenant: String,
@@ -66,6 +66,21 @@ pub struct JobSpec {
     pub max_resident_bytes: Option<u64>,
     /// Return full property columns, not just fingerprints.
     pub include_props: bool,
+    /// Scheduling priority (default 0; higher survives brownout
+    /// shedding longer).
+    pub priority: i64,
+    /// Snapshot interval in supersteps; `None` takes the daemon's
+    /// `--checkpoint-every` default (which may be off). Checkpointed
+    /// jobs resume from their newest valid snapshot after a daemon
+    /// crash instead of restarting at superstep 0.
+    pub checkpoint_every: Option<u32>,
+    /// Transient-failure retry budget override; `None` takes the
+    /// daemon's policy default, `Some(0)` disables retries.
+    pub max_retries: Option<u32>,
+    /// Retry backoff base override (milliseconds).
+    pub retry_base_ms: Option<u64>,
+    /// Retry backoff cap override (milliseconds).
+    pub retry_cap_ms: Option<u64>,
 }
 
 fn parse_scalar(name: &str, v: &Json) -> Result<Value, String> {
@@ -159,6 +174,32 @@ impl JobSpec {
         let max_message_bytes = budget_field("max_message_bytes")?;
         let max_resident_bytes = budget_field("max_resident_bytes")?;
         let include_props = matches!(doc.get("include_props"), Some(Json::Bool(true)));
+        let priority = match doc.get("priority") {
+            None => 0,
+            Some(Json::Int(n)) => *n,
+            Some(Json::UInt(n)) => {
+                i64::try_from(*n).map_err(|_| "`priority` does not fit an i64".to_owned())?
+            }
+            Some(_) => return Err("`priority` must be an integer".to_owned()),
+        };
+        let checkpoint_every = match doc.get("checkpoint_every") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&e| (1..=u64::from(u32::MAX)).contains(&e))
+                    .ok_or("`checkpoint_every` must be a positive integer")? as u32,
+            ),
+        };
+        let max_retries = match doc.get("max_retries") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&r| r <= 1000)
+                    .ok_or("`max_retries` must be an integer in 0..=1000")? as u32,
+            ),
+        };
+        let retry_base_ms = budget_field("retry_base_ms")?;
+        let retry_cap_ms = budget_field("retry_cap_ms")?;
         Ok(JobSpec {
             tenant,
             graph,
@@ -170,7 +211,76 @@ impl JobSpec {
             max_message_bytes,
             max_resident_bytes,
             include_props,
+            priority,
+            checkpoint_every,
+            max_retries,
+            retry_base_ms,
+            retry_cap_ms,
         })
+    }
+
+    /// Renders the spec back into the submission-document shape, such
+    /// that `from_json(to_json(spec)) == spec`. The journal persists
+    /// accepted jobs in this form so a restarted daemon re-admits them
+    /// through the exact parsing path submissions take.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("tenant".to_owned(), Json::Str(self.tenant.clone())),
+            ("graph".to_owned(), Json::Str(self.graph.clone())),
+        ];
+        match &self.program {
+            ProgramSpec::Builtin(name) => {
+                pairs.push(("program".to_owned(), Json::Str(name.clone())));
+            }
+            ProgramSpec::Source(src) => {
+                pairs.push(("source".to_owned(), Json::Str(src.clone())));
+            }
+        }
+        if !self.args.is_empty() {
+            pairs.push((
+                "args".to_owned(),
+                Json::obj(
+                    self.args
+                        .iter()
+                        .map(|(k, v)| (k.clone(), value_json(v)))
+                        .collect::<Vec<_>>(),
+                ),
+            ));
+        }
+        if self.seed != 0 {
+            pairs.push(("seed".to_owned(), Json::UInt(self.seed)));
+        }
+        if let Some(w) = self.workers {
+            pairs.push(("workers".to_owned(), Json::UInt(w as u64)));
+        }
+        if let Some(d) = self.deadline {
+            pairs.push(("deadline_ms".to_owned(), Json::UInt(d.as_millis() as u64)));
+        }
+        if let Some(b) = self.max_message_bytes {
+            pairs.push(("max_message_bytes".to_owned(), Json::UInt(b)));
+        }
+        if let Some(b) = self.max_resident_bytes {
+            pairs.push(("max_resident_bytes".to_owned(), Json::UInt(b)));
+        }
+        if self.include_props {
+            pairs.push(("include_props".to_owned(), Json::Bool(true)));
+        }
+        if self.priority != 0 {
+            pairs.push(("priority".to_owned(), Json::Int(self.priority)));
+        }
+        if let Some(e) = self.checkpoint_every {
+            pairs.push(("checkpoint_every".to_owned(), Json::UInt(u64::from(e))));
+        }
+        if let Some(r) = self.max_retries {
+            pairs.push(("max_retries".to_owned(), Json::UInt(u64::from(r))));
+        }
+        if let Some(ms) = self.retry_base_ms {
+            pairs.push(("retry_base_ms".to_owned(), Json::UInt(ms)));
+        }
+        if let Some(ms) = self.retry_cap_ms {
+            pairs.push(("retry_cap_ms".to_owned(), Json::UInt(ms)));
+        }
+        Json::obj(pairs)
     }
 
     /// Converts the parsed scalars into interpreter arguments.
@@ -238,6 +348,13 @@ pub enum JobState {
     Queued,
     /// Executing on a runner.
     Running,
+    /// Failed transiently; waiting out a backoff delay before requeue.
+    Retrying {
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Failure-class slug of the transient failure.
+        kind: String,
+    },
     /// Finished successfully.
     Completed(JobResult),
     /// Finished with a structured failure.
@@ -258,6 +375,7 @@ impl JobState {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
+            JobState::Retrying { .. } => "retrying",
             JobState::Completed(_) => "completed",
             JobState::Failed { .. } => "failed",
         }
@@ -285,11 +403,14 @@ pub struct JobRecord {
     pub backend: &'static str,
     /// Current state.
     pub state: JobState,
+    /// Execution attempts started so far (1 for a job that never
+    /// retried).
+    pub attempts: u32,
     /// End-to-end milliseconds (submit → terminal), once terminal.
     pub wall_ms: Option<f64>,
 }
 
-fn value_json(v: &Value) -> Json {
+pub(crate) fn value_json(v: &Value) -> Json {
     match v {
         Value::Int(x) => Json::Int(*x),
         Value::Double(x) => Json::Num(*x),
@@ -314,6 +435,9 @@ impl JobRecord {
                 Json::Str(self.state.status().to_owned()),
             ),
         ];
+        if self.attempts > 0 {
+            pairs.push(("attempts".to_owned(), Json::UInt(u64::from(self.attempts))));
+        }
         if let Some(ms) = self.wall_ms {
             pairs.push(("wall_ms".to_owned(), Json::Num(ms)));
         }
@@ -384,6 +508,15 @@ impl JobRecord {
                     ]),
                 ));
             }
+            JobState::Retrying { attempt, kind } => {
+                pairs.push((
+                    "retry".to_owned(),
+                    Json::obj([
+                        ("attempt".to_owned(), Json::UInt(u64::from(*attempt))),
+                        ("kind".to_owned(), Json::Str(kind.clone())),
+                    ]),
+                ));
+            }
             JobState::Queued | JobState::Running => {}
         }
         Json::obj(pairs)
@@ -437,6 +570,45 @@ mod tests {
     }
 
     #[test]
+    fn spec_round_trips_through_json() {
+        let doc = parse(
+            r#"{"tenant":"acme","graph":"g1","program":"pagerank",
+                "args":{"e":1e-9,"d":0.85,"max_iter":10,"root":"n:3","flag":true},
+                "seed":7,"workers":2,"deadline_ms":500,
+                "max_message_bytes":4096,"include_props":true,
+                "priority":-2,"checkpoint_every":3,
+                "max_retries":0,"retry_base_ms":50,"retry_cap_ms":2000}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&doc).unwrap();
+        assert_eq!(spec.priority, -2);
+        assert_eq!(spec.checkpoint_every, Some(3));
+        assert_eq!(spec.max_retries, Some(0));
+        let round = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(round, spec);
+
+        // Defaults are omitted on the way out and restored on the way in.
+        let minimal = parse(r#"{"graph":"g","source":"Procedure p() {}"}"#).unwrap();
+        let spec = JobSpec::from_json(&minimal).unwrap();
+        let round = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(round, spec);
+    }
+
+    #[test]
+    fn rejects_bad_durability_fields() {
+        let cases = [
+            r#"{"graph":"g","program":"x","priority":1.5}"#,
+            r#"{"graph":"g","program":"x","checkpoint_every":0}"#,
+            r#"{"graph":"g","program":"x","max_retries":1001}"#,
+            r#"{"graph":"g","program":"x","retry_base_ms":0}"#,
+        ];
+        for c in cases {
+            let doc = parse(c).unwrap();
+            assert!(JobSpec::from_json(&doc).is_err(), "accepted: {c}");
+        }
+    }
+
+    #[test]
     fn source_labels_are_content_addressed() {
         let a = ProgramSpec::Source("Procedure p() {}".to_owned());
         let b = ProgramSpec::Source("Procedure p() {}".to_owned());
@@ -459,6 +631,7 @@ mod tests {
                 message: "superstep 3 exceeded its deadline".to_owned(),
                 bundle: Some(PathBuf::from("/tmp/b/bundle-1-0")),
             },
+            attempts: 1,
             wall_ms: Some(12.5),
         };
         let doc = rec.to_json();

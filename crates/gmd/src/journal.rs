@@ -1,0 +1,1047 @@
+//! The write-ahead job journal: crash durability for the accepted-job
+//! lifecycle.
+//!
+//! Every job transition the daemon makes is appended — fsync'd and
+//! CRC-framed — *before* the in-memory state changes become observable,
+//! so a `kill -9` loses at most the record being written, never an
+//! acknowledged acceptance. On boot [`Journal::open`] replays every
+//! segment, folds the records into per-job outcomes, compacts the
+//! surviving history into a fresh segment, and hands the daemon a
+//! [`Replay`] from which it re-queues non-terminal jobs.
+//!
+//! # On-disk format
+//!
+//! The journal is a directory of segment files `journal-NNNNNNNN.gmj`
+//! (eight-digit sequence number). Each segment reuses the `gm-ckpt`
+//! framing discipline:
+//!
+//! ```text
+//! [4B magic "GMJL"] [u32 LE version]
+//! repeated records:
+//!   [u32 LE payload length] [payload bytes] [u32 LE CRC-32 of payload]
+//! ```
+//!
+//! A payload is one compact JSON object (the same dependency-free
+//! `gm_obs::json` codec the API uses) with a `type` tag:
+//! `accepted` (carries the full [`JobSpec`]), `started`, `checkpointed`,
+//! `retrying`, `completed` (fingerprints and globals, never full
+//! property columns), `failed`, and `cancelled`.
+//!
+//! Replay is torn-tail tolerant: a record whose length field overruns
+//! the file, whose CRC mismatches, or whose payload fails to parse ends
+//! that segment's replay (counted in [`Replay::dropped`]) without
+//! aborting the replay of other segments — exactly the contract an
+//! append-only log interrupted by `kill -9` needs.
+//!
+//! Segments rotate once they pass `rotate_bytes`; startup compaction
+//! rewrites the fold into one fresh segment (accepted + terminal record
+//! per surviving job) and only then deletes the old segments, so a
+//! crash *during* compaction replays duplicated records, which the fold
+//! absorbs idempotently.
+
+use crate::job::{value_json, JobResult, JobSpec, JobState};
+use gm_ckpt::{crc32, FaultPlan};
+use gm_obs::json::{parse, Json};
+use gm_obs::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Segment-header magic.
+pub const MAGIC: &[u8; 4] = b"GMJL";
+/// Segment format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Sanity cap on one record's payload; anything larger is treated as a
+/// torn/corrupt length field during replay.
+const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Journal configuration (`--journal-dir` and friends).
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Directory holding the segments (created if missing). Per-job
+    /// checkpoint snapshots live under `<dir>/ckpt/<job-id>/`.
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the live one passes this size.
+    pub rotate_bytes: u64,
+    /// Default snapshot interval for jobs that do not set
+    /// `checkpoint_every` themselves; `None` arms no checkpoints.
+    pub checkpoint_every: Option<u32>,
+    /// Deterministic fault injection for journal appends (tests only).
+    pub faults: FaultPlan,
+}
+
+impl JournalConfig {
+    /// A journal under `dir` with a 1 MiB rotation threshold.
+    pub fn new(dir: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig {
+            dir: dir.into(),
+            rotate_bytes: 1 << 20,
+            checkpoint_every: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// One journalled job transition.
+#[derive(Clone, Debug)]
+pub enum JournalRecord {
+    /// The job passed admission; the full spec is persisted so a
+    /// restarted daemon can re-admit it through the normal path.
+    Accepted {
+        id: String,
+        backend: String,
+        spec: JobSpec,
+    },
+    /// An execution attempt began (1-based).
+    Started { id: String, attempt: u32 },
+    /// A checkpoint snapshot for the job was durably written.
+    Checkpointed { id: String, superstep: u32 },
+    /// A transient failure; the job waits `delay_ms` then requeues.
+    Retrying {
+        id: String,
+        attempt: u32,
+        kind: String,
+        delay_ms: u64,
+    },
+    /// Terminal success (fingerprints et al., never property columns).
+    Completed {
+        id: String,
+        wall_ms: f64,
+        result: JobResult,
+    },
+    /// Terminal failure.
+    Failed {
+        id: String,
+        wall_ms: f64,
+        kind: String,
+        message: String,
+        bundle: Option<PathBuf>,
+    },
+    /// Cancelled by drain or shutdown.
+    Cancelled {
+        id: String,
+        wall_ms: f64,
+        message: String,
+    },
+}
+
+fn value_from_json(doc: &Json) -> Result<gm_core::value::Value, String> {
+    use gm_core::value::Value;
+    match doc {
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(n) => Ok(Value::Int(*n)),
+        Json::UInt(n) => i64::try_from(*n)
+            .map(Value::Int)
+            .map_err(|_| "integer does not fit an i64".to_owned()),
+        Json::Num(n) => Ok(Value::Double(*n)),
+        Json::Str(s) => {
+            if let Some(id) = s.strip_prefix("n:") {
+                id.parse().map(Value::Node).map_err(|e| e.to_string())
+            } else if let Some(id) = s.strip_prefix("e:") {
+                id.parse().map(Value::Edge).map_err(|e| e.to_string())
+            } else {
+                Err(format!("untagged value string {s:?}"))
+            }
+        }
+        _ => Err("value must be a scalar".to_owned()),
+    }
+}
+
+fn result_json(r: &JobResult) -> Json {
+    Json::obj([
+        (
+            "ret".to_owned(),
+            r.ret.as_ref().map(value_json).unwrap_or(Json::Null),
+        ),
+        (
+            "globals".to_owned(),
+            Json::obj(
+                r.globals
+                    .iter()
+                    .map(|(k, v)| (k.clone(), value_json(v)))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
+            "fingerprints".to_owned(),
+            Json::obj(
+                r.fingerprints
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        ("supersteps".to_owned(), Json::UInt(u64::from(r.supersteps))),
+        ("total_messages".to_owned(), Json::UInt(r.total_messages)),
+        (
+            "total_message_bytes".to_owned(),
+            Json::UInt(r.total_message_bytes),
+        ),
+    ])
+}
+
+fn result_from_json(doc: &Json) -> Result<JobResult, String> {
+    let obj_field = |key: &str| -> Result<BTreeMap<String, Json>, String> {
+        match doc.get(key) {
+            Some(Json::Obj(m)) => Ok(m.clone()),
+            _ => Err(format!("result missing object field `{key}`")),
+        }
+    };
+    let ret = match doc.get("ret") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(value_from_json(v)?),
+    };
+    let mut globals = BTreeMap::new();
+    for (k, v) in obj_field("globals")? {
+        globals.insert(k, value_from_json(&v)?);
+    }
+    let mut fingerprints = BTreeMap::new();
+    for (k, v) in obj_field("fingerprints")? {
+        let Json::Str(s) = v else {
+            return Err(format!("fingerprint `{k}` is not a string"));
+        };
+        fingerprints.insert(k, s);
+    }
+    let uint = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("result missing integer field `{key}`"))
+    };
+    Ok(JobResult {
+        ret,
+        globals,
+        fingerprints,
+        // Property columns are deliberately not journalled: they can be
+        // megabytes per job, and the fingerprints pin the same bits.
+        props: None,
+        supersteps: uint("supersteps")? as u32,
+        total_messages: uint("total_messages")?,
+        total_message_bytes: uint("total_message_bytes")?,
+    })
+}
+
+impl JournalRecord {
+    /// The record's `type` tag (also the metrics label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalRecord::Accepted { .. } => "accepted",
+            JournalRecord::Started { .. } => "started",
+            JournalRecord::Checkpointed { .. } => "checkpointed",
+            JournalRecord::Retrying { .. } => "retrying",
+            JournalRecord::Completed { .. } => "completed",
+            JournalRecord::Failed { .. } => "failed",
+            JournalRecord::Cancelled { .. } => "cancelled",
+        }
+    }
+
+    /// The id of the job the record belongs to.
+    pub fn id(&self) -> &str {
+        match self {
+            JournalRecord::Accepted { id, .. }
+            | JournalRecord::Started { id, .. }
+            | JournalRecord::Checkpointed { id, .. }
+            | JournalRecord::Retrying { id, .. }
+            | JournalRecord::Completed { id, .. }
+            | JournalRecord::Failed { id, .. }
+            | JournalRecord::Cancelled { id, .. } => id,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("type".to_owned(), Json::Str(self.kind().to_owned())),
+            ("id".to_owned(), Json::Str(self.id().to_owned())),
+        ];
+        match self {
+            JournalRecord::Accepted { backend, spec, .. } => {
+                pairs.push(("backend".to_owned(), Json::Str(backend.clone())));
+                pairs.push(("spec".to_owned(), spec.to_json()));
+            }
+            JournalRecord::Started { attempt, .. } => {
+                pairs.push(("attempt".to_owned(), Json::UInt(u64::from(*attempt))));
+            }
+            JournalRecord::Checkpointed { superstep, .. } => {
+                pairs.push(("superstep".to_owned(), Json::UInt(u64::from(*superstep))));
+            }
+            JournalRecord::Retrying {
+                attempt,
+                kind,
+                delay_ms,
+                ..
+            } => {
+                pairs.push(("attempt".to_owned(), Json::UInt(u64::from(*attempt))));
+                pairs.push(("kind".to_owned(), Json::Str(kind.clone())));
+                pairs.push(("delay_ms".to_owned(), Json::UInt(*delay_ms)));
+            }
+            JournalRecord::Completed {
+                wall_ms, result, ..
+            } => {
+                pairs.push(("wall_ms".to_owned(), Json::Num(*wall_ms)));
+                pairs.push(("result".to_owned(), result_json(result)));
+            }
+            JournalRecord::Failed {
+                wall_ms,
+                kind,
+                message,
+                bundle,
+                ..
+            } => {
+                pairs.push(("wall_ms".to_owned(), Json::Num(*wall_ms)));
+                pairs.push(("kind".to_owned(), Json::Str(kind.clone())));
+                pairs.push(("message".to_owned(), Json::Str(message.clone())));
+                pairs.push((
+                    "bundle".to_owned(),
+                    bundle
+                        .as_ref()
+                        .map(|p| Json::Str(p.display().to_string()))
+                        .unwrap_or(Json::Null),
+                ));
+            }
+            JournalRecord::Cancelled {
+                wall_ms, message, ..
+            } => {
+                pairs.push(("wall_ms".to_owned(), Json::Num(*wall_ms)));
+                pairs.push(("message".to_owned(), Json::Str(message.clone())));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(doc: &Json) -> Result<JournalRecord, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("record missing string field `{key}`"))
+        };
+        let uint = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("record missing integer field `{key}`"))
+        };
+        let wall = || -> Result<f64, String> {
+            doc.get("wall_ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "record missing `wall_ms`".to_owned())
+        };
+        let id = str_field("id")?;
+        match str_field("type")?.as_str() {
+            "accepted" => Ok(JournalRecord::Accepted {
+                id,
+                backend: str_field("backend")?,
+                spec: JobSpec::from_json(doc.get("spec").ok_or("accepted record missing `spec`")?)?,
+            }),
+            "started" => Ok(JournalRecord::Started {
+                id,
+                attempt: uint("attempt")? as u32,
+            }),
+            "checkpointed" => Ok(JournalRecord::Checkpointed {
+                id,
+                superstep: uint("superstep")? as u32,
+            }),
+            "retrying" => Ok(JournalRecord::Retrying {
+                id,
+                attempt: uint("attempt")? as u32,
+                kind: str_field("kind")?,
+                delay_ms: uint("delay_ms")?,
+            }),
+            "completed" => Ok(JournalRecord::Completed {
+                id,
+                wall_ms: wall()?,
+                result: result_from_json(
+                    doc.get("result")
+                        .ok_or("completed record missing `result`")?,
+                )?,
+            }),
+            "failed" => Ok(JournalRecord::Failed {
+                id,
+                wall_ms: wall()?,
+                kind: str_field("kind")?,
+                message: str_field("message")?,
+                bundle: doc.get("bundle").and_then(Json::as_str).map(PathBuf::from),
+            }),
+            "cancelled" => Ok(JournalRecord::Cancelled {
+                id,
+                wall_ms: wall()?,
+                message: str_field("message")?,
+            }),
+            other => Err(format!("unknown record type {other:?}")),
+        }
+    }
+}
+
+/// One job as reconstructed by replay.
+#[derive(Clone, Debug)]
+pub struct ReplayedJob {
+    /// Wire id (`"job-<n>"`).
+    pub id: String,
+    /// Backend recorded at acceptance (`"interp"` / `"native"`).
+    pub backend: String,
+    /// The spec, exactly as accepted.
+    pub spec: JobSpec,
+    /// Execution attempts started before the crash.
+    pub attempts: u32,
+    /// Newest journalled checkpoint superstep, when any.
+    pub last_checkpoint: Option<u32>,
+    /// [`JobState::Queued`] for a job that must be re-queued; a
+    /// terminal state otherwise (`cancelled` records fold into
+    /// [`JobState::Failed`] with kind `"cancelled"`).
+    pub state: JobState,
+    /// Journalled wall time, for terminal jobs.
+    pub wall_ms: Option<f64>,
+}
+
+impl ReplayedJob {
+    /// Whether the job still needs to run.
+    pub fn needs_requeue(&self) -> bool {
+        !self.state.is_terminal()
+    }
+}
+
+/// The outcome of replaying every segment at startup.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Surviving jobs in original acceptance order.
+    pub jobs: Vec<ReplayedJob>,
+    /// Torn/corrupt/unparseable records dropped during replay.
+    pub dropped: u64,
+    /// Highest numeric suffix among replayed `job-<n>` ids (0 when
+    /// none) — the daemon resumes its id sequence above it.
+    pub max_job_seq: u64,
+    /// Segments read at startup (before compaction).
+    pub segments_read: u64,
+}
+
+struct Writer {
+    file: File,
+    seq: u64,
+    bytes: u64,
+    /// Appends attempted over the journal's lifetime, for fault
+    /// injection indexing.
+    appends: u32,
+}
+
+/// The live journal: one writer, shared via the daemon state.
+pub struct Journal {
+    dir: PathBuf,
+    rotate_bytes: u64,
+    faults: FaultPlan,
+    registry: Arc<MetricsRegistry>,
+    inner: Mutex<Writer>,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("journal-{seq:08}.gmj"))
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("journal-")
+            .and_then(|s| s.strip_suffix(".gmj"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            segs.push((seq, entry.path()));
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+/// Best-effort directory fsync so segment creates/deletes survive a
+/// crash of the whole machine, not just the process.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Reads one segment, stopping (and counting a drop) at the first torn
+/// or corrupt record. I/O errors reading the file count as one drop —
+/// replay continues with the next segment either way.
+fn read_segment(path: &Path) -> (Vec<Json>, u64) {
+    let buf = match fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return (Vec::new(), 1),
+    };
+    if buf.len() < 8 || &buf[0..4] != MAGIC {
+        return (Vec::new(), 1);
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return (Vec::new(), 1);
+    }
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    let mut pos = 8usize;
+    while pos < buf.len() {
+        if pos + 4 > buf.len() {
+            dropped += 1; // torn length field
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+        let Some(end) = (len <= MAX_RECORD_BYTES)
+            .then(|| pos.checked_add(8 + len as usize))
+            .flatten()
+            .filter(|&e| e <= buf.len())
+        else {
+            dropped += 1; // absurd or overrunning length: torn record
+            break;
+        };
+        let payload = &buf[pos + 4..end - 4];
+        let crc = u32::from_le_bytes(buf[end - 4..end].try_into().expect("4 bytes"));
+        if crc32(payload) != crc {
+            dropped += 1; // corrupt record
+            break;
+        }
+        match std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| parse(s).ok())
+        {
+            Some(doc) => out.push(doc),
+            // CRC-valid but unparseable should not happen; drop just
+            // this record and keep going — the frame boundary is sound.
+            None => dropped += 1,
+        }
+        pos = end;
+    }
+    (out, dropped)
+}
+
+/// Folds raw records into per-job outcomes. Idempotent under record
+/// duplication (compaction interrupted by a crash replays both the
+/// original and compacted copies).
+fn fold(records: Vec<Json>, dropped: &mut u64) -> Vec<ReplayedJob> {
+    let mut order: Vec<String> = Vec::new();
+    let mut map: BTreeMap<String, ReplayedJob> = BTreeMap::new();
+    for doc in records {
+        let rec = match JournalRecord::from_json(&doc) {
+            Ok(rec) => rec,
+            Err(_) => {
+                *dropped += 1;
+                continue;
+            }
+        };
+        if let JournalRecord::Accepted { id, backend, spec } = rec {
+            if let Some(job) = map.get_mut(&id) {
+                job.backend = backend;
+                job.spec = spec;
+            } else {
+                order.push(id.clone());
+                map.insert(
+                    id.clone(),
+                    ReplayedJob {
+                        id,
+                        backend,
+                        spec,
+                        attempts: 0,
+                        last_checkpoint: None,
+                        state: JobState::Queued,
+                        wall_ms: None,
+                    },
+                );
+            }
+            continue;
+        }
+        // Transition records for an id whose acceptance was lost (torn
+        // away with its segment) are orphans: drop them.
+        let Some(job) = map.get_mut(rec.id()) else {
+            *dropped += 1;
+            continue;
+        };
+        match rec {
+            JournalRecord::Accepted { .. } => unreachable!("handled above"),
+            JournalRecord::Started { attempt, .. } => {
+                job.attempts = job.attempts.max(attempt);
+            }
+            JournalRecord::Checkpointed { superstep, .. } => {
+                job.last_checkpoint = Some(superstep);
+            }
+            JournalRecord::Retrying { attempt, .. } => {
+                job.attempts = job.attempts.max(attempt);
+            }
+            JournalRecord::Completed {
+                wall_ms, result, ..
+            } => {
+                job.state = JobState::Completed(result);
+                job.wall_ms = Some(wall_ms);
+            }
+            JournalRecord::Failed {
+                wall_ms,
+                kind,
+                message,
+                bundle,
+                ..
+            } => {
+                job.state = JobState::Failed {
+                    kind,
+                    message,
+                    bundle,
+                };
+                job.wall_ms = Some(wall_ms);
+            }
+            JournalRecord::Cancelled {
+                wall_ms, message, ..
+            } => {
+                job.state = JobState::Failed {
+                    kind: "cancelled".to_owned(),
+                    message,
+                    bundle: None,
+                };
+                job.wall_ms = Some(wall_ms);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|id| map.remove(&id).expect("order tracks map"))
+        .collect()
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+impl Writer {
+    fn create(dir: &Path, seq: u64) -> io::Result<Writer> {
+        let path = segment_path(dir, seq);
+        let mut file = File::create(&path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        file.sync_data()?;
+        sync_dir(dir);
+        Ok(Writer {
+            file,
+            seq,
+            bytes: 8,
+            appends: 0,
+        })
+    }
+
+    /// Appends one framed record and fsyncs. No fault injection, no
+    /// metrics — the raw primitive compaction also uses.
+    fn append_raw(&mut self, rec: &JournalRecord) -> io::Result<u64> {
+        let framed = frame(rec.to_json().to_string().as_bytes());
+        self.file.write_all(&framed)?;
+        self.file.sync_data()?;
+        self.bytes += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+}
+
+impl Journal {
+    /// Opens (or creates) the journal under `config.dir`: replays every
+    /// segment, compacts the surviving history into a fresh segment,
+    /// deletes the old segments, and returns the replay alongside the
+    /// live journal.
+    ///
+    /// `history_keep` bounds the *terminal* jobs carried forward
+    /// (oldest dropped first; `0` keeps everything) — the journal-side
+    /// mirror of the daemon's `--job-history-keep` GC.
+    pub fn open(
+        config: &JournalConfig,
+        history_keep: usize,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<(Journal, Replay)> {
+        fs::create_dir_all(&config.dir)?;
+        let segments = list_segments(&config.dir)?;
+        let mut records = Vec::new();
+        let mut dropped = 0u64;
+        for (_, path) in &segments {
+            let (recs, d) = read_segment(path);
+            records.extend(recs);
+            dropped += d;
+        }
+        let mut jobs = fold(records, &mut dropped);
+
+        // Oldest-first GC of terminal history, mirrored into the
+        // compacted segment so restarts do not resurrect pruned jobs.
+        if history_keep > 0 {
+            let terminal = jobs.iter().filter(|j| j.state.is_terminal()).count();
+            let mut excess = terminal.saturating_sub(history_keep);
+            jobs.retain(|j| {
+                if excess > 0 && j.state.is_terminal() {
+                    excess -= 1;
+                    return false;
+                }
+                true
+            });
+        }
+
+        let max_job_seq = jobs
+            .iter()
+            .filter_map(|j| j.id.strip_prefix("job-"))
+            .filter_map(|n| n.parse::<u64>().ok())
+            .max()
+            .unwrap_or(0);
+
+        // Compact: fresh segment first, then delete the old ones. A
+        // crash in between replays duplicates, which fold() absorbs.
+        let next_seq = segments.last().map(|(s, _)| s + 1).unwrap_or(1);
+        let mut writer = Writer::create(&config.dir, next_seq)?;
+        for job in &jobs {
+            writer.append_raw(&JournalRecord::Accepted {
+                id: job.id.clone(),
+                backend: job.backend.clone(),
+                spec: job.spec.clone(),
+            })?;
+            match &job.state {
+                JobState::Completed(result) => {
+                    writer.append_raw(&JournalRecord::Completed {
+                        id: job.id.clone(),
+                        wall_ms: job.wall_ms.unwrap_or(0.0),
+                        result: result.clone(),
+                    })?;
+                }
+                JobState::Failed {
+                    kind,
+                    message,
+                    bundle,
+                } => {
+                    writer.append_raw(&JournalRecord::Failed {
+                        id: job.id.clone(),
+                        wall_ms: job.wall_ms.unwrap_or(0.0),
+                        kind: kind.clone(),
+                        message: message.clone(),
+                        bundle: bundle.clone(),
+                    })?;
+                }
+                _ => {}
+            }
+        }
+        for (_, path) in &segments {
+            let _ = fs::remove_file(path);
+        }
+        sync_dir(&config.dir);
+
+        // Checkpoint directories of jobs that no longer need them
+        // (terminal, pruned, or never journalled) are garbage.
+        let keep: std::collections::HashSet<&str> = jobs
+            .iter()
+            .filter(|j| j.needs_requeue())
+            .map(|j| j.id.as_str())
+            .collect();
+        let ckpt_root = config.dir.join("ckpt");
+        if let Ok(entries) = fs::read_dir(&ckpt_root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_str().is_none_or(|n| !keep.contains(n)) {
+                    let _ = fs::remove_dir_all(entry.path());
+                }
+            }
+        }
+
+        let replay = Replay {
+            dropped,
+            max_job_seq,
+            segments_read: segments.len() as u64,
+            jobs,
+        };
+        registry
+            .counter(
+                "gm_journal_dropped_records_total",
+                "torn/corrupt journal records dropped during replay",
+            )
+            .add(replay.dropped);
+        for job in &replay.jobs {
+            registry
+                .counter_with(
+                    "gm_journal_replayed_total",
+                    "jobs reconstructed from the journal at startup",
+                    &[("state", job.state.status())],
+                )
+                .inc();
+        }
+        let journal = Journal {
+            dir: config.dir.clone(),
+            rotate_bytes: config.rotate_bytes.max(1),
+            faults: config.faults.clone(),
+            registry,
+            inner: Mutex::new(writer),
+        };
+        Ok((journal, replay))
+    }
+
+    /// Appends one record, fsyncs it, and rotates the segment when the
+    /// live one has grown past the threshold. An error means the record
+    /// is *not* durable — callers must treat the transition as failed.
+    pub fn append(&self, rec: &JournalRecord) -> io::Result<()> {
+        let mut w = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let index = w.appends;
+        w.appends += 1;
+        if self.faults.trip_fail_journal_append(index) {
+            return Err(io::Error::other(format!(
+                "injected journal append failure (record {index})"
+            )));
+        }
+        let written = w.append_raw(rec)?;
+        self.registry
+            .counter_with(
+                "gm_journal_records_total",
+                "journal records appended",
+                &[("type", rec.kind())],
+            )
+            .inc();
+        self.registry
+            .counter("gm_journal_bytes_total", "journal bytes appended")
+            .add(written);
+        if w.bytes >= self.rotate_bytes {
+            let next = Writer {
+                appends: w.appends,
+                ..Writer::create(&self.dir, w.seq + 1)?
+            };
+            *w = next;
+            self.registry
+                .counter("gm_journal_segments_total", "journal segments created")
+                .inc();
+        }
+        Ok(())
+    }
+
+    /// The checkpoint-snapshot directory for one job.
+    pub fn checkpoint_dir(&self, id: &str) -> PathBuf {
+        self.dir.join("ckpt").join(id)
+    }
+
+    /// Removes a job's checkpoint snapshots (terminal jobs need none).
+    pub fn remove_checkpoints(&self, id: &str) {
+        let _ = fs::remove_dir_all(self.checkpoint_dir(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gmd-journal-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(tenant: &str) -> JobSpec {
+        let doc = parse(&format!(
+            r#"{{"tenant":"{tenant}","graph":"g","program":"pagerank",
+                "args":{{"d":0.85,"root":"n:3"}},"seed":7,"workers":2,
+                "priority":1,"checkpoint_every":2}}"#
+        ))
+        .unwrap();
+        JobSpec::from_json(&doc).unwrap()
+    }
+
+    fn registry() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    fn completed(id: &str) -> JournalRecord {
+        JournalRecord::Completed {
+            id: id.to_owned(),
+            wall_ms: 12.5,
+            result: JobResult {
+                ret: Some(gm_core::value::Value::Double(0.25)),
+                globals: [("diff".to_owned(), gm_core::value::Value::Double(1e-9))]
+                    .into_iter()
+                    .collect(),
+                fingerprints: [("rank".to_owned(), "00000000deadbeef".to_owned())]
+                    .into_iter()
+                    .collect(),
+                props: None,
+                supersteps: 13,
+                total_messages: 42,
+                total_message_bytes: 1234,
+            },
+        }
+    }
+
+    fn accept(id: &str, tenant: &str) -> JournalRecord {
+        JournalRecord::Accepted {
+            id: id.to_owned(),
+            backend: "interp".to_owned(),
+            spec: spec(tenant),
+        }
+    }
+
+    #[test]
+    fn replay_folds_transitions_and_resumes_the_id_sequence() {
+        let dir = fresh_dir("fold");
+        let config = JournalConfig::new(&dir);
+        {
+            let (journal, replay) = Journal::open(&config, 0, registry()).unwrap();
+            assert!(replay.jobs.is_empty());
+            journal.append(&accept("job-1", "acme")).unwrap();
+            journal
+                .append(&JournalRecord::Started {
+                    id: "job-1".to_owned(),
+                    attempt: 1,
+                })
+                .unwrap();
+            journal
+                .append(&JournalRecord::Checkpointed {
+                    id: "job-1".to_owned(),
+                    superstep: 4,
+                })
+                .unwrap();
+            journal.append(&accept("job-2", "zeta")).unwrap();
+            journal.append(&completed("job-2")).unwrap();
+            journal.append(&accept("job-7", "acme")).unwrap();
+        }
+        let (_, replay) = Journal::open(&config, 0, registry()).unwrap();
+        assert_eq!(replay.dropped, 0);
+        assert_eq!(replay.max_job_seq, 7);
+        let ids: Vec<&str> = replay.jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids, ["job-1", "job-2", "job-7"], "acceptance order");
+        let j1 = &replay.jobs[0];
+        assert!(j1.needs_requeue());
+        assert_eq!(j1.attempts, 1);
+        assert_eq!(j1.last_checkpoint, Some(4));
+        assert_eq!(j1.spec, spec("acme"));
+        let j2 = &replay.jobs[1];
+        assert!(!j2.needs_requeue());
+        let JobState::Completed(r) = &j2.state else {
+            panic!("job-2 should be completed, got {:?}", j2.state);
+        };
+        assert_eq!(r.fingerprints["rank"], "00000000deadbeef");
+        assert_eq!(r.supersteps, 13);
+        assert_eq!(r.ret, Some(gm_core::value::Value::Double(0.25)));
+        assert_eq!(j2.wall_ms, Some(12.5));
+        assert!(replay.jobs[2].needs_requeue());
+
+        // Compaction rewrote history into exactly one segment.
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_without_losing_earlier_records() {
+        let dir = fresh_dir("torn");
+        let config = JournalConfig::new(&dir);
+        {
+            let (journal, _) = Journal::open(&config, 0, registry()).unwrap();
+            journal.append(&accept("job-1", "acme")).unwrap();
+            journal.append(&completed("job-1")).unwrap();
+            journal.append(&accept("job-2", "acme")).unwrap();
+        }
+        // Tear the final record: chop a few bytes off the segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (_, replay) = Journal::open(&config, 0, registry()).unwrap();
+        assert_eq!(replay.dropped, 1, "exactly the torn tail");
+        assert_eq!(replay.jobs.len(), 1, "job-2's acceptance was torn away");
+        assert!(!replay.jobs[0].needs_requeue());
+
+        // Corrupt a record body: CRC must reject it.
+        let (journal, _) = Journal::open(&config, 0, registry()).unwrap();
+        journal.append(&accept("job-3", "acme")).unwrap();
+        drop(journal);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() - 20;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        let (_, replay) = Journal::open(&config, 0, registry()).unwrap();
+        assert!(replay.dropped >= 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_compact_back_to_one() {
+        let dir = fresh_dir("rotate");
+        let mut config = JournalConfig::new(&dir);
+        config.rotate_bytes = 256; // force rotation nearly every append
+        {
+            let (journal, _) = Journal::open(&config, 0, registry()).unwrap();
+            for i in 1..=6 {
+                journal
+                    .append(&accept(&format!("job-{i}"), "acme"))
+                    .unwrap();
+            }
+            assert!(
+                list_segments(&dir).unwrap().len() > 1,
+                "rotation must have produced several segments"
+            );
+        }
+        let (_, replay) = Journal::open(&config, 0, registry()).unwrap();
+        assert_eq!(replay.jobs.len(), 6);
+        assert!(replay.segments_read > 1);
+        assert_eq!(list_segments(&dir).unwrap().len(), 1, "compacted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn history_keep_prunes_oldest_terminal_jobs_only() {
+        let dir = fresh_dir("gc");
+        let config = JournalConfig::new(&dir);
+        {
+            let (journal, _) = Journal::open(&config, 0, registry()).unwrap();
+            for i in 1..=4 {
+                let id = format!("job-{i}");
+                journal.append(&accept(&id, "acme")).unwrap();
+                if i <= 3 {
+                    journal.append(&completed(&id)).unwrap();
+                }
+            }
+        }
+        let (_, replay) = Journal::open(&config, 2, registry()).unwrap();
+        let ids: Vec<&str> = replay.jobs.iter().map(|j| j.id.as_str()).collect();
+        // job-1 (oldest terminal) pruned; the non-terminal job-4 kept.
+        assert_eq!(ids, ["job-2", "job-3", "job-4"]);
+        assert_eq!(replay.max_job_seq, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_append_failure_surfaces_as_io_error() {
+        let dir = fresh_dir("fault");
+        let mut config = JournalConfig::new(&dir);
+        config.faults = FaultPlan::builder().fail_journal_append(1).build();
+        let (journal, _) = Journal::open(&config, 0, registry()).unwrap();
+        journal.append(&accept("job-1", "acme")).unwrap();
+        let err = journal.append(&accept("job-2", "acme")).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        // The failed append wrote nothing; the next one proceeds.
+        journal.append(&accept("job-3", "acme")).unwrap();
+        drop(journal);
+        let (_, replay) = Journal::open(&config, 0, registry()).unwrap();
+        let ids: Vec<&str> = replay.jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids, ["job-1", "job-3"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_dirs_of_finished_jobs_are_swept_at_open() {
+        let dir = fresh_dir("sweep");
+        let config = JournalConfig::new(&dir);
+        {
+            let (journal, _) = Journal::open(&config, 0, registry()).unwrap();
+            journal.append(&accept("job-1", "acme")).unwrap();
+            journal.append(&accept("job-2", "acme")).unwrap();
+            journal.append(&completed("job-2")).unwrap();
+            fs::create_dir_all(journal.checkpoint_dir("job-1")).unwrap();
+            fs::create_dir_all(journal.checkpoint_dir("job-2")).unwrap();
+            fs::create_dir_all(journal.checkpoint_dir("job-stale")).unwrap();
+        }
+        let (journal, _) = Journal::open(&config, 0, registry()).unwrap();
+        assert!(journal.checkpoint_dir("job-1").is_dir(), "still queued");
+        assert!(!journal.checkpoint_dir("job-2").exists(), "terminal");
+        assert!(!journal.checkpoint_dir("job-stale").exists(), "orphan");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

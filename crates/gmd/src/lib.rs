@@ -51,9 +51,13 @@ pub mod api;
 pub mod client;
 pub mod daemon;
 pub mod job;
+pub mod journal;
+pub mod retry;
 
 pub use daemon::{Daemon, DaemonConfig, GraphSpec};
 pub use job::{JobSpec, ProgramSpec};
+pub use journal::{Journal, JournalConfig, JournalRecord, Replay};
+pub use retry::RetryPolicy;
 
 use gm_core::value::Value;
 

@@ -1,0 +1,218 @@
+//! Retry policy for transiently-failed jobs: exponential backoff with
+//! full jitter, bounded by per-tenant token budgets.
+//!
+//! The daemon's PR-8 heuristic — fail twice identically, then
+//! quarantine — treated every failure as deterministic. Real serving
+//! failures split into two classes: *transient* (a deadline blip under
+//! load, a spill-write hiccup, a wedged worker) and *deterministic*
+//! (bad arguments, a program that always overruns). This module handles
+//! the first class: a transiently-failed job is re-queued after
+//! `uniform(0, min(cap, base·2^(attempt-1)))` — AWS-style full jitter,
+//! so synchronized failures do not retry in lockstep — while a
+//! per-tenant token bucket stops a pathological tenant from converting
+//! retries into amplification. Only when the retry budget is exhausted
+//! does the failure become terminal and count toward quarantine.
+//!
+//! Randomness is a seeded xorshift64* (dependency-free, deterministic
+//! given the job id hash and attempt), so tests can pin exact delays.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Failure-class slugs eligible for retry (transient by nature).
+const TRANSIENT_KINDS: [&str; 5] = [
+    "deadline_exceeded",
+    "spill_failed",
+    "worker_panicked",
+    "budget_exceeded",
+    "checkpoint",
+];
+
+/// The daemon-wide retry policy; per-request fields on
+/// [`JobSpec`](crate::JobSpec) override the first three knobs.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries per job beyond the first attempt (`0` disables).
+    pub max_retries: u32,
+    /// Backoff base: the jitter ceiling of the first retry.
+    pub base: Duration,
+    /// Backoff ceiling regardless of attempt count.
+    pub cap: Duration,
+    /// Token-bucket capacity per tenant: at most this many retries in a
+    /// burst across all of a tenant's jobs.
+    pub tenant_tokens: u32,
+    /// One token refills per tenant per this interval.
+    pub tenant_refill: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(5),
+            tenant_tokens: 8,
+            tenant_refill: Duration::from_secs(10),
+        }
+    }
+}
+
+/// xorshift64* — the same dependency-free generator the graph
+/// generators use.
+fn xorshift(mut state: u64) -> u64 {
+    state |= 1;
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+impl RetryPolicy {
+    /// Whether a failure-class slug is transient (retry-eligible).
+    pub fn is_transient(kind: &str) -> bool {
+        TRANSIENT_KINDS.contains(&kind)
+    }
+
+    /// The policy with per-request overrides from a spec applied.
+    pub fn for_spec(&self, spec: &crate::JobSpec) -> RetryPolicy {
+        let mut p = self.clone();
+        if let Some(r) = spec.max_retries {
+            p.max_retries = r;
+        }
+        if let Some(ms) = spec.retry_base_ms {
+            p.base = Duration::from_millis(ms);
+        }
+        if let Some(ms) = spec.retry_cap_ms {
+            p.cap = Duration::from_millis(ms);
+        }
+        p
+    }
+
+    /// Full-jitter backoff before retry number `retry` (1-based):
+    /// uniform in `[0, min(cap, base·2^(retry-1))]`, deterministic for
+    /// a given `seed`.
+    pub fn delay(&self, retry: u32, seed: u64) -> Duration {
+        let base_ms = self.base.as_millis() as u64;
+        let shift = u32::min(retry.saturating_sub(1), 32);
+        let ceil_ms = base_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.cap.as_millis() as u64);
+        let r = xorshift(seed ^ (u64::from(retry) << 32));
+        Duration::from_millis(r % (ceil_ms + 1))
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Per-tenant retry token buckets (shared daemon state).
+pub struct RetryBudget {
+    capacity: f64,
+    refill_per_sec: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RetryBudget {
+    /// A budget from the policy's tenant knobs.
+    pub fn new(policy: &RetryPolicy) -> RetryBudget {
+        RetryBudget {
+            capacity: f64::from(policy.tenant_tokens),
+            refill_per_sec: if policy.tenant_refill.is_zero() {
+                f64::INFINITY
+            } else {
+                1.0 / policy.tenant_refill.as_secs_f64()
+            },
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one retry token for `tenant`; `false` means the tenant's
+    /// budget is exhausted and the failure must become terminal.
+    pub fn try_take(&self, tenant: &str) -> bool {
+        let mut buckets = self.buckets.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let b = buckets.entry(tenant.to_owned()).or_insert(Bucket {
+            tokens: self.capacity,
+            last: now,
+        });
+        let refilled = b.tokens + now.duration_since(b.last).as_secs_f64() * self.refill_per_sec;
+        b.tokens = refilled.min(self.capacity);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_obs::json::parse;
+
+    #[test]
+    fn transient_kinds_are_the_recoverable_ones() {
+        for k in ["deadline_exceeded", "spill_failed", "worker_panicked"] {
+            assert!(RetryPolicy::is_transient(k), "{k}");
+        }
+        for k in ["bad_argument", "invalid_config", "cancelled", "shed"] {
+            assert!(!RetryPolicy::is_transient(k), "{k}");
+        }
+    }
+
+    #[test]
+    fn delay_is_deterministic_jittered_and_capped() {
+        let p = RetryPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(350),
+            ..RetryPolicy::default()
+        };
+        // Deterministic for a fixed seed; ceiling doubles then caps.
+        for retry in 1..=6 {
+            let a = p.delay(retry, 42);
+            let b = p.delay(retry, 42);
+            assert_eq!(a, b);
+            let ceil = Duration::from_millis(100u64.saturating_mul(1 << (retry - 1)).min(350));
+            assert!(a <= ceil, "retry {retry}: {a:?} > {ceil:?}");
+        }
+        // Different seeds jitter differently (with overwhelming
+        // probability over a 350ms range; these two are pinned).
+        assert_ne!(p.delay(3, 1), p.delay(3, 2));
+    }
+
+    #[test]
+    fn spec_overrides_apply() {
+        let doc = parse(
+            r#"{"graph":"g","program":"x","max_retries":7,
+                "retry_base_ms":10,"retry_cap_ms":40}"#,
+        )
+        .unwrap();
+        let spec = crate::JobSpec::from_json(&doc).unwrap();
+        let p = RetryPolicy::default().for_spec(&spec);
+        assert_eq!(p.max_retries, 7);
+        assert_eq!(p.base, Duration::from_millis(10));
+        assert_eq!(p.cap, Duration::from_millis(40));
+        assert!(p.delay(10, 99) <= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn tenant_budget_exhausts_and_refills() {
+        let policy = RetryPolicy {
+            tenant_tokens: 2,
+            tenant_refill: Duration::from_millis(30),
+            ..RetryPolicy::default()
+        };
+        let budget = RetryBudget::new(&policy);
+        assert!(budget.try_take("acme"));
+        assert!(budget.try_take("acme"));
+        assert!(!budget.try_take("acme"), "burst capacity is 2");
+        assert!(budget.try_take("zeta"), "tenants are independent");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(budget.try_take("acme"), "refilled after the interval");
+    }
+}

@@ -1,0 +1,259 @@
+//! Library-level durability acceptance: journal-backed restart, the
+//! retry/backoff policy, brownout shedding, and terminal-history GC —
+//! everything `kill -9` chaos (see `tests/chaos.rs`) exercises at the
+//! process level, pinned here deterministically at the API level.
+
+use gm_obs::json::parse;
+use gmd::daemon::{BrownoutConfig, Reject};
+use gmd::{Daemon, DaemonConfig, GraphSpec, JobSpec, JournalConfig, RetryPolicy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gmd-durability-{}-{}-{}",
+        std::process::id(),
+        tag,
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn base_config(graphs: &[(&str, &str)]) -> DaemonConfig {
+    DaemonConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        graphs: graphs
+            .iter()
+            .map(|(name, source)| GraphSpec {
+                name: (*name).to_owned(),
+                source: (*source).to_owned(),
+            })
+            .collect(),
+        max_concurrent: 1,
+        queue_cap: 64,
+        default_workers: 2,
+        total_message_bytes: 1 << 30,
+        total_resident_bytes: 4 << 30,
+        default_deadline: None,
+        post_mortem: None,
+        quarantine_threshold: 100,
+        drain_timeout: Duration::from_millis(200),
+        native_builtins: true,
+        journal: None,
+        job_history_keep: 0,
+        retry: RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        },
+        brownout: None,
+        abort: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+    }
+}
+
+fn spec(json: &str) -> JobSpec {
+    JobSpec::from_json(&parse(json).expect("spec JSON")).expect("valid spec")
+}
+
+fn wait_terminal(state: &std::sync::Arc<gmd::daemon::State>, id: &str) -> gmd::job::JobRecord {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(rec) = state.job(id) {
+            if rec.state.is_terminal() {
+                return rec;
+            }
+        }
+        assert!(Instant::now() < deadline, "job {id} never became terminal");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn fingerprints_of(rec: &gmd::job::JobRecord) -> std::collections::BTreeMap<String, String> {
+    match &rec.state {
+        gmd::job::JobState::Completed(result) => result.fingerprints.clone(),
+        other => panic!("job {} not completed: {other:?}", rec.id),
+    }
+}
+
+#[test]
+fn restart_requeues_journalled_jobs_bit_identically_and_resumes_ids() {
+    let dir = fresh_dir("restart");
+    let mut config = base_config(&[("g", "rmat:600:3000:7")]);
+    config.journal = Some(JournalConfig::new(dir.join("journal")));
+
+    let pagerank = r#"{"tenant":"acme","graph":"g","program":"pagerank",
+        "args":{"e":1e-30,"d":0.85,"max_iter":25},"seed":7,"workers":2}"#;
+
+    // First life: accept three jobs, then tear the daemon down without a
+    // drain (the Drop path finishes at most the running job — the rest
+    // survive only in the journal).
+    let first_result;
+    {
+        let daemon = Daemon::start(config.clone()).expect("first start");
+        let state = daemon.state().clone();
+        let ids: Vec<String> = (0..3)
+            .map(|_| state.submit(spec(pagerank)).expect("submit"))
+            .collect();
+        assert_eq!(ids, ["job-1", "job-2", "job-3"]);
+        first_result = wait_terminal(&state, "job-1");
+        // jobs 2 and 3 are (at most) queued behind the single runner.
+        drop(daemon);
+    }
+
+    // Second life: replay must requeue the unfinished jobs and complete
+    // them with fingerprints identical to the uninterrupted first job
+    // (same spec, same pinned workers, deterministic interpreter).
+    let daemon = Daemon::start(config).expect("second start");
+    let state = daemon.state().clone();
+    let want = fingerprints_of(&first_result);
+    assert!(!want.is_empty());
+    for id in ["job-1", "job-2", "job-3"] {
+        let rec = wait_terminal(&state, id);
+        assert_eq!(
+            fingerprints_of(&rec),
+            want,
+            "{id} diverged across the restart"
+        );
+    }
+    // The id sequence resumes above every journalled id.
+    let fresh = state.submit(spec(pagerank)).expect("post-restart submit");
+    assert_eq!(fresh, "job-4");
+    wait_terminal(&state, &fresh);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_failures_retry_until_the_budget_exhausts() {
+    // A 1ms per-superstep deadline against a 4000-node interpreted
+    // PageRank trips deterministically — and identically on retry, so
+    // the job burns its whole budget and then fails terminally.
+    let mut config = base_config(&[("big", "rmat:4000:20000:7")]);
+    config.retry = RetryPolicy {
+        max_retries: 2,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(2),
+        ..RetryPolicy::default()
+    };
+    config.quarantine_threshold = 1;
+    let daemon = Daemon::start(config).expect("start");
+    let state = daemon.state().clone();
+
+    let doomed = r#"{"tenant":"acme","graph":"big","program":"pagerank",
+        "args":{"e":0.0,"d":0.85,"max_iter":50},"deadline_ms":1}"#;
+    let id = state.submit(spec(doomed)).expect("submit");
+    let rec = wait_terminal(&state, &id);
+    let gmd::job::JobState::Failed { kind, .. } = &rec.state else {
+        panic!("expected failure, got {:?}", rec.state);
+    };
+    assert_eq!(kind, "deadline_exceeded");
+    assert_eq!(rec.attempts, 3, "one attempt plus two retries");
+
+    // Only the *terminal* failure counted toward quarantine (threshold
+    // 1): the retries themselves did not triple-poison the signature,
+    // but the signature is now quarantined.
+    match state.submit(spec(doomed)) {
+        Err(Reject::Quarantined { kind, count }) => {
+            assert_eq!(kind, "deadline_exceeded");
+            assert_eq!(count, 1, "retries must not inflate the count");
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+
+    // A per-request override disables retries entirely.
+    let one_shot = r#"{"tenant":"acme","graph":"big","program":"sssp",
+        "args":{"root":"n:0"},"deadline_ms":1,"max_retries":0}"#;
+    let id = state.submit(spec(one_shot)).expect("submit");
+    let rec = wait_terminal(&state, &id);
+    assert_eq!(rec.attempts, 1, "max_retries:0 means a single attempt");
+}
+
+#[test]
+fn brownout_sheds_lowest_priority_newest_first_and_rejects_submissions() {
+    // saturation 0.0 counts the daemon as saturated from the first
+    // submission, so the 300ms hold is the only clock in the test.
+    let mut config = base_config(&[("big", "rmat:4000:20000:7")]);
+    config.brownout = Some(BrownoutConfig {
+        saturation: 0.0,
+        hold: Duration::from_millis(300),
+        shed_to: 1,
+    });
+    let daemon = Daemon::start(config).expect("start");
+    let state = daemon.state().clone();
+
+    // A long job occupies the single runner; three more queue behind it.
+    let long = r#"{"tenant":"acme","graph":"big","program":"pagerank",
+        "args":{"e":1e-30,"d":0.85,"max_iter":400},"seed":7}"#;
+    let job = |tenant: &str, priority: i64| {
+        format!(
+            r#"{{"tenant":"{tenant}","graph":"big","program":"pagerank",
+                "args":{{"e":1e-30,"d":0.85,"max_iter":10}},"priority":{priority}}}"#
+        )
+    };
+    let _running = state.submit(spec(long)).expect("running job");
+    let keep = state.submit(spec(&job("acme", 5))).expect("high priority");
+    let shed_old = state.submit(spec(&job("globex", 0))).expect("low, older");
+    let shed_new = state.submit(spec(&job("globex", 0))).expect("low, newer");
+
+    std::thread::sleep(Duration::from_millis(450));
+    // This submission finds the hold expired: the queue (3 deep) is shed
+    // down to 1 — lowest priority first, newest first within a priority
+    // — and the submission itself is refused with the shedding slug.
+    match state.submit(spec(&job("initech", 0))) {
+        Err(Reject::Shedding { retry_after }) => {
+            assert_eq!(retry_after, Duration::from_millis(300));
+        }
+        other => panic!("expected shedding rejection, got {other:?}"),
+    }
+    for id in [&shed_new, &shed_old] {
+        let rec = state.job(id).expect("record");
+        let gmd::job::JobState::Failed { kind, .. } = &rec.state else {
+            panic!("{id} should be shed, got {:?}", rec.state);
+        };
+        assert_eq!(kind, "shed");
+    }
+    let keep_rec = state.job(&keep).expect("record");
+    assert!(
+        !matches!(&keep_rec.state, gmd::job::JobState::Failed { kind, .. } if kind == "shed"),
+        "the high-priority job must survive the shed: {:?}",
+        keep_rec.state
+    );
+}
+
+#[test]
+fn job_history_keep_evicts_oldest_terminal_records() {
+    let dir = fresh_dir("history");
+    let mut config = base_config(&[("g", "rmat:300:1500:7")]);
+    config.journal = Some(JournalConfig::new(dir.join("journal")));
+    config.job_history_keep = 2;
+    let quick = r#"{"tenant":"acme","graph":"g","program":"pagerank",
+        "args":{"e":1e-30,"d":0.85,"max_iter":5}}"#;
+    {
+        let daemon = Daemon::start(config.clone()).expect("start");
+        let state = daemon.state().clone();
+        for _ in 0..4 {
+            let id = state.submit(spec(quick)).expect("submit");
+            wait_terminal(&state, &id);
+        }
+        // Only the two newest terminal records survive in memory.
+        assert!(state.job("job-1").is_none(), "oldest evicted");
+        assert!(state.job("job-2").is_none(), "second-oldest evicted");
+        assert!(state.job("job-3").is_some());
+        assert!(state.job("job-4").is_some());
+    }
+    // The journal-side GC mirrors it at compaction: a restart replays
+    // only the kept records and still resumes the id sequence above
+    // every id ever issued.
+    let daemon = Daemon::start(config).expect("restart");
+    let state = daemon.state().clone();
+    assert!(state.job("job-1").is_none());
+    assert!(state.job("job-3").is_some());
+    assert!(state.job("job-4").is_some());
+    let fresh = state.submit(spec(quick)).expect("submit");
+    assert_eq!(fresh, "job-5");
+    wait_terminal(&state, &fresh);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -52,6 +52,16 @@ fn base_config(graphs: &[(&str, &str)]) -> DaemonConfig {
         quarantine_threshold: 2,
         drain_timeout: Duration::from_millis(200),
         native_builtins: true,
+        // PR-10 durability knobs default off so the pre-existing
+        // admission/fairness assertions keep their exact semantics.
+        journal: None,
+        job_history_keep: 0,
+        retry: gmd::RetryPolicy {
+            max_retries: 0,
+            ..gmd::RetryPolicy::default()
+        },
+        brownout: None,
+        abort: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
     }
 }
 

@@ -71,6 +71,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: String,
+    /// Extra headers, written verbatim after `Content-Type`. Names must
+    /// be valid header tokens; values must not contain CR/LF.
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -81,8 +84,21 @@ impl Response {
         Response {
             status,
             content_type: content_type.into(),
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Appends an extra response header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets a `Retry-After: <seconds>` header — backpressure responses
+    /// (429/503) use it to tell clients when resubmitting is worthwhile.
+    pub fn with_retry_after(self, seconds: u64) -> Response {
+        self.with_header("Retry-After", seconds.to_string())
     }
 
     /// `200 OK` with `text/plain` content.
@@ -325,13 +341,20 @@ fn handle_conn(mut stream: TcpStream, router: &Router) -> io::Result<()> {
         // Socket errors (timeouts included): nothing useful to answer.
         Err(ReadError::Io(e)) => return Err(e),
     };
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         response.status,
         response.reason(),
         response.content_type,
         response.body.len()
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
@@ -509,6 +532,20 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 405"), "{head}");
         let (head, _) = get(addr, "/v2/other");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn extra_headers_are_written_verbatim() {
+        let server = Router::new()
+            .route("GET", "/busy", |_| {
+                Response::json(429, "{\"error\":\"busy\"}").with_retry_after(7)
+            })
+            .serve("127.0.0.1:0")
+            .unwrap();
+        let (head, body) = get(server.addr(), "/busy");
+        assert!(head.starts_with("HTTP/1.1 429"), "{head}");
+        assert!(head.contains("Retry-After: 7"), "{head}");
+        assert_eq!(body, "{\"error\":\"busy\"}");
     }
 
     #[test]

@@ -1,18 +1,20 @@
 //! Dependency-free shutdown-signal latch for long-lived binaries.
 //!
 //! `gmd` and `figure6 --metrics-listen` run until told to stop; this
-//! module turns SIGINT/SIGTERM into a process-wide [`AtomicBool`] that
-//! drain loops poll, so the binaries can finish in-flight work, flush
-//! sinks, and exit 0 instead of dying mid-write.
+//! module turns SIGINT/SIGTERM into a process-wide counter that drain
+//! loops poll, so the binaries can finish in-flight work, flush sinks,
+//! and exit 0 instead of dying mid-write. The counter (rather than a
+//! plain bool) lets callers distinguish "drain, please" (first signal)
+//! from "abort now" (second signal during an in-progress drain).
 //!
-//! The handler itself only stores a relaxed atomic — the one thing that
+//! The handler itself only bumps a relaxed atomic — the one thing that
 //! is async-signal-safe — and everything else happens on normal threads.
 //! On non-Unix targets [`install`] is a no-op and [`request`] remains the
 //! programmatic trigger (tests use it too).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SHUTDOWN: AtomicU32 = AtomicU32::new(0);
 
 #[cfg(unix)]
 mod imp {
@@ -27,7 +29,7 @@ mod imp {
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+        super::SHUTDOWN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     pub fn install() {
@@ -52,19 +54,27 @@ pub fn install() {
 
 /// Whether a shutdown has been requested (by signal or by [`request`]).
 pub fn requested() -> bool {
+    count() > 0
+}
+
+/// How many shutdown signals (or [`request`] calls) have landed so far.
+/// `>= 2` means the operator signalled again during a drain and wants an
+/// immediate abort.
+pub fn count() -> u32 {
     SHUTDOWN.load(Ordering::Relaxed)
 }
 
 /// Programmatically latches the shutdown flag — what the signal handler
-/// does, callable from tests and from in-process shutdown paths.
+/// does, callable from tests and from in-process shutdown paths. Each
+/// call counts as one additional signal.
 pub fn request() {
-    SHUTDOWN.store(true, Ordering::Relaxed);
+    SHUTDOWN.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Clears the latch. Only meaningful in tests, where several cases share
 /// one process-wide flag.
 pub fn reset() {
-    SHUTDOWN.store(false, Ordering::Relaxed);
+    SHUTDOWN.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -75,10 +85,15 @@ mod tests {
     fn latch_round_trip() {
         reset();
         assert!(!requested());
+        assert_eq!(count(), 0);
         request();
         assert!(requested());
+        assert_eq!(count(), 1);
+        request();
+        assert_eq!(count(), 2);
         reset();
         assert!(!requested());
+        assert_eq!(count(), 0);
     }
 
     #[cfg(unix)]

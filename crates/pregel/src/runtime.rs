@@ -897,6 +897,7 @@ where
             every: c.every,
             keep: c.keep,
             skip: None,
+            on_write: c.on_write.clone(),
         };
         if c.resume {
             let restore_started = Instant::now();
@@ -1529,6 +1530,8 @@ struct CkptRunner {
     /// The superstep this run resumed at, whose snapshot (just read) must
     /// not be immediately rewritten.
     skip: Option<u32>,
+    /// Invoked after each durable snapshot write (post fault injection).
+    on_write: Option<Arc<dyn Fn(u32) + Send + Sync>>,
 }
 
 /// Stamps the failing superstep onto a [`PhaseFailure`] to produce the
@@ -1703,9 +1706,11 @@ where
                             if let Some(f) = &feed {
                                 f.record_checkpoint(true);
                             }
+                            let mut corrupted = false;
                             if let Ok(Some(what)) =
                                 shared.faults.corrupt_after_write(superstep, &path)
                             {
+                                corrupted = true;
                                 if let Some(t) = tracer {
                                     t.instant(
                                         "snapshot_corrupted",
@@ -1716,6 +1721,11 @@ where
                                             ("what", what.into()),
                                         ],
                                     );
+                                }
+                            }
+                            if !corrupted {
+                                if let Some(cb) = &ck.on_write {
+                                    cb(superstep);
                                 }
                             }
                             // A failed prune never fails the run.
